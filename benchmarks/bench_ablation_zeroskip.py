@@ -1,0 +1,63 @@
+"""A5 — Zero-weight skipping on vs off, at equal sparsity.
+
+Disabling the skip logic means every weight slot of an occupied tile is
+applied (nnz -> kernel area): the pruned model then runs at dense-model
+speed. The gap is the paper's entire zero-skipping contribution.
+"""
+
+import numpy as np
+
+from repro.core import VARIANT_512_OPT
+from repro.perf import evaluate_layers, vgg16_model_layers
+from repro.perf.vgg import ConvModelLayer
+
+
+def without_zero_skip(layers):
+    """Same models, skip logic disabled: occupied tiles cost k^2."""
+    disabled = []
+    for layer in layers:
+        dense_nnz = np.where(layer.nnz > 0, layer.kernel * layer.kernel, 0)
+        disabled.append(ConvModelLayer(
+            name=layer.name, in_shape=layer.in_shape,
+            out_shape=layer.out_shape, kernel=layer.kernel,
+            nnz=dense_nnz))
+    return disabled
+
+
+def compute_ablation():
+    pruned = vgg16_model_layers(pruned=True, seed=0)
+    with_skip = evaluate_layers(VARIANT_512_OPT, pruned, "pr+skip")
+    no_skip = evaluate_layers(VARIANT_512_OPT, without_zero_skip(pruned),
+                              "pr-noskip")
+    return with_skip, no_skip
+
+
+def format_ablation(with_skip, no_skip):
+    lines = ["A5: zero-skipping ablation (512-opt, pruned VGG-16)",
+             f"{'layer':<10}{'skip GOPS':>11}{'no-skip GOPS':>14}"
+             f"{'gain':>7}"]
+    for a, b in zip(with_skip.layers, no_skip.layers):
+        lines.append(f"{a.name:<10}{a.gops:>11.1f}{b.gops:>14.1f}"
+                     f"{a.gops / b.gops:>6.2f}x")
+    lines.append(
+        f"{'MEAN':<10}{with_skip.mean_gops:>11.1f}"
+        f"{no_skip.mean_gops:>14.1f}"
+        f"{with_skip.mean_gops / no_skip.mean_gops:>6.2f}x")
+    return "\n".join(lines)
+
+
+def test_zeroskip_ablation(benchmark, emit):
+    with_skip, no_skip = benchmark.pedantic(compute_ablation, rounds=1,
+                                            iterations=1)
+    emit("a5_zeroskip_ablation", format_ablation(with_skip, no_skip))
+    # Skipping never hurts and buys ~1.3x on average for this model.
+    for a, b in zip(with_skip.layers, no_skip.layers):
+        assert a.gops >= b.gops * 0.999
+    gain = with_skip.mean_gops / no_skip.mean_gops
+    assert 1.2 < gain < 1.6
+    # Without skipping, pruning gives (almost) nothing: the no-skip
+    # pruned run matches the dense-model run.
+    unpruned = evaluate_layers(
+        VARIANT_512_OPT, vgg16_model_layers(pruned=False, seed=0), "up")
+    assert abs(no_skip.mean_gops - unpruned.mean_gops) \
+        < 0.12 * unpruned.mean_gops

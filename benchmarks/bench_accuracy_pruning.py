@@ -1,0 +1,51 @@
+"""E2 — Model fidelity vs pruning aggressiveness (Section IV-B proxy).
+
+The paper reports the pruned reduced-precision model within 2% of float
+accuracy on ImageNet. Without ImageNet, the proxy is teacher fidelity:
+the float network labels synthetic images, and we measure how well the
+pruned+quantized model reproduces those labels as pruning deepens —
+the accuracy/sparsity/throughput trade-off a deployer actually tunes.
+"""
+
+from repro.nn import build_vgg16, generate_image, generate_weights
+from repro.quant import accuracy_vs_pruning
+
+KEEPS = [1.0, 0.8, 0.6, 0.4, 0.2, 0.1]
+
+
+def compute_curve():
+    network = build_vgg16(input_hw=32)
+    weights, biases = generate_weights(network, seed=0)
+    calibration = generate_image((3, 32, 32), seed=0)
+    return accuracy_vs_pruning(network, weights, biases, calibration,
+                               keep_fractions=KEEPS,
+                               image_shape=(3, 32, 32), images=6,
+                               seed=3000)
+
+
+def format_curve(points):
+    lines = ["E2: fidelity vs uniform pruning (VGG-16/32, 6 images, "
+             "teacher = unpruned float)",
+             f"{'keep':>6}{'top1':>7}{'top5':>7}{'mean |dp|':>12}"]
+    for point in points:
+        report = point.report
+        lines.append(
+            f"{point.keep_fraction:>6.1f}"
+            f"{report.top1_agreement:>7.2f}{report.top5_agreement:>7.2f}"
+            f"{report.mean_abs_prob_error:>12.2e}")
+    lines.append("(paper: pruned + 8-bit model within 2% of float on "
+                 "ImageNet, improvable by retraining)")
+    return "\n".join(lines)
+
+
+def test_accuracy_vs_pruning(benchmark, emit):
+    points = benchmark.pedantic(compute_curve, rounds=1, iterations=1)
+    emit("e2_accuracy_vs_pruning", format_curve(points))
+    by_keep = {p.keep_fraction: p.report for p in points}
+    # Unpruned 8-bit: high fidelity (the "within 2%" regime).
+    assert by_keep[1.0].top5_agreement >= 0.8
+    assert by_keep[1.0].mean_abs_prob_error < 1e-3
+    # Moderate pruning stays faithful; savage pruning degrades.
+    assert by_keep[0.6].top5_agreement >= 0.5
+    assert by_keep[0.1].mean_abs_prob_error > \
+        2 * by_keep[1.0].mean_abs_prob_error

@@ -1,0 +1,53 @@
+"""E3 — End-to-end VGG-16 inference latency per variant.
+
+Beyond the paper's conv-layer throughput: the full embedded pipeline —
+pad/pool instructions, striped convolutions with DMA, and the FC tail
+in ARM software — composed into frames per second. Convolution
+dominates everywhere (the paper's premise for accelerating it first),
+and the ARM FC share grows as the accelerator gets faster (Amdahl).
+"""
+
+from repro.core import ALL_VARIANTS
+from repro.perf import vgg16_latency
+
+
+def compute_table():
+    rows = []
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            rows.append(vgg16_latency(variant, pruned=pruned, seed=0))
+    return rows
+
+
+def format_table(rows):
+    lines = ["E3: end-to-end VGG-16 latency (224x224, batch 1)",
+             f"{'variant':<12}{'model':<10}{'conv ms':>9}{'pad/pool':>10}"
+             f"{'FC (ARM)':>10}{'total ms':>10}{'fps':>7}"]
+    for lat in rows:
+        lines.append(
+            f"{lat.variant:<12}{lat.model:<10}"
+            f"{1000 * lat.conv_s:>9.1f}{1000 * lat.padpool_s:>10.1f}"
+            f"{1000 * lat.fc_arm_s:>10.1f}{1000 * lat.total_s:>10.1f}"
+            f"{lat.fps:>7.2f}")
+    lines.append("(FC on a NEON-equipped Cortex-A9 at 800 MHz; the "
+                 "paper runs FC in ARM software too, Section III-A)")
+    return "\n".join(lines)
+
+
+def test_e2e_latency(benchmark, emit):
+    rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    emit("e3_end_to_end_latency", format_table(rows))
+    by_key = {(lat.variant, lat.model): lat for lat in rows}
+    # Faster variants, faster frames; pruning helps every variant.
+    fps_order = [by_key[(v.name, "vgg16")].fps for v in ALL_VARIANTS]
+    assert fps_order == sorted(fps_order)
+    for variant in ALL_VARIANTS:
+        assert by_key[(variant.name, "vgg16-pr")].fps > \
+            by_key[(variant.name, "vgg16")].fps
+    # Convolution dominates end-to-end time on every variant...
+    for lat in rows:
+        assert lat.conv_share > 0.8
+    # ...but the ARM FC share grows as the accelerator speeds up.
+    slow = by_key[("256-unopt", "vgg16")]
+    fast = by_key[("512-opt", "vgg16-pr")]
+    assert fast.fc_arm_s / fast.total_s > 3 * (slow.fc_arm_s / slow.total_s)

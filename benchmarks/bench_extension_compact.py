@@ -1,0 +1,72 @@
+"""E5 — Compact packed-weight encoding (nibble offsets).
+
+Deep Compression's last stage (paper ref [9]) squeezes the packed
+representation further; here the analogous step is nibble-packing the
+intra-tile offsets (4 bits suffice for 4x4 tiles), shrinking the stream
+from 2 to ~1.5 bytes per non-zero. The win lands exactly where the
+paper locates the overhead: scratchpad unpack cycles on the
+weight-heavy deep layers.
+"""
+
+import numpy as np
+
+from repro.core import VARIANT_256_OPT
+from repro.perf import (CycleModelParams, conv_layer_cycles,
+                        evaluate_layers, vgg16_model_layers)
+
+
+def compute_comparison():
+    layers = vgg16_model_layers(pruned=False, seed=0)
+    legacy_params = CycleModelParams(dma_bytes_per_cycle=32)
+    compact_params = CycleModelParams(dma_bytes_per_cycle=32,
+                                      compact_weights=True)
+    rows = []
+    for layer in layers:
+        legacy = conv_layer_cycles(layer.name, layer.in_shape,
+                                   layer.out_shape, layer.kernel,
+                                   layer.nnz, legacy_params)
+        compact = conv_layer_cycles(layer.name, layer.in_shape,
+                                    layer.out_shape, layer.kernel,
+                                    layer.nnz, compact_params)
+        rows.append((layer.name, legacy, compact))
+    evaluations = (
+        evaluate_layers(VARIANT_256_OPT, layers, "legacy", legacy_params),
+        evaluate_layers(VARIANT_256_OPT, layers, "compact",
+                        compact_params))
+    return rows, evaluations
+
+
+def format_comparison(rows, evaluations):
+    legacy_ev, compact_ev = evaluations
+    lines = ["E5: compact weight encoding (2 -> ~1.5 bytes/non-zero)",
+             f"{'layer':<10}{'unpack legacy':>14}{'unpack compact':>16}"
+             f"{'saved':>8}"]
+    for name, legacy, compact in rows:
+        saved = legacy.weight_load_cycles - compact.weight_load_cycles
+        lines.append(
+            f"{name:<10}{legacy.weight_load_cycles:>14}"
+            f"{compact.weight_load_cycles:>16}{saved:>8}")
+    lines.append(
+        f"mean GOPS: legacy {legacy_ev.mean_gops:.1f} -> compact "
+        f"{compact_ev.mean_gops:.1f} "
+        f"(+{100 * (compact_ev.mean_gops / legacy_ev.mean_gops - 1):.1f}%)")
+    return "\n".join(lines)
+
+
+def test_compact_encoding(benchmark, emit):
+    rows, evaluations = benchmark.pedantic(compute_comparison, rounds=1,
+                                           iterations=1)
+    emit("e5_compact_encoding", format_comparison(rows, evaluations))
+    legacy_ev, compact_ev = evaluations
+    # Unpack cycles shrink ~25% on every layer (1.5/2 bytes + counts).
+    for name, legacy, compact in rows:
+        assert compact.weight_load_cycles < legacy.weight_load_cycles
+        ratio = compact.weight_load_cycles / legacy.weight_load_cycles
+        assert 0.65 < ratio < 0.85, (name, ratio)
+    # Throughput improves, most on the deep (weight-heavy) layers.
+    assert compact_ev.mean_gops > legacy_ev.mean_gops
+    deep_gain = (compact_ev.layer("conv5_3").gops
+                 / legacy_ev.layer("conv5_3").gops)
+    early_gain = (compact_ev.layer("conv1_2").gops
+                  / legacy_ev.layer("conv1_2").gops)
+    assert deep_gain > early_gain

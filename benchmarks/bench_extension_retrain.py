@@ -1,0 +1,78 @@
+"""E6 — Prune-then-retrain recovery (Section IV-B's training claim).
+
+"Inference accuracy in validation was within 2% of the original
+unpruned floating point, which can be improved further through
+training." This bench runs that workflow end to end on a small network:
+prune at several keep fractions, measure teacher agreement, fine-tune
+with masked SGD, measure again.
+"""
+
+import numpy as np
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, generate_weights)
+from repro.prune import prune_magnitude
+from repro.train import agreement, finetune, make_teacher_dataset
+
+KEEPS = [0.6, 0.4, 0.25]
+
+
+def build_net():
+    return Network("retrain-net", [
+        InputLayer("input", Shape(2, 8, 8)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=2, out_channels=4, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=64, out_features=5),
+        SoftmaxLayer("prob"),
+    ])
+
+
+def compute_recovery():
+    net = build_net()
+    weights, biases = generate_weights(net, seed=60)
+    samples = make_teacher_dataset(net, weights, biases, count=16,
+                                   image_shape=(2, 8, 8), seed=600)
+    rows = []
+    for keep in KEEPS:
+        masks, pruned = {}, {}
+        for name, tensor in weights.items():
+            result = prune_magnitude(tensor, keep_fraction=keep)
+            pruned[name] = result.weights
+            masks[name] = result.mask
+        before = agreement(net, pruned, biases, samples)
+        trained = finetune(net, pruned, biases, samples, masks=masks,
+                           learning_rate=0.01, epochs=8)
+        after = agreement(net, trained.weights, trained.biases, samples)
+        sparsity_ok = all(
+            np.all(trained.weights[name][~mask] == 0.0)
+            for name, mask in masks.items())
+        rows.append((keep, before, after, sparsity_ok))
+    return rows
+
+
+def format_recovery(rows):
+    lines = ["E6: prune -> retrain recovery (teacher agreement, "
+             "16 samples)",
+             f"{'keep':>6}{'pruned':>9}{'retrained':>11}"
+             f"{'masks intact':>14}"]
+    for keep, before, after, ok in rows:
+        lines.append(f"{keep:>6.2f}{before:>9.2f}{after:>11.2f}"
+                     f"{str(ok):>14}")
+    lines.append("(paper: accuracy within 2% of float, 'can be improved "
+                 "further through training')")
+    return "\n".join(lines)
+
+
+def test_retrain_recovery(benchmark, emit):
+    rows = benchmark.pedantic(compute_recovery, rounds=1, iterations=1)
+    emit("e6_prune_retrain", format_recovery(rows))
+    for keep, before, after, masks_intact in rows:
+        assert masks_intact
+        assert after >= before
+    # The harshest pruning shows a real recovery, not a tie.
+    harsh = rows[-1]
+    assert harsh[2] > harsh[1]

@@ -1,0 +1,49 @@
+"""Fig. 6 — ALM usage by each unit in the accelerator.
+
+Regenerates the per-module ALM breakdown of the 256-opt accelerator and
+the Section V utilization text (44% ALM / 25% DSP / 49% RAM of the
+Arria 10 SX660).
+"""
+
+import pytest
+
+from repro.area import fig6_breakdown, variant_area
+from repro.core import ALL_VARIANTS, VARIANT_256_OPT
+
+
+def compute_fig6():
+    breakdown = fig6_breakdown(VARIANT_256_OPT)
+    reports = {v.name: variant_area(v) for v in ALL_VARIANTS}
+    return breakdown, reports
+
+
+def format_fig6(breakdown, reports):
+    total = sum(breakdown.values())
+    lines = ["Fig. 6: ALM usage by unit (256-opt)",
+             f"{'module':<24}{'ALMs':>10}{'share':>8}"]
+    for module, alms in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{module:<24}{alms:>10}{100 * alms / total:>7.1f}%")
+    lines.append("")
+    lines.append("Device utilization (Arria 10 SX660)        paper (256-opt)")
+    lines.append(f"{'variant':<12}{'ALM':>8}{'DSP':>8}{'RAM':>8}")
+    for name, report in reports.items():
+        lines.append(
+            f"{name:<12}{100 * report.alm_utilization:>7.0f}%"
+            f"{100 * report.dsp_utilization:>7.0f}%"
+            f"{100 * report.ram_utilization:>7.0f}%"
+            + ("      44% / 25% / 49%" if name == "256-opt" else ""))
+    return "\n".join(lines)
+
+
+def test_fig6_alm_breakdown(benchmark, emit):
+    breakdown, reports = benchmark.pedantic(compute_fig6, rounds=1,
+                                            iterations=1)
+    emit("fig6_alm_usage", format_fig6(breakdown, reports))
+    # Paper: conv/accumulator/staging dominate due to heavy MUX'ing.
+    ranked = sorted(breakdown, key=breakdown.get, reverse=True)
+    assert set(ranked[:3]) == {"convolution", "accumulator",
+                               "data-staging/control"}
+    report = reports["256-opt"]
+    assert report.alm_utilization == pytest.approx(0.44, abs=0.02)
+    assert report.dsp_utilization == pytest.approx(0.25, abs=0.02)
+    assert report.ram_utilization == pytest.approx(0.49, abs=0.02)

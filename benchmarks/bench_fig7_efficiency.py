@@ -1,0 +1,57 @@
+"""Fig. 7 — Efficiency of each accelerator variant for VGG-16 inference.
+
+Best/worst/mean per-layer efficiency (observed vs ideal throughput) for
+the four variants on the unpruned and pruned ("-pr") VGG-16 models.
+The ideal (dotted line in the figure) is 1.0; pruned results exceed it
+because zero-skipping avoids MACs the ideal accounts for.
+"""
+
+import numpy as np
+
+from repro.core import ALL_VARIANTS
+
+
+def format_fig7(evaluations):
+    lines = ["Fig. 7: efficiency vs ideal (best / worst / mean per layer)",
+             f"{'variant':<12}{'model':<10}{'best':>8}{'worst':>8}"
+             f"{'mean':>8}",
+             f"{'(ideal = 1.00)':<12}"]
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            ev = evaluations[(variant.name, pruned)]
+            model = "vgg16-pr" if pruned else "vgg16"
+            lines.append(
+                f"{variant.name:<12}{model:<10}"
+                f"{ev.best_efficiency:>8.2f}{ev.worst_efficiency:>8.2f}"
+                f"{ev.mean_efficiency:>8.2f}")
+    lines.append("")
+    lines.append("paper: unpruned usually within ~10% of ideal; pruned "
+                 "exceeds 100% via zero-skipping")
+    return "\n".join(lines)
+
+
+def test_fig7_efficiency(benchmark, emit, vgg16_evaluations):
+    evaluations = benchmark.pedantic(lambda: vgg16_evaluations,
+                                     rounds=1, iterations=1)
+    emit("fig7_efficiency", format_fig7(evaluations))
+
+    # Unpruned: most layers near ideal (paper: "usually within ~10%").
+    for name in ("256-opt", "512-opt"):
+        ev = evaluations[(name, False)]
+        near = sum(1 for l in ev.layers if l.efficiency > 0.85)
+        assert near >= 9
+
+    # Pruned exceeds 100% efficiency on every synchronized variant.
+    for name in ("256-unopt", "256-opt", "512-opt"):
+        assert evaluations[(name, True)].best_efficiency > 1.0
+
+    # The 16-unopt baseline (no synchronization) is the most efficient:
+    # its zero-skipping has no lock-step bubbles.
+    eff_16 = evaluations[("16-unopt", True)].mean_efficiency
+    eff_256 = evaluations[("256-opt", True)].mean_efficiency
+    assert eff_16 > eff_256
+
+    # Mean striping/tiling overhead near the paper's ~15%.
+    ev = evaluations[("512-opt", False)]
+    mean_overhead = np.mean([l.overhead_fraction for l in ev.layers])
+    assert 0.08 < mean_overhead < 0.25

@@ -1,0 +1,70 @@
+"""Fig. 8 — Absolute GOPS across accelerator variants for VGG-16.
+
+Average and peak effective GOPS per variant and model. The paper's
+headline numbers: 512-opt reaches 39.5 average / 61 peak GOPS unpruned
+and 53.3 average / 138 peak effective GOPS pruned (~1.3x / ~2.2x from
+zero-skipping).
+"""
+
+import pytest
+
+from repro.core import ALL_VARIANTS
+
+PAPER_512 = {"up_peak": 61.0, "pr_peak": 138.0,
+             "up_mean": 39.5, "pr_mean": 53.3}
+
+
+def format_fig8(evaluations):
+    lines = ["Fig. 8: absolute GOPS (MAC-ops/s) per variant",
+             f"{'variant':<12}{'clock':>8}  {'model':<10}{'mean':>8}"
+             f"{'best-layer':>11}{'peak':>8}"]
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            ev = evaluations[(variant.name, pruned)]
+            model = "vgg16-pr" if pruned else "vgg16"
+            lines.append(
+                f"{variant.name:<12}{variant.clock_mhz:>5.0f}MHz  "
+                f"{model:<10}{ev.mean_gops:>8.1f}{ev.best_gops:>11.1f}"
+                f"{ev.peak_effective_gops:>8.1f}")
+    up = evaluations[("512-opt", False)]
+    pr = evaluations[("512-opt", True)]
+    lines.append("")
+    lines.append(
+        f"paper 512-opt: mean 39.5 / peak 61 (unpruned), "
+        f"mean 53.3 / peak 138 (pruned)")
+    lines.append(
+        f"ours  512-opt: mean {up.mean_gops:.1f} / peak "
+        f"{up.peak_effective_gops:.1f} (unpruned), mean {pr.mean_gops:.1f}"
+        f" / peak {pr.peak_effective_gops:.1f} (pruned)")
+    lines.append(
+        f"zero-skip gain: mean x{pr.mean_gops / up.mean_gops:.2f} "
+        f"(paper ~1.3x), peak x"
+        f"{pr.peak_effective_gops / up.peak_effective_gops:.2f} "
+        f"(paper ~2.2x)")
+    return "\n".join(lines)
+
+
+def test_fig8_gops(benchmark, emit, vgg16_evaluations):
+    evaluations = benchmark.pedantic(lambda: vgg16_evaluations,
+                                     rounds=1, iterations=1)
+    emit("fig8_gops", format_fig8(evaluations))
+
+    up = evaluations[("512-opt", False)]
+    pr = evaluations[("512-opt", True)]
+    # Peak conventions reproduce the paper's numbers directly.
+    assert up.peak_effective_gops == pytest.approx(PAPER_512["up_peak"],
+                                                   rel=0.05)
+    assert pr.peak_effective_gops == pytest.approx(PAPER_512["pr_peak"],
+                                                   rel=0.05)
+    # Zero-skipping gains in the paper's bands.
+    assert 1.2 < pr.mean_gops / up.mean_gops < 1.5
+    assert 2.0 < pr.peak_effective_gops / up.peak_effective_gops < 2.3
+    # Variant ordering.
+    for pruned in (False, True):
+        means = [evaluations[(v.name, pruned)].mean_gops
+                 for v in ALL_VARIANTS]
+        assert means == sorted(means)
+    # Averages at or above the paper's measured values (idealized model)
+    # but below the physical peak.
+    assert PAPER_512["up_mean"] <= up.mean_gops <= 61.44
+    assert PAPER_512["pr_mean"] <= pr.mean_gops <= 138.2

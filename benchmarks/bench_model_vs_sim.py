@@ -1,0 +1,38 @@
+"""A4 — Analytic cycle model vs cycle-accurate simulation.
+
+The license for applying the analytic model to full VGG-16: on small
+random convolution layers, the model must reproduce the 20-kernel
+streaming simulation's cycle counts (near-)exactly, and the simulated
+accelerator must be bit-exact against the quantized golden model.
+"""
+
+import numpy as np
+
+from repro.perf import validation_sweep
+
+
+def run_sweep():
+    return validation_sweep(list(range(12)), density=0.5)
+
+
+def format_sweep(results):
+    lines = ["A4: analytic model vs cycle-accurate simulation",
+             f"{'case':>5}{'sim cycles':>12}{'model cycles':>14}"
+             f"{'error':>8}{'bit-exact':>11}"]
+    for i, result in enumerate(results):
+        lines.append(
+            f"{i:>5}{result.sim_cycles:>12}{result.model_cycles:>14}"
+            f"{100 * result.relative_error:>7.2f}%"
+            f"{str(result.functional_match):>11}")
+    worst = max(r.relative_error for r in results)
+    lines.append(f"worst relative error: {100 * worst:.2f}%")
+    return "\n".join(lines)
+
+
+def test_model_vs_sim(benchmark, emit):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("a4_model_vs_sim", format_sweep(results))
+    assert all(r.functional_match for r in results)
+    assert max(r.relative_error for r in results) <= 0.02
+    exact = sum(1 for r in results if r.relative_error == 0.0)
+    assert exact >= len(results) // 2

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 3). Results are printed and also
+written to ``results/<name>.txt`` so they survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import ALL_VARIANTS
+from repro.perf import evaluate_vgg16
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a named result table to disk and stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def vgg16_evaluations():
+    """All (variant, model) cycle-model evaluations — Figs 7/8 input."""
+    evaluations = {}
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            evaluations[(variant.name, pruned)] = evaluate_vgg16(
+                variant, pruned=pruned, seed=0)
+    return evaluations

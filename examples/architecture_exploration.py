@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Architecture exploration from "software and constraint changes alone".
+
+Section V: "A unique advantage of HLS is that one can synthesize
+multiple architecture variants from software and constraint changes
+alone." This example walks the four paper variants — plus a GT1150
+scale-out sketch — through the full model stack: area, achieved clock,
+power and VGG-16 performance, reproducing the performance/area
+trade-off discussion.
+
+Run:  python examples/architecture_exploration.py
+"""
+
+from repro.area import ARRIA10_GT1150, variant_area
+from repro.core import ALL_VARIANTS, AcceleratorVariant
+from repro.hls import achieved_fmax_mhz, routing_succeeds
+from repro.perf import evaluate_vgg16
+from repro.power import variant_power
+
+
+def explore_paper_variants():
+    print("Variant exploration on the Arria 10 SX660")
+    print(f"{'variant':<12}{'ALM':>7}{'DSP':>6}{'RAM':>6}{'clock':>9}"
+          f"{'power':>9}{'mean GOPS':>11}{'GOPS/W':>8}")
+    for variant in ALL_VARIANTS:
+        area = variant_area(variant)
+        clock = achieved_fmax_mhz(variant.constraints, area.alm_utilization)
+        power = variant_power(variant)
+        ev = evaluate_vgg16(variant, pruned=True, seed=0)
+        print(f"{variant.name:<12}"
+              f"{100 * area.alm_utilization:>6.0f}%"
+              f"{100 * area.dsp_utilization:>5.0f}%"
+              f"{100 * area.ram_utilization:>5.0f}%"
+              f"{clock:>6.0f}MHz"
+              f"{power.fpga_mw / 1000:>8.2f}W"
+              f"{ev.mean_gops:>11.1f}"
+              f"{power.gops_per_watt(ev.mean_gops):>8.1f}")
+
+
+def explore_clock_targets():
+    print("\nClock-constraint sweep for the 512-opt floorplan "
+          "(why the paper stops at 120 MHz):")
+    from repro.core import VARIANT_512_OPT
+    utilization = variant_area(VARIANT_512_OPT).alm_utilization
+    for target in (100, 110, 120, 130, 140, 150):
+        constraints = VARIANT_512_OPT.constraints.with_target_mhz(target)
+        ok = routing_succeeds(constraints, utilization)
+        achieved = achieved_fmax_mhz(constraints, utilization)
+        status = "routes" if ok else "FAILS (congestion)"
+        print(f"  target {target:>3} MHz -> {status:<20} "
+              f"achieved {achieved:5.1f} MHz")
+
+
+def explore_gt1150():
+    print("\nScale-out sketch on the GT1150 (Section V: 'nearly double "
+          "the capacity... software changes alone'):")
+    quad = AcceleratorVariant(
+        name="1024-opt", macs_per_cycle=1024, instances=4, lanes=4,
+        performance_optimized=True, target_clock_mhz=150.0,
+        clock_mhz=0.0)  # to be determined by the model
+    area = variant_area(quad, device=ARRIA10_GT1150)
+    clock = achieved_fmax_mhz(quad.constraints, min(1.0,
+                                                    area.alm_utilization))
+    print(f"  4 instances: ALM {100 * area.alm_utilization:.0f}% of "
+          f"GT1150, modelled clock {clock:.0f} MHz, "
+          f"peak {1024 * clock / 1000:.0f} GOPS")
+
+
+def explore_design_space():
+    print("\nDesign-space sweep (lanes x instances x bank size), Pareto "
+          "frontier on (GOPS, power, area):")
+    from repro.perf import explore, pareto_frontier, vgg16_model_layers
+    layers = vgg16_model_layers(pruned=False, seed=0)
+    points = explore(layers)
+    frontier = {p.name for p in pareto_frontier(points)}
+    print(f"  {'design':<18}{'clock':>8}{'ALM':>6}{'power':>8}"
+          f"{'GOPS':>7}{'GOPS/W':>8}  frontier")
+    for point in sorted(points, key=lambda p: p.mean_gops):
+        mark = "*" if point.name in frontier else ""
+        print(f"  {point.name:<18}{point.clock_mhz:>5.0f}MHz"
+              f"{100 * point.alm_utilization:>5.0f}%"
+              f"{point.fpga_power_w:>7.2f}W{point.mean_gops:>7.1f}"
+              f"{point.gops_per_watt:>8.1f}  {mark}")
+
+
+def main():
+    explore_paper_variants()
+    explore_clock_targets()
+    explore_gt1150()
+    explore_design_space()
+
+
+if __name__ == "__main__":
+    main()

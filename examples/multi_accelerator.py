@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The 512-opt pattern: two accelerator instances on separate stripes.
+
+Section IV-D: the mid-sized SX660 fits two instances of the Fig. 3
+accelerator, each working concurrently on separate stripes of the
+feature maps, for 512 MACs/cycle total. This example builds both
+instances inside one cycle simulator, splits a convolution into two
+stripes (with the 3x3 halo rows), runs them concurrently, stitches the
+OFM and compares wall-clock cycles against a single instance.
+
+Run:  python examples/multi_accelerator.py
+"""
+
+import numpy as np
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance, PackedLayer,
+                        execute_concurrent, execute_conv, prepare_conv)
+from repro.hls import Simulator
+
+
+def main():
+    rng = np.random.default_rng(0)
+    ifm = rng.integers(-30, 31, size=(8, 34, 14))   # pre-padded input
+    weights = rng.integers(-30, 31, size=(8, 8, 3, 3))
+    weights[rng.random(weights.shape) >= 0.5] = 0
+    packed = PackedLayer.pack(weights)
+
+    # Single instance, whole layer ("256-opt" style).
+    solo_sim = Simulator("solo")
+    solo = AcceleratorInstance(
+        solo_sim, AcceleratorConfig(bank_capacity=1 << 14), name="solo")
+    whole, solo_cycles = execute_conv(solo, ifm, packed, shift=2)
+    print(f"single instance: {solo_cycles} cycles for "
+          f"{whole.shape} OFM")
+
+    # Two instances in one simulator, each on one stripe ("512-opt").
+    sim = Simulator("dual")
+    inst_a = AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=1 << 14), name="inst_a")
+    inst_b = AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=1 << 14), name="inst_b")
+    print(f"dual system: {len(sim.kernels)} streaming kernels "
+          f"(2 x 20), {len(sim.fifos)} FIFOs")
+
+    out_rows = ifm.shape[1] - 2
+    split = (out_rows // 2 // 4) * 4          # tile-aligned stripe edge
+    top = ifm[:, :split + 2, :]               # +2 halo rows for 3x3
+    bottom = ifm[:, split:, :]
+    setup_a = prepare_conv(inst_a, top, packed, shift=2)
+    setup_b = prepare_conv(inst_b, bottom, packed, shift=2)
+    wall = execute_concurrent([setup_a, setup_b])
+
+    stitched = np.concatenate([setup_a.read_ofm(), setup_b.read_ofm()],
+                              axis=1)
+    assert np.array_equal(stitched, whole), "stripe stitching broke!"
+    print(f"dual instances: {wall} wall cycles "
+          f"(speedup x{solo_cycles / wall:.2f}; stitched OFM bit-exact)")
+    print("paper: 512-opt = 2 instances, 512 MACs/cycle, clocked 120 MHz "
+          "(vs 150 for one instance) -> 1.6x net speedup")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Zero-weight skipping: the packed format and what it buys.
+
+Walks through the offline packing step (Section III-B), shows the byte
+stream a data-staging unit loads into scratchpad, and sweeps sparsity
+on the cycle-accurate accelerator to expose both the speedup and its
+architectural ceiling: four IFM tile preloads per weight tile bound the
+gain at 9/4 = 2.25x for 3x3 kernels ((16-4)/16 = 75% for full tiles).
+
+Run:  python examples/zero_skip_packing.py
+"""
+
+import numpy as np
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance, PackedLayer,
+                        execute_conv, serialize_unit_stream)
+from repro.hls import Simulator
+from repro.prune import group_imbalance, prune_magnitude
+
+
+def show_packing():
+    print("=== The packed weight format ===")
+    weights = np.zeros((1, 1, 3, 3), dtype=np.int64)
+    weights[0, 0] = [[50, 0, -3], [0, 0, 0], [7, 0, 127]]
+    packed = PackedLayer.pack(weights)
+    print("kernel:")
+    print(weights[0, 0])
+    print("packed entries (intra-tile offset, weight):")
+    for entry in packed.tile_entries(0, 0):
+        ky, kx = divmod(entry.offset, 4)
+        print(f"  offset {entry.offset:2d} (row {ky}, col {kx}) "
+              f"weight {entry.weight:4d}")
+    stream = serialize_unit_stream(packed, unit=0)
+    print(f"unit-0 scratchpad stream ({stream.size} bytes): "
+          f"{list(stream[:11])} ...")
+
+
+def sparsity_sweep():
+    print("\n=== Sparsity sweep on the cycle-accurate accelerator ===")
+    rng = np.random.default_rng(1)
+    ifm = rng.integers(-30, 31, size=(8, 12, 12))
+    dense = rng.integers(-40, 41, size=(8, 8, 3, 3)).astype(float)
+    dense[dense == 0] = 1.0
+
+    baseline_cycles = None
+    print(f"{'keep':>6}{'nnz/tile':>10}{'imbalance':>11}{'cycles':>9}"
+          f"{'speedup':>9}")
+    for keep in (1.0, 0.8, 0.6, 0.4, 0.2, 0.1):
+        pruned = prune_magnitude(dense, keep).weights.astype(np.int64)
+        packed = PackedLayer.pack(pruned)
+        sim = Simulator(f"keep{keep}")
+        accelerator = AcceleratorInstance(
+            sim, AcceleratorConfig(bank_capacity=1 << 14))
+        _, cycles = execute_conv(accelerator, ifm, packed, shift=0)
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+        nnz_mean = packed.nnz_matrix().mean()
+        imbalance = group_imbalance(pruned)
+        print(f"{keep:>6.1f}{nnz_mean:>10.2f}{imbalance:>11.2f}"
+              f"{cycles:>9}{baseline_cycles / cycles:>8.2f}x")
+    print("\nceiling: 3x3 kernels cannot beat 9/4 = 2.25x (four IFM tile "
+          "preloads per weight tile share one SRAM port)")
+
+
+def main():
+    show_packing()
+    sparsity_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro: functional/cycle-level reproduction of the SOCC'17 accelerator.
+
+Reproduces Kim et al., "FPGA-Based CNN Inference Accelerator Synthesized
+from Multi-Threaded C Software" (SOCC 2017) as a pure-Python library:
+
+* :mod:`repro.hls` -- LegUp-like streaming-kernel cycle simulator;
+* :mod:`repro.nn` -- CNN functional substrate (VGG-16, reference ops);
+* :mod:`repro.quant` -- 8-bit magnitude+sign reduced precision;
+* :mod:`repro.prune` -- magnitude pruning and filter grouping;
+* :mod:`repro.core` -- the accelerator (tiles, packing, 20 kernels);
+* :mod:`repro.soc` -- SoC substrate (bus, SRAM, DMA, ARM host, driver);
+* :mod:`repro.perf` -- cycle/throughput models (Figs 7 and 8);
+* :mod:`repro.area` -- ALM/DSP/RAM area model (Fig 6);
+* :mod:`repro.power` -- power model (Table I).
+"""
+
+__version__ = "1.0.0"

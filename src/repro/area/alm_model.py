@@ -1,0 +1,175 @@
+"""Structural area model: ALMs, DSPs and RAM blocks per module (Fig. 6).
+
+Each unit's ALM count is derived from its structure — multiplexer
+counts and widths, adder widths, FSM sizes — times per-element costs
+calibrated against the paper's single published calibration point: the
+256-opt accelerator uses 44% of the SX660's ALMs, 25% of its DSPs and
+49% of its RAM blocks, with the convolution, accumulator and
+data-staging/control modules dominating "due to the heavy MUX'ing
+required in these units" and most DSPs in convolution + accumulator.
+
+Because the model is structural, the other variants follow without new
+calibration: 512-opt is two instances (nearly filling the device —
+hence its congestion-limited clock), and 16-unopt is a single lane with
+group size 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.area.device import ARRIA10_SX660, FpgaDevice
+from repro.core.variants import AcceleratorVariant
+from repro.core.sram import DEFAULT_BANK_CAPACITY
+
+# Per-element ALM costs (calibrated; see module docstring).
+ALMS_PER_MUX16_8B = 70       # 16:1 byte multiplexer (Fig. 4b steering)
+ALMS_PER_MAC_PIPE = 50       # pipeline registers around one multiplier
+ALMS_PER_ACC_VALUE = 400     # 4:1 32b mux + 32b add + requant + regs
+ALMS_PER_FSM_STATE = 26      # one-hot state, next-state and stall logic
+ALMS_STAGING_DATAPATH = 3_600  # address generators, unpacker, scratch ctl
+ALMS_PER_MAX_UNIT = 150      # 16-input 8-bit max tree
+ALMS_PER_PADPOOL_MUX = 60    # per-OFM-value output mux
+ALMS_PADPOOL_CTRL = 300
+ALMS_WRITEBACK_UNIT = 1_000
+ALMS_SYSTEM = 5_000          # DMA engine + Avalon interconnect glue
+STAGING_FSM_STATES = 180     # after the controller split (Section IV-A)
+
+# DSP usage: one 8x8 multiplier per DSP half is conservative; the
+# accumulators keep their wide adds in DSP accumulators.
+DSPS_PER_MULT = 1.0
+DSPS_PER_ACC_VALUE = 2.0
+DSPS_SYSTEM = 38
+
+# M20K geometry: 512-deep x 40-bit is the widest configuration.
+M20K_WIDTH_BITS = 40
+M20K_DEPTH = 512
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Resource usage of one synthesized variant."""
+
+    variant: str
+    alms_by_module: dict[str, int]
+    dsps_by_module: dict[str, int]
+    m20ks_by_module: dict[str, int]
+    device: FpgaDevice = ARRIA10_SX660
+
+    @property
+    def total_alms(self) -> int:
+        return sum(self.alms_by_module.values())
+
+    @property
+    def total_dsps(self) -> int:
+        return sum(self.dsps_by_module.values())
+
+    @property
+    def total_m20ks(self) -> int:
+        return sum(self.m20ks_by_module.values())
+
+    @property
+    def alm_utilization(self) -> float:
+        return self.total_alms / self.device.alms
+
+    @property
+    def dsp_utilization(self) -> float:
+        return self.total_dsps / self.device.dsp_blocks
+
+    @property
+    def ram_utilization(self) -> float:
+        return self.total_m20ks / self.device.m20k_blocks
+
+    def fits(self) -> bool:
+        return (self.alm_utilization <= 1.0 and self.dsp_utilization <= 1.0
+                and self.ram_utilization <= 1.0)
+
+    def format_table(self) -> str:
+        lines = [f"Area report: {self.variant} on {self.device.name}",
+                 f"{'module':<24}{'ALMs':>10}{'DSPs':>8}{'M20Ks':>8}"]
+        for module in self.alms_by_module:
+            lines.append(
+                f"{module:<24}{self.alms_by_module[module]:>10}"
+                f"{self.dsps_by_module.get(module, 0):>8}"
+                f"{self.m20ks_by_module.get(module, 0):>8}")
+        lines.append(
+            f"{'TOTAL':<24}{self.total_alms:>10}{self.total_dsps:>8}"
+            f"{self.total_m20ks:>8}")
+        lines.append(
+            f"utilization: ALM {100 * self.alm_utilization:.0f}%  "
+            f"DSP {100 * self.dsp_utilization:.0f}%  "
+            f"RAM {100 * self.ram_utilization:.0f}%")
+        return "\n".join(lines)
+
+
+def conv_unit_alms(group_size: int, tile: int) -> int:
+    """One convolution unit: steering muxes + MAC pipelines (Fig. 4b)."""
+    values = tile * tile
+    return group_size * values * (ALMS_PER_MUX16_8B + ALMS_PER_MAC_PIPE) \
+        + 700
+
+
+def accumulator_alms(sources: int, tile: int) -> int:
+    """One accumulator unit: per-value wide accumulate + requantize."""
+    del sources  # the 4:1 source mux is folded into ALMS_PER_ACC_VALUE
+    return tile * tile * ALMS_PER_ACC_VALUE + 400
+
+
+def staging_alms() -> int:
+    """One data-staging/control unit (post-split FSMs, Section IV-A)."""
+    return STAGING_FSM_STATES * ALMS_PER_FSM_STATE + ALMS_STAGING_DATAPATH
+
+
+def padpool_alms(tile: int, max_units: int = 4) -> int:
+    """One pad/pool unit (Fig. 5): MAX units + per-value output muxes."""
+    return (max_units * ALMS_PER_MAX_UNIT
+            + tile * tile * ALMS_PER_PADPOOL_MUX + ALMS_PADPOOL_CTRL)
+
+
+def bank_m20ks(capacity_bytes: int, tile: int) -> int:
+    """M20K blocks for one dual-port tile-wide SRAM bank."""
+    width_bits = tile * tile * 8
+    depth_words = capacity_bytes // (tile * tile)
+    width_blocks = -(-width_bits // M20K_WIDTH_BITS)
+    depth_segments = -(-depth_words // M20K_DEPTH)
+    return width_blocks * depth_segments
+
+
+def variant_area(variant: AcceleratorVariant,
+                 bank_capacity: int = DEFAULT_BANK_CAPACITY,
+                 tile: int = 4,
+                 device: FpgaDevice = ARRIA10_SX660) -> AreaReport:
+    """Full-variant area report (all instances plus system glue)."""
+    lanes = variant.lanes
+    group_size = variant.lanes if variant.lanes > 1 else 1
+    n = variant.instances
+    alms = {
+        "convolution": n * lanes * conv_unit_alms(group_size, tile),
+        "accumulator": n * lanes * accumulator_alms(lanes, tile),
+        "data-staging/control": n * lanes * staging_alms(),
+        "pad/pool": n * lanes * padpool_alms(tile),
+        "write-to-memory": n * lanes * ALMS_WRITEBACK_UNIT,
+        "dma+system": ALMS_SYSTEM,
+    }
+    mults = n * lanes * group_size * tile * tile
+    acc_values = n * lanes * tile * tile
+    dsps = {
+        "convolution": int(mults * DSPS_PER_MULT),
+        "accumulator": int(acc_values * DSPS_PER_ACC_VALUE),
+        "dma+system": DSPS_SYSTEM,
+    }
+    scratch_m20ks = n * lanes * 4   # packed-weight scratchpads per lane
+    m20ks = {
+        "sram-banks": n * lanes * bank_m20ks(bank_capacity, tile),
+        "scratchpads": scratch_m20ks,
+        "dma+system": 16,
+    }
+    return AreaReport(variant=variant.name, alms_by_module=alms,
+                      dsps_by_module=dsps, m20ks_by_module=m20ks,
+                      device=device)
+
+
+def fig6_breakdown(variant: AcceleratorVariant) -> dict[str, int]:
+    """Fig. 6: ALM usage by each unit of the accelerator."""
+    report = variant_area(variant)
+    return dict(report.alms_by_module)

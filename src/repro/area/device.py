@@ -1,0 +1,44 @@
+"""FPGA device resource inventories.
+
+The paper targets the mid-range Intel Arria 10 SX660 SoC and notes that
+the larger GT1150, "with nearly double the capacity", would allow
+further scale-out through software changes alone (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource counts of one FPGA device."""
+
+    name: str
+    alms: int
+    dsp_blocks: int
+    m20k_blocks: int
+
+    #: Bits per M20K block RAM.
+    M20K_BITS = 20_480
+
+    @property
+    def block_ram_bytes(self) -> int:
+        return self.m20k_blocks * self.M20K_BITS // 8
+
+
+#: The paper's target: Arria 10 SX660 SoC (with dual-core Cortex-A9 HPS).
+ARRIA10_SX660 = FpgaDevice(
+    name="Arria 10 SX660",
+    alms=251_680,
+    dsp_blocks=1_687,
+    m20k_blocks=2_133,
+)
+
+#: The scale-out target mentioned in Section V.
+ARRIA10_GT1150 = FpgaDevice(
+    name="Arria 10 GT1150",
+    alms=427_200,
+    dsp_blocks=1_518,
+    m20k_blocks=2_713,
+)

@@ -1,0 +1,235 @@
+"""Command-line interface: regenerate the paper's evaluation tables.
+
+Usage::
+
+    python -m repro fig6          # ALM breakdown + utilization
+    python -m repro fig7          # efficiency per variant
+    python -m repro fig8          # absolute GOPS per variant
+    python -m repro table1        # power consumption
+    python -m repro validate      # cycle model vs simulation
+    python -m repro layers        # per-layer GOPS (--variant 512-opt)
+    python -m repro latency       # end-to-end fps per variant
+    python -m repro explore       # design-space Pareto sweep
+    python -m repro program       # compiled schedule of the demo net
+    python -m repro all           # the evaluation tables in one go
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+
+from repro.area import fig6_breakdown, variant_area
+from repro.core import ALL_VARIANTS, VARIANT_256_OPT, VARIANT_512_OPT
+from repro.perf import evaluate_vgg16, validation_sweep
+from repro.power import variant_power
+
+
+@functools.lru_cache(maxsize=4)
+def _evaluations(seed: int):
+    evaluations = {}
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            evaluations[(variant.name, pruned)] = evaluate_vgg16(
+                variant, pruned=pruned, seed=seed)
+    return evaluations
+
+
+def cmd_fig6(_args) -> str:
+    breakdown = fig6_breakdown(VARIANT_256_OPT)
+    total = sum(breakdown.values())
+    lines = ["Fig. 6 - ALM usage by unit (256-opt)",
+             f"{'module':<24}{'ALMs':>10}{'share':>8}"]
+    for module, alms in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{module:<24}{alms:>10}{100 * alms / total:>7.1f}%")
+    lines.append("")
+    for variant in ALL_VARIANTS:
+        report = variant_area(variant)
+        lines.append(
+            f"{variant.name:<12} ALM {100 * report.alm_utilization:3.0f}%  "
+            f"DSP {100 * report.dsp_utilization:3.0f}%  "
+            f"RAM {100 * report.ram_utilization:3.0f}%")
+    return "\n".join(lines)
+
+
+def cmd_fig7(args) -> str:
+    evaluations = _evaluations(args.seed)
+    lines = ["Fig. 7 - efficiency vs ideal (best/worst/mean; ideal=1.00)",
+             f"{'variant':<12}{'model':<10}{'best':>7}{'worst':>7}"
+             f"{'mean':>7}"]
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            ev = evaluations[(variant.name, pruned)]
+            lines.append(
+                f"{variant.name:<12}{ev.model:<10}"
+                f"{ev.best_efficiency:>7.2f}{ev.worst_efficiency:>7.2f}"
+                f"{ev.mean_efficiency:>7.2f}")
+    return "\n".join(lines)
+
+
+def cmd_fig8(args) -> str:
+    evaluations = _evaluations(args.seed)
+    lines = ["Fig. 8 - absolute GOPS (MAC-ops/s)",
+             f"{'variant':<12}{'model':<10}{'mean':>8}{'best':>8}"
+             f"{'peak':>8}"]
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            ev = evaluations[(variant.name, pruned)]
+            lines.append(
+                f"{variant.name:<12}{ev.model:<10}{ev.mean_gops:>8.1f}"
+                f"{ev.best_gops:>8.1f}{ev.peak_effective_gops:>8.1f}")
+    lines.append("paper 512-opt: 39.5/61 unpruned, 53.3/138 pruned "
+                 "(mean/peak)")
+    return "\n".join(lines)
+
+
+def cmd_table1(args) -> str:
+    evaluations = _evaluations(args.seed)
+    lines = ["Table I - power consumption",
+             f"{'variant':<16}{'peak mW (dyn)':>16}{'GOPS/W':>8}"
+             f"{'GOPS/W peak':>13}"]
+    for variant in (VARIANT_256_OPT, VARIANT_512_OPT):
+        power = variant_power(variant)
+        pruned = evaluations[(variant.name, True)]
+        lines.append(
+            f"{variant.name + ' (FPGA)':<16}"
+            f"{power.fpga_mw:>9.0f} ({power.dynamic_mw:.0f})"
+            f"{power.gops_per_watt(pruned.mean_gops):>8.1f}"
+            f"{power.gops_per_watt(pruned.peak_effective_gops):>13.1f}")
+        lines.append(
+            f"{variant.name + ' (Board)':<16}{power.board_mw:>15.0f}"
+            f"{power.gops_per_watt(pruned.mean_gops, board=True):>8.1f}"
+            f"{power.gops_per_watt(pruned.peak_effective_gops, board=True):>13.1f}")
+    return "\n".join(lines)
+
+
+def cmd_validate(args) -> str:
+    results = validation_sweep(list(range(args.cases)))
+    lines = ["Cycle model vs cycle-accurate simulation",
+             f"{'case':>5}{'sim':>8}{'model':>8}{'error':>8}{'exact':>7}"]
+    for i, result in enumerate(results):
+        lines.append(f"{i:>5}{result.sim_cycles:>8}"
+                     f"{result.model_cycles:>8}"
+                     f"{100 * result.relative_error:>7.2f}%"
+                     f"{str(result.functional_match):>7}")
+    worst = max(r.relative_error for r in results)
+    lines.append(f"worst error {100 * worst:.2f}%; all bit-exact: "
+                 f"{all(r.functional_match for r in results)}")
+    return "\n".join(lines)
+
+
+def cmd_layers(args) -> str:
+    from repro.core import variant_by_name
+    variant = variant_by_name(args.variant)
+    lines = []
+    for pruned in (False, True):
+        ev = _evaluations(args.seed)[(variant.name, pruned)]
+        lines.append(f"{variant.name} / {ev.model}: per-layer breakdown")
+        lines.append(f"{'layer':<10}{'GOPS':>8}{'eff':>7}{'overhead':>10}"
+                     f"{'cycles':>12}")
+        for layer in ev.layers:
+            lines.append(
+                f"{layer.name:<10}{layer.gops:>8.1f}"
+                f"{layer.efficiency:>7.2f}"
+                f"{100 * layer.overhead_fraction:>9.1f}%"
+                f"{layer.cycles:>12}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def cmd_latency(args) -> str:
+    from repro.core import ALL_VARIANTS as variants
+    from repro.perf import vgg16_latency
+    lines = ["End-to-end VGG-16 latency (conv + pad/pool + ARM FC)",
+             f"{'variant':<12}{'model':<10}{'total ms':>10}{'fps':>7}"
+             f"{'conv share':>12}"]
+    for variant in variants:
+        for pruned in (False, True):
+            lat = vgg16_latency(variant, pruned=pruned, seed=args.seed)
+            lines.append(
+                f"{lat.variant:<12}{lat.model:<10}"
+                f"{1000 * lat.total_s:>10.1f}{lat.fps:>7.2f}"
+                f"{100 * lat.conv_share:>11.0f}%")
+    return "\n".join(lines)
+
+
+def cmd_explore(args) -> str:
+    from repro.perf import explore, pareto_frontier, vgg16_model_layers
+    layers = vgg16_model_layers(pruned=False, seed=args.seed)
+    points = explore(layers)
+    frontier = {p.name for p in pareto_frontier(points)}
+    lines = ["Design-space exploration (VGG-16, unpruned)",
+             f"{'design':<20}{'clock':>8}{'ALM':>6}{'power':>8}"
+             f"{'GOPS':>7}{'GOPS/W':>8}{'pareto':>8}"]
+    for point in sorted(points, key=lambda p: p.mean_gops):
+        lines.append(
+            f"{point.name:<20}{point.clock_mhz:>5.0f}MHz"
+            f"{100 * point.alm_utilization:>5.0f}%"
+            f"{point.fpga_power_w:>7.2f}W{point.mean_gops:>7.1f}"
+            f"{point.gops_per_watt:>8.1f}"
+            f"{'*' if point.name in frontier else '':>8}")
+    return "\n".join(lines)
+
+
+def cmd_program(args) -> str:
+    """Compile the CIFAR-scale demo network and print its program."""
+    from repro.nn import (build_cifar_quicknet, generate_image,
+                          generate_weights)
+    from repro.quant import quantize_network
+    from repro.soc import CompileConfig, compile_network
+    network = build_cifar_quicknet()
+    weights, biases = generate_weights(network, seed=args.seed)
+    image = generate_image((3, 32, 32), seed=args.seed)
+    model = quantize_network(network, weights, biases, image)
+    # 128 KiB banks: the deepest quicknet layer's packed stream (~75 KiB
+    # per unit) stays resident — the driver does not window weights.
+    program = compile_network(network, model,
+                              CompileConfig(bank_capacity=1 << 17))
+    return program.listing()
+
+
+def cmd_all(args) -> str:
+    return "\n\n".join([cmd_fig6(args), cmd_fig7(args), cmd_fig8(args),
+                        cmd_table1(args), cmd_validate(args),
+                        cmd_latency(args), cmd_explore(args)])
+
+
+COMMANDS = {
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "table1": cmd_table1,
+    "validate": cmd_validate,
+    "layers": cmd_layers,
+    "latency": cmd_latency,
+    "explore": cmd_explore,
+    "program": cmd_program,
+    "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the SOCC'17 accelerator paper's "
+                    "evaluation tables.")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="synthetic-model seed (default 0)")
+    parser.add_argument("--cases", type=int, default=8,
+                        help="validation cases (validate command)")
+    parser.add_argument("--variant", default="512-opt",
+                        help="variant for the layers command")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The accelerator core: tiling, packing, kernels, assembled instances."""
+
+from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
+                                    ConvSetup, execute_concurrent,
+                                    execute_conv, execute_padpool,
+                                    prepare_conv)
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction, PositionMeta)
+from repro.core.packing import (PackedEntry, PackedLayer, out_groups,
+                                parse_tile_entries, parse_unit_stream,
+                                serialize_unit_stream, unit_channels,
+                                unit_group_stream_bytes)
+from repro.core.padpool import MAX_UNITS, compute_padpool_tile
+from repro.core.pool_plan import (compose, execute_pool_general,
+                                  plan_pool_decomposition)
+from repro.core.sram import (DEFAULT_BANK_CAPACITY, SramBank, SramStats,
+                             make_banks)
+from repro.core.staging import MIN_CYCLES_PER_WEIGHT_TILE
+from repro.core.tile import (TILE, flatten_tiled, from_tiles, pad_to_tiles,
+                             tile_index, tiles_along, to_tiles,
+                             unflatten_tiled)
+from repro.core.variants import (ALL_VARIANTS, AcceleratorVariant,
+                                 VARIANT_16_UNOPT, VARIANT_256_OPT,
+                                 VARIANT_256_UNOPT, VARIANT_512_OPT,
+                                 variant_by_name)
+
+__all__ = [
+    "AcceleratorConfig", "AcceleratorInstance", "ConvSetup",
+    "execute_concurrent", "execute_conv", "execute_padpool",
+    "prepare_conv",
+    "ConvInstruction", "Opcode", "PadPoolInstruction", "PositionMeta",
+    "PackedEntry", "PackedLayer", "out_groups", "parse_tile_entries",
+    "parse_unit_stream",
+    "serialize_unit_stream", "unit_channels", "unit_group_stream_bytes",
+    "MAX_UNITS", "compute_padpool_tile",
+    "compose", "execute_pool_general", "plan_pool_decomposition",
+    "DEFAULT_BANK_CAPACITY", "SramBank", "SramStats", "make_banks",
+    "MIN_CYCLES_PER_WEIGHT_TILE",
+    "TILE", "flatten_tiled", "from_tiles", "pad_to_tiles", "tile_index",
+    "tiles_along", "to_tiles", "unflatten_tiled",
+    "ALL_VARIANTS", "AcceleratorVariant", "VARIANT_16_UNOPT",
+    "VARIANT_256_OPT", "VARIANT_256_UNOPT", "VARIANT_512_OPT",
+    "variant_by_name",
+]

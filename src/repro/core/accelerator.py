@@ -1,0 +1,398 @@
+"""Accelerator assembly (Fig. 3): 20 streaming kernels + 4 SRAM banks.
+
+One accelerator instance comprises four lanes, each with a
+data-staging/control unit, a convolution unit, an accumulator unit, a
+pad/pool unit and a write-to-memory unit — "4 instances of 5 different
+compute units: 20 units (threads) in total" — interconnected by FIFO
+queues and synchronized by a Pthreads barrier.
+
+This module also provides the behavioural host helpers (load feature
+maps / packed weights into the banks, issue instructions, read results
+back) used by tests, examples and the SoC driver. A convenient
+architectural property of the layout: a convolution's OFM (channel
+``4g + j`` written by accumulator ``j`` to bank ``j`` at local index
+``g``) lands in exactly the interleaved channel placement (channel
+``c`` in bank ``c mod 4`` at local index ``c // 4``) that the next
+layer's staging units expect, so no reshuffle is needed between layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accumulator import accumulator_kernel
+from repro.core.conv_unit import conv_unit_kernel
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction)
+from repro.core.packing import (PackedLayer, serialize_unit_stream,
+                                unit_channels)
+from repro.core.padpool import padpool_kernel
+from repro.core.sram import SramBank, make_banks
+from repro.core.staging import staging_kernel
+from repro.core.tile import TILE, tiles_along, to_tiles
+from repro.core.writeback import writeback_kernel
+from repro.hls.kernel import Tick
+from repro.hls.sim import Simulator
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Structural parameters of one accelerator instance."""
+
+    tile: int = TILE
+    lanes: int = 4
+    bank_capacity: int = 1 << 16   # values per bank
+    queue_depth: int = 2
+    acc_queue_depth: int = 8
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiplies per cycle of this instance.
+
+        Each of the ``lanes`` convolution units applies ``lanes``
+        weights (one per concurrently-computed filter) to a
+        ``tile x tile`` region every cycle: 4 x 4 x 16 = 256 in the
+        paper's configuration.
+        """
+        return self.lanes * self.lanes * self.tile * self.tile
+
+
+class AcceleratorInstance:
+    """One synthesized accelerator: banks, queues and 20 kernels."""
+
+    def __init__(self, sim: Simulator, config: AcceleratorConfig | None = None,
+                 name: str = "acc"):
+        self.sim = sim
+        self.config = config or AcceleratorConfig()
+        self.name = name
+        cfg = self.config
+        self.banks: list[SramBank] = make_banks(
+            cfg.lanes, cfg.bank_capacity, cfg.tile, prefix=f"{name}.bank")
+        self.barrier = sim.barrier(f"{name}.barrier", parties=cfg.lanes)
+        self.instr_qs = [sim.fifo(f"{name}.instr{u}", depth=2)
+                         for u in range(cfg.lanes)]
+        self.done_q = sim.fifo(f"{name}.done", depth=2 * cfg.lanes)
+        self.conv_qs = [sim.fifo(f"{name}.stage{u}.conv", cfg.queue_depth)
+                        for u in range(cfg.lanes)]
+        self.padpool_qs = [sim.fifo(f"{name}.stage{u}.pp", cfg.queue_depth)
+                           for u in range(cfg.lanes)]
+        # acc_qs[u][j]: convolution unit u -> accumulator j.
+        self.acc_qs = [[sim.fifo(f"{name}.conv{u}.acc{j}",
+                                 cfg.acc_queue_depth)
+                        for j in range(cfg.lanes)]
+                       for u in range(cfg.lanes)]
+        self.writeback_qs = [sim.fifo(f"{name}.wb{j}", cfg.queue_depth)
+                             for j in range(cfg.lanes)]
+        for u in range(cfg.lanes):
+            sim.add_kernel(
+                f"{name}.staging{u}",
+                staging_kernel(u, self.banks[u], self.instr_qs[u],
+                               self.conv_qs[u], self.padpool_qs[u],
+                               self.done_q, self.barrier,
+                               lanes=cfg.lanes, tile=cfg.tile),
+                fsm_states=180, ii=1)
+            sim.add_kernel(
+                f"{name}.conv{u}",
+                conv_unit_kernel(u, self.conv_qs[u],
+                                 [self.acc_qs[u][j] for j in range(cfg.lanes)],
+                                 tile=cfg.tile),
+                fsm_states=12, ii=1)
+            sim.add_kernel(
+                f"{name}.accum{u}",
+                accumulator_kernel(u,
+                                   [self.acc_qs[v][u]
+                                    for v in range(cfg.lanes)],
+                                   self.writeback_qs[u], tile=cfg.tile),
+                fsm_states=10, ii=1)
+            sim.add_kernel(
+                f"{name}.padpool{u}",
+                padpool_kernel(u, self.padpool_qs[u], self.writeback_qs[u],
+                               tile=cfg.tile),
+                fsm_states=8, ii=1)
+            sim.add_kernel(
+                f"{name}.writeback{u}",
+                writeback_kernel(u, self.writeback_qs[u], self.banks[u]),
+                fsm_states=4, ii=1)
+        self._exec_count = 0
+
+    # -- host-side data movement (behavioural DMA) -------------------------------
+
+    @property
+    def word_values(self) -> int:
+        return self.config.tile * self.config.tile
+
+    def load_fm(self, fm_q: np.ndarray, base_tile_addr: int
+                ) -> tuple[int, int]:
+        """Load a CHW integer feature map, channel-interleaved across banks.
+
+        Channel ``c`` goes to bank ``c mod lanes`` at local index
+        ``c // lanes``; each channel's tiles are stored row-major from
+        ``base_tile_addr``. Returns the tile-grid dimensions (TY, TX).
+        """
+        cfg = self.config
+        tiles = to_tiles(np.asarray(fm_q, dtype=np.int16), cfg.tile)
+        channels, tiles_y, tiles_x = tiles.shape[:3]
+        per_channel = tiles_y * tiles_x
+        for c in range(channels):
+            bank = self.banks[c % cfg.lanes]
+            local = c // cfg.lanes
+            start = (base_tile_addr + local * per_channel) * self.word_values
+            bank.dma_write(start, tiles[c].reshape(-1))
+        return tiles_y, tiles_x
+
+    def read_fm(self, base_tile_addr: int, channels: int, height: int,
+                width: int) -> np.ndarray:
+        """Read back a CHW feature map stored by :meth:`load_fm` layout."""
+        cfg = self.config
+        tiles_y = tiles_along(height, cfg.tile)
+        tiles_x = tiles_along(width, cfg.tile)
+        per_channel = tiles_y * tiles_x
+        fm = np.zeros((channels, tiles_y * cfg.tile, tiles_x * cfg.tile),
+                      dtype=np.int16)
+        for c in range(channels):
+            bank = self.banks[c % cfg.lanes]
+            local = c // cfg.lanes
+            start = (base_tile_addr + local * per_channel) * self.word_values
+            flat = bank.dma_read(start, per_channel * self.word_values)
+            shaped = flat.reshape(tiles_y, tiles_x, cfg.tile, cfg.tile)
+            fm[c] = shaped.transpose(0, 2, 1, 3).reshape(
+                tiles_y * cfg.tile, tiles_x * cfg.tile)
+        return fm[:, :height, :width]
+
+    def load_packed_weights(self, packed: PackedLayer, base_value_addr: int,
+                            compact: bool = False) -> list[int]:
+        """Write each unit's packed stream into its bank; return lengths."""
+        lengths = []
+        for unit in range(self.config.lanes):
+            stream = serialize_unit_stream(packed, unit,
+                                           lanes=self.config.lanes,
+                                           group_size=self.config.lanes,
+                                           compact=compact)
+            self.banks[unit].dma_write(base_value_addr, stream)
+            lengths.append(int(stream.size))
+        return lengths
+
+    # -- instruction execution --------------------------------------------------
+
+    def execute(self, per_unit_instrs: list, max_cycles: int = 10_000_000,
+                expected_tiles: int | None = None) -> int:
+        """Issue one instruction per staging unit and run to completion.
+
+        A transient "ARM host" kernel writes the instructions into the
+        per-unit queues, collects the done tokens and — when
+        ``expected_tiles`` is given — polls the banks' write counters
+        (the status-register analogue) until every OFM tile has landed,
+        covering the accumulator/write-back drain after the staging
+        units finish. Returns elapsed cycles.
+        """
+        cfg = self.config
+        if len(per_unit_instrs) != cfg.lanes:
+            raise ValueError(
+                f"need {cfg.lanes} instructions (None allowed), got "
+                f"{len(per_unit_instrs)}")
+        finished: list[bool] = []
+        expected = sum(1 for instr in per_unit_instrs if instr is not None)
+        if expected == 0:
+            return 0
+        instance = self
+        write_target = None
+        if expected_tiles is not None:
+            write_target = expected_tiles + sum(
+                bank.stats.tile_writes for bank in self.banks)
+
+        def host_body():
+            for unit, instr in enumerate(per_unit_instrs):
+                if instr is not None:
+                    yield instance.instr_qs[unit].write(instr)
+            yield Tick(1)
+            for _ in range(expected):
+                yield instance.done_q.read()
+            if write_target is not None:
+                while sum(bank.stats.tile_writes
+                          for bank in instance.banks) < write_target:
+                    yield Tick(1)
+            finished.append(True)
+
+        self._exec_count += 1
+        self.sim.add_kernel(f"{self.name}.host{self._exec_count}",
+                            host_body())
+        start = self.sim.now
+        self.sim.run(max_cycles=max_cycles, until=lambda: bool(finished))
+        return self.sim.now - start
+
+    def hls_report(self):
+        """Convenience: synthesis-style report of this instance's design."""
+        from repro.hls.report import HlsReport
+        return HlsReport.from_simulator(self.sim)
+
+
+# -- single-layer convenience drivers (tests, examples, validation) ----------------
+
+
+@dataclass(frozen=True)
+class ConvSetup:
+    """A convolution staged into an instance's banks, ready to issue."""
+
+    instance: AcceleratorInstance
+    instructions: list
+    ofm_base: int
+    out_channels: int
+    out_h: int
+    out_w: int
+    expected_tiles: int
+
+    def read_ofm(self) -> np.ndarray:
+        return self.instance.read_fm(self.ofm_base, self.out_channels,
+                                     self.out_h, self.out_w)
+
+
+def prepare_conv(instance: AcceleratorInstance, ifm_q: np.ndarray,
+                 packed: PackedLayer, biases: np.ndarray | None = None,
+                 shift: int = 0, apply_relu: bool = False,
+                 compact_weights: bool = False) -> ConvSetup:
+    """Stage one convolution: load IFM + weights, build instructions.
+
+    Separated from execution so multiple instances can be staged and
+    then run *concurrently* in one simulator (the 512-opt pattern).
+    ``compact_weights`` selects the nibble-packed stream format.
+    """
+    cfg = instance.config
+    channels, height, width = ifm_q.shape
+    if channels != packed.in_channels:
+        raise ValueError(
+            f"IFM has {channels} channels, packed weights expect "
+            f"{packed.in_channels}")
+    kernel = packed.kernel
+    out_h, out_w = height - kernel + 1, width - kernel + 1
+    tiles_y, tiles_x = instance.load_fm(ifm_q, base_tile_addr=0)
+    out_ty = tiles_along(out_h, cfg.tile)
+    out_tx = tiles_along(out_w, cfg.tile)
+    groups = -(-packed.out_channels // cfg.lanes)
+    max_local = -(-channels // cfg.lanes)
+    ofm_base = max_local * tiles_y * tiles_x
+    weight_base = (ofm_base + groups * out_ty * out_tx) * instance.word_values
+    lengths = instance.load_packed_weights(packed, weight_base,
+                                           compact=compact_weights)
+    bias_tuple = ()
+    if biases is not None:
+        bias_tuple = tuple(int(b) for b in np.asarray(biases).reshape(-1))
+    instrs = []
+    for unit in range(cfg.lanes):
+        locals_here = len(unit_channels(channels, unit, cfg.lanes))
+        instrs.append(ConvInstruction(
+            instr_id=instance._exec_count + 1,
+            ifm_base=0, ifm_tiles_y=tiles_y, ifm_tiles_x=tiles_x,
+            local_channels=locals_here,
+            ofm_base=ofm_base, ofm_tiles_y=out_ty, ofm_tiles_x=out_tx,
+            out_channels=packed.out_channels,
+            weight_base=weight_base, weight_bytes=lengths[unit],
+            shift=shift, apply_relu=apply_relu,
+            biases=bias_tuple if unit == 0 else (),
+            compact_weights=compact_weights))
+    return ConvSetup(instance=instance, instructions=instrs,
+                     ofm_base=ofm_base, out_channels=packed.out_channels,
+                     out_h=out_h, out_w=out_w,
+                     expected_tiles=groups * out_ty * out_tx * cfg.lanes)
+
+
+def execute_conv(instance: AcceleratorInstance, ifm_q: np.ndarray,
+                 packed: PackedLayer, biases: np.ndarray | None = None,
+                 shift: int = 0, apply_relu: bool = False,
+                 compact_weights: bool = False) -> tuple[np.ndarray, int]:
+    """Run one full convolution layer (pre-padded input) on the instance.
+
+    ``ifm_q`` is the quantized CHW input (valid convolution — apply the
+    padding instruction first, as the real system does). Returns the
+    quantized OFM and the elapsed cycles.
+    """
+    setup = prepare_conv(instance, ifm_q, packed, biases=biases,
+                         shift=shift, apply_relu=apply_relu,
+                         compact_weights=compact_weights)
+    cycles = instance.execute(setup.instructions,
+                              expected_tiles=setup.expected_tiles)
+    return setup.read_ofm(), cycles
+
+
+def execute_concurrent(setups: list[ConvSetup],
+                       max_cycles: int = 10_000_000) -> int:
+    """Run staged convolutions on several instances *simultaneously*.
+
+    All instances must share one simulator; a single host kernel issues
+    every instruction, then waits for all done tokens and all OFM tile
+    writes — modelling the 512-opt system where two accelerators work
+    on separate stripes concurrently. Returns wall cycles.
+    """
+    if not setups:
+        return 0
+    sim = setups[0].instance.sim
+    if any(s.instance.sim is not sim for s in setups):
+        raise ValueError("concurrent instances must share one simulator")
+    finished: list[bool] = []
+    expected_done = sum(
+        sum(1 for instr in s.instructions if instr is not None)
+        for s in setups)
+    write_targets = [
+        s.expected_tiles + sum(b.stats.tile_writes
+                               for b in s.instance.banks)
+        for s in setups]
+
+    def host_body():
+        for s in setups:
+            for unit, instr in enumerate(s.instructions):
+                if instr is not None:
+                    yield s.instance.instr_qs[unit].write(instr)
+        yield Tick(1)
+        remaining = {id(s): target
+                     for s, target in zip(setups, write_targets)}
+        collected = 0
+        while collected < expected_done:
+            for s in setups:
+                if s.instance.done_q.can_pop(sim.now):
+                    yield s.instance.done_q.read()
+                    collected += 1
+            yield Tick(1)
+        while any(sum(b.stats.tile_writes for b in s.instance.banks)
+                  < remaining[id(s)] for s in setups):
+            yield Tick(1)
+        finished.append(True)
+
+    sim.add_kernel(f"concurrent-host-{sim.now}", host_body())
+    start = sim.now
+    sim.run(max_cycles=max_cycles, until=lambda: bool(finished))
+    return sim.now - start
+
+
+def execute_padpool(instance: AcceleratorInstance, ifm_q: np.ndarray,
+                    opcode: Opcode, pad: int = 0, win: int = 2,
+                    stride: int = 2) -> tuple[np.ndarray, int]:
+    """Run one padding or max-pooling layer on the instance."""
+    cfg = instance.config
+    channels, height, width = ifm_q.shape
+    if opcode is Opcode.PAD:
+        out_h, out_w = height + 2 * pad, width + 2 * pad
+    elif opcode is Opcode.POOL:
+        out_h = (height - win) // stride + 1
+        out_w = (width - win) // stride + 1
+    else:
+        raise ValueError(f"execute_padpool cannot run {opcode}")
+    tiles_y, tiles_x = instance.load_fm(ifm_q, base_tile_addr=0)
+    out_ty = tiles_along(out_h, cfg.tile)
+    out_tx = tiles_along(out_w, cfg.tile)
+    max_local = -(-channels // cfg.lanes)
+    ofm_base = max_local * tiles_y * tiles_x
+    instrs = []
+    for unit in range(cfg.lanes):
+        locals_here = len(unit_channels(channels, unit, cfg.lanes))
+        instrs.append(PadPoolInstruction(
+            instr_id=instance._exec_count + 1, opcode=opcode,
+            ifm_base=0, ifm_tiles_y=tiles_y, ifm_tiles_x=tiles_x,
+            local_channels=locals_here,
+            ofm_base=ofm_base, ofm_tiles_y=out_ty, ofm_tiles_x=out_tx,
+            pad=pad, win=win, stride=stride,
+            ifm_height=height, ifm_width=width))
+    cycles = instance.execute(instrs,
+                              expected_tiles=channels * out_ty * out_tx)
+    ofm = instance.read_fm(ofm_base, channels, out_h, out_w)
+    return ofm, cycles

@@ -1,0 +1,69 @@
+"""Accumulator units: output-stationary OFM-tile accumulation.
+
+Each accumulator unit maintains the 16 values of one OFM tile
+(Section III-A) in wide registers, summing 4x4 product tiles from all
+four convolution units. OFM tiles are computed to completion without
+intermediate swap-out — the output-stationary style that "keeps a
+fixed datapath width and does not compromise accuracy by rounding
+partial sums" (Section III-B). Only when a tile completes does the
+unit requantize: add bias, arithmetic-shift with rounding, optional
+ReLU, saturate to the 8-bit sign-magnitude range, and forward the tile
+to its write-to-memory unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instructions import PositionMeta
+from repro.hls.fifo import PthreadFifo
+from repro.hls.kernel import Tick
+from repro.quant.signmag import saturate_array, shift_round_array
+
+
+def accumulator_kernel(index: int, in_qs: list[PthreadFifo],
+                       writeback_q: PthreadFifo, tile: int = 4):
+    """Generator body of accumulator ``index`` (one OFM of the group).
+
+    ``in_qs[u]`` carries messages from convolution unit ``u``. Each
+    unit's stream per tile position is ``start, mac..., finish``; the
+    streams are consumed independently (the units run at different
+    rates when their channel quarters have different non-zero counts)
+    and the tile completes when all four have finished — the hardware
+    analogue of the Pthreads barrier on the staging side.
+    """
+    while True:
+        acc = np.zeros((tile, tile), dtype=np.int64)
+        finished = [False] * len(in_qs)
+        meta: PositionMeta | None = None
+        started = False
+        while not all(finished):
+            for unit, in_q in enumerate(in_qs):
+                if finished[unit]:
+                    continue
+                msg = yield in_q.read()
+                kind = msg[0]
+                if kind == "start":
+                    started = True
+                    if msg[2] is not None:
+                        meta = msg[2]
+                elif kind == "mac":
+                    products = msg[2]
+                    if products is not None:
+                        acc += products
+                elif kind == "finish":
+                    finished[unit] = True
+                else:
+                    raise TypeError(
+                        f"accumulator {index}: bad message {kind!r}")
+            yield Tick(1)
+        if not started or meta is None:
+            raise RuntimeError(
+                f"accumulator {index}: position completed without metadata")
+        value = acc + meta.biases[index]
+        out = shift_round_array(value, meta.shift)
+        if meta.apply_relu:
+            out = np.maximum(out, 0)
+        out = saturate_array(out).astype(np.int16)
+        yield writeback_q.write((meta.ofm_addr, out))
+        yield Tick(1)

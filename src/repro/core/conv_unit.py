@@ -1,0 +1,60 @@
+"""Convolution units (Fig. 4b): data steering + 64 multiplies per cycle.
+
+Each convolution unit receives, every cycle, four packed weights (one
+per concurrently-computed filter) with their intra-tile offsets, plus —
+latched at channel boundaries — the 8x8 IFM region assembled from four
+contiguous tiles. A weight at intra-tile offset ``(oy, ox)`` multiplies
+the 4x4 region ``region[oy:oy+4, ox:ox+4]`` (the dotted rectangle of
+Fig. 4a), producing 16 products that stream to the filter's
+accumulator unit. A zero weight is a pipeline bubble: the slot is
+forwarded empty so the accumulators stay in lock-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hls.fifo import PthreadFifo
+from repro.hls.kernel import Tick
+
+
+def conv_unit_kernel(unit: int, in_q: PthreadFifo,
+                     acc_qs: list[PthreadFifo], tile: int = 4):
+    """Generator body of one convolution unit.
+
+    ``acc_qs[j]`` is this unit's queue toward accumulator ``j``; with
+    four filters per group, the unit performs up to
+    ``4 * tile * tile = 64`` multiplications per cycle.
+    """
+    region: np.ndarray | None = None
+    while True:
+        msg = yield in_q.read()
+        kind = msg[0]
+        if kind == "start":
+            meta = msg[1]
+            for acc_q in acc_qs:
+                yield acc_q.write(("start", unit, meta))
+            yield Tick(1)
+        elif kind == "mac":
+            _, new_region, weights, offsets = msg
+            if new_region is not None:
+                region = new_region
+            for j, acc_q in enumerate(acc_qs):
+                weight = weights[j]
+                if weight == 0:
+                    products = None  # bubble: zero weight skipped
+                else:
+                    if region is None:
+                        raise RuntimeError(
+                            f"conv unit {unit}: weight before region load")
+                    oy, ox = divmod(offsets[j], tile)
+                    window = region[oy:oy + tile, ox:ox + tile]
+                    products = window * int(weight)
+                yield acc_q.write(("mac", unit, products))
+            yield Tick(1)
+        elif kind == "finish":
+            for acc_q in acc_qs:
+                yield acc_q.write(("finish", unit))
+            yield Tick(1)
+        else:
+            raise TypeError(f"conv unit {unit}: bad message {kind!r}")

@@ -1,0 +1,129 @@
+"""Accelerator instructions (Fig. 3: "Instruction+Type, IFM Address,
+IFM Dim, IFM Depth, OFM Address").
+
+The ARM host issues one instruction per (layer, stripe) to each
+data-staging/control unit; the unit's FSM then iterates OFM groups,
+tile positions and input channels internally. Three instruction types
+exist, matching the paper: convolution, padding, and max-pooling.
+
+Biases, the requantization shift and the ReLU flag ride along with the
+convolution instruction (in hardware they are CSR writes preceding the
+instruction; carrying them here changes nothing observable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """The three instruction types of Fig. 3."""
+
+    CONV = "conv"
+    PAD = "pad"
+    POOL = "pool"
+
+
+@dataclass(frozen=True)
+class ConvInstruction:
+    """Convolution over one stripe, all OFM groups.
+
+    Addresses are bank-local: ``ifm_base``/``ofm_base`` are tile
+    addresses, ``weight_base`` is a value (byte) address of this unit's
+    packed weight stream. Each staging unit receives its own instance
+    (same geometry, different weight stream); only unit 0's instruction
+    carries the biases/shift/relu metadata the accumulators need.
+    """
+
+    instr_id: int
+    ifm_base: int
+    ifm_tiles_y: int
+    ifm_tiles_x: int
+    local_channels: int
+    ofm_base: int
+    ofm_tiles_y: int
+    ofm_tiles_x: int
+    out_channels: int
+    weight_base: int
+    weight_bytes: int
+    shift: int = 0
+    apply_relu: bool = False
+    biases: tuple[int, ...] = ()
+    #: Packed-weight stream format: False = (offset, weight) byte pairs,
+    #: True = nibble-packed offsets (1.5 bytes/non-zero; tile <= 4).
+    compact_weights: bool = False
+
+    opcode: Opcode = field(default=Opcode.CONV, init=False)
+
+    def __post_init__(self):
+        if self.ifm_tiles_y < 1 or self.ifm_tiles_x < 1:
+            raise ValueError(f"instr {self.instr_id}: empty IFM tile grid")
+        if self.ofm_tiles_y < 1 or self.ofm_tiles_x < 1:
+            raise ValueError(f"instr {self.instr_id}: empty OFM tile grid")
+        if self.local_channels < 0:
+            raise ValueError(f"instr {self.instr_id}: bad channel count")
+        if self.out_channels < 1:
+            raise ValueError(f"instr {self.instr_id}: no output channels")
+        if self.biases and len(self.biases) < self.out_channels:
+            raise ValueError(
+                f"instr {self.instr_id}: {len(self.biases)} biases for "
+                f"{self.out_channels} output channels")
+
+
+@dataclass(frozen=True)
+class PadPoolInstruction:
+    """Padding or max-pooling over one stripe of this unit's channels.
+
+    For ``PAD``, ``pad`` is the perimeter width (1..3 supported by the
+    4-tile staging window); the OFM grid covers the padded dimensions.
+    For ``POOL``, ``win``/``stride`` describe the pooling window
+    (win, stride <= 2 within one 4-tile window; VGG-16 needs 2/2).
+
+    ``ifm_height``/``ifm_width`` are the IFM's *true* extent (the
+    "IFM Dim" field of Fig. 3). Tiles are stored whole, so the values
+    beyond the extent in the last tile row/column are dead — and for a
+    padding instruction those dead values would land in valid output
+    positions. The staging unit masks them to zero using these fields.
+    A value of 0 means "the full tile grid is valid".
+    """
+
+    instr_id: int
+    opcode: Opcode
+    ifm_base: int
+    ifm_tiles_y: int
+    ifm_tiles_x: int
+    local_channels: int
+    ofm_base: int
+    ofm_tiles_y: int
+    ofm_tiles_x: int
+    pad: int = 0
+    win: int = 2
+    stride: int = 2
+    ifm_height: int = 0
+    ifm_width: int = 0
+
+    def __post_init__(self):
+        if self.opcode not in (Opcode.PAD, Opcode.POOL):
+            raise ValueError(f"instr {self.instr_id}: opcode {self.opcode}")
+        if self.opcode is Opcode.PAD and not 1 <= self.pad <= 3:
+            raise ValueError(
+                f"instr {self.instr_id}: pad {self.pad} outside 1..3 "
+                f"(one 4-tile staging window)")
+        if self.opcode is Opcode.POOL and not (
+                1 <= self.win <= 2 and 1 <= self.stride <= 2):
+            raise ValueError(
+                f"instr {self.instr_id}: pool win={self.win} "
+                f"stride={self.stride} outside the 4-tile window")
+        if self.local_channels < 0:
+            raise ValueError(f"instr {self.instr_id}: bad channel count")
+
+
+@dataclass(frozen=True)
+class PositionMeta:
+    """Per-tile-position metadata unit 0 forwards to the accumulators."""
+
+    ofm_addr: int            # destination tile address (same in each bank)
+    biases: tuple[int, int, int, int]
+    shift: int
+    apply_relu: bool

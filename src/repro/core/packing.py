@@ -1,0 +1,268 @@
+"""Offline zero-weight packing (Section III-B).
+
+"For a given neural network model, the non-zero weights and their
+intra-tile offsets are packed offline in advance in software. ...
+During inference, the accelerator receives the weight values and their
+intra-tile offsets in a packed format that is read directly into
+scratchpad memory. One non-zero weight is applied per clock cycle; no
+cycles are spent on weights having a value of 0."
+
+A *weight tile* is one kernel (e.g. 3x3) placed at its intra-tile
+offsets inside a ``tile x tile`` grid: kernel position ``(ky, kx)``
+has offset ``ky * tile + kx``. Packing keeps only non-zero weights as
+``(offset, sign-magnitude byte)`` pairs.
+
+The stream format consumed by a data-staging unit ``u`` is, per OFM
+group ``g``, per local input channel, per filter-in-group:
+``[count][offset, weight] * count`` — all single bytes. Its length is
+what the unit spends port-A cycles loading into scratchpad, which is
+exactly the "weight unpacking" overhead the paper observes growing for
+the deeper, weight-heavy layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tile import TILE
+from repro.nn.tensor import assert_ochw
+from repro.quant.signmag import MAX_MAG, decode, encode
+
+
+@dataclass(frozen=True)
+class PackedEntry:
+    """One non-zero weight and its intra-tile offset."""
+
+    offset: int   # ky * tile + kx, in [0, tile*tile)
+    weight: int   # non-zero, in [-127, 127]
+
+
+class PackedLayer:
+    """Packed weights of one convolution layer.
+
+    ``entries[o][c]`` is the packed list for the weight tile connecting
+    input channel ``c`` to output channel ``o``, in row-major kernel
+    order (deterministic, so hardware and model agree on cycle order).
+    """
+
+    def __init__(self, out_channels: int, in_channels: int, kernel: int,
+                 tile: int, entries: list[list[list[PackedEntry]]]):
+        self.out_channels = out_channels
+        self.in_channels = in_channels
+        self.kernel = kernel
+        self.tile = tile
+        self.entries = entries
+
+    @classmethod
+    def pack(cls, weights_q: np.ndarray, tile: int = TILE) -> "PackedLayer":
+        """Pack quantized OCHW weights (integers in [-127, 127])."""
+        assert_ochw(weights_q)
+        out_ch, in_ch, kernel_h, kernel_w = weights_q.shape
+        if kernel_h != kernel_w:
+            raise ValueError(f"kernels must be square, got {weights_q.shape}")
+        if kernel_h > tile:
+            raise ValueError(
+                f"kernel {kernel_h} exceeds tile {tile}; weight tiles "
+                f"cannot hold the filter")
+        weights_q = np.asarray(weights_q)
+        if weights_q.size and np.abs(weights_q).max() > MAX_MAG:
+            raise ValueError("weights exceed sign-magnitude range [-127,127]")
+        entries: list[list[list[PackedEntry]]] = []
+        for o in range(out_ch):
+            per_channel: list[list[PackedEntry]] = []
+            for c in range(in_ch):
+                tile_entries = [
+                    PackedEntry(ky * tile + kx, int(weights_q[o, c, ky, kx]))
+                    for ky in range(kernel_h)
+                    for kx in range(kernel_w)
+                    if weights_q[o, c, ky, kx] != 0
+                ]
+                per_channel.append(tile_entries)
+            entries.append(per_channel)
+        return cls(out_ch, in_ch, kernel_h, tile, entries)
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the dense OCHW integer weight tensor."""
+        dense = np.zeros((self.out_channels, self.in_channels,
+                          self.kernel, self.kernel), dtype=np.int16)
+        for o in range(self.out_channels):
+            for c in range(self.in_channels):
+                for entry in self.entries[o][c]:
+                    ky, kx = divmod(entry.offset, self.tile)
+                    dense[o, c, ky, kx] = entry.weight
+        return dense
+
+    # -- statistics the performance model consumes -----------------------------
+
+    def nnz_matrix(self) -> np.ndarray:
+        """(O, C) array of per-weight-tile non-zero counts."""
+        return np.array([[len(self.entries[o][c])
+                          for c in range(self.in_channels)]
+                         for o in range(self.out_channels)], dtype=np.int64)
+
+    @property
+    def total_nonzeros(self) -> int:
+        return int(self.nnz_matrix().sum())
+
+    @property
+    def density(self) -> float:
+        dense_count = (self.out_channels * self.in_channels
+                       * self.kernel * self.kernel)
+        return self.total_nonzeros / dense_count
+
+    def tile_entries(self, out_channel: int, in_channel: int
+                     ) -> list[PackedEntry]:
+        if out_channel >= self.out_channels:
+            return []  # group padding beyond the last real filter
+        return self.entries[out_channel][in_channel]
+
+
+def unit_channels(in_channels: int, unit: int, lanes: int = 4) -> list[int]:
+    """Input channels owned by data-staging unit ``unit``.
+
+    Channels are interleaved across banks (channel ``c`` lives in bank
+    ``c mod lanes``), so each unit manages one quarter of the IFMs
+    (Section III-B1).
+    """
+    if not 0 <= unit < lanes:
+        raise ValueError(f"unit {unit} outside [0, {lanes})")
+    return list(range(unit, in_channels, lanes))
+
+
+def out_groups(out_channels: int, group_size: int = 4) -> int:
+    """Number of concurrently-computed OFM groups."""
+    return -(-out_channels // group_size)
+
+
+def serialize_unit_stream(packed: PackedLayer, unit: int, lanes: int = 4,
+                          group_size: int = 4,
+                          compact: bool = False) -> np.ndarray:
+    """Byte stream for one staging unit's scratchpad loads.
+
+    Default layout: for each OFM group, for each of the unit's local
+    channels, for each of the ``group_size`` filters: a count byte
+    followed by ``count`` (offset, sign-magnitude weight) byte pairs —
+    two bytes per non-zero.
+
+    ``compact=True`` selects the nibble-packed format (in the spirit of
+    Deep Compression's final coding stage, paper ref [9]): the count
+    byte, then ``ceil(count / 2)`` bytes of 4-bit offsets (two per
+    byte, low nibble first), then ``count`` weight bytes — 1.5 bytes
+    per non-zero. Offsets fit a nibble only while ``tile <= 4``
+    (offsets 0..15), which is the paper's configuration.
+    """
+    if compact and packed.tile > 4:
+        raise ValueError(
+            f"compact encoding needs offsets < 16 (tile <= 4), "
+            f"tile is {packed.tile}")
+    stream: list[int] = []
+    for g in range(out_groups(packed.out_channels, group_size)):
+        for c in unit_channels(packed.in_channels, unit, lanes):
+            for j in range(group_size):
+                entries = packed.tile_entries(g * group_size + j, c)
+                stream.append(len(entries))
+                if compact:
+                    for first in range(0, len(entries), 2):
+                        low = entries[first].offset
+                        high = (entries[first + 1].offset
+                                if first + 1 < len(entries) else 0)
+                        stream.append((high << 4) | low)
+                    for entry in entries:
+                        stream.append(encode(entry.weight))
+                else:
+                    for entry in entries:
+                        stream.append(entry.offset)
+                        stream.append(encode(entry.weight))
+    return np.array(stream, dtype=np.int16)
+
+
+def parse_tile_entries(stream: np.ndarray, pos: int,
+                       compact: bool = False
+                       ) -> tuple[list[PackedEntry], int]:
+    """Parse one weight tile's packed entries starting at ``pos``.
+
+    Returns ``(entries, new_pos)``. Shared by the offline parser and
+    the staging unit's unpacker FSM so the two can never diverge.
+    """
+    count = int(stream[pos])
+    pos += 1
+    entries: list[PackedEntry] = []
+    if compact:
+        offset_bytes = (count + 1) // 2
+        offsets = []
+        for i in range(offset_bytes):
+            byte = int(stream[pos + i])
+            offsets.append(byte & 0xF)
+            offsets.append((byte >> 4) & 0xF)
+        pos += offset_bytes
+        for i in range(count):
+            entries.append(PackedEntry(offsets[i],
+                                       decode(int(stream[pos + i]))))
+        pos += count
+    else:
+        for _ in range(count):
+            entries.append(PackedEntry(int(stream[pos]),
+                                       decode(int(stream[pos + 1]))))
+            pos += 2
+    return entries, pos
+
+
+def parse_unit_stream(stream: np.ndarray, in_channels: int, out_channels: int,
+                      unit: int, lanes: int = 4, group_size: int = 4,
+                      compact: bool = False
+                      ) -> list[list[list[list[PackedEntry]]]]:
+    """Parse a unit stream back into ``[group][local_ch][filter]`` lists.
+
+    This is what the staging unit's unpacker FSM does with the bytes it
+    streamed into scratchpad.
+    """
+    stream = np.asarray(stream)
+    parsed: list[list[list[list[PackedEntry]]]] = []
+    pos = 0
+    channels = unit_channels(in_channels, unit, lanes)
+    for _ in range(out_groups(out_channels, group_size)):
+        group_lists: list[list[list[PackedEntry]]] = []
+        for _ in channels:
+            filter_lists: list[list[PackedEntry]] = []
+            for _ in range(group_size):
+                entries, pos = parse_tile_entries(stream, pos, compact)
+                filter_lists.append(entries)
+            group_lists.append(filter_lists)
+        parsed.append(group_lists)
+    if pos != stream.size:
+        raise ValueError(
+            f"stream has {stream.size - pos} trailing values after parse")
+    return parsed
+
+
+def unit_group_stream_bytes(packed: PackedLayer, lanes: int = 4,
+                            group_size: int = 4,
+                            compact: bool = False) -> np.ndarray:
+    """Stream length in bytes per (unit, group) — the unpack cost input.
+
+    Returns an array of shape ``(lanes, groups)``; entry ``[u, g]`` is
+    the number of bytes unit ``u`` loads for group ``g``:
+    ``group_size * local_channels`` count bytes plus two bytes per
+    non-zero entry (1.5 amortized with the compact nibble encoding).
+    """
+    nnz = packed.nnz_matrix()  # (O, C)
+    groups = out_groups(packed.out_channels, group_size)
+    sizes = np.zeros((lanes, groups), dtype=np.int64)
+    for unit in range(lanes):
+        channels = unit_channels(packed.in_channels, unit, lanes)
+        if not channels:
+            continue
+        for g in range(groups):
+            lo = g * group_size
+            hi = min(lo + group_size, packed.out_channels)
+            tile_counts = nnz[lo:hi, channels]
+            count_bytes = group_size * len(channels)
+            if compact:
+                entry_bytes = int(tile_counts.sum()
+                                  + ((tile_counts + 1) // 2).sum())
+            else:
+                entry_bytes = 2 * int(tile_counts.sum())
+            sizes[unit, g] = count_bytes + entry_bytes
+    return sizes

@@ -1,0 +1,58 @@
+"""Padding/max-pooling units (Fig. 5).
+
+Four MAX units select maxima from the staged IFM window; sixteen
+multiplexers route a MAX output (or the retained old value — unused in
+this flow) to each value of the OFM tile. With four MAX units, one
+16-value OFM tile takes four cycles, matching VGG-16's 2x2/stride-2
+pooling rate. Padding uses the same hardware with the MAX units
+"finding the maximum among a single value" (Section III-C).
+
+One instruction parameterization covers both operations: the OFM value
+``(y, x)`` is the max over the window
+``region[off_y + y*stride : +win, off_x + x*stride : +win]`` —
+``win = stride = 1`` with a non-zero offset realizes padding, and
+``win = stride = 2`` with offset 0 realizes VGG's pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hls.fifo import PthreadFifo
+from repro.hls.kernel import Tick
+
+#: MAX functional units per pad/pool unit (Section III-C: "four in this
+#: case, inspired by the needs of VGG-16").
+MAX_UNITS = 4
+
+
+def compute_padpool_tile(region: np.ndarray, off_y: int, off_x: int,
+                         win: int, stride: int, tile: int = 4) -> np.ndarray:
+    """Pure function: one OFM tile from a staged 8x8 region."""
+    out = np.zeros((tile, tile), dtype=np.int64)
+    for y in range(tile):
+        for x in range(tile):
+            y0 = off_y + y * stride
+            x0 = off_x + x * stride
+            window = region[y0:y0 + win, x0:x0 + win]
+            out[y, x] = int(window.max())
+    return out
+
+
+def padpool_kernel(index: int, in_q: PthreadFifo, writeback_q: PthreadFifo,
+                   tile: int = 4):
+    """Generator body of one pad/pool unit.
+
+    Each message carries a staged region plus the window
+    parameterization; the unit spends ``tile*tile / MAX_UNITS`` cycles
+    per tile (4 with the paper's sizing) and forwards the completed
+    tile to the write-to-memory unit.
+    """
+    del index  # units are identical; kept for naming symmetry
+    cycles_per_tile = max(1, (tile * tile) // MAX_UNITS)
+    while True:
+        region, off_y, off_x, win, stride, addr = yield in_q.read()
+        out = compute_padpool_tile(region, off_y, off_x, win, stride, tile)
+        yield Tick(cycles_per_tile - 1)
+        yield writeback_q.write((addr, out.astype(np.int16)))
+        yield Tick(1)

@@ -1,0 +1,93 @@
+"""Pooling decomposition: any window/stride from primitive instructions.
+
+Section III-C: "with just a few instructions, the padding/max-pooling
+unit is capable of realizing any padding/max-pooling layer (e.g. a
+variety of max-pooling region sizes or strides)." The unit's single
+instruction handles windows and strides up to 2 (one 4-tile staging
+window); larger poolings are *chains* of those primitives, because max
+composes:
+
+    applying (w2, s2) after (w1, s1)  ==  (w1 + (w2-1)*s1,  s1*s2)
+
+So 4x4/stride-4 is two 2x2/2 passes, 3x3/1 is two 2x2/1 passes, and
+4x4/2 is 2x2/1 -> 2x2/1 -> ... found here by breadth-first search over
+primitive sequences. Strides must be powers of two (products of 1s and
+2s); any window >= stride within reach of a short chain is supported.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.accelerator import AcceleratorInstance, execute_padpool
+from repro.core.instructions import Opcode
+
+#: Primitive (window, stride) pairs one instruction can realize
+#: (win, stride <= 2 within the 4-tile staging window).
+PRIMITIVES: tuple[tuple[int, int], ...] = ((2, 1), (2, 2), (1, 2))
+
+
+def compose(first: tuple[int, int], second: tuple[int, int]
+            ) -> tuple[int, int]:
+    """Effective (window, stride) of applying ``second`` after ``first``."""
+    w1, s1 = first
+    w2, s2 = second
+    return (w1 + (w2 - 1) * s1, s1 * s2)
+
+
+def plan_pool_decomposition(win: int, stride: int,
+                            max_steps: int = 6) -> list[tuple[int, int]]:
+    """Shortest primitive chain realizing ``win`` x ``win`` / ``stride``.
+
+    Raises ``ValueError`` when no chain of at most ``max_steps``
+    primitives exists (e.g. odd strides > 1, or windows smaller than
+    the stride).
+    """
+    if win < 1 or stride < 1:
+        raise ValueError(f"bad pooling ({win}, {stride})")
+    target = (win, stride)
+    if target == (1, 1):
+        return []
+    if win <= 2 and stride <= 2:
+        return [target]
+    queue: deque[tuple[tuple[int, int], list[tuple[int, int]]]] = deque()
+    queue.append(((1, 1), []))
+    seen = {(1, 1)}
+    while queue:
+        state, path = queue.popleft()
+        if len(path) >= max_steps:
+            continue
+        for primitive in PRIMITIVES:
+            new_state = compose(state, primitive)
+            if new_state == target:
+                return path + [primitive]
+            if (new_state in seen or new_state[0] > win
+                    or new_state[1] > stride):
+                continue
+            seen.add(new_state)
+            queue.append((new_state, path + [primitive]))
+    raise ValueError(
+        f"no decomposition of ({win}, {stride}) within {max_steps} "
+        f"primitive instructions (strides must be powers of two)")
+
+
+def execute_pool_general(instance: AcceleratorInstance, ifm_q: np.ndarray,
+                         win: int, stride: int
+                         ) -> tuple[np.ndarray, int, list[tuple[int, int]]]:
+    """Run an arbitrary max-pooling as a chain of primitive instructions.
+
+    Returns ``(ofm, total_cycles, plan)``. Each step is one full
+    pad/pool instruction set on the instance — exactly the "few
+    instructions" of Section III-C.
+    """
+    plan = plan_pool_decomposition(win, stride)
+    current = np.asarray(ifm_q)
+    total_cycles = 0
+    for step_win, step_stride in plan:
+        current, cycles = execute_padpool(
+            instance, current, Opcode.POOL, win=step_win,
+            stride=step_stride)
+        total_cycles += cycles
+    return current, total_cycles, plan

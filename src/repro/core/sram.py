@@ -1,0 +1,151 @@
+"""On-FPGA SRAM banks (Fig. 3, orange blocks).
+
+Four dual-port banks per accelerator instance. Reads use port A (one
+tile — 16 values — per cycle, consumed by the data-staging units);
+writes use port B (one tile per cycle, from the write-to-memory units
+or the DMA engine). The paper modified the generated RTL precisely to
+obtain this exclusive-port arrangement (Section IV-A, change #3).
+
+Addressing is tile-granular: address ``a`` names the 16-value word
+``storage[16a : 16a+16]``. The bank also supports byte/value-granular
+streaming reads for the packed weight region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tile import TILE
+
+#: Default bank capacity (values = bytes) for paper-scale models:
+#: 512 KiB per bank; four banks per instance is ~2 MiB, which together
+#: with scratchpads lands near the paper's 49% RAM utilization.
+DEFAULT_BANK_CAPACITY = 512 * 1024
+
+
+@dataclass
+class SramStats:
+    """Traffic counters for one bank."""
+
+    tile_reads: int = 0
+    tile_writes: int = 0
+    stream_values_read: int = 0
+    dma_values_written: int = 0
+    dma_values_read: int = 0
+
+
+class SramBank:
+    """One on-FPGA SRAM bank with tile-wide ports.
+
+    Parameters
+    ----------
+    name:
+        Bank identifier (``bank0`` .. ``bank3``).
+    capacity_values:
+        Total 8-bit values the bank can hold. Must be a multiple of the
+        tile word size (``tile * tile``).
+    tile:
+        Tile edge length (4 in the paper).
+    """
+
+    def __init__(self, name: str, capacity_values: int, tile: int = TILE):
+        self.word_values = tile * tile
+        if capacity_values < self.word_values:
+            raise ValueError(
+                f"bank {name!r}: capacity {capacity_values} below one word")
+        if capacity_values % self.word_values:
+            raise ValueError(
+                f"bank {name!r}: capacity {capacity_values} not a multiple "
+                f"of the {self.word_values}-value word")
+        self.name = name
+        self.tile = tile
+        self.capacity_values = capacity_values
+        self.words = capacity_values // self.word_values
+        self.storage = np.zeros(capacity_values, dtype=np.int16)
+        self.stats = SramStats()
+
+    # -- tile-wide ports ------------------------------------------------------
+
+    def read_tile(self, addr: int) -> np.ndarray:
+        """Port A: read the 16-value word at tile address ``addr``."""
+        self._check_addr(addr)
+        self.stats.tile_reads += 1
+        base = addr * self.word_values
+        return self.storage[base:base + self.word_values].copy()
+
+    def write_tile(self, addr: int, values: np.ndarray) -> None:
+        """Port B: write a 16-value word at tile address ``addr``."""
+        self._check_addr(addr)
+        values = np.asarray(values, dtype=np.int16)
+        if values.size != self.word_values:
+            raise ValueError(
+                f"bank {self.name!r}: tile write needs {self.word_values} "
+                f"values, got {values.size}")
+        self.stats.tile_writes += 1
+        base = addr * self.word_values
+        self.storage[base:base + self.word_values] = values.reshape(-1)
+
+    # -- packed-weight streaming (value granular, port A) ----------------------
+
+    def read_stream(self, value_addr: int, count: int) -> np.ndarray:
+        """Read ``count`` raw values starting at value address ``value_addr``.
+
+        Used for the packed weight region; the consumer charges
+        ``ceil(count / word_values)`` cycles for the transfer.
+        """
+        if value_addr < 0 or value_addr + count > self.capacity_values:
+            raise IndexError(
+                f"bank {self.name!r}: stream [{value_addr}, "
+                f"{value_addr + count}) outside capacity "
+                f"{self.capacity_values}")
+        self.stats.stream_values_read += count
+        return self.storage[value_addr:value_addr + count].copy()
+
+    def stream_cycles(self, count: int) -> int:
+        """Port cycles to stream ``count`` packed values."""
+        return -(-count // self.word_values)
+
+    # -- DMA access (bulk, used between compute phases) -------------------------
+
+    def dma_write(self, value_addr: int, values: np.ndarray) -> None:
+        """Bulk store from the DMA engine (off-chip -> bank)."""
+        values = np.asarray(values, dtype=np.int16).reshape(-1)
+        if value_addr < 0 or value_addr + values.size > self.capacity_values:
+            raise IndexError(
+                f"bank {self.name!r}: DMA write [{value_addr}, "
+                f"{value_addr + values.size}) outside capacity")
+        self.storage[value_addr:value_addr + values.size] = values
+        self.stats.dma_values_written += values.size
+
+    def dma_read(self, value_addr: int, count: int) -> np.ndarray:
+        """Bulk load by the DMA engine (bank -> off-chip)."""
+        if value_addr < 0 or value_addr + count > self.capacity_values:
+            raise IndexError(
+                f"bank {self.name!r}: DMA read [{value_addr}, "
+                f"{value_addr + count}) outside capacity")
+        self.stats.dma_values_read += count
+        return self.storage[value_addr:value_addr + count].copy()
+
+    def clear(self) -> None:
+        """Zero the whole bank (power-on state)."""
+        self.storage[:] = 0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_addr(self, addr: int) -> None:
+        if addr < 0 or addr >= self.words:
+            raise IndexError(
+                f"bank {self.name!r}: tile address {addr} outside "
+                f"[0, {self.words})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SramBank({self.name!r}, {self.capacity_values} values)"
+
+
+def make_banks(count: int, capacity_values: int, tile: int = TILE,
+               prefix: str = "bank") -> list[SramBank]:
+    """Create the accelerator's bank set (four in the paper)."""
+    return [SramBank(f"{prefix}{i}", capacity_values, tile)
+            for i in range(count)]

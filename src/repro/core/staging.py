@@ -1,0 +1,258 @@
+"""Data-staging/control units (Fig. 3, one per lane).
+
+Each staging unit owns one SRAM bank holding a quarter of the IFM
+channels (channel ``c`` lives in bank ``c mod 4``) plus its slice of
+the packed weights. For a convolution instruction it iterates OFM
+groups, tile positions and local channels, injecting IFM regions and
+packed weights into its convolution unit at one weight-group per
+cycle; for padding/pooling it stages 4-tile windows into the pad/pool
+unit.
+
+Cycle accounting (the quantities Figs. 7/8 are built from):
+
+* **weight load** — per OFM group, the unit streams its packed bytes
+  from the bank into scratchpad at one 16-byte word per cycle
+  (port A). This is the "unpacking weights and offsets" overhead that
+  grows for weight-heavy deep layers.
+* **prologue** — 4 cycles per tile position to preload the first
+  channel's four IFM tiles.
+* **steady state** — each subsequent channel costs
+  ``max(4, max nnz over the 4 concurrent filters)`` cycles: at least
+  four because the next channel's four IFM tiles share the single read
+  port; bubbles appear when the four filters' non-zero counts differ
+  (Section III-B1). A channel whose four filters are all zero is
+  skipped entirely.
+* **barrier** — all four staging units synchronize per tile position.
+
+The paper notes the original monolithic controller synthesized to a
+huge FSM and was split into one function for convolution and one for
+padding/pooling (Section IV-A); `_run_conv` and `_run_padpool` mirror
+that split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction, PositionMeta)
+from repro.core.packing import PackedEntry
+from repro.core.sram import SramBank
+from repro.hls.barrier import Barrier
+from repro.hls.fifo import PthreadFifo
+from repro.hls.kernel import Tick
+from repro.quant.signmag import decode
+
+#: Minimum cycles spent per (channel, weight tile): four IFM tiles must
+#: be preloaded through the single SRAM read port (Section III-B1),
+#: bounding zero-skip gains at (16-4)/16 = 75% for full weight tiles.
+MIN_CYCLES_PER_WEIGHT_TILE = 4
+
+
+def staging_kernel(unit: int, bank: SramBank, instr_q: PthreadFifo,
+                   conv_q: PthreadFifo, padpool_q: PthreadFifo,
+                   done_q: PthreadFifo, barrier: Barrier,
+                   lanes: int = 4, tile: int = 4):
+    """Generator body of one data-staging/control unit."""
+    while True:
+        instr = yield instr_q.read()
+        yield Tick(1)  # instruction decode
+        if isinstance(instr, ConvInstruction):
+            yield from _run_conv(unit, bank, instr, conv_q, barrier,
+                                 lanes, tile)
+        elif isinstance(instr, PadPoolInstruction):
+            yield from _run_padpool(unit, bank, instr, padpool_q, tile)
+        else:
+            raise TypeError(f"staging unit {unit}: bad instruction {instr!r}")
+        yield done_q.write(("done", unit, instr.instr_id))
+        yield Tick(1)
+
+
+# -- convolution FSM ------------------------------------------------------------
+
+
+def _run_conv(unit: int, bank: SramBank, instr: ConvInstruction,
+              conv_q: PthreadFifo, barrier: Barrier, lanes: int, tile: int):
+    group_size = lanes
+    groups = -(-instr.out_channels // group_size)
+    stream_addr = instr.weight_base
+    for g in range(groups):
+        group_weights, consumed = _load_group_weights(
+            bank, stream_addr, instr.local_channels, group_size,
+            instr.compact_weights, tile=tile)
+        stream_addr += consumed
+        # Streaming the packed bytes into scratchpad occupies port A.
+        yield Tick(max(1, bank.stream_cycles(consumed)))
+        meta_biases = None
+        if instr.biases:
+            lo = g * group_size
+            quad = [0, 0, 0, 0]
+            for j in range(group_size):
+                if lo + j < instr.out_channels:
+                    quad[j] = int(instr.biases[lo + j])
+            meta_biases = tuple(quad)
+        for py in range(instr.ofm_tiles_y):
+            for px in range(instr.ofm_tiles_x):
+                meta = None
+                if unit == 0:
+                    addr = instr.ofm_base + (
+                        (g * instr.ofm_tiles_y + py) * instr.ofm_tiles_x + px)
+                    meta = PositionMeta(
+                        ofm_addr=addr,
+                        biases=meta_biases or (0, 0, 0, 0),
+                        shift=instr.shift,
+                        apply_relu=instr.apply_relu,
+                    )
+                yield conv_q.write(("start", meta))
+                # Prologue: preload the first channel's four IFM tiles.
+                yield Tick(MIN_CYCLES_PER_WEIGHT_TILE)
+                for lc in range(instr.local_channels):
+                    entry_lists = group_weights[lc]
+                    longest = max(len(lst) for lst in entry_lists)
+                    if longest == 0:
+                        continue  # all four filters zero: skip channel
+                    region = _load_region(bank, instr, lc, py, px, tile)
+                    steps = max(MIN_CYCLES_PER_WEIGHT_TILE, longest)
+                    for k in range(steps):
+                        weights4 = tuple(
+                            lst[k].weight if k < len(lst) else 0
+                            for lst in entry_lists)
+                        offsets4 = tuple(
+                            lst[k].offset if k < len(lst) else 0
+                            for lst in entry_lists)
+                        payload_region = region if k == 0 else None
+                        yield conv_q.write(
+                            ("mac", payload_region, weights4, offsets4))
+                        yield Tick(1)
+                yield conv_q.write(("finish",))
+                yield barrier.wait()
+
+
+def _load_group_weights(bank: SramBank, stream_addr: int, local_channels: int,
+                        group_size: int, compact: bool = False,
+                        tile: int = 4
+                        ) -> tuple[list[list[list[PackedEntry]]], int]:
+    """Parse one group's packed weights out of the bank stream.
+
+    Returns ``(weights, bytes_consumed)`` where ``weights[lc][j]`` is
+    the entry list for local channel ``lc``, filter-in-group ``j``.
+    Supports both packed formats (see
+    :func:`repro.core.packing.serialize_unit_stream`).
+    """
+    weights: list[list[list[PackedEntry]]] = []
+    pos = stream_addr
+    max_count = tile * tile  # a weight tile's entry capacity
+    for _ in range(local_channels):
+        per_filter: list[list[PackedEntry]] = []
+        for _ in range(group_size):
+            count = int(bank.read_stream(pos, 1)[0])
+            if not 0 <= count <= max_count:
+                raise ValueError(
+                    f"corrupt packed stream at {pos}: count byte {count} "
+                    f"outside [0, {max_count}]")
+            pos += 1
+            entries: list[PackedEntry] = []
+            if count and compact:
+                offset_bytes = (count + 1) // 2
+                raw = bank.read_stream(pos, offset_bytes + count)
+                pos += offset_bytes + count
+                offsets = []
+                for i in range(offset_bytes):
+                    byte = int(raw[i])
+                    offsets.append(byte & 0xF)
+                    offsets.append((byte >> 4) & 0xF)
+                for i in range(count):
+                    entries.append(PackedEntry(
+                        offsets[i], decode(int(raw[offset_bytes + i]))))
+            elif count:
+                raw = bank.read_stream(pos, 2 * count)
+                pos += 2 * count
+                for i in range(count):
+                    entries.append(PackedEntry(int(raw[2 * i]),
+                                               decode(int(raw[2 * i + 1]))))
+            per_filter.append(entries)
+        weights.append(per_filter)
+    return weights, pos - stream_addr
+
+
+def _load_region(bank: SramBank, instr: ConvInstruction, lc: int,
+                 py: int, px: int, tile: int) -> np.ndarray:
+    """Assemble the 2x2-tile (8x8) IFM region anchored at tile (py, px).
+
+    Tiles outside the stripe's tile grid read as zero (they are either
+    alignment padding or past the feature map edge).
+    """
+    region = np.zeros((2 * tile, 2 * tile), dtype=np.int64)
+    for dy in range(2):
+        for dx in range(2):
+            ty, tx = py + dy, px + dx
+            if ty >= instr.ifm_tiles_y or tx >= instr.ifm_tiles_x:
+                continue
+            addr = instr.ifm_base + (
+                (lc * instr.ifm_tiles_y + ty) * instr.ifm_tiles_x + tx)
+            values = bank.read_tile(addr).reshape(tile, tile)
+            region[dy * tile:(dy + 1) * tile,
+                   dx * tile:(dx + 1) * tile] = values
+    return region
+
+
+# -- padding / max-pooling FSM ----------------------------------------------------
+
+
+def _run_padpool(unit: int, bank: SramBank, instr: PadPoolInstruction,
+                 padpool_q: PthreadFifo, tile: int):
+    del unit  # lanes operate independently; kept for symmetry/debugging
+    for lc in range(instr.local_channels):
+        for ty in range(instr.ofm_tiles_y):
+            for tx in range(instr.ofm_tiles_x):
+                if instr.opcode is Opcode.PAD:
+                    src_y = ty * tile - instr.pad
+                    src_x = tx * tile - instr.pad
+                    win, stride = 1, 1
+                else:
+                    src_y = ty * tile * instr.stride
+                    src_x = tx * tile * instr.stride
+                    win, stride = instr.win, instr.stride
+                t0y, off_y = divmod(src_y, tile)
+                t0x, off_x = divmod(src_x, tile)
+                region = _load_padpool_region(bank, instr, lc, t0y, t0x, tile)
+                # One cycle ticked per tile fetched (single read port).
+                yield Tick(4)
+                addr = instr.ofm_base + (
+                    (lc * instr.ofm_tiles_y + ty) * instr.ofm_tiles_x + tx)
+                yield padpool_q.write(
+                    (region, off_y, off_x, win, stride, addr))
+
+
+def _load_padpool_region(bank: SramBank, instr: PadPoolInstruction, lc: int,
+                         t0y: int, t0x: int, tile: int) -> np.ndarray:
+    """2x2-tile window anchored at (t0y, t0x); out-of-range tiles are zero.
+
+    Values beyond the IFM's true extent (``ifm_height``/``ifm_width``,
+    the Fig. 3 "IFM Dim" field) are masked to zero: tiles are stored
+    whole, so a producing instruction leaves garbage in the dead
+    positions of edge tiles, and padding would otherwise shift that
+    garbage into valid output positions.
+    """
+    region = np.zeros((2 * tile, 2 * tile), dtype=np.int64)
+    height = instr.ifm_height or instr.ifm_tiles_y * tile
+    width = instr.ifm_width or instr.ifm_tiles_x * tile
+    for dy in range(2):
+        for dx in range(2):
+            ty, tx = t0y + dy, t0x + dx
+            if not (0 <= ty < instr.ifm_tiles_y
+                    and 0 <= tx < instr.ifm_tiles_x):
+                continue
+            addr = instr.ifm_base + (
+                (lc * instr.ifm_tiles_y + ty) * instr.ifm_tiles_x + tx)
+            values = bank.read_tile(addr).reshape(tile, tile)
+            valid_rows = max(0, min(tile, height - ty * tile))
+            valid_cols = max(0, min(tile, width - tx * tile))
+            if valid_rows < tile or valid_cols < tile:
+                masked = np.zeros((tile, tile), dtype=values.dtype)
+                masked[:valid_rows, :valid_cols] = \
+                    values[:valid_rows, :valid_cols]
+                values = masked
+            region[dy * tile:(dy + 1) * tile,
+                   dx * tile:(dx + 1) * tile] = values
+    return region

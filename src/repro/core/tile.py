@@ -1,0 +1,93 @@
+"""4x4 tiling of feature maps (Fig. 2).
+
+Feature maps are organized into tiles of ``TILE x TILE`` values; tiles
+are stored in memory in row-major order, channel by channel. An entire
+tile (16 values) is one SRAM word — it can be read or written in a
+single cycle — so the tile is the accelerator's unit of data movement.
+
+Feature maps whose height/width is not a multiple of the tile size are
+padded with zeros on the bottom/right; the padding values are dead
+(never read back as results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import assert_chw
+
+#: The paper's tile edge: 4x4 values per tile.
+TILE = 4
+
+
+def tiles_along(extent: int, tile: int = TILE) -> int:
+    """Number of tiles covering ``extent`` values (ceiling division)."""
+    if extent < 1:
+        raise ValueError(f"extent must be >= 1, got {extent}")
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    return -(-extent // tile)
+
+
+def pad_to_tiles(fm: np.ndarray, tile: int = TILE) -> np.ndarray:
+    """Zero-pad a CHW map on bottom/right to tile-aligned dimensions."""
+    assert_chw(fm)
+    _, h, w = fm.shape
+    pad_h = tiles_along(h, tile) * tile - h
+    pad_w = tiles_along(w, tile) * tile - w
+    if pad_h == 0 and pad_w == 0:
+        return fm.copy()
+    return np.pad(fm, ((0, 0), (0, pad_h), (0, pad_w)))
+
+
+def to_tiles(fm: np.ndarray, tile: int = TILE) -> np.ndarray:
+    """CHW map -> ``(C, TY, TX, tile, tile)`` tile array (pads first)."""
+    padded = pad_to_tiles(fm, tile)
+    c, h, w = padded.shape
+    shaped = padded.reshape(c, h // tile, tile, w // tile, tile)
+    return shaped.transpose(0, 1, 3, 2, 4).copy()
+
+
+def from_tiles(tiles: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`to_tiles`, cropping away alignment padding."""
+    if tiles.ndim != 5 or tiles.shape[3] != tiles.shape[4]:
+        raise ValueError(f"expected (C,TY,TX,t,t) tiles, got {tiles.shape}")
+    c, ty, tx, tile, _ = tiles.shape
+    fm = tiles.transpose(0, 1, 3, 2, 4).reshape(c, ty * tile, tx * tile)
+    if height > ty * tile or width > tx * tile:
+        raise ValueError(
+            f"cannot crop {ty * tile}x{tx * tile} tiles to {height}x{width}")
+    return fm[:, :height, :width].copy()
+
+
+def flatten_tiled(fm: np.ndarray, tile: int = TILE) -> np.ndarray:
+    """Serialize a CHW map into tiled memory order (Fig. 2, right).
+
+    Returns a 1-D array: channel-major, then tile-row-major, each tile's
+    16 values in row-major order — the exact order the ARM software
+    produces when "reordering data into tiled format" (Section IV-C)
+    and the order tiles occupy in the SRAM banks.
+    """
+    return to_tiles(fm, tile).reshape(-1)
+
+
+def unflatten_tiled(flat: np.ndarray, channels: int, height: int, width: int,
+                    tile: int = TILE) -> np.ndarray:
+    """Inverse of :func:`flatten_tiled` for the given logical dimensions."""
+    ty = tiles_along(height, tile)
+    tx = tiles_along(width, tile)
+    expected = channels * ty * tx * tile * tile
+    flat = np.asarray(flat)
+    if flat.size != expected:
+        raise ValueError(
+            f"flat size {flat.size} != expected {expected} for "
+            f"{channels}x{height}x{width} at tile {tile}")
+    tiles = flat.reshape(channels, ty, tx, tile, tile)
+    return from_tiles(tiles, height, width)
+
+
+def tile_index(ty: int, tx: int, tiles_x: int) -> int:
+    """Row-major index of tile (ty, tx) within one channel's tile grid."""
+    if ty < 0 or tx < 0 or tx >= tiles_x:
+        raise ValueError(f"tile ({ty}, {tx}) outside grid width {tiles_x}")
+    return ty * tiles_x + tx

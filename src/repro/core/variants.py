@@ -1,0 +1,96 @@
+"""The four evaluated architecture variants (Section V).
+
+"A unique advantage of HLS is that one can synthesize multiple
+architecture variants from software and constraint changes alone."
+
+=============  ==========  =========  ============  ======
+label          MACs/cycle  instances  optimized     clock
+=============  ==========  =========  ============  ======
+``16-unopt``   16          1          no            55 MHz
+``256-unopt``  256         1          no            55 MHz
+``256-opt``    256         1          yes           150 MHz
+``512-opt``    512         2          yes           120 MHz
+=============  ==========  =========  ============  ======
+
+The 16-unopt variant has a single convolution sub-module computing one
+OFM tile at a time — no synchronization among control units, which is
+what makes it the baseline for judging HLS hardware quality. The
+512-opt variant instantiates the Fig. 3 accelerator twice, each
+instance working on separate stripes; its clock is congestion-limited
+(routing failed above 120 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.constraints import HlsConstraints
+
+
+@dataclass(frozen=True)
+class AcceleratorVariant:
+    """One synthesizable configuration of the accelerator."""
+
+    name: str
+    macs_per_cycle: int       # across all instances
+    instances: int
+    lanes: int                # staging/conv/acc units per instance
+    performance_optimized: bool
+    target_clock_mhz: float   # constraint handed to HLS/RTL synthesis
+    clock_mhz: float          # achieved clock (paper, Section V)
+
+    @property
+    def macs_per_instance(self) -> int:
+        return self.macs_per_cycle // self.instances
+
+    @property
+    def peak_mac_rate(self) -> float:
+        """Peak MACs per second."""
+        return self.macs_per_cycle * self.clock_mhz * 1e6
+
+    @property
+    def peak_gops(self) -> float:
+        """Paper GOPS convention: peak MAC-ops/s in units of 1e9."""
+        return self.peak_mac_rate / 1e9
+
+    @property
+    def constraints(self) -> HlsConstraints:
+        return HlsConstraints(
+            clock_period_ns=1000.0 / self.target_clock_mhz,
+            performance_optimized=self.performance_optimized)
+
+    @property
+    def synchronized(self) -> bool:
+        """Whether multiple control units must barrier (all but 16-unopt)."""
+        return self.lanes > 1
+
+
+VARIANT_16_UNOPT = AcceleratorVariant(
+    name="16-unopt", macs_per_cycle=16, instances=1, lanes=1,
+    performance_optimized=False, target_clock_mhz=55.0, clock_mhz=55.0)
+
+VARIANT_256_UNOPT = AcceleratorVariant(
+    name="256-unopt", macs_per_cycle=256, instances=1, lanes=4,
+    performance_optimized=False, target_clock_mhz=55.0, clock_mhz=55.0)
+
+VARIANT_256_OPT = AcceleratorVariant(
+    name="256-opt", macs_per_cycle=256, instances=1, lanes=4,
+    performance_optimized=True, target_clock_mhz=150.0, clock_mhz=150.0)
+
+VARIANT_512_OPT = AcceleratorVariant(
+    name="512-opt", macs_per_cycle=512, instances=2, lanes=4,
+    performance_optimized=True, target_clock_mhz=150.0, clock_mhz=120.0)
+
+#: All four variants in the paper's order.
+ALL_VARIANTS: list[AcceleratorVariant] = [
+    VARIANT_16_UNOPT, VARIANT_256_UNOPT, VARIANT_256_OPT, VARIANT_512_OPT,
+]
+
+
+def variant_by_name(name: str) -> AcceleratorVariant:
+    """Look up a variant by its paper label (e.g. ``"512-opt"``)."""
+    for variant in ALL_VARIANTS:
+        if variant.name == name:
+            return variant
+    raise KeyError(f"unknown variant {name!r}; "
+                   f"choose from {[v.name for v in ALL_VARIANTS]}")

@@ -1,0 +1,22 @@
+"""Write-to-memory units: completed tiles to SRAM port B.
+
+One unit per lane; it drains completed OFM tiles from the lane's
+accumulator and pad/pool units (which are never active simultaneously,
+so they share the queue) and writes one tile per cycle through the
+bank's exclusive write port (Section IV-A RTL change #3).
+"""
+
+from __future__ import annotations
+
+from repro.core.sram import SramBank
+from repro.hls.fifo import PthreadFifo
+from repro.hls.kernel import Tick
+
+
+def writeback_kernel(index: int, in_q: PthreadFifo, bank: SramBank):
+    """Generator body of one write-to-memory unit."""
+    del index  # units are identical; kept for naming symmetry
+    while True:
+        addr, values = yield in_q.read()
+        bank.write_tile(addr, values)
+        yield Tick(1)

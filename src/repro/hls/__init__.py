@@ -1,0 +1,49 @@
+"""LegUp-like HLS substrate: streaming kernels, FIFOs, cycle simulation.
+
+This package is the behavioural stand-in for the LegUp Pthreads-to-
+hardware flow the paper builds on (Section II-A): software threads
+written in the producer/consumer idiom become streaming kernels
+connected by FIFO queues, simulated in lock-step at cycle granularity.
+"""
+
+from repro.hls.barrier import Barrier, BarrierWaitOp
+from repro.hls.bitwidth import (BitwidthAnalyzer, bits_for_range,
+                                bits_for_signed, bits_for_unsigned,
+                                mask_known_zero_bits)
+from repro.hls.constraints import (HlsConstraints, achieved_fmax_mhz,
+                                   congestion_fmax_mhz,
+                                   pipeline_depth_for, routing_succeeds,
+                                   UNOPT_CLOCK_MHZ)
+from repro.hls.errors import (BitwidthOverflow, CombinationalLoop,
+                              FifoPortConflict, FifoWidthError, HlsError,
+                              KernelError, SimulationDeadlock,
+                              SimulationTimeout)
+from repro.hls.fifo import PthreadFifo, ReadOp, WriteOp
+from repro.hls.kernel import (Kernel, KernelState, KernelStats, Tick,
+                              streaming_map, streaming_sink,
+                              streaming_source)
+from repro.hls.report import FifoReport, HlsReport, KernelReport
+from repro.hls.streams import (delay_line, fork, generator_source,
+                               round_robin_merge, round_robin_split,
+                               streaming_filter, streaming_reduce)
+from repro.hls.waveform import STATE_GLYPHS, WaveformRecorder
+from repro.hls.sim import Simulator, TraceEvent
+
+__all__ = [
+    "Barrier", "BarrierWaitOp",
+    "BitwidthAnalyzer", "bits_for_range", "bits_for_signed",
+    "bits_for_unsigned", "mask_known_zero_bits",
+    "HlsConstraints", "achieved_fmax_mhz", "congestion_fmax_mhz",
+    "pipeline_depth_for", "routing_succeeds", "UNOPT_CLOCK_MHZ",
+    "BitwidthOverflow", "CombinationalLoop", "FifoPortConflict",
+    "FifoWidthError", "HlsError", "KernelError", "SimulationDeadlock",
+    "SimulationTimeout",
+    "PthreadFifo", "ReadOp", "WriteOp",
+    "Kernel", "KernelState", "KernelStats", "Tick",
+    "streaming_map", "streaming_sink", "streaming_source",
+    "FifoReport", "HlsReport", "KernelReport",
+    "delay_line", "fork", "generator_source", "round_robin_merge",
+    "round_robin_split", "streaming_filter", "streaming_reduce",
+    "STATE_GLYPHS", "WaveformRecorder",
+    "Simulator", "TraceEvent",
+]

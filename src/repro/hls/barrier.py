@@ -1,0 +1,92 @@
+"""Pthreads-style cycle barrier.
+
+The paper synchronizes the completion of the four concurrently-computed
+OFM tiles at a given x/y position with a Pthreads barrier
+(Section III-B1). This module provides the cycle-level equivalent: a
+kernel yields :meth:`Barrier.wait`; when the last party arrives at cycle
+``t``, every waiter resumes at cycle ``t + 1``.
+
+The barrier is cyclic (generational), like ``pthread_barrier_wait``: a
+fast kernel may loop around and arrive for generation ``g + 1`` while
+slow kernels are still departing generation ``g``; each waiter is
+stamped with the generation it joined, so rounds never mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BarrierWaitOp:
+    """Scheduler operation: block until all parties reach ``barrier``."""
+
+    barrier: "Barrier"
+
+
+class Barrier:
+    """A reusable (generational) barrier for ``parties`` kernels."""
+
+    def __init__(self, name: str, parties: int):
+        if parties < 1:
+            raise ValueError(f"barrier {name!r}: parties must be >= 1")
+        self.name = name
+        self.parties = parties
+        self.generation = 0
+        self.trips = 0
+        self._waiting: dict[str, int] = {}       # kernel -> generation joined
+        self._release_cycle: dict[int, int] = {}  # generation -> release cycle
+
+    def wait(self) -> BarrierWaitOp:
+        """Return the wait operation for a kernel to ``yield``."""
+        return BarrierWaitOp(self)
+
+    # -- scheduler-facing interface ----------------------------------------
+
+    def arrive(self, kernel_name: str, now: int) -> None:
+        """Record that ``kernel_name`` reached the barrier at cycle ``now``.
+
+        Idempotent while the kernel is still waiting (the scheduler
+        retries the pending operation every cycle).
+        """
+        if kernel_name in self._waiting:
+            return
+        generation = self.generation
+        self._waiting[kernel_name] = generation
+        arrivals = sum(1 for g in self._waiting.values() if g == generation)
+        if arrivals == self.parties:
+            self._release_cycle[generation] = now + 1
+            self.generation += 1
+            self.trips += 1
+
+    def released(self, kernel_name: str, now: int) -> bool:
+        """True once ``kernel_name``'s generation has been released."""
+        generation = self._waiting.get(kernel_name)
+        if generation is None:
+            return False
+        release = self._release_cycle.get(generation)
+        return release is not None and now >= release
+
+    def depart(self, kernel_name: str) -> None:
+        """A released waiter leaves; forget empty generations."""
+        generation = self._waiting.pop(kernel_name, None)
+        if generation is None:
+            return
+        if generation not in self._waiting.values():
+            self._release_cycle.pop(generation, None)
+
+    def pending_release(self, now: int) -> bool:
+        """True if some generation releases strictly after ``now``.
+
+        Used by the deadlock detector: those waiters will make progress.
+        """
+        return any(cycle > now for cycle in self._release_cycle.values())
+
+    @property
+    def arrived_count(self) -> int:
+        """Waiters of the *current* (not yet released) generation."""
+        return sum(1 for g in self._waiting.values() if g == self.generation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Barrier({self.name!r}, parties={self.parties}, "
+                f"waiting={len(self._waiting)})")

@@ -1,0 +1,144 @@
+"""Bitwidth minimization (range and bitmask analysis).
+
+The paper lists "automated bitwidth minimization [10]" among its primary
+HLS constraints (Section IV-A); reference [10] is Gort & Anderson's
+range/bitmask analysis. This module reproduces the *observable* part of
+that pass for our purposes:
+
+* static helpers computing the minimal width for a known value range;
+* a dynamic :class:`BitwidthAnalyzer` that records the values flowing
+  through named signals during simulation and reports the minimal
+  widths that would have sufficed — exactly the data the area model
+  needs to size registers, FIFOs and functional units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.errors import BitwidthOverflow
+
+
+def bits_for_unsigned(max_value: int) -> int:
+    """Minimal unsigned width holding ``0 .. max_value`` (at least 1)."""
+    if max_value < 0:
+        raise ValueError(f"unsigned range cannot include {max_value}")
+    return max(1, max_value.bit_length())
+
+
+def bits_for_signed(lo: int, hi: int) -> int:
+    """Minimal two's-complement width holding ``lo .. hi`` (at least 1)."""
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    width = 1
+    while not (-(1 << (width - 1)) <= lo and hi <= (1 << (width - 1)) - 1):
+        width += 1
+    return width
+
+
+def bits_for_range(lo: int, hi: int) -> int:
+    """Minimal width for ``lo .. hi``: unsigned if ``lo >= 0``, else signed."""
+    if lo >= 0:
+        return bits_for_unsigned(hi)
+    return bits_for_signed(lo, hi)
+
+
+def mask_known_zero_bits(values: list[int]) -> int:
+    """Bitmask analysis: bits that are zero across all observed values.
+
+    Returns a mask with 1s in positions that were 0 in *every* value —
+    the bits a bitmask analysis would prove constant and remove. Only
+    meaningful for non-negative values.
+    """
+    if not values:
+        return ~0
+    if any(v < 0 for v in values):
+        raise ValueError("bitmask analysis requires non-negative values")
+    union = 0
+    for value in values:
+        union |= value
+    width = max(1, union.bit_length())
+    return ~union & ((1 << width) - 1)
+
+
+@dataclass
+class SignalRange:
+    """Observed dynamic range of one named signal."""
+
+    lo: int
+    hi: int
+    samples: int = 0
+
+    @property
+    def width(self) -> int:
+        return bits_for_range(self.lo, self.hi)
+
+
+class BitwidthAnalyzer:
+    """Record signal values during simulation; report minimal widths.
+
+    Optionally enforces *declared* widths: if ``declare`` was called for
+    a signal, any recorded value outside the declared range raises
+    :class:`~repro.hls.errors.BitwidthOverflow` — catching the class of
+    bug that silently truncates in real hardware.
+    """
+
+    def __init__(self):
+        self._ranges: dict[str, SignalRange] = {}
+        self._declared: dict[str, int] = {}
+
+    def declare(self, signal: str, width: int, signed: bool = True) -> None:
+        """Declare ``signal`` to be ``width`` bits wide."""
+        if width < 1:
+            raise ValueError(f"signal {signal!r}: width must be >= 1")
+        self._declared[signal] = width if signed else -width
+
+    def record(self, signal: str, value: int) -> None:
+        """Record one observed ``value`` on ``signal``."""
+        declared = self._declared.get(signal)
+        if declared is not None:
+            self._check_declared(signal, value, declared)
+        current = self._ranges.get(signal)
+        if current is None:
+            self._ranges[signal] = SignalRange(value, value, 1)
+        else:
+            current.lo = min(current.lo, value)
+            current.hi = max(current.hi, value)
+            current.samples += 1
+
+    def width(self, signal: str) -> int:
+        """Minimal width for the observed range of ``signal``."""
+        if signal not in self._ranges:
+            raise KeyError(f"no values recorded for signal {signal!r}")
+        return self._ranges[signal].width
+
+    def range_of(self, signal: str) -> SignalRange:
+        return self._ranges[signal]
+
+    def signals(self) -> list[str]:
+        return sorted(self._ranges)
+
+    def total_register_bits(self) -> int:
+        """Sum of minimal widths across all signals (one register each)."""
+        return sum(r.width for r in self._ranges.values())
+
+    def savings_vs(self, default_width: int = 32) -> int:
+        """Register bits saved relative to naive ``default_width`` signals."""
+        return sum(max(0, default_width - r.width)
+                   for r in self._ranges.values())
+
+    def report(self) -> dict[str, int]:
+        """Map of signal name to minimized width."""
+        return {name: r.width for name, r in sorted(self._ranges.items())}
+
+    def _check_declared(self, signal: str, value: int, declared: int) -> None:
+        signed = declared > 0
+        width = abs(declared)
+        if signed:
+            lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        else:
+            lo, hi = 0, (1 << width) - 1
+        if not lo <= value <= hi:
+            raise BitwidthOverflow(
+                f"signal {signal!r}: value {value} exceeds declared "
+                f"{'signed' if signed else 'unsigned'} {width}-bit range")

@@ -1,0 +1,118 @@
+"""HLS and RTL-synthesis constraints, and the achieved-clock model.
+
+Section IV-A of the paper lists the primary constraints applied to
+LegUp: loop pipelining, if-conversion, automated bitwidth minimization,
+and clock-period constraints; Section V adds the RTL-synthesis-side
+performance options (retiming, physical synthesis, higher place/route
+effort) used for the "-opt" variants.
+
+The paper's achieved clocks are:
+
+* non-optimized variants (16-unopt, 256-unopt): 55 MHz, chosen for
+  functional verification, not performance;
+* 256-opt: 150 MHz;
+* 512-opt: 120 MHz — routing *failed at higher targets due to high
+  congestion* on the nearly-full device.
+
+We model that behaviour: the achievable Fmax is the minimum of the
+requested target and a congestion-limited ceiling that falls linearly
+with ALM utilization. The two calibration points (44% -> >= 150 MHz,
+~88% -> 120 MHz) pin the line; the model exists to reproduce the
+*trend* (bigger design, slower clock), not timing closure physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Fmax ceiling model: ``fmax = CONGESTION_F0 - CONGESTION_SLOPE * util``.
+#: Calibrated so the area model's 44% (256-opt) allows ~178 MHz (150
+#: target met) and its 86% (512-opt) limits to ~120 MHz (paper: routing
+#: failed above 120 MHz due to congestion).
+CONGESTION_F0_MHZ = 240.0
+CONGESTION_SLOPE_MHZ = 140.0
+
+#: Clock used when no performance optimizations are requested; the
+#: paper verified functional correctness of the unopt variants at 55 MHz.
+UNOPT_CLOCK_MHZ = 55.0
+
+
+@dataclass(frozen=True)
+class HlsConstraints:
+    """Constraints handed to the HLS tool for one synthesis run.
+
+    ``clock_period_ns`` is the target period; ``performance_optimized``
+    bundles the Intel-synthesis options (retiming, physical synthesis,
+    high place/route effort) the paper enables for the -opt variants.
+    """
+
+    clock_period_ns: float = 1000.0 / 55.0  # 55 MHz, the unopt default
+    pipeline_loops: bool = True
+    if_conversion: bool = True
+    bitwidth_minimize: bool = True
+    performance_optimized: bool = False
+
+    @property
+    def target_fmax_mhz(self) -> float:
+        return 1000.0 / self.clock_period_ns
+
+    def with_target_mhz(self, fmax_mhz: float) -> "HlsConstraints":
+        """Return a copy retargeted at ``fmax_mhz``."""
+        return HlsConstraints(
+            clock_period_ns=1000.0 / fmax_mhz,
+            pipeline_loops=self.pipeline_loops,
+            if_conversion=self.if_conversion,
+            bitwidth_minimize=self.bitwidth_minimize,
+            performance_optimized=self.performance_optimized,
+        )
+
+
+def congestion_fmax_mhz(alm_utilization: float) -> float:
+    """Routing-congestion Fmax ceiling at a given ALM utilization."""
+    if not 0.0 <= alm_utilization <= 1.0:
+        raise ValueError(
+            f"utilization must be in [0, 1], got {alm_utilization}")
+    return max(1.0, CONGESTION_F0_MHZ - CONGESTION_SLOPE_MHZ * alm_utilization)
+
+
+def achieved_fmax_mhz(constraints: HlsConstraints,
+                      alm_utilization: float) -> float:
+    """Clock the synthesized design actually closes timing at.
+
+    Non-performance-optimized runs are pinned at the paper's 55 MHz
+    verification clock regardless of target. Optimized runs achieve the
+    lesser of the requested target and the congestion ceiling.
+    """
+    if not constraints.performance_optimized:
+        return min(UNOPT_CLOCK_MHZ, constraints.target_fmax_mhz)
+    ceiling = congestion_fmax_mhz(alm_utilization)
+    return min(constraints.target_fmax_mhz, ceiling)
+
+
+def routing_succeeds(constraints: HlsConstraints,
+                     alm_utilization: float) -> bool:
+    """Whether place-and-route closes at the *requested* target.
+
+    Reproduces "routing of the 512-opt architecture failed at higher
+    performance targets due to high congestion".
+    """
+    if not constraints.performance_optimized:
+        return True
+    return constraints.target_fmax_mhz <= congestion_fmax_mhz(alm_utilization)
+
+
+def pipeline_depth_for(constraints: HlsConstraints,
+                       combinational_delay_ns: float) -> int:
+    """Pipeline stages HLS inserts to meet the clock-period target.
+
+    A path with ``combinational_delay_ns`` of logic is split into
+    ``ceil(delay / period)`` stages. Tighter clock constraints therefore
+    deepen the pipelines — the mechanism behind the paper's remark that
+    "the clock-period constraint applied in HLS impacts the degree of
+    pipelining in the compute units and control".
+    """
+    if combinational_delay_ns <= 0:
+        raise ValueError("combinational delay must be positive")
+    period = constraints.clock_period_ns
+    stages = int(-(-combinational_delay_ns // period))  # ceil division
+    return max(1, stages)

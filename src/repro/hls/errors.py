@@ -1,0 +1,61 @@
+"""Exception types for the HLS simulation substrate.
+
+Every error raised by :mod:`repro.hls` derives from :class:`HlsError` so
+callers can catch substrate failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class HlsError(Exception):
+    """Base class for all errors raised by the HLS substrate."""
+
+
+class SimulationDeadlock(HlsError):
+    """All live kernels are blocked and no queued data can unblock them.
+
+    Raised by :meth:`repro.hls.sim.Simulator.run` when forward progress is
+    provably impossible: every non-finished kernel is stalled on a FIFO
+    read/write or a barrier, and no in-flight FIFO writes remain that
+    could become visible on a later cycle.
+    """
+
+
+class SimulationTimeout(HlsError):
+    """The simulation exceeded its ``max_cycles`` budget."""
+
+
+class CombinationalLoop(HlsError):
+    """A kernel executed too many operations without advancing the clock.
+
+    In hardware, a pipelined loop iteration takes at least one cycle. A
+    kernel that keeps reading/writing FIFOs without ever yielding a
+    :class:`~repro.hls.sim.Tick` would model a combinational loop; the
+    scheduler refuses to simulate it.
+    """
+
+
+class FifoWidthError(HlsError):
+    """A value pushed into a FIFO does not fit the FIFO's bit width."""
+
+
+class FifoPortConflict(HlsError):
+    """Two kernels attempted to use the same FIFO port in one cycle.
+
+    Each FIFO models one read port and one write port, matching the
+    LUT-RAM FIFOs of the paper. Structural sharing violations indicate a
+    mis-constructed design, not a transient stall, so they raise.
+    """
+
+
+class BitwidthOverflow(HlsError):
+    """A signal value exceeded the range proven by bitwidth analysis."""
+
+
+class KernelError(HlsError):
+    """A kernel's generator raised; wraps the original exception."""
+
+    def __init__(self, kernel_name: str, original: BaseException):
+        super().__init__(f"kernel {kernel_name!r} failed: {original!r}")
+        self.kernel_name = kernel_name
+        self.original = original

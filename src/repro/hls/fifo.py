@@ -1,0 +1,183 @@
+"""Bounded FIFO queues modelling ``LEGUP_PTHREAD_FIFO``.
+
+The paper's kernels communicate exclusively through FIFO queues created
+with user-provided lengths and bitwidths (Section II-A). This module
+models those queues at cycle granularity:
+
+* a FIFO has a bounded capacity (``depth``);
+* one value may be pushed and one popped per clock cycle (one read port,
+  one write port — the LUT-RAM FIFOs of Section IV-A);
+* a pushed value becomes visible to the consumer ``latency`` cycles
+  later (default 1, a registered FIFO);
+* if a ``width`` in bits is given, pushed integers are range-checked.
+
+Kernels never call :meth:`PthreadFifo.pop` directly; they ``yield`` the
+operation objects returned by :meth:`read` / :meth:`write` to the
+simulator, mirroring ``pthread_fifo_read`` / ``pthread_fifo_write`` in
+the paper's C code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hls.errors import FifoWidthError
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Scheduler operation: pop one value from ``fifo`` (stall if empty)."""
+
+    fifo: "PthreadFifo"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Scheduler operation: push ``value`` into ``fifo`` (stall if full)."""
+
+    fifo: "PthreadFifo"
+    value: Any
+
+
+@dataclass
+class FifoStats:
+    """Lifetime statistics of one FIFO, for HLS reports and debugging."""
+
+    pushes: int = 0
+    pops: int = 0
+    max_occupancy: int = 0
+    stall_full_cycles: int = 0
+    stall_empty_cycles: int = 0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    visible_cycle: int
+
+
+class PthreadFifo:
+    """A bounded, cycle-accurate FIFO queue between two streaming kernels.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces, reports and error messages.
+    depth:
+        Maximum number of in-flight values (including not-yet-visible
+        ones). Must be at least 1.
+    width:
+        Optional bit width. When set, every pushed value must be an
+        ``int`` in ``[-2**(width-1), 2**width - 1]`` — i.e. it must fit
+        in ``width`` bits under either a signed or unsigned reading,
+        matching how HLS sizes queue data buses.
+    latency:
+        Cycles before a pushed value becomes readable. 1 models a
+        registered FIFO (the default and the hardware-faithful value);
+        0 models a combinational bypass, useful in unit tests.
+    """
+
+    def __init__(self, name: str, depth: int, width: int | None = None,
+                 latency: int = 1):
+        if depth < 1:
+            raise ValueError(f"fifo {name!r}: depth must be >= 1, got {depth}")
+        if width is not None and width < 1:
+            raise ValueError(f"fifo {name!r}: width must be >= 1, got {width}")
+        if latency < 0:
+            raise ValueError(f"fifo {name!r}: latency must be >= 0")
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.latency = latency
+        self.stats = FifoStats()
+        self._entries: deque[_Entry] = deque()
+        self._last_push_cycle = -1
+        self._last_pop_cycle = -1
+
+    # -- operations yielded by kernels ------------------------------------
+
+    def read(self) -> ReadOp:
+        """Return the read operation for a kernel to ``yield``."""
+        return ReadOp(self)
+
+    def write(self, value: Any) -> WriteOp:
+        """Return the write operation for a kernel to ``yield``."""
+        return WriteOp(self, value)
+
+    # -- scheduler-facing interface ----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of in-flight values, visible or not."""
+        return len(self._entries)
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    def can_pop(self, now: int) -> bool:
+        """True if a value is visible at cycle ``now`` and the read port is free."""
+        if self._last_pop_cycle == now:
+            return False
+        if not self._entries:
+            return False
+        return self._entries[0].visible_cycle <= now
+
+    def can_push(self, now: int) -> bool:
+        """True if there is space and the write port is free at cycle ``now``."""
+        if self._last_push_cycle == now:
+            return False
+        return len(self._entries) < self.depth
+
+    def pop(self, now: int) -> Any:
+        """Pop the head value. Caller must have checked :meth:`can_pop`."""
+        assert self.can_pop(now), f"fifo {self.name!r}: pop without can_pop"
+        self._last_pop_cycle = now
+        self.stats.pops += 1
+        return self._entries.popleft().value
+
+    def push(self, now: int, value: Any) -> None:
+        """Push ``value``. Caller must have checked :meth:`can_push`."""
+        assert self.can_push(now), f"fifo {self.name!r}: push without can_push"
+        self._check_width(value)
+        self._last_push_cycle = now
+        self._entries.append(_Entry(value, now + self.latency))
+        self.stats.pushes += 1
+        if len(self._entries) > self.stats.max_occupancy:
+            self.stats.max_occupancy = len(self._entries)
+
+    def has_future_visibility(self, now: int) -> bool:
+        """True if some queued entry becomes visible strictly after ``now``.
+
+        Used by the deadlock detector: such an entry can unblock a
+        stalled reader on a later cycle.
+        """
+        return any(entry.visible_cycle > now for entry in self._entries)
+
+    def peek(self, now: int) -> Any:
+        """Return the head value without consuming it (must be visible)."""
+        assert self._entries and self._entries[0].visible_cycle <= now
+        return self._entries[0].value
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_width(self, value: Any) -> None:
+        if self.width is None or not isinstance(value, int):
+            return
+        lo = -(1 << (self.width - 1))
+        hi = (1 << self.width) - 1
+        if not lo <= value <= hi:
+            raise FifoWidthError(
+                f"fifo {self.name!r}: value {value} does not fit in "
+                f"{self.width} bits")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PthreadFifo({self.name!r}, depth={self.depth}, "
+                f"occupancy={self.occupancy})")

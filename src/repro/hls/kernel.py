@@ -1,0 +1,134 @@
+"""Streaming kernels: the unit of synthesized hardware.
+
+In the paper each software thread becomes one streaming hardware kernel
+with an initiation interval (II) of 1: it can accept a new input every
+clock cycle. Here a kernel is a Python *generator* that yields
+operations (FIFO reads/writes, ticks, barrier waits) to the
+:class:`~repro.hls.sim.Simulator`, which charges clock cycles.
+
+The cycle-accounting contract mirrors pipelined hardware:
+
+* FIFO reads and writes complete *within* the current cycle when the
+  queue allows it, so a loop body doing ``read -> compute -> write ->
+  tick(1)`` achieves II = 1;
+* a read from an empty queue or a write to a full queue stalls the
+  kernel until the queue allows the transfer;
+* ``yield Tick(n)`` (or ``yield None`` for ``n = 1``) advances the
+  kernel's clock — every loop iteration must tick at least once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.hls.fifo import PthreadFifo
+
+
+@dataclass(frozen=True)
+class Tick:
+    """Scheduler operation: advance this kernel's clock by ``n`` cycles."""
+
+    n: int = 1
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ValueError(f"Tick must advance >= 1 cycle, got {self.n}")
+
+
+class KernelState(enum.Enum):
+    """Lifecycle state of a kernel, visible in traces and reports."""
+
+    READY = "ready"
+    SLEEPING = "sleeping"       # waiting out a Tick
+    STALL_EMPTY = "stall_empty"  # read from empty FIFO
+    STALL_FULL = "stall_full"    # write to full FIFO
+    AT_BARRIER = "at_barrier"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel cycle accounting, the basis of efficiency analysis."""
+
+    active_cycles: int = 0
+    stall_empty_cycles: int = 0
+    stall_full_cycles: int = 0
+    barrier_cycles: int = 0
+    sleep_cycles: int = 0
+    items_read: int = 0
+    items_written: int = 0
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of observed cycles in which the kernel did work."""
+        total = (self.active_cycles + self.stall_empty_cycles +
+                 self.stall_full_cycles + self.barrier_cycles +
+                 self.sleep_cycles)
+        if total == 0:
+            return 0.0
+        return self.active_cycles / total
+
+
+KernelBody = Generator[Any, Any, None]
+
+
+class Kernel:
+    """One streaming kernel registered with a simulator.
+
+    Instances are created via :meth:`repro.hls.sim.Simulator.add_kernel`;
+    user code only supplies the generator function (the "thread body").
+    """
+
+    def __init__(self, name: str, body: KernelBody,
+                 fsm_states: int = 1, ii: int = 1):
+        self.name = name
+        self.body = body
+        self.state = KernelState.READY
+        self.stats = KernelStats()
+        # Metadata for the HLS report; callers may pass better estimates.
+        self.fsm_states = fsm_states
+        self.ii = ii
+        # Scheduler bookkeeping.
+        self.pending_op: Any = None
+        self.send_value: Any = None
+        self.wake_cycle: int = 0
+        self.failure: BaseException | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (KernelState.DONE, KernelState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Kernel({self.name!r}, {self.state.value})"
+
+
+def streaming_map(in_queue: PthreadFifo, out_queue: PthreadFifo,
+                  fn: Callable[[Any], Any]) -> KernelBody:
+    """Infinite producer/consumer kernel: ``out = fn(in)`` each cycle.
+
+    The direct analogue of the paper's ``prodCons`` example
+    (Section II-A): read one value, compute, write one value, II = 1.
+    """
+    while True:
+        value = yield in_queue.read()
+        yield out_queue.write(fn(value))
+        yield Tick(1)
+
+
+def streaming_source(out_queue: PthreadFifo, values: Iterable[Any]) -> KernelBody:
+    """Finite kernel that streams ``values`` into ``out_queue``, one per cycle."""
+    for value in values:
+        yield out_queue.write(value)
+        yield Tick(1)
+
+
+def streaming_sink(in_queue: PthreadFifo, count: int,
+                   collect: list[Any]) -> KernelBody:
+    """Finite kernel that pops ``count`` values into ``collect``."""
+    for _ in range(count):
+        value = yield in_queue.read()
+        collect.append(value)
+        yield Tick(1)

@@ -1,0 +1,143 @@
+"""HLS synthesis report: what LegUp would print about a design.
+
+Aggregates per-kernel metadata (II, FSM states, pipeline depth),
+per-FIFO geometry and simulator statistics into one report object.
+The area model (:mod:`repro.area`) consumes these reports; the tests
+use them to check the paper's structural claims (e.g. the monolithic
+controller synthesizing to hundreds of FSM states, fixed by splitting
+it into two functions — Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.sim import Simulator
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Synthesis-level summary of one streaming kernel."""
+
+    name: str
+    ii: int
+    fsm_states: int
+    active_cycles: int
+    stall_empty_cycles: int
+    stall_full_cycles: int
+    barrier_cycles: int
+    items_read: int
+    items_written: int
+    sleep_cycles: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the kernel's observed cycles spent doing work."""
+        total = (self.active_cycles + self.stall_empty_cycles +
+                 self.stall_full_cycles + self.barrier_cycles)
+        if total == 0:
+            return 0.0
+        return self.active_cycles / total
+
+    @property
+    def measured_ii(self) -> float:
+        """Achieved initiation interval: busy cycles per item consumed.
+
+        Busy = active + multi-cycle-tick sleep (a ``Tick(n)`` is one
+        active cycle plus ``n - 1`` sleeping ones). The scheduled
+        ``ii`` is the design target (1 for the paper's pipelined
+        kernels); this is what the run actually sustained — the number
+        HLS users check first when throughput disappoints.
+        """
+        if self.items_read == 0:
+            return 0.0
+        return (self.active_cycles + self.sleep_cycles) / self.items_read
+
+
+@dataclass(frozen=True)
+class FifoReport:
+    """Synthesis-level summary of one FIFO queue."""
+
+    name: str
+    depth: int
+    width: int | None
+    pushes: int
+    pops: int
+    max_occupancy: int
+
+    @property
+    def storage_bits(self) -> int:
+        """LUT-RAM bits implied by the queue geometry (width defaults to 32)."""
+        return self.depth * (self.width if self.width is not None else 32)
+
+
+@dataclass
+class HlsReport:
+    """Complete report for one synthesized design (one simulator)."""
+
+    design: str
+    cycles: int
+    kernels: list[KernelReport] = field(default_factory=list)
+    fifos: list[FifoReport] = field(default_factory=list)
+
+    @classmethod
+    def from_simulator(cls, sim: Simulator) -> "HlsReport":
+        """Snapshot ``sim`` into a report (typically after a run)."""
+        kernels = [
+            KernelReport(
+                name=k.name,
+                ii=k.ii,
+                fsm_states=k.fsm_states,
+                active_cycles=k.stats.active_cycles,
+                stall_empty_cycles=k.stats.stall_empty_cycles,
+                stall_full_cycles=k.stats.stall_full_cycles,
+                barrier_cycles=k.stats.barrier_cycles,
+                items_read=k.stats.items_read,
+                items_written=k.stats.items_written,
+                sleep_cycles=k.stats.sleep_cycles,
+            )
+            for k in sim.kernels
+        ]
+        fifos = [
+            FifoReport(
+                name=f.name,
+                depth=f.depth,
+                width=f.width,
+                pushes=f.stats.pushes,
+                pops=f.stats.pops,
+                max_occupancy=f.stats.max_occupancy,
+            )
+            for f in sim.fifos
+        ]
+        return cls(design=sim.name, cycles=sim.now, kernels=kernels,
+                   fifos=fifos)
+
+    @property
+    def total_fsm_states(self) -> int:
+        return sum(k.fsm_states for k in self.kernels)
+
+    @property
+    def total_fifo_bits(self) -> int:
+        return sum(f.storage_bits for f in self.fifos)
+
+    def kernel(self, name: str) -> KernelReport:
+        for entry in self.kernels:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no kernel {name!r} in report for {self.design!r}")
+
+    def format_table(self) -> str:
+        """Human-readable synthesis report (fixed-width text table)."""
+        lines = [
+            f"HLS report: {self.design} ({self.cycles} cycles, "
+            f"{len(self.kernels)} kernels, {len(self.fifos)} fifos)",
+            f"{'kernel':<28}{'II':>4}{'FSM':>6}{'active':>10}"
+            f"{'stallE':>8}{'stallF':>8}{'barrier':>8}{'util%':>7}",
+        ]
+        for k in self.kernels:
+            lines.append(
+                f"{k.name:<28}{k.ii:>4}{k.fsm_states:>6}"
+                f"{k.active_cycles:>10}{k.stall_empty_cycles:>8}"
+                f"{k.stall_full_cycles:>8}{k.barrier_cycles:>8}"
+                f"{100.0 * k.utilization:>6.1f}%")
+        return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Cycle-level scheduler for streaming kernels.
+
+This is the behavioural stand-in for "LegUp synthesizes the threads to
+parallel hardware": every registered kernel advances in lock-step, one
+clock cycle at a time, exchanging data through
+:class:`~repro.hls.fifo.PthreadFifo` queues and synchronizing on
+:class:`~repro.hls.barrier.Barrier` objects.
+
+Scheduling semantics (chosen to match pipelined streaming hardware):
+
+* Within one cycle, each runnable kernel executes operations until it
+  either ticks (``yield Tick(n)`` / ``yield None``) or blocks on a FIFO
+  or barrier. FIFO transfers that the queue allows complete in the
+  current cycle, so ``read -> write -> tick`` loops run at II = 1.
+* A value written to a FIFO at cycle ``t`` is readable at
+  ``t + latency`` (default 1).
+* Each FIFO performs at most one push and one pop per cycle.
+* A kernel that executes more than ``ops_per_cycle_limit`` operations
+  without ticking models a combinational loop and raises.
+
+The simulator detects true deadlock (all live kernels blocked with no
+future event that can unblock them) and raises
+:class:`~repro.hls.errors.SimulationDeadlock` rather than spinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.hls.barrier import Barrier, BarrierWaitOp
+from repro.hls.errors import (CombinationalLoop, KernelError,
+                              SimulationDeadlock, SimulationTimeout)
+from repro.hls.fifo import PthreadFifo, ReadOp, WriteOp
+from repro.hls.kernel import Kernel, KernelBody, KernelState, Tick
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler event, recorded when tracing is enabled."""
+
+    cycle: int
+    kernel: str
+    event: str
+    detail: str = ""
+
+
+class Simulator:
+    """Lock-step cycle simulator for a set of streaming kernels.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages and traces.
+    trace:
+        When true, record :class:`TraceEvent` objects in :attr:`events`.
+        Tracing is O(ops) in memory; leave off for long runs.
+    ops_per_cycle_limit:
+        Safety bound on operations a single kernel may execute within
+        one cycle before the scheduler declares a combinational loop.
+    """
+
+    def __init__(self, name: str = "sim", trace: bool = False,
+                 ops_per_cycle_limit: int = 100_000):
+        self.name = name
+        self.now = 0
+        self.trace = trace
+        self.events: list[TraceEvent] = []
+        self.kernels: list[Kernel] = []
+        self.fifos: list[PthreadFifo] = []
+        self.barriers: list[Barrier] = []
+        self._ops_per_cycle_limit = ops_per_cycle_limit
+
+    # -- construction --------------------------------------------------------
+
+    def fifo(self, name: str, depth: int, width: int | None = None,
+             latency: int = 1) -> PthreadFifo:
+        """Create and register a FIFO queue."""
+        queue = PthreadFifo(name, depth, width=width, latency=latency)
+        self.fifos.append(queue)
+        return queue
+
+    def barrier(self, name: str, parties: int) -> Barrier:
+        """Create and register a barrier."""
+        barrier = Barrier(name, parties)
+        self.barriers.append(barrier)
+        return barrier
+
+    def add_kernel(self, name: str, body: KernelBody, *,
+                   fsm_states: int = 1, ii: int = 1) -> Kernel:
+        """Register a kernel whose body is an already-created generator."""
+        kernel = Kernel(name, body, fsm_states=fsm_states, ii=ii)
+        self.kernels.append(kernel)
+        return kernel
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000_000,
+            until: Callable[[], bool] | None = None) -> int:
+        """Advance the clock until completion and return cycles elapsed.
+
+        The run ends when every kernel has finished, when ``until()``
+        becomes true (checked at each cycle boundary), or — with an
+        exception — on deadlock or when ``max_cycles`` is exceeded.
+        """
+        start = self.now
+        while True:
+            if all(k.finished for k in self.kernels):
+                return self.now - start
+            if until is not None and until():
+                return self.now - start
+            if self.now - start >= max_cycles:
+                raise SimulationTimeout(
+                    f"{self.name}: exceeded {max_cycles} cycles")
+            self._step()
+
+    def step(self) -> None:
+        """Advance exactly one clock cycle (primarily for tests)."""
+        self._step()
+
+    # -- internals -------------------------------------------------------------
+
+    def _step(self) -> None:
+        progressed = False
+        for kernel in self.kernels:
+            if kernel.finished:
+                continue
+            if (kernel.state is KernelState.SLEEPING
+                    and self.now < kernel.wake_cycle):
+                kernel.stats.sleep_cycles += 1
+                continue
+            progressed |= self._advance_kernel(kernel)
+        if not progressed and not self._future_event_pending():
+            live = [k.name for k in self.kernels if not k.finished]
+            states = {k.name: k.state.value for k in self.kernels
+                      if not k.finished}
+            raise SimulationDeadlock(
+                f"{self.name}: deadlock at cycle {self.now}; "
+                f"live kernels {live} with states {states}")
+        self.now += 1
+
+    def _future_event_pending(self) -> bool:
+        """True if some queued FIFO entry or barrier release can unblock."""
+        if any(f.has_future_visibility(self.now) for f in self.fifos):
+            return True
+        if any(b.pending_release(self.now) for b in self.barriers):
+            return True
+        return any(k.state is KernelState.SLEEPING and not k.finished
+                   for k in self.kernels)
+
+    def _advance_kernel(self, kernel: Kernel) -> bool:
+        """Run ``kernel`` within the current cycle; return True on progress."""
+        ops = 0
+        did_work = False
+        while True:
+            op = kernel.pending_op
+            if op is None:
+                try:
+                    op = kernel.body.send(kernel.send_value)
+                except StopIteration:
+                    kernel.state = KernelState.DONE
+                    self._record(kernel, "done")
+                    return True
+                except Exception as exc:
+                    kernel.state = KernelState.FAILED
+                    kernel.failure = exc
+                    raise KernelError(kernel.name, exc) from exc
+                kernel.send_value = None
+            ops += 1
+            if ops > self._ops_per_cycle_limit:
+                raise CombinationalLoop(
+                    f"kernel {kernel.name!r} executed {ops} ops at cycle "
+                    f"{self.now} without ticking")
+            if op is None:
+                op = Tick(1)
+            if isinstance(op, Tick):
+                kernel.pending_op = None
+                kernel.state = KernelState.SLEEPING
+                kernel.wake_cycle = self.now + op.n
+                kernel.stats.active_cycles += 1
+                return True
+            if isinstance(op, ReadOp):
+                if op.fifo.can_pop(self.now):
+                    kernel.send_value = op.fifo.pop(self.now)
+                    kernel.pending_op = None
+                    kernel.stats.items_read += 1
+                    did_work = True
+                    self._record(kernel, "read", op.fifo.name)
+                    continue
+                kernel.pending_op = op
+                kernel.state = KernelState.STALL_EMPTY
+                kernel.stats.stall_empty_cycles += 1
+                op.fifo.stats.stall_empty_cycles += 1
+                return did_work
+            if isinstance(op, WriteOp):
+                if op.fifo.can_push(self.now):
+                    op.fifo.push(self.now, op.value)
+                    kernel.pending_op = None
+                    kernel.stats.items_written += 1
+                    did_work = True
+                    self._record(kernel, "write", op.fifo.name)
+                    continue
+                kernel.pending_op = op
+                kernel.state = KernelState.STALL_FULL
+                kernel.stats.stall_full_cycles += 1
+                op.fifo.stats.stall_full_cycles += 1
+                return did_work
+            if isinstance(op, BarrierWaitOp):
+                barrier = op.barrier
+                barrier.arrive(kernel.name, self.now)
+                if barrier.released(kernel.name, self.now):
+                    barrier.depart(kernel.name)
+                    kernel.pending_op = None
+                    did_work = True
+                    self._record(kernel, "barrier_pass", barrier.name)
+                    continue
+                kernel.pending_op = op
+                kernel.state = KernelState.AT_BARRIER
+                kernel.stats.barrier_cycles += 1
+                return did_work
+            raise TypeError(
+                f"kernel {kernel.name!r} yielded unsupported op {op!r}")
+
+    def _record(self, kernel: Kernel, event: str, detail: str = "") -> None:
+        if self.trace:
+            self.events.append(TraceEvent(self.now, kernel.name, event, detail))

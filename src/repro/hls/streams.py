@@ -1,0 +1,114 @@
+"""Reusable producer/consumer kernels: the streaming idiom library.
+
+The paper's coding style (Section II-A) builds hardware out of small
+threads that read FIFOs, compute, and write FIFOs. Beyond the 1-in/1-out
+``streaming_map``, real designs need plumbing: broadcasts, splitters,
+mergers, delay lines. These kernels provide that plumbing with the same
+II=1 cycle discipline, and are the building blocks used by tests and by
+anyone extending the accelerator (e.g. adding a new unit type).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.hls.fifo import PthreadFifo
+from repro.hls.kernel import KernelBody, Tick
+
+
+def fork(in_queue: PthreadFifo, out_queues: list[PthreadFifo]) -> KernelBody:
+    """Broadcast every input value to all output queues (one cycle each).
+
+    All output writes happen in the same cycle (distinct ports), so the
+    fork sustains II = 1 when none of the consumers back-pressures.
+    """
+    if not out_queues:
+        raise ValueError("fork needs at least one output queue")
+    while True:
+        value = yield in_queue.read()
+        for out_queue in out_queues:
+            yield out_queue.write(value)
+        yield Tick(1)
+
+
+def round_robin_split(in_queue: PthreadFifo,
+                      out_queues: list[PthreadFifo]) -> KernelBody:
+    """Distribute inputs cyclically: item i goes to queue ``i % n``."""
+    if not out_queues:
+        raise ValueError("split needs at least one output queue")
+    index = 0
+    while True:
+        value = yield in_queue.read()
+        yield out_queues[index].write(value)
+        index = (index + 1) % len(out_queues)
+        yield Tick(1)
+
+
+def round_robin_merge(in_queues: list[PthreadFifo],
+                      out_queue: PthreadFifo) -> KernelBody:
+    """Interleave inputs cyclically: output i comes from queue ``i % n``.
+
+    Deterministic merge order (unlike an arbiter), matching how the
+    accumulators consume their four convolution-unit streams.
+    """
+    if not in_queues:
+        raise ValueError("merge needs at least one input queue")
+    index = 0
+    while True:
+        value = yield in_queues[index].read()
+        yield out_queue.write(value)
+        index = (index + 1) % len(in_queues)
+        yield Tick(1)
+
+
+def streaming_filter(in_queue: PthreadFifo, out_queue: PthreadFifo,
+                     predicate: Callable[[Any], bool]) -> KernelBody:
+    """Forward only values satisfying ``predicate`` (II = 1 regardless)."""
+    while True:
+        value = yield in_queue.read()
+        if predicate(value):
+            yield out_queue.write(value)
+        yield Tick(1)
+
+
+def streaming_reduce(in_queue: PthreadFifo, out_queue: PthreadFifo,
+                     fn: Callable[[Any, Any], Any], window: int,
+                     initial: Any = 0) -> KernelBody:
+    """Fold every ``window`` consecutive inputs into one output."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    while True:
+        accumulator = initial
+        for _ in range(window):
+            value = yield in_queue.read()
+            accumulator = fn(accumulator, value)
+            yield Tick(1)
+        yield out_queue.write(accumulator)
+
+
+def delay_line(in_queue: PthreadFifo, out_queue: PthreadFifo,
+               depth: int, fill: Any = 0) -> KernelBody:
+    """Fixed-latency pipeline: output lags input by ``depth`` items.
+
+    The first ``depth`` outputs are ``fill`` (register reset values),
+    like a shift register synthesized from a pipelined loop.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    registers = [fill] * depth
+    while True:
+        value = yield in_queue.read()
+        yield out_queue.write(registers[0])
+        registers = registers[1:] + [value]
+        yield Tick(1)
+
+
+def generator_source(out_queue: PthreadFifo,
+                     values: Iterable[Any],
+                     interval: int = 1) -> KernelBody:
+    """Stream ``values`` at one item per ``interval`` cycles."""
+    if interval < 1:
+        raise ValueError(f"interval must be >= 1, got {interval}")
+    for value in values:
+        yield out_queue.write(value)
+        yield Tick(interval)

@@ -1,0 +1,106 @@
+"""Waveform capture: per-cycle visibility into a streaming design.
+
+Hardware debugging lives on waveforms; this module provides the cycle
+simulator's equivalent. A :class:`WaveformRecorder` samples kernel
+states and FIFO occupancies for a bounded window and renders an ASCII
+timeline — the tool used to see where a pipeline stalls and why.
+
+The recorder is itself a finite kernel (it samples for ``window``
+cycles then stops), so it does not mask deadlock detection once its
+window expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.kernel import KernelState, Tick
+from repro.hls.sim import Simulator
+
+#: One-character glyph per kernel state for the ASCII timeline.
+STATE_GLYPHS = {
+    KernelState.READY: ".",
+    KernelState.SLEEPING: "#",       # actively working (ticking)
+    KernelState.STALL_EMPTY: "e",
+    KernelState.STALL_FULL: "f",
+    KernelState.AT_BARRIER: "b",
+    KernelState.DONE: " ",
+    KernelState.FAILED: "X",
+}
+
+
+@dataclass
+class WaveformRecorder:
+    """Samples a simulator every cycle for a bounded window."""
+
+    sim: Simulator
+    window: int = 256
+    kernel_states: dict[str, list[KernelState]] = field(default_factory=dict)
+    fifo_levels: dict[str, list[int]] = field(default_factory=dict)
+    cycles: list[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        for kernel in self.sim.kernels:
+            self.kernel_states[kernel.name] = []
+        for fifo in self.sim.fifos:
+            self.fifo_levels[fifo.name] = []
+        self.sim.add_kernel("waveform-recorder", self._body())
+
+    def _body(self):
+        for _ in range(self.window):
+            self._sample()
+            yield Tick(1)
+
+    def _sample(self) -> None:
+        self.cycles.append(self.sim.now)
+        for kernel in self.sim.kernels:
+            if kernel.name == "waveform-recorder":
+                continue
+            if kernel.name in self.kernel_states:
+                self.kernel_states[kernel.name].append(kernel.state)
+        for fifo in self.sim.fifos:
+            self.fifo_levels[fifo.name].append(fifo.occupancy)
+
+    @property
+    def samples(self) -> int:
+        return len(self.cycles)
+
+    def stall_fraction(self, kernel_name: str) -> float:
+        """Fraction of sampled cycles the kernel spent stalled."""
+        states = self.kernel_states[kernel_name]
+        if not states:
+            return 0.0
+        stalled = sum(1 for s in states
+                      if s in (KernelState.STALL_EMPTY,
+                               KernelState.STALL_FULL,
+                               KernelState.AT_BARRIER))
+        return stalled / len(states)
+
+    def peak_level(self, fifo_name: str) -> int:
+        levels = self.fifo_levels[fifo_name]
+        return max(levels) if levels else 0
+
+    def render(self, kernels: list[str] | None = None,
+               first: int = 0, width: int = 64) -> str:
+        """ASCII timeline: one row per kernel, one glyph per cycle.
+
+        Glyphs: ``#`` working, ``e`` stalled on empty queue, ``f`` on
+        full queue, ``b`` at barrier, space done.
+        """
+        names = kernels if kernels is not None else \
+            sorted(self.kernel_states)
+        span = slice(first, first + width)
+        header_cycles = self.cycles[span]
+        if not header_cycles:
+            return "(no samples in range)"
+        lines = [f"cycles {header_cycles[0]}..{header_cycles[-1]} "
+                 f"(# work, e empty-stall, f full-stall, b barrier)"]
+        for name in names:
+            states = self.kernel_states.get(name)
+            if states is None:
+                raise KeyError(f"no kernel {name!r} recorded")
+            glyphs = "".join(STATE_GLYPHS[s] for s in states[span])
+            lines.append(f"{name:<24} {glyphs}")
+        return "\n".join(lines)

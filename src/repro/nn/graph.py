@@ -1,0 +1,98 @@
+"""Sequential network container with shape propagation and cost queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.layers import (ConvLayer, FCLayer, InputLayer, Layer)
+from repro.nn.tensor import Shape
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """One layer resolved against concrete shapes."""
+
+    layer: Layer
+    in_shape: Shape
+    out_shape: Shape
+    macs: int
+
+
+class Network:
+    """An ordered stack of layers, validated at construction.
+
+    Shape propagation runs once in ``__init__``; any geometry mismatch
+    (wrong channel count, collapsing convolution) raises immediately,
+    so a constructed ``Network`` is always internally consistent.
+    """
+
+    def __init__(self, name: str, layers: list[Layer]):
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        if not isinstance(layers[0], InputLayer):
+            raise ValueError("first layer must be an InputLayer")
+        names = [layer.name for layer in layers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate layer names: {sorted(duplicates)}")
+        self.name = name
+        self.layers = list(layers)
+        self.infos: list[LayerInfo] = []
+        shape = layers[0].shape
+        for layer in layers:
+            out_shape = layer.output_shape(shape)
+            self.infos.append(LayerInfo(layer, shape, out_shape,
+                                        layer.macs(shape)))
+            shape = out_shape
+        self.output_shape = shape
+
+    # -- queries ---------------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"network {self.name!r} has no layer {name!r}")
+
+    def info(self, name: str) -> LayerInfo:
+        for entry in self.infos:
+            if entry.layer.name == name:
+                return entry
+        raise KeyError(f"network {self.name!r} has no layer {name!r}")
+
+    def conv_infos(self) -> list[LayerInfo]:
+        """Resolved info for every convolution layer, in network order."""
+        return [i for i in self.infos if isinstance(i.layer, ConvLayer)]
+
+    def fc_infos(self) -> list[LayerInfo]:
+        return [i for i in self.infos if isinstance(i.layer, FCLayer)]
+
+    def total_macs(self) -> int:
+        """Total MACs for one inference."""
+        return sum(info.macs for info in self.infos)
+
+    def conv_macs(self) -> int:
+        """MACs in convolution layers only (the accelerator's share)."""
+        return sum(info.macs for info in self.conv_infos())
+
+    def total_params(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        lines = [f"{self.name}: {len(self.layers)} layers, "
+                 f"{self.total_params() / 1e6:.1f}M params, "
+                 f"{self.total_macs() / 1e9:.2f} GMACs",
+                 f"{'layer':<12}{'type':<14}{'in':>14}{'out':>14}{'MMACs':>10}"]
+        for info in self.infos:
+            lines.append(
+                f"{info.layer.name:<12}{type(info.layer).__name__:<14}"
+                f"{str(info.in_shape):>14}{str(info.out_shape):>14}"
+                f"{info.macs / 1e6:>10.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Synthetic model and image generation: the Caffe-model substitute.
+
+The paper starts from the pre-trained VGG-16 Caffe model (130M+
+parameters) and ImageNet images; neither is available offline, and —
+for everything this reproduction measures — neither is needed: the
+accelerator's behaviour depends on weight *sparsity structure* and
+layer *geometry*, not on what the weights encode. This module
+generates seeded weights with realistic magnitude statistics
+(He-style fan-in scaling, heavy concentration near zero, exactly what
+magnitude pruning exploits) and synthetic input images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Network
+from repro.nn.layers import ConvLayer, FCLayer
+
+
+def he_std(fan_in: int) -> float:
+    """He-initialization standard deviation ``sqrt(2 / fan_in)``."""
+    if fan_in < 1:
+        raise ValueError(f"fan_in must be >= 1, got {fan_in}")
+    return float(np.sqrt(2.0 / fan_in))
+
+
+def generate_weights(network: Network, seed: int = 0, include_fc: bool = True,
+                     ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Generate (weights, biases) for every conv/FC layer of ``network``.
+
+    Weights are zero-mean Gaussians with He fan-in scaling — the
+    magnitude distribution that makes magnitude pruning behave as in
+    the literature (most weights are small). Biases are small positive
+    values so ReLU outputs are not degenerate.
+
+    ``include_fc=False`` skips the fully connected layers; full-size
+    VGG-16 FC weights are ~120M parameters that the conv-only
+    performance models never touch.
+    """
+    rng = np.random.default_rng(seed)
+    weights: dict[str, np.ndarray] = {}
+    biases: dict[str, np.ndarray] = {}
+    for layer in network:
+        if isinstance(layer, FCLayer) and not include_fc:
+            continue
+        if isinstance(layer, ConvLayer):
+            fan_in = layer.in_channels * layer.kernel * layer.kernel
+            weights[layer.name] = rng.normal(
+                0.0, he_std(fan_in), size=layer.weight_shape)
+            biases[layer.name] = rng.uniform(0.0, 0.05, layer.out_channels)
+        elif isinstance(layer, FCLayer):
+            weights[layer.name] = rng.normal(
+                0.0, he_std(layer.in_features), size=layer.weight_shape)
+            biases[layer.name] = rng.uniform(0.0, 0.05, layer.out_features)
+    return weights, biases
+
+
+def generate_image(shape: tuple[int, int, int] = (3, 224, 224),
+                   seed: int = 0) -> np.ndarray:
+    """A synthetic mean-subtracted input image in roughly [-1, 1].
+
+    Built from low-frequency structure plus noise so that feature maps
+    have non-trivial spatial correlation (as natural images do) — this
+    matters for exercising max-pooling and padding paths meaningfully.
+    """
+    channels, height, width = shape
+    rng = np.random.default_rng(seed)
+    ys = np.linspace(0.0, 2.0 * np.pi, height)[:, None]
+    xs = np.linspace(0.0, 2.0 * np.pi, width)[None, :]
+    image = np.empty(shape, dtype=np.float64)
+    for c in range(channels):
+        fy, fx = rng.uniform(0.5, 3.0, size=2)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        image[c] = 0.6 * np.sin(fy * ys + fx * xs + phase)
+        image[c] += 0.4 * rng.normal(0.0, 0.3, size=(height, width))
+    return np.clip(image, -1.0, 1.0)

@@ -1,0 +1,175 @@
+"""Layer descriptions for sequential CNNs.
+
+These are *specifications*, not executable modules: they carry geometry
+(shapes, kernel sizes) and cost metadata (MACs, parameter counts). The
+float reference executor lives in :mod:`repro.nn.reference`; the
+accelerator lowers the same specifications to hardware instructions in
+:mod:`repro.soc.driver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.tensor import Shape, conv_output_hw, pool_output_hw
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class: every layer has a name and shape/cost semantics."""
+
+    name: str
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def macs(self, in_shape: Shape) -> int:
+        """Multiply-accumulate operations to evaluate this layer."""
+        return 0
+
+    def param_count(self) -> int:
+        """Learnable parameters (weights + biases)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class InputLayer(Layer):
+    """Declares the network input shape."""
+
+    shape: Shape = Shape(3, 224, 224)
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        if in_shape != self.shape:
+            raise ValueError(
+                f"{self.name}: expected input {self.shape}, got {in_shape}")
+        return self.shape
+
+
+@dataclass(frozen=True)
+class ConvLayer(Layer):
+    """2-D convolution with square kernels; ReLU applied separately.
+
+    ``pad`` is the zero-padding applied around the input perimeter — in
+    the paper this is lowered to an explicit padding instruction before
+    the convolution instruction (Section III-A), which is why the
+    accelerator's convolution itself never sees negative offsets.
+    """
+
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel: int = 3
+    stride: int = 1
+    pad: int = 1
+
+    def __post_init__(self):
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError(f"{self.name}: channel counts must be >= 1")
+        if self.kernel < 1 or self.stride < 1 or self.pad < 0:
+            raise ValueError(f"{self.name}: bad kernel/stride/pad")
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        if in_shape.c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {in_shape.c}")
+        out_h, out_w = conv_output_hw(in_shape.h, in_shape.w, self.kernel,
+                                      self.stride, self.pad)
+        return Shape(self.out_channels, out_h, out_w)
+
+    def macs(self, in_shape: Shape) -> int:
+        out = self.output_shape(in_shape)
+        return (out.c * out.h * out.w
+                * self.in_channels * self.kernel * self.kernel)
+
+    def param_count(self) -> int:
+        return (self.out_channels * self.in_channels
+                * self.kernel * self.kernel + self.out_channels)
+
+    @property
+    def weight_shape(self) -> tuple[int, int, int, int]:
+        return (self.out_channels, self.in_channels, self.kernel, self.kernel)
+
+
+@dataclass(frozen=True)
+class ReluLayer(Layer):
+    """Elementwise ``y = max(0, x)``."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+
+@dataclass(frozen=True)
+class MaxPoolLayer(Layer):
+    """Max-pooling over ``size``x``size`` regions with ``stride``."""
+
+    size: int = 2
+    stride: int = 2
+
+    def __post_init__(self):
+        if self.size < 1 or self.stride < 1:
+            raise ValueError(f"{self.name}: bad size/stride")
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        out_h, out_w = pool_output_hw(in_shape.h, in_shape.w, self.size,
+                                      self.stride)
+        return Shape(in_shape.c, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class PadLayer(Layer):
+    """Explicit zero-padding of ``pad`` values around the perimeter."""
+
+    pad: int = 1
+
+    def __post_init__(self):
+        if self.pad < 0:
+            raise ValueError(f"{self.name}: pad must be >= 0")
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return Shape(in_shape.c, in_shape.h + 2 * self.pad,
+                     in_shape.w + 2 * self.pad)
+
+
+@dataclass(frozen=True)
+class FlattenLayer(Layer):
+    """CHW feature map to a flat vector (C*H*W channels of 1x1)."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return Shape(in_shape.size, 1, 1)
+
+
+@dataclass(frozen=True)
+class FCLayer(Layer):
+    """Fully connected layer: matrix multiply plus bias."""
+
+    in_features: int = 0
+    out_features: int = 0
+
+    def __post_init__(self):
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError(f"{self.name}: feature counts must be >= 1")
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        if in_shape.size != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, "
+                f"got {in_shape.size}")
+        return Shape(self.out_features, 1, 1)
+
+    def macs(self, in_shape: Shape) -> int:
+        return self.in_features * self.out_features
+
+    def param_count(self) -> int:
+        return self.in_features * self.out_features + self.out_features
+
+    @property
+    def weight_shape(self) -> tuple[int, int]:
+        return (self.out_features, self.in_features)
+
+
+@dataclass(frozen=True)
+class SoftmaxLayer(Layer):
+    """Normalizing softmax over the channel axis (final classifier)."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape

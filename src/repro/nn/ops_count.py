@@ -1,0 +1,92 @@
+"""Operation accounting: MACs, GOP conventions, data volumes.
+
+Two counting conventions appear in the paper and this module supports
+both explicitly:
+
+* ``macs`` — multiply-accumulate operations. The paper's "GOPS" figures
+  count MAC-ops/s: the 512-opt peak of 61 GOPS is exactly
+  512 MACs/cycle x 120 MHz.
+* ``effective`` ops — nominal MACs of the *unpruned* network counted
+  as performed even when zero-skipping skipped them; this is the
+  paper's "effective GOPS" (138 peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.graph import Network
+from repro.nn.layers import ConvLayer
+from repro.nn.tensor import Shape
+
+
+@dataclass(frozen=True)
+class ConvWorkload:
+    """Geometry and nominal cost of one convolution layer."""
+
+    name: str
+    in_shape: Shape      # unpadded input (C_in, H, W)
+    out_shape: Shape     # output (C_out, H', W')
+    kernel: int
+    macs: int            # nominal MACs (dense)
+
+    @property
+    def weight_count(self) -> int:
+        return self.out_shape.c * self.in_shape.c * self.kernel * self.kernel
+
+    @property
+    def ifm_values(self) -> int:
+        return self.in_shape.size
+
+    @property
+    def ofm_values(self) -> int:
+        return self.out_shape.size
+
+    @property
+    def weight_to_fm_ratio(self) -> float:
+        """Weight data relative to feature-map data.
+
+        The paper attributes the best/worst layer spread to this ratio
+        growing with depth (Section V): deep layers are weight-heavy.
+        """
+        return self.weight_count / (self.ifm_values + self.ofm_values)
+
+
+def conv_workloads(network: Network) -> list[ConvWorkload]:
+    """Extract the convolution workloads of ``network`` in order."""
+    workloads = []
+    for info in network.conv_infos():
+        layer = info.layer
+        assert isinstance(layer, ConvLayer)
+        # Report the unpadded input: if the network carries explicit
+        # PadLayers, info.in_shape is already padded — undo it so both
+        # formulations yield identical workloads.
+        in_shape = info.in_shape
+        if layer.pad == 0 and layer.kernel > 1:
+            in_shape = Shape(in_shape.c, in_shape.h - (layer.kernel - 1),
+                             in_shape.w - (layer.kernel - 1))
+        workloads.append(ConvWorkload(
+            name=layer.name,
+            in_shape=in_shape,
+            out_shape=info.out_shape,
+            kernel=layer.kernel,
+            macs=info.macs,
+        ))
+    return workloads
+
+
+def total_conv_macs(network: Network) -> int:
+    """Nominal MACs of all convolution layers (the accelerator's work)."""
+    return sum(w.macs for w in conv_workloads(network))
+
+
+def gops_from_macs(macs: int, seconds: float) -> float:
+    """The paper's GOPS convention: MAC-operations per second / 1e9."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return macs / seconds / 1e9
+
+
+def macs_per_second(macs_per_cycle: int, clock_mhz: float) -> float:
+    """Peak MAC rate of an accelerator configuration."""
+    return macs_per_cycle * clock_mhz * 1e6

@@ -1,0 +1,125 @@
+"""Float reference executor: the "golden model" for all hardware paths.
+
+Pure-numpy implementations of every operation the system performs. The
+accelerator's quantized results are validated against the quantized
+version of these functions; these in turn are validated against direct
+(loop-based) definitions in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.tensor import assert_chw, assert_ochw
+
+
+def zero_pad(ifm: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad a CHW feature map by ``pad`` on every spatial side."""
+    assert_chw(ifm)
+    if pad < 0:
+        raise ValueError(f"pad must be >= 0, got {pad}")
+    if pad == 0:
+        return ifm.copy()
+    return np.pad(ifm, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def conv2d(ifm: np.ndarray, weights: np.ndarray,
+           bias: np.ndarray | None = None, stride: int = 1,
+           pad: int = 0) -> np.ndarray:
+    """2-D convolution (cross-correlation, the CNN convention).
+
+    ``ifm`` is CHW, ``weights`` is OCHW; returns an O x H' x W' map.
+    """
+    assert_chw(ifm)
+    assert_ochw(weights)
+    out_ch, in_ch, kernel_h, kernel_w = weights.shape
+    if ifm.shape[0] != in_ch:
+        raise ValueError(
+            f"channel mismatch: ifm has {ifm.shape[0]}, weights expect {in_ch}")
+    if bias is not None and bias.shape != (out_ch,):
+        raise ValueError(f"bias must be ({out_ch},), got {bias.shape}")
+    x = zero_pad(ifm, pad) if pad else ifm
+    if x.shape[1] < kernel_h or x.shape[2] < kernel_w:
+        raise ValueError("input smaller than kernel")
+    windows = sliding_window_view(x, (kernel_h, kernel_w), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    out = np.einsum("chwij,ocij->ohw", windows, weights,
+                    optimize=True)
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return out
+
+
+def maxpool2d(ifm: np.ndarray, size: int = 2, stride: int = 2) -> np.ndarray:
+    """Max-pooling over ``size`` x ``size`` windows with ``stride``."""
+    assert_chw(ifm)
+    windows = sliding_window_view(ifm, (size, size), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    return windows.max(axis=(3, 4))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """ReLU activation: ``y = max(0, x)``."""
+    return np.maximum(x, 0)
+
+
+def fully_connected(x: np.ndarray, weights: np.ndarray,
+                    bias: np.ndarray | None = None) -> np.ndarray:
+    """``y = W @ x + b`` for a flat input vector."""
+    flat = x.reshape(-1)
+    if weights.ndim != 2 or weights.shape[1] != flat.shape[0]:
+        raise ValueError(
+            f"weights {weights.shape} incompatible with input of "
+            f"{flat.shape[0]} features")
+    out = weights @ flat
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over all elements."""
+    flat = x.reshape(-1).astype(np.float64)
+    shifted = flat - flat.max()
+    exp = np.exp(shifted)
+    return (exp / exp.sum()).reshape(x.shape)
+
+
+def run_network(network: Network, weights: dict[str, np.ndarray],
+                image: np.ndarray,
+                biases: dict[str, np.ndarray] | None = None) -> np.ndarray:
+    """Run the float reference over ``network``.
+
+    ``weights`` maps conv/FC layer names to their weight tensors;
+    ``biases`` (optional) maps the same names to bias vectors.
+    """
+    biases = biases or {}
+    x = np.asarray(image, dtype=np.float64)
+    for layer in network:
+        if isinstance(layer, InputLayer):
+            if x.shape != layer.shape.as_tuple():
+                raise ValueError(
+                    f"input shape {x.shape} != declared {layer.shape}")
+        elif isinstance(layer, PadLayer):
+            x = zero_pad(x, layer.pad)
+        elif isinstance(layer, ConvLayer):
+            x = conv2d(x, weights[layer.name], biases.get(layer.name),
+                       stride=layer.stride, pad=layer.pad)
+        elif isinstance(layer, ReluLayer):
+            x = relu(x)
+        elif isinstance(layer, MaxPoolLayer):
+            x = maxpool2d(x, layer.size, layer.stride)
+        elif isinstance(layer, FlattenLayer):
+            x = x.reshape(-1, 1, 1)
+        elif isinstance(layer, FCLayer):
+            x = fully_connected(x, weights[layer.name],
+                                biases.get(layer.name)).reshape(-1, 1, 1)
+        elif isinstance(layer, SoftmaxLayer):
+            x = softmax(x)
+        else:
+            raise TypeError(f"no reference executor for {type(layer).__name__}")
+    return x

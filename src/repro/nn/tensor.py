@@ -1,0 +1,79 @@
+"""Tensor conventions and shape utilities for the CNN substrate.
+
+The library processes one image at a time (embedded inference, batch
+size 1, as in the paper), so feature maps are plain numpy arrays in
+**CHW** order: ``(channels, height, width)``. Weights for a convolution
+layer are **OCHW**: ``(out_channels, in_channels, kernel_h, kernel_w)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A CHW feature-map shape."""
+
+    c: int
+    h: int
+    w: int
+
+    def __post_init__(self):
+        if self.c < 1 or self.h < 1 or self.w < 1:
+            raise ValueError(f"invalid shape {self}")
+
+    @property
+    def size(self) -> int:
+        return self.c * self.h * self.w
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.c, self.h, self.w)
+
+    def __str__(self) -> str:
+        return f"{self.c}x{self.h}x{self.w}"
+
+
+def assert_chw(array: np.ndarray, name: str = "feature map") -> None:
+    """Validate that ``array`` is a 3-D CHW feature map."""
+    if array.ndim != 3:
+        raise ValueError(
+            f"{name} must be CHW (3-D), got shape {array.shape}")
+
+
+def assert_ochw(array: np.ndarray, name: str = "weights") -> None:
+    """Validate that ``array`` is a 4-D OCHW weight tensor."""
+    if array.ndim != 4:
+        raise ValueError(
+            f"{name} must be OCHW (4-D), got shape {array.shape}")
+
+
+def shape_of(array: np.ndarray) -> Shape:
+    """Return the :class:`Shape` of a CHW array."""
+    assert_chw(array)
+    c, h, w = array.shape
+    return Shape(c, h, w)
+
+
+def conv_output_hw(h: int, w: int, kernel: int, stride: int,
+                   pad: int) -> tuple[int, int]:
+    """Output height/width of a convolution (floor convention)."""
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"convolution output collapses: in={h}x{w} kernel={kernel} "
+            f"stride={stride} pad={pad}")
+    return out_h, out_w
+
+
+def pool_output_hw(h: int, w: int, size: int, stride: int) -> tuple[int, int]:
+    """Output height/width of a max-pool (floor convention)."""
+    out_h = (h - size) // stride + 1
+    out_w = (w - size) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"pool output collapses: in={h}x{w} size={size} stride={stride}")
+    return out_h, out_w

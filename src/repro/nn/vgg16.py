@@ -1,0 +1,97 @@
+"""The VGG-16 network (Simonyan & Zisserman), the paper's test vehicle.
+
+Section II-B: 224x224 RGB input from the 1000-category ImageNet
+database; 13 convolution layers (all 3x3 filters, zero-padding of 1,
+stride 1) interspersed with five 2x2/stride-2 max-pooling layers;
+three fully connected layers; ReLU activation everywhere. Over 130M
+parameters in total.
+
+The network built here inserts an explicit :class:`PadLayer` before
+every convolution and sets the convolution's own ``pad`` to 0, matching
+how the accelerator executes VGG-16 (padding is a separate hardware
+instruction, Section III-A). The geometry and cost are identical to the
+conventional fused formulation.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.tensor import Shape
+
+#: Convolutional configuration: (block, [out_channels per conv layer]).
+VGG16_BLOCKS: list[tuple[int, list[int]]] = [
+    (1, [64, 64]),
+    (2, [128, 128]),
+    (3, [256, 256, 256]),
+    (4, [512, 512, 512]),
+    (5, [512, 512, 512]),
+]
+
+#: Fully connected widths after the conv stack (input 512*7*7 = 25088).
+VGG16_FC: list[int] = [4096, 4096, 1000]
+
+#: Names of the 13 convolution layers in network order.
+VGG16_CONV_NAMES: list[str] = [
+    f"conv{block}_{i + 1}"
+    for block, widths in VGG16_BLOCKS
+    for i in range(len(widths))
+]
+
+
+def build_vgg16(input_hw: int = 224, explicit_padding: bool = True) -> Network:
+    """Construct the VGG-16 network specification.
+
+    Parameters
+    ----------
+    input_hw:
+        Input height/width (224 for ImageNet). Smaller values (e.g. 32)
+        produce geometry-consistent scaled-down networks used by fast
+        tests. Must be divisible by 32 so the five pools stay exact.
+    explicit_padding:
+        When true (default, accelerator-faithful) each convolution is
+        preceded by a PadLayer and runs pad=0; when false, convolutions
+        carry pad=1 themselves (conventional formulation).
+    """
+    if input_hw % 32 != 0:
+        raise ValueError(f"input_hw must be divisible by 32, got {input_hw}")
+    layers = [InputLayer("input", Shape(3, input_hw, input_hw))]
+    in_channels = 3
+    for block, widths in VGG16_BLOCKS:
+        for i, out_channels in enumerate(widths, start=1):
+            stem = f"conv{block}_{i}"
+            if explicit_padding:
+                layers.append(PadLayer(f"pad{block}_{i}", pad=1))
+                layers.append(ConvLayer(stem, in_channels=in_channels,
+                                        out_channels=out_channels,
+                                        kernel=3, stride=1, pad=0))
+            else:
+                layers.append(ConvLayer(stem, in_channels=in_channels,
+                                        out_channels=out_channels,
+                                        kernel=3, stride=1, pad=1))
+            layers.append(ReluLayer(f"relu{block}_{i}"))
+            in_channels = out_channels
+        layers.append(MaxPoolLayer(f"pool{block}", size=2, stride=2))
+    layers.append(FlattenLayer("flatten"))
+    in_features = in_channels * (input_hw // 32) ** 2
+    for i, out_features in enumerate(VGG16_FC, start=1):
+        layers.append(FCLayer(f"fc{5 + i}", in_features=in_features,
+                              out_features=out_features))
+        if i < len(VGG16_FC):
+            layers.append(ReluLayer(f"relu_fc{5 + i}"))
+        in_features = out_features
+    layers.append(SoftmaxLayer("prob"))
+    return Network(f"vgg16-{input_hw}", layers)
+
+
+def vgg16_conv_specs(input_hw: int = 224) -> list[tuple[str, Shape, Shape]]:
+    """(name, in_shape, out_shape) for each conv layer, pre-padding shapes.
+
+    ``in_shape`` is the *unpadded* input of the convolution — i.e. the
+    output of the previous ReLU/pool — which is the natural unit for
+    the performance model.
+    """
+    network = build_vgg16(input_hw, explicit_padding=False)
+    return [(info.layer.name, info.in_shape, info.out_shape)
+            for info in network.conv_infos()]

@@ -1,0 +1,102 @@
+"""Network zoo: VGG variants and small CNNs beyond the paper's VGG-16.
+
+The paper evaluates VGG-16 only, but nothing in the accelerator is
+VGG-specific — any stack of 3x3 convolutions, 2x2 pools and FC layers
+lowers onto it. This module provides the other VGG configurations
+(A/B/D/E from Simonyan & Zisserman) and a small CIFAR-scale network,
+all built with the same explicit-padding convention, so the rest of the
+stack (quantizer, compiler, driver, performance model) exercises more
+than one workload.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.tensor import Shape
+
+#: Simonyan & Zisserman's configurations: out-channels per conv layer,
+#: grouped by pooling stage. VGG-16 is configuration "D".
+VGG_CONFIGS: dict[str, list[list[int]]] = {
+    "A": [[64], [128], [256, 256], [512, 512], [512, 512]],          # VGG-11
+    "B": [[64, 64], [128, 128], [256, 256], [512, 512], [512, 512]],  # VGG-13
+    "D": [[64, 64], [128, 128], [256, 256, 256], [512, 512, 512],
+          [512, 512, 512]],                                           # VGG-16
+    "E": [[64, 64], [128, 128], [256, 256, 256, 256],
+          [512, 512, 512, 512], [512, 512, 512, 512]],                # VGG-19
+}
+
+
+def build_vgg(config: str, input_hw: int = 224,
+              num_classes: int = 1000) -> Network:
+    """Build any VGG configuration with explicit padding layers."""
+    if config not in VGG_CONFIGS:
+        raise KeyError(f"unknown VGG config {config!r}; "
+                       f"choose from {sorted(VGG_CONFIGS)}")
+    blocks = VGG_CONFIGS[config]
+    if input_hw % (2 ** len(blocks)) != 0:
+        raise ValueError(
+            f"input_hw must be divisible by {2 ** len(blocks)}")
+    layers = [InputLayer("input", Shape(3, input_hw, input_hw))]
+    channels = 3
+    for block_index, widths in enumerate(blocks, start=1):
+        for conv_index, out_channels in enumerate(widths, start=1):
+            stem = f"conv{block_index}_{conv_index}"
+            layers.append(PadLayer(f"pad{block_index}_{conv_index}", pad=1))
+            layers.append(ConvLayer(stem, in_channels=channels,
+                                    out_channels=out_channels, kernel=3,
+                                    stride=1, pad=0))
+            layers.append(ReluLayer(f"relu{block_index}_{conv_index}"))
+            channels = out_channels
+        layers.append(MaxPoolLayer(f"pool{block_index}", size=2, stride=2))
+    layers.append(FlattenLayer("flatten"))
+    features = channels * (input_hw // 2 ** len(blocks)) ** 2
+    for i, width in enumerate([4096, 4096, num_classes], start=1):
+        layers.append(FCLayer(f"fc{5 + i}", in_features=features,
+                              out_features=width))
+        if i < 3:
+            layers.append(ReluLayer(f"relu_fc{5 + i}"))
+        features = width
+    layers.append(SoftmaxLayer("prob"))
+    return Network(f"vgg-{config}-{input_hw}", layers)
+
+
+def build_vgg11(input_hw: int = 224, num_classes: int = 1000) -> Network:
+    """VGG-11 (Simonyan & Zisserman configuration A)."""
+    return build_vgg("A", input_hw, num_classes)
+
+
+def build_vgg13(input_hw: int = 224, num_classes: int = 1000) -> Network:
+    """VGG-13 (Simonyan & Zisserman configuration B)."""
+    return build_vgg("B", input_hw, num_classes)
+
+
+def build_vgg19(input_hw: int = 224, num_classes: int = 1000) -> Network:
+    """VGG-19 (Simonyan & Zisserman configuration E)."""
+    return build_vgg("E", input_hw, num_classes)
+
+
+def build_cifar_quicknet(num_classes: int = 10) -> Network:
+    """A CIFAR-scale 6-conv network: the embedded-sized workload.
+
+    32x32x3 input, three conv blocks (32/64/128 channels), one FC
+    classifier — small enough to run end-to-end through the
+    cycle-accurate SoC in tests and examples.
+    """
+    layers: list = [InputLayer("input", Shape(3, 32, 32))]
+    channels = 3
+    for block, width in enumerate([32, 64, 128], start=1):
+        for conv in (1, 2):
+            stem = f"conv{block}_{conv}"
+            layers.append(PadLayer(f"pad{block}_{conv}", pad=1))
+            layers.append(ConvLayer(stem, in_channels=channels,
+                                    out_channels=width, kernel=3, pad=0))
+            layers.append(ReluLayer(f"relu{block}_{conv}"))
+            channels = width
+        layers.append(MaxPoolLayer(f"pool{block}", size=2, stride=2))
+    layers.append(FlattenLayer("flatten"))
+    layers.append(FCLayer("fc", in_features=128 * 4 * 4,
+                          out_features=num_classes))
+    layers.append(SoftmaxLayer("prob"))
+    return Network("cifar-quicknet", layers)

@@ -1,0 +1,38 @@
+"""Performance models: cycles, striping, GOPS/efficiency, validation."""
+
+from repro.perf.clock import clock_from_utilization, target_routes
+from repro.perf.cycle_model import (ConvLayerCycles, CycleModelParams,
+                                    conv_layer_cycles, padpool_layer_cycles,
+                                    params_for_variant)
+from repro.perf.end_to_end import (ARM_CLOCK_MHZ, ARM_MACS_PER_CYCLE,
+                                   NetworkLatency, network_latency,
+                                   vgg16_latency)
+from repro.perf.explore import (DesignPoint, evaluate_design, explore,
+                                pareto_frontier)
+from repro.perf.gops import (LayerPerf, VariantEvaluation, evaluate_layers,
+                             evaluate_vgg16, layer_perf)
+from repro.perf.striped_exec import (StripedRunResult,
+                                     execute_conv_striped,
+                                     multi_instance_wall_cycles)
+from repro.perf.striping import (DEFAULT_BANK_CAPACITY, Stripe, StripePlan,
+                                 conv_row_costs, plan_conv_stripes)
+from repro.perf.validate import (ValidationResult, validate_conv,
+                                 validation_sweep)
+from repro.perf.vgg import ConvModelLayer, model_label, vgg16_model_layers
+
+__all__ = [
+    "clock_from_utilization", "target_routes",
+    "ConvLayerCycles", "CycleModelParams", "conv_layer_cycles",
+    "padpool_layer_cycles", "params_for_variant",
+    "DesignPoint", "evaluate_design", "explore", "pareto_frontier",
+    "ARM_CLOCK_MHZ", "ARM_MACS_PER_CYCLE", "NetworkLatency",
+    "network_latency", "vgg16_latency",
+    "LayerPerf", "VariantEvaluation", "evaluate_layers", "evaluate_vgg16",
+    "layer_perf",
+    "StripedRunResult", "execute_conv_striped",
+    "multi_instance_wall_cycles",
+    "DEFAULT_BANK_CAPACITY", "Stripe", "StripePlan", "conv_row_costs",
+    "plan_conv_stripes",
+    "ValidationResult", "validate_conv", "validation_sweep",
+    "ConvModelLayer", "model_label", "vgg16_model_layers",
+]

@@ -1,0 +1,24 @@
+"""Achieved clock frequency: constraints + utilization -> Fmax.
+
+Connects the HLS clock-constraint model (:mod:`repro.hls.constraints`)
+with the area model's utilization numbers to reproduce the paper's
+observed clocks: 55 MHz for the non-optimized variants, 150 MHz for
+256-opt, and the congestion-limited 120 MHz for 512-opt.
+"""
+
+from __future__ import annotations
+
+from repro.core.variants import AcceleratorVariant
+from repro.hls.constraints import achieved_fmax_mhz, routing_succeeds
+
+
+def clock_from_utilization(variant: AcceleratorVariant,
+                           alm_utilization: float) -> float:
+    """Fmax the variant closes timing at, given its ALM utilization."""
+    return achieved_fmax_mhz(variant.constraints, alm_utilization)
+
+
+def target_routes(variant: AcceleratorVariant,
+                  alm_utilization: float) -> bool:
+    """Whether the variant's *requested* clock target routes at all."""
+    return routing_succeeds(variant.constraints, alm_utilization)

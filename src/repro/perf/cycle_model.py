@@ -1,0 +1,267 @@
+"""Analytic cycle model of the accelerator (the engine behind Figs 7/8).
+
+The model computes, layer by layer, exactly the cycles the streaming
+kernels of :mod:`repro.core` spend — it is validated against the
+cycle-accurate simulator on small layers (see :mod:`repro.perf.validate`
+and the A4 bench) and then applied to full VGG-16, where cycle-accurate
+simulation would be prohibitively slow in Python.
+
+Per accelerator instance, one OFM group at one tile position costs
+
+``prologue + sum_over_active_channels(max(min_cycles, group_max_nnz))
++ barrier``
+
+per staging unit, synchronized to the slowest unit (the Pthreads
+barrier of Section III-B1); ``group_max_nnz`` is the maximum non-zero
+count over the group's concurrent filters (pipeline bubbles), the
+``min_cycles = 4`` floor is the four IFM tile preloads through the
+single SRAM read port, and channels whose four filters are all zero
+are skipped entirely. Packed weights stream into scratchpad once per
+(group, stripe) at 16 bytes/cycle — the unpack overhead that grows for
+the weight-heavy deep layers. Striping and whole-tile computation
+contribute the paper's "~15%, varies by layer" ideal-throughput
+adjustment via :mod:`repro.perf.striping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.variants import AcceleratorVariant
+from repro.core.sram import DEFAULT_BANK_CAPACITY
+from repro.perf.striping import (StripePlan, conv_row_costs,
+                                 plan_conv_stripes)
+
+
+@dataclass(frozen=True)
+class CycleModelParams:
+    """Model constants; defaults mirror the cycle-accurate kernels."""
+
+    tile: int = 4
+    lanes: int = 4              # staging/conv/accumulator lanes
+    group_size: int = 4         # concurrently-computed OFMs
+    min_cycles: int = 4         # IFM tile preloads per weight tile
+    prologue: int = 4           # first channel's preload per position
+    barrier_overhead: int = 1   # barrier release latency per position
+    instruction_overhead: int = 3   # issue + decode + done per stripe
+    drain_cycles: int = 4       # accumulator/write-back drain per stripe
+    stream_word: int = 16       # packed bytes per port-A cycle
+    bank_capacity: int = DEFAULT_BANK_CAPACITY
+    #: Bytes the 256-bit DMA bus moves per cycle; ``None`` disables the
+    #: DMA time model (the cycle-accurate simulator has no DMA, so
+    #: model-vs-sim validation runs with it off).
+    dma_bytes_per_cycle: int | None = None
+    #: Packed-weight stream format (matches serialize_unit_stream):
+    #: False = 2 bytes per non-zero, True = nibble-packed offsets.
+    compact_weights: bool = False
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiplies per cycle of one instance under this model.
+
+        Each of the ``lanes`` convolution units multiplies
+        ``group_size`` weights by a ``tile x tile`` region per cycle.
+        """
+        return self.lanes * self.group_size * self.tile * self.tile
+
+
+def params_for_variant(variant: AcceleratorVariant,
+                       bank_capacity: int = DEFAULT_BANK_CAPACITY
+                       ) -> CycleModelParams:
+    """Model parameters matching an architecture variant.
+
+    The 16-unopt variant has a single staging unit computing one OFM
+    tile at a time (lanes=1, group size 1): no lock-step bubbles and no
+    cross-unit synchronization — which is why the paper uses it to
+    judge raw HLS quality. Its one-cycle position epilogue (the
+    single-party barrier in the cycle-accurate kernels) is kept so the
+    model stays exact against the simulator.
+    """
+    if variant.lanes == 1:
+        return CycleModelParams(lanes=1, group_size=1, barrier_overhead=1,
+                                bank_capacity=bank_capacity,
+                                dma_bytes_per_cycle=32)
+    return CycleModelParams(lanes=variant.lanes, group_size=variant.lanes,
+                            bank_capacity=bank_capacity,
+                            dma_bytes_per_cycle=32)
+
+
+@dataclass(frozen=True)
+class ConvLayerCycles:
+    """Cycle breakdown of one convolution layer on one variant."""
+
+    name: str
+    cycles: int                    # wall cycles (max over instances)
+    instance_cycles: tuple[int, ...]
+    macs_nominal: int              # useful MACs (dense geometry)
+    macs_applied: int              # multiplies actually performed
+    compute_cycles: int            # position work summed over stripes
+    weight_load_cycles: int        # scratchpad streaming, all stripes
+    overhead_cycles: int           # prologue/barrier/instruction/drain
+    dma_cycles: int                # non-overlapped FM transfer time
+    stripe_plan: StripePlan
+    #: Best sustained group rate relative to the variant's peak MAC
+    #: rate, measured mid-position (no prologue). The paper's "peak
+    #: GOPS" figures are this ratio times the peak rate: 1.0 for a
+    #: dense model (61 = 512 x 120 MHz), up to kernel_area/min_cycles
+    #: = 9/4 = 2.25 when pruning reaches the preload floor (138 GOPS).
+    best_group_rate: float = 1.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Combined extra-work fraction (paper's "~15%, varies")."""
+        return self.stripe_plan.overhead_fraction
+
+    @property
+    def compute_overhead_fraction(self) -> float:
+        """Ideal-time adjustment for efficiency (tile padding only)."""
+        return self.stripe_plan.compute_overhead_fraction
+
+
+def conv_layer_cycles(name: str,
+                      in_shape: tuple[int, int, int],
+                      out_shape: tuple[int, int, int],
+                      kernel: int,
+                      nnz: np.ndarray,
+                      params: CycleModelParams,
+                      instances: int = 1) -> ConvLayerCycles:
+    """Model one convolution layer.
+
+    ``in_shape`` is the pre-padded IFM (C, H, W); ``out_shape`` the OFM
+    (O, OH, OW); ``nnz`` the (O, C) per-weight-tile non-zero counts of
+    the packed (quantized, possibly pruned) weights.
+    """
+    in_ch, _, _ = in_shape
+    out_ch, out_h, out_w = out_shape
+    nnz = np.asarray(nnz, dtype=np.int64)
+    if nnz.shape != (out_ch, in_ch):
+        raise ValueError(
+            f"{name}: nnz shape {nnz.shape} != ({out_ch}, {in_ch})")
+    gs, lanes, tile = params.group_size, params.lanes, params.tile
+    groups = -(-out_ch // gs)
+    padded = np.zeros((groups * gs, in_ch), dtype=np.int64)
+    padded[:out_ch] = nnz
+    gmax = padded.reshape(groups, gs, in_ch).max(axis=1)      # (G, C)
+    contrib = np.where(gmax == 0, 0,
+                       np.maximum(params.min_cycles, gmax))   # (G, C)
+    # Per staging unit: the sum over its interleaved channel quarter.
+    unit_sums = np.zeros((lanes, groups), dtype=np.int64)
+    unit_wl = np.zeros((lanes, groups), dtype=np.int64)
+    group_nnz = padded.reshape(groups, gs, in_ch).sum(axis=1)  # (G, C)
+    for unit in range(lanes):
+        channels = np.arange(unit, in_ch, lanes)
+        if channels.size == 0:
+            unit_wl[unit] = 1  # empty units still tick once per group
+            continue
+        unit_sums[unit] = contrib[:, channels].sum(axis=1)
+        tiles = padded[:, channels].reshape(groups, gs, channels.size)
+        if params.compact_weights:
+            entry_bytes = (tiles.sum(axis=(1, 2))
+                           + ((tiles + 1) // 2).sum(axis=(1, 2)))
+        else:
+            entry_bytes = 2 * tiles.sum(axis=(1, 2))
+        bytes_per_group = gs * channels.size + entry_bytes
+        unit_wl[unit] = np.maximum(
+            1, -(-bytes_per_group // params.stream_word))
+    position_work = unit_sums.max(axis=0)                     # (G,)
+    weight_load = unit_wl.max(axis=0)                         # (G,)
+    kernel_area = kernel * kernel
+    group_rates = np.where(
+        position_work > 0,
+        (kernel_area * in_ch) / (lanes * np.maximum(position_work, 1)),
+        0.0)
+    best_group_rate = float(group_rates.max()) if groups else 0.0
+    max_group_bytes = 0
+
+    for unit in range(lanes):
+        channels = np.arange(unit, in_ch, lanes)
+        if channels.size == 0:
+            continue
+        tiles = padded[:, channels].reshape(groups, gs, channels.size)
+        if params.compact_weights:
+            entry_bytes = (tiles.sum(axis=(1, 2))
+                           + ((tiles + 1) // 2).sum(axis=(1, 2)))
+        else:
+            entry_bytes = 2 * tiles.sum(axis=(1, 2))
+        per_group = gs * channels.size + entry_bytes
+        max_group_bytes = max(max_group_bytes, int(per_group.max()))
+    # Only one group's packed stream is resident per bank at a time,
+    # double-buffered so the DMA refill overlaps compute; the port-A
+    # unpack cycles per (group, stripe) are charged above regardless.
+    weight_resident_bytes = 2 * max_group_bytes
+    plan = plan_conv_stripes(in_shape, out_shape, kernel,
+                             weight_resident_bytes,
+                             bank_capacity=params.bank_capacity,
+                             lanes=lanes, tile=tile, instances=instances)
+    tiles_x = -(-out_w // tile)
+    ifm_tiles_x = -(-in_shape[2] // tile)
+    ifm_row_cost, ofm_row_cost = conv_row_costs(
+        in_ch, out_ch, ifm_tiles_x, tiles_x, lanes, tile)
+    sum_weight_load = 0
+    sum_compute = 0
+    sum_overhead = 0
+    sum_dma = 0
+    stripe_cycles = []
+    for stripe in plan.stripes:
+        positions = stripe.rows * tiles_x
+        compute = int((position_work * positions).sum())
+        wl = int(weight_load.sum())
+        per_position_over = (params.prologue
+                             + params.barrier_overhead) * positions * groups
+        overhead = (params.instruction_overhead + params.drain_cycles
+                    + per_position_over)
+        dma = 0
+        if params.dma_bytes_per_cycle:
+            # IFM in (with halo) and OFM out are not double-buffered:
+            # the stripe's transfers serialize with its compute. Packed
+            # weights *are* double-buffered per group; only the first
+            # group's fill is exposed.
+            ifm_bytes = ((stripe.rows + plan.halo_rows_per_stripe)
+                         * ifm_row_cost * lanes)
+            ofm_bytes = stripe.rows * ofm_row_cost * lanes
+            first_fill = max_group_bytes * lanes
+            dma = -(-(ifm_bytes + ofm_bytes + first_fill)
+                    // params.dma_bytes_per_cycle)
+        stripe_cycles.append(compute + wl + overhead + dma)
+        sum_compute += compute
+        sum_weight_load += wl
+        sum_overhead += overhead
+        sum_dma += dma
+    # Round-robin stripe assignment over instances (matching
+    # StripePlan.assign); an instance's load is the sum of its stripes.
+    instance_cycles = [0] * instances
+    for i, cycles in enumerate(stripe_cycles):
+        instance_cycles[i % instances] += cycles
+    wall = max(instance_cycles)
+    positions_total = plan.ofm_tile_rows * tiles_x
+    macs_applied = int(tile * tile * positions_total * padded.sum())
+    macs_nominal = out_ch * out_h * out_w * in_ch * kernel_area
+    return ConvLayerCycles(
+        name=name,
+        cycles=wall,
+        instance_cycles=tuple(instance_cycles),
+        macs_nominal=macs_nominal,
+        macs_applied=macs_applied,
+        compute_cycles=sum_compute,
+        weight_load_cycles=sum_weight_load,
+        overhead_cycles=sum_overhead,
+        dma_cycles=sum_dma,
+        stripe_plan=plan,
+        best_group_rate=best_group_rate,
+    )
+
+
+def padpool_layer_cycles(channels: int, out_tiles_y: int, out_tiles_x: int,
+                         params: CycleModelParams, instances: int = 1) -> int:
+    """Cycles for one padding or pooling instruction set.
+
+    Each staging lane loads four tiles (four port-A cycles) per OFM
+    tile of each of its channels; lanes run independently, instances
+    split tile rows.
+    """
+    local = -(-channels // params.lanes)
+    rows = -(-out_tiles_y // instances)
+    per_lane = local * rows * out_tiles_x * 4
+    return per_lane + params.instruction_overhead + params.drain_cycles

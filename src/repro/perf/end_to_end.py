@@ -1,0 +1,108 @@
+"""End-to-end inference latency: the complete Fig. 1 system in time.
+
+The paper evaluates conv-layer throughput; a deployer cares about
+frames per second of the *whole* pipeline: padding and pooling
+instructions on the accelerator, convolutions (with striping and DMA),
+and the fully-connected tail plus softmax in ARM software — the "end-
+to-end embedded solution" of Section I. This model composes all of it
+per variant.
+
+The ARM's FC rate is parameterized: a Cortex-A9 with NEON sustains a
+few MACs per cycle on GEMV; the default (4 MACs/cycle at 800 MHz) makes
+the FC tail a visible but not dominant cost, matching why the paper
+offloads convolution first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.variants import AcceleratorVariant
+from repro.core.tile import tiles_along
+from repro.nn.graph import Network
+from repro.nn.layers import ConvLayer, FCLayer, MaxPoolLayer, PadLayer
+from repro.nn.vgg16 import build_vgg16
+from repro.perf.cycle_model import (CycleModelParams, conv_layer_cycles,
+                                    padpool_layer_cycles,
+                                    params_for_variant)
+from repro.perf.vgg import vgg16_model_layers
+
+#: Default ARM software parameters (dual-core Cortex-A9 @ 800 MHz,
+#: NEON GEMV sustaining ~4 MACs/cycle).
+ARM_CLOCK_MHZ = 800.0
+ARM_MACS_PER_CYCLE = 4.0
+
+
+@dataclass(frozen=True)
+class NetworkLatency:
+    """Per-stage latency of one full inference."""
+
+    variant: str
+    model: str
+    conv_s: float
+    padpool_s: float
+    fc_arm_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.conv_s + self.padpool_s + self.fc_arm_s
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.total_s
+
+    @property
+    def conv_share(self) -> float:
+        return self.conv_s / self.total_s
+
+
+def network_latency(network: Network, variant: AcceleratorVariant,
+                    model_layers, model_label: str,
+                    params: CycleModelParams | None = None,
+                    arm_clock_mhz: float = ARM_CLOCK_MHZ,
+                    arm_macs_per_cycle: float = ARM_MACS_PER_CYCLE
+                    ) -> NetworkLatency:
+    """Compose conv + pad/pool + ARM-FC latency for one network."""
+    params = params or params_for_variant(variant)
+    fabric_hz = variant.clock_mhz * 1e6
+    conv_cycles = 0
+    by_name = {layer.name: layer for layer in model_layers}
+    for info in network.conv_infos():
+        layer = by_name[info.layer.name]
+        modeled = conv_layer_cycles(
+            layer.name, layer.in_shape, layer.out_shape, layer.kernel,
+            layer.nnz, params, instances=variant.instances)
+        conv_cycles += modeled.cycles
+    padpool_cycles = 0
+    for info in network.infos:
+        layer = info.layer
+        if isinstance(layer, (PadLayer, MaxPoolLayer)):
+            out = info.out_shape
+            padpool_cycles += padpool_layer_cycles(
+                out.c, tiles_along(out.h, params.tile),
+                tiles_along(out.w, params.tile), params,
+                instances=variant.instances)
+    fc_macs = sum(info.macs for info in network.infos
+                  if isinstance(info.layer, FCLayer))
+    fc_seconds = fc_macs / (arm_macs_per_cycle * arm_clock_mhz * 1e6)
+    return NetworkLatency(
+        variant=variant.name, model=model_label,
+        conv_s=conv_cycles / fabric_hz,
+        padpool_s=padpool_cycles / fabric_hz,
+        fc_arm_s=fc_seconds,
+    )
+
+
+def vgg16_latency(variant: AcceleratorVariant, pruned: bool,
+                  seed: int = 0,
+                  arm_clock_mhz: float = ARM_CLOCK_MHZ,
+                  arm_macs_per_cycle: float = ARM_MACS_PER_CYCLE
+                  ) -> NetworkLatency:
+    """End-to-end VGG-16 (224x224) latency on one variant."""
+    network = build_vgg16(explicit_padding=True)
+    model_layers = vgg16_model_layers(pruned=pruned, seed=seed)
+    return network_latency(
+        network, variant, model_layers,
+        "vgg16-pr" if pruned else "vgg16",
+        arm_clock_mhz=arm_clock_mhz,
+        arm_macs_per_cycle=arm_macs_per_cycle)

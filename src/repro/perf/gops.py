@@ -1,0 +1,146 @@
+"""Throughput and efficiency metrics (Figs. 7 and 8).
+
+Conventions, matching Section V:
+
+* **GOPS** counts MAC-operations per second (the 512-opt peak of
+  61 GOPS is exactly 512 MACs/cycle x 120 MHz). For a pruned network
+  this is *effective* GOPS: skipped zero-weight MACs count as
+  performed, because the useful work delivered is that of the nominal
+  convolution.
+* **Ideal throughput** is the variant's peak MAC rate applied to the
+  layer's computation count *adjusted* for the extra work the
+  architecture performs (whole-tile computation and stripe halos — the
+  paper's "~15% but varies by layer"). **Efficiency** is ideal time
+  over measured time; zero-skipping can push it above 100% on pruned
+  layers because skipped MACs cost no cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.variants import AcceleratorVariant
+from repro.perf.cycle_model import (ConvLayerCycles, CycleModelParams,
+                                    conv_layer_cycles, params_for_variant)
+from repro.perf.vgg import ConvModelLayer, vgg16_model_layers
+
+
+@dataclass(frozen=True)
+class LayerPerf:
+    """Per-layer performance of one variant on one model."""
+
+    name: str
+    cycles: int
+    time_s: float
+    gops: float          # effective GOPS (nominal MACs / time)
+    efficiency: float    # ideal time / measured time
+    overhead_fraction: float
+    applied_mac_fraction: float  # actually-performed / nominal MACs
+    peak_effective_gops: float   # best sustained group rate x peak rate
+
+
+def layer_perf(layer_cycles: ConvLayerCycles,
+               variant: AcceleratorVariant) -> LayerPerf:
+    """Convert a cycle breakdown into throughput/efficiency numbers."""
+    time_s = layer_cycles.cycles / (variant.clock_mhz * 1e6)
+    gops = layer_cycles.macs_nominal / time_s / 1e9
+    # Ideal time counts the extra *compute* the architecture must do
+    # (whole-tile positions); stripe halos cost DMA, not MACs, so they
+    # appear in the measured time, not the ideal.
+    ideal_time = (layer_cycles.macs_nominal
+                  * (1.0 + layer_cycles.compute_overhead_fraction)
+                  / variant.peak_mac_rate)
+    return LayerPerf(
+        name=layer_cycles.name,
+        cycles=layer_cycles.cycles,
+        time_s=time_s,
+        gops=gops,
+        efficiency=ideal_time / time_s,
+        overhead_fraction=layer_cycles.overhead_fraction,
+        applied_mac_fraction=(layer_cycles.macs_applied
+                              / layer_cycles.macs_nominal),
+        peak_effective_gops=(layer_cycles.best_group_rate
+                             * variant.peak_gops),
+    )
+
+
+@dataclass(frozen=True)
+class VariantEvaluation:
+    """Fig. 7/8 rows: one variant running one VGG-16 model."""
+
+    variant: AcceleratorVariant
+    model: str                     # "vgg16" or "vgg16-pr"
+    layers: tuple[LayerPerf, ...]
+
+    @property
+    def best_gops(self) -> float:
+        return max(layer.gops for layer in self.layers)
+
+    @property
+    def worst_gops(self) -> float:
+        return min(layer.gops for layer in self.layers)
+
+    @property
+    def mean_gops(self) -> float:
+        """Unweighted mean across layers ("average throughput across
+        all VGG-16 layers", Section V)."""
+        return sum(l.gops for l in self.layers) / len(self.layers)
+
+    @property
+    def best_efficiency(self) -> float:
+        return max(layer.efficiency for layer in self.layers)
+
+    @property
+    def worst_efficiency(self) -> float:
+        return min(layer.efficiency for layer in self.layers)
+
+    @property
+    def mean_efficiency(self) -> float:
+        return sum(l.efficiency for l in self.layers) / len(self.layers)
+
+    @property
+    def peak_effective_gops(self) -> float:
+        """The paper's "peak" convention: best sustained instantaneous
+        rate across layers (512-opt: 61 unpruned, 138 pruned)."""
+        return max(l.peak_effective_gops for l in self.layers)
+
+    @property
+    def end_to_end_gops(self) -> float:
+        """Total conv MACs over total conv time (time-weighted)."""
+        total_macs = sum(
+            layer.gops * layer.time_s * 1e9 for layer in self.layers)
+        total_time = sum(layer.time_s for layer in self.layers)
+        return total_macs / total_time / 1e9
+
+    def layer(self, name: str) -> LayerPerf:
+        for entry in self.layers:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no layer {name!r}")
+
+
+def evaluate_layers(variant: AcceleratorVariant,
+                    model_layers: list[ConvModelLayer],
+                    model: str,
+                    params: CycleModelParams | None = None
+                    ) -> VariantEvaluation:
+    """Run the cycle model over a layer list for one variant."""
+    params = params or params_for_variant(variant)
+    perfs = []
+    for layer in model_layers:
+        cycles = conv_layer_cycles(
+            layer.name, layer.in_shape, layer.out_shape, layer.kernel,
+            layer.nnz, params, instances=variant.instances)
+        perfs.append(layer_perf(cycles, variant))
+    return VariantEvaluation(variant=variant, model=model,
+                             layers=tuple(perfs))
+
+
+def evaluate_vgg16(variant: AcceleratorVariant, pruned: bool,
+                   seed: int = 0, input_hw: int = 224,
+                   params: CycleModelParams | None = None
+                   ) -> VariantEvaluation:
+    """Fig. 7/8 entry point: one variant, one VGG-16 model."""
+    layers = vgg16_model_layers(pruned=pruned, seed=seed, input_hw=input_hw)
+    label = "vgg16-pr" if pruned else "vgg16"
+    return evaluate_layers(variant, layers, label, params)

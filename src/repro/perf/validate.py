@@ -1,0 +1,89 @@
+"""Cross-validation: analytic cycle model vs cycle-accurate simulator.
+
+The analytic model's credibility rests on matching the 20-kernel
+streaming simulation cycle-for-cycle (up to small fixed fill/drain
+costs). This module runs the same convolution through both and reports
+the discrepancy; the tests and the A4 ablation bench require close
+agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
+                                    execute_conv)
+from repro.core.packing import PackedLayer
+from repro.hls.sim import Simulator
+from repro.perf.cycle_model import CycleModelParams, conv_layer_cycles
+from repro.quant import conv2d_int, saturate_array, shift_round_array
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of one model-vs-simulation comparison."""
+
+    sim_cycles: int
+    model_cycles: int
+    functional_match: bool
+
+    @property
+    def relative_error(self) -> float:
+        """|model - sim| / sim."""
+        if self.sim_cycles == 0:
+            return 0.0 if self.model_cycles == 0 else float("inf")
+        return abs(self.model_cycles - self.sim_cycles) / self.sim_cycles
+
+
+def validate_conv(ifm_q: np.ndarray, weights_q: np.ndarray,
+                  shift: int = 0, apply_relu: bool = False,
+                  bank_capacity: int = 1 << 15) -> ValidationResult:
+    """Run one conv layer through simulator and model; compare cycles.
+
+    Both see identical inputs: the packed weights' non-zero structure
+    drives the model, the packed stream itself drives the simulation.
+    """
+    weights_q = np.asarray(weights_q)
+    packed = PackedLayer.pack(weights_q)
+    sim = Simulator("validate")
+    instance = AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=bank_capacity))
+    ofm, sim_cycles = execute_conv(instance, ifm_q, packed,
+                                   shift=shift, apply_relu=apply_relu)
+    acc = conv2d_int(ifm_q, weights_q)
+    want = shift_round_array(acc, shift)
+    if apply_relu:
+        want = np.maximum(want, 0)
+    want = saturate_array(want).astype(np.int16)
+    in_shape = tuple(ifm_q.shape)
+    kernel = weights_q.shape[2]
+    out_shape = (weights_q.shape[0],
+                 in_shape[1] - kernel + 1, in_shape[2] - kernel + 1)
+    params = CycleModelParams(bank_capacity=bank_capacity)
+    modeled = conv_layer_cycles("validate", in_shape, out_shape, kernel,
+                                packed.nnz_matrix(), params)
+    return ValidationResult(
+        sim_cycles=sim_cycles,
+        model_cycles=modeled.cycles,
+        functional_match=bool(np.array_equal(ofm, want)),
+    )
+
+
+def validation_sweep(seeds: list[int], density: float = 0.5,
+                     max_ch: int = 9, max_hw: int = 13
+                     ) -> list[ValidationResult]:
+    """Randomized model-vs-sim sweep; returns one result per seed."""
+    results = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        in_ch = int(rng.integers(1, max_ch))
+        out_ch = int(rng.integers(1, max_ch))
+        h = int(rng.integers(4, max_hw))
+        w = int(rng.integers(4, max_hw))
+        ifm = rng.integers(-40, 41, size=(in_ch, h, w))
+        weights = rng.integers(-40, 41, size=(out_ch, in_ch, 3, 3))
+        weights[rng.random(weights.shape) >= density] = 0
+        results.append(validate_conv(ifm, weights, shift=2))
+    return results

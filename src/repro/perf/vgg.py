@@ -1,0 +1,77 @@
+"""VGG-16 workloads for the performance model.
+
+Builds the two evaluated models of Section IV-B — reduced precision
+("unpruned") and reduced precision + pruning ("pruned", '-pr' in the
+figures) — as per-layer non-zero-count matrices, the only weight
+information the cycle model needs. Weights are synthetic (see
+:mod:`repro.nn.init`); the pruned model follows the Deep-Compression
+per-layer schedule (:mod:`repro.prune.schedule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.init import generate_weights
+from repro.nn.vgg16 import build_vgg16
+from repro.prune.schedule import VGG16_PAPER_KEEP, pruned_weights
+from repro.prune.stats import filter_nnz
+from repro.quant.scale import params_for
+
+
+@dataclass(frozen=True)
+class ConvModelLayer:
+    """Everything the cycle model needs about one conv layer."""
+
+    name: str
+    in_shape: tuple[int, int, int]   # pre-padded IFM (C, H+2, W+2)
+    out_shape: tuple[int, int, int]  # OFM (O, OH, OW)
+    kernel: int
+    nnz: np.ndarray                  # (O, C) non-zero counts
+
+    @property
+    def density(self) -> float:
+        dense = (self.out_shape[0] * self.in_shape[0]
+                 * self.kernel * self.kernel)
+        return float(self.nnz.sum()) / dense
+
+
+def vgg16_model_layers(pruned: bool, seed: int = 0, input_hw: int = 224,
+                       schedule: dict[str, float] | None = None,
+                       ) -> list[ConvModelLayer]:
+    """The 13 VGG-16 conv layers as cycle-model inputs.
+
+    ``pruned=False`` is the reduced-precision model (8-bit quantization
+    still zeroes the tiniest weights); ``pruned=True`` additionally
+    applies the keep-fraction ``schedule`` before quantization. The
+    default schedule is ``VGG16_PAPER_KEEP``, calibrated to the paper's
+    light pruning; pass ``VGG16_DEEP_COMPRESSION_KEEP`` for the heavier
+    Deep Compression schedule (used in the ablations).
+    """
+    network = build_vgg16(input_hw=input_hw, explicit_padding=False)
+    weights, _ = generate_weights(network, seed=seed, include_fc=False)
+    if pruned:
+        weights = pruned_weights(weights, schedule or VGG16_PAPER_KEEP)
+    layers = []
+    for info in network.conv_infos():
+        layer = info.layer
+        tensor = weights[layer.name]
+        quantized = params_for(tensor).quantize(tensor)
+        in_shape = (info.in_shape.c,
+                    info.in_shape.h + 2 * layer.pad,
+                    info.in_shape.w + 2 * layer.pad)
+        layers.append(ConvModelLayer(
+            name=layer.name,
+            in_shape=in_shape,
+            out_shape=info.out_shape.as_tuple(),
+            kernel=layer.kernel,
+            nnz=filter_nnz(quantized),
+        ))
+    return layers
+
+
+def model_label(pruned: bool) -> str:
+    """Figure label convention: pruned results carry the '-pr' suffix."""
+    return "vgg16-pr" if pruned else "vgg16"

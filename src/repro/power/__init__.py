@@ -1,0 +1,7 @@
+"""Power model: FPGA static/dynamic + board-level (Table I)."""
+
+from repro.power.model import (PowerReport, dynamic_power_mw,
+                               static_power_mw, variant_power)
+
+__all__ = ["PowerReport", "dynamic_power_mw", "static_power_mw",
+           "variant_power"]

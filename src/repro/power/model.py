@@ -1,0 +1,95 @@
+"""Power model (Table I).
+
+Peak power while running the worst-case VGG-16 layer, decomposed as the
+paper does: FPGA static + dynamic, and a board-level measurement that
+adds the HPS, DDR4 and regulators.
+
+Calibration uses Table I's four FPGA-level numbers:
+
+* static power grows with the resources held active (leakage plus
+  clock trees): 256-opt 1800 mW, 512-opt 2500 mW pin a linear model;
+* dynamic power scales with switched resources x clock: 500 mW at
+  (256-opt resources, 150 MHz) and 800 mW at (2x resources, 120 MHz)
+  are both satisfied by one coefficient set;
+* the board adds a ~6.9 W base (HPS subsystem + regulators) plus
+  ~300 mW of DDR4 activity per accelerator instance, reproducing the
+  9.5 W / 10.8 W board rows.
+
+GOPS/W follows the paper's conventions: the "average" column divides
+the mean (effective) GOPS by total power, the "peak" column divides the
+peak effective GOPS (which for Table I's 37.4/41.8 values is the
+*pruned* peak — 86 and 138 GOPS — divided by 2.3 W and 3.3 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.area.alm_model import AreaReport, variant_area
+from repro.core.variants import AcceleratorVariant
+
+# Static model: base + leakage per active ALM (mW).
+STATIC_BASE_MW = 1070.0
+STATIC_PER_ALM_MW = 6.6e-3
+
+# Dynamic model: per-resource switching cost, mW per MHz.
+DYN_PER_ALM_MW_MHZ = 1.55e-5
+DYN_PER_DSP_MW_MHZ = 1.6e-3
+DYN_PER_M20K_MW_MHZ = 9.6e-4
+
+# Board-level overhead: HPS + regulators base, DDR4 per instance.
+BOARD_BASE_MW = 6900.0
+BOARD_DDR_PER_INSTANCE_MW = 300.0
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Table I row for one variant."""
+
+    variant: str
+    clock_mhz: float
+    static_mw: float
+    dynamic_mw: float
+    board_overhead_mw: float
+
+    @property
+    def fpga_mw(self) -> float:
+        """FPGA-only peak power (static + dynamic)."""
+        return self.static_mw + self.dynamic_mw
+
+    @property
+    def board_mw(self) -> float:
+        """Board-level peak power."""
+        return self.fpga_mw + self.board_overhead_mw
+
+    def gops_per_watt(self, gops: float, board: bool = False) -> float:
+        """Efficiency for a given delivered GOPS figure."""
+        power_w = (self.board_mw if board else self.fpga_mw) / 1000.0
+        return gops / power_w
+
+
+def dynamic_power_mw(area: AreaReport, clock_mhz: float) -> float:
+    """Toggle-driven dynamic power of a synthesized design."""
+    per_mhz = (DYN_PER_ALM_MW_MHZ * area.total_alms
+               + DYN_PER_DSP_MW_MHZ * area.total_dsps
+               + DYN_PER_M20K_MW_MHZ * area.total_m20ks)
+    return per_mhz * clock_mhz
+
+
+def static_power_mw(area: AreaReport) -> float:
+    """Leakage + clock-tree power of the occupied fabric."""
+    return STATIC_BASE_MW + STATIC_PER_ALM_MW * area.total_alms
+
+
+def variant_power(variant: AcceleratorVariant,
+                  area: AreaReport | None = None) -> PowerReport:
+    """Peak power of one variant (worst-case VGG-16 layer running)."""
+    area = area or variant_area(variant)
+    return PowerReport(
+        variant=variant.name,
+        clock_mhz=variant.clock_mhz,
+        static_mw=static_power_mw(area),
+        dynamic_mw=dynamic_power_mw(area, variant.clock_mhz),
+        board_overhead_mw=(BOARD_BASE_MW
+                           + BOARD_DDR_PER_INSTANCE_MW * variant.instances),
+    )

@@ -1,0 +1,22 @@
+"""Pruning pipeline: magnitude pruning, schedules, filter grouping."""
+
+from repro.prune.grouping import (FilterGrouping, group_filters_by_nnz,
+                                  identity_grouping)
+from repro.prune.magnitude import (PruneResult, prune_magnitude,
+                                   prune_to_threshold)
+from repro.prune.schedule import (VGG16_DEEP_COMPRESSION_KEEP,
+                                  VGG16_PAPER_KEEP,
+                                  overall_keep_fraction, prune_network,
+                                  pruned_weights, uniform_schedule)
+from repro.prune.stats import (filter_nnz, group_imbalance, group_max_nnz,
+                               layer_sparsity, nnz_histogram)
+
+__all__ = [
+    "FilterGrouping", "group_filters_by_nnz", "identity_grouping",
+    "PruneResult", "prune_magnitude", "prune_to_threshold",
+    "VGG16_DEEP_COMPRESSION_KEEP", "VGG16_PAPER_KEEP",
+    "overall_keep_fraction", "prune_network",
+    "pruned_weights", "uniform_schedule",
+    "filter_nnz", "group_imbalance", "group_max_nnz", "layer_sparsity",
+    "nnz_histogram",
+]

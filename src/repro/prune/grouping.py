@@ -1,0 +1,67 @@
+"""Filter grouping by non-zero count — the paper's future-work idea.
+
+Section V: "Future work could include grouping filters in advance
+according to similarity in non-zero-entry counts to maximize available
+zero skipping and balance the work." The accelerator applies four
+filters in lock-step, so a group's cycle cost is the per-channel max of
+its members' non-zero counts; reordering output channels so that
+similar filters share a group shrinks the max-vs-mean gap.
+
+The permutation is pure bookkeeping: weights are reordered before
+packing, and the produced OFM channels are un-permuted afterwards
+(done by the ARM-side software in the real system). Functional results
+are unchanged; only cycle counts improve — which is exactly what the
+ablation bench :mod:`benchmarks.bench_ablation_grouping` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.prune.stats import filter_nnz
+
+
+@dataclass(frozen=True)
+class FilterGrouping:
+    """An output-channel permutation and its inverse."""
+
+    permutation: np.ndarray   # new order: position i holds old channel permutation[i]
+
+    @property
+    def inverse(self) -> np.ndarray:
+        inv = np.empty_like(self.permutation)
+        inv[self.permutation] = np.arange(self.permutation.size)
+        return inv
+
+    def apply_to_weights(self, weights_ochw: np.ndarray) -> np.ndarray:
+        """Reorder output channels of an OCHW weight tensor."""
+        return np.asarray(weights_ochw)[self.permutation]
+
+    def apply_to_bias(self, bias: np.ndarray) -> np.ndarray:
+        return np.asarray(bias)[self.permutation]
+
+    def restore_ofm(self, ofm_chw: np.ndarray) -> np.ndarray:
+        """Undo the permutation on a produced OFM (channel axis)."""
+        return np.asarray(ofm_chw)[self.inverse]
+
+
+def identity_grouping(out_channels: int) -> FilterGrouping:
+    """The no-op grouping (network order, what the paper evaluates)."""
+    return FilterGrouping(np.arange(out_channels))
+
+
+def group_filters_by_nnz(weights_ochw: np.ndarray,
+                         group_size: int = 4) -> FilterGrouping:
+    """Sort output channels by total non-zero count.
+
+    After sorting, consecutive ``group_size`` filters have similar
+    non-zero totals, so the lock-step per-channel max is close to the
+    mean. Sorting is stable, making the permutation deterministic.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    totals = filter_nnz(weights_ochw).sum(axis=1)
+    order = np.argsort(totals, kind="stable")
+    return FilterGrouping(order)

@@ -1,0 +1,60 @@
+"""Magnitude pruning, in the manner of Deep Compression (paper ref [9]).
+
+Section IV-B: "Beginning with the pre-trained VGG-16 model, we
+increased the sparsity by pruning ... in a manner similar to [9]."
+Magnitude pruning zeroes the weights with the smallest absolute value
+until a per-layer keep fraction is reached. The zero weights are what
+the accelerator's zero-weight-skipping architecture exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Pruned weights plus the mask of surviving positions."""
+
+    weights: np.ndarray
+    mask: np.ndarray  # bool, True where the weight survives
+
+    @property
+    def keep_fraction(self) -> float:
+        return float(self.mask.sum()) / self.mask.size
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.keep_fraction
+
+
+def prune_magnitude(weights: np.ndarray, keep_fraction: float) -> PruneResult:
+    """Keep the ``keep_fraction`` largest-magnitude weights, zero the rest.
+
+    Deterministic: with ties at the threshold, lower flat indices are
+    kept first, and exactly ``round(keep_fraction * size)`` weights
+    survive (pre-existing zeros may be among them if the tensor is
+    already sparser than requested).
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError(
+            f"keep_fraction must be in [0, 1], got {keep_fraction}")
+    weights = np.asarray(weights, dtype=np.float64)
+    keep_count = int(round(keep_fraction * weights.size))
+    mask = np.zeros(weights.size, dtype=bool)
+    if keep_count > 0:
+        order = np.argsort(-np.abs(weights.reshape(-1)), kind="stable")
+        mask[order[:keep_count]] = True
+    mask = mask.reshape(weights.shape)
+    return PruneResult(weights=np.where(mask, weights, 0.0), mask=mask)
+
+
+def prune_to_threshold(weights: np.ndarray, threshold: float) -> PruneResult:
+    """Zero every weight with ``|w| < threshold`` (Han et al. style)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    weights = np.asarray(weights, dtype=np.float64)
+    mask = np.abs(weights) >= threshold
+    return PruneResult(weights=np.where(mask, weights, 0.0), mask=mask)

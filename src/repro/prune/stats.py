@@ -1,0 +1,85 @@
+"""Sparsity statistics driving the zero-skipping performance analysis.
+
+The accelerator's cycle cost depends not on average sparsity but on the
+*structure* of the non-zeros: each convolution unit applies four
+filters in lock-step, so a group of four output channels costs the
+per-channel **maximum** of their non-zero counts (Section III-B1,
+"OFMs being computed simultaneously may have different numbers of
+non-zero weights in their filters, causing pipeline bubbles"). These
+helpers compute exactly the quantities that model needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def layer_sparsity(weights: np.ndarray) -> float:
+    """Fraction of exactly-zero weights in a tensor."""
+    weights = np.asarray(weights)
+    if weights.size == 0:
+        raise ValueError("empty weight tensor")
+    return 1.0 - np.count_nonzero(weights) / weights.size
+
+
+def filter_nnz(weights_ochw: np.ndarray) -> np.ndarray:
+    """Non-zero count of each (out_channel, in_channel) kernel slice.
+
+    Returns an ``(O, C)`` int array: entry ``[o, c]`` is the number of
+    non-zero weights in the 2-D kernel connecting input channel ``c``
+    to output channel ``o`` — i.e. the packed-weight-list length for
+    one weight tile.
+    """
+    weights_ochw = np.asarray(weights_ochw)
+    if weights_ochw.ndim != 4:
+        raise ValueError(
+            f"expected OCHW weights, got shape {weights_ochw.shape}")
+    return np.count_nonzero(weights_ochw, axis=(2, 3))
+
+
+def group_max_nnz(weights_ochw: np.ndarray, group_size: int = 4) -> np.ndarray:
+    """Per-channel max non-zero count over groups of output filters.
+
+    Returns a ``(ceil(O / group_size), C)`` array: the lock-step cost
+    (in applied weights) of each concurrently-computed filter group,
+    per input channel. Output channels are padded with empty filters
+    when ``O`` is not a multiple of ``group_size``.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    nnz = filter_nnz(weights_ochw)
+    out_ch, in_ch = nnz.shape
+    groups = -(-out_ch // group_size)
+    padded = np.zeros((groups * group_size, in_ch), dtype=nnz.dtype)
+    padded[:out_ch] = nnz
+    return padded.reshape(groups, group_size, in_ch).max(axis=1)
+
+
+def group_imbalance(weights_ochw: np.ndarray, group_size: int = 4) -> float:
+    """How much lock-step grouping inflates work versus perfect balance.
+
+    Ratio of ``sum(group max nnz)`` to ``sum(group mean nnz)``; 1.0
+    means the four concurrent filters always carry equal non-zero
+    counts (no pipeline bubbles), larger values mean wasted cycles.
+    """
+    nnz = filter_nnz(weights_ochw)
+    out_ch, in_ch = nnz.shape
+    groups = -(-out_ch // group_size)
+    padded = np.zeros((groups * group_size, in_ch), dtype=np.float64)
+    padded[:out_ch] = nnz
+    shaped = padded.reshape(groups, group_size, in_ch)
+    total_max = shaped.max(axis=1).sum()
+    total_mean = shaped.mean(axis=1).sum()
+    if total_mean == 0:
+        return 1.0
+    return float(total_max / total_mean)
+
+
+def nnz_histogram(weights_ochw: np.ndarray,
+                  max_nnz: int | None = None) -> np.ndarray:
+    """Histogram of per-tile non-zero counts (0 .. kernel area)."""
+    weights_ochw = np.asarray(weights_ochw)
+    kernel_area = weights_ochw.shape[2] * weights_ochw.shape[3]
+    top = kernel_area if max_nnz is None else max_nnz
+    counts = filter_nnz(weights_ochw).reshape(-1)
+    return np.bincount(counts, minlength=top + 1)

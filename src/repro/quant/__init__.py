@@ -1,0 +1,34 @@
+"""Reduced precision: 8-bit magnitude+sign quantization (Section IV-B),
+accuracy evaluation, and the ternary/binary future-work extension."""
+
+from repro.quant.accuracy import (AgreementReport, PruningPoint,
+                                  accuracy_vs_pruning, evaluate_agreement,
+                                  top1, topk)
+
+from repro.quant.quantize import (QuantizedModel, QuantizedTensorOp,
+                                  conv2d_int, quantize_network,
+                                  quantized_conv_reference, run_quantized)
+from repro.quant.scale import (QuantParams, exponent_for_max_abs, params_for,
+                               quantization_snr_db)
+from repro.quant.ternary import (TernaryResult, binarize, binarize_network,
+                                 reconstruction_error, ternarize,
+                                 ternarize_network)
+from repro.quant.signmag import (MAG_BITS, MAX_MAG, SIGN_BIT, decode,
+                                 decode_array, encode, encode_array,
+                                 round_half_away, round_half_away_array,
+                                 saturate, saturate_array, shift_round,
+                                 shift_round_array)
+
+__all__ = [
+    "AgreementReport", "PruningPoint", "accuracy_vs_pruning",
+    "evaluate_agreement", "top1", "topk",
+    "TernaryResult", "binarize", "binarize_network",
+    "reconstruction_error", "ternarize", "ternarize_network",
+    "QuantizedModel", "QuantizedTensorOp", "conv2d_int", "quantize_network",
+    "quantized_conv_reference", "run_quantized",
+    "QuantParams", "exponent_for_max_abs", "params_for",
+    "quantization_snr_db",
+    "MAG_BITS", "MAX_MAG", "SIGN_BIT", "decode", "decode_array", "encode",
+    "encode_array", "round_half_away", "round_half_away_array", "saturate",
+    "saturate_array", "shift_round", "shift_round_array",
+]

@@ -1,0 +1,149 @@
+"""Accuracy evaluation: quantized/pruned model fidelity vs float.
+
+The paper reports that the pruned, reduced-precision VGG-16 stays
+"within 2% of the original unpruned floating point" on ImageNet
+validation (Section IV-B). ImageNet is unavailable offline, so the
+reproduction measures *fidelity* on the synthetic model: the float
+network acts as the teacher, a batch of synthetic images as the
+validation set, and the quantized/pruned model's agreement with the
+teacher's predictions is the accuracy proxy. The same machinery
+evaluates pruning sweeps (accuracy-vs-sparsity curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Network
+from repro.nn.init import generate_image
+from repro.nn.reference import run_network
+from repro.prune.schedule import pruned_weights
+from repro.quant.quantize import quantize_network, run_quantized
+
+
+def top1(probs: np.ndarray) -> int:
+    """Index of the most probable class."""
+    return int(np.asarray(probs).reshape(-1).argmax())
+
+
+def topk(probs: np.ndarray, k: int) -> list[int]:
+    """Indices of the k most probable classes, most probable first."""
+    flat = np.asarray(probs).reshape(-1)
+    if not 1 <= k <= flat.size:
+        raise ValueError(f"k={k} outside [1, {flat.size}]")
+    order = np.argsort(flat)[::-1][:k]
+    return [int(i) for i in order]
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Fidelity of a quantized model against its float teacher."""
+
+    images: int
+    top1_matches: int
+    top1_in_top5: int
+    mean_abs_prob_error: float
+    max_abs_prob_error: float
+
+    @property
+    def top1_agreement(self) -> float:
+        return self.top1_matches / self.images
+
+    @property
+    def top5_agreement(self) -> float:
+        return self.top1_in_top5 / self.images
+
+
+def evaluate_agreement(network: Network, weights: dict, biases: dict,
+                       model, image_shape: tuple[int, int, int],
+                       images: int = 10, seed: int = 1000
+                       ) -> AgreementReport:
+    """Compare quantized inference against float over synthetic images.
+
+    ``weights``/``biases`` are the float parameters the quantized
+    ``model`` was built from (the teacher). Images are seeded
+    ``seed .. seed+images-1``.
+    """
+    if images < 1:
+        raise ValueError("need at least one image")
+    top1_matches = 0
+    in_top5 = 0
+    abs_errors = []
+    for index in range(images):
+        image = generate_image(image_shape, seed=seed + index)
+        float_probs = run_network(network, weights, image,
+                                  biases).reshape(-1)
+        quant_probs = run_quantized(network, model, image).reshape(-1)
+        abs_errors.append(np.abs(float_probs - quant_probs))
+        teacher = top1(float_probs)
+        if teacher == top1(quant_probs):
+            top1_matches += 1
+        if teacher in topk(quant_probs, min(5, quant_probs.size)):
+            in_top5 += 1
+    stacked = np.concatenate(abs_errors)
+    return AgreementReport(
+        images=images,
+        top1_matches=top1_matches,
+        top1_in_top5=in_top5,
+        mean_abs_prob_error=float(stacked.mean()),
+        max_abs_prob_error=float(stacked.max()),
+    )
+
+
+@dataclass(frozen=True)
+class PruningPoint:
+    """One point of an accuracy-vs-sparsity curve."""
+
+    keep_fraction: float
+    report: AgreementReport
+
+
+def accuracy_vs_pruning(network: Network, weights: dict, biases: dict,
+                        calibration_image: np.ndarray,
+                        keep_fractions: list[float],
+                        image_shape: tuple[int, int, int],
+                        images: int = 10, seed: int = 2000
+                        ) -> list[PruningPoint]:
+    """Sweep uniform pruning aggressiveness; teacher = unpruned float.
+
+    Each point prunes every conv/FC layer to the given keep fraction,
+    re-quantizes, and measures agreement with the *unpruned* float
+    teacher — the analogue of the paper's accuracy-loss evaluation.
+    """
+    points = []
+    for keep in keep_fractions:
+        schedule = {name: keep for name in weights}
+        pruned = pruned_weights(weights, schedule)
+        model = quantize_network(network, pruned, biases,
+                                 calibration_image)
+        report = _agreement_vs_teacher(network, weights, biases, pruned,
+                                       model, image_shape, images, seed)
+        points.append(PruningPoint(keep_fraction=keep, report=report))
+    return points
+
+
+def _agreement_vs_teacher(network, teacher_weights, biases, pruned_weights_,
+                          model, image_shape, images, seed
+                          ) -> AgreementReport:
+    """Agreement of the pruned+quantized model with the float teacher."""
+    top1_matches = 0
+    in_top5 = 0
+    abs_errors = []
+    for index in range(images):
+        image = generate_image(image_shape, seed=seed + index)
+        teacher_probs = run_network(network, teacher_weights, image,
+                                    biases).reshape(-1)
+        student_probs = run_quantized(network, model, image).reshape(-1)
+        abs_errors.append(np.abs(teacher_probs - student_probs))
+        teacher = top1(teacher_probs)
+        if teacher == top1(student_probs):
+            top1_matches += 1
+        if teacher in topk(student_probs, min(5, student_probs.size)):
+            in_top5 += 1
+    stacked = np.concatenate(abs_errors)
+    return AgreementReport(
+        images=images, top1_matches=top1_matches, top1_in_top5=in_top5,
+        mean_abs_prob_error=float(stacked.mean()),
+        max_abs_prob_error=float(stacked.max()))

@@ -1,0 +1,198 @@
+"""Network quantization to 8-bit sign-magnitude, and integer inference.
+
+Reproduces the data path of Section IV-B: weights and activations are
+8-bit magnitude+sign; convolutions accumulate in wide integers
+(output-stationary, "not compromise accuracy by rounding partial sums",
+Section III-B); completed output tiles are rescaled by an arithmetic
+shift, ReLU'd and saturated back to 8 bits.
+
+The integer executor here is the *golden model* for the accelerator:
+:mod:`repro.core` must match it bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.reference import (conv2d, fully_connected, maxpool2d, relu,
+                                softmax, zero_pad)
+from repro.quant.scale import QuantParams, params_for
+from repro.quant.signmag import (saturate_array, shift_round_array)
+
+
+@dataclass(frozen=True)
+class QuantizedTensorOp:
+    """Quantized parameters of one conv or FC layer.
+
+    ``weights_q`` holds sign-magnitude integers in [-127, 127].
+    ``bias_q`` lives in the accumulator domain (exponent
+    ``w_params.exponent + in_params.exponent``) so it adds directly to
+    the accumulated products. ``shift`` converts accumulator-domain
+    values into the output activation domain.
+    """
+
+    name: str
+    weights_q: np.ndarray
+    bias_q: np.ndarray
+    w_params: QuantParams
+    in_params: QuantParams
+    out_params: QuantParams
+
+    @property
+    def shift(self) -> int:
+        """Right-shift from accumulator domain to output domain."""
+        return (self.w_params.exponent + self.in_params.exponent
+                - self.out_params.exponent)
+
+    @property
+    def nonzero_fraction(self) -> float:
+        """Fraction of non-zero quantized weights (zero-skip target)."""
+        return float(np.count_nonzero(self.weights_q)) / self.weights_q.size
+
+
+@dataclass
+class QuantizedModel:
+    """A fully quantized network: per-layer integer ops plus input domain."""
+
+    network: Network
+    input_params: QuantParams
+    ops: dict[str, QuantizedTensorOp] = field(default_factory=dict)
+
+    def conv_ops(self) -> list[QuantizedTensorOp]:
+        return [self.ops[info.layer.name]
+                for info in self.network.conv_infos()]
+
+    def conv_sparsity(self) -> dict[str, float]:
+        """Per-conv-layer fraction of *zero* quantized weights."""
+        return {op.name: 1.0 - op.nonzero_fraction
+                for op in self.conv_ops()}
+
+
+def quantize_network(network: Network, weights: dict[str, np.ndarray],
+                     biases: dict[str, np.ndarray],
+                     calibration_image: np.ndarray) -> QuantizedModel:
+    """Calibrate and quantize every conv/FC layer of ``network``.
+
+    Activation scales come from a float calibration pass over
+    ``calibration_image`` (the offline step the paper performs in
+    Caffe); weight scales cover each layer's max |w|.
+    """
+    input_params = params_for(calibration_image)
+    model = QuantizedModel(network, input_params)
+    x = np.asarray(calibration_image, dtype=np.float64)
+    act_params = input_params
+    for layer in network:
+        if isinstance(layer, InputLayer):
+            continue
+        if isinstance(layer, PadLayer):
+            x = zero_pad(x, layer.pad)
+        elif isinstance(layer, ReluLayer):
+            x = relu(x)
+        elif isinstance(layer, MaxPoolLayer):
+            x = maxpool2d(x, layer.size, layer.stride)
+        elif isinstance(layer, FlattenLayer):
+            x = x.reshape(-1, 1, 1)
+        elif isinstance(layer, (ConvLayer, FCLayer)):
+            w = weights[layer.name]
+            b = biases.get(layer.name, np.zeros(w.shape[0]))
+            if isinstance(layer, ConvLayer):
+                x = conv2d(x, w, b, stride=layer.stride, pad=layer.pad)
+            else:
+                x = fully_connected(x.reshape(-1), w, b)
+            w_params = params_for(w)
+            out_params = params_for(x)
+            acc_exponent = w_params.exponent + act_params.exponent
+            bias_q = np.round(b * (2.0 ** acc_exponent)).astype(np.int64)
+            model.ops[layer.name] = QuantizedTensorOp(
+                name=layer.name,
+                weights_q=w_params.quantize(w),
+                bias_q=bias_q,
+                w_params=w_params,
+                in_params=act_params,
+                out_params=out_params,
+            )
+            act_params = out_params
+        elif isinstance(layer, SoftmaxLayer):
+            x = softmax(x)
+        else:
+            raise TypeError(f"cannot quantize layer {type(layer).__name__}")
+    return model
+
+
+def conv2d_int(ifm_q: np.ndarray, weights_q: np.ndarray,
+               stride: int = 1) -> np.ndarray:
+    """Exact integer convolution (int64 accumulators), valid padding."""
+    out_ch, in_ch, kernel_h, kernel_w = weights_q.shape
+    if ifm_q.shape[0] != in_ch:
+        raise ValueError(
+            f"channel mismatch: {ifm_q.shape[0]} vs {in_ch}")
+    windows = sliding_window_view(ifm_q.astype(np.int64),
+                                  (kernel_h, kernel_w), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    return np.einsum("chwij,ocij->ohw", windows,
+                     weights_q.astype(np.int64), optimize=True)
+
+
+def quantized_conv_reference(ifm_q: np.ndarray, op: QuantizedTensorOp,
+                             stride: int = 1,
+                             apply_relu: bool = False) -> np.ndarray:
+    """Golden single-layer conv: accumulate, bias, shift, (ReLU,) saturate."""
+    acc = conv2d_int(ifm_q, op.weights_q, stride=stride)
+    acc = acc + op.bias_q[:, None, None]
+    out = shift_round_array(acc, op.shift)
+    if apply_relu:
+        out = np.maximum(out, 0)
+    return saturate_array(out).astype(np.int16)
+
+
+def run_quantized(network: Network, model: QuantizedModel,
+                  image: np.ndarray,
+                  collect: dict[str, np.ndarray] | None = None) -> np.ndarray:
+    """Integer inference over the whole network.
+
+    Returns the float softmax output; if ``collect`` is given, each
+    layer's quantized output (int16) is stored under its name.
+    """
+    x = model.input_params.quantize(image).astype(np.int64)
+    last_params = model.input_params
+    for layer in network:
+        if isinstance(layer, InputLayer):
+            pass
+        elif isinstance(layer, PadLayer):
+            x = np.pad(x, ((0, 0), (layer.pad, layer.pad),
+                           (layer.pad, layer.pad)))
+        elif isinstance(layer, ReluLayer):
+            x = np.maximum(x, 0)
+        elif isinstance(layer, MaxPoolLayer):
+            windows = sliding_window_view(x, (layer.size, layer.size),
+                                          axis=(1, 2))
+            x = windows[:, ::layer.stride, ::layer.stride].max(axis=(3, 4))
+        elif isinstance(layer, FlattenLayer):
+            x = x.reshape(-1, 1, 1)
+        elif isinstance(layer, ConvLayer):
+            op = model.ops[layer.name]
+            padded = np.pad(x, ((0, 0), (layer.pad, layer.pad),
+                                (layer.pad, layer.pad))) if layer.pad else x
+            acc = conv2d_int(padded, op.weights_q, stride=layer.stride)
+            acc = acc + op.bias_q[:, None, None]
+            x = saturate_array(shift_round_array(acc, op.shift))
+            last_params = op.out_params
+        elif isinstance(layer, FCLayer):
+            op = model.ops[layer.name]
+            acc = op.weights_q.astype(np.int64) @ x.reshape(-1) + op.bias_q
+            x = saturate_array(shift_round_array(acc, op.shift))
+            x = x.reshape(-1, 1, 1)
+            last_params = op.out_params
+        elif isinstance(layer, SoftmaxLayer):
+            return softmax(last_params.dequantize(x))
+        else:
+            raise TypeError(f"no quantized executor for {type(layer).__name__}")
+        if collect is not None:
+            collect[layer.name] = np.asarray(x, dtype=np.int64).copy()
+    return last_params.dequantize(x)

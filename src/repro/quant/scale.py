@@ -1,0 +1,73 @@
+"""Power-of-two scale selection for weights and activations.
+
+The paper reduces precision "by scaling ... using Caffe, in a manner
+similar to [Deep Compression]" (Section IV-B). We use power-of-two
+scales throughout: a quantity ``x`` is represented by the integer
+``q = round(x * 2**exponent)``, and rescaling between domains is a
+pure arithmetic shift — exactly what the fixed-point accelerator
+datapath implements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.signmag import (MAX_MAG, round_half_away_array,
+                                 saturate_array)
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """A power-of-two quantization domain: value = q / 2**exponent."""
+
+    exponent: int
+
+    @property
+    def step(self) -> float:
+        """The real value of one integer step."""
+        return 2.0 ** (-self.exponent)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> saturated sign-magnitude integers (int16)."""
+        scaled = np.asarray(values, dtype=np.float64) * (2.0 ** self.exponent)
+        return saturate_array(round_half_away_array(scaled)).astype(np.int16)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Integers -> real values."""
+        return np.asarray(q, dtype=np.float64) * self.step
+
+
+def exponent_for_max_abs(max_abs: float) -> int:
+    """Largest exponent whose quantization avoids saturating ``max_abs``.
+
+    Picks ``e`` with ``max_abs * 2**e <= MAX_MAG``, i.e. the finest
+    power-of-two step that still represents the extreme value. A zero
+    tensor gets exponent 0 (any scale represents it).
+    """
+    if max_abs < 0:
+        raise ValueError(f"max_abs must be >= 0, got {max_abs}")
+    if max_abs == 0.0:
+        return 0
+    return int(math.floor(math.log2(MAX_MAG / max_abs)))
+
+
+def params_for(values: np.ndarray) -> QuantParams:
+    """Calibrate a quantization domain to cover ``values``."""
+    return QuantParams(exponent_for_max_abs(float(np.abs(values).max(initial=0.0))))
+
+
+def quantization_snr_db(values: np.ndarray, params: QuantParams) -> float:
+    """Signal-to-quantization-noise ratio in dB (diagnostic)."""
+    values = np.asarray(values, dtype=np.float64)
+    reconstructed = params.dequantize(params.quantize(values))
+    noise = values - reconstructed
+    signal_power = float((values ** 2).mean())
+    noise_power = float((noise ** 2).mean())
+    if noise_power == 0.0:
+        return float("inf")
+    if signal_power == 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(signal_power / noise_power)

@@ -1,0 +1,121 @@
+"""8-bit magnitude-plus-sign number format (Section III, IV-B).
+
+The accelerator's computations are realized in "8-bit magnitude + sign
+format": one sign bit and a 7-bit magnitude, representable values
+``-127 .. +127``. Unlike two's complement there are two encodings of
+zero (+0 = 0x00 and -0 = 0x80); decoding canonicalizes both to 0.
+
+This module provides the scalar and vectorized codec plus the
+rounding/saturation primitives shared by the quantizer
+(:mod:`repro.quant.quantize`) and the accelerator's accumulator kernel
+(:mod:`repro.core.accumulator`) — one definition, so hardware and
+reference can never disagree on rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits of magnitude (total storage is MAG_BITS + 1 sign bit = 8 bits).
+MAG_BITS = 7
+
+#: Largest representable magnitude.
+MAX_MAG = (1 << MAG_BITS) - 1  # 127
+
+#: Sign-bit mask within the 8-bit storage byte.
+SIGN_BIT = 1 << MAG_BITS  # 0x80
+
+
+def saturate(value: int) -> int:
+    """Clamp ``value`` into the representable range ``[-127, 127]``."""
+    if value > MAX_MAG:
+        return MAX_MAG
+    if value < -MAX_MAG:
+        return -MAX_MAG
+    return value
+
+
+def saturate_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`saturate`."""
+    return np.clip(values, -MAX_MAG, MAX_MAG)
+
+
+def encode(value: int) -> int:
+    """Encode an integer in ``[-127, 127]`` to its storage byte."""
+    if not -MAX_MAG <= value <= MAX_MAG:
+        raise ValueError(
+            f"value {value} outside sign-magnitude range [-127, 127]")
+    if value < 0:
+        return SIGN_BIT | (-value)
+    return value
+
+
+def decode(byte: int) -> int:
+    """Decode a storage byte to its integer value (-0 decodes to 0)."""
+    if not 0 <= byte <= 0xFF:
+        raise ValueError(f"byte {byte} outside [0, 255]")
+    magnitude = byte & MAX_MAG
+    if byte & SIGN_BIT:
+        return -magnitude
+    return magnitude
+
+
+def encode_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`encode`; returns uint8 storage bytes."""
+    values = np.asarray(values)
+    if values.size and (values.min() < -MAX_MAG or values.max() > MAX_MAG):
+        raise ValueError("values outside sign-magnitude range [-127, 127]")
+    sign = (values < 0).astype(np.uint8) << MAG_BITS
+    return (sign | np.abs(values).astype(np.uint8)).astype(np.uint8)
+
+
+def decode_array(stored: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`decode`; returns int16 values."""
+    stored = np.asarray(stored, dtype=np.uint8)
+    magnitude = (stored & MAX_MAG).astype(np.int16)
+    negative = (stored & SIGN_BIT) != 0
+    return np.where(negative, -magnitude, magnitude)
+
+
+def round_half_away(value: float) -> int:
+    """Round to nearest with ties away from zero (hardware convention).
+
+    Python's ``round`` rounds ties to even; sign-magnitude datapaths
+    round the magnitude, giving ties-away-from-zero. Both the quantizer
+    and the accelerator writeback use this single definition.
+    """
+    if value >= 0:
+        return int(np.floor(value + 0.5))
+    return -int(np.floor(-value + 0.5))
+
+
+def round_half_away_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`round_half_away`."""
+    values = np.asarray(values, dtype=np.float64)
+    return np.where(values >= 0, np.floor(values + 0.5),
+                    -np.floor(-values + 0.5)).astype(np.int64)
+
+
+def shift_round(value: int, shift: int) -> int:
+    """Arithmetic right shift by ``shift`` with round-half-away.
+
+    ``shift <= 0`` is a plain left shift (exact). This is the
+    requantization step between the 32-bit accumulator domain and the
+    8-bit activation domain.
+    """
+    if shift <= 0:
+        return value << (-shift)
+    half = 1 << (shift - 1)
+    if value >= 0:
+        return (value + half) >> shift
+    return -((-value + half) >> shift)
+
+
+def shift_round_array(values: np.ndarray, shift: int) -> np.ndarray:
+    """Vectorized :func:`shift_round` on int64 arrays."""
+    values = np.asarray(values, dtype=np.int64)
+    if shift <= 0:
+        return values << (-shift)
+    half = np.int64(1) << np.int64(shift - 1)
+    magnitude = (np.abs(values) + half) >> np.int64(shift)
+    return np.where(values >= 0, magnitude, -magnitude)

@@ -1,0 +1,101 @@
+"""Ternary and binary weight quantization (the paper's future work).
+
+Section VII: "Future work involves the use of HLS to synthesize
+accelerators for other neural network styles, including binarized,
+ternary and recurrent networks." Ternary and binary weights slot
+straight into this architecture:
+
+* **ternary** (TWN-style): weights in {-a, 0, +a}. The threshold
+  ``delta = 0.7 * mean|w|`` zeroes ~30-50% of weights *structurally* —
+  free food for the zero-weight-skipping datapath, no pruning run
+  required. The scale ``a`` folds into the per-layer requantization.
+* **binary** (BinaryConnect-style): weights in {-a, +a} — no zeros at
+  all, so zero-skipping buys nothing; the win would come from narrower
+  multipliers instead. The contrast between the two on this
+  architecture is the point of the ternary extension bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TernaryResult:
+    """A ternarized tensor: codes in {-1, 0, +1} and the scale."""
+
+    codes: np.ndarray      # int8 in {-1, 0, +1}
+    scale: float           # the 'a' in {-a, 0, +a}
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The real-valued reconstruction ``codes * scale``."""
+        return self.codes.astype(np.float64) * self.scale
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - np.count_nonzero(self.codes) / self.codes.size
+
+
+def ternarize(weights: np.ndarray,
+              threshold_factor: float = 0.7) -> TernaryResult:
+    """Ternary Weight Networks quantization (Li & Liu, 2016).
+
+    ``delta = threshold_factor * mean|w|``; weights below the threshold
+    become 0, the rest become sign(w) * a with ``a`` the mean magnitude
+    of the surviving weights (the L1-optimal scale).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("empty weight tensor")
+    if threshold_factor < 0:
+        raise ValueError(f"threshold_factor must be >= 0, got "
+                         f"{threshold_factor}")
+    delta = threshold_factor * np.abs(weights).mean()
+    mask = np.abs(weights) > delta
+    if not mask.any():
+        return TernaryResult(codes=np.zeros(weights.shape, dtype=np.int8),
+                             scale=0.0)
+    scale = float(np.abs(weights[mask]).mean())
+    codes = np.where(mask, np.sign(weights), 0.0).astype(np.int8)
+    return TernaryResult(codes=codes, scale=scale)
+
+
+def binarize(weights: np.ndarray) -> TernaryResult:
+    """BinaryConnect-style quantization: sign(w) * mean|w|, no zeros.
+
+    Returned in the same container (codes in {-1, +1}); sparsity is 0
+    by construction — which is exactly why zero-skipping cannot help.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("empty weight tensor")
+    scale = float(np.abs(weights).mean())
+    codes = np.where(weights >= 0, 1, -1).astype(np.int8)
+    return TernaryResult(codes=codes, scale=scale)
+
+
+def ternarize_network(weights: dict[str, np.ndarray],
+                      threshold_factor: float = 0.7
+                      ) -> dict[str, TernaryResult]:
+    """Ternarize every layer of a weight dictionary."""
+    return {name: ternarize(tensor, threshold_factor)
+            for name, tensor in weights.items()}
+
+
+def binarize_network(weights: dict[str, np.ndarray]
+                     ) -> dict[str, TernaryResult]:
+    """Binarize every layer of a weight dictionary."""
+    return {name: binarize(tensor) for name, tensor in weights.items()}
+
+
+def reconstruction_error(weights: np.ndarray,
+                         result: TernaryResult) -> float:
+    """Relative L2 error of the ternary/binary reconstruction."""
+    weights = np.asarray(weights, dtype=np.float64)
+    norm = float(np.linalg.norm(weights))
+    if norm == 0.0:
+        return 0.0
+    return float(np.linalg.norm(weights - result.weights)) / norm

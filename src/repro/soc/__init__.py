@@ -1,0 +1,33 @@
+"""SoC substrate: Avalon bus, CSRs, ISA, DDR4, DMA, ARM host, driver."""
+
+from repro.soc.avalon import AvalonInterconnect, AvalonSlave, BusError
+from repro.soc.dma import (DmaController, DmaDescriptor, DmaDirection,
+                           DmaStats)
+from repro.soc.dram import Ddr4, DramAllocator
+from repro.soc.dual import DualSocSystem, SplitConvResult, run_conv_split
+from repro.soc.driver import (FmHandle, InferenceDriver, LayerRun, SocSystem)
+from repro.soc.hps import (ARM_CYCLES_PER_REORDERED_VALUE,
+                           CYCLES_PER_CSR_ACCESS, ArmHost, HostTimeout)
+from repro.soc.isa import decode_instruction, encode_instruction
+from repro.soc.program import (CompileConfig, Program, ProgramStep,
+                               TensorPlacement, compile_network)
+from repro.soc.registers import CallbackSlave, RegisterFile
+from repro.soc.sdram import (SdramController, SdramOp, SdramPort,
+                             SdramRequest)
+from repro.soc.trace import SocEvent, SocTrace
+
+__all__ = [
+    "AvalonInterconnect", "AvalonSlave", "BusError",
+    "DmaController", "DmaDescriptor", "DmaDirection", "DmaStats",
+    "Ddr4", "DramAllocator",
+    "DualSocSystem", "SplitConvResult", "run_conv_split",
+    "FmHandle", "InferenceDriver", "LayerRun", "SocSystem",
+    "ARM_CYCLES_PER_REORDERED_VALUE", "CYCLES_PER_CSR_ACCESS", "ArmHost",
+    "HostTimeout",
+    "decode_instruction", "encode_instruction",
+    "CompileConfig", "Program", "ProgramStep", "TensorPlacement",
+    "compile_network",
+    "CallbackSlave", "RegisterFile",
+    "SdramController", "SdramOp", "SdramPort", "SdramRequest",
+    "SocEvent", "SocTrace",
+]

@@ -1,0 +1,96 @@
+"""Avalon memory-mapped interconnect (Fig. 1, "System II").
+
+The host ARM processor controls the accelerator and the DMA engine
+through Avalon Memory-Mapped (AMM) interfaces synthesized by Qsys
+(Section IV-D). This module models the interconnect: 32-bit word
+reads/writes dispatched by address to attached slaves, with per-slave
+traffic statistics and an optional trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class BusError(Exception):
+    """Unmapped address, misaligned access, or slave-side failure."""
+
+
+class AvalonSlave:
+    """Interface for bus slaves: word-addressed register space."""
+
+    name = "slave"
+    size = 0  # bytes of address space
+
+    def read_word(self, offset: int) -> int:
+        raise NotImplementedError
+
+    def write_word(self, offset: int, value: int) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class _Mapping:
+    base: int
+    slave: AvalonSlave
+    reads: int = 0
+    writes: int = 0
+
+
+class AvalonInterconnect:
+    """Address-decoding bus with attached slaves.
+
+    All accesses are 32-bit-word granular; addresses are byte addresses
+    and must be 4-byte aligned, like real AMM.
+    """
+
+    WORD = 4
+
+    def __init__(self, name: str,
+                 on_access: Callable[[str, str, int, int], None] | None = None):
+        self.name = name
+        self._mappings: list[_Mapping] = []
+        self._on_access = on_access
+
+    def attach(self, base: int, slave: AvalonSlave) -> None:
+        """Map ``slave`` at byte address ``base``."""
+        if base % self.WORD:
+            raise BusError(f"{self.name}: base {base:#x} not word aligned")
+        if slave.size <= 0:
+            raise BusError(f"{self.name}: slave {slave.name!r} has no space")
+        end = base + slave.size
+        for mapping in self._mappings:
+            other_end = mapping.base + mapping.slave.size
+            if base < other_end and mapping.base < end:
+                raise BusError(
+                    f"{self.name}: [{base:#x}, {end:#x}) overlaps "
+                    f"{mapping.slave.name!r}")
+        self._mappings.append(_Mapping(base, slave))
+
+    def read(self, addr: int) -> int:
+        mapping, offset = self._decode(addr)
+        mapping.reads += 1
+        value = mapping.slave.read_word(offset)
+        if self._on_access:
+            self._on_access("read", mapping.slave.name, addr, value)
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        mapping, offset = self._decode(addr)
+        mapping.writes += 1
+        mapping.slave.write_word(offset, value)
+        if self._on_access:
+            self._on_access("write", mapping.slave.name, addr, value)
+
+    def traffic(self) -> dict[str, tuple[int, int]]:
+        """Per-slave (reads, writes) counters."""
+        return {m.slave.name: (m.reads, m.writes) for m in self._mappings}
+
+    def _decode(self, addr: int) -> tuple[_Mapping, int]:
+        if addr % self.WORD:
+            raise BusError(f"{self.name}: address {addr:#x} not aligned")
+        for mapping in self._mappings:
+            if mapping.base <= addr < mapping.base + mapping.slave.size:
+                return mapping, addr - mapping.base
+        raise BusError(f"{self.name}: no slave at {addr:#x}")

@@ -1,0 +1,149 @@
+"""DMA controller (Fig. 1): DDR4 <-> on-FPGA SRAM banks.
+
+The DMA engine is the one hand-written RTL block in the paper
+(Section IV-A); here it is a streaming kernel that drains a descriptor
+queue, copying value ranges between DDR4 and a bank over the 256-bit
+"System I" bus. The host programs descriptors through CSRs and polls a
+completion counter — exactly the driver protocol of Section IV-C.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.sram import SramBank
+from repro.hls.kernel import Tick
+from repro.hls.sim import Simulator
+from repro.soc.dram import Ddr4
+from repro.soc.registers import CallbackSlave
+
+
+class DmaDirection(enum.Enum):
+    """Transfer direction over the System I bus."""
+
+    TO_BANK = "to_bank"    # DDR4 -> SRAM bank (IFM, weights)
+    TO_DRAM = "to_dram"    # SRAM bank -> DDR4 (OFM)
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """One contiguous transfer."""
+
+    direction: DmaDirection
+    dram_addr: int
+    bank: int
+    bank_addr: int   # value address within the bank
+    count: int       # values to move
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError(f"empty DMA descriptor {self}")
+        if self.dram_addr < 0 or self.bank_addr < 0 or self.bank < 0:
+            raise ValueError(f"negative address in {self}")
+
+
+@dataclass
+class DmaStats:
+    transfers: int = 0
+    values_moved: int = 0
+    busy_cycles: int = 0
+
+
+class DmaController:
+    """Descriptor-driven DMA engine attached to a simulator.
+
+    By default the engine talks straight to the DDR4 model (the single-
+    master shortcut). When ``sdram_port`` is given, every transfer is
+    routed through that :class:`~repro.soc.sdram.SdramController` port
+    instead, so multiple DMA engines contend for memory bandwidth the
+    way two accelerator instances do on the real System I bus.
+    """
+
+    def __init__(self, sim: Simulator, dram: Ddr4, banks: list[SramBank],
+                 name: str = "dma", sdram_port=None):
+        self.name = name
+        self.dram = dram
+        self.banks = banks
+        self.sdram_port = sdram_port
+        self._sim = sim
+        self.stats = DmaStats()
+        self._pending: list[DmaDescriptor] = []
+        self._completed = 0
+        self._submitted = 0
+        sim.add_kernel(f"{name}.engine", self._engine(), fsm_states=12)
+        self.csr = CallbackSlave(f"{name}.csr")
+        self.csr.register(0x00, read=lambda: self._completed)
+        self.csr.register(0x04, read=lambda: self._submitted)
+        self.csr.register(0x08, read=lambda: len(self._pending))
+
+    # -- host-facing API -------------------------------------------------------
+
+    def submit(self, descriptor: DmaDescriptor) -> None:
+        """Queue one transfer (host-side, via descriptor memory)."""
+        if descriptor.bank >= len(self.banks):
+            raise ValueError(f"no bank {descriptor.bank}")
+        self._pending.append(descriptor)
+        self._submitted += 1
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and self._completed == self._submitted
+
+    # -- the engine kernel -----------------------------------------------------
+
+    def _engine(self):
+        while True:
+            if not self._pending:
+                yield Tick(1)
+                continue
+            descriptor = self._pending.pop(0)
+            bank = self.banks[descriptor.bank]
+            if self.sdram_port is not None:
+                cycles = yield from self._transfer_via_sdram(descriptor,
+                                                             bank)
+            else:
+                cycles = self._transfer_direct(descriptor, bank)
+                yield Tick(max(1, cycles))
+            self.stats.transfers += 1
+            self.stats.values_moved += descriptor.count
+            self.stats.busy_cycles += cycles
+            self._completed += 1
+
+    def _transfer_direct(self, descriptor: DmaDescriptor,
+                         bank: SramBank) -> int:
+        if descriptor.direction is DmaDirection.TO_BANK:
+            data = self.dram.read(descriptor.dram_addr, descriptor.count)
+            bank.dma_write(descriptor.bank_addr, data)
+        else:
+            data = bank.dma_read(descriptor.bank_addr, descriptor.count)
+            self.dram.write(descriptor.dram_addr, data)
+        return self.dram.transfer_cycles(descriptor.count)
+
+    def _transfer_via_sdram(self, descriptor: DmaDescriptor,
+                            bank: SramBank):
+        """Route through the arbitrated SDRAM controller (System I)."""
+        from repro.soc.sdram import SdramOp, SdramRequest
+        start = self._now()
+        if descriptor.direction is DmaDirection.TO_BANK:
+            request = self.sdram_port.submit(SdramRequest(
+                SdramOp.READ, addr=descriptor.dram_addr,
+                count=descriptor.count))
+            while not request.done:
+                yield Tick(1)
+            bank.dma_write(descriptor.bank_addr, request.data)
+        else:
+            data = bank.dma_read(descriptor.bank_addr, descriptor.count)
+            request = self.sdram_port.submit(SdramRequest(
+                SdramOp.WRITE, addr=descriptor.dram_addr,
+                count=descriptor.count, payload=data))
+            while not request.done:
+                yield Tick(1)
+        return self._now() - start
+
+    def _now(self) -> int:
+        return self._sim.now

@@ -1,0 +1,83 @@
+"""Off-chip DDR4 memory model (Fig. 1).
+
+The FPGA's SRAM banks are backed by off-chip DDR4; the DMA engine moves
+feature maps and packed weights between the two. Storage is
+value-granular (one 8-bit activation/weight per address, stored int16
+like the banks); timing is a simple latency + bandwidth model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DramStats:
+    values_read: int = 0
+    values_written: int = 0
+
+
+class Ddr4:
+    """Bulk memory with a latency/bandwidth transfer-time model."""
+
+    def __init__(self, name: str = "ddr4", capacity_values: int = 1 << 24,
+                 bytes_per_cycle: int = 32, latency_cycles: int = 30):
+        if capacity_values < 1:
+            raise ValueError("capacity must be positive")
+        if bytes_per_cycle < 1 or latency_cycles < 0:
+            raise ValueError("bad timing parameters")
+        self.name = name
+        self.capacity_values = capacity_values
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency_cycles = latency_cycles
+        self.storage = np.zeros(capacity_values, dtype=np.int16)
+        self.stats = DramStats()
+
+    def read(self, addr: int, count: int) -> np.ndarray:
+        self._check(addr, count)
+        self.stats.values_read += count
+        return self.storage[addr:addr + count].copy()
+
+    def write(self, addr: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int16).reshape(-1)
+        self._check(addr, values.size)
+        self.stats.values_written += values.size
+        self.storage[addr:addr + values.size] = values
+
+    def transfer_cycles(self, count: int) -> int:
+        """Cycles to move ``count`` values over the 256-bit DMA bus."""
+        if count <= 0:
+            return 0
+        return self.latency_cycles + -(-count // self.bytes_per_cycle)
+
+    def _check(self, addr: int, count: int) -> None:
+        if addr < 0 or addr + count > self.capacity_values:
+            raise IndexError(
+                f"{self.name}: access [{addr}, {addr + count}) outside "
+                f"capacity {self.capacity_values}")
+
+
+class DramAllocator:
+    """Bump allocator for laying out tensors in DDR4 (driver-side)."""
+
+    def __init__(self, dram: Ddr4, base: int = 0):
+        self.dram = dram
+        self._next = base
+
+    def alloc(self, count: int) -> int:
+        """Reserve ``count`` values; returns the base address."""
+        if count < 0:
+            raise ValueError("negative allocation")
+        addr = self._next
+        if addr + count > self.dram.capacity_values:
+            raise MemoryError(
+                f"DDR4 exhausted: need {count} at {addr}, capacity "
+                f"{self.dram.capacity_values}")
+        self._next += count
+        return addr
+
+    @property
+    def used(self) -> int:
+        return self._next

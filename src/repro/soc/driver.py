@@ -1,0 +1,558 @@
+"""The complete SoC (Fig. 1) and its inference driver.
+
+``SocSystem`` wires together the cycle-accurate accelerator instance,
+the four SRAM banks, DDR4, the DMA engine and the Avalon CSR bus, with
+an ARM host on top. ``InferenceDriver`` is the Section IV-C software:
+it lays tensors out in DDR4 in tiled format, programs DMA transfers,
+issues encoded instructions through the mailbox CSRs, runs the
+fully-connected tail on the ARM, and returns per-layer statistics.
+
+Convolutions that exceed the banks are automatically striped (with
+halo re-fetch and weight reloads per stripe); padding/pooling layers
+execute whole and raise :class:`MemoryError` if their IFM+OFM regions
+cannot fit — matching the architecture, where striping decisions are
+made where convolution dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accelerator import AcceleratorConfig, AcceleratorInstance
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction)
+from repro.core.packing import PackedLayer, serialize_unit_stream, unit_channels
+from repro.core.tile import TILE, tiles_along, to_tiles
+from repro.hls.kernel import Tick
+from repro.hls.sim import Simulator
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.quant.quantize import QuantizedModel
+from repro.quant.signmag import saturate_array, shift_round_array
+from repro.soc.avalon import AvalonInterconnect
+from repro.soc.dma import DmaController, DmaDescriptor, DmaDirection
+from repro.soc.dram import Ddr4, DramAllocator
+from repro.soc.hps import ArmHost
+from repro.soc.isa import decode_instruction, encode_instruction
+from repro.soc.registers import CallbackSlave
+from repro.soc.trace import SocTrace
+
+# Accelerator CSR offsets (System II address map).
+ACCEL_BASE = 0x0000
+DMA_BASE = 0x1000
+REG_DONE_COUNT = 0x00
+REG_MAILBOX_DATA = 0x04
+REG_MAILBOX_GO = 0x08
+REG_PENDING = 0x0C
+REG_TILE_WRITES = 0x10
+DMA_REG_COMPLETED = 0x00
+
+
+class SocSystem:
+    """The assembled system-on-chip of Fig. 1."""
+
+    def __init__(self, bank_capacity: int = 1 << 14,
+                 dram_capacity: int = 1 << 22, lanes: int = 4,
+                 trace_limit: int = 100_000):
+        self.trace = SocTrace(limit=trace_limit)
+        self.sim = Simulator("soc")
+        self.accel = AcceleratorInstance(
+            self.sim, AcceleratorConfig(lanes=lanes,
+                                        bank_capacity=bank_capacity),
+            name="acc0")
+        self.dram = Ddr4(capacity_values=dram_capacity)
+        self.dma = DmaController(self.sim, self.dram, self.accel.banks)
+        self._mailbox_words: list[int] = []
+        self._issue_queue: list[tuple[int, object]] = []
+        self._done_count = 0
+        self.accel_csr = CallbackSlave("accel.csr")
+        self.accel_csr.register(REG_DONE_COUNT, read=lambda: self._done_count)
+        self.accel_csr.register(REG_MAILBOX_DATA,
+                                write=self._mailbox_words.append)
+        self.accel_csr.register(REG_MAILBOX_GO, write=self._mailbox_go)
+        self.accel_csr.register(REG_PENDING,
+                                read=lambda: len(self._issue_queue))
+        # Total OFM tiles written to the banks: the status the driver
+        # polls to know the accumulator/write-back pipeline has drained
+        # (the staging done tokens precede the last tile by a few
+        # cycles — reading results on done alone is a race).
+        self.accel_csr.register(
+            REG_TILE_WRITES,
+            read=lambda: sum(bank.stats.tile_writes
+                             for bank in self.accel.banks))
+        self.bus = AvalonInterconnect(
+            "system-ii",
+            on_access=lambda op, slave, addr, value: self.trace.record(
+                self.sim.now, "bus", op, f"{slave} {addr:#06x}"))
+        self.bus.attach(ACCEL_BASE, self.accel_csr)
+        self.bus.attach(DMA_BASE, self.dma.csr)
+        self.host = ArmHost(self.sim, self.bus, self.trace)
+        self.sim.add_kernel("acc0.cmdproc", self._command_processor(),
+                            fsm_states=16)
+
+    # -- mailbox handling -----------------------------------------------------------
+
+    def _mailbox_go(self, unit: int) -> None:
+        instr = decode_instruction(self._mailbox_words)
+        self._mailbox_words.clear()
+        self._issue_queue.append((unit, instr))
+        self.trace.record(self.sim.now, "accelerator", "instr_queued",
+                          f"unit={unit} {type(instr).__name__}")
+
+    def _command_processor(self):
+        """Fabric-side kernel: mailbox -> staging queues, done counting."""
+        while True:
+            if self._issue_queue:
+                unit, instr = self._issue_queue.pop(0)
+                yield self.accel.instr_qs[unit].write(instr)
+                yield Tick(1)
+                continue
+            if self.accel.done_q.can_pop(self.sim.now):
+                yield self.accel.done_q.read()
+                self._done_count += 1
+                self.trace.record(self.sim.now, "accelerator", "unit_done",
+                                  f"total={self._done_count}")
+            yield Tick(1)
+
+    # -- host-level operations ---------------------------------------------------------
+
+    def issue_instruction(self, unit: int, instr) -> None:
+        """Write the encoded instruction into the mailbox and kick it."""
+        for word in encode_instruction(instr):
+            self.host.write(ACCEL_BASE + REG_MAILBOX_DATA, word)
+        self.host.write(ACCEL_BASE + REG_MAILBOX_GO, unit)
+
+    def wait_accelerator_done(self, count: int) -> None:
+        self.host.poll(ACCEL_BASE + REG_DONE_COUNT,
+                       lambda value: value >= count)
+
+    def wait_tile_writes(self, count: int) -> None:
+        """Poll until the banks have absorbed ``count`` tile writes."""
+        self.host.poll(ACCEL_BASE + REG_TILE_WRITES,
+                       lambda value: value >= count)
+
+    def tile_writes(self) -> int:
+        """Current bank tile-write total (host-visible status)."""
+        return sum(bank.stats.tile_writes for bank in self.accel.banks)
+
+    def run_dma(self, descriptors: list[DmaDescriptor]) -> None:
+        """Submit transfers and poll the DMA completion counter."""
+        target = self.dma.completed + len(descriptors)
+        for descriptor in descriptors:
+            self.dma.submit(descriptor)
+            self.trace.record(self.sim.now, "dma", "submit",
+                              f"{descriptor.direction.value} "
+                              f"bank{descriptor.bank} n={descriptor.count}")
+        self.host.poll(DMA_BASE + DMA_REG_COMPLETED,
+                       lambda value: value >= target)
+
+
+@dataclass(frozen=True)
+class FmHandle:
+    """A feature map resident in DDR4, in tiled per-channel layout."""
+
+    dram_addr: int
+    channels: int
+    height: int
+    width: int
+
+    @property
+    def tiles_y(self) -> int:
+        return tiles_along(self.height)
+
+    @property
+    def tiles_x(self) -> int:
+        return tiles_along(self.width)
+
+    @property
+    def values_per_channel(self) -> int:
+        return self.tiles_y * self.tiles_x * TILE * TILE
+
+    def channel_addr(self, channel: int) -> int:
+        return self.dram_addr + channel * self.values_per_channel
+
+
+@dataclass(frozen=True)
+class LayerRun:
+    """Per-layer execution statistics from the SoC driver."""
+
+    name: str
+    kind: str               # "pad", "conv", "pool", "fc", "softmax"
+    cycles: int             # fabric cycles elapsed during the layer
+    dma_values: int
+    out_shape: tuple[int, int, int]
+
+
+class InferenceDriver:
+    """Section IV-C software: end-to-end inference through the SoC."""
+
+    def __init__(self, soc: SocSystem):
+        self.soc = soc
+        self.alloc = DramAllocator(soc.dram)
+        self._weight_streams: dict[str, tuple[list[int], list[int]]] = {}
+
+    # -- data movement ------------------------------------------------------------
+
+    def load_feature_map(self, fm_q: np.ndarray) -> FmHandle:
+        """Reorder a CHW map into tiled format and place it in DDR4."""
+        fm_q = np.asarray(fm_q, dtype=np.int16)
+        channels, height, width = fm_q.shape
+        tiles = to_tiles(fm_q)
+        flat = tiles.reshape(channels, -1)
+        addr = self.alloc.alloc(flat.size)
+        self.soc.dram.write(addr, flat.reshape(-1))
+        self.soc.host.account_reorder(flat.size)
+        return FmHandle(addr, channels, height, width)
+
+    def read_feature_map(self, handle: FmHandle) -> np.ndarray:
+        """Fetch a handle's map back into CHW layout (host-side)."""
+        per_channel = handle.values_per_channel
+        fm = np.zeros((handle.channels, handle.tiles_y * TILE,
+                       handle.tiles_x * TILE), dtype=np.int16)
+        for c in range(handle.channels):
+            flat = self.soc.dram.read(handle.channel_addr(c), per_channel)
+            shaped = flat.reshape(handle.tiles_y, handle.tiles_x, TILE, TILE)
+            fm[c] = shaped.transpose(0, 2, 1, 3).reshape(
+                handle.tiles_y * TILE, handle.tiles_x * TILE)
+        return fm[:, :handle.height, :handle.width]
+
+    def load_packed_weights(self, name: str, packed: PackedLayer) -> None:
+        """Place each staging unit's packed stream in DDR4 (once)."""
+        lanes = self.soc.accel.config.lanes
+        addrs, sizes = [], []
+        for unit in range(lanes):
+            stream = serialize_unit_stream(packed, unit, lanes=lanes,
+                                           group_size=lanes)
+            addr = self.alloc.alloc(max(1, stream.size))
+            if stream.size:
+                self.soc.dram.write(addr, stream)
+            addrs.append(addr)
+            sizes.append(int(stream.size))
+            self.soc.host.account_reorder(int(stream.size))
+        self._weight_streams[name] = (addrs, sizes)
+
+    def _fm_to_banks(self, handle: FmHandle, base_tile_addr: int) -> int:
+        """DMA a DDR4-resident map into the banks; returns values moved."""
+        lanes = self.soc.accel.config.lanes
+        word = TILE * TILE
+        per_channel = handle.values_per_channel
+        max_local = -(-handle.channels // lanes)
+        needed = (base_tile_addr * word) + max_local * per_channel
+        if needed > self.soc.accel.config.bank_capacity:
+            raise MemoryError(
+                f"feature map needs {needed} values per bank, capacity is "
+                f"{self.soc.accel.config.bank_capacity}; this whole-layer "
+                f"driver does not stripe")
+        descriptors = []
+        for c in range(handle.channels):
+            local = c // lanes
+            descriptors.append(DmaDescriptor(
+                direction=DmaDirection.TO_BANK,
+                dram_addr=handle.channel_addr(c),
+                bank=c % lanes,
+                bank_addr=(base_tile_addr + local
+                           * handle.tiles_y * handle.tiles_x) * word,
+                count=per_channel))
+        self.soc.run_dma(descriptors)
+        return per_channel * handle.channels
+
+    def _fm_from_banks(self, base_tile_addr: int, channels: int,
+                       height: int, width: int) -> FmHandle:
+        """DMA an accelerator-produced map back out to DDR4."""
+        lanes = self.soc.accel.config.lanes
+        word = TILE * TILE
+        tiles_y, tiles_x = tiles_along(height), tiles_along(width)
+        per_channel = tiles_y * tiles_x * word
+        addr = self.alloc.alloc(per_channel * channels)
+        descriptors = []
+        for c in range(channels):
+            local = c // lanes
+            descriptors.append(DmaDescriptor(
+                direction=DmaDirection.TO_DRAM,
+                dram_addr=addr + c * per_channel,
+                bank=c % lanes,
+                bank_addr=(base_tile_addr + local * tiles_y * tiles_x) * word,
+                count=per_channel))
+        self.soc.run_dma(descriptors)
+        return FmHandle(addr, channels, height, width)
+
+    # -- layer execution ------------------------------------------------------------
+
+    def run_conv(self, handle: FmHandle, name: str, packed: PackedLayer,
+                 biases: np.ndarray, shift: int, apply_relu: bool
+                 ) -> tuple[FmHandle, LayerRun]:
+        """One convolution layer: DMA in, weights in, execute, DMA out.
+
+        Layers whose feature maps exceed the banks are automatically
+        decomposed into stripes (Section III-A "striping"); each stripe
+        re-loads its halo rows and the packed weights, exactly the
+        overhead the performance model charges.
+        """
+        soc = self.soc
+        cfg = soc.accel.config
+        start = soc.sim.now
+        if handle.channels != packed.in_channels:
+            raise ValueError(
+                f"{name}: IFM channels {handle.channels} != weights "
+                f"{packed.in_channels}")
+        if name not in self._weight_streams:
+            raise KeyError(f"weights for {name!r} not loaded")
+        kernel = packed.kernel
+        out_h = handle.height - kernel + 1
+        out_w = handle.width - kernel + 1
+        out_tx = tiles_along(out_w)
+        halo = -(-(kernel - 1) // TILE) if kernel > 1 else 0
+        plan = self._plan_stripes(handle, packed, out_h, out_w, name)
+        out_addr = self.alloc.alloc(
+            packed.out_channels * tiles_along(out_h) * out_tx
+            * TILE * TILE)
+        out_handle = FmHandle(out_addr, packed.out_channels, out_h, out_w)
+        dma_values = 0
+        for row0, rows in plan:
+            dma_values += self._run_conv_stripe(
+                handle, out_handle, name, packed, biases, shift,
+                apply_relu, row0, rows, halo)
+        run = LayerRun(name=name, kind="conv",
+                       cycles=soc.sim.now - start, dma_values=dma_values,
+                       out_shape=(packed.out_channels, out_h, out_w))
+        return out_handle, run
+
+    def _plan_stripes(self, handle: FmHandle, packed: PackedLayer,
+                      out_h: int, out_w: int, name: str
+                      ) -> list[tuple[int, int]]:
+        """Split OFM tile rows into bank-fitting (row0, rows) stripes."""
+        cfg = self.soc.accel.config
+        word = TILE * TILE
+        kernel = packed.kernel
+        halo = -(-(kernel - 1) // TILE) if kernel > 1 else 0
+        out_ty = tiles_along(out_h)
+        out_tx = tiles_along(out_w)
+        local_in = -(-handle.channels // cfg.lanes)
+        groups = -(-packed.out_channels // cfg.lanes)
+        ifm_row_cost = local_in * handle.tiles_x * word
+        ofm_row_cost = groups * out_tx * word
+        _, w_sizes = self._weight_streams[name]
+        weight_bytes = max(w_sizes) if w_sizes else 0
+        budget = cfg.bank_capacity - weight_bytes - halo * ifm_row_cost
+        max_rows = budget // (ifm_row_cost + ofm_row_cost)
+        if max_rows < 1:
+            raise MemoryError(
+                f"{name}: one stripe row needs "
+                f"{ifm_row_cost + ofm_row_cost} values plus "
+                f"{weight_bytes} weight bytes; bank capacity "
+                f"{cfg.bank_capacity} is too small")
+        max_rows = min(max_rows, out_ty)
+        plan = []
+        row = 0
+        while row < out_ty:
+            rows = min(max_rows, out_ty - row)
+            plan.append((row, rows))
+            row += rows
+        return plan
+
+    def _run_conv_stripe(self, handle: FmHandle, out_handle: FmHandle,
+                         name: str, packed: PackedLayer,
+                         biases: np.ndarray, shift: int, apply_relu: bool,
+                         row0: int, rows: int, halo: int) -> int:
+        """Execute one stripe: IFM+weights in, compute, OFM rows out."""
+        soc = self.soc
+        cfg = soc.accel.config
+        word = TILE * TILE
+        ifm_rows = min(rows + halo, handle.tiles_y - row0)
+        out_tx = tiles_along(out_handle.width)
+        local_in = -(-handle.channels // cfg.lanes)
+        groups = -(-packed.out_channels // cfg.lanes)
+        # IFM stripe: contiguous tile-row range within each channel.
+        descriptors = []
+        row_values = handle.tiles_x * word
+        for c in range(handle.channels):
+            local = c // cfg.lanes
+            descriptors.append(DmaDescriptor(
+                direction=DmaDirection.TO_BANK,
+                dram_addr=handle.channel_addr(c) + row0 * row_values,
+                bank=c % cfg.lanes,
+                bank_addr=local * ifm_rows * row_values,
+                count=ifm_rows * row_values))
+        soc.run_dma(descriptors)
+        dma_values = sum(d.count for d in descriptors)
+        # Weights: reloaded per stripe (the unpack overhead source).
+        ofm_base = local_in * ifm_rows * handle.tiles_x
+        weight_base = (ofm_base + groups * rows * out_tx) * word
+        w_addrs, w_sizes = self._weight_streams[name]
+        weight_descriptors = [
+            DmaDescriptor(direction=DmaDirection.TO_BANK,
+                          dram_addr=w_addrs[unit], bank=unit,
+                          bank_addr=weight_base, count=w_sizes[unit])
+            for unit in range(cfg.lanes) if w_sizes[unit] > 0]
+        if weight_descriptors:
+            soc.run_dma(weight_descriptors)
+            dma_values += sum(d.count for d in weight_descriptors)
+        bias_tuple = tuple(int(b) for b in np.asarray(biases).reshape(-1))
+        done_target = soc._done_count + cfg.lanes
+        tile_target = soc.tile_writes() + groups * rows * out_tx * cfg.lanes
+        for unit in range(cfg.lanes):
+            soc.issue_instruction(unit, ConvInstruction(
+                instr_id=done_target,
+                ifm_base=0, ifm_tiles_y=ifm_rows,
+                ifm_tiles_x=handle.tiles_x,
+                local_channels=len(unit_channels(handle.channels, unit,
+                                                 cfg.lanes)),
+                ofm_base=ofm_base, ofm_tiles_y=rows, ofm_tiles_x=out_tx,
+                out_channels=packed.out_channels,
+                weight_base=weight_base, weight_bytes=w_sizes[unit],
+                shift=shift, apply_relu=apply_relu,
+                biases=bias_tuple if unit == 0 else ()))
+        soc.wait_accelerator_done(done_target)
+        soc.wait_tile_writes(tile_target)
+        # OFM stripe rows back to DDR4 (contiguous per channel).
+        out_row_values = out_tx * word
+        out_descriptors = []
+        for o in range(packed.out_channels):
+            out_descriptors.append(DmaDescriptor(
+                direction=DmaDirection.TO_DRAM,
+                dram_addr=(out_handle.channel_addr(o)
+                           + row0 * out_row_values),
+                bank=o % cfg.lanes,
+                bank_addr=(ofm_base
+                           + (o // cfg.lanes) * rows * out_tx) * word,
+                count=rows * out_row_values))
+        soc.run_dma(out_descriptors)
+        dma_values += sum(d.count for d in out_descriptors)
+        return dma_values
+
+    def run_padpool(self, handle: FmHandle, name: str, opcode: Opcode,
+                    pad: int = 0, win: int = 2, stride: int = 2
+                    ) -> tuple[FmHandle, LayerRun]:
+        """One padding or max-pooling layer through the accelerator."""
+        soc = self.soc
+        cfg = soc.accel.config
+        start = soc.sim.now
+        if opcode is Opcode.PAD:
+            out_h, out_w = handle.height + 2 * pad, handle.width + 2 * pad
+            kind = "pad"
+        else:
+            out_h = (handle.height - win) // stride + 1
+            out_w = (handle.width - win) // stride + 1
+            kind = "pool"
+        out_ty, out_tx = tiles_along(out_h), tiles_along(out_w)
+        max_local = -(-handle.channels // cfg.lanes)
+        ofm_base = max_local * handle.tiles_y * handle.tiles_x
+        needed = (ofm_base + max_local * out_ty * out_tx) \
+            * soc.accel.word_values
+        if needed > cfg.bank_capacity:
+            raise MemoryError(
+                f"{name}: pad/pool needs {needed} values per bank "
+                f"(IFM + OFM regions), capacity is {cfg.bank_capacity}")
+        dma_values = self._fm_to_banks(handle, 0)
+        done_target = self.soc._done_count + cfg.lanes
+        tile_target = soc.tile_writes() + handle.channels * out_ty * out_tx
+        for unit in range(cfg.lanes):
+            soc.issue_instruction(unit, PadPoolInstruction(
+                instr_id=done_target, opcode=opcode,
+                ifm_base=0, ifm_tiles_y=handle.tiles_y,
+                ifm_tiles_x=handle.tiles_x,
+                local_channels=len(unit_channels(handle.channels, unit,
+                                                 cfg.lanes)),
+                ofm_base=ofm_base, ofm_tiles_y=out_ty, ofm_tiles_x=out_tx,
+                pad=pad if opcode is Opcode.PAD else 0,
+                win=win, stride=stride,
+                ifm_height=handle.height, ifm_width=handle.width))
+        soc.wait_accelerator_done(done_target)
+        soc.wait_tile_writes(tile_target)
+        out_handle = self._fm_from_banks(ofm_base, handle.channels,
+                                         out_h, out_w)
+        dma_values += out_handle.values_per_channel * handle.channels
+        run = LayerRun(name=name, kind=kind, cycles=soc.sim.now - start,
+                       dma_values=dma_values,
+                       out_shape=(handle.channels, out_h, out_w))
+        return out_handle, run
+
+    # -- whole-network execution -------------------------------------------------------
+
+    def run_network(self, network: Network, model: QuantizedModel,
+                    image: np.ndarray
+                    ) -> tuple[np.ndarray, list[LayerRun]]:
+        """End-to-end inference: conv stack on the accelerator, FC tail
+        plus softmax on the ARM. Bit-exact with
+        :func:`repro.quant.run_quantized` on the same model.
+        """
+        runs: list[LayerRun] = []
+        x_q = model.input_params.quantize(image)
+        handle = self.load_feature_map(x_q)
+        layers = list(network)
+        i = 0
+        activations: np.ndarray | None = None
+        while i < len(layers):
+            layer = layers[i]
+            if isinstance(layer, InputLayer):
+                i += 1
+            elif isinstance(layer, PadLayer):
+                handle, run = self.run_padpool(handle, layer.name,
+                                               Opcode.PAD, pad=layer.pad)
+                runs.append(run)
+                i += 1
+            elif isinstance(layer, ConvLayer):
+                if layer.pad != 0:
+                    raise ValueError(
+                        f"{layer.name}: driver needs explicit-padding "
+                        f"networks (conv pad must be 0)")
+                op = model.ops[layer.name]
+                fold_relu = (i + 1 < len(layers)
+                             and isinstance(layers[i + 1], ReluLayer))
+                if layer.name not in self._weight_streams:
+                    self.load_packed_weights(
+                        layer.name, PackedLayer.pack(op.weights_q))
+                handle, run = self.run_conv(
+                    handle, layer.name, PackedLayer.pack(op.weights_q),
+                    op.bias_q, op.shift, fold_relu)
+                runs.append(run)
+                i += 2 if fold_relu else 1
+            elif isinstance(layer, MaxPoolLayer):
+                handle, run = self.run_padpool(
+                    handle, layer.name, Opcode.POOL,
+                    win=layer.size, stride=layer.stride)
+                runs.append(run)
+                i += 1
+            elif isinstance(layer, FlattenLayer):
+                activations = self.read_feature_map(handle) \
+                    .astype(np.int64).reshape(-1)
+                i += 1
+            elif isinstance(layer, FCLayer):
+                if activations is None:
+                    raise ValueError("FC layer before flatten")
+                op = model.ops[layer.name]
+                acc = op.weights_q.astype(np.int64) @ activations + op.bias_q
+                activations = saturate_array(
+                    shift_round_array(acc, op.shift))
+                self.soc.host.account_software(
+                    op.weights_q.size)  # ~1 MAC/ARM cycle
+                fold_relu = (i + 1 < len(layers)
+                             and isinstance(layers[i + 1], ReluLayer))
+                if fold_relu:
+                    activations = np.maximum(activations, 0)
+                runs.append(LayerRun(layer.name, "fc", 0,
+                                     0, (layer.out_features, 1, 1)))
+                i += 2 if fold_relu else 1
+                self._last_fc = op
+            elif isinstance(layer, SoftmaxLayer):
+                if activations is None:
+                    raise ValueError("softmax before flatten")
+                scaled = self._last_fc.out_params.dequantize(activations)
+                exp = np.exp(scaled - scaled.max())
+                probs = exp / exp.sum()
+                runs.append(LayerRun(layer.name, "softmax", 0, 0,
+                                     (probs.size, 1, 1)))
+                return probs.reshape(-1, 1, 1), runs
+            elif isinstance(layer, ReluLayer):
+                raise ValueError(
+                    f"{layer.name}: standalone ReLU not supported; the "
+                    f"driver folds ReLU into the preceding conv/FC")
+            else:
+                raise TypeError(f"driver cannot run {type(layer).__name__}")
+        # No softmax: return the current activations/feature map.
+        if activations is not None:
+            return activations.reshape(-1, 1, 1), runs
+        return self.read_feature_map(handle), runs

@@ -1,0 +1,192 @@
+"""The 512-opt SoC: two accelerator instances sharing one memory system.
+
+Section IV-D instantiates the Fig. 3 accelerator twice, "where each
+instance operates concurrently on separate stripes of FMs", behind a
+single DDR4. This module assembles that system with the contention
+modelled: each instance gets its own DMA engine, both engines route
+through one arbitrated :class:`~repro.soc.sdram.SdramController`, and
+a split-convolution driver stripes a layer across the instances,
+stitches the OFM, and reports per-instance timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import AcceleratorConfig, AcceleratorInstance
+from repro.core.instructions import ConvInstruction
+from repro.core.packing import PackedLayer, serialize_unit_stream, unit_channels
+from repro.core.tile import TILE, tiles_along, to_tiles
+from repro.hls.kernel import Tick
+from repro.hls.sim import Simulator
+from repro.soc.dma import DmaController, DmaDescriptor, DmaDirection
+from repro.soc.dram import Ddr4, DramAllocator
+from repro.soc.sdram import SdramController
+
+
+class DualSocSystem:
+    """Two accelerator instances + two DMA engines + shared SDRAM."""
+
+    def __init__(self, bank_capacity: int = 1 << 14,
+                 dram_capacity: int = 1 << 22,
+                 sdram_burst: int = 64):
+        self.sim = Simulator("dual-soc")
+        self.dram = Ddr4(capacity_values=dram_capacity)
+        self.sdram = SdramController(self.sim, self.dram, ports=2,
+                                     burst_values=sdram_burst)
+        self.instances = [
+            AcceleratorInstance(
+                self.sim, AcceleratorConfig(bank_capacity=bank_capacity),
+                name=f"acc{i}")
+            for i in range(2)
+        ]
+        self.dmas = [
+            DmaController(self.sim, self.dram, self.instances[i].banks,
+                          name=f"dma{i}", sdram_port=self.sdram.port(i))
+            for i in range(2)
+        ]
+        self.alloc = DramAllocator(self.dram)
+
+    # -- data placement (host software) ------------------------------------------
+
+    def load_feature_map(self, fm_q: np.ndarray) -> tuple[int, tuple]:
+        """Place a CHW map in DDR4, tiled per channel; returns (addr, shape)."""
+        fm_q = np.asarray(fm_q, dtype=np.int16)
+        tiles = to_tiles(fm_q)
+        flat = tiles.reshape(fm_q.shape[0], -1)
+        addr = self.alloc.alloc(flat.size)
+        self.dram.write(addr, flat.reshape(-1))
+        return addr, fm_q.shape
+
+    def load_weights(self, packed: PackedLayer) -> tuple[list[int], list[int]]:
+        """Packed unit streams into DDR4 (shared by both instances)."""
+        addrs, sizes = [], []
+        for unit in range(4):
+            stream = serialize_unit_stream(packed, unit)
+            addr = self.alloc.alloc(max(1, stream.size))
+            if stream.size:
+                self.dram.write(addr, stream)
+            addrs.append(addr)
+            sizes.append(int(stream.size))
+        return addrs, sizes
+
+
+@dataclass(frozen=True)
+class SplitConvResult:
+    """Outcome of one dual-instance convolution."""
+
+    ofm: np.ndarray
+    wall_cycles: int
+    dma_values: int
+    sdram_bursts: int
+
+
+def run_conv_split(soc: DualSocSystem, ifm_q: np.ndarray,
+                   packed: PackedLayer,
+                   biases: np.ndarray | None = None, shift: int = 0,
+                   apply_relu: bool = False) -> SplitConvResult:
+    """Split one convolution's OFM rows across both instances.
+
+    Each instance DMAs its stripe (with the 3x3 halo rows) and weights
+    through its own SDRAM port, computes concurrently, and DMAs its OFM
+    rows back; the function stitches the halves and returns wall-clock
+    cycles including all memory contention.
+    """
+    channels, height, width = ifm_q.shape
+    kernel = packed.kernel
+    out_h, out_w = height - kernel + 1, width - kernel + 1
+    out_ty = tiles_along(out_h)
+    rows_top = max(1, out_ty // 2)
+    fm_addr, _ = soc.load_feature_map(ifm_q)
+    w_addrs, w_sizes = soc.load_weights(packed)
+    tiles_y, tiles_x = tiles_along(height), tiles_along(width)
+    word = TILE * TILE
+    row_values = tiles_x * word
+    halo = -(-(kernel - 1) // TILE) if kernel > 1 else 0
+    stripes = [(0, rows_top), (rows_top, out_ty - rows_top)]
+    bias_tuple = tuple(int(b) for b in np.asarray(biases).reshape(-1)) \
+        if biases is not None else ()
+    groups = -(-packed.out_channels // 4)
+    out_tx = tiles_along(out_w)
+    start = soc.sim.now
+    setups = []
+    for index, (row0, rows) in enumerate(stripes):
+        if rows <= 0:
+            continue
+        instance = soc.instances[index]
+        dma = soc.dmas[index]
+        ifm_rows = min(rows + halo, tiles_y - row0)
+        local_max = -(-channels // 4)
+        # Stage IFM stripe + weights through this instance's DMA port.
+        for c in range(channels):
+            local = c // 4
+            dma.submit(DmaDescriptor(
+                DmaDirection.TO_BANK,
+                dram_addr=(fm_addr + c * tiles_y * tiles_x * word
+                           + row0 * row_values),
+                bank=c % 4,
+                bank_addr=local * ifm_rows * row_values,
+                count=ifm_rows * row_values))
+        ofm_base = local_max * ifm_rows * tiles_x
+        weight_base = (ofm_base + groups * rows * out_tx) * word
+        for unit in range(4):
+            if w_sizes[unit]:
+                dma.submit(DmaDescriptor(
+                    DmaDirection.TO_BANK, dram_addr=w_addrs[unit],
+                    bank=unit, bank_addr=weight_base,
+                    count=w_sizes[unit]))
+        instrs = []
+        for unit in range(4):
+            instrs.append(ConvInstruction(
+                instr_id=index + 1, ifm_base=0,
+                ifm_tiles_y=ifm_rows, ifm_tiles_x=tiles_x,
+                local_channels=len(unit_channels(channels, unit, 4)),
+                ofm_base=ofm_base, ofm_tiles_y=rows, ofm_tiles_x=out_tx,
+                out_channels=packed.out_channels,
+                weight_base=weight_base, weight_bytes=w_sizes[unit],
+                shift=shift, apply_relu=apply_relu,
+                biases=bias_tuple if unit == 0 else ()))
+        setups.append((index, instance, dma, instrs, row0, rows,
+                       ofm_base))
+    finished: list[bool] = []
+
+    def host_body():
+        # Wait for all staged DMA, then fire every instruction set.
+        while not all(dma.idle for _, _, dma, _, _, _, _ in setups):
+            yield Tick(1)
+        for _, instance, _, instrs, _, _, _ in setups:
+            for unit, instr in enumerate(instrs):
+                yield instance.instr_qs[unit].write(instr)
+        yield Tick(1)
+        expected = {id(instance): 4 for _, instance, _, _, _, _, _
+                    in setups}
+        tile_targets = {
+            id(instance): (sum(b.stats.tile_writes
+                               for b in instance.banks)
+                           + groups * rows * out_tx * 4)
+            for _, instance, _, _, _, rows, _ in setups}
+        for _, instance, _, _, _, _, _ in setups:
+            for _ in range(expected[id(instance)]):
+                yield instance.done_q.read()
+        while any(sum(b.stats.tile_writes for b in instance.banks)
+                  < tile_targets[id(instance)]
+                  for _, instance, _, _, _, _, _ in setups):
+            yield Tick(1)
+        finished.append(True)
+
+    soc.sim.add_kernel("dual-host", host_body())
+    soc.sim.run(until=lambda: bool(finished), max_cycles=10_000_000)
+    wall = soc.sim.now - start
+    # Read the halves straight out of the banks (host-side).
+    ofm = np.zeros((packed.out_channels, out_ty * TILE, out_tx * TILE),
+                   dtype=np.int16)
+    for index, instance, _, _, row0, rows, ofm_base in setups:
+        part = instance.read_fm(ofm_base, packed.out_channels,
+                                rows * TILE, out_w)
+        ofm[:, row0 * TILE:(row0 + rows) * TILE, :part.shape[2]] = part
+    dma_values = sum(dma.stats.values_moved for dma in soc.dmas)
+    return SplitConvResult(
+        ofm=ofm[:, :out_h, :out_w], wall_cycles=wall,
+        dma_values=dma_values, sdram_bursts=soc.sdram.total_bursts)

@@ -1,0 +1,87 @@
+"""ARM hard-processor-system (HPS) host model.
+
+Software on the on-chip dual-core Cortex-A9 loads and pre-processes
+network weights, biases and images (including the reorder into tiled
+format), issues instructions to the DMA and accelerator by writing
+memory-mapped registers, and polls status (Sections III, IV-C).
+
+The host is not a streaming kernel: it interleaves with the fabric by
+stepping the simulator a fixed number of cycles per CSR access
+(modelling the L3-interconnect AMM round trip) and while polling.
+"""
+
+from __future__ import annotations
+
+from repro.hls.sim import Simulator
+from repro.soc.avalon import AvalonInterconnect
+from repro.soc.trace import SocTrace
+
+#: Fabric cycles consumed by one AMM register access from the ARM.
+CYCLES_PER_CSR_ACCESS = 4
+
+#: Fabric cycles between status-register polls.
+POLL_INTERVAL = 8
+
+#: ARM cycles to re-order one value into tiled format (Section IV-C
+#: pre-processing); used for the offline software-time accounting.
+ARM_CYCLES_PER_REORDERED_VALUE = 2
+
+
+class HostTimeout(Exception):
+    """A poll loop exceeded its cycle budget."""
+
+
+class ArmHost:
+    """The driver's view of the CPU: CSR access + polling + accounting."""
+
+    def __init__(self, sim: Simulator, bus: AvalonInterconnect,
+                 trace: SocTrace | None = None):
+        self.sim = sim
+        self.bus = bus
+        self.trace = trace
+        self.csr_accesses = 0
+        self.arm_software_cycles = 0
+
+    # -- register access ---------------------------------------------------------
+
+    def write(self, addr: int, value: int) -> None:
+        self._advance(CYCLES_PER_CSR_ACCESS)
+        self.bus.write(addr, value)
+        self.csr_accesses += 1
+        if self.trace:
+            self.trace.record(self.sim.now, "arm", "csr_write",
+                              f"addr={addr:#06x} value={value:#x}")
+
+    def read(self, addr: int) -> int:
+        self._advance(CYCLES_PER_CSR_ACCESS)
+        value = self.bus.read(addr)
+        self.csr_accesses += 1
+        return value
+
+    def poll(self, addr: int, accept, max_cycles: int = 10_000_000) -> int:
+        """Read ``addr`` until ``accept(value)``; returns the value."""
+        start = self.sim.now
+        while True:
+            value = self.read(addr)
+            if accept(value):
+                return value
+            if self.sim.now - start > max_cycles:
+                raise HostTimeout(
+                    f"poll of {addr:#06x} exceeded {max_cycles} cycles")
+            self._advance(POLL_INTERVAL)
+
+    # -- software-side work accounting --------------------------------------------
+
+    def account_reorder(self, values: int) -> None:
+        """Record ARM time for reordering data into tiled format."""
+        self.arm_software_cycles += values * ARM_CYCLES_PER_REORDERED_VALUE
+
+    def account_software(self, cycles: int) -> None:
+        """Record ARM time for other software work (FC layers, softmax)."""
+        self.arm_software_cycles += cycles
+
+    # -- internals ------------------------------------------------------------------
+
+    def _advance(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.sim.step()

@@ -1,0 +1,121 @@
+"""Instruction encoding: the words the ARM writes into the mailbox.
+
+Fig. 3 shows the instruction interface into the main controller
+("Instruction+Type, IFM Address, IFM Dim, IFM Depth, OFM Address").
+This module serializes the behavioural instruction objects of
+:mod:`repro.core.instructions` into 32-bit words and back, so the
+host-side driver exercises a realistic register-level protocol.
+"""
+
+from __future__ import annotations
+
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction)
+
+MASK16 = 0xFFFF
+MASK24 = 0xFF_FFFF
+MASK32 = 0xFFFF_FFFF
+
+_OPCODE_BITS = {Opcode.CONV: 1, Opcode.PAD: 2, Opcode.POOL: 3}
+_BITS_OPCODE = {v: k for k, v in _OPCODE_BITS.items()}
+
+
+def _pack16(hi: int, lo: int) -> int:
+    if not (0 <= hi <= MASK16 and 0 <= lo <= MASK16):
+        raise ValueError(f"field overflow packing ({hi}, {lo})")
+    return (hi << 16) | lo
+
+
+def _unpack16(word: int) -> tuple[int, int]:
+    return (word >> 16) & MASK16, word & MASK16
+
+
+def _signed32(value: int) -> int:
+    if not -(1 << 31) <= value < (1 << 31):
+        raise ValueError(f"bias {value} exceeds 32 bits")
+    return value & MASK32
+
+
+def _unsigned_to_signed32(word: int) -> int:
+    return word - (1 << 32) if word & (1 << 31) else word
+
+
+def encode_instruction(instr) -> list[int]:
+    """Serialize an instruction into mailbox words."""
+    if isinstance(instr, ConvInstruction):
+        words = [
+            (_OPCODE_BITS[Opcode.CONV] << 24) | (instr.instr_id & MASK24),
+            instr.ifm_base & MASK32,
+            _pack16(instr.ifm_tiles_y, instr.ifm_tiles_x),
+            _pack16(instr.local_channels, instr.out_channels),
+            instr.ofm_base & MASK32,
+            _pack16(instr.ofm_tiles_y, instr.ofm_tiles_x),
+            instr.weight_base & MASK32,
+            instr.weight_bytes & MASK32,
+            ((instr.shift & 0xFF) << 8)
+            | (2 if instr.compact_weights else 0)
+            | (1 if instr.apply_relu else 0),
+            len(instr.biases) & MASK16,
+        ]
+        words.extend(_signed32(int(b)) for b in instr.biases)
+        return words
+    if isinstance(instr, PadPoolInstruction):
+        return [
+            (_OPCODE_BITS[instr.opcode] << 24) | (instr.instr_id & MASK24),
+            instr.ifm_base & MASK32,
+            _pack16(instr.ifm_tiles_y, instr.ifm_tiles_x),
+            _pack16(instr.local_channels, 0),
+            instr.ofm_base & MASK32,
+            _pack16(instr.ofm_tiles_y, instr.ofm_tiles_x),
+            (instr.pad << 16) | (instr.win << 8) | instr.stride,
+            _pack16(instr.ifm_height, instr.ifm_width),
+        ]
+    raise TypeError(f"cannot encode {type(instr).__name__}")
+
+
+def decode_instruction(words: list[int]):
+    """Reconstruct the instruction object from mailbox words."""
+    if not words:
+        raise ValueError("empty instruction stream")
+    opcode = _BITS_OPCODE.get((words[0] >> 24) & 0xFF)
+    instr_id = words[0] & MASK24
+    if opcode is Opcode.CONV:
+        if len(words) < 10:
+            raise ValueError("truncated convolution instruction")
+        ifm_tiles_y, ifm_tiles_x = _unpack16(words[2])
+        local_channels, out_channels = _unpack16(words[3])
+        ofm_tiles_y, ofm_tiles_x = _unpack16(words[5])
+        shift = (words[8] >> 8) & 0xFF
+        if shift & 0x80:
+            shift -= 0x100
+        bias_count = words[9] & MASK16
+        if len(words) != 10 + bias_count:
+            raise ValueError(
+                f"expected {10 + bias_count} words, got {len(words)}")
+        biases = tuple(_unsigned_to_signed32(w) for w in words[10:])
+        return ConvInstruction(
+            instr_id=instr_id, ifm_base=words[1],
+            ifm_tiles_y=ifm_tiles_y, ifm_tiles_x=ifm_tiles_x,
+            local_channels=local_channels,
+            ofm_base=words[4], ofm_tiles_y=ofm_tiles_y,
+            ofm_tiles_x=ofm_tiles_x, out_channels=out_channels,
+            weight_base=words[6], weight_bytes=words[7],
+            shift=shift, apply_relu=bool(words[8] & 1),
+            compact_weights=bool(words[8] & 2), biases=biases)
+    if opcode in (Opcode.PAD, Opcode.POOL):
+        if len(words) != 8:
+            raise ValueError("pad/pool instruction must be 8 words")
+        ifm_tiles_y, ifm_tiles_x = _unpack16(words[2])
+        local_channels, _ = _unpack16(words[3])
+        ofm_tiles_y, ofm_tiles_x = _unpack16(words[5])
+        ifm_height, ifm_width = _unpack16(words[7])
+        return PadPoolInstruction(
+            instr_id=instr_id, opcode=opcode, ifm_base=words[1],
+            ifm_tiles_y=ifm_tiles_y, ifm_tiles_x=ifm_tiles_x,
+            local_channels=local_channels,
+            ofm_base=words[4], ofm_tiles_y=ofm_tiles_y,
+            ofm_tiles_x=ofm_tiles_x,
+            pad=(words[6] >> 16) & 0xFF, win=(words[6] >> 8) & 0xFF,
+            stride=words[6] & 0xFF,
+            ifm_height=ifm_height, ifm_width=ifm_width)
+    raise ValueError(f"unknown opcode in word {words[0]:#010x}")

@@ -1,0 +1,275 @@
+"""Offline network compiler: a quantized CNN to an accelerator program.
+
+The ARM-side framework of Section IV-C knows, before inference starts,
+everything about the run: which instructions will be issued, where each
+tensor lives in DDR4, how many bytes each DMA moves. This module makes
+that knowledge a first-class artifact — a :class:`Program` — produced
+by :func:`compile_network`:
+
+* the executable plan (pad/conv/pool instruction sets per stripe, ARM
+  steps for the FC tail);
+* the DDR4 memory plan (tiled tensor placement);
+* exact DMA volumes per step (validated against the live driver's
+  measured ``dma_values`` in the tests);
+* fabric-cycle estimates per step from the analytic model.
+
+A ``Program`` is what you would hand to a deployment engineer: the
+paper's "framework sends the instruction and calls the hardware driver"
+made inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.packing import PackedLayer, unit_group_stream_bytes
+from repro.core.tile import TILE, tiles_along
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.perf.cycle_model import (CycleModelParams, conv_layer_cycles,
+                                    padpool_layer_cycles)
+from repro.quant.quantize import QuantizedModel
+
+
+@dataclass(frozen=True)
+class ProgramStep:
+    """One step of the compiled schedule."""
+
+    kind: str                 # pad | conv | pool | arm-fc | arm-softmax
+    layer: str
+    stripes: int = 1
+    instructions: int = 0     # accelerator instructions issued
+    dma_values: int = 0       # values moved over System I
+    est_cycles: int = 0       # fabric cycles (analytic model)
+    out_shape: tuple[int, int, int] = (0, 0, 0)
+
+
+@dataclass(frozen=True)
+class TensorPlacement:
+    """One tensor resident in DDR4 (tiled layout for feature maps)."""
+
+    name: str
+    addr: int
+    values: int
+    kind: str   # fm | weights
+
+
+@dataclass
+class Program:
+    """The compiled inference schedule plus its memory plan."""
+
+    network: str
+    steps: list[ProgramStep] = field(default_factory=list)
+    memory: list[TensorPlacement] = field(default_factory=list)
+
+    @property
+    def total_dma_values(self) -> int:
+        return sum(step.dma_values for step in self.steps)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(step.instructions for step in self.steps)
+
+    @property
+    def total_est_cycles(self) -> int:
+        return sum(step.est_cycles for step in self.steps)
+
+    @property
+    def dram_footprint(self) -> int:
+        return sum(placement.values for placement in self.memory)
+
+    def step(self, layer: str) -> ProgramStep:
+        for candidate in self.steps:
+            if candidate.layer == layer:
+                return candidate
+        raise KeyError(f"no step for layer {layer!r}")
+
+    def listing(self) -> str:
+        """Human-readable program listing."""
+        lines = [f"program for {self.network}: "
+                 f"{self.total_instructions} instructions, "
+                 f"{self.total_dma_values} DMA values, "
+                 f"~{self.total_est_cycles} fabric cycles",
+                 f"{'step':<12}{'kind':<12}{'stripes':>8}{'instrs':>8}"
+                 f"{'DMA vals':>10}{'~cycles':>9}{'out':>14}"]
+        for step in self.steps:
+            out = "x".join(str(d) for d in step.out_shape)
+            lines.append(
+                f"{step.layer:<12}{step.kind:<12}{step.stripes:>8}"
+                f"{step.instructions:>8}{step.dma_values:>10}"
+                f"{step.est_cycles:>9}{out:>14}")
+        lines.append(f"DDR4 footprint: {self.dram_footprint} values")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Target configuration the compiler schedules for."""
+
+    lanes: int = 4
+    bank_capacity: int = 1 << 14
+    tile: int = TILE
+
+
+class _Allocator:
+    def __init__(self):
+        self.next_addr = 0
+        self.placements: list[TensorPlacement] = []
+
+    def place(self, name: str, values: int, kind: str) -> int:
+        addr = self.next_addr
+        self.placements.append(TensorPlacement(name, addr, values, kind))
+        self.next_addr += values
+        return addr
+
+
+def _fm_values(channels: int, height: int, width: int,
+               tile: int) -> int:
+    return channels * tiles_along(height, tile) * tiles_along(width, tile) \
+        * tile * tile
+
+
+def _conv_stripe_plan(channels: int, tiles_x: int, out_ty: int,
+                      out_tx: int, out_channels: int, weight_bytes: int,
+                      cfg: CompileConfig) -> list[tuple[int, int]]:
+    """Mirror of the driver's stripe planner (kept in lock-step by the
+    consistency tests)."""
+    word = cfg.tile * cfg.tile
+    local_in = -(-channels // cfg.lanes)
+    groups = -(-out_channels // cfg.lanes)
+    ifm_row_cost = local_in * tiles_x * word
+    ofm_row_cost = groups * out_tx * word
+    budget = cfg.bank_capacity - weight_bytes - ifm_row_cost  # halo = 1
+    max_rows = budget // (ifm_row_cost + ofm_row_cost)
+    if max_rows < 1:
+        raise MemoryError("layer does not fit one stripe row")
+    max_rows = min(max_rows, out_ty)
+    plan = []
+    row = 0
+    while row < out_ty:
+        rows = min(max_rows, out_ty - row)
+        plan.append((row, rows))
+        row += rows
+    return plan
+
+
+def compile_network(network: Network, model: QuantizedModel,
+                    config: CompileConfig | None = None) -> Program:
+    """Compile an explicit-padding network into a :class:`Program`."""
+    cfg = config or CompileConfig()
+    program = Program(network=network.name)
+    alloc = _Allocator()
+    params = CycleModelParams(lanes=cfg.lanes, group_size=cfg.lanes,
+                              tile=cfg.tile,
+                              bank_capacity=cfg.bank_capacity)
+    layers = list(network)
+    shape = None
+    index = 0
+    while index < len(layers):
+        layer = layers[index]
+        info = network.info(layer.name)
+        if isinstance(layer, InputLayer):
+            shape = info.out_shape
+            alloc.place("input", _fm_values(shape.c, shape.h, shape.w,
+                                            cfg.tile), "fm")
+            index += 1
+        elif isinstance(layer, PadLayer):
+            out = info.out_shape
+            alloc.place(layer.name, _fm_values(out.c, out.h, out.w,
+                                               cfg.tile), "fm")
+            in_shape = info.in_shape
+            dma = (_fm_values(in_shape.c, in_shape.h, in_shape.w, cfg.tile)
+                   + _fm_values(out.c, out.h, out.w, cfg.tile))
+            est = padpool_layer_cycles(
+                out.c, tiles_along(out.h, cfg.tile),
+                tiles_along(out.w, cfg.tile), params)
+            program.steps.append(ProgramStep(
+                kind="pad", layer=layer.name, instructions=cfg.lanes,
+                dma_values=dma, est_cycles=est,
+                out_shape=out.as_tuple()))
+            shape = out
+            index += 1
+        elif isinstance(layer, ConvLayer):
+            op = model.ops[layer.name]
+            packed = PackedLayer.pack(op.weights_q, tile=cfg.tile)
+            stream_sizes = unit_group_stream_bytes(
+                packed, lanes=cfg.lanes, group_size=cfg.lanes)
+            per_unit_total = stream_sizes.sum(axis=1)
+            alloc.place(f"{layer.name}.weights",
+                        int(per_unit_total.sum()), "weights")
+            in_shape, out = info.in_shape, info.out_shape
+            alloc.place(layer.name, _fm_values(out.c, out.h, out.w,
+                                               cfg.tile), "fm")
+            tiles_x = tiles_along(in_shape.w, cfg.tile)
+            out_ty = tiles_along(out.h, cfg.tile)
+            out_tx = tiles_along(out.w, cfg.tile)
+            stripes = _conv_stripe_plan(
+                in_shape.c, tiles_x, out_ty, out_tx, out.c,
+                int(per_unit_total.max()), cfg)
+            word = cfg.tile * cfg.tile
+            row_values = tiles_x * word
+            out_row_values = out_tx * word
+            ifm_tile_rows = tiles_along(in_shape.h, cfg.tile)
+            dma = 0
+            for row0, rows in stripes:
+                ifm_rows = min(rows + 1, ifm_tile_rows - row0)
+                dma += in_shape.c * ifm_rows * row_values        # IFM in
+                dma += int(per_unit_total.sum())                 # weights
+                dma += out.c * rows * out_row_values             # OFM out
+            modeled = conv_layer_cycles(
+                layer.name, in_shape.as_tuple(), out.as_tuple(),
+                layer.kernel, packed.nnz_matrix(), params)
+            fold_relu = (index + 1 < len(layers)
+                         and isinstance(layers[index + 1], ReluLayer))
+            program.steps.append(ProgramStep(
+                kind="conv", layer=layer.name, stripes=len(stripes),
+                instructions=cfg.lanes * len(stripes), dma_values=dma,
+                est_cycles=modeled.cycles, out_shape=out.as_tuple()))
+            shape = out
+            index += 2 if fold_relu else 1
+        elif isinstance(layer, MaxPoolLayer):
+            in_shape, out = info.in_shape, info.out_shape
+            alloc.place(layer.name, _fm_values(out.c, out.h, out.w,
+                                               cfg.tile), "fm")
+            dma = (_fm_values(in_shape.c, in_shape.h, in_shape.w, cfg.tile)
+                   + _fm_values(out.c, out.h, out.w, cfg.tile))
+            est = padpool_layer_cycles(
+                out.c, tiles_along(out.h, cfg.tile),
+                tiles_along(out.w, cfg.tile), params)
+            program.steps.append(ProgramStep(
+                kind="pool", layer=layer.name, instructions=cfg.lanes,
+                dma_values=dma, est_cycles=est,
+                out_shape=out.as_tuple()))
+            shape = out
+            index += 1
+        elif isinstance(layer, FlattenLayer):
+            shape = info.out_shape
+            index += 1
+        elif isinstance(layer, FCLayer):
+            op = model.ops[layer.name]
+            alloc.place(f"{layer.name}.weights", op.weights_q.size,
+                        "weights")
+            fold_relu = (index + 1 < len(layers)
+                         and isinstance(layers[index + 1], ReluLayer))
+            program.steps.append(ProgramStep(
+                kind="arm-fc", layer=layer.name,
+                est_cycles=op.weights_q.size,  # ~1 MAC per ARM cycle
+                out_shape=info.out_shape.as_tuple()))
+            shape = info.out_shape
+            index += 2 if fold_relu else 1
+        elif isinstance(layer, SoftmaxLayer):
+            program.steps.append(ProgramStep(
+                kind="arm-softmax", layer=layer.name,
+                out_shape=info.out_shape.as_tuple()))
+            index += 1
+        elif isinstance(layer, ReluLayer):
+            raise ValueError(
+                f"{layer.name}: standalone ReLU cannot be compiled; it "
+                f"must follow a conv or FC layer")
+        else:
+            raise TypeError(f"cannot compile {type(layer).__name__}")
+    program.memory = alloc.placements
+    return program

@@ -1,0 +1,86 @@
+"""Control/status register files for the accelerator and DMA slaves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.soc.avalon import AvalonSlave, BusError
+
+WORD = 4
+MASK32 = (1 << 32) - 1
+
+
+class RegisterFile(AvalonSlave):
+    """Plain storage-backed register file with named offsets."""
+
+    def __init__(self, name: str, registers: dict[str, int], words: int):
+        for reg, offset in registers.items():
+            if offset % WORD or offset >= words * WORD:
+                raise BusError(f"{name}: register {reg!r} at bad offset")
+        self.name = name
+        self.size = words * WORD
+        self._offsets = dict(registers)
+        self._storage = [0] * words
+
+    def offset_of(self, register: str) -> int:
+        return self._offsets[register]
+
+    def read_word(self, offset: int) -> int:
+        self._check(offset)
+        return self._storage[offset // WORD]
+
+    def write_word(self, offset: int, value: int) -> None:
+        self._check(offset)
+        self._storage[offset // WORD] = value & MASK32
+
+    # Named convenience accessors (host-software style).
+    def get(self, register: str) -> int:
+        return self.read_word(self._offsets[register])
+
+    def set(self, register: str, value: int) -> None:
+        self.write_word(self._offsets[register], value)
+
+    def _check(self, offset: int) -> None:
+        if offset % WORD or not 0 <= offset < self.size:
+            raise BusError(f"{self.name}: bad register offset {offset:#x}")
+
+
+@dataclass
+class _Callback:
+    read: Callable[[], int] | None = None
+    write: Callable[[int], None] | None = None
+
+
+class CallbackSlave(AvalonSlave):
+    """Register file whose words are backed by live component state.
+
+    Used for status registers (DMA completion counts, accelerator done
+    counts) that must reflect the simulated hardware at read time.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.size = 0
+        self._callbacks: dict[int, _Callback] = {}
+
+    def register(self, offset: int,
+                 read: Callable[[], int] | None = None,
+                 write: Callable[[int], None] | None = None) -> int:
+        if offset % WORD:
+            raise BusError(f"{self.name}: offset {offset:#x} not aligned")
+        self._callbacks[offset] = _Callback(read, write)
+        self.size = max(self.size, offset + WORD)
+        return offset
+
+    def read_word(self, offset: int) -> int:
+        callback = self._callbacks.get(offset)
+        if callback is None or callback.read is None:
+            raise BusError(f"{self.name}: offset {offset:#x} not readable")
+        return callback.read() & MASK32
+
+    def write_word(self, offset: int, value: int) -> None:
+        callback = self._callbacks.get(offset)
+        if callback is None or callback.write is None:
+            raise BusError(f"{self.name}: offset {offset:#x} not writable")
+        callback.write(value & MASK32)

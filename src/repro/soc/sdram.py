@@ -1,0 +1,161 @@
+"""SDRAM controller: arbitrated access to the shared DDR4 (Fig. 1).
+
+"DMA transfers between the off-chip DRAM and FPGA are realized by a
+direct connection from the DMA unit to the SDRAM controller." With two
+accelerator instances (512-opt) plus the HPS, the controller is a
+shared resource: concurrent masters split its bandwidth. This module
+models that contention — round-robin arbitration at burst granularity —
+so multi-master scenarios (dual-instance DMA, host traffic) have a
+first-class timing model instead of the single-master shortcut.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hls.kernel import Tick
+from repro.hls.sim import Simulator
+from repro.soc.dram import Ddr4
+
+
+class SdramOp(enum.Enum):
+    """Request type at the SDRAM controller."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class SdramRequest:
+    """One master-issued transfer, split into bursts by the controller."""
+
+    op: SdramOp
+    addr: int
+    count: int
+    payload: np.ndarray | None = None   # for writes
+    data: np.ndarray | None = None      # filled for reads
+    done: bool = False
+    issued_cycle: int = -1
+    completed_cycle: int = -1
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("empty SDRAM request")
+        if self.op is SdramOp.WRITE:
+            if self.payload is None:
+                raise ValueError("write request needs a payload")
+            payload = np.asarray(self.payload).reshape(-1)
+            if payload.size != self.count:
+                raise ValueError(
+                    f"payload size {payload.size} != count {self.count}")
+
+    @property
+    def latency_cycles(self) -> int:
+        if self.issued_cycle < 0 or self.completed_cycle < 0:
+            raise RuntimeError("request not completed yet")
+        return self.completed_cycle - self.issued_cycle
+
+
+@dataclass
+class SdramPortStats:
+    requests: int = 0
+    values: int = 0
+    busy_cycles: int = 0
+
+
+class SdramPort:
+    """One master's request queue into the controller."""
+
+    def __init__(self, controller: "SdramController", index: int):
+        self._controller = controller
+        self.index = index
+        self.queue: list[SdramRequest] = []
+        self.stats = SdramPortStats()
+
+    def submit(self, request: SdramRequest) -> SdramRequest:
+        request.issued_cycle = self._controller.sim.now
+        self.queue.append(request)
+        self.stats.requests += 1
+        return request
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue
+
+
+class SdramController:
+    """Round-robin burst arbiter over a shared :class:`Ddr4`.
+
+    Each grant serves one burst (``burst_values`` values) of the
+    winning port's oldest request; a request completes when its last
+    burst is served. Saturating masters therefore share bandwidth
+    equally, and an idle port costs the others nothing.
+    """
+
+    def __init__(self, sim: Simulator, dram: Ddr4, ports: int = 2,
+                 burst_values: int = 64, name: str = "sdram"):
+        if ports < 1:
+            raise ValueError("need at least one port")
+        if burst_values < 1:
+            raise ValueError("burst must be >= 1 values")
+        self.sim = sim
+        self.dram = dram
+        self.name = name
+        self.burst_values = burst_values
+        self.ports = [SdramPort(self, i) for i in range(ports)]
+        self._next_port = 0
+        self.total_bursts = 0
+        sim.add_kernel(f"{name}.arbiter", self._arbiter(), fsm_states=8)
+
+    def port(self, index: int) -> SdramPort:
+        return self.ports[index]
+
+    @property
+    def idle(self) -> bool:
+        return all(port.idle for port in self.ports)
+
+    def _pick_port(self) -> SdramPort | None:
+        for offset in range(len(self.ports)):
+            candidate = self.ports[(self._next_port + offset)
+                                   % len(self.ports)]
+            if candidate.queue:
+                self._next_port = (candidate.index + 1) % len(self.ports)
+                return candidate
+        return None
+
+    def _arbiter(self):
+        progress: dict[int, int] = {}   # id(request) -> values served
+        while True:
+            port = self._pick_port()
+            if port is None:
+                yield Tick(1)
+                continue
+            request = port.queue[0]
+            served = progress.get(id(request), 0)
+            chunk = min(self.burst_values, request.count - served)
+            addr = request.addr + served
+            if request.op is SdramOp.READ:
+                data = self.dram.read(addr, chunk)
+                if request.data is None:
+                    request.data = np.zeros(request.count, dtype=np.int16)
+                request.data[served:served + chunk] = data
+            else:
+                payload = np.asarray(request.payload,
+                                     dtype=np.int16).reshape(-1)
+                self.dram.write(addr, payload[served:served + chunk])
+            cycles = max(1, self.dram.transfer_cycles(chunk))
+            self.total_bursts += 1
+            port.stats.values += chunk
+            port.stats.busy_cycles += cycles
+            yield Tick(cycles)
+            served += chunk
+            if served >= request.count:
+                progress.pop(id(request), None)
+                request.done = True
+                request.completed_cycle = self.sim.now
+                port.queue.pop(0)
+            else:
+                progress[id(request)] = served

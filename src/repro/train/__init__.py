@@ -1,0 +1,14 @@
+"""Training substrate: gradients and masked fine-tuning (Caffe's role)."""
+
+from repro.train.autograd import (ForwardCache, NetworkGrad,
+                                  conv2d_backward, conv2d_forward,
+                                  maxpool_backward, maxpool_forward)
+from repro.train.finetune import (FinetuneResult, TrainSample, agreement,
+                                  finetune, make_teacher_dataset)
+
+__all__ = [
+    "ForwardCache", "NetworkGrad", "conv2d_backward", "conv2d_forward",
+    "maxpool_backward", "maxpool_forward",
+    "FinetuneResult", "TrainSample", "agreement", "finetune",
+    "make_teacher_dataset",
+]

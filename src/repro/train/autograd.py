@@ -1,0 +1,185 @@
+"""Forward/backward passes for the library's layer set.
+
+The paper trains and prunes in Caffe ("a complete end-to-end solution
+for CNN inference, integrated with Caffe for network training",
+Section I) and notes that the pruned model's accuracy "can be improved
+further through training" (Section IV-B). This module is the offline
+training half of that workflow: exact analytic gradients for every
+layer the accelerator runs, in plain numpy — enough to fine-tune a
+pruned network against a teacher.
+
+Gradient correctness is pinned by finite-difference tests
+(``tests/train/test_autograd.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+
+
+def conv2d_forward(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+                   pad: int) -> tuple[np.ndarray, np.ndarray]:
+    """Returns (output, padded input) — the cache backward needs."""
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    kernel = weights.shape[2]
+    windows = sliding_window_view(x, (kernel, kernel), axis=(1, 2))
+    out = np.einsum("chwij,ocij->ohw", windows, weights, optimize=True)
+    return out + bias[:, None, None], x
+
+
+def conv2d_backward(grad_out: np.ndarray, x_padded: np.ndarray,
+                    weights: np.ndarray, pad: int
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients (dX, dW, db) of a stride-1 convolution."""
+    kernel = weights.shape[2]
+    windows = sliding_window_view(x_padded, (kernel, kernel), axis=(1, 2))
+    grad_w = np.einsum("ohw,chwij->ocij", grad_out, windows, optimize=True)
+    grad_b = grad_out.sum(axis=(1, 2))
+    # dX: full correlation of grad_out with the flipped kernels.
+    flipped = weights[:, :, ::-1, ::-1]
+    grad_padded = np.pad(grad_out,
+                         ((0, 0), (kernel - 1, kernel - 1),
+                          (kernel - 1, kernel - 1)))
+    gwin = sliding_window_view(grad_padded, (kernel, kernel), axis=(1, 2))
+    grad_x_padded = np.einsum("ohwij,ocij->chw", gwin, flipped,
+                              optimize=True)
+    if pad:
+        grad_x = grad_x_padded[:, pad:-pad, pad:-pad]
+    else:
+        grad_x = grad_x_padded
+    return grad_x, grad_w, grad_b
+
+
+def maxpool_forward(x: np.ndarray, size: int, stride: int
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Returns (output, flat argmax indices) for routing gradients."""
+    windows = sliding_window_view(x, (size, size), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    c, oh, ow = windows.shape[:3]
+    flat = windows.reshape(c, oh, ow, size * size)
+    arg = flat.argmax(axis=3)
+    out = np.take_along_axis(flat, arg[..., None], axis=3)[..., 0]
+    return out, arg
+
+
+def maxpool_backward(grad_out: np.ndarray, arg: np.ndarray,
+                     in_shape: tuple[int, int, int], size: int,
+                     stride: int) -> np.ndarray:
+    """Route each output gradient to its window's argmax position."""
+    c, oh, ow = grad_out.shape
+    grad_x = np.zeros(in_shape)
+    ys, xs = np.divmod(arg, size)
+    for ci in range(c):
+        for y in range(oh):
+            for x in range(ow):
+                grad_x[ci, y * stride + ys[ci, y, x],
+                       x * stride + xs[ci, y, x]] += grad_out[ci, y, x]
+    return grad_x
+
+
+@dataclass
+class ForwardCache:
+    """Everything the backward pass needs from one forward run."""
+
+    inputs: dict[str, np.ndarray]
+    probs: np.ndarray
+
+
+class NetworkGrad:
+    """Forward + backward over a sequential network.
+
+    ``weights``/``biases`` are float dictionaries (conv + FC layers);
+    the loss is cross-entropy against an integer class label.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def forward(self, weights: dict, biases: dict,
+                image: np.ndarray) -> ForwardCache:
+        cache: dict[str, np.ndarray] = {}
+        x = np.asarray(image, dtype=np.float64)
+        for layer in self.network:
+            if isinstance(layer, InputLayer):
+                continue
+            if isinstance(layer, PadLayer):
+                cache[layer.name] = x
+                x = np.pad(x, ((0, 0), (layer.pad, layer.pad),
+                               (layer.pad, layer.pad)))
+            elif isinstance(layer, ConvLayer):
+                out, padded = conv2d_forward(
+                    x, weights[layer.name], biases[layer.name], layer.pad)
+                cache[layer.name] = padded
+                x = out
+            elif isinstance(layer, ReluLayer):
+                cache[layer.name] = x
+                x = np.maximum(x, 0)
+            elif isinstance(layer, MaxPoolLayer):
+                cache[layer.name + ".in_shape"] = np.array(x.shape)
+                out, arg = maxpool_forward(x, layer.size, layer.stride)
+                cache[layer.name] = arg
+                x = out
+            elif isinstance(layer, FlattenLayer):
+                cache[layer.name] = np.array(x.shape)
+                x = x.reshape(-1)
+            elif isinstance(layer, FCLayer):
+                cache[layer.name] = x.reshape(-1)
+                x = weights[layer.name] @ x.reshape(-1) \
+                    + biases[layer.name]
+            elif isinstance(layer, SoftmaxLayer):
+                shifted = x - x.max()
+                exp = np.exp(shifted)
+                x = exp / exp.sum()
+            else:
+                raise TypeError(
+                    f"no gradient support for {type(layer).__name__}")
+        return ForwardCache(inputs=cache, probs=np.asarray(x))
+
+    def backward(self, weights: dict, cache: ForwardCache, label: int
+                 ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Cross-entropy gradients for every conv/FC layer."""
+        grad_w: dict[str, np.ndarray] = {}
+        grad_b: dict[str, np.ndarray] = {}
+        probs = cache.probs.reshape(-1)
+        grad = probs.copy()
+        grad[label] -= 1.0   # d CE / d logits through softmax
+        for layer in reversed(list(self.network)):
+            if isinstance(layer, (InputLayer, SoftmaxLayer)):
+                continue
+            if isinstance(layer, FCLayer):
+                x = cache.inputs[layer.name]
+                grad_w[layer.name] = np.outer(grad, x)
+                grad_b[layer.name] = grad.copy()
+                grad = weights[layer.name].T @ grad
+            elif isinstance(layer, FlattenLayer):
+                grad = grad.reshape(tuple(cache.inputs[layer.name]))
+            elif isinstance(layer, MaxPoolLayer):
+                in_shape = tuple(cache.inputs[layer.name + ".in_shape"])
+                grad = maxpool_backward(grad, cache.inputs[layer.name],
+                                        in_shape, layer.size, layer.stride)
+            elif isinstance(layer, ReluLayer):
+                grad = grad * (cache.inputs[layer.name] > 0)
+            elif isinstance(layer, ConvLayer):
+                grad, gw, gb = conv2d_backward(
+                    grad, cache.inputs[layer.name], weights[layer.name],
+                    layer.pad)
+                grad_w[layer.name] = gw
+                grad_b[layer.name] = gb
+            elif isinstance(layer, PadLayer):
+                p = layer.pad
+                grad = grad[:, p:-p, p:-p] if p else grad
+        return grad_w, grad_b
+
+    @staticmethod
+    def loss(probs: np.ndarray, label: int) -> float:
+        """Cross-entropy of the true class."""
+        p = float(np.asarray(probs).reshape(-1)[label])
+        return -np.log(max(p, 1e-12))

@@ -1,0 +1,108 @@
+"""Tests for the area model against Section V's published utilization."""
+
+import pytest
+
+from repro.area import (ARRIA10_GT1150, ARRIA10_SX660, AreaReport,
+                        bank_m20ks, fig6_breakdown, variant_area)
+from repro.core import (ALL_VARIANTS, VARIANT_16_UNOPT, VARIANT_256_OPT,
+                        VARIANT_256_UNOPT, VARIANT_512_OPT)
+
+
+def test_sx660_resources():
+    assert ARRIA10_SX660.alms == 251_680
+    assert ARRIA10_SX660.dsp_blocks == 1_687
+    assert ARRIA10_SX660.m20k_blocks == 2_133
+    assert ARRIA10_SX660.block_ram_bytes == 2_133 * 2_560
+
+
+def test_gt1150_has_nearly_double_alms():
+    """Section V: the GT1150 has 'nearly double the capacity'."""
+    ratio = ARRIA10_GT1150.alms / ARRIA10_SX660.alms
+    assert 1.6 < ratio < 2.0
+
+
+def test_256opt_matches_paper_utilization():
+    """Paper: 44% ALM, 25% DSP, 49% RAM for 256-opt."""
+    report = variant_area(VARIANT_256_OPT)
+    assert report.alm_utilization == pytest.approx(0.44, abs=0.02)
+    assert report.dsp_utilization == pytest.approx(0.25, abs=0.02)
+    assert report.ram_utilization == pytest.approx(0.49, abs=0.02)
+    assert report.fits()
+
+
+def test_unopt_and_opt_have_same_structure():
+    """Same architecture, different constraints: identical area here
+    (the real unopt trades some area for the relaxed clock)."""
+    assert variant_area(VARIANT_256_UNOPT).total_alms == \
+        variant_area(VARIANT_256_OPT).total_alms
+
+
+def test_512opt_nearly_fills_device():
+    report = variant_area(VARIANT_512_OPT)
+    assert report.fits()
+    assert report.alm_utilization > 0.8
+    assert report.ram_utilization > 0.9
+    # Roughly double the single instance minus shared system glue.
+    single = variant_area(VARIANT_256_OPT)
+    assert report.total_alms == pytest.approx(
+        2 * single.total_alms, rel=0.08)
+
+
+def test_16unopt_is_small():
+    report = variant_area(VARIANT_16_UNOPT)
+    assert report.alm_utilization < 0.15
+    assert report.total_dsps < 120
+
+
+def test_fig6_dominant_modules():
+    """Fig. 6: convolution, accumulator, data-staging/control dominate
+    (heavy MUX'ing); pad/pool and write-to-memory are small."""
+    breakdown = fig6_breakdown(VARIANT_256_OPT)
+    big = ("convolution", "accumulator", "data-staging/control")
+    small = ("pad/pool", "write-to-memory")
+    for big_module in big:
+        for small_module in small:
+            assert breakdown[big_module] > 2 * breakdown[small_module]
+    total = sum(breakdown.values())
+    assert sum(breakdown[m] for m in big) > 0.7 * total
+
+
+def test_most_dsps_in_conv_and_accumulator():
+    report = variant_area(VARIANT_256_OPT)
+    conv_acc = (report.dsps_by_module["convolution"]
+                + report.dsps_by_module["accumulator"])
+    assert conv_acc > 0.85 * report.total_dsps
+
+
+def test_bank_m20k_geometry():
+    # 512 KiB bank, 128-bit word: 4 blocks wide x 64 deep segments.
+    assert bank_m20ks(512 * 1024, tile=4) == 256
+    # Tiny bank still needs the full width.
+    assert bank_m20ks(8192, tile=4) == 4
+
+
+def test_report_table_lists_modules():
+    text = variant_area(VARIANT_256_OPT).format_table()
+    for module in ("convolution", "accumulator", "data-staging/control",
+                   "pad/pool", "write-to-memory", "TOTAL"):
+        assert module in text
+
+
+def test_area_scaling_monotone():
+    totals = [variant_area(v).total_alms for v in ALL_VARIANTS]
+    assert totals[0] < totals[1] == totals[2] < totals[3]
+
+
+def test_clock_consistency_with_constraints():
+    """Area model + congestion model reproduce the paper's clocks."""
+    from repro.perf import clock_from_utilization, target_routes
+    for variant in ALL_VARIANTS:
+        utilization = variant_area(variant).alm_utilization
+        modeled = clock_from_utilization(variant, utilization)
+        assert modeled == pytest.approx(variant.clock_mhz, rel=0.02), \
+            variant.name
+    # 512-opt's requested 150 MHz does not route; 256-opt's does.
+    assert target_routes(VARIANT_256_OPT,
+                         variant_area(VARIANT_256_OPT).alm_utilization)
+    assert not target_routes(VARIANT_512_OPT,
+                             variant_area(VARIANT_512_OPT).alm_utilization)

@@ -1,0 +1,258 @@
+"""Cycle-accurate accelerator vs the quantized golden model.
+
+These are the reproduction's keystone tests: the 20-kernel streaming
+accelerator must produce bit-identical results to the integer reference
+for convolution, padding and pooling, across awkward geometries
+(channel counts not divisible by 4, feature maps not divisible by the
+tile size, empty staging units, heavily pruned weights).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance, Opcode,
+                        PackedLayer, execute_conv, execute_padpool)
+from repro.hls import Simulator
+from repro.nn import maxpool2d, zero_pad
+from repro.quant import conv2d_int, saturate_array, shift_round_array
+
+
+def fresh_instance(bank_capacity=1 << 14):
+    sim = Simulator("acc-test")
+    return AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=bank_capacity))
+
+
+def reference_conv(ifm, weights, bias, shift, relu):
+    acc = conv2d_int(ifm, weights)
+    if bias is not None:
+        acc = acc + bias[:, None, None]
+    out = shift_round_array(acc, shift)
+    if relu:
+        out = np.maximum(out, 0)
+    return saturate_array(out).astype(np.int16)
+
+
+def random_case(seed, max_ch=9, max_hw=14, density=0.5):
+    rng = np.random.default_rng(seed)
+    in_ch = int(rng.integers(1, max_ch))
+    out_ch = int(rng.integers(1, max_ch))
+    h = int(rng.integers(3, max_hw))
+    w = int(rng.integers(3, max_hw))
+    ifm = rng.integers(-40, 41, size=(in_ch, h, w))
+    weights = rng.integers(-40, 41, size=(out_ch, in_ch, 3, 3))
+    weights[rng.random(weights.shape) >= density] = 0
+    bias = rng.integers(-100, 101, size=out_ch)
+    return ifm, weights, bias
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=12, deadline=None)
+def test_conv_matches_golden_model(seed):
+    ifm, weights, bias = random_case(seed)
+    instance = fresh_instance()
+    packed = PackedLayer.pack(weights)
+    ofm, cycles = execute_conv(instance, ifm, packed, biases=bias,
+                               shift=2, apply_relu=bool(seed % 2))
+    want = reference_conv(ifm, weights, bias, shift=2, relu=bool(seed % 2))
+    np.testing.assert_array_equal(ofm, want)
+    assert cycles > 0
+
+
+def test_conv_three_input_channels_leaves_one_unit_idle():
+    """conv1_1-like case: C=3 means staging unit 3 owns no channels."""
+    rng = np.random.default_rng(42)
+    ifm = rng.integers(-40, 41, size=(3, 10, 10))
+    weights = rng.integers(-20, 21, size=(8, 3, 3, 3))
+    bias = rng.integers(-10, 11, size=8)
+    instance = fresh_instance()
+    ofm, _ = execute_conv(instance, ifm, PackedLayer.pack(weights),
+                          biases=bias, shift=1, apply_relu=True)
+    np.testing.assert_array_equal(
+        ofm, reference_conv(ifm, weights, bias, 1, True))
+
+
+def test_conv_single_output_channel():
+    rng = np.random.default_rng(7)
+    ifm = rng.integers(-20, 21, size=(4, 8, 8))
+    weights = rng.integers(-20, 21, size=(1, 4, 3, 3))
+    instance = fresh_instance()
+    ofm, _ = execute_conv(instance, ifm, PackedLayer.pack(weights), shift=0)
+    np.testing.assert_array_equal(
+        ofm, reference_conv(ifm, weights, None, 0, False))
+
+
+def test_conv_1x1_kernel():
+    rng = np.random.default_rng(8)
+    ifm = rng.integers(-20, 21, size=(5, 8, 8))
+    weights = rng.integers(-20, 21, size=(6, 5, 1, 1))
+    instance = fresh_instance()
+    ofm, _ = execute_conv(instance, ifm, PackedLayer.pack(weights), shift=0)
+    np.testing.assert_array_equal(
+        ofm, reference_conv(ifm, weights, None, 0, False))
+
+
+def test_conv_heavily_pruned_weights():
+    """95% zeros: most channels are skipped entirely."""
+    rng = np.random.default_rng(9)
+    ifm = rng.integers(-40, 41, size=(8, 12, 12))
+    weights = rng.integers(-40, 41, size=(8, 8, 3, 3))
+    weights[rng.random(weights.shape) >= 0.05] = 0
+    instance = fresh_instance()
+    ofm, cycles_sparse = execute_conv(instance, ifm,
+                                      PackedLayer.pack(weights), shift=0)
+    np.testing.assert_array_equal(
+        ofm, reference_conv(ifm, weights, None, 0, False))
+    # Same geometry, dense weights: must cost more cycles.
+    dense = rng.integers(1, 41, size=(8, 8, 3, 3))
+    instance2 = fresh_instance()
+    _, cycles_dense = execute_conv(instance2, ifm, PackedLayer.pack(dense),
+                                   shift=0)
+    assert cycles_dense > cycles_sparse
+
+
+def test_conv_all_zero_weights():
+    """Everything skipped; output is just bias, shifted and saturated."""
+    ifm = np.ones((4, 8, 8), dtype=np.int64)
+    weights = np.zeros((4, 4, 3, 3), dtype=np.int64)
+    bias = np.array([100, -100, 1000, 0])
+    instance = fresh_instance()
+    ofm, _ = execute_conv(instance, ifm, PackedLayer.pack(weights),
+                          biases=bias, shift=1)
+    want = reference_conv(ifm, weights, bias, 1, False)
+    np.testing.assert_array_equal(ofm, want)
+    assert ofm[2, 0, 0] == 127  # saturation reached
+
+
+def test_conv_saturation_both_rails():
+    ifm = np.full((1, 6, 6), 127, dtype=np.int64)
+    weights = np.full((2, 1, 3, 3), 127, dtype=np.int64)
+    weights[1] = -127
+    instance = fresh_instance()
+    ofm, _ = execute_conv(instance, ifm, PackedLayer.pack(weights), shift=0)
+    assert ofm[0].max() == 127
+    assert ofm[1].min() == -127
+
+
+def test_zero_skipping_reduces_cycles_proportionally():
+    """Unbalanced filters cost the max of the group (Section III-B1)."""
+    rng = np.random.default_rng(10)
+    ifm = rng.integers(-20, 21, size=(8, 8, 8))
+    # All four filters of the group dense -> 9 cycles/channel.
+    dense = rng.integers(1, 21, size=(4, 8, 3, 3))
+    # All four filters pruned to <= 4 nonzeros -> 4 cycles/channel (floor).
+    sparse = dense.copy()
+    for o in range(4):
+        for c in range(8):
+            flat = sparse[o, c].reshape(-1)
+            keep = rng.choice(9, size=3, replace=False)
+            mask = np.zeros(9, dtype=bool)
+            mask[keep] = True
+            flat[~mask] = 0
+    inst_dense, inst_sparse = fresh_instance(), fresh_instance()
+    _, cycles_dense = execute_conv(inst_dense, ifm,
+                                   PackedLayer.pack(dense), shift=0)
+    _, cycles_sparse = execute_conv(inst_sparse, ifm,
+                                    PackedLayer.pack(sparse), shift=0)
+    ratio = cycles_dense / cycles_sparse
+    # The architectural ceiling for 3x3 kernels is 9/4 = 2.25.
+    assert 1.5 < ratio <= 2.3, ratio
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_pad_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(1, 7))
+    h = int(rng.integers(2, 12))
+    w = int(rng.integers(2, 12))
+    pad = int(rng.integers(1, 4))
+    ifm = rng.integers(-50, 51, size=(c, h, w))
+    instance = fresh_instance()
+    ofm, cycles = execute_padpool(instance, ifm, Opcode.PAD, pad=pad)
+    np.testing.assert_array_equal(
+        ofm, zero_pad(ifm.astype(float), pad).astype(np.int16))
+    assert cycles > 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_pool_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(1, 7))
+    h = int(rng.integers(2, 13))
+    w = int(rng.integers(2, 13))
+    ifm = rng.integers(-50, 51, size=(c, h, w))
+    instance = fresh_instance()
+    ofm, _ = execute_padpool(instance, ifm, Opcode.POOL, win=2, stride=2)
+    np.testing.assert_array_equal(
+        ofm, maxpool2d(ifm.astype(float), 2, 2).astype(np.int16))
+
+
+def test_pool_all_negative_values():
+    """Max-pooling must not leak the zero padding into real outputs."""
+    ifm = -np.abs(np.random.default_rng(3).integers(
+        1, 50, size=(2, 8, 8)))
+    instance = fresh_instance()
+    ofm, _ = execute_padpool(instance, ifm, Opcode.POOL)
+    np.testing.assert_array_equal(
+        ofm, maxpool2d(ifm.astype(float), 2, 2).astype(np.int16))
+    assert ofm.max() < 0
+
+
+def test_layer_sequence_pad_conv_pool():
+    """Chained execution (pad -> conv+relu -> pool) matches the chained
+    reference — the paper's interleaved layer pattern."""
+    rng = np.random.default_rng(11)
+    ifm = rng.integers(-30, 31, size=(6, 8, 8))
+    weights = rng.integers(-15, 16, size=(8, 6, 3, 3))
+    weights[rng.random(weights.shape) >= 0.6] = 0
+    bias = rng.integers(-20, 21, size=8)
+    instance = fresh_instance()
+
+    padded, _ = execute_padpool(instance, ifm, Opcode.PAD, pad=1)
+    conv_out, _ = execute_conv(instance, padded, PackedLayer.pack(weights),
+                               biases=bias, shift=2, apply_relu=True)
+    pooled, _ = execute_padpool(instance, conv_out, Opcode.POOL)
+
+    ref_pad = zero_pad(ifm.astype(float), 1).astype(np.int64)
+    ref_conv = reference_conv(ref_pad, weights, bias, 2, True)
+    ref_pool = maxpool2d(ref_conv.astype(float), 2, 2).astype(np.int16)
+    np.testing.assert_array_equal(pooled, ref_pool)
+
+
+def test_twenty_kernels_per_instance():
+    """Fig. 3: '4 instances of 5 different compute units: 20 units'."""
+    instance = fresh_instance()
+    assert len(instance.sim.kernels) == 20
+    names = {k.name.split(".")[-1].rstrip("0123456789")
+             for k in instance.sim.kernels}
+    assert names == {"staging", "conv", "accum", "padpool", "writeback"}
+
+
+def test_execute_validates_instruction_count():
+    instance = fresh_instance()
+    with pytest.raises(ValueError):
+        instance.execute([None, None])
+    assert instance.execute([None, None, None, None]) == 0
+
+
+def test_conv_channel_mismatch_raises():
+    instance = fresh_instance()
+    packed = PackedLayer.pack(np.ones((4, 5, 3, 3), dtype=np.int64))
+    with pytest.raises(ValueError):
+        execute_conv(instance, np.zeros((3, 8, 8), dtype=np.int64), packed)
+
+
+def test_bank_traffic_is_plausible():
+    rng = np.random.default_rng(12)
+    ifm = rng.integers(-20, 21, size=(4, 8, 8))
+    weights = rng.integers(1, 21, size=(4, 4, 3, 3))  # dense
+    instance = fresh_instance()
+    execute_conv(instance, ifm, PackedLayer.pack(weights), shift=0)
+    # Each bank wrote 1 group x 2x2 OFM tiles.
+    for bank in instance.banks:
+        assert bank.stats.tile_writes == 4
+        assert bank.stats.tile_reads > 0
+        assert bank.stats.stream_values_read > 0

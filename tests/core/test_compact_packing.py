@@ -1,0 +1,104 @@
+"""Tests for the compact (nibble-offset) packed-weight format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance, PackedLayer,
+                        execute_conv, parse_tile_entries, parse_unit_stream,
+                        serialize_unit_stream, unit_group_stream_bytes)
+from repro.hls import Simulator
+from repro.quant import conv2d_int, saturate_array, shift_round_array
+
+
+def sparse_weights(rng, out_ch=6, in_ch=6, density=0.5):
+    weights = rng.integers(-60, 61, size=(out_ch, in_ch, 3, 3))
+    weights[rng.random(weights.shape) >= density] = 0
+    return weights
+
+
+@given(seed=st.integers(0, 2000))
+@settings(max_examples=25, deadline=None)
+def test_compact_stream_roundtrip(seed):
+    rng = np.random.default_rng(seed)
+    weights = sparse_weights(rng, out_ch=int(rng.integers(1, 9)),
+                             in_ch=int(rng.integers(1, 9)),
+                             density=float(rng.uniform(0, 1)))
+    packed = PackedLayer.pack(weights)
+    for unit in range(4):
+        legacy = serialize_unit_stream(packed, unit)
+        compact = serialize_unit_stream(packed, unit, compact=True)
+        a = parse_unit_stream(legacy, packed.in_channels,
+                              packed.out_channels, unit)
+        b = parse_unit_stream(compact, packed.in_channels,
+                              packed.out_channels, unit, compact=True)
+        assert a == b
+
+
+def test_compact_is_smaller():
+    rng = np.random.default_rng(0)
+    packed = PackedLayer.pack(sparse_weights(rng, 8, 8, density=0.8))
+    legacy = sum(serialize_unit_stream(packed, u).size for u in range(4))
+    compact = sum(serialize_unit_stream(packed, u, compact=True).size
+                  for u in range(4))
+    assert compact < legacy
+    # Near the asymptotic 1.5/2 ratio for dense-ish tiles.
+    assert 0.65 < compact / legacy < 0.85
+
+
+def test_compact_sizes_accounting():
+    rng = np.random.default_rng(1)
+    packed = PackedLayer.pack(sparse_weights(rng, 8, 8))
+    sizes = unit_group_stream_bytes(packed, compact=True)
+    for unit in range(4):
+        stream = serialize_unit_stream(packed, unit, compact=True)
+        assert sizes[unit].sum() == stream.size
+
+
+def test_compact_requires_small_tile():
+    weights = np.ones((2, 2, 5, 5), dtype=np.int64)
+    packed = PackedLayer.pack(weights, tile=8)  # offsets up to 63
+    with pytest.raises(ValueError):
+        serialize_unit_stream(packed, 0, compact=True)
+
+
+def test_parse_tile_entries_shared_helper():
+    stream = np.array([3, 0x50, 0x0A, 5, 7, 9], dtype=np.int16)
+    entries, pos = parse_tile_entries(stream, 0, compact=True)
+    assert pos == stream.size
+    assert [(e.offset, e.weight) for e in entries] == \
+        [(0, 5), (5, 7), (10, 9)]
+
+
+def test_accelerator_runs_compact_streams():
+    """Full streaming accelerator consuming the compact format."""
+    rng = np.random.default_rng(2)
+    ifm = rng.integers(-30, 31, size=(6, 12, 12))
+    weights = sparse_weights(rng)
+    packed = PackedLayer.pack(weights)
+    want = saturate_array(
+        shift_round_array(conv2d_int(ifm, weights), 2)).astype(np.int16)
+    cycles = {}
+    for compact in (False, True):
+        sim = Simulator(f"compact-{compact}")
+        instance = AcceleratorInstance(
+            sim, AcceleratorConfig(bank_capacity=1 << 14))
+        ofm, cycles[compact] = execute_conv(instance, ifm, packed,
+                                            shift=2,
+                                            compact_weights=compact)
+        np.testing.assert_array_equal(ofm, want)
+    # Shorter streams: compact never costs more cycles.
+    assert cycles[True] <= cycles[False]
+
+
+def test_isa_carries_compact_flag():
+    from repro.core import ConvInstruction
+    from repro.soc import decode_instruction, encode_instruction
+    instr = ConvInstruction(
+        instr_id=1, ifm_base=0, ifm_tiles_y=2, ifm_tiles_x=2,
+        local_channels=2, ofm_base=8, ofm_tiles_y=1, ofm_tiles_x=1,
+        out_channels=4, weight_base=144, weight_bytes=64, shift=3,
+        apply_relu=True, compact_weights=True)
+    decoded = decode_instruction(encode_instruction(instr))
+    assert decoded == instr
+    assert decoded.compact_weights

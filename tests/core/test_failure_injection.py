@@ -1,0 +1,128 @@
+"""Failure injection: broken programs must fail loudly, not wrongly.
+
+A model of hardware is only trustworthy if mis-programming it surfaces
+as a detectable failure rather than silent corruption: corrupted weight
+streams, missing instructions (a barrier party that never arrives),
+geometry lies in the instruction fields. Each case must end in a typed
+error or detected deadlock within bounded time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance,
+                        ConvInstruction, PackedLayer, prepare_conv)
+from repro.hls import (KernelError, SimulationDeadlock, SimulationTimeout,
+                       Simulator)
+
+
+def fresh_instance():
+    sim = Simulator("inject")
+    return AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=1 << 12))
+
+
+def staged_setup(instance, seed=0):
+    rng = np.random.default_rng(seed)
+    ifm = rng.integers(-20, 21, size=(4, 8, 8))
+    weights = rng.integers(-20, 21, size=(4, 4, 3, 3))
+    return prepare_conv(instance, ifm, weights_to_packed(weights))
+
+
+def weights_to_packed(weights):
+    return PackedLayer.pack(weights)
+
+
+def test_corrupted_weight_stream_is_detected():
+    """Garbage count bytes walk the unpacker off its stream region."""
+    instance = fresh_instance()
+    setup = staged_setup(instance)
+    weight_base = setup.instructions[0].weight_base
+    # Stomp the stream with absurd count bytes (255 entries per tile).
+    instance.banks[0].dma_write(
+        weight_base, np.full(16, 255, dtype=np.int16))
+    with pytest.raises((KernelError, SimulationDeadlock,
+                        SimulationTimeout)):
+        instance.execute(setup.instructions,
+                         expected_tiles=setup.expected_tiles,
+                         max_cycles=50_000)
+
+
+def test_corrupted_weight_bytes_raise_decode_error():
+    """Out-of-range storage bytes fail sign-magnitude decoding."""
+    instance = fresh_instance()
+    setup = staged_setup(instance)
+    weight_base = setup.instructions[0].weight_base
+    stream_len = setup.instructions[0].weight_bytes
+    # Negative values cannot be legal storage bytes.
+    instance.banks[0].dma_write(
+        weight_base, np.full(stream_len, -5, dtype=np.int16))
+    with pytest.raises((KernelError, SimulationDeadlock,
+                        SimulationTimeout)):
+        instance.execute(setup.instructions,
+                         expected_tiles=setup.expected_tiles,
+                         max_cycles=50_000)
+
+
+def test_missing_instruction_deadlocks_at_barrier():
+    """Three of four staging units get work: the barrier never trips.
+
+    The fourth party never arrives, the other three wait forever, and
+    the scheduler must *prove* the deadlock rather than hang.
+    """
+    instance = fresh_instance()
+    setup = staged_setup(instance)
+    partial = list(setup.instructions)
+    partial[3] = None
+    with pytest.raises(SimulationDeadlock):
+        instance.execute(partial, max_cycles=50_000)
+
+
+def test_lying_geometry_is_detected():
+    """An instruction claiming a bigger OFM walks past the bank end."""
+    instance = fresh_instance()
+    setup = staged_setup(instance)
+    bad = []
+    for instr in setup.instructions:
+        bad.append(ConvInstruction(
+            instr_id=instr.instr_id, ifm_base=instr.ifm_base,
+            ifm_tiles_y=instr.ifm_tiles_y, ifm_tiles_x=instr.ifm_tiles_x,
+            local_channels=instr.local_channels,
+            ofm_base=instance.banks[0].words - 1,   # last valid tile
+            ofm_tiles_y=64, ofm_tiles_x=64,         # lies
+            out_channels=instr.out_channels,
+            weight_base=instr.weight_base,
+            weight_bytes=instr.weight_bytes,
+            shift=instr.shift, apply_relu=instr.apply_relu,
+            biases=instr.biases))
+    with pytest.raises((KernelError, SimulationDeadlock,
+                        SimulationTimeout)):
+        instance.execute(bad, max_cycles=200_000)
+
+
+def test_weight_region_overlapping_ofm_detected_or_contained():
+    """Weights placed over the OFM region: outputs get stomped, but the
+    run itself must terminate (no hang) — the corruption is visible in
+    the data, which is exactly what bring-up debugging relies on."""
+    instance = fresh_instance()
+    rng = np.random.default_rng(5)
+    ifm = rng.integers(-20, 21, size=(4, 8, 8))
+    weights = rng.integers(1, 21, size=(4, 4, 3, 3))
+    setup = prepare_conv(instance, ifm, PackedLayer.pack(weights))
+    overlapping = []
+    for instr in setup.instructions:
+        overlapping.append(ConvInstruction(
+            instr_id=instr.instr_id, ifm_base=instr.ifm_base,
+            ifm_tiles_y=instr.ifm_tiles_y, ifm_tiles_x=instr.ifm_tiles_x,
+            local_channels=instr.local_channels,
+            ofm_base=instr.weight_base // 16,   # OFM on top of weights!
+            ofm_tiles_y=instr.ofm_tiles_y, ofm_tiles_x=instr.ofm_tiles_x,
+            out_channels=instr.out_channels,
+            weight_base=instr.weight_base,
+            weight_bytes=instr.weight_bytes,
+            shift=instr.shift, apply_relu=instr.apply_relu,
+            biases=instr.biases))
+    try:
+        instance.execute(overlapping, max_cycles=100_000)
+    except (KernelError, SimulationDeadlock, SimulationTimeout):
+        pass  # also acceptable: the corruption tripped a check

@@ -1,0 +1,129 @@
+"""Tests for offline zero-weight packing (Section III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (PackedLayer, out_groups, parse_unit_stream,
+                        serialize_unit_stream, unit_channels,
+                        unit_group_stream_bytes)
+
+
+def random_sparse_weights(rng, out_ch, in_ch, kernel=3, density=0.5):
+    weights = rng.integers(-127, 128, size=(out_ch, in_ch, kernel, kernel))
+    weights[rng.random(weights.shape) >= density] = 0
+    return weights
+
+
+def test_pack_drops_only_zeros():
+    weights = np.zeros((1, 1, 3, 3), dtype=np.int64)
+    weights[0, 0, 0, 0] = 5
+    weights[0, 0, 1, 2] = -7
+    weights[0, 0, 2, 1] = 127
+    packed = PackedLayer.pack(weights)
+    entries = packed.tile_entries(0, 0)
+    assert len(entries) == 3
+    # Offsets are intra-tile (ky*4 + kx), row-major kernel order.
+    assert [(e.offset, e.weight) for e in entries] == \
+        [(0, 5), (1 * 4 + 2, -7), (2 * 4 + 1, 127)]
+
+
+def test_pack_validation():
+    with pytest.raises(ValueError):
+        PackedLayer.pack(np.zeros((2, 2, 5, 5)))      # kernel > tile
+    with pytest.raises(ValueError):
+        PackedLayer.pack(np.zeros((2, 2, 3, 2)))      # non-square
+    with pytest.raises(ValueError):
+        PackedLayer.pack(np.full((1, 1, 3, 3), 128))  # out of range
+
+
+@given(seed=st.integers(0, 1000), out_ch=st.integers(1, 9),
+       in_ch=st.integers(1, 9), density=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_pack_unpack_roundtrip(seed, out_ch, in_ch, density):
+    rng = np.random.default_rng(seed)
+    weights = random_sparse_weights(rng, out_ch, in_ch, density=density)
+    packed = PackedLayer.pack(weights)
+    np.testing.assert_array_equal(packed.unpack(), weights)
+    assert packed.total_nonzeros == np.count_nonzero(weights)
+
+
+def test_nnz_matrix_and_density():
+    weights = np.zeros((2, 3, 3, 3), dtype=np.int64)
+    weights[0, 1] = 1
+    weights[1, 2, 0, 0] = -3
+    packed = PackedLayer.pack(weights)
+    nnz = packed.nnz_matrix()
+    np.testing.assert_array_equal(nnz, [[0, 9, 0], [0, 0, 1]])
+    assert packed.density == pytest.approx(10 / (2 * 3 * 9))
+
+
+def test_tile_entries_beyond_last_filter_is_empty():
+    packed = PackedLayer.pack(np.ones((2, 1, 3, 3), dtype=np.int64))
+    assert packed.tile_entries(5, 0) == []
+
+
+def test_unit_channels_interleaving():
+    assert unit_channels(10, 0) == [0, 4, 8]
+    assert unit_channels(10, 1) == [1, 5, 9]
+    assert unit_channels(10, 3) == [3, 7]
+    assert unit_channels(3, 3) == []
+    with pytest.raises(ValueError):
+        unit_channels(10, 4)
+
+
+def test_out_groups():
+    assert out_groups(1) == 1
+    assert out_groups(4) == 1
+    assert out_groups(5) == 2
+    assert out_groups(64) == 16
+
+
+@given(seed=st.integers(0, 500), out_ch=st.integers(1, 10),
+       in_ch=st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_stream_serialization_roundtrip(seed, out_ch, in_ch):
+    rng = np.random.default_rng(seed)
+    weights = random_sparse_weights(rng, out_ch, in_ch, density=0.4)
+    packed = PackedLayer.pack(weights)
+    for unit in range(4):
+        stream = serialize_unit_stream(packed, unit)
+        parsed = parse_unit_stream(stream, in_ch, out_ch, unit)
+        channels = unit_channels(in_ch, unit)
+        assert len(parsed) == out_groups(out_ch)
+        for g, group in enumerate(parsed):
+            assert len(group) == len(channels)
+            for lc, c in enumerate(channels):
+                for j in range(4):
+                    want = packed.tile_entries(g * 4 + j, c)
+                    assert group[lc][j] == want
+
+
+def test_stream_bytes_accounting():
+    rng = np.random.default_rng(2)
+    weights = random_sparse_weights(rng, 8, 8, density=0.5)
+    packed = PackedLayer.pack(weights)
+    sizes = unit_group_stream_bytes(packed)
+    assert sizes.shape == (4, 2)
+    for unit in range(4):
+        stream_total = serialize_unit_stream(packed, unit).size
+        assert sizes[unit].sum() == stream_total
+    # Two bytes per non-zero plus one count byte per (channel, filter).
+    total_counts = 4 * 2 * 2 * 4   # units x groups x local_ch x filters
+    assert sizes.sum() == total_counts + 2 * packed.total_nonzeros
+
+
+def test_stream_bytes_empty_unit():
+    """A unit owning no channels (C < lanes) loads nothing."""
+    weights = np.ones((4, 2, 3, 3), dtype=np.int64)
+    sizes = unit_group_stream_bytes(PackedLayer.pack(weights))
+    assert sizes[2].sum() == 0 and sizes[3].sum() == 0
+    assert sizes[0].sum() > 0
+
+
+def test_denser_weights_mean_longer_streams():
+    rng = np.random.default_rng(3)
+    sparse = PackedLayer.pack(random_sparse_weights(rng, 8, 8, density=0.2))
+    dense = PackedLayer.pack(random_sparse_weights(rng, 8, 8, density=0.9))
+    assert (unit_group_stream_bytes(dense).sum()
+            > unit_group_stream_bytes(sparse).sum())

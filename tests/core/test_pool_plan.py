@@ -1,0 +1,64 @@
+"""Any pooling style from a few instructions (Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AcceleratorConfig, AcceleratorInstance
+from repro.core.pool_plan import (compose, execute_pool_general,
+                                  plan_pool_decomposition)
+from repro.hls import Simulator
+from repro.nn import maxpool2d
+
+
+def test_compose_law():
+    assert compose((2, 1), (2, 1)) == (3, 1)
+    assert compose((2, 2), (2, 2)) == (4, 4)
+    assert compose((3, 1), (2, 2)) == (4, 2)
+    assert compose((1, 1), (2, 2)) == (2, 2)
+
+
+def test_known_decompositions():
+    assert plan_pool_decomposition(1, 1) == []
+    assert plan_pool_decomposition(2, 2) == [(2, 2)]
+    assert plan_pool_decomposition(4, 4) == [(2, 2), (2, 2)]
+    assert plan_pool_decomposition(3, 1) == [(2, 1), (2, 1)]
+    # Fewest steps, and the composition reproduces the target.
+    for win, stride in [(3, 2), (4, 2), (5, 4), (8, 8), (5, 1)]:
+        plan = plan_pool_decomposition(win, stride)
+        state = (1, 1)
+        for step in plan:
+            state = compose(state, step)
+        assert state == (win, stride), (win, stride, plan)
+
+
+def test_subsampling_is_reachable():
+    """win=1 stride=4 is pure subsampling: two (1,2) primitives."""
+    plan = plan_pool_decomposition(1, 4)
+    assert plan == [(1, 2), (1, 2)]
+
+
+def test_unreachable_poolings_raise():
+    with pytest.raises(ValueError):
+        plan_pool_decomposition(2, 3)     # odd stride
+    with pytest.raises(ValueError):
+        plan_pool_decomposition(3, 3)     # odd stride again
+    with pytest.raises(ValueError):
+        plan_pool_decomposition(0, 1)
+
+
+@pytest.mark.parametrize("win,stride", [(3, 1), (4, 4), (4, 2), (3, 2)])
+def test_general_pooling_on_accelerator(win, stride):
+    """Chained primitive instructions == the reference pooling."""
+    rng = np.random.default_rng(win * 10 + stride)
+    ifm = rng.integers(-50, 51, size=(3, 17, 13))
+    sim = Simulator(f"pool-{win}-{stride}")
+    instance = AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=1 << 14))
+    ofm, cycles, plan = execute_pool_general(instance, ifm, win, stride)
+    want = maxpool2d(ifm.astype(float), win, stride).astype(np.int16)
+    # Chained primitives may produce extra rows/cols (floor-mode
+    # intermediate shapes); the valid region must match exactly.
+    oh, ow = want.shape[1], want.shape[2]
+    np.testing.assert_array_equal(ofm[:, :oh, :ow], want)
+    assert cycles > 0
+    assert len(plan) >= 1

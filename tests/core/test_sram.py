@@ -1,0 +1,89 @@
+"""Tests for the dual-port tile-wide SRAM banks."""
+
+import numpy as np
+import pytest
+
+from repro.core import SramBank, make_banks
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        SramBank("b", capacity_values=8)      # below one 16-value word
+    with pytest.raises(ValueError):
+        SramBank("b", capacity_values=100)    # not a word multiple
+    bank = SramBank("b", capacity_values=160)
+    assert bank.words == 10
+    assert bank.word_values == 16
+
+
+def test_tile_read_write_roundtrip():
+    bank = SramBank("b", 320)
+    tile = np.arange(16, dtype=np.int16)
+    bank.write_tile(3, tile)
+    np.testing.assert_array_equal(bank.read_tile(3), tile)
+    # Unwritten word reads as zeros (power-on state).
+    np.testing.assert_array_equal(bank.read_tile(0), np.zeros(16))
+
+
+def test_tile_write_accepts_2d_tile():
+    bank = SramBank("b", 160)
+    tile = np.arange(16, dtype=np.int16).reshape(4, 4)
+    bank.write_tile(1, tile)
+    np.testing.assert_array_equal(bank.read_tile(1), tile.reshape(-1))
+
+
+def test_address_bounds():
+    bank = SramBank("b", 160)
+    with pytest.raises(IndexError):
+        bank.read_tile(10)
+    with pytest.raises(IndexError):
+        bank.write_tile(-1, np.zeros(16))
+    with pytest.raises(ValueError):
+        bank.write_tile(0, np.zeros(15))
+
+
+def test_stream_read_and_cycles():
+    bank = SramBank("b", 320)
+    bank.dma_write(5, np.arange(40, dtype=np.int16))
+    out = bank.read_stream(5, 40)
+    np.testing.assert_array_equal(out, np.arange(40))
+    assert bank.stream_cycles(40) == 3   # ceil(40 / 16)
+    assert bank.stream_cycles(16) == 1
+    assert bank.stream_cycles(0) == 0
+    with pytest.raises(IndexError):
+        bank.read_stream(310, 20)
+
+
+def test_dma_bounds_and_stats():
+    bank = SramBank("b", 160)
+    bank.dma_write(0, np.ones(32, dtype=np.int16))
+    np.testing.assert_array_equal(bank.dma_read(0, 32), np.ones(32))
+    with pytest.raises(IndexError):
+        bank.dma_write(150, np.ones(20, dtype=np.int16))
+    with pytest.raises(IndexError):
+        bank.dma_read(150, 20)
+    assert bank.stats.dma_values_written == 32
+    assert bank.stats.dma_values_read == 32
+
+
+def test_traffic_stats():
+    bank = SramBank("b", 160)
+    bank.write_tile(0, np.zeros(16))
+    bank.read_tile(0)
+    bank.read_stream(0, 10)
+    assert bank.stats.tile_writes == 1
+    assert bank.stats.tile_reads == 1
+    assert bank.stats.stream_values_read == 10
+
+
+def test_clear():
+    bank = SramBank("b", 160)
+    bank.write_tile(2, np.full(16, 7))
+    bank.clear()
+    assert bank.storage.sum() == 0
+
+
+def test_make_banks():
+    banks = make_banks(4, 320, prefix="acc.bank")
+    assert [b.name for b in banks] == [f"acc.bank{i}" for i in range(4)]
+    assert all(b.capacity_values == 320 for b in banks)

@@ -1,0 +1,88 @@
+"""Tests for the 4x4 tiling and tiled memory layout (Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (TILE, flatten_tiled, from_tiles, pad_to_tiles,
+                        tile_index, tiles_along, to_tiles, unflatten_tiled)
+
+
+def test_tile_constant_is_paper_value():
+    assert TILE == 4
+
+
+def test_tiles_along():
+    assert tiles_along(1) == 1
+    assert tiles_along(4) == 1
+    assert tiles_along(5) == 2
+    assert tiles_along(224) == 56
+    assert tiles_along(14) == 4
+    with pytest.raises(ValueError):
+        tiles_along(0)
+    with pytest.raises(ValueError):
+        tiles_along(8, tile=0)
+
+
+def test_pad_to_tiles():
+    fm = np.ones((2, 5, 9))
+    padded = pad_to_tiles(fm)
+    assert padded.shape == (2, 8, 12)
+    assert padded[:, :5, :9].sum() == 2 * 5 * 9
+    assert padded[:, 5:, :].sum() == 0
+    assert padded[:, :, 9:].sum() == 0
+    # Already aligned: returns an independent copy.
+    aligned = np.ones((1, 4, 4))
+    out = pad_to_tiles(aligned)
+    out[0, 0, 0] = 5
+    assert aligned[0, 0, 0] == 1
+
+
+def test_to_tiles_layout_matches_figure():
+    """The 16x16 map of Fig. 2: tile (ty,tx) holds rows 4ty.., cols 4tx.."""
+    fm = np.arange(16 * 16).reshape(1, 16, 16)
+    tiles = to_tiles(fm)
+    assert tiles.shape == (1, 4, 4, 4, 4)
+    np.testing.assert_array_equal(tiles[0, 0, 0], fm[0, :4, :4])
+    np.testing.assert_array_equal(tiles[0, 2, 3], fm[0, 8:12, 12:16])
+
+
+def test_from_tiles_validates():
+    with pytest.raises(ValueError):
+        from_tiles(np.zeros((1, 2, 2, 4, 3)), 8, 8)   # non-square tiles
+    with pytest.raises(ValueError):
+        from_tiles(np.zeros((1, 2, 2, 4, 4)), 9, 8)   # crop too large
+
+
+def test_flatten_is_tile_row_major():
+    fm = np.arange(8 * 8).reshape(1, 8, 8)
+    flat = flatten_tiled(fm)
+    # First 16 values: tile (0,0) row-major; next 16: tile (0,1).
+    np.testing.assert_array_equal(flat[:16], fm[0, :4, :4].reshape(-1))
+    np.testing.assert_array_equal(flat[16:32], fm[0, :4, 4:8].reshape(-1))
+    np.testing.assert_array_equal(flat[32:48], fm[0, 4:8, :4].reshape(-1))
+
+
+def test_unflatten_validates_size():
+    with pytest.raises(ValueError):
+        unflatten_tiled(np.zeros(10), 1, 8, 8)
+
+
+@given(c=st.integers(1, 4), h=st.integers(1, 20), w=st.integers(1, 20),
+       seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_tiling_roundtrip(c, h, w, seed):
+    rng = np.random.default_rng(seed)
+    fm = rng.integers(-128, 128, size=(c, h, w))
+    np.testing.assert_array_equal(from_tiles(to_tiles(fm), h, w), fm)
+    np.testing.assert_array_equal(
+        unflatten_tiled(flatten_tiled(fm), c, h, w), fm)
+
+
+def test_tile_index():
+    assert tile_index(0, 0, 5) == 0
+    assert tile_index(2, 3, 5) == 13
+    with pytest.raises(ValueError):
+        tile_index(0, 5, 5)
+    with pytest.raises(ValueError):
+        tile_index(-1, 0, 5)

@@ -1,0 +1,189 @@
+"""Unit-level tests: each streaming kernel driven in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core import SramBank, compute_padpool_tile
+from repro.core.accumulator import accumulator_kernel
+from repro.core.conv_unit import conv_unit_kernel
+from repro.core.instructions import PositionMeta
+from repro.core.padpool import padpool_kernel
+from repro.core.writeback import writeback_kernel
+from repro.hls import Simulator, Tick
+
+
+def test_conv_unit_steering_and_bubbles():
+    """Offsets select the region window; zero weights forward bubbles."""
+    sim = Simulator("conv-unit")
+    in_q = sim.fifo("in", 4)
+    acc_qs = [sim.fifo(f"acc{j}", 16) for j in range(4)]
+    sim.add_kernel("conv", conv_unit_kernel(0, in_q, acc_qs))
+    region = np.arange(64, dtype=np.int64).reshape(8, 8)
+    received = {j: [] for j in range(4)}
+
+    def driver():
+        yield in_q.write(("start", None))
+        # Filters: weight 2 at offset 0, weight 3 at offset 5 (1,1),
+        # bubble, weight -1 at offset 10 (2,2).
+        yield in_q.write(("mac", region, (2, 3, 0, -1), (0, 5, 0, 10)))
+        yield in_q.write(("finish",))
+        yield Tick(1)
+
+    def collector(j):
+        def body():
+            for _ in range(3):  # start, mac, finish
+                msg = yield acc_qs[j].read()
+                received[j].append(msg)
+                yield Tick(1)
+        return body()
+
+    sim.add_kernel("driver", driver())
+    for j in range(4):
+        sim.add_kernel(f"col{j}", collector(j))
+    sim.run(until=lambda: all(len(v) == 3 for v in received.values()))
+
+    assert received[0][0][0] == "start"
+    np.testing.assert_array_equal(received[0][1][2], region[0:4, 0:4] * 2)
+    np.testing.assert_array_equal(received[1][1][2], region[1:5, 1:5] * 3)
+    assert received[2][1][2] is None            # the bubble
+    np.testing.assert_array_equal(received[3][1][2], region[2:6, 2:6] * -1)
+    assert received[0][2][0] == "finish"
+
+
+def test_conv_unit_rejects_weight_before_region():
+    sim = Simulator("conv-err")
+    in_q = sim.fifo("in", 4)
+    acc_qs = [sim.fifo(f"a{j}", 4) for j in range(4)]
+    sim.add_kernel("conv", conv_unit_kernel(0, in_q, acc_qs))
+
+    def driver():
+        yield in_q.write(("mac", None, (1, 0, 0, 0), (0, 0, 0, 0)))
+        yield Tick(1)
+
+    sim.add_kernel("driver", driver())
+    from repro.hls import KernelError
+    with pytest.raises(KernelError):
+        sim.run(max_cycles=100)
+
+
+def test_accumulator_requantizes_on_completion():
+    """Bias + shift-round + ReLU + saturate, after all four finish."""
+    sim = Simulator("acc-unit")
+    in_qs = [sim.fifo(f"in{u}", 8) for u in range(4)]
+    out_q = sim.fifo("out", 4)
+    sim.add_kernel("acc", accumulator_kernel(1, in_qs, out_q))
+    meta = PositionMeta(ofm_addr=7, biases=(0, 40, 0, 0), shift=2,
+                        apply_relu=True)
+    products = np.full((4, 4), 100, dtype=np.int64)
+
+    def producer(u):
+        def body():
+            yield in_qs[u].write(("start", u, meta if u == 0 else None))
+            yield Tick(1 + u)   # skewed arrival on purpose
+            yield in_qs[u].write(("mac", u, products))
+            yield Tick(1)
+            yield in_qs[u].write(("finish", u))
+            yield Tick(1)
+        return body()
+
+    results = []
+
+    def sink():
+        addr, tile = yield out_q.read()
+        results.append((addr, tile))
+        yield Tick(1)
+
+    for u in range(4):
+        sim.add_kernel(f"p{u}", producer(u))
+    sim.add_kernel("sink", sink())
+    sim.run(until=lambda: bool(results))
+    addr, tile = results[0]
+    assert addr == 7
+    # 4 units x 100 + bias 40 = 440; >>2 with rounding = 110.
+    np.testing.assert_array_equal(tile, np.full((4, 4), 110))
+
+
+def test_accumulator_saturates_and_relus():
+    sim = Simulator("acc-sat")
+    in_qs = [sim.fifo(f"in{u}", 8) for u in range(4)]
+    out_q = sim.fifo("out", 4)
+    sim.add_kernel("acc", accumulator_kernel(0, in_qs, out_q))
+    meta = PositionMeta(ofm_addr=0, biases=(0, 0, 0, 0), shift=0,
+                        apply_relu=True)
+    big = np.full((4, 4), 1000, dtype=np.int64)
+    big[0, 0] = -1000  # must ReLU to 0
+
+    def producer(u):
+        def body():
+            yield in_qs[u].write(("start", u, meta if u == 0 else None))
+            if u == 0:
+                yield in_qs[u].write(("mac", u, big))
+            yield in_qs[u].write(("finish", u))
+            yield Tick(1)
+        return body()
+
+    results = []
+
+    def sink():
+        results.append((yield out_q.read()))
+        yield Tick(1)
+
+    for u in range(4):
+        sim.add_kernel(f"p{u}", producer(u))
+    sim.add_kernel("sink", sink())
+    sim.run(until=lambda: bool(results))
+    _, tile = results[0]
+    assert tile[0, 0] == 0        # ReLU
+    assert tile[1, 1] == 127      # saturation
+
+
+def test_compute_padpool_tile_windows():
+    region = np.arange(64, dtype=np.int64).reshape(8, 8)
+    # Pooling 2x2/2 from offset 0: out[y][x] = max of each 2x2 block.
+    pooled = compute_padpool_tile(region, 0, 0, win=2, stride=2)
+    assert pooled[0, 0] == region[0:2, 0:2].max() == 9
+    assert pooled[3, 3] == region[6:8, 6:8].max() == 63
+    # Padding: single-value selection at offset (3, 3).
+    padded = compute_padpool_tile(region, 3, 3, win=1, stride=1)
+    np.testing.assert_array_equal(padded, region[3:7, 3:7])
+
+
+def test_padpool_kernel_streams_tiles():
+    sim = Simulator("pp-unit")
+    in_q = sim.fifo("in", 4)
+    out_q = sim.fifo("out", 4)
+    sim.add_kernel("pp", padpool_kernel(0, in_q, out_q))
+    region = np.arange(64, dtype=np.int64).reshape(8, 8)
+    results = []
+
+    def driver():
+        yield in_q.write((region, 0, 0, 2, 2, 42))
+        yield Tick(1)
+
+    def sink():
+        results.append((yield out_q.read()))
+        yield Tick(1)
+
+    sim.add_kernel("driver", driver())
+    sim.add_kernel("sink", sink())
+    cycles = sim.run(until=lambda: bool(results))
+    addr, tile = results[0]
+    assert addr == 42
+    assert tile[0, 0] == 9
+    assert cycles >= 4  # four MAX units -> 4 cycles per 16 outputs
+
+
+def test_writeback_kernel_writes_bank():
+    sim = Simulator("wb-unit")
+    in_q = sim.fifo("in", 4)
+    bank = SramBank("b", 256)
+    sim.add_kernel("wb", writeback_kernel(0, in_q, bank))
+    tile = np.arange(16, dtype=np.int16)
+
+    def driver():
+        yield in_q.write((3, tile))
+        yield Tick(2)
+
+    sim.add_kernel("driver", driver())
+    sim.run(until=lambda: bank.stats.tile_writes == 1)
+    np.testing.assert_array_equal(bank.read_tile(3), tile)

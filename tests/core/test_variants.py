@@ -1,0 +1,55 @@
+"""Tests pinning the four architecture variants to Section V."""
+
+import pytest
+
+from repro.core import (ALL_VARIANTS, VARIANT_16_UNOPT, VARIANT_256_OPT,
+                        VARIANT_256_UNOPT, VARIANT_512_OPT, variant_by_name)
+
+
+def test_paper_labels_and_order():
+    assert [v.name for v in ALL_VARIANTS] == [
+        "16-unopt", "256-unopt", "256-opt", "512-opt"]
+
+
+def test_macs_per_cycle():
+    assert VARIANT_16_UNOPT.macs_per_cycle == 16
+    assert VARIANT_256_UNOPT.macs_per_cycle == 256
+    assert VARIANT_256_OPT.macs_per_cycle == 256
+    assert VARIANT_512_OPT.macs_per_cycle == 512
+    assert VARIANT_512_OPT.macs_per_instance == 256
+
+
+def test_clocks_match_paper():
+    assert VARIANT_16_UNOPT.clock_mhz == 55.0
+    assert VARIANT_256_UNOPT.clock_mhz == 55.0
+    assert VARIANT_256_OPT.clock_mhz == 150.0
+    assert VARIANT_512_OPT.clock_mhz == 120.0
+
+
+def test_peak_gops_values():
+    """512-opt peak = 512 x 120 MHz = 61.44 GOPS (the paper's '61')."""
+    assert VARIANT_512_OPT.peak_gops == pytest.approx(61.44)
+    assert VARIANT_256_OPT.peak_gops == pytest.approx(38.4)
+    assert VARIANT_256_UNOPT.peak_gops == pytest.approx(14.08)
+    assert VARIANT_16_UNOPT.peak_gops == pytest.approx(0.88)
+
+
+def test_synchronization_flag():
+    """16-unopt computes one OFM tile at a time: no barrier needed."""
+    assert not VARIANT_16_UNOPT.synchronized
+    assert VARIANT_256_OPT.synchronized
+
+
+def test_constraints_reflect_optimization():
+    assert not VARIANT_256_UNOPT.constraints.performance_optimized
+    assert VARIANT_256_OPT.constraints.performance_optimized
+    assert VARIANT_256_OPT.constraints.target_fmax_mhz == pytest.approx(150.0)
+    # 512-opt *targeted* 150 MHz but closed at 120 (congestion).
+    assert VARIANT_512_OPT.target_clock_mhz == pytest.approx(150.0)
+    assert VARIANT_512_OPT.clock_mhz < VARIANT_512_OPT.target_clock_mhz
+
+
+def test_lookup():
+    assert variant_by_name("512-opt") is VARIANT_512_OPT
+    with pytest.raises(KeyError):
+        variant_by_name("1024-opt")

@@ -1,0 +1,107 @@
+"""Tests for the generational barrier."""
+
+import pytest
+
+from repro.hls import Barrier, SimulationDeadlock, Simulator, Tick
+
+
+def test_rejects_zero_parties():
+    with pytest.raises(ValueError):
+        Barrier("b", parties=0)
+
+
+def test_barrier_synchronizes_unequal_workers():
+    """Workers with different work-per-round must leave rounds together."""
+    sim = Simulator("barrier")
+    barrier = sim.barrier("b", parties=3)
+    log = []
+
+    def worker(name, work_cycles):
+        for round_index in range(4):
+            yield Tick(work_cycles)
+            yield barrier.wait()
+            log.append((round_index, name, sim.now))
+
+    sim.add_kernel("fast", worker("fast", 1))
+    sim.add_kernel("mid", worker("mid", 5))
+    sim.add_kernel("slow", worker("slow", 9))
+    sim.run()
+    assert barrier.trips == 4
+    for round_index in range(4):
+        cycles = {t for (r, _, t) in log if r == round_index}
+        assert len(cycles) == 1, f"round {round_index} released at {cycles}"
+
+
+def test_rounds_are_ordered_by_slowest_worker():
+    sim = Simulator("barrier-order")
+    barrier = sim.barrier("b", parties=2)
+    release_cycles = []
+
+    def worker(work_cycles):
+        for _ in range(3):
+            yield Tick(work_cycles)
+            yield barrier.wait()
+            release_cycles.append(sim.now)
+
+    sim.add_kernel("a", worker(2))
+    sim.add_kernel("b", worker(7))
+    sim.run()
+    # Each round takes ~7 cycles (slowest worker) + barrier release latency.
+    per_round = sorted(set(release_cycles))
+    assert len(per_round) == 3
+    gaps = [b - a for a, b in zip(per_round, per_round[1:])]
+    assert all(7 <= gap <= 9 for gap in gaps), gaps
+
+
+def test_fast_rearrival_does_not_corrupt_generations():
+    """A worker re-arriving immediately must wait for the *next* round."""
+    sim = Simulator("barrier-regress")
+    barrier = sim.barrier("b", parties=2)
+    counts = {"fast": 0, "slow": 0}
+
+    def fast():
+        for _ in range(10):
+            yield barrier.wait()   # arrives again instantly after release
+            counts["fast"] += 1
+            yield Tick(1)
+
+    def slow():
+        for _ in range(10):
+            yield Tick(3)
+            yield barrier.wait()
+            counts["slow"] += 1
+
+    sim.add_kernel("fast", fast())
+    sim.add_kernel("slow", slow())
+    sim.run()
+    assert counts == {"fast": 10, "slow": 10}
+    assert barrier.trips == 10
+
+
+def test_missing_party_deadlocks():
+    sim = Simulator("barrier-deadlock")
+    barrier = sim.barrier("b", parties=2)
+
+    def lonely():
+        yield barrier.wait()
+
+    sim.add_kernel("lonely", lonely())
+    with pytest.raises(SimulationDeadlock):
+        sim.run()
+
+
+def test_single_party_barrier_is_pass_through():
+    sim = Simulator("barrier-1")
+    barrier = sim.barrier("b", parties=1)
+    passes = []
+
+    def solo():
+        for _ in range(5):
+            yield barrier.wait()
+            passes.append(sim.now)
+            yield Tick(1)
+
+    sim.add_kernel("solo", solo())
+    sim.run()
+    assert len(passes) == 5
+    assert barrier.trips == 5

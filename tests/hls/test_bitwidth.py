@@ -1,0 +1,115 @@
+"""Tests for bitwidth minimization (range and bitmask analysis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hls import (BitwidthAnalyzer, BitwidthOverflow, bits_for_range,
+                       bits_for_signed, bits_for_unsigned,
+                       mask_known_zero_bits)
+
+
+def test_unsigned_widths():
+    assert bits_for_unsigned(0) == 1
+    assert bits_for_unsigned(1) == 1
+    assert bits_for_unsigned(2) == 2
+    assert bits_for_unsigned(255) == 8
+    assert bits_for_unsigned(256) == 9
+
+
+def test_signed_widths():
+    assert bits_for_signed(-1, 0) == 1
+    assert bits_for_signed(-128, 127) == 8
+    assert bits_for_signed(-129, 127) == 9
+    assert bits_for_signed(0, 127) == 8
+
+
+def test_range_dispatch():
+    assert bits_for_range(0, 255) == 8       # unsigned reading
+    assert bits_for_range(-1, 255) == 9      # forced signed
+
+
+def test_invalid_ranges_raise():
+    with pytest.raises(ValueError):
+        bits_for_unsigned(-1)
+    with pytest.raises(ValueError):
+        bits_for_signed(5, 4)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_unsigned_width_is_tight(value):
+    width = bits_for_unsigned(value)
+    assert value <= (1 << width) - 1
+    if width > 1:
+        assert value > (1 << (width - 1)) - 1
+
+
+@given(st.integers(min_value=-2**30, max_value=2**30),
+       st.integers(min_value=0, max_value=2**30))
+def test_signed_width_covers_range(lo, span):
+    hi = lo + span
+    width = bits_for_signed(lo, hi)
+    assert -(1 << (width - 1)) <= lo
+    assert hi <= (1 << (width - 1)) - 1
+    if width > 1:
+        narrower = width - 1
+        fits = (-(1 << (narrower - 1)) <= lo
+                and hi <= (1 << (narrower - 1)) - 1)
+        assert not fits, "width not minimal"
+
+
+def test_bitmask_analysis():
+    # Values 0b1010 and 0b0010: bit positions 0 and 2 are always zero.
+    mask = mask_known_zero_bits([0b1010, 0b0010])
+    assert mask == 0b0101
+    with pytest.raises(ValueError):
+        mask_known_zero_bits([-1])
+
+
+def test_analyzer_reports_minimal_widths():
+    analyzer = BitwidthAnalyzer()
+    for value in [0, 3, 100, 255]:
+        analyzer.record("ofm_index", value)
+    for value in [-128, 0, 127]:
+        analyzer.record("weight", value)
+    assert analyzer.width("ofm_index") == 8
+    assert analyzer.width("weight") == 8
+    assert analyzer.report() == {"ofm_index": 8, "weight": 8}
+    assert analyzer.total_register_bits() == 16
+    assert analyzer.savings_vs(32) == 48
+
+
+def test_analyzer_unknown_signal():
+    with pytest.raises(KeyError):
+        BitwidthAnalyzer().width("nope")
+
+
+def test_declared_width_enforced():
+    analyzer = BitwidthAnalyzer()
+    analyzer.declare("acc", 16, signed=True)
+    analyzer.record("acc", 32767)
+    analyzer.record("acc", -32768)
+    with pytest.raises(BitwidthOverflow):
+        analyzer.record("acc", 32768)
+
+
+def test_declared_unsigned_width_enforced():
+    analyzer = BitwidthAnalyzer()
+    analyzer.declare("count", 4, signed=False)
+    analyzer.record("count", 15)
+    with pytest.raises(BitwidthOverflow):
+        analyzer.record("count", 16)
+    with pytest.raises(BitwidthOverflow):
+        analyzer.record("count", -1)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1))
+def test_analyzer_width_always_covers_samples(values):
+    analyzer = BitwidthAnalyzer()
+    for value in values:
+        analyzer.record("s", value)
+    width = analyzer.width("s")
+    lo, hi = min(values), max(values)
+    if lo >= 0:
+        assert hi <= (1 << width) - 1
+    else:
+        assert -(1 << (width - 1)) <= lo and hi <= (1 << (width - 1)) - 1

@@ -1,0 +1,65 @@
+"""Tests for the clock-constraint / achieved-Fmax model (Section V)."""
+
+import pytest
+
+from repro.hls import (HlsConstraints, UNOPT_CLOCK_MHZ, achieved_fmax_mhz,
+                       congestion_fmax_mhz, pipeline_depth_for,
+                       routing_succeeds)
+
+
+def test_unopt_variants_run_at_55mhz():
+    constraints = HlsConstraints(performance_optimized=False)
+    assert achieved_fmax_mhz(constraints, alm_utilization=0.2) == \
+        pytest.approx(UNOPT_CLOCK_MHZ)
+
+
+def test_256opt_closes_at_150mhz():
+    """Paper: 256-opt clocked at 150 MHz at 44% ALM utilization."""
+    constraints = HlsConstraints(performance_optimized=True)
+    constraints = constraints.with_target_mhz(150.0)
+    assert routing_succeeds(constraints, alm_utilization=0.44)
+    assert achieved_fmax_mhz(constraints, 0.44) == pytest.approx(150.0)
+
+
+def test_512opt_limited_to_120mhz_by_congestion():
+    """Paper: 512-opt fails routing above 120 MHz (high congestion)."""
+    at_120 = HlsConstraints(performance_optimized=True).with_target_mhz(120.0)
+    at_150 = HlsConstraints(performance_optimized=True).with_target_mhz(150.0)
+    utilization = 0.856  # two instances of the 44% accelerator (area model)
+    assert routing_succeeds(at_120, utilization)
+    assert not routing_succeeds(at_150, utilization)
+    assert achieved_fmax_mhz(at_150, utilization) < 150.0
+
+
+def test_congestion_ceiling_monotone_in_utilization():
+    ceilings = [congestion_fmax_mhz(u / 10) for u in range(11)]
+    assert all(a >= b for a, b in zip(ceilings, ceilings[1:]))
+
+
+def test_congestion_rejects_bad_utilization():
+    with pytest.raises(ValueError):
+        congestion_fmax_mhz(1.5)
+    with pytest.raises(ValueError):
+        congestion_fmax_mhz(-0.1)
+
+
+def test_tighter_clock_deepens_pipelines():
+    """The mechanism behind opt-vs-unopt pipelining differences."""
+    loose = HlsConstraints()                       # 55 MHz default
+    tight = loose.with_target_mhz(150.0)
+    delay = 20.0  # ns of combinational logic
+    assert pipeline_depth_for(tight, delay) > pipeline_depth_for(loose, delay)
+    assert pipeline_depth_for(loose, 1.0) == 1
+
+
+def test_pipeline_depth_requires_positive_delay():
+    with pytest.raises(ValueError):
+        pipeline_depth_for(HlsConstraints(), 0.0)
+
+
+def test_with_target_preserves_flags():
+    base = HlsConstraints(performance_optimized=True, if_conversion=False)
+    retargeted = base.with_target_mhz(100.0)
+    assert retargeted.performance_optimized
+    assert not retargeted.if_conversion
+    assert retargeted.target_fmax_mhz == pytest.approx(100.0)

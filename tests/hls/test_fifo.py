@@ -1,0 +1,102 @@
+"""Unit tests for the cycle-accurate FIFO model."""
+
+import pytest
+
+from repro.hls import FifoWidthError, PthreadFifo
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        PthreadFifo("q", depth=0)
+    with pytest.raises(ValueError):
+        PthreadFifo("q", depth=2, width=0)
+    with pytest.raises(ValueError):
+        PthreadFifo("q", depth=2, latency=-1)
+
+
+def test_push_then_pop_respects_latency():
+    fifo = PthreadFifo("q", depth=4, latency=1)
+    assert fifo.can_push(now=0)
+    fifo.push(0, "a")
+    # Written at cycle 0, visible at cycle 1.
+    assert not fifo.can_pop(now=0)
+    assert fifo.can_pop(now=1)
+    assert fifo.pop(1) == "a"
+    assert fifo.is_empty()
+
+
+def test_zero_latency_bypass():
+    fifo = PthreadFifo("q", depth=4, latency=0)
+    fifo.push(0, 7)
+    assert fifo.can_pop(now=0)
+    assert fifo.pop(0) == 7
+
+
+def test_capacity_counts_invisible_entries():
+    fifo = PthreadFifo("q", depth=1, latency=1)
+    fifo.push(0, 1)
+    assert fifo.is_full()
+    assert not fifo.can_push(now=0)
+    assert not fifo.can_push(now=1)  # still full until popped
+    assert fifo.pop(1) == 1
+    assert fifo.can_push(now=1)
+
+
+def test_one_push_and_one_pop_per_cycle():
+    fifo = PthreadFifo("q", depth=8, latency=0)
+    fifo.push(0, 1)
+    assert not fifo.can_push(now=0), "write port busy this cycle"
+    assert fifo.can_push(now=1)
+    fifo.push(1, 2)
+    assert fifo.pop(1) == 1
+    assert not fifo.can_pop(now=1), "read port busy this cycle"
+    assert fifo.can_pop(now=2)
+
+
+def test_fifo_order_preserved():
+    fifo = PthreadFifo("q", depth=8, latency=0)
+    for cycle, value in enumerate([3, 1, 4, 1, 5]):
+        fifo.push(cycle, value)
+    out = [fifo.pop(cycle) for cycle in range(10, 15)]
+    assert out == [3, 1, 4, 1, 5]
+
+
+def test_width_check_accepts_signed_and_unsigned_readings():
+    fifo = PthreadFifo("q", depth=4, width=8, latency=0)
+    fifo.push(0, 255)    # fits unsigned 8-bit
+    fifo.push(1, -128)   # fits signed 8-bit
+    with pytest.raises(FifoWidthError):
+        fifo.push(2, 256)
+    with pytest.raises(FifoWidthError):
+        fifo.push(3, -129)
+
+
+def test_width_check_ignores_non_integer_payloads():
+    fifo = PthreadFifo("q", depth=4, width=8, latency=0)
+    fifo.push(0, ("tuple", "payload"))  # behavioural payloads allowed
+    assert fifo.pop(0) == ("tuple", "payload")
+
+
+def test_stats_track_traffic_and_occupancy():
+    fifo = PthreadFifo("q", depth=4, latency=0)
+    fifo.push(0, 1)
+    fifo.push(1, 2)
+    fifo.pop(2)
+    assert fifo.stats.pushes == 2
+    assert fifo.stats.pops == 1
+    assert fifo.stats.max_occupancy == 2
+
+
+def test_future_visibility_detection():
+    fifo = PthreadFifo("q", depth=4, latency=2)
+    fifo.push(0, 1)
+    assert fifo.has_future_visibility(now=0)
+    assert fifo.has_future_visibility(now=1)
+    assert not fifo.has_future_visibility(now=2)
+
+
+def test_peek_does_not_consume():
+    fifo = PthreadFifo("q", depth=4, latency=0)
+    fifo.push(0, 42)
+    assert fifo.peek(0) == 42
+    assert fifo.pop(0) == 42

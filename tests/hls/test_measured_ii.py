@@ -1,0 +1,57 @@
+"""Tests for the achieved-II metric in HLS reports."""
+
+import pytest
+
+from repro.hls import (HlsReport, Simulator, Tick, streaming_map,
+                       streaming_sink, streaming_source)
+
+
+def run_design(map_extra_ticks=0, items=64):
+    sim = Simulator("ii")
+    q_in = sim.fifo("in", 4)
+    q_out = sim.fifo("out", 4)
+    sim.add_kernel("source", streaming_source(q_in, range(items)))
+
+    def mapper():
+        while True:
+            value = yield q_in.read()
+            yield q_out.write(value)
+            yield Tick(1 + map_extra_ticks)
+
+    sim.add_kernel("map", mapper(), ii=1 + map_extra_ticks)
+    out = []
+    sim.add_kernel("sink", streaming_sink(q_out, items, out))
+    sim.run(until=lambda: len(out) == items)
+    return HlsReport.from_simulator(sim)
+
+
+def test_pipelined_kernel_measures_ii_one():
+    report = run_design(map_extra_ticks=0)
+    assert report.kernel("map").measured_ii == pytest.approx(1.0, abs=0.1)
+
+
+def test_slow_kernel_measures_higher_ii():
+    report = run_design(map_extra_ticks=2)
+    measured = report.kernel("map").measured_ii
+    assert measured == pytest.approx(3.0, abs=0.2)
+    # The declared target is carried alongside for comparison.
+    assert report.kernel("map").ii == 3
+
+
+def test_idle_kernel_reports_zero():
+    sim = Simulator("idle")
+    q = sim.fifo("q", 2)
+
+    def never_fed():
+        while True:
+            yield q.read()
+
+    sim.add_kernel("starved", never_fed())
+
+    def clock():
+        yield Tick(10)
+
+    sim.add_kernel("clock", clock())
+    sim.run(until=lambda: sim.now >= 10)
+    report = HlsReport.from_simulator(sim)
+    assert report.kernel("starved").measured_ii == 0.0

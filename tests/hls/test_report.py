@@ -1,0 +1,61 @@
+"""Tests for HLS report extraction."""
+
+import pytest
+
+from repro.hls import (HlsReport, Simulator, streaming_map, streaming_sink,
+                       streaming_source)
+
+
+def run_small_design():
+    sim = Simulator("design")
+    q_in = sim.fifo("q_in", depth=4, width=8)
+    q_out = sim.fifo("q_out", depth=4, width=16)
+    sim.add_kernel("source", streaming_source(q_in, range(16)))
+    sim.add_kernel("double", streaming_map(q_in, q_out, lambda v: 2 * v),
+                   fsm_states=3)
+    out = []
+    sim.add_kernel("sink", streaming_sink(q_out, 16, out))
+    # The map kernel is an infinite streaming loop (like the paper's
+    # prodCons example), so run until the sink has drained everything.
+    sim.run(until=lambda: len(out) == 16)
+    return sim, out
+
+
+def test_report_captures_kernels_and_fifos():
+    sim, out = run_small_design()
+    report = HlsReport.from_simulator(sim)
+    assert out == [2 * v for v in range(16)]
+    assert report.design == "design"
+    assert {k.name for k in report.kernels} == {"source", "double", "sink"}
+    assert {f.name for f in report.fifos} == {"q_in", "q_out"}
+    assert report.kernel("double").fsm_states == 3
+    assert report.kernel("double").items_read == 16
+    assert report.kernel("double").items_written == 16
+
+
+def test_report_totals():
+    sim, _ = run_small_design()
+    report = HlsReport.from_simulator(sim)
+    assert report.total_fsm_states == 1 + 3 + 1
+    assert report.total_fifo_bits == 4 * 8 + 4 * 16
+
+
+def test_kernel_lookup_raises_for_unknown():
+    sim, _ = run_small_design()
+    report = HlsReport.from_simulator(sim)
+    with pytest.raises(KeyError):
+        report.kernel("missing")
+
+
+def test_format_table_mentions_every_kernel():
+    sim, _ = run_small_design()
+    table = HlsReport.from_simulator(sim).format_table()
+    for name in ("source", "double", "sink"):
+        assert name in table
+
+
+def test_utilization_in_unit_interval():
+    sim, _ = run_small_design()
+    report = HlsReport.from_simulator(sim)
+    for kernel in report.kernels:
+        assert 0.0 <= kernel.utilization <= 1.0

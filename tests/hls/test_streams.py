@@ -1,0 +1,117 @@
+"""Tests for the streaming idiom library."""
+
+import pytest
+
+from repro.hls import (Simulator, delay_line, fork, generator_source,
+                       round_robin_merge, round_robin_split,
+                       streaming_filter, streaming_reduce, streaming_sink,
+                       streaming_source)
+
+
+def drain(sim, collected, count):
+    sim.run(until=lambda: len(collected) >= count)
+
+
+def test_fork_broadcasts():
+    sim = Simulator("fork")
+    src = sim.fifo("src", 4)
+    outs = [sim.fifo(f"out{i}", 4) for i in range(3)]
+    sim.add_kernel("source", streaming_source(src, range(8)))
+    sim.add_kernel("fork", fork(src, outs))
+    sinks = [[] for _ in range(3)]
+    for i in range(3):
+        sim.add_kernel(f"sink{i}", streaming_sink(outs[i], 8, sinks[i]))
+    sim.run(until=lambda: all(len(s) == 8 for s in sinks))
+    for collected in sinks:
+        assert collected == list(range(8))
+
+
+def test_fork_requires_outputs():
+    sim = Simulator("fork-bad")
+    src = sim.fifo("src", 2)
+    with pytest.raises(ValueError):
+        next(fork(src, []))
+
+
+def test_split_and_merge_are_inverse():
+    sim = Simulator("split-merge")
+    src = sim.fifo("src", 4)
+    mids = [sim.fifo(f"mid{i}", 4) for i in range(3)]
+    out = sim.fifo("out", 4)
+    values = list(range(12))
+    sim.add_kernel("source", streaming_source(src, values))
+    sim.add_kernel("split", round_robin_split(src, mids))
+    sim.add_kernel("merge", round_robin_merge(mids, out))
+    collected = []
+    sim.add_kernel("sink", streaming_sink(out, 12, collected))
+    drain(sim, collected, 12)
+    assert collected == values  # same round-robin order restores sequence
+
+
+def test_split_distribution():
+    sim = Simulator("split")
+    src = sim.fifo("src", 4)
+    outs = [sim.fifo(f"o{i}", 8) for i in range(2)]
+    sim.add_kernel("source", streaming_source(src, range(6)))
+    sim.add_kernel("split", round_robin_split(src, outs))
+    evens, odds = [], []
+    sim.add_kernel("s0", streaming_sink(outs[0], 3, evens))
+    sim.add_kernel("s1", streaming_sink(outs[1], 3, odds))
+    sim.run(until=lambda: len(evens) == 3 and len(odds) == 3)
+    assert evens == [0, 2, 4]
+    assert odds == [1, 3, 5]
+
+
+def test_filter_drops_values():
+    sim = Simulator("filter")
+    src = sim.fifo("src", 4)
+    out = sim.fifo("out", 4)
+    sim.add_kernel("source", streaming_source(src, range(10)))
+    sim.add_kernel("filter", streaming_filter(src, out,
+                                              lambda v: v % 3 == 0))
+    collected = []
+    sim.add_kernel("sink", streaming_sink(out, 4, collected))
+    drain(sim, collected, 4)
+    assert collected == [0, 3, 6, 9]
+
+
+def test_reduce_windows():
+    sim = Simulator("reduce")
+    src = sim.fifo("src", 4)
+    out = sim.fifo("out", 4)
+    sim.add_kernel("source", streaming_source(src, range(1, 9)))
+    sim.add_kernel("reduce",
+                   streaming_reduce(src, out, lambda a, b: a + b, 4))
+    collected = []
+    sim.add_kernel("sink", streaming_sink(out, 2, collected))
+    drain(sim, collected, 2)
+    assert collected == [1 + 2 + 3 + 4, 5 + 6 + 7 + 8]
+    with pytest.raises(ValueError):
+        next(streaming_reduce(src, out, lambda a, b: a, 0))
+
+
+def test_delay_line_latency():
+    sim = Simulator("delay")
+    src = sim.fifo("src", 4)
+    out = sim.fifo("out", 8)
+    sim.add_kernel("source", streaming_source(src, [10, 20, 30, 40]))
+    sim.add_kernel("delay", delay_line(src, out, depth=2, fill=-1))
+    collected = []
+    sim.add_kernel("sink", streaming_sink(out, 4, collected))
+    drain(sim, collected, 4)
+    assert collected == [-1, -1, 10, 20]
+    with pytest.raises(ValueError):
+        next(delay_line(src, out, depth=0))
+
+
+def test_generator_source_interval():
+    sim = Simulator("gen")
+    out = sim.fifo("out", 8)
+    sim.add_kernel("gen", generator_source(out, range(4), interval=3))
+    collected = []
+    sim.add_kernel("sink", streaming_sink(out, 4, collected))
+    cycles = sim.run(until=lambda: len(collected) == 4)
+    assert collected == [0, 1, 2, 3]
+    assert cycles >= 3 * 3  # throttled to one item per 3 cycles
+    with pytest.raises(ValueError):
+        next(generator_source(out, [], interval=0))

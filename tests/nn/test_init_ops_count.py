@@ -1,0 +1,79 @@
+"""Tests for synthetic model generation and op accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (build_vgg16, conv_workloads, generate_image,
+                      generate_weights, gops_from_macs, he_std,
+                      macs_per_second)
+
+
+def test_he_std():
+    assert he_std(2) == pytest.approx(1.0)
+    assert he_std(8) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        he_std(0)
+
+
+def test_generate_weights_shapes_and_determinism():
+    net = build_vgg16(input_hw=32)
+    w1, b1 = generate_weights(net, seed=7)
+    w2, b2 = generate_weights(net, seed=7)
+    assert set(w1) == {info.layer.name for info in net.conv_infos()} | \
+        {info.layer.name for info in net.fc_infos()}
+    assert w1["conv1_1"].shape == (64, 3, 3, 3)
+    assert b1["conv1_1"].shape == (64,)
+    assert w1["fc8"].shape == (1000, 4096)
+    np.testing.assert_array_equal(w1["conv3_2"], w2["conv3_2"])
+    np.testing.assert_array_equal(b1["fc6"], b2["fc6"])
+    w3, _ = generate_weights(net, seed=8)
+    assert not np.array_equal(w1["conv1_1"], w3["conv1_1"])
+
+
+def test_generate_weights_fan_in_scaling():
+    net = build_vgg16(input_hw=32)
+    weights, _ = generate_weights(net, seed=0)
+    # conv1_1 fan-in 27 vs conv5_3 fan-in 4608: std ratio ~ sqrt(4608/27).
+    std_early = weights["conv1_1"].std()
+    std_late = weights["conv5_3"].std()
+    assert std_early / std_late == pytest.approx(
+        np.sqrt(4608 / 27), rel=0.15)
+
+
+def test_generate_image_properties():
+    image = generate_image((3, 64, 64), seed=1)
+    assert image.shape == (3, 64, 64)
+    assert image.min() >= -1.0 and image.max() <= 1.0
+    again = generate_image((3, 64, 64), seed=1)
+    np.testing.assert_array_equal(image, again)
+    other = generate_image((3, 64, 64), seed=2)
+    assert not np.array_equal(image, other)
+
+
+def test_gops_conventions():
+    # 512 MACs/cycle at 120 MHz is the paper's 61 GOPS peak (512-opt).
+    rate = macs_per_second(512, 120.0)
+    assert rate == pytest.approx(61.44e9)
+    assert gops_from_macs(int(rate), 1.0) == pytest.approx(61.44)
+    with pytest.raises(ValueError):
+        gops_from_macs(100, 0.0)
+
+
+def test_256opt_peak_rate():
+    # 256 MACs/cycle at 150 MHz -> 38.4 GOPS peak.
+    assert macs_per_second(256, 150.0) == pytest.approx(38.4e9)
+
+
+def test_workload_weight_counts():
+    workloads = conv_workloads(build_vgg16(explicit_padding=False))
+    by_name = {w.name: w for w in workloads}
+    assert by_name["conv1_1"].weight_count == 64 * 3 * 9
+    assert by_name["conv5_3"].weight_count == 512 * 512 * 9
+    total = sum(w.weight_count for w in workloads)
+    assert total == 14_710_464  # published VGG-16 conv weight count
+
+
+def test_workload_macs_sum_to_conv_macs():
+    net = build_vgg16(explicit_padding=False)
+    workloads = conv_workloads(net)
+    assert sum(w.macs for w in workloads) == net.conv_macs()

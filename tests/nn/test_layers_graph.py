@@ -1,0 +1,100 @@
+"""Tests for layer specifications and the Network container."""
+
+import pytest
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer)
+
+
+def small_net():
+    return Network("small", [
+        InputLayer("input", Shape(3, 8, 8)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=3, out_channels=4, kernel=3,
+                  stride=1, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=4 * 4 * 4, out_features=10),
+        SoftmaxLayer("prob"),
+    ])
+
+
+def test_shape_propagation():
+    net = small_net()
+    assert net.info("pad1").out_shape == Shape(3, 10, 10)
+    assert net.info("conv1").out_shape == Shape(4, 8, 8)
+    assert net.info("pool1").out_shape == Shape(4, 4, 4)
+    assert net.output_shape == Shape(10, 1, 1)
+
+
+def test_macs_and_params():
+    net = small_net()
+    conv = net.info("conv1")
+    assert conv.macs == 4 * 8 * 8 * 3 * 3 * 3
+    fc = net.layer("fc")
+    assert fc.param_count() == 64 * 10 + 10
+    assert net.total_macs() == conv.macs + 64 * 10
+    assert net.conv_macs() == conv.macs
+
+
+def test_conv_layer_validation():
+    with pytest.raises(ValueError):
+        ConvLayer("bad", in_channels=0, out_channels=4)
+    with pytest.raises(ValueError):
+        ConvLayer("bad", in_channels=3, out_channels=4, stride=0)
+    layer = ConvLayer("c", in_channels=3, out_channels=4)
+    with pytest.raises(ValueError):
+        layer.output_shape(Shape(5, 8, 8))  # wrong channel count
+
+
+def test_fc_layer_validation():
+    layer = FCLayer("fc", in_features=16, out_features=4)
+    with pytest.raises(ValueError):
+        layer.output_shape(Shape(3, 3, 3))  # 27 features != 16
+
+
+def test_network_requires_input_layer_first():
+    with pytest.raises(ValueError):
+        Network("bad", [ReluLayer("r")])
+    with pytest.raises(ValueError):
+        Network("bad", [])
+
+
+def test_network_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        Network("bad", [
+            InputLayer("input", Shape(3, 8, 8)),
+            ReluLayer("x"),
+            ReluLayer("x"),
+        ])
+
+
+def test_network_rejects_geometry_mismatch_at_construction():
+    with pytest.raises(ValueError):
+        Network("bad", [
+            InputLayer("input", Shape(3, 8, 8)),
+            ConvLayer("conv", in_channels=5, out_channels=4),
+        ])
+
+
+def test_layer_lookup():
+    net = small_net()
+    assert net.layer("conv1").out_channels == 4
+    with pytest.raises(KeyError):
+        net.layer("missing")
+    with pytest.raises(KeyError):
+        net.info("missing")
+
+
+def test_summary_mentions_layers():
+    text = small_net().summary()
+    for name in ("conv1", "pool1", "fc"):
+        assert name in text
+
+
+def test_pool_and_pad_cost_nothing():
+    net = small_net()
+    assert net.layer("pool1").macs(Shape(4, 8, 8)) == 0
+    assert net.layer("pad1").param_count() == 0

@@ -1,0 +1,181 @@
+"""Tests for the float reference executor, checked against naive loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (Shape, build_vgg16, conv2d, fully_connected,
+                      generate_image, generate_weights, maxpool2d, relu,
+                      run_network, softmax, zero_pad)
+from repro.nn.graph import Network
+from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+
+
+def naive_conv2d(ifm, weights, bias=None, stride=1, pad=0):
+    """Direct quadruple-loop convolution, the unarguable definition."""
+    out_ch, in_ch, kh, kw = weights.shape
+    x = np.pad(ifm, ((0, 0), (pad, pad), (pad, pad)))
+    out_h = (x.shape[1] - kh) // stride + 1
+    out_w = (x.shape[2] - kw) // stride + 1
+    out = np.zeros((out_ch, out_h, out_w))
+    for o in range(out_ch):
+        for y in range(out_h):
+            for xw in range(out_w):
+                acc = 0.0
+                for c in range(in_ch):
+                    patch = x[c, y * stride:y * stride + kh,
+                              xw * stride:xw * stride + kw]
+                    acc += float((patch * weights[o, c]).sum())
+                out[o, y, xw] = acc + (bias[o] if bias is not None else 0.0)
+    return out
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_conv2d_matches_naive(seed):
+    rng = np.random.default_rng(seed)
+    in_ch = int(rng.integers(1, 4))
+    out_ch = int(rng.integers(1, 4))
+    h = int(rng.integers(3, 10))
+    w = int(rng.integers(3, 10))
+    kernel = int(rng.choice([1, 3]))
+    stride = int(rng.choice([1, 2]))
+    pad = int(rng.choice([0, 1]))
+    ifm = rng.normal(size=(in_ch, h, w))
+    weights = rng.normal(size=(out_ch, in_ch, kernel, kernel))
+    bias = rng.normal(size=out_ch)
+    got = conv2d(ifm, weights, bias, stride=stride, pad=pad)
+    want = naive_conv2d(ifm, weights, bias, stride=stride, pad=pad)
+    np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+def test_conv2d_validates_inputs():
+    with pytest.raises(ValueError):
+        conv2d(np.zeros((3, 8, 8)), np.zeros((4, 5, 3, 3)))
+    with pytest.raises(ValueError):
+        conv2d(np.zeros((3, 8, 8)), np.zeros((4, 3, 3, 3)),
+               bias=np.zeros(5))
+    with pytest.raises(ValueError):
+        conv2d(np.zeros((3, 2, 2)), np.zeros((4, 3, 3, 3)))
+
+
+def test_maxpool_matches_naive():
+    rng = np.random.default_rng(0)
+    ifm = rng.normal(size=(4, 8, 8))
+    got = maxpool2d(ifm, size=2, stride=2)
+    assert got.shape == (4, 4, 4)
+    for c in range(4):
+        for y in range(4):
+            for x in range(4):
+                window = ifm[c, 2 * y:2 * y + 2, 2 * x:2 * x + 2]
+                assert got[c, y, x] == window.max()
+
+
+def test_maxpool_odd_input_floor_mode():
+    ifm = np.arange(49, dtype=float).reshape(1, 7, 7)
+    out = maxpool2d(ifm, size=2, stride=2)
+    assert out.shape == (1, 3, 3)
+    assert out[0, 0, 0] == ifm[0, 1, 1]
+
+
+def test_zero_pad():
+    ifm = np.ones((2, 3, 3))
+    out = zero_pad(ifm, 1)
+    assert out.shape == (2, 5, 5)
+    assert out[:, 0, :].sum() == 0
+    assert out[:, 1:4, 1:4].sum() == 18
+    assert zero_pad(ifm, 0).shape == ifm.shape
+    with pytest.raises(ValueError):
+        zero_pad(ifm, -1)
+
+
+def test_pad_is_copy_even_for_zero_pad():
+    ifm = np.ones((1, 2, 2))
+    out = zero_pad(ifm, 0)
+    out[0, 0, 0] = 99.0
+    assert ifm[0, 0, 0] == 1.0
+
+
+def test_relu():
+    x = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+    np.testing.assert_array_equal(relu(x), [0.0, 0.0, 0.0, 0.5, 2.0])
+
+
+def test_fully_connected():
+    weights = np.array([[1.0, 2.0], [3.0, 4.0]])
+    x = np.array([10.0, 20.0])
+    np.testing.assert_allclose(fully_connected(x, weights), [50.0, 110.0])
+    np.testing.assert_allclose(
+        fully_connected(x, weights, np.array([1.0, -1.0])), [51.0, 109.0])
+    with pytest.raises(ValueError):
+        fully_connected(np.zeros(3), weights)
+
+
+def test_softmax_properties():
+    x = np.array([1.0, 2.0, 3.0])
+    out = softmax(x)
+    assert out.sum() == pytest.approx(1.0)
+    assert np.all(out > 0)
+    assert out.argmax() == 2
+    # Stability for large magnitudes.
+    big = softmax(np.array([1000.0, 1000.0]))
+    np.testing.assert_allclose(big, [0.5, 0.5])
+
+
+def tiny_network():
+    return Network("tiny", [
+        InputLayer("input", Shape(2, 6, 6)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=2, out_channels=3, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=27, out_features=5),
+        SoftmaxLayer("prob"),
+    ])
+
+
+def test_run_network_end_to_end():
+    net = tiny_network()
+    weights, biases = generate_weights(net, seed=1)
+    image = generate_image((2, 6, 6), seed=2)
+    out = run_network(net, weights, image, biases)
+    assert out.shape == (5, 1, 1)
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_run_network_explicit_pad_equals_fused_pad():
+    """PadLayer + pad=0 conv must equal a pad=1 conv exactly."""
+    explicit = tiny_network()
+    fused = Network("fused", [
+        InputLayer("input", Shape(2, 6, 6)),
+        ConvLayer("conv1", in_channels=2, out_channels=3, kernel=3, pad=1),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=27, out_features=5),
+        SoftmaxLayer("prob"),
+    ])
+    weights, biases = generate_weights(explicit, seed=3)
+    image = generate_image((2, 6, 6), seed=4)
+    out_a = run_network(explicit, weights, image, biases)
+    out_b = run_network(fused, weights, image, biases)
+    np.testing.assert_allclose(out_a, out_b)
+
+
+def test_run_network_rejects_wrong_input_shape():
+    net = tiny_network()
+    weights, biases = generate_weights(net)
+    with pytest.raises(ValueError):
+        run_network(net, weights, np.zeros((2, 5, 5)), biases)
+
+
+def test_vgg16_small_inference_runs():
+    """Scaled-down VGG-16 runs end to end through the reference path."""
+    net = build_vgg16(input_hw=32)
+    weights, biases = generate_weights(net, seed=0)
+    image = generate_image((3, 32, 32), seed=0)
+    out = run_network(net, weights, image, biases)
+    assert out.shape == (1000, 1, 1)
+    assert out.sum() == pytest.approx(1.0)

@@ -1,0 +1,66 @@
+"""Tests for tensor conventions and shape arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nn import (Shape, assert_chw, assert_ochw, conv_output_hw,
+                      pool_output_hw, shape_of)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        Shape(0, 4, 4)
+    with pytest.raises(ValueError):
+        Shape(3, -1, 4)
+
+
+def test_shape_helpers():
+    shape = Shape(3, 224, 224)
+    assert shape.size == 3 * 224 * 224
+    assert shape.as_tuple() == (3, 224, 224)
+    assert str(shape) == "3x224x224"
+
+
+def test_assert_chw_and_ochw():
+    assert_chw(np.zeros((3, 4, 4)))
+    assert_ochw(np.zeros((8, 3, 3, 3)))
+    with pytest.raises(ValueError):
+        assert_chw(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        assert_ochw(np.zeros((3, 4, 4)))
+
+
+def test_shape_of():
+    assert shape_of(np.zeros((2, 5, 7))) == Shape(2, 5, 7)
+
+
+def test_conv_output_known_cases():
+    # VGG conv: 224x224, k=3, s=1, p=1 -> 224x224.
+    assert conv_output_hw(224, 224, 3, 1, 1) == (224, 224)
+    # Valid conv on padded input: 226x226, k=3, s=1, p=0 -> 224x224.
+    assert conv_output_hw(226, 226, 3, 1, 0) == (224, 224)
+    assert conv_output_hw(8, 8, 3, 2, 1) == (4, 4)
+
+
+def test_pool_output_known_cases():
+    assert pool_output_hw(224, 224, 2, 2) == (112, 112)
+    assert pool_output_hw(7, 7, 2, 2) == (3, 3)  # floor mode
+
+
+def test_collapsing_geometry_raises():
+    with pytest.raises(ValueError):
+        conv_output_hw(2, 2, 5, 1, 0)
+    with pytest.raises(ValueError):
+        pool_output_hw(1, 1, 2, 2)
+
+
+@given(h=st.integers(3, 64), w=st.integers(3, 64),
+       k=st.integers(1, 3), s=st.integers(1, 3), p=st.integers(0, 2))
+def test_conv_output_matches_range_count(h, w, k, s, p):
+    """Output size equals the number of valid kernel placements."""
+    if h + 2 * p < k or w + 2 * p < k:
+        return
+    out_h, out_w = conv_output_hw(h, w, k, s, p)
+    assert out_h == len(range(0, h + 2 * p - k + 1, s))
+    assert out_w == len(range(0, w + 2 * p - k + 1, s))

@@ -1,0 +1,93 @@
+"""Tests pinning the VGG-16 specification to the published network."""
+
+import pytest
+
+from repro.nn import (ConvLayer, Shape, VGG16_CONV_NAMES, build_vgg16,
+                      conv_workloads, total_conv_macs, vgg16_conv_specs)
+
+
+def test_thirteen_conv_layers():
+    net = build_vgg16()
+    convs = net.conv_infos()
+    assert len(convs) == 13
+    assert [c.layer.name for c in convs] == VGG16_CONV_NAMES
+
+
+def test_all_filters_are_3x3():
+    """Paper Section II-B: all convolutional filters are 3x3 pixels."""
+    net = build_vgg16()
+    for info in net.conv_infos():
+        layer = info.layer
+        assert isinstance(layer, ConvLayer)
+        assert layer.kernel == 3
+        assert layer.stride == 1
+
+
+def test_parameter_count_matches_published_vgg16():
+    """Paper Section II-B: over 130M parameters. Exact: 138,357,544."""
+    net = build_vgg16()
+    assert net.total_params() == 138_357_544
+
+
+def test_conv_macs_match_published_vgg16():
+    """VGG-16 convolution work is ~15.35 GMACs at 224x224."""
+    net = build_vgg16()
+    macs = net.conv_macs()
+    assert macs == total_conv_macs(net)
+    assert 15.3e9 < macs < 15.4e9
+
+
+def test_output_is_1000_classes():
+    net = build_vgg16()
+    assert net.output_shape == Shape(1000, 1, 1)
+
+
+def test_conv_stack_shapes():
+    net = build_vgg16()
+    assert net.info("conv1_1").out_shape == Shape(64, 224, 224)
+    assert net.info("conv3_1").out_shape == Shape(256, 56, 56)
+    assert net.info("conv5_3").out_shape == Shape(512, 14, 14)
+    assert net.info("pool5").out_shape == Shape(512, 7, 7)
+
+
+def test_explicit_padding_matches_fused_formulation():
+    explicit = build_vgg16(explicit_padding=True)
+    fused = build_vgg16(explicit_padding=False)
+    assert explicit.total_params() == fused.total_params()
+    assert explicit.conv_macs() == fused.conv_macs()
+    assert explicit.output_shape == fused.output_shape
+
+
+def test_scaled_down_network_is_consistent():
+    net = build_vgg16(input_hw=32)
+    assert len(net.conv_infos()) == 13
+    assert net.info("pool5").out_shape == Shape(512, 1, 1)
+    assert net.output_shape == Shape(1000, 1, 1)
+
+
+def test_input_hw_must_be_multiple_of_32():
+    with pytest.raises(ValueError):
+        build_vgg16(input_hw=100)
+
+
+def test_conv_specs_use_unpadded_inputs():
+    specs = vgg16_conv_specs()
+    names = [name for name, _, _ in specs]
+    assert names == VGG16_CONV_NAMES
+    name, in_shape, out_shape = specs[0]
+    assert in_shape == Shape(3, 224, 224)
+    assert out_shape == Shape(64, 224, 224)
+
+
+def test_workloads_weight_to_fm_ratio_grows_with_depth():
+    """The paper explains best/worst layers via this ratio (Section V)."""
+    workloads = conv_workloads(build_vgg16(explicit_padding=False))
+    first = workloads[0].weight_to_fm_ratio
+    last = workloads[-1].weight_to_fm_ratio
+    assert last > 100 * first
+
+
+def test_workloads_identical_for_both_formulations():
+    explicit = conv_workloads(build_vgg16(explicit_padding=True))
+    fused = conv_workloads(build_vgg16(explicit_padding=False))
+    assert explicit == fused

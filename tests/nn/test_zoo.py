@@ -1,0 +1,71 @@
+"""Tests for the network zoo (VGG variants + CIFAR quicknet)."""
+
+import pytest
+
+from repro.nn import (Shape, VGG_CONFIGS, build_cifar_quicknet, build_vgg,
+                      build_vgg11, build_vgg13, build_vgg16, build_vgg19)
+
+
+def test_config_catalogue():
+    assert set(VGG_CONFIGS) == {"A", "B", "D", "E"}
+    conv_counts = {name: sum(len(b) for b in blocks)
+                   for name, blocks in VGG_CONFIGS.items()}
+    assert conv_counts == {"A": 8, "B": 10, "D": 13, "E": 16}
+
+
+def test_vgg_d_equals_vgg16():
+    """Configuration D is the paper's VGG-16 exactly."""
+    zoo = build_vgg("D")
+    reference = build_vgg16(explicit_padding=True)
+    assert zoo.total_params() == reference.total_params()
+    assert zoo.conv_macs() == reference.conv_macs()
+    assert [i.layer.name for i in zoo.conv_infos()] == \
+        [i.layer.name for i in reference.conv_infos()]
+
+
+def test_published_parameter_counts():
+    """Published totals: VGG-11 132.9M, VGG-13 133.0M, VGG-19 143.7M."""
+    assert build_vgg11().total_params() == 132_863_336
+    assert build_vgg13().total_params() == 133_047_848
+    assert build_vgg19().total_params() == 143_667_240
+
+
+def test_depth_ordering():
+    macs = [build_vgg(c).conv_macs() for c in ("A", "B", "D", "E")]
+    assert macs == sorted(macs)
+
+
+def test_unknown_config_and_bad_size():
+    with pytest.raises(KeyError):
+        build_vgg("Z")
+    with pytest.raises(ValueError):
+        build_vgg("A", input_hw=100)
+
+
+def test_custom_classes_and_size():
+    net = build_vgg11(input_hw=64, num_classes=17)
+    assert net.output_shape == Shape(17, 1, 1)
+    assert net.info("pool5").out_shape == Shape(512, 2, 2)
+
+
+def test_cifar_quicknet_geometry():
+    net = build_cifar_quicknet()
+    assert net.output_shape == Shape(10, 1, 1)
+    assert len(net.conv_infos()) == 6
+    assert net.info("pool3").out_shape == Shape(128, 4, 4)
+    # Small enough for cycle-accurate execution: < 50 MMACs.
+    assert net.conv_macs() < 50e6
+
+
+def test_zoo_networks_quantize_and_run():
+    """Every zoo entry flows through the quantized pipeline."""
+    import numpy as np
+    from repro.nn import generate_image, generate_weights
+    from repro.quant import quantize_network, run_quantized
+    net = build_cifar_quicknet(num_classes=5)
+    weights, biases = generate_weights(net, seed=0)
+    image = generate_image((3, 32, 32), seed=0)
+    model = quantize_network(net, weights, biases, image)
+    out = run_quantized(net, model, image)
+    assert out.shape == (5, 1, 1)
+    assert np.isclose(out.sum(), 1.0)

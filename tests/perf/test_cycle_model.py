@@ -1,0 +1,147 @@
+"""Tests for the analytic cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.core import VARIANT_16_UNOPT, VARIANT_256_OPT, VARIANT_512_OPT
+from repro.perf import (CycleModelParams, conv_layer_cycles,
+                        padpool_layer_cycles, params_for_variant)
+
+
+def dense_nnz(out_ch, in_ch, kernel=3):
+    return np.full((out_ch, in_ch), kernel * kernel, dtype=np.int64)
+
+
+def simple_layer(nnz, in_ch=8, out_ch=8, hw=18, instances=1, params=None):
+    return conv_layer_cycles(
+        "layer", (in_ch, hw, hw), (out_ch, hw - 2, hw - 2), 3, nnz,
+        params or CycleModelParams(), instances=instances)
+
+
+def test_dense_layer_hand_computed():
+    """8ch 18x18 -> 8ch 16x16, dense 3x3: verify against arithmetic."""
+    params = CycleModelParams()
+    result = simple_layer(dense_nnz(8, 8))
+    # 2 groups, 16 positions, 2 channels/unit, 9 cycles/channel.
+    # position work = 2 * 9 = 18; + prologue 4 + barrier 1 = 23.
+    # weight load/group: bytes = 4*2 + 2*(9*4*2) = 152 -> 10 cycles.
+    # total = 3 + 4 + 2*(10 + 16*23) = 763.
+    expected = (params.instruction_overhead + params.drain_cycles
+                + 2 * (10 + 16 * 23))
+    assert result.cycles == expected
+    assert result.instance_cycles == (expected,)
+    assert result.macs_nominal == 8 * 16 * 16 * 8 * 9
+    assert result.macs_applied == 16 * 16 * np.sum(dense_nnz(8, 8)) * 1
+    assert result.dma_cycles == 0  # model defaults: DMA off
+
+
+def test_zero_channels_are_skipped():
+    """All-zero channels cost nothing — but only if every lane sheds one
+    (the barrier synchronizes to the slowest staging unit)."""
+    one_unit = dense_nnz(8, 8)
+    one_unit[:, 2] = 0   # only unit 2 loses a channel: max unchanged
+    every_unit = dense_nnz(8, 8)
+    every_unit[:, :4] = 0  # one channel per unit: max drops
+    full = simple_layer(dense_nnz(8, 8))
+    assert simple_layer(one_unit).compute_cycles == full.compute_cycles
+    assert simple_layer(every_unit).compute_cycles < full.compute_cycles
+
+
+def test_min_cycles_floor():
+    """nnz below 4 still costs 4 compute cycles (IFM preload bound).
+
+    Total cycles differ slightly (shorter packed streams load faster);
+    the *compute* cost is identical at the floor.
+    """
+    barely = simple_layer(np.full((8, 8), 1, dtype=np.int64))
+    floor = simple_layer(np.full((8, 8), 4, dtype=np.int64))
+    assert barely.compute_cycles == floor.compute_cycles
+    assert barely.weight_load_cycles <= floor.weight_load_cycles
+
+
+def test_group_imbalance_costs_max():
+    """One dense filter per group forces the whole group to 9 cycles."""
+    balanced = np.full((8, 8), 4, dtype=np.int64)
+    skewed = balanced.copy()
+    skewed[0, :] = 9   # filter 0 dense; group 0 pays 9 everywhere
+    cost_balanced = simple_layer(balanced)
+    cost_skewed = simple_layer(skewed)
+    assert cost_skewed.cycles > cost_balanced.cycles
+
+
+def test_nnz_shape_validated():
+    with pytest.raises(ValueError):
+        simple_layer(dense_nnz(4, 4))  # wrong shape for 8x8 layer
+
+
+def test_multi_instance_splits_work():
+    nnz = dense_nnz(16, 16)
+    one = conv_layer_cycles("l", (16, 34, 34), (16, 32, 32), 3, nnz,
+                            CycleModelParams(), instances=1)
+    two = conv_layer_cycles("l", (16, 34, 34), (16, 32, 32), 3, nnz,
+                            CycleModelParams(), instances=2)
+    assert len(two.instance_cycles) == 2
+    # Near-halving (stripe split adds per-stripe fixed costs).
+    assert two.cycles < 0.62 * one.cycles
+
+
+def test_weight_heavy_layer_has_higher_unpack_share():
+    """Deep-layer shape (small FM, many channels) vs early-layer shape."""
+    deep = conv_layer_cycles("deep", (256, 16, 16), (256, 14, 14), 3,
+                             dense_nnz(256, 256), CycleModelParams())
+    early = conv_layer_cycles("early", (32, 58, 58), (32, 56, 56), 3,
+                              dense_nnz(32, 32), CycleModelParams())
+    deep_share = deep.weight_load_cycles / deep.cycles
+    early_share = early.weight_load_cycles / early.cycles
+    assert deep_share > 2 * early_share
+
+
+def test_best_group_rate_conventions():
+    """Dense ~1.0; floored sparse = kernel_area/min_cycles = 2.25."""
+    dense = simple_layer(dense_nnz(8, 8))
+    assert dense.best_group_rate == pytest.approx(1.0)
+    floored = simple_layer(np.full((8, 8), 2, dtype=np.int64))
+    assert floored.best_group_rate == pytest.approx(9 / 4)
+
+
+def test_params_for_variant():
+    p256 = params_for_variant(VARIANT_256_OPT)
+    assert p256.lanes == 4 and p256.group_size == 4
+    assert p256.macs_per_cycle == 256
+    p16 = params_for_variant(VARIANT_16_UNOPT)
+    assert p16.lanes == 1 and p16.group_size == 1
+    assert p16.macs_per_cycle == 16
+    assert p16.dma_bytes_per_cycle == 32
+
+
+def test_16_unopt_has_no_grouping_bubbles():
+    """group_size=1: zero-skipping is perfect per filter."""
+    rng = np.random.default_rng(0)
+    nnz = rng.integers(4, 10, size=(8, 8))
+    p16 = params_for_variant(VARIANT_16_UNOPT)
+    p16 = CycleModelParams(lanes=1, group_size=1, barrier_overhead=0)
+    result = simple_layer(nnz, params=p16)
+    # Position work equals the exact sum of per-filter nnz (>= floor 4).
+    expected_work = int(np.maximum(nnz, 4).sum())
+    per_position = 16  # 4x4 tile grid
+    assert result.compute_cycles == expected_work * per_position
+
+
+def test_dma_model_adds_time():
+    on = CycleModelParams(dma_bytes_per_cycle=32)
+    off = CycleModelParams(dma_bytes_per_cycle=None)
+    with_dma = simple_layer(dense_nnz(8, 8), params=on)
+    without = simple_layer(dense_nnz(8, 8), params=off)
+    assert with_dma.dma_cycles > 0
+    assert with_dma.cycles == without.cycles + with_dma.dma_cycles
+
+
+def test_padpool_cycles():
+    params = CycleModelParams()
+    cycles = padpool_layer_cycles(channels=8, out_tiles_y=4, out_tiles_x=4,
+                                  params=params)
+    # 2 local channels x 16 tiles x 4 loads + fixed overheads.
+    assert cycles == 2 * 16 * 4 + params.instruction_overhead \
+        + params.drain_cycles
+    halved = padpool_layer_cycles(8, 4, 4, params, instances=2)
+    assert halved < cycles

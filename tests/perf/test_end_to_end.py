@@ -1,0 +1,64 @@
+"""Tests for the end-to-end latency model."""
+
+import pytest
+
+from repro.core import (VARIANT_256_OPT, VARIANT_256_UNOPT, VARIANT_512_OPT)
+from repro.perf import (NetworkLatency, network_latency, vgg16_latency,
+                        vgg16_model_layers)
+from repro.nn import build_vgg16
+
+
+@pytest.fixture(scope="module")
+def latency_512():
+    return vgg16_latency(VARIANT_512_OPT, pruned=False, seed=0)
+
+
+def test_latency_components_positive(latency_512):
+    assert latency_512.conv_s > 0
+    assert latency_512.padpool_s > 0
+    assert latency_512.fc_arm_s > 0
+    assert latency_512.total_s == pytest.approx(
+        latency_512.conv_s + latency_512.padpool_s
+        + latency_512.fc_arm_s)
+    assert latency_512.fps == pytest.approx(1.0 / latency_512.total_s)
+
+
+def test_conv_dominates(latency_512):
+    """Section I's premise: convolution is most of the compute."""
+    assert latency_512.conv_share > 0.8
+
+
+def test_fc_time_matches_hand_calculation():
+    lat = vgg16_latency(VARIANT_512_OPT, pruned=False, seed=0,
+                        arm_clock_mhz=800.0, arm_macs_per_cycle=4.0)
+    fc_macs = 25088 * 4096 + 4096 * 4096 + 4096 * 1000
+    assert lat.fc_arm_s == pytest.approx(fc_macs / (4.0 * 800e6))
+
+
+def test_slower_arm_shifts_share():
+    fast_arm = vgg16_latency(VARIANT_512_OPT, pruned=True,
+                             arm_macs_per_cycle=8.0)
+    slow_arm = vgg16_latency(VARIANT_512_OPT, pruned=True,
+                             arm_macs_per_cycle=1.0)
+    assert slow_arm.fc_arm_s == pytest.approx(8 * fast_arm.fc_arm_s)
+    assert slow_arm.conv_share < fast_arm.conv_share
+
+
+def test_pruning_and_clock_scaling():
+    unpruned = vgg16_latency(VARIANT_512_OPT, pruned=False)
+    pruned = vgg16_latency(VARIANT_512_OPT, pruned=True)
+    assert pruned.conv_s < unpruned.conv_s
+    # conv-time ratio between 256-unopt and 256-opt is the clock ratio
+    # (identical architecture, identical cycle counts).
+    unopt = vgg16_latency(VARIANT_256_UNOPT, pruned=False)
+    opt = vgg16_latency(VARIANT_256_OPT, pruned=False)
+    assert unopt.conv_s / opt.conv_s == pytest.approx(150 / 55, rel=0.01)
+
+
+def test_network_latency_generic_entry():
+    network = build_vgg16(explicit_padding=True)
+    layers = vgg16_model_layers(pruned=False, seed=0)
+    lat = network_latency(network, VARIANT_256_OPT, layers, "vgg16")
+    assert isinstance(lat, NetworkLatency)
+    direct = vgg16_latency(VARIANT_256_OPT, pruned=False, seed=0)
+    assert lat.total_s == pytest.approx(direct.total_s)

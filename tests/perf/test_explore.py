@@ -1,0 +1,76 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.perf import (DesignPoint, evaluate_design, explore,
+                        pareto_frontier, vgg16_model_layers)
+
+
+@pytest.fixture(scope="module")
+def layers():
+    # Scaled-down VGG keeps the sweep fast; geometry trends carry over.
+    return vgg16_model_layers(pruned=False, seed=0, input_hw=64)
+
+
+def test_paper_point_reproduced(layers):
+    """Lanes=4, one instance, 512 KiB banks @150 MHz = the 256-opt."""
+    point = evaluate_design(4, 1, 512 * 1024, 150.0, layers)
+    assert point is not None
+    assert point.clock_mhz == pytest.approx(150.0)
+    assert point.alm_utilization == pytest.approx(0.44, abs=0.02)
+
+
+def test_congestion_applies_to_big_designs(layers):
+    dual = evaluate_design(4, 2, 512 * 1024, 150.0, layers)
+    assert dual is not None
+    assert dual.clock_mhz < 130.0   # congestion-limited, like 512-opt
+
+
+def test_oversized_designs_dropped(layers):
+    assert evaluate_design(8, 2, 512 * 1024, 150.0, layers) is None
+
+
+def test_explore_returns_feasible_points(layers):
+    points = explore(layers, lanes_options=(2, 4, 8),
+                     instance_options=(1, 2),
+                     bank_options=(512 * 1024,))
+    names = [p.name for p in points]
+    assert len(names) == len(set(names))
+    assert len(points) == 4   # lanes-8 configurations do not fit
+    assert all(p.mean_gops > 0 for p in points)
+    # More hardware, more throughput.
+    ordered = sorted(points, key=lambda p: p.lanes * p.lanes * p.instances)
+    gops = [p.mean_gops for p in ordered]
+    assert gops == sorted(gops)
+
+
+def test_pareto_frontier_properties(layers):
+    points = explore(layers, lanes_options=(2, 4),
+                     instance_options=(1, 2),
+                     bank_options=(512 * 1024,))
+    frontier = pareto_frontier(points)
+    assert frontier
+    assert set(frontier) <= set(points)
+    # Frontier sorted by throughput and not internally dominated.
+    gops = [p.mean_gops for p in frontier]
+    assert gops == sorted(gops)
+    for a in frontier:
+        for b in frontier:
+            if a is b:
+                continue
+            dominates = (b.mean_gops >= a.mean_gops
+                         and b.fpga_power_w <= a.fpga_power_w
+                         and b.alm_utilization <= a.alm_utilization
+                         and (b.mean_gops > a.mean_gops
+                              or b.fpga_power_w < a.fpga_power_w
+                              or b.alm_utilization < a.alm_utilization))
+            assert not dominates
+
+
+def test_dominated_point_is_excluded():
+    good = DesignPoint("good", 4, 1, 1, 150.0, 0.4, 0.4, 2.0, 40.0)
+    bad = DesignPoint("bad", 4, 1, 1, 150.0, 0.5, 0.5, 2.5, 30.0)
+    frontier = pareto_frontier([good, bad])
+    assert frontier == [good]
+    assert good.gops_per_watt == pytest.approx(20.0)
+    assert good.gops_per_kalm > 0

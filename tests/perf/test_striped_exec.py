@@ -1,0 +1,89 @@
+"""Striped execution must be bit-identical to whole-layer execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance, PackedLayer,
+                        execute_conv)
+from repro.hls import Simulator
+from repro.perf.striped_exec import (execute_conv_striped,
+                                     multi_instance_wall_cycles)
+
+
+def whole_layer_reference(ifm, packed, biases, shift, relu):
+    sim = Simulator("whole")
+    instance = AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=1 << 16))
+    ofm, cycles = execute_conv(instance, ifm, packed, biases=biases,
+                               shift=shift, apply_relu=relu)
+    return ofm, cycles
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_striped_matches_whole_layer(seed):
+    rng = np.random.default_rng(seed)
+    channels = int(rng.integers(4, 9))
+    out_channels = int(rng.integers(4, 9))
+    height = int(rng.integers(18, 30))
+    width = int(rng.integers(10, 16))
+    ifm = rng.integers(-30, 31, size=(channels, height, width))
+    weights = rng.integers(-30, 31, size=(out_channels, channels, 3, 3))
+    weights[rng.random(weights.shape) >= 0.5] = 0
+    biases = rng.integers(-50, 51, size=out_channels)
+    packed = PackedLayer.pack(weights)
+
+    whole, _ = whole_layer_reference(ifm, packed, biases, 2, True)
+    striped = execute_conv_striped(ifm, packed, biases=biases, shift=2,
+                                   apply_relu=True, bank_capacity=4096,
+                                   max_rows_cap=2)
+    assert striped.plan.count > 1, "test must actually stripe"
+    np.testing.assert_array_equal(striped.ofm, whole)
+
+
+def test_striped_halo_rows_are_loaded():
+    """Each stripe beyond the first re-reads halo rows; dropping them
+    would corrupt the stripe-boundary outputs (this is what the halo
+    accounting in the planner pays for)."""
+    rng = np.random.default_rng(7)
+    ifm = rng.integers(-30, 31, size=(4, 26, 10))
+    weights = rng.integers(1, 20, size=(4, 4, 3, 3))  # dense
+    packed = PackedLayer.pack(weights)
+    whole, _ = whole_layer_reference(ifm, packed, None, 0, False)
+    striped = execute_conv_striped(ifm, packed, bank_capacity=4096,
+                                   max_rows_cap=3)
+    assert striped.plan.count >= 2
+    np.testing.assert_array_equal(striped.ofm, whole)
+    # Boundary rows (tile-row edges) are the sensitive ones.
+    boundary = striped.plan.stripes[0].rows * 4
+    np.testing.assert_array_equal(striped.ofm[:, boundary - 1, :],
+                                  whole[:, boundary - 1, :])
+    np.testing.assert_array_equal(striped.ofm[:, boundary, :],
+                                  whole[:, boundary, :])
+
+
+def test_stripe_cycles_sum_close_to_whole_layer():
+    """Striping costs extra weight reloads + per-stripe overhead, but
+    the bulk compute is unchanged."""
+    rng = np.random.default_rng(8)
+    ifm = rng.integers(-20, 21, size=(4, 26, 10))
+    weights = rng.integers(1, 20, size=(4, 4, 3, 3))
+    packed = PackedLayer.pack(weights)
+    _, whole_cycles = whole_layer_reference(ifm, packed, None, 0, False)
+    striped = execute_conv_striped(ifm, packed, bank_capacity=4096,
+                                   max_rows_cap=3)
+    assert striped.total_cycles >= whole_cycles
+    assert striped.total_cycles < 1.3 * whole_cycles
+
+
+def test_multi_instance_wall_cycles():
+    rng = np.random.default_rng(9)
+    ifm = rng.integers(-20, 21, size=(4, 34, 10))
+    weights = rng.integers(1, 20, size=(4, 4, 3, 3))
+    packed = PackedLayer.pack(weights)
+    striped = execute_conv_striped(ifm, packed, bank_capacity=4096,
+                                   instances=2, max_rows_cap=3)
+    assert striped.plan.count >= 2
+    one = multi_instance_wall_cycles(striped, 1)
+    two = multi_instance_wall_cycles(striped, 2)
+    assert one == striped.total_cycles
+    assert max(striped.stripe_cycles) <= two < one

@@ -1,0 +1,88 @@
+"""Tests for stripe planning and overhead accounting."""
+
+import pytest
+
+from repro.perf import plan_conv_stripes, conv_row_costs, Stripe
+
+
+def test_row_costs():
+    ifm_cost, ofm_cost = conv_row_costs(
+        in_channels=64, out_channels=64, ifm_tiles_x=57, ofm_tiles_x=56)
+    assert ifm_cost == 16 * 57 * 16   # 16 local channels x 57 tiles x 16
+    assert ofm_cost == 16 * 56 * 16   # 16 groups x 56 tiles x 16
+
+
+def test_small_layer_single_stripe():
+    plan = plan_conv_stripes((8, 18, 18), (8, 16, 16), kernel=3,
+                             weight_bytes_per_unit=100,
+                             bank_capacity=1 << 16)
+    assert plan.count == 1
+    assert plan.stripes[0] == Stripe(row0=0, rows=4)
+    assert plan.halo_overhead == 0.0
+    assert plan.tile_pad_overhead == pytest.approx(0.0)
+
+
+def test_large_layer_stripes_and_cover_rows():
+    # conv1_2-like: 64ch 226x226 in, 64ch 224x224 out.
+    plan = plan_conv_stripes((64, 226, 226), (64, 224, 224), kernel=3,
+                             weight_bytes_per_unit=2048)
+    assert plan.count > 1
+    assert sum(s.rows for s in plan.stripes) == plan.ofm_tile_rows == 56
+    rows_seen = []
+    for stripe in plan.stripes:
+        rows_seen.extend(range(stripe.row0, stripe.row0 + stripe.rows))
+    assert rows_seen == list(range(56))
+    assert 0.0 < plan.halo_overhead < 0.2
+    assert plan.overhead_fraction > plan.compute_overhead_fraction
+
+
+def test_tile_pad_overhead_for_14x14():
+    """Deep VGG layers (14x14) compute whole 16x16 tiles: ~31% extra."""
+    plan = plan_conv_stripes((512, 16, 16), (512, 14, 14), kernel=3,
+                             weight_bytes_per_unit=4096)
+    assert plan.tile_pad_overhead == pytest.approx(16 * 16 / (14 * 14) - 1)
+    assert plan.compute_overhead_fraction == plan.tile_pad_overhead
+
+
+def test_multi_instance_forces_stripe_split():
+    plan = plan_conv_stripes((512, 16, 16), (512, 14, 14), kernel=3,
+                             weight_bytes_per_unit=4096, instances=2)
+    assert plan.count >= 2
+    buckets = plan.assign(2)
+    assert len(buckets) == 2
+    assert all(bucket for bucket in buckets)
+    assert sum(len(b) for b in buckets) == plan.count
+
+
+def test_instance_count_capped_by_rows():
+    """A one-tile-row layer cannot feed two instances."""
+    plan = plan_conv_stripes((16, 6, 6), (16, 4, 4), kernel=3,
+                             weight_bytes_per_unit=128, instances=2)
+    assert plan.count == 1
+
+
+def test_assign_validates():
+    plan = plan_conv_stripes((8, 18, 18), (8, 16, 16), kernel=3,
+                             weight_bytes_per_unit=100)
+    with pytest.raises(ValueError):
+        plan.assign(0)
+
+
+def test_layer_too_big_raises():
+    with pytest.raises(ValueError):
+        plan_conv_stripes((1024, 18, 18), (1024, 16, 16), kernel=3,
+                          weight_bytes_per_unit=100, bank_capacity=4096)
+
+
+def test_kernel_one_has_no_halo():
+    plan = plan_conv_stripes((64, 224, 224), (64, 224, 224), kernel=1,
+                             weight_bytes_per_unit=512)
+    assert plan.halo_rows_per_stripe == 0
+    assert plan.halo_overhead == 0.0
+
+
+def test_stripe_validation():
+    with pytest.raises(ValueError):
+        Stripe(row0=0, rows=0)
+    with pytest.raises(ValueError):
+        Stripe(row0=-1, rows=2)

@@ -1,0 +1,56 @@
+"""Model-vs-simulator cross-validation (the model's licence to exist)."""
+
+import numpy as np
+import pytest
+
+from repro.perf import validate_conv, validation_sweep
+
+
+def test_validation_sweep_matches_closely():
+    results = validation_sweep(list(range(10)))
+    assert all(r.functional_match for r in results)
+    for result in results:
+        assert result.relative_error <= 0.02, (
+            result.sim_cycles, result.model_cycles)
+
+
+def test_validation_exact_on_dense_case():
+    rng = np.random.default_rng(123)
+    ifm = rng.integers(-30, 31, size=(8, 14, 14))
+    weights = rng.integers(1, 31, size=(8, 8, 3, 3))  # fully dense
+    result = validate_conv(ifm, weights, shift=1)
+    assert result.functional_match
+    assert result.sim_cycles == result.model_cycles
+
+
+def test_validation_exact_on_sparse_case():
+    rng = np.random.default_rng(321)
+    ifm = rng.integers(-30, 31, size=(6, 12, 12))
+    weights = rng.integers(-30, 31, size=(7, 6, 3, 3))
+    weights[rng.random(weights.shape) >= 0.25] = 0
+    result = validate_conv(ifm, weights, shift=2, apply_relu=True)
+    assert result.functional_match
+    assert result.sim_cycles == result.model_cycles
+
+
+def test_validation_with_idle_unit():
+    """C=3 (conv1_1 pattern): unit 3 idles, model must still match."""
+    rng = np.random.default_rng(55)
+    ifm = rng.integers(-30, 31, size=(3, 10, 10))
+    weights = rng.integers(-15, 16, size=(8, 3, 3, 3))
+    result = validate_conv(ifm, weights)
+    assert result.functional_match
+    assert result.relative_error <= 0.02
+
+
+def test_relative_error_semantics():
+    from repro.perf import ValidationResult
+    exact = ValidationResult(sim_cycles=100, model_cycles=100,
+                             functional_match=True)
+    assert exact.relative_error == 0.0
+    off = ValidationResult(sim_cycles=100, model_cycles=90,
+                           functional_match=True)
+    assert off.relative_error == pytest.approx(0.10)
+    degenerate = ValidationResult(sim_cycles=0, model_cycles=0,
+                                  functional_match=True)
+    assert degenerate.relative_error == 0.0

@@ -1,0 +1,132 @@
+"""Paper-shape assertions: Figs. 7 and 8 reproduced by the cycle model.
+
+These tests pin the reproduction to the paper's qualitative claims and
+headline ratios. Absolute mean GOPS run above the paper's measured
+values (our model idealizes DDR and ARM-issue behaviour — see
+EXPERIMENTS.md); the assertions therefore target orderings, ratios and
+the exactly-reproducible peak conventions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (ALL_VARIANTS, VARIANT_16_UNOPT, VARIANT_256_OPT,
+                        VARIANT_256_UNOPT, VARIANT_512_OPT)
+from repro.perf import evaluate_vgg16
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    result = {}
+    for variant in ALL_VARIANTS:
+        for pruned in (False, True):
+            result[(variant.name, pruned)] = evaluate_vgg16(
+                variant, pruned=pruned, seed=0)
+    return result
+
+
+def test_thirteen_layers_everywhere(evaluations):
+    for ev in evaluations.values():
+        assert len(ev.layers) == 13
+
+
+def test_unpruned_peak_is_peak_mac_rate(evaluations):
+    """Paper Fig. 8: 512-opt unpruned peak 61 GOPS = 512 x 120 MHz."""
+    ev = evaluations[("512-opt", False)]
+    assert ev.peak_effective_gops == pytest.approx(61.44, rel=0.05)
+
+
+def test_pruned_peak_hits_zero_skip_ceiling(evaluations):
+    """Paper Fig. 8: 512-opt pruned peak 138 effective GOPS = 61.44 x 9/4."""
+    ev = evaluations[("512-opt", True)]
+    assert ev.peak_effective_gops == pytest.approx(138.2, rel=0.05)
+
+
+def test_pruning_speedup_ratios(evaluations):
+    """Paper: pruning buys ~1.3x on average and ~2.2x at peak."""
+    up = evaluations[("512-opt", False)]
+    pr = evaluations[("512-opt", True)]
+    mean_ratio = pr.mean_gops / up.mean_gops
+    peak_ratio = pr.peak_effective_gops / up.peak_effective_gops
+    assert 1.2 < mean_ratio < 1.5, mean_ratio
+    assert 2.0 < peak_ratio < 2.3, peak_ratio
+
+
+def test_variant_ordering(evaluations):
+    """Fig. 8: absolute GOPS ranks 16-unopt < 256-unopt < 256-opt < 512-opt."""
+    for pruned in (False, True):
+        means = [evaluations[(v.name, pruned)].mean_gops
+                 for v in ALL_VARIANTS]
+        assert means == sorted(means), means
+
+
+def test_pruned_beats_unpruned_everywhere(evaluations):
+    for variant in ALL_VARIANTS:
+        up = evaluations[(variant.name, False)]
+        pr = evaluations[(variant.name, True)]
+        for layer_up, layer_pr in zip(up.layers, pr.layers):
+            assert layer_pr.gops >= layer_up.gops * 0.99, layer_up.name
+
+
+def test_unpruned_efficiency_near_ideal(evaluations):
+    """Fig. 7: non-pruned usually within ~10% of ideal throughput."""
+    ev = evaluations[("256-opt", False)]
+    near_ideal = [l for l in ev.layers if l.efficiency > 0.85]
+    assert len(near_ideal) >= 9, [round(l.efficiency, 2) for l in ev.layers]
+    assert ev.best_efficiency <= 1.1
+
+
+def test_pruned_efficiency_exceeds_one(evaluations):
+    """Fig. 7: '-pr' results show > 100% efficiency (skipped MACs)."""
+    for name in ("256-opt", "512-opt"):
+        ev = evaluations[(name, True)]
+        assert ev.best_efficiency > 1.0
+        assert ev.mean_efficiency > 1.0
+
+
+def test_worst_layer_is_conv1_1(evaluations):
+    """Three input channels leave one staging lane idle: worst layer."""
+    ev = evaluations[("512-opt", False)]
+    worst = min(ev.layers, key=lambda l: l.efficiency)
+    assert worst.name == "conv1_1"
+
+
+def test_deep_layers_slower_than_mid_layers(evaluations):
+    """Fig. 7 discussion: deeper layers lose throughput (weight-heavy,
+    whole-tile padding on 14x14 maps)."""
+    ev = evaluations[("512-opt", False)]
+    conv5_mean = np.mean([ev.layer(f"conv5_{i}").gops for i in (1, 2, 3)])
+    conv3_mean = np.mean([ev.layer(f"conv3_{i}").gops for i in (1, 2, 3)])
+    assert conv5_mean < conv3_mean
+
+
+def test_striping_overhead_near_paper_value(evaluations):
+    """Section V: ~15% extra computation, varying by layer."""
+    ev = evaluations[("512-opt", False)]
+    overheads = [l.overhead_fraction for l in ev.layers]
+    assert 0.08 < np.mean(overheads) < 0.25
+    assert max(overheads) > 0.25     # deep 14x14 layers
+    assert min(overheads) < 0.08     # exact-fit mid layers
+
+
+def test_16_unopt_efficiency_is_high(evaluations):
+    """The no-synchronization baseline shows HLS quality: near-ideal."""
+    ev = evaluations[("16-unopt", False)]
+    assert ev.mean_efficiency > 0.9
+
+
+def test_clock_scaling_between_unopt_and_opt(evaluations):
+    """256-opt vs 256-unopt differ only by clock (150/55 MHz)."""
+    unopt = evaluations[("256-unopt", False)]
+    opt = evaluations[("256-opt", False)]
+    ratio = opt.mean_gops / unopt.mean_gops
+    assert ratio == pytest.approx(150.0 / 55.0, rel=0.02)
+
+
+def test_mean_gops_magnitudes(evaluations):
+    """Coarse magnitude check against Fig. 8 (model is an idealized
+    upper bound; see EXPERIMENTS.md)."""
+    up = evaluations[("512-opt", False)]
+    pr = evaluations[("512-opt", True)]
+    assert 39.5 <= up.mean_gops <= 62
+    assert 53.3 <= pr.mean_gops <= 100

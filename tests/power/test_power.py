@@ -1,0 +1,67 @@
+"""Tests for the power model against Table I."""
+
+import pytest
+
+from repro.core import (ALL_VARIANTS, VARIANT_256_OPT, VARIANT_512_OPT)
+from repro.power import variant_power
+
+
+def test_256opt_fpga_power_matches_table1():
+    """Table I: 256-opt FPGA 2300 mW peak, 500 mW dynamic."""
+    report = variant_power(VARIANT_256_OPT)
+    assert report.fpga_mw == pytest.approx(2300, rel=0.05)
+    assert report.dynamic_mw == pytest.approx(500, rel=0.05)
+
+
+def test_512opt_fpga_power_matches_table1():
+    """Table I: 512-opt FPGA 3300 mW peak, 800 mW dynamic."""
+    report = variant_power(VARIANT_512_OPT)
+    assert report.fpga_mw == pytest.approx(3300, rel=0.05)
+    assert report.dynamic_mw == pytest.approx(800, rel=0.05)
+
+
+def test_board_power_matches_table1():
+    """Table I: board-level 9500 mW (256-opt) and 10800 mW (512-opt)."""
+    assert variant_power(VARIANT_256_OPT).board_mw == \
+        pytest.approx(9500, rel=0.05)
+    assert variant_power(VARIANT_512_OPT).board_mw == \
+        pytest.approx(10800, rel=0.05)
+
+
+def test_gops_per_watt_peak_convention():
+    """Table I peak GOPS/W: pruned peak effective GOPS over peak power.
+
+    256-opt: 86.4 / 2.3 W = ~37.4; 512-opt: 138.2 / 3.3 W = ~41.8.
+    """
+    p256 = variant_power(VARIANT_256_OPT)
+    p512 = variant_power(VARIANT_512_OPT)
+    assert p256.gops_per_watt(86.4) == pytest.approx(37.4, rel=0.06)
+    assert p512.gops_per_watt(138.2) == pytest.approx(41.8, rel=0.06)
+
+
+def test_board_efficiency_lower_than_fpga():
+    report = variant_power(VARIANT_512_OPT)
+    assert report.gops_per_watt(53.3, board=True) < \
+        report.gops_per_watt(53.3, board=False)
+
+
+def test_static_dominates_unopt_dynamic():
+    """At 55 MHz the dynamic share is small."""
+    for variant in ALL_VARIANTS[:2]:
+        report = variant_power(variant)
+        assert report.dynamic_mw < report.static_mw
+
+
+def test_power_monotone_in_variant_size():
+    fpga = [variant_power(v).fpga_mw for v in ALL_VARIANTS]
+    assert fpga[0] < fpga[1] < fpga[2] < fpga[3]
+
+
+def test_512opt_more_efficient_than_256opt():
+    """Table I: GOPS/W improves slightly with scale (13.4 -> 13.9)."""
+    # Use each variant's peak-rate-proportional delivered GOPS.
+    eff256 = variant_power(VARIANT_256_OPT).gops_per_watt(
+        VARIANT_256_OPT.peak_gops)
+    eff512 = variant_power(VARIANT_512_OPT).gops_per_watt(
+        VARIANT_512_OPT.peak_gops)
+    assert eff512 > eff256

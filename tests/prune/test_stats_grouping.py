@@ -1,0 +1,125 @@
+"""Tests for sparsity statistics and filter grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prune import (filter_nnz, group_filters_by_nnz, group_imbalance,
+                         group_max_nnz, identity_grouping, layer_sparsity,
+                         nnz_histogram, prune_magnitude)
+
+
+def test_layer_sparsity():
+    weights = np.array([0.0, 1.0, 0.0, 2.0])
+    assert layer_sparsity(weights) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        layer_sparsity(np.array([]))
+
+
+def test_filter_nnz_shape_and_values():
+    weights = np.zeros((2, 3, 3, 3))
+    weights[0, 0, 1, 1] = 1.0
+    weights[0, 0, 0, 0] = -2.0
+    weights[1, 2] = np.ones((3, 3))
+    nnz = filter_nnz(weights)
+    assert nnz.shape == (2, 3)
+    assert nnz[0, 0] == 2
+    assert nnz[0, 1] == 0
+    assert nnz[1, 2] == 9
+    with pytest.raises(ValueError):
+        filter_nnz(np.zeros((3, 3, 3)))
+
+
+def test_group_max_nnz():
+    # 8 output channels, 1 input channel; nnz = [1..8].
+    weights = np.zeros((8, 1, 3, 3))
+    for o in range(8):
+        weights[o, 0].reshape(-1)[:o + 1] = 1.0
+    grouped = group_max_nnz(weights, group_size=4)
+    assert grouped.shape == (2, 1)
+    assert grouped[0, 0] == 4   # max(1,2,3,4)
+    assert grouped[1, 0] == 8   # max(5,6,7,8)
+
+
+def test_group_max_nnz_pads_partial_groups():
+    weights = np.ones((5, 2, 3, 3))
+    grouped = group_max_nnz(weights, group_size=4)
+    assert grouped.shape == (2, 2)
+    assert grouped[1, 0] == 9  # the lone 5th filter dominates its group
+    with pytest.raises(ValueError):
+        group_max_nnz(weights, group_size=0)
+
+
+def test_group_imbalance_bounds():
+    balanced = np.ones((8, 2, 3, 3))
+    assert group_imbalance(balanced) == pytest.approx(1.0)
+    # Extreme imbalance: one dense filter among three empty per group.
+    skewed = np.zeros((4, 1, 3, 3))
+    skewed[0] = 1.0
+    assert group_imbalance(skewed, group_size=4) == pytest.approx(4.0)
+    assert group_imbalance(np.zeros((4, 1, 3, 3))) == 1.0
+
+
+def test_nnz_histogram():
+    weights = np.zeros((2, 2, 3, 3))
+    weights[0, 0] = 1.0               # nnz 9
+    weights[1, 1, 0, 0] = 1.0         # nnz 1
+    hist = nnz_histogram(weights)
+    assert hist.shape == (10,)
+    assert hist[0] == 2
+    assert hist[1] == 1
+    assert hist[9] == 1
+    assert hist.sum() == 4
+
+
+def test_identity_grouping_roundtrip():
+    grouping = identity_grouping(6)
+    weights = np.arange(6 * 2 * 9, dtype=float).reshape(6, 2, 3, 3)
+    np.testing.assert_array_equal(grouping.apply_to_weights(weights), weights)
+    ofm = np.arange(6 * 4, dtype=float).reshape(6, 2, 2)
+    np.testing.assert_array_equal(grouping.restore_ofm(ofm), ofm)
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_grouping_permutation_is_invertible(seed):
+    rng = np.random.default_rng(seed)
+    weights = prune_magnitude(rng.normal(size=(16, 3, 3, 3)), 0.4).weights
+    grouping = group_filters_by_nnz(weights)
+    permuted = grouping.apply_to_weights(weights)
+    # restoring the channel order of a permuted OFM = original order
+    fake_ofm = np.arange(16)[:, None, None] * np.ones((16, 2, 2))
+    permuted_ofm = fake_ofm[grouping.permutation]
+    np.testing.assert_array_equal(grouping.restore_ofm(permuted_ofm),
+                                  fake_ofm)
+    assert sorted(grouping.permutation) == list(range(16))
+    del permuted
+
+
+def test_grouping_reduces_imbalance():
+    """The whole point of the future-work feature: better balance."""
+    rng = np.random.default_rng(7)
+    # Heterogeneous sparsity across filters.
+    weights = rng.normal(size=(32, 4, 3, 3))
+    for o in range(32):
+        keep = rng.uniform(0.1, 0.9)
+        weights[o] = prune_magnitude(weights[o], keep).weights
+    before = group_imbalance(weights, group_size=4)
+    grouping = group_filters_by_nnz(weights, group_size=4)
+    after = group_imbalance(grouping.apply_to_weights(weights), group_size=4)
+    assert after <= before
+    assert after < before - 0.01, (before, after)
+
+
+def test_grouping_bias_follows_weights():
+    weights = np.zeros((4, 1, 3, 3))
+    weights[2] = 1.0  # densest filter
+    grouping = group_filters_by_nnz(weights)
+    bias = np.array([0.0, 1.0, 2.0, 3.0])
+    permuted = grouping.apply_to_bias(bias)
+    assert permuted[-1] == 2.0  # densest filter sorted last
+
+
+def test_group_filters_validates_group_size():
+    with pytest.raises(ValueError):
+        group_filters_by_nnz(np.ones((4, 1, 3, 3)), group_size=0)

@@ -1,0 +1,89 @@
+"""Tests for the accuracy-evaluation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, generate_image, generate_weights)
+from repro.quant import (accuracy_vs_pruning, evaluate_agreement,
+                         quantize_network, top1, topk)
+
+
+def test_top1_topk():
+    probs = np.array([0.1, 0.5, 0.05, 0.3, 0.05])
+    assert top1(probs) == 1
+    assert topk(probs, 3) == [1, 3, 0]
+    with pytest.raises(ValueError):
+        topk(probs, 0)
+    with pytest.raises(ValueError):
+        topk(probs, 6)
+
+
+def small_net():
+    return Network("acc-net", [
+        InputLayer("input", Shape(3, 8, 8)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=3, out_channels=8, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=8 * 4 * 4, out_features=10),
+        SoftmaxLayer("prob"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    net = small_net()
+    weights, biases = generate_weights(net, seed=20)
+    calibration = generate_image((3, 8, 8), seed=21)
+    model = quantize_network(net, weights, biases, calibration)
+    return net, weights, biases, calibration, model
+
+
+def test_agreement_report_quantized_model(fitted):
+    net, weights, biases, _, model = fitted
+    report = evaluate_agreement(net, weights, biases, model, (3, 8, 8),
+                                images=8, seed=500)
+    assert report.images == 8
+    assert 0.0 <= report.top1_agreement <= 1.0
+    assert report.top5_agreement >= report.top1_agreement
+    # 8-bit quantization is faithful: top-5 agreement near perfect,
+    # probability error tiny.
+    assert report.top5_agreement >= 0.85
+    assert report.max_abs_prob_error < 0.05
+
+
+def test_agreement_requires_images(fitted):
+    net, weights, biases, _, model = fitted
+    with pytest.raises(ValueError):
+        evaluate_agreement(net, weights, biases, model, (3, 8, 8),
+                           images=0)
+
+
+def test_agreement_deterministic(fitted):
+    net, weights, biases, _, model = fitted
+    a = evaluate_agreement(net, weights, biases, model, (3, 8, 8),
+                           images=5, seed=123)
+    b = evaluate_agreement(net, weights, biases, model, (3, 8, 8),
+                           images=5, seed=123)
+    assert a == b
+
+
+def test_accuracy_vs_pruning_curve(fitted):
+    net, weights, biases, calibration, _ = fitted
+    points = accuracy_vs_pruning(
+        net, weights, biases, calibration,
+        keep_fractions=[1.0, 0.6, 0.2, 0.05],
+        image_shape=(3, 8, 8), images=8, seed=700)
+    assert [p.keep_fraction for p in points] == [1.0, 0.6, 0.2, 0.05]
+    # Light pruning barely moves the probabilities; savage pruning does.
+    assert points[0].report.mean_abs_prob_error < \
+        points[-1].report.mean_abs_prob_error
+    # Unpruned: near-perfect fidelity.
+    assert points[0].report.top5_agreement >= 0.85
+    # Fidelity degrades monotonically-ish in probability error.
+    errors = [p.report.mean_abs_prob_error for p in points]
+    assert errors[0] <= errors[1] * 1.2
+    assert errors[1] < errors[3]

@@ -1,0 +1,91 @@
+"""Property-based invariants of the quantized execution path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (ConvLayer, FlattenLayer, FCLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, generate_image, generate_weights)
+from repro.quant import (MAX_MAG, conv2d_int, quantize_network,
+                         run_quantized)
+
+
+def build_net(in_ch, hw, out_ch, classes):
+    return Network("prop-net", [
+        InputLayer("input", Shape(in_ch, hw, hw)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=in_ch, out_channels=out_ch,
+                  kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=out_ch * (hw // 2) ** 2,
+                out_features=classes),
+        SoftmaxLayer("prob"),
+    ])
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=10, deadline=None)
+def test_quantized_activations_stay_in_range(seed):
+    """Every intermediate activation fits 8-bit sign-magnitude, ReLU
+    outputs are non-negative, and the softmax is a distribution."""
+    rng = np.random.default_rng(seed)
+    net = build_net(int(rng.integers(1, 4)), int(rng.choice([4, 8])),
+                    int(rng.integers(2, 7)), int(rng.integers(2, 8)))
+    weights, biases = generate_weights(net, seed=seed)
+    image = generate_image(net.layers[0].shape.as_tuple(), seed=seed + 1)
+    model = quantize_network(net, weights, biases, image)
+    fresh = generate_image(net.layers[0].shape.as_tuple(), seed=seed + 2)
+    collected = {}
+    probs = run_quantized(net, model, fresh, collect=collected)
+    for name, activation in collected.items():
+        assert np.abs(activation).max() <= MAX_MAG, name
+        if name.startswith("relu"):
+            assert activation.min() >= 0, name
+    flat = probs.reshape(-1)
+    assert flat.sum() == pytest.approx(1.0)
+    assert flat.min() >= 0.0
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=10, deadline=None)
+def test_conv2d_int_is_linear(seed):
+    """Integer convolution distributes over weight addition exactly."""
+    rng = np.random.default_rng(seed)
+    ifm = rng.integers(-127, 128, size=(3, 6, 6))
+    w1 = rng.integers(-60, 61, size=(4, 3, 3, 3))
+    w2 = rng.integers(-60, 61, size=(4, 3, 3, 3))
+    combined = conv2d_int(ifm, w1 + w2)
+    np.testing.assert_array_equal(
+        combined, conv2d_int(ifm, w1) + conv2d_int(ifm, w2))
+
+
+@given(seed=st.integers(0, 50_000), scale=st.integers(1, 4))
+@settings(max_examples=10, deadline=None)
+def test_conv2d_int_scales_exactly(seed, scale):
+    rng = np.random.default_rng(seed)
+    ifm = rng.integers(-30, 31, size=(2, 6, 6))
+    weights = rng.integers(-30, 31, size=(3, 2, 3, 3))
+    np.testing.assert_array_equal(
+        conv2d_int(ifm, weights * scale), conv2d_int(ifm, weights) * scale)
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=8, deadline=None)
+def test_zero_image_yields_bias_only_response(seed):
+    """An all-zero input isolates the bias path through the pipeline."""
+    rng = np.random.default_rng(seed)
+    net = build_net(2, 4, 3, 4)
+    weights, biases = generate_weights(net, seed=seed)
+    calibration = generate_image((2, 4, 4), seed=seed + 1)
+    model = quantize_network(net, weights, biases, calibration)
+    collected = {}
+    run_quantized(net, model, np.zeros((2, 4, 4)), collect=collected)
+    conv_op = model.ops["conv1"]
+    from repro.quant import saturate_array, shift_round_array
+    expected = saturate_array(shift_round_array(
+        conv_op.bias_q, conv_op.shift))
+    for o in range(3):
+        assert np.all(collected["conv1"][o] == expected[o])

@@ -1,0 +1,139 @@
+"""Tests for network quantization and the integer golden model."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, build_vgg16, generate_image,
+                      generate_weights, run_network)
+from repro.quant import (conv2d_int, quantize_network,
+                         quantized_conv_reference, run_quantized)
+
+
+def tiny_network():
+    return Network("tiny", [
+        InputLayer("input", Shape(3, 8, 8)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=3, out_channels=8, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        PadLayer("pad2", pad=1),
+        ConvLayer("conv2", in_channels=8, out_channels=8, kernel=3, pad=0),
+        ReluLayer("relu2"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=8 * 4 * 4, out_features=10),
+        SoftmaxLayer("prob"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def quantized_tiny():
+    net = tiny_network()
+    weights, biases = generate_weights(net, seed=11)
+    image = generate_image((3, 8, 8), seed=12)
+    model = quantize_network(net, weights, biases, image)
+    return net, weights, biases, image, model
+
+
+def test_all_tensor_layers_quantized(quantized_tiny):
+    net, _, _, _, model = quantized_tiny
+    assert set(model.ops) == {"conv1", "conv2", "fc"}
+    for op in model.ops.values():
+        assert np.abs(op.weights_q).max() <= 127
+        assert op.weights_q.dtype == np.int16
+
+
+def test_quantized_inference_tracks_float(quantized_tiny):
+    net, weights, biases, image, model = quantized_tiny
+    float_out = run_network(net, weights, image, biases).reshape(-1)
+    quant_out = run_quantized(net, model, image).reshape(-1)
+    assert quant_out.shape == float_out.shape
+    # Probabilities must be close and the argmax must agree.
+    assert np.abs(float_out - quant_out).max() < 0.12
+    assert float_out.argmax() == quant_out.argmax()
+
+
+def test_quantized_inference_on_fresh_images(quantized_tiny):
+    """Scales calibrated on one image must generalize to others."""
+    net, weights, biases, _, model = quantized_tiny
+    agree = 0
+    for seed in range(20, 30):
+        image = generate_image((3, 8, 8), seed=seed)
+        float_top = run_network(net, weights, image, biases).argmax()
+        quant_top = run_quantized(net, model, image).argmax()
+        agree += int(float_top == quant_top)
+    # The paper reports accuracy within 2% of float; on 10 random
+    # images we tolerate at most one disagreement.
+    assert agree >= 9
+
+
+def test_collect_intermediate_activations(quantized_tiny):
+    net, _, _, image, model = quantized_tiny
+    collected = {}
+    run_quantized(net, model, image, collect=collected)
+    assert collected["conv1"].shape == (8, 8, 8)
+    assert np.abs(collected["conv1"]).max() <= 127
+    assert collected["pool1"].shape == (8, 4, 4)
+    # ReLU outputs are non-negative.
+    assert collected["relu1"].min() >= 0
+
+
+def test_conv2d_int_matches_float_conv_on_integers():
+    rng = np.random.default_rng(3)
+    ifm = rng.integers(-127, 128, size=(4, 6, 6))
+    weights = rng.integers(-127, 128, size=(5, 4, 3, 3))
+    got = conv2d_int(ifm, weights)
+    # Same computation in float (exact for these magnitudes).
+    from repro.nn import conv2d
+    want = conv2d(ifm.astype(float), weights.astype(float))
+    np.testing.assert_array_equal(got, want.astype(np.int64))
+
+
+def test_conv2d_int_channel_mismatch():
+    with pytest.raises(ValueError):
+        conv2d_int(np.zeros((3, 6, 6), dtype=int),
+                   np.zeros((5, 4, 3, 3), dtype=int))
+
+
+def test_quantized_conv_reference_relu_and_saturation(quantized_tiny):
+    net, _, _, image, model = quantized_tiny
+    op = model.ops["conv1"]
+    ifm_q = model.input_params.quantize(image)
+    padded = np.pad(ifm_q, ((0, 0), (1, 1), (1, 1)))
+    out = quantized_conv_reference(padded, op, apply_relu=True)
+    assert out.min() >= 0
+    assert out.max() <= 127
+    collected = {}
+    run_quantized(net, model, image, collect=collected)
+    np.testing.assert_array_equal(out, collected["relu1"])
+
+
+def test_shift_is_consistent_with_domains(quantized_tiny):
+    _, _, _, _, model = quantized_tiny
+    for op in model.ops.values():
+        assert op.shift == (op.w_params.exponent + op.in_params.exponent
+                            - op.out_params.exponent)
+        # Accumulator domain is finer than output domain: shift >= 0.
+        assert op.shift >= 0
+
+
+def test_quantization_creates_some_zero_weights():
+    """8-bit scaling naturally zeroes tiny weights — the 'unpruned'
+    model still has a little zero-skip opportunity (Section V)."""
+    net = build_vgg16(input_hw=32)
+    weights, biases = generate_weights(net, seed=0)
+    image = generate_image((3, 32, 32), seed=0)
+    model = quantize_network(net, weights, biases, image)
+    sparsity = model.conv_sparsity()
+    assert all(0.0 <= s < 0.2 for s in sparsity.values()), sparsity
+
+
+def test_vgg16_small_quantized_inference():
+    net = build_vgg16(input_hw=32)
+    weights, biases = generate_weights(net, seed=1)
+    image = generate_image((3, 32, 32), seed=1)
+    model = quantize_network(net, weights, biases, image)
+    out = run_quantized(net, model, image)
+    assert out.shape == (1000, 1, 1)
+    assert out.sum() == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Tests for power-of-two scale calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quant import (MAX_MAG, QuantParams, exponent_for_max_abs,
+                         params_for, quantization_snr_db)
+
+
+def test_exponent_for_known_ranges():
+    # max_abs = 1.0: 127 * 2^-? ... finest scale with 1.0 * 2^e <= 127 is e=6.
+    assert exponent_for_max_abs(1.0) == 6
+    assert exponent_for_max_abs(127.0) == 0
+    assert exponent_for_max_abs(0.0) == 0
+    with pytest.raises(ValueError):
+        exponent_for_max_abs(-1.0)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_exponent_never_saturates_extreme(max_abs):
+    exponent = exponent_for_max_abs(max_abs)
+    assert max_abs * 2.0 ** exponent <= MAX_MAG
+    # One step finer would saturate (scale is maximal).
+    assert max_abs * 2.0 ** (exponent + 1) > MAX_MAG
+
+
+def test_quantize_dequantize_roundtrip_error_bounded():
+    rng = np.random.default_rng(0)
+    values = rng.normal(0, 0.2, size=1000)
+    params = params_for(values)
+    reconstructed = params.dequantize(params.quantize(values))
+    assert np.abs(values - reconstructed).max() <= params.step / 2 + 1e-12
+
+
+def test_quantize_saturates_out_of_domain_values():
+    params = QuantParams(exponent=0)
+    q = params.quantize(np.array([1000.0, -1000.0]))
+    np.testing.assert_array_equal(q, [127, -127])
+
+
+def test_params_for_zero_tensor():
+    params = params_for(np.zeros(10))
+    np.testing.assert_array_equal(params.quantize(np.zeros(10)), 0)
+
+
+def test_step_property():
+    assert QuantParams(exponent=3).step == pytest.approx(0.125)
+    assert QuantParams(exponent=-1).step == pytest.approx(2.0)
+
+
+def test_snr_reasonable_for_8bit():
+    rng = np.random.default_rng(1)
+    values = rng.normal(0, 0.3, size=10_000)
+    params = params_for(values)
+    snr = quantization_snr_db(values, params)
+    # 8-bit quantization of a Gaussian: comfortably above 30 dB.
+    assert snr > 30.0
+
+
+def test_snr_edge_cases():
+    params = QuantParams(exponent=6)
+    # Exactly representable value: zero noise -> infinite SNR.
+    assert quantization_snr_db(np.array([1.0 / 64]), params) == float("inf")
+    # All-zero signal quantizes exactly too (noise check dominates).
+    assert quantization_snr_db(np.zeros(4), QuantParams(0)) == float("inf")

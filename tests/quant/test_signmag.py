@@ -1,0 +1,125 @@
+"""Tests for the 8-bit magnitude+sign codec and rounding primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quant import (MAG_BITS, MAX_MAG, SIGN_BIT, decode, decode_array,
+                         encode, encode_array, round_half_away,
+                         round_half_away_array, saturate, saturate_array,
+                         shift_round, shift_round_array)
+
+
+def test_format_constants():
+    assert MAG_BITS == 7
+    assert MAX_MAG == 127
+    assert SIGN_BIT == 0x80
+
+
+def test_encode_known_values():
+    assert encode(0) == 0x00
+    assert encode(1) == 0x01
+    assert encode(127) == 0x7F
+    assert encode(-1) == 0x81
+    assert encode(-127) == 0xFF
+
+
+def test_encode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        encode(128)
+    with pytest.raises(ValueError):
+        encode(-128)
+
+
+def test_decode_negative_zero_canonicalizes():
+    """Sign-magnitude has two zeros; both decode to integer 0."""
+    assert decode(0x00) == 0
+    assert decode(0x80) == 0
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        decode(256)
+    with pytest.raises(ValueError):
+        decode(-1)
+
+
+@given(st.integers(min_value=-MAX_MAG, max_value=MAX_MAG))
+def test_codec_roundtrip(value):
+    assert decode(encode(value)) == value
+
+
+@given(st.lists(st.integers(-MAX_MAG, MAX_MAG), min_size=1, max_size=64))
+def test_array_codec_matches_scalar(values):
+    array = np.array(values)
+    encoded = encode_array(array)
+    assert encoded.dtype == np.uint8
+    np.testing.assert_array_equal(decode_array(encoded), array)
+    for value, byte in zip(values, encoded):
+        assert encode(value) == int(byte)
+
+
+def test_encode_array_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        encode_array(np.array([128]))
+
+
+def test_saturate():
+    assert saturate(200) == 127
+    assert saturate(-200) == -127
+    assert saturate(50) == 50
+    np.testing.assert_array_equal(
+        saturate_array(np.array([-300, -1, 0, 300])), [-127, -1, 0, 127])
+
+
+def test_round_half_away_ties():
+    assert round_half_away(0.5) == 1
+    assert round_half_away(-0.5) == -1
+    assert round_half_away(1.5) == 2
+    assert round_half_away(-1.5) == -2
+    assert round_half_away(0.49) == 0
+    assert round_half_away(-0.49) == 0
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_round_half_away_is_symmetric(value):
+    assert round_half_away(-value) == -round_half_away(value)
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                max_size=32))
+def test_round_array_matches_scalar(values):
+    array = np.array(values)
+    got = round_half_away_array(array)
+    want = [round_half_away(v) for v in values]
+    np.testing.assert_array_equal(got, want)
+
+
+def test_shift_round_known_values():
+    assert shift_round(10, 2) == 3      # 10/4 = 2.5 -> 3
+    assert shift_round(-10, 2) == -3    # symmetric
+    assert shift_round(9, 2) == 2       # 9/4 = 2.25 -> 2
+    assert shift_round(7, 0) == 7
+    assert shift_round(7, -2) == 28     # left shift
+
+
+@given(st.integers(-2**40, 2**40), st.integers(0, 20))
+def test_shift_round_approximates_division(value, shift):
+    got = shift_round(value, shift)
+    exact = value / (2 ** shift)
+    assert abs(got - exact) <= 0.5
+
+
+@given(st.lists(st.integers(-2**40, 2**40), min_size=1, max_size=32),
+       st.integers(0, 20))
+def test_shift_round_array_matches_scalar(values, shift):
+    array = np.array(values, dtype=np.int64)
+    got = shift_round_array(array, shift)
+    want = [shift_round(v, shift) for v in values]
+    np.testing.assert_array_equal(got, want)
+
+
+def test_shift_round_array_left_shift():
+    np.testing.assert_array_equal(
+        shift_round_array(np.array([3, -3]), -2), [12, -12])

@@ -1,0 +1,85 @@
+"""Tests for the ternary/binary future-work extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import (binarize, binarize_network, reconstruction_error,
+                         ternarize, ternarize_network)
+
+
+def test_ternarize_known_case():
+    weights = np.array([1.0, -1.0, 0.01, -0.02, 0.9])
+    result = ternarize(weights)
+    # mean|w| = 0.586, delta = 0.41: the three large weights survive.
+    np.testing.assert_array_equal(result.codes, [1, -1, 0, 0, 1])
+    assert result.scale == pytest.approx((1.0 + 1.0 + 0.9) / 3)
+    assert result.sparsity == pytest.approx(2 / 5)
+
+
+def test_ternarize_codes_are_ternary():
+    rng = np.random.default_rng(0)
+    result = ternarize(rng.normal(size=(8, 4, 3, 3)))
+    assert set(np.unique(result.codes)) <= {-1, 0, 1}
+    assert result.codes.dtype == np.int8
+
+
+def test_ternarize_gaussian_sparsity_band():
+    """TWN on Gaussian weights zeroes roughly 40-60% (delta=0.7 mean|w|)."""
+    rng = np.random.default_rng(1)
+    result = ternarize(rng.normal(size=10_000))
+    assert 0.35 < result.sparsity < 0.65
+
+
+def test_ternarize_validation():
+    with pytest.raises(ValueError):
+        ternarize(np.array([]))
+    with pytest.raises(ValueError):
+        ternarize(np.ones(4), threshold_factor=-1.0)
+
+
+def test_ternarize_all_below_threshold():
+    result = ternarize(np.zeros(16))
+    assert result.scale == 0.0
+    assert result.sparsity == 1.0
+
+
+def test_binarize_has_no_zeros():
+    rng = np.random.default_rng(2)
+    result = binarize(rng.normal(size=1000))
+    assert set(np.unique(result.codes)) == {-1, 1}
+    assert result.sparsity == 0.0
+    with pytest.raises(ValueError):
+        binarize(np.array([]))
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_ternary_beats_binary_reconstruction(seed):
+    """On Gaussian weights the ternary reconstruction is at least as
+    good as binary (it has the extra zero level)."""
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=256)
+    t_err = reconstruction_error(weights, ternarize(weights))
+    b_err = reconstruction_error(weights, binarize(weights))
+    assert t_err <= b_err + 0.05
+    assert 0.0 <= t_err <= 1.0
+
+
+def test_reconstruction_error_zero_for_exact():
+    weights = np.array([2.0, -2.0, 0.0, 2.0])
+    result = ternarize(weights)
+    assert reconstruction_error(weights, result) == pytest.approx(0.0)
+    assert reconstruction_error(np.zeros(4), result) == 0.0
+
+
+def test_network_level_helpers():
+    rng = np.random.default_rng(3)
+    weights = {"a": rng.normal(size=(4, 2, 3, 3)),
+               "b": rng.normal(size=(8, 4, 3, 3))}
+    ternary = ternarize_network(weights)
+    binary = binarize_network(weights)
+    assert set(ternary) == set(binary) == {"a", "b"}
+    for name in weights:
+        assert ternary[name].sparsity > 0.2
+        assert binary[name].sparsity == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the Avalon interconnect and register files."""
+
+import pytest
+
+from repro.soc import (AvalonInterconnect, BusError, CallbackSlave,
+                       RegisterFile)
+
+
+def make_bus():
+    bus = AvalonInterconnect("test-bus")
+    regs = RegisterFile("regs", {"ctrl": 0x0, "status": 0x4}, words=4)
+    bus.attach(0x100, regs)
+    return bus, regs
+
+
+def test_read_write_roundtrip():
+    bus, regs = make_bus()
+    bus.write(0x100, 0xDEADBEEF)
+    assert bus.read(0x100) == 0xDEADBEEF
+    assert regs.get("ctrl") == 0xDEADBEEF
+
+
+def test_values_masked_to_32_bits():
+    bus, _ = make_bus()
+    bus.write(0x104, 1 << 40 | 5)
+    assert bus.read(0x104) == 5
+
+
+def test_unmapped_address_raises():
+    bus, _ = make_bus()
+    with pytest.raises(BusError):
+        bus.read(0x200)
+    with pytest.raises(BusError):
+        bus.write(0x0, 1)
+
+
+def test_misaligned_access_raises():
+    bus, _ = make_bus()
+    with pytest.raises(BusError):
+        bus.read(0x101)
+    with pytest.raises(BusError):
+        bus.write(0x102, 0)
+
+
+def test_overlapping_slaves_rejected():
+    bus, _ = make_bus()
+    other = RegisterFile("other", {"x": 0}, words=8)
+    with pytest.raises(BusError):
+        bus.attach(0x108, other)   # overlaps [0x100, 0x110)
+    bus.attach(0x110, other)       # adjacent is fine
+
+
+def test_traffic_counters():
+    bus, _ = make_bus()
+    bus.write(0x100, 1)
+    bus.read(0x100)
+    bus.read(0x104)
+    assert bus.traffic()["regs"] == (2, 1)
+
+
+def test_access_hook():
+    events = []
+    bus = AvalonInterconnect(
+        "hooked", on_access=lambda *args: events.append(args))
+    bus.attach(0, RegisterFile("r", {"a": 0}, words=1))
+    bus.write(0, 7)
+    bus.read(0)
+    assert events == [("write", "r", 0, 7), ("read", "r", 0, 7)]
+
+
+def test_register_file_validation():
+    with pytest.raises(BusError):
+        RegisterFile("bad", {"x": 3}, words=4)       # misaligned
+    with pytest.raises(BusError):
+        RegisterFile("bad", {"x": 0x10}, words=4)    # out of range
+    regs = RegisterFile("r", {"a": 0}, words=2)
+    with pytest.raises(BusError):
+        regs.read_word(0x8)
+
+
+def test_callback_slave():
+    state = {"counter": 41, "written": None}
+    slave = CallbackSlave("cb")
+    slave.register(0x0, read=lambda: state["counter"])
+    slave.register(0x4, write=lambda v: state.__setitem__("written", v))
+    assert slave.read_word(0x0) == 41
+    slave.write_word(0x4, 99)
+    assert state["written"] == 99
+    with pytest.raises(BusError):
+        slave.write_word(0x0, 1)   # read-only register
+    with pytest.raises(BusError):
+        slave.read_word(0x4)       # write-only register
+    assert slave.size == 8

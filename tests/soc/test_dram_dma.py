@@ -1,0 +1,124 @@
+"""Tests for the DDR4 model and the DMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import SramBank
+from repro.hls import Simulator, Tick
+from repro.soc import (Ddr4, DmaController, DmaDescriptor, DmaDirection,
+                       DramAllocator)
+
+
+def test_dram_read_write():
+    dram = Ddr4(capacity_values=1024)
+    dram.write(10, np.arange(8, dtype=np.int16))
+    np.testing.assert_array_equal(dram.read(10, 8), np.arange(8))
+    assert dram.stats.values_written == 8
+    assert dram.stats.values_read == 8
+
+
+def test_dram_bounds():
+    dram = Ddr4(capacity_values=64)
+    with pytest.raises(IndexError):
+        dram.read(60, 10)
+    with pytest.raises(IndexError):
+        dram.write(-1, np.zeros(4, dtype=np.int16))
+
+
+def test_transfer_cycles_model():
+    dram = Ddr4(bytes_per_cycle=32, latency_cycles=30)
+    assert dram.transfer_cycles(0) == 0
+    assert dram.transfer_cycles(1) == 31
+    assert dram.transfer_cycles(32) == 31
+    assert dram.transfer_cycles(64) == 32
+
+
+def test_dram_validation():
+    with pytest.raises(ValueError):
+        Ddr4(capacity_values=0)
+    with pytest.raises(ValueError):
+        Ddr4(bytes_per_cycle=0)
+
+
+def test_allocator():
+    dram = Ddr4(capacity_values=100)
+    alloc = DramAllocator(dram)
+    a = alloc.alloc(40)
+    b = alloc.alloc(40)
+    assert a == 0 and b == 40
+    assert alloc.used == 80
+    with pytest.raises(MemoryError):
+        alloc.alloc(40)
+    with pytest.raises(ValueError):
+        alloc.alloc(-1)
+
+
+def make_dma_system():
+    sim = Simulator("dma-test")
+    dram = Ddr4(capacity_values=4096)
+    banks = [SramBank(f"bank{i}", 1024) for i in range(4)]
+    dma = DmaController(sim, dram, banks)
+    return sim, dram, banks, dma
+
+
+def run_until_idle(sim, dma, max_cycles=100_000):
+    sim.run(max_cycles=max_cycles, until=lambda: dma.idle)
+
+
+def test_dma_to_bank_and_back():
+    sim, dram, banks, dma = make_dma_system()
+    data = np.arange(64, dtype=np.int16)
+    dram.write(100, data)
+    dma.submit(DmaDescriptor(DmaDirection.TO_BANK, dram_addr=100, bank=2,
+                             bank_addr=32, count=64))
+    run_until_idle(sim, dma)
+    np.testing.assert_array_equal(banks[2].dma_read(32, 64), data)
+    dma.submit(DmaDescriptor(DmaDirection.TO_DRAM, dram_addr=500, bank=2,
+                             bank_addr=32, count=64))
+    run_until_idle(sim, dma)
+    np.testing.assert_array_equal(dram.read(500, 64), data)
+    assert dma.stats.transfers == 2
+    assert dma.stats.values_moved == 128
+
+
+def test_dma_transfers_take_modelled_time():
+    sim, dram, banks, dma = make_dma_system()
+    dram.write(0, np.ones(1024, dtype=np.int16))
+    start = sim.now
+    dma.submit(DmaDescriptor(DmaDirection.TO_BANK, 0, 0, 0, 1024))
+    run_until_idle(sim, dma)
+    elapsed = sim.now - start
+    expected = dram.transfer_cycles(1024)
+    assert expected <= elapsed <= expected + 4
+
+
+def test_dma_descriptor_validation():
+    with pytest.raises(ValueError):
+        DmaDescriptor(DmaDirection.TO_BANK, 0, 0, 0, count=0)
+    with pytest.raises(ValueError):
+        DmaDescriptor(DmaDirection.TO_BANK, -1, 0, 0, count=4)
+    _, _, _, dma = make_dma_system()
+    with pytest.raises(ValueError):
+        dma.submit(DmaDescriptor(DmaDirection.TO_BANK, 0, 9, 0, count=4))
+
+
+def test_dma_csr_counters():
+    sim, dram, banks, dma = make_dma_system()
+    dram.write(0, np.ones(16, dtype=np.int16))
+    assert dma.csr.read_word(0x00) == 0
+    dma.submit(DmaDescriptor(DmaDirection.TO_BANK, 0, 0, 0, 16))
+    assert dma.csr.read_word(0x04) == 1   # submitted
+    run_until_idle(sim, dma)
+    assert dma.csr.read_word(0x00) == 1   # completed
+    assert dma.csr.read_word(0x08) == 0   # pending
+
+
+def test_dma_queue_processes_in_order():
+    sim, dram, banks, dma = make_dma_system()
+    dram.write(0, np.full(16, 1, dtype=np.int16))
+    dram.write(16, np.full(16, 2, dtype=np.int16))
+    # Both write the same bank region; last one wins.
+    dma.submit(DmaDescriptor(DmaDirection.TO_BANK, 0, 0, 0, 16))
+    dma.submit(DmaDescriptor(DmaDirection.TO_BANK, 16, 0, 0, 16))
+    run_until_idle(sim, dma)
+    np.testing.assert_array_equal(banks[0].dma_read(0, 16), np.full(16, 2))

@@ -1,0 +1,161 @@
+"""End-to-end SoC driver tests: the complete Fig. 1 system."""
+
+import numpy as np
+import pytest
+
+from repro.core import Opcode, PackedLayer
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, generate_image, generate_weights,
+                      maxpool2d, zero_pad)
+from repro.quant import quantize_network, run_quantized
+from repro.soc import InferenceDriver, SocSystem
+
+
+def tiny_network():
+    return Network("tiny", [
+        InputLayer("input", Shape(3, 8, 8)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=3, out_channels=8, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        PadLayer("pad2", pad=1),
+        ConvLayer("conv2", in_channels=8, out_channels=6, kernel=3, pad=0),
+        ReluLayer("relu2"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc6", in_features=6 * 4 * 4, out_features=12),
+        ReluLayer("relu_fc"),
+        FCLayer("fc7", in_features=12, out_features=5),
+        SoftmaxLayer("prob"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def soc_run():
+    net = tiny_network()
+    weights, biases = generate_weights(net, seed=9)
+    image = generate_image((3, 8, 8), seed=10)
+    model = quantize_network(net, weights, biases, image)
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    probs, runs = driver.run_network(net, model, image)
+    return net, model, image, soc, driver, probs, runs
+
+
+def test_bit_exact_with_quantized_reference(soc_run):
+    """The SoC path must reproduce the golden model exactly."""
+    net, model, image, _, _, probs, _ = soc_run
+    reference = run_quantized(net, model, image)
+    np.testing.assert_allclose(probs, reference)
+
+
+def test_layer_runs_cover_network(soc_run):
+    _, _, _, _, _, _, runs = soc_run
+    kinds = [(r.name, r.kind) for r in runs]
+    assert kinds == [
+        ("pad1", "pad"), ("conv1", "conv"), ("pad2", "pad"),
+        ("conv2", "conv"), ("pool1", "pool"), ("fc6", "fc"),
+        ("fc7", "fc"), ("prob", "softmax")]
+    for run in runs:
+        if run.kind in ("pad", "conv", "pool"):
+            assert run.cycles > 0
+            assert run.dma_values > 0
+
+
+def test_trace_records_system_activity(soc_run):
+    _, _, _, soc, _, _, _ = soc_run
+    components = {e.component for e in soc.trace.events}
+    assert {"bus", "dma", "accelerator", "arm"} <= components
+    issued = [e for e in soc.trace.events if e.event == "instr_queued"]
+    # 4 staging units x 5 accelerator layers.
+    assert len(issued) == 20
+    assert "cycle" in soc.trace.format(limit=5)
+
+
+def test_arm_accounting(soc_run):
+    _, _, _, soc, _, _, _ = soc_run
+    assert soc.host.csr_accesses > 50
+    assert soc.host.arm_software_cycles > 0
+    reads, writes = soc.bus.traffic()["accel.csr"]
+    assert writes > 0 and reads > 0
+
+
+def test_single_conv_layer_stats():
+    rng = np.random.default_rng(2)
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    ifm = rng.integers(-20, 21, size=(4, 10, 10))
+    weights = rng.integers(-20, 21, size=(8, 4, 3, 3))
+    packed = PackedLayer.pack(weights)
+    driver.load_packed_weights("c", packed)
+    handle = driver.load_feature_map(ifm)
+    out_handle, run = driver.run_conv(handle, "c", packed,
+                                      np.zeros(8), shift=2, apply_relu=False)
+    out = driver.read_feature_map(out_handle)
+    from repro.quant import conv2d_int, saturate_array, shift_round_array
+    want = saturate_array(
+        shift_round_array(conv2d_int(ifm, weights), 2)).astype(np.int16)
+    np.testing.assert_array_equal(out, want)
+    assert run.out_shape == (8, 8, 8)
+    assert run.dma_values > ifm.size
+
+
+def test_padpool_through_driver():
+    rng = np.random.default_rng(3)
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    ifm = rng.integers(-30, 31, size=(5, 8, 8))
+    handle = driver.load_feature_map(ifm)
+    padded, _ = driver.run_padpool(handle, "p", Opcode.PAD, pad=1)
+    np.testing.assert_array_equal(
+        driver.read_feature_map(padded),
+        zero_pad(ifm.astype(float), 1).astype(np.int16))
+    pooled, _ = driver.run_padpool(padded, "q", Opcode.POOL)
+    np.testing.assert_array_equal(
+        driver.read_feature_map(pooled),
+        maxpool2d(zero_pad(ifm.astype(float), 1), 2, 2).astype(np.int16))
+
+
+def test_missing_weights_raise():
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    handle = driver.load_feature_map(np.zeros((4, 8, 8), dtype=np.int64))
+    packed = PackedLayer.pack(np.ones((4, 4, 3, 3), dtype=np.int64))
+    with pytest.raises(KeyError):
+        driver.run_conv(handle, "nope", packed, np.zeros(4), 0, False)
+
+
+def test_channel_mismatch_raises():
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    handle = driver.load_feature_map(np.zeros((3, 8, 8), dtype=np.int64))
+    packed = PackedLayer.pack(np.ones((4, 4, 3, 3), dtype=np.int64))
+    driver.load_packed_weights("c", packed)
+    with pytest.raises(ValueError):
+        driver.run_conv(handle, "c", packed, np.zeros(4), 0, False)
+
+
+def test_bank_overflow_detected():
+    """The whole-layer driver refuses layers that would need striping."""
+    soc = SocSystem(bank_capacity=256)  # 16 tiles per bank
+    driver = InferenceDriver(soc)
+    rng = np.random.default_rng(4)
+    ifm = rng.integers(-5, 6, size=(8, 16, 16))
+    packed = PackedLayer.pack(rng.integers(1, 6, size=(8, 8, 3, 3)))
+    driver.load_packed_weights("big", packed)
+    handle = driver.load_feature_map(ifm)
+    with pytest.raises((MemoryError, IndexError)):
+        driver.run_conv(handle, "big", packed, np.zeros(8), 0, False)
+
+
+def test_fused_padding_network_rejected():
+    net = Network("fused", [
+        InputLayer("input", Shape(3, 8, 8)),
+        ConvLayer("conv1", in_channels=3, out_channels=4, kernel=3, pad=1),
+    ])
+    weights, biases = generate_weights(net, seed=0)
+    image = generate_image((3, 8, 8), seed=0)
+    model = quantize_network(net, weights, biases, image)
+    driver = InferenceDriver(SocSystem(bank_capacity=1 << 14))
+    with pytest.raises(ValueError):
+        driver.run_network(net, model, image)

@@ -1,0 +1,64 @@
+"""Unit tests for the ARM host model."""
+
+import pytest
+
+from repro.hls import Simulator, Tick
+from repro.soc import (ARM_CYCLES_PER_REORDERED_VALUE, ArmHost,
+                       AvalonInterconnect, HostTimeout, RegisterFile)
+from repro.soc.hps import CYCLES_PER_CSR_ACCESS, POLL_INTERVAL
+
+
+def make_host():
+    sim = Simulator("hps-test")
+
+    def idle():
+        while True:
+            yield Tick(1)
+
+    sim.add_kernel("idle", idle())
+    bus = AvalonInterconnect("bus")
+    regs = RegisterFile("regs", {"status": 0x0, "ctrl": 0x4}, words=2)
+    bus.attach(0, regs)
+    host = ArmHost(sim, bus, trace=None)
+    return sim, host, regs
+
+
+def test_csr_access_advances_fabric_time():
+    sim, host, regs = make_host()
+    host.write(0x4, 123)
+    assert regs.get("ctrl") == 123
+    assert sim.now == CYCLES_PER_CSR_ACCESS
+    assert host.read(0x4) == 123
+    assert sim.now == 2 * CYCLES_PER_CSR_ACCESS
+    assert host.csr_accesses == 2
+
+
+def test_poll_returns_when_condition_met():
+    sim, host, regs = make_host()
+    # A fabric kernel flips the status register after 40 cycles.
+    target_regs = regs
+
+    def setter():
+        yield Tick(40)
+        target_regs.set("status", 1)
+
+    sim.add_kernel("setter", setter())
+    value = host.poll(0x0, lambda v: v == 1)
+    assert value == 1
+    assert sim.now >= 40
+
+
+def test_poll_timeout():
+    sim, host, regs = make_host()
+    with pytest.raises(HostTimeout):
+        host.poll(0x0, lambda v: v == 99, max_cycles=200)
+    # Polling spaced by the poll interval, not busy-spinning.
+    assert host.csr_accesses < 200 // POLL_INTERVAL + 5
+
+
+def test_software_accounting():
+    _, host, _ = make_host()
+    host.account_reorder(1000)
+    host.account_software(500)
+    assert host.arm_software_cycles == \
+        1000 * ARM_CYCLES_PER_REORDERED_VALUE + 500

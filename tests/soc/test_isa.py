@@ -1,0 +1,88 @@
+"""Tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConvInstruction, Opcode, PadPoolInstruction
+from repro.soc import decode_instruction, encode_instruction
+
+
+def sample_conv(**overrides):
+    fields = dict(
+        instr_id=7, ifm_base=100, ifm_tiles_y=8, ifm_tiles_x=9,
+        local_channels=16, ofm_base=700, ofm_tiles_y=7, ofm_tiles_x=7,
+        out_channels=64, weight_base=20_000, weight_bytes=1234,
+        shift=5, apply_relu=True,
+        biases=tuple(range(-32, 32)))
+    fields.update(overrides)
+    return ConvInstruction(**fields)
+
+
+def test_conv_roundtrip():
+    instr = sample_conv()
+    words = encode_instruction(instr)
+    assert decode_instruction(words) == instr
+
+
+def test_conv_roundtrip_negative_shift_and_biases():
+    instr = sample_conv(shift=-3, biases=(-(2 ** 31), 2 ** 31 - 1, 0, -1)
+                        + (0,) * 60)
+    assert decode_instruction(encode_instruction(instr)) == instr
+
+
+def test_conv_no_biases():
+    instr = sample_conv(biases=())
+    words = encode_instruction(instr)
+    assert len(words) == 10
+    assert decode_instruction(words) == instr
+
+
+def test_padpool_roundtrip():
+    for opcode, kwargs in ((Opcode.PAD, {"pad": 2}),
+                           (Opcode.POOL, {"win": 2, "stride": 2})):
+        instr = PadPoolInstruction(
+            instr_id=3, opcode=opcode, ifm_base=5, ifm_tiles_y=4,
+            ifm_tiles_x=6, local_channels=2, ofm_base=50, ofm_tiles_y=2,
+            ofm_tiles_x=3, ifm_height=14, ifm_width=22, **kwargs)
+        words = encode_instruction(instr)
+        assert len(words) == 8
+        assert decode_instruction(words) == instr
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ValueError):
+        decode_instruction([])
+    with pytest.raises(ValueError):
+        decode_instruction([0xFF << 24])           # unknown opcode
+    with pytest.raises(ValueError):
+        decode_instruction(encode_instruction(sample_conv())[:5])
+    good = encode_instruction(sample_conv(biases=()))
+    with pytest.raises(ValueError):
+        decode_instruction(good + [0])             # trailing words
+
+
+def test_encode_rejects_field_overflow():
+    with pytest.raises(ValueError):
+        encode_instruction(sample_conv(ifm_tiles_x=70_000))
+    with pytest.raises(ValueError):
+        encode_instruction(sample_conv(biases=(2 ** 40,) * 64))
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_conv_roundtrip_randomized(seed):
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    out_channels = int(rng.integers(1, 64))
+    instr = sample_conv(
+        instr_id=int(rng.integers(0, 1 << 24)),
+        ifm_base=int(rng.integers(0, 1 << 30)),
+        ifm_tiles_y=int(rng.integers(1, 1 << 16)),
+        ifm_tiles_x=int(rng.integers(1, 1 << 16)),
+        local_channels=int(rng.integers(0, 1 << 15)),
+        out_channels=out_channels,
+        shift=int(rng.integers(-128, 128)),
+        apply_relu=bool(rng.integers(0, 2)),
+        biases=tuple(int(b) for b in
+                     rng.integers(-(1 << 31), 1 << 31, size=out_channels)))
+    assert decode_instruction(encode_instruction(instr)) == instr

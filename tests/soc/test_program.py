@@ -1,0 +1,137 @@
+"""The compiler's plan must match the driver's measured behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, generate_image, generate_weights)
+from repro.quant import quantize_network
+from repro.soc import InferenceDriver, SocSystem
+from repro.soc.program import CompileConfig, compile_network
+
+
+def demo_network():
+    return Network("compiled", [
+        InputLayer("input", Shape(3, 12, 12)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=3, out_channels=8, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=8 * 6 * 6, out_features=10),
+        SoftmaxLayer("prob"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def compiled_and_run():
+    net = demo_network()
+    weights, biases = generate_weights(net, seed=30)
+    image = generate_image((3, 12, 12), seed=31)
+    model = quantize_network(net, weights, biases, image)
+    config = CompileConfig(bank_capacity=1 << 14)
+    program = compile_network(net, model, config)
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    probs, runs = driver.run_network(net, model, image)
+    return program, runs, soc, probs
+
+
+def test_step_sequence(compiled_and_run):
+    program, runs, _, _ = compiled_and_run
+    kinds = [(s.layer, s.kind) for s in program.steps]
+    assert kinds == [("pad1", "pad"), ("conv1", "conv"),
+                     ("pool1", "pool"), ("fc", "arm-fc"),
+                     ("prob", "arm-softmax")]
+    # The driver executed exactly the same accelerator layers.
+    accel_runs = [(r.name, r.kind) for r in runs
+                  if r.kind in ("pad", "conv", "pool")]
+    assert accel_runs == kinds[:3]
+
+
+def test_dma_volumes_match_driver_exactly(compiled_and_run):
+    """The compiler's DMA accounting equals the measured transfers."""
+    program, runs, _, _ = compiled_and_run
+    measured = {r.name: r.dma_values for r in runs}
+    for step in program.steps:
+        if step.kind in ("pad", "conv", "pool"):
+            assert step.dma_values == measured[step.layer], step.layer
+
+
+def test_instruction_counts_match_trace(compiled_and_run):
+    program, _, soc, _ = compiled_and_run
+    issued = [e for e in soc.trace.events if e.event == "instr_queued"]
+    assert program.total_instructions == len(issued)
+
+
+def test_cycle_estimates_are_reasonable(compiled_and_run):
+    """Model estimates stay below the measured layer times but within
+    an order of magnitude (driver cycles add DMA transfers and CSR
+    issue/polling, which dominate on these tiny layers)."""
+    program, runs, _, _ = compiled_and_run
+    measured = {r.name: r.cycles for r in runs}
+    for step in program.steps:
+        if step.kind == "conv":
+            assert 0.1 * measured[step.layer] <= step.est_cycles \
+                <= measured[step.layer]
+
+
+def test_memory_plan(compiled_and_run):
+    program, _, _, _ = compiled_and_run
+    names = [p.name for p in program.memory]
+    assert "input" in names and "conv1.weights" in names
+    # Placements are disjoint and ordered.
+    previous_end = 0
+    for placement in program.memory:
+        assert placement.addr == previous_end
+        previous_end += placement.values
+    assert program.dram_footprint == previous_end
+
+
+def test_listing_renders(compiled_and_run):
+    program, _, _, _ = compiled_and_run
+    text = program.listing()
+    for token in ("conv1", "arm-fc", "DDR4 footprint", "instructions"):
+        assert token in text
+    assert program.step("conv1").stripes >= 1
+    with pytest.raises(KeyError):
+        program.step("missing")
+
+
+def test_striped_compilation():
+    """Small banks: the compiler plans multiple stripes per conv and its
+    DMA accounting still matches the striping driver exactly. (The
+    input is pre-padded: a pad instruction's whole output would not fit
+    these banks — the driver stripes convolutions only.)"""
+    net = Network("striped", [
+        InputLayer("input", Shape(6, 30, 12)),
+        ConvLayer("conv1", in_channels=6, out_channels=6, kernel=3, pad=0),
+        ReluLayer("relu1"),
+    ])
+    weights, biases = generate_weights(net, seed=40)
+    image = generate_image((6, 30, 12), seed=41)
+    model = quantize_network(net, weights, biases, image)
+    capacity = 1024
+    program = compile_network(net, model,
+                              CompileConfig(bank_capacity=capacity))
+    conv_step = program.step("conv1")
+    assert conv_step.stripes > 1
+    soc = SocSystem(bank_capacity=capacity)
+    driver = InferenceDriver(soc)
+    _, runs = driver.run_network(net, model, image)
+    measured = {r.name: r for r in runs}
+    assert conv_step.dma_values == measured["conv1"].dma_values
+    assert conv_step.instructions == 4 * conv_step.stripes
+
+
+def test_standalone_relu_rejected():
+    net = Network("bad", [
+        InputLayer("input", Shape(3, 8, 8)),
+        ReluLayer("relu"),
+    ])
+    weights, biases = generate_weights(net)
+    model = quantize_network(net, weights, biases,
+                             generate_image((3, 8, 8)))
+    with pytest.raises(ValueError):
+        compile_network(net, model)

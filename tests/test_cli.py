@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["fig6"])
+    assert args.command == "fig6"
+    args = parser.parse_args(["validate", "--cases", "3", "--seed", "7"])
+    assert args.cases == 3 and args.seed == 7
+    with pytest.raises(SystemExit):
+        parser.parse_args(["nope"])
+
+
+def test_fig6_output(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "convolution" in out
+    assert "256-opt" in out
+    assert "ALM" in out
+
+
+def test_validate_output(capsys):
+    assert main(["validate", "--cases", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-exact: True" in out
+    assert "worst error" in out
+
+
+def test_table1_output(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "256-opt (FPGA)" in out
+    assert "512-opt (Board)" in out
+
+
+def test_fig7_and_fig8_output(capsys):
+    assert main(["fig7"]) == 0
+    fig7 = capsys.readouterr().out
+    assert "vgg16-pr" in fig7
+    assert main(["fig8"]) == 0
+    fig8 = capsys.readouterr().out
+    assert "512-opt" in fig8 and "138" in fig8
+
+
+def test_layers_output(capsys):
+    assert main(["layers", "--variant", "256-opt"]) == 0
+    out = capsys.readouterr().out
+    assert "conv1_1" in out and "conv5_3" in out
+    assert "256-opt / vgg16-pr" in out
+
+
+def test_latency_output(capsys):
+    assert main(["latency"]) == 0
+    out = capsys.readouterr().out
+    assert "fps" in out and "conv share" in out
+    assert "16-unopt" in out
+
+
+def test_explore_output(capsys):
+    assert main(["explore"]) == 0
+    out = capsys.readouterr().out
+    assert "pareto" in out
+    assert "L4xI2" in out   # the 512-opt-shaped point
+    assert "120MHz" in out  # congestion-limited clock shows up
+
+
+def test_program_output(capsys):
+    assert main(["program"]) == 0
+    out = capsys.readouterr().out
+    assert "cifar-quicknet" in out
+    assert "conv3_2" in out and "arm-fc" in out
+    assert "DDR4 footprint" in out

@@ -1,0 +1,67 @@
+"""Smoke tests: every example must run cleanly from a fresh process."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "zero_skip_packing.py",
+    "soc_trace.py",
+    "multi_accelerator.py",
+    "pipeline_debug.py",
+    "prune_retrain_deploy.py",
+]
+
+SLOW_EXAMPLES = [
+    "architecture_exploration.py",
+    "vgg16_inference.py",
+]
+
+
+def run_example(name: str, timeout: int) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def test_examples_exist():
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES + SLOW_EXAMPLES) <= found
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    out = run_example(name, timeout=300)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_bit_exactness():
+    out = run_example("quickstart.py", timeout=300)
+    assert "bit-exact" in out
+    assert "20 streaming kernels" in out
+
+
+def test_multi_accelerator_reports_speedup():
+    out = run_example("multi_accelerator.py", timeout=300)
+    assert "speedup" in out
+    assert "stitched OFM bit-exact" in out
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    out = run_example(name, timeout=600)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_vgg16_example_mentions_paper_numbers():
+    out = run_example("vgg16_inference.py", timeout=600)
+    assert "138" in out        # peak effective
+    assert "conv5_3" in out    # per-layer table complete

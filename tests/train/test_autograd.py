@@ -1,0 +1,106 @@
+"""Gradient correctness: analytic vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, generate_image, generate_weights)
+from repro.train import NetworkGrad, conv2d_backward, conv2d_forward
+
+
+def tiny_network():
+    return Network("grad-net", [
+        InputLayer("input", Shape(2, 6, 6)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=2, out_channels=3, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=27, out_features=4),
+        SoftmaxLayer("prob"),
+    ])
+
+
+def numeric_gradient(f, tensor, epsilon=1e-6):
+    grad = np.zeros_like(tensor, dtype=np.float64)
+    it = np.nditer(tensor, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = tensor[index]
+        tensor[index] = original + epsilon
+        up = f()
+        tensor[index] = original - epsilon
+        down = f()
+        tensor[index] = original
+        grad[index] = (up - down) / (2 * epsilon)
+        it.iternext()
+    return grad
+
+
+def test_conv2d_forward_backward_consistency():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 5, 5))
+    weights = rng.normal(size=(3, 2, 3, 3))
+    bias = rng.normal(size=3)
+    out, padded = conv2d_forward(x, weights, bias, pad=1)
+    assert out.shape == (3, 5, 5)
+    grad_out = rng.normal(size=out.shape)
+    grad_x, grad_w, grad_b = conv2d_backward(grad_out, padded, weights,
+                                             pad=1)
+    assert grad_x.shape == x.shape
+    assert grad_w.shape == weights.shape
+    np.testing.assert_allclose(grad_b, grad_out.sum(axis=(1, 2)))
+
+    def loss_of_x():
+        o, _ = conv2d_forward(x, weights, bias, pad=1)
+        return float((o * grad_out).sum())
+
+    np.testing.assert_allclose(grad_x, numeric_gradient(loss_of_x, x),
+                               atol=1e-5)
+
+    def loss_of_w():
+        o, _ = conv2d_forward(x, weights, bias, pad=1)
+        return float((o * grad_out).sum())
+
+    np.testing.assert_allclose(grad_w, numeric_gradient(loss_of_w, weights),
+                               atol=1e-5)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_network_gradients_match_finite_differences(seed):
+    net = tiny_network()
+    weights, biases = generate_weights(net, seed=seed)
+    image = generate_image((2, 6, 6), seed=seed + 100)
+    label = 2
+    engine = NetworkGrad(net)
+    cache = engine.forward(weights, biases, image)
+    grad_w, grad_b = engine.backward(weights, cache, label)
+
+    def loss():
+        c = engine.forward(weights, biases, image)
+        return engine.loss(c.probs, label)
+
+    for name in ("conv1", "fc"):
+        numeric_w = numeric_gradient(loss, weights[name], epsilon=1e-6)
+        np.testing.assert_allclose(grad_w[name], numeric_w, atol=2e-4)
+        numeric_b = numeric_gradient(loss, biases[name], epsilon=1e-6)
+        np.testing.assert_allclose(grad_b[name], numeric_b, atol=2e-4)
+
+
+def test_forward_matches_reference_executor():
+    from repro.nn import run_network
+    net = tiny_network()
+    weights, biases = generate_weights(net, seed=3)
+    image = generate_image((2, 6, 6), seed=4)
+    engine = NetworkGrad(net)
+    cache = engine.forward(weights, biases, image)
+    reference = run_network(net, weights, image, biases).reshape(-1)
+    np.testing.assert_allclose(cache.probs.reshape(-1), reference,
+                               rtol=1e-10)
+
+
+def test_loss_value():
+    probs = np.array([0.25, 0.5, 0.25])
+    assert NetworkGrad.loss(probs, 1) == pytest.approx(-np.log(0.5))
+    assert NetworkGrad.loss(np.array([1e-20, 1.0]), 0) < 30  # clamped
