@@ -1,0 +1,60 @@
+"""R1 — Clean-path overhead of the fault-injection hooks.
+
+The resilience subsystem's core bargain: instrumenting every FIFO
+port, memory read, DMA transfer and kernel step must cost *nothing*
+when no fault fires. This benchmark runs the campaign workload three
+ways — no hooks, zero-rate hooks on every slot, and the watchdog armed
+on top — and asserts the cycle counts are identical and the outputs
+bit-identical. Any divergence means a hook leaked into the timing
+model.
+"""
+
+import numpy as np
+
+from repro.faults import FAULT_TYPES, make_injector, run_workload
+from repro.soc import ResiliencePolicy
+
+
+def compute_rows():
+    golden, clean_cycles, _ = run_workload()
+    rows = [("no hooks (baseline)", clean_cycles, True)]
+    for fault_type in FAULT_TYPES:
+        injector = make_injector(fault_type, 0.0, seed=0)
+        output, cycles, _ = run_workload(injector)
+        rows.append((f"{fault_type} @ rate 0", cycles,
+                     bool(np.array_equal(output, golden))))
+    # Everything armed at once: all hooks + watchdog + golden checking.
+    injectors = [make_injector(ft, 0.0, seed=0) for ft in FAULT_TYPES]
+
+    class _All:
+        def attach(self, soc):
+            for injector in injectors:
+                injector.attach(soc)
+
+    output, cycles, _ = run_workload(
+        _All(), ResiliencePolicy(check_outputs=True),
+        watchdog_budget=5_000)
+    rows.append(("all hooks + watchdog + checking", cycles,
+                 bool(np.array_equal(output, golden))))
+    return clean_cycles, rows
+
+
+def format_table(clean_cycles, rows):
+    lines = ["R1: fault-hook clean-path overhead (campaign conv layer)",
+             f"{'configuration':<34}{'cycles':>8}{'delta':>7}"
+             f"{'bit-exact':>11}"]
+    for label, cycles, exact in rows:
+        lines.append(f"{label:<34}{cycles:>8}"
+                     f"{cycles - clean_cycles:>7}"
+                     f"{str(exact):>11}")
+    lines.append("(zero delta everywhere: hooks that never fire are free)")
+    return "\n".join(lines)
+
+
+def test_fault_hook_overhead(benchmark, emit):
+    clean_cycles, rows = benchmark.pedantic(compute_rows, rounds=1,
+                                            iterations=1)
+    emit("r1_fault_hook_overhead", format_table(clean_cycles, rows))
+    for label, cycles, exact in rows:
+        assert cycles == clean_cycles, label
+        assert exact, label

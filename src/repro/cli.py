@@ -11,6 +11,7 @@ Usage::
     python -m repro latency       # end-to-end fps per variant
     python -m repro explore       # design-space Pareto sweep
     python -m repro program       # compiled schedule of the demo net
+    python -m repro faults campaign [--smoke]   # resilience campaign
     python -m repro all           # the evaluation tables in one go
 """
 
@@ -189,6 +190,19 @@ def cmd_program(args) -> str:
     return program.listing()
 
 
+def cmd_faults(args) -> str:
+    """Run a fault-injection campaign and print the resilience report."""
+    from repro.faults import run_campaign, smoke_config
+    subcommand = getattr(args, "subcommand", None) or "campaign"
+    if subcommand != "campaign":
+        raise SystemExit(
+            f"repro faults: unknown subcommand {subcommand!r} "
+            f"(expected 'campaign')")
+    config = smoke_config() if args.smoke else None
+    report = run_campaign(config, echo=print)
+    return "\n" + report.format()
+
+
 def cmd_all(args) -> str:
     return "\n\n".join([cmd_fig6(args), cmd_fig7(args), cmd_fig8(args),
                         cmd_table1(args), cmd_validate(args),
@@ -205,6 +219,7 @@ COMMANDS = {
     "latency": cmd_latency,
     "explore": cmd_explore,
     "program": cmd_program,
+    "faults": cmd_faults,
     "all": cmd_all,
 }
 
@@ -216,17 +231,25 @@ def build_parser() -> argparse.ArgumentParser:
                     "evaluation tables.")
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="which table/figure to regenerate")
+    parser.add_argument("subcommand", nargs="?", default=None,
+                        help="subcommand (faults: 'campaign')")
     parser.add_argument("--seed", type=int, default=0,
                         help="synthetic-model seed (default 0)")
     parser.add_argument("--cases", type=int, default=8,
                         help="validation cases (validate command)")
     parser.add_argument("--variant", default="512-opt",
                         help="variant for the layers command")
+    parser.add_argument("--smoke", action="store_true",
+                        help="faults: run the quick CI smoke campaign")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.subcommand and args.command != "faults":
+        parser.error(f"command {args.command!r} takes no subcommand "
+                     f"(got {args.subcommand!r})")
     print(COMMANDS[args.command](args))
     return 0
 

@@ -65,6 +65,10 @@ class SramBank:
         self.words = capacity_values // self.word_values
         self.storage = np.zeros(capacity_values, dtype=np.int16)
         self.stats = SramStats()
+        #: Optional fault-injection hook applied to every read path
+        #: (duck-typed; see :mod:`repro.faults.hooks`). ``None`` on the
+        #: clean path, where the guard costs one identity test.
+        self.fault_hook = None
 
     # -- tile-wide ports ------------------------------------------------------
 
@@ -73,7 +77,10 @@ class SramBank:
         self._check_addr(addr)
         self.stats.tile_reads += 1
         base = addr * self.word_values
-        return self.storage[base:base + self.word_values].copy()
+        data = self.storage[base:base + self.word_values].copy()
+        if self.fault_hook is not None:
+            data = self.fault_hook.on_read(self, base, data)
+        return data
 
     def write_tile(self, addr: int, values: np.ndarray) -> None:
         """Port B: write a 16-value word at tile address ``addr``."""
@@ -101,7 +108,10 @@ class SramBank:
                 f"{value_addr + count}) outside capacity "
                 f"{self.capacity_values}")
         self.stats.stream_values_read += count
-        return self.storage[value_addr:value_addr + count].copy()
+        data = self.storage[value_addr:value_addr + count].copy()
+        if self.fault_hook is not None:
+            data = self.fault_hook.on_read(self, value_addr, data)
+        return data
 
     def stream_cycles(self, count: int) -> int:
         """Port cycles to stream ``count`` packed values."""
@@ -126,7 +136,10 @@ class SramBank:
                 f"bank {self.name!r}: DMA read [{value_addr}, "
                 f"{value_addr + count}) outside capacity")
         self.stats.dma_values_read += count
-        return self.storage[value_addr:value_addr + count].copy()
+        data = self.storage[value_addr:value_addr + count].copy()
+        if self.fault_hook is not None:
+            data = self.fault_hook.on_read(self, value_addr, data)
+        return data
 
     def clear(self) -> None:
         """Zero the whole bank (power-on state)."""

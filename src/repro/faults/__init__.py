@@ -1,0 +1,32 @@
+"""Fault injection and resilience evaluation (``repro.faults``).
+
+Deterministic, seeded fault injection for the cycle-accurate
+accelerator model, plus the campaign runner that measures how well the
+detection (watchdog, golden checking) and recovery (DMA retry, layer
+replay, graceful degradation) machinery holds up.  See
+``docs/RESILIENCE.md`` for the fault model and report format.
+"""
+
+from repro.faults.campaign import (DEFAULT_RATES, CampaignConfig,
+                                   run_campaign, run_trial, run_workload,
+                                   smoke_config, workload_tensors)
+from repro.faults.hooks import (DmaFaultHook, FifoFaultHook, KernelFaultHook,
+                                MemoryFaultHook, chance, prf, prf_int,
+                                stable_id)
+from repro.faults.injectors import (FAULT_TYPES, BitFlipInjector,
+                                    DmaFaultInjector, FifoDropInjector,
+                                    FifoStallInjector, Injector,
+                                    InjectorStats, KernelHangInjector,
+                                    make_injector)
+from repro.faults.report import (OUTCOMES, ResilienceReport, TrialResult)
+
+__all__ = [
+    "DEFAULT_RATES", "CampaignConfig", "run_campaign", "run_trial",
+    "run_workload", "smoke_config", "workload_tensors",
+    "DmaFaultHook", "FifoFaultHook", "KernelFaultHook", "MemoryFaultHook",
+    "chance", "prf", "prf_int", "stable_id",
+    "FAULT_TYPES", "BitFlipInjector", "DmaFaultInjector",
+    "FifoDropInjector", "FifoStallInjector", "Injector", "InjectorStats",
+    "KernelHangInjector", "make_injector",
+    "OUTCOMES", "ResilienceReport", "TrialResult",
+]

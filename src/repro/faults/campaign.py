@@ -1,0 +1,180 @@
+"""Fault-injection campaign runner.
+
+A campaign sweeps fault type × rate × seed over a fixed workload — one
+convolution layer driven end-to-end through the SoC (DMA staging,
+instruction issue, streaming compute, write-back) — and classifies
+each run against the fault-free golden output.  Everything is seeded
+and deterministic: the same config reproduces the same report
+bit-for-bit.
+
+Each trial runs with the full resilience stack armed: watchdog hang
+detection, DMA retry with back-off, per-layer golden checking with
+checkpoint/replay, and graceful degradation as the last resort (so an
+unrecoverable divergence is *flagged*, never silent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.packing import PackedLayer
+from repro.faults.injectors import FAULT_TYPES, Injector, make_injector
+from repro.faults.report import ResilienceReport, TrialResult
+from repro.hls.errors import HlsError
+from repro.hls.sim import Watchdog
+from repro.soc.dma import DmaError
+from repro.soc.driver import (DivergenceError, InferenceDriver,
+                              ResiliencePolicy, SocSystem)
+from repro.soc.hps import HostTimeout
+
+#: Per-fault-type injection rates, tuned so the sweep exercises both
+#: the masked regime and the recovery machinery.  The rate unit differs
+#: per injector (per memory access, per FIFO port query, per DMA
+#: descriptor, per kernel-cycle), hence the spread of magnitudes.
+DEFAULT_RATES: dict[str, tuple[float, ...]] = {
+    "sram_bitflip": (0.005, 0.05),    # ~200 read accesses per run
+    "dram_bitflip": (0.02, 0.1),      # ~30 read accesses per run
+    "fifo_stall": (1e-4, 1e-3),       # ~7k port queries per run
+    "fifo_drop": (5e-4, 5e-3),        # ~1.8k pushes per run
+    "dma": (0.05, 0.2),               # ~30 descriptors per run
+    "kernel_hang": (2e-5, 1e-4),      # ~20k kernel-cycles per run
+}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Sweep definition for :func:`run_campaign`."""
+
+    fault_types: tuple[str, ...] = FAULT_TYPES
+    rates: dict[str, tuple[float, ...]] | None = None  # None -> DEFAULT_RATES
+    seeds: tuple[int, ...] = (0, 1, 2)
+    workload_seed: int = 7
+    watchdog_budget: int = 5_000
+    watchdog_interval: int = 64
+
+    def rates_for(self, fault_type: str) -> tuple[float, ...]:
+        table = self.rates or DEFAULT_RATES
+        return table.get(fault_type) or DEFAULT_RATES[fault_type]
+
+
+def smoke_config() -> CampaignConfig:
+    """A <30 s subset for CI: DMA retry + memory-SEU paths, 2 seeds."""
+    return CampaignConfig(
+        fault_types=("dma", "sram_bitflip"),
+        rates={"dma": (0.15,), "sram_bitflip": (0.02,)},
+        seeds=(0, 1))
+
+
+# -- the workload ------------------------------------------------------------------
+
+
+def workload_tensors(seed: int = 7):
+    """The campaign's conv layer: IFM (4,10,10), weights (8,4,3,3)."""
+    rng = np.random.default_rng(seed)
+    ifm = rng.integers(-32, 32, size=(4, 10, 10), dtype=np.int16)
+    weights = rng.integers(-16, 16, size=(8, 4, 3, 3)).astype(np.int8)
+    biases = rng.integers(-64, 64, size=(8,)).astype(np.int64)
+    return ifm, weights, biases
+
+
+def run_workload(injector: Injector | None = None,
+                 policy: ResiliencePolicy | None = None,
+                 watchdog_budget: int | None = None,
+                 watchdog_interval: int = 64,
+                 workload_seed: int = 7,
+                 bank_capacity: int = 1 << 14):
+    """One end-to-end conv layer on a fresh SoC.
+
+    Returns ``(output, cycles, soc)``: the CHW int16 OFM, total fabric
+    cycles, and the system (for its ``fault_log`` and stats).  Raises
+    whatever the detection machinery raises when a fault is caught but
+    not recovered.
+    """
+    ifm, weights, biases = workload_tensors(workload_seed)
+    soc = SocSystem(bank_capacity=bank_capacity, resilience=policy)
+    driver = InferenceDriver(soc)
+    if injector is not None:
+        injector.attach(soc)
+    if watchdog_budget is not None:
+        soc.sim.watchdog = Watchdog(
+            watchdog_budget, interval=watchdog_interval,
+            extra_progress=lambda: (soc.dma.stats.transfers,
+                                    soc.dma.stats.failed))
+    handle = driver.load_feature_map(ifm)
+    packed = PackedLayer.pack(weights)
+    driver.load_packed_weights("conv1", packed)
+    out_handle, _ = driver.run_conv(handle, "conv1", packed, biases,
+                                    shift=2, apply_relu=True)
+    output = driver.read_feature_map(out_handle)
+    return output, soc.sim.now, soc
+
+
+# -- trial execution ------------------------------------------------------------------
+
+#: Exceptions that mean "the fault was *detected*" rather than a bug.
+DETECTION_ERRORS = (HlsError, HostTimeout, DmaError, DivergenceError)
+
+
+def _classify(output, golden, injector: Injector, soc) -> tuple[str, str]:
+    kinds = sorted({record.kind for record in soc.fault_log})
+    detail = ",".join(kinds)
+    if np.array_equal(output, golden):
+        if injector.fired == 0:
+            return "clean", detail
+        if soc.fault_log:
+            return "recovered", detail
+        return "masked", detail
+    if any(record.kind == "degraded" for record in soc.fault_log):
+        return "detected", detail or "degraded"
+    return "sdc", detail
+
+
+def run_trial(fault_type: str, rate: float, seed: int,
+              golden: np.ndarray, clean_cycles: int,
+              config: CampaignConfig) -> TrialResult:
+    """One injection run, classified against the golden output."""
+    injector = make_injector(fault_type, rate, seed)
+    policy = ResiliencePolicy(check_outputs=True, degrade=True)
+    try:
+        output, cycles, soc = run_workload(
+            injector, policy,
+            watchdog_budget=config.watchdog_budget,
+            watchdog_interval=config.watchdog_interval,
+            workload_seed=config.workload_seed)
+    except DETECTION_ERRORS as exc:
+        return TrialResult(fault_type=fault_type, rate=rate, seed=seed,
+                           outcome="detected", injected=injector.fired,
+                           cycles=0, overhead_cycles=0,
+                           detail=type(exc).__name__)
+    outcome, detail = _classify(output, golden, injector, soc)
+    return TrialResult(fault_type=fault_type, rate=rate, seed=seed,
+                       outcome=outcome, injected=injector.fired,
+                       cycles=cycles,
+                       overhead_cycles=cycles - clean_cycles,
+                       detail=detail)
+
+
+def run_campaign(config: CampaignConfig | None = None,
+                 echo: Callable[[str], None] | None = None
+                 ) -> ResilienceReport:
+    """Sweep the config's fault grid and aggregate a resilience report."""
+    config = config or CampaignConfig()
+    golden, clean_cycles, _ = run_workload(
+        workload_seed=config.workload_seed)
+    if echo:
+        echo(f"clean run: {clean_cycles} cycles")
+    report = ResilienceReport(clean_cycles=clean_cycles)
+    for fault_type in config.fault_types:
+        for rate in config.rates_for(fault_type):
+            for seed in config.seeds:
+                trial = run_trial(fault_type, rate, seed, golden,
+                                  clean_cycles, config)
+                report.trials.append(trial)
+                if echo:
+                    echo(f"  {fault_type:<14} rate={rate:<8g} seed={seed} "
+                         f"-> {trial.outcome:<9} (injected={trial.injected}"
+                         f", {trial.detail or 'no faults'})")
+    return report

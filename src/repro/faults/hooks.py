@@ -1,0 +1,137 @@
+"""Hook protocol between the substrate and the fault injectors.
+
+The simulation substrate (``repro.hls``, ``repro.core``, ``repro.soc``)
+knows nothing about fault injection; each instrumentable component just
+exposes a ``fault_hook`` attribute that defaults to ``None`` and guards
+every consultation with a single ``is None`` test.  The clean path
+therefore pays ~zero overhead and — more importantly — *zero cycle-count
+change*: a registered hook that never fires leaves the simulation
+bit-identical to an unhooked run (asserted by
+``benchmarks/bench_fault_overhead.py``).
+
+This module defines the base classes spelling out the contract each
+slot expects.  They are plain classes rather than ABCs so injectors can
+override only the sites they care about; every base method implements
+the no-fault behaviour.
+
+Hook slots
+----------
+
+========================  ==========================  ====================
+component                 attribute                   methods consulted
+========================  ==========================  ====================
+``PthreadFifo``           ``fifo.fault_hook``         ``stall_read``,
+                                                      ``stall_write``,
+                                                      ``drop_token``
+``SramBank`` / ``Ddr4``   ``mem.fault_hook``          ``on_read``
+``DmaController``         ``dma.fault_hook``          ``on_transfer``
+``Simulator``             ``sim.fault_hook``          ``kernel_hung``
+========================  ==========================  ====================
+
+Determinism
+-----------
+
+Injectors must be *reproducible*: the same seed must produce the same
+fault pattern regardless of how many times a site is queried within a
+cycle (the scheduler may re-evaluate ``can_pop`` for a stalled kernel
+several times).  :func:`chance` provides a counter-free pseudo-random
+test keyed on explicit integers (seed, component id, cycle/sequence
+number) via a splitmix64-style mix, so repeated queries with the same
+key give the same verdict and no global RNG state is consumed.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_id(name: str) -> int:
+    """A process-independent integer id for a component name.
+
+    Python's ``hash(str)`` is salted per process; CRC32 is stable, so
+    fault patterns survive re-runs, subprocesses and CI.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: avalanche an integer to 64 uniform bits."""
+    x = (x + _GOLDEN) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def prf(seed: int, *keys: int) -> float:
+    """Deterministic pseudo-random float in ``[0, 1)`` for a key tuple."""
+    state = _mix64(seed & _MASK)
+    for key in keys:
+        state = _mix64(state ^ (key & _MASK))
+    return state / float(1 << 64)
+
+
+def prf_int(seed: int, *keys: int) -> int:
+    """Deterministic pseudo-random 64-bit integer for a key tuple."""
+    state = _mix64(seed & _MASK)
+    for key in keys:
+        state = _mix64(state ^ (key & _MASK))
+    return state
+
+
+def chance(rate: float, seed: int, *keys: int) -> bool:
+    """True with probability ``rate``, deterministically per key tuple."""
+    if rate <= 0.0:
+        return False
+    return prf(seed, *keys) < rate
+
+
+class FifoFaultHook:
+    """Contract for :attr:`repro.hls.fifo.PthreadFifo.fault_hook`."""
+
+    def stall_read(self, fifo, now: int) -> bool:
+        """Force the read port to report empty at cycle ``now``."""
+        return False
+
+    def stall_write(self, fifo, now: int) -> bool:
+        """Force the write port to report full at cycle ``now``."""
+        return False
+
+    def drop_token(self, fifo, now: int, value) -> bool:
+        """Silently discard the value being pushed (lost token)."""
+        return False
+
+
+class MemoryFaultHook:
+    """Contract for ``SramBank.fault_hook`` / ``Ddr4.fault_hook``.
+
+    ``on_read`` receives the freshly copied read data and may return it
+    corrupted; ``mem`` exposes ``.name`` for keying and ``addr`` is the
+    value-granular base address of the access.
+    """
+
+    def on_read(self, mem, addr: int, data):
+        return data
+
+
+class DmaFaultHook:
+    """Contract for :attr:`repro.soc.dma.DmaController.fault_hook`.
+
+    ``on_transfer`` returns ``None`` for a clean transfer or a
+    :class:`repro.soc.dma.DmaFaultAction` describing an abort/partial
+    burst; the engine then books the failure for the driver to retry.
+    """
+
+    def on_transfer(self, dma, descriptor):
+        return None
+
+
+class KernelFaultHook:
+    """Contract for :attr:`repro.hls.sim.Simulator.fault_hook`."""
+
+    def kernel_hung(self, kernel, now: int) -> bool:
+        """True while ``kernel`` must hold its state (injected hang)."""
+        return False

@@ -1,0 +1,242 @@
+"""Deterministic, seeded fault injectors for the accelerator model.
+
+Each injector implements one of the hook contracts in
+:mod:`repro.faults.hooks` and models one hardware failure mode from the
+FPGA-reliability literature:
+
+* :class:`BitFlipInjector` — single-event upsets on the SRAM-bank or
+  DDR4 read path (one flipped bit in one 8-bit value per fault);
+* :class:`FifoStallInjector` — transient backpressure: a FIFO port
+  spuriously reports empty/full for a cycle;
+* :class:`FifoDropInjector` — a lost token (corrupted valid/enable
+  handshake): the push consumes the port but the value vanishes;
+* :class:`DmaFaultInjector` — DMA bus aborts and partial bursts that
+  leave the destination region torn until the driver retries;
+* :class:`KernelHangInjector` — a streaming kernel freezes (transient
+  or permanent), exercising the watchdog.
+
+All decisions come from the counter-free PRF in
+:mod:`repro.faults.hooks`, keyed by (seed, component, sequence/cycle),
+so the same seed reproduces the same fault pattern bit-for-bit across
+runs and processes, and a zero rate is provably a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.hooks import (DmaFaultHook, FifoFaultHook,
+                                KernelFaultHook, MemoryFaultHook, chance,
+                                prf_int, stable_id)
+from repro.soc.dma import DmaFaultAction
+
+#: Registry names accepted by :func:`make_injector` and the CLI.
+FAULT_TYPES = ("sram_bitflip", "dram_bitflip", "fifo_stall", "fifo_drop",
+               "dma", "kernel_hang")
+
+
+@dataclass
+class InjectorStats:
+    """Shared per-injector accounting."""
+
+    injected: int = 0   # faults actually fired
+    queries: int = 0    # decision points consulted
+
+
+class Injector:
+    """Base class: a seeded fault source attachable to a SoC."""
+
+    def __init__(self, rate: float, seed: int):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self.stats = InjectorStats()
+
+    @property
+    def fired(self) -> int:
+        return self.stats.injected
+
+    def attach(self, soc) -> None:
+        """Register this injector's hooks on a ``SocSystem``."""
+        raise NotImplementedError
+
+
+class BitFlipInjector(Injector, MemoryFaultHook):
+    """SEU on a memory read path: flip one bit of one returned value.
+
+    ``target`` selects where the hook attaches on a SoC: the four
+    SRAM banks (``"sram"``) or the DDR4 model (``"dram"``).  Each read
+    access draws once, keyed by the access sequence number, and a fault
+    flips one bit of the two's-complement 8-bit representation of one
+    value in the returned data — transient, so a replay that re-reads
+    the same location recovers.
+    """
+
+    def __init__(self, rate: float, seed: int, target: str = "sram"):
+        super().__init__(rate, seed)
+        if target not in ("sram", "dram"):
+            raise ValueError(f"target must be 'sram' or 'dram': {target}")
+        self.target = target
+        self._reads = 0
+
+    def attach(self, soc) -> None:
+        if self.target == "sram":
+            for bank in soc.accel.banks:
+                bank.fault_hook = self
+        else:
+            soc.dram.fault_hook = self
+
+    def on_read(self, mem, addr, data):
+        self._reads += 1
+        self.stats.queries += 1
+        mem_id = stable_id(mem.name)
+        if data.size == 0 or not chance(self.rate, self.seed, mem_id,
+                                        self._reads):
+            return data
+        r = prf_int(self.seed, mem_id, self._reads, 0xF11B)
+        index = r % data.size
+        bit = (r >> 8) % 8
+        value = (int(data[index]) & 0xFF) ^ (1 << bit)
+        data[index] = value - 256 if value >= 128 else value
+        self.stats.injected += 1
+        return data
+
+
+class FifoStallInjector(Injector, FifoFaultHook):
+    """Transient FIFO backpressure: ports spuriously stall for a cycle.
+
+    Verdicts are keyed by (FIFO, cycle), so however many times the
+    scheduler re-queries ``can_pop``/``can_push`` within one cycle the
+    answer is identical — injected stalls are reproducible.
+    """
+
+    def __init__(self, rate: float, seed: int):
+        super().__init__(rate, seed)
+        self._cycle = -1
+        self._seen: set[tuple[str, int]] = set()
+
+    def attach(self, soc) -> None:
+        for fifo in soc.sim.fifos:
+            fifo.fault_hook = self
+
+    def _verdict(self, fifo, now: int, salt: int) -> bool:
+        self.stats.queries += 1
+        fired = chance(self.rate, self.seed, stable_id(fifo.name), now,
+                       salt)
+        if fired:
+            if now != self._cycle:
+                self._cycle = now
+                self._seen.clear()
+            key = (fifo.name, salt)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.stats.injected += 1
+        return fired
+
+    def stall_read(self, fifo, now: int) -> bool:
+        return self._verdict(fifo, now, 1)
+
+    def stall_write(self, fifo, now: int) -> bool:
+        return self._verdict(fifo, now, 2)
+
+
+class FifoDropInjector(Injector, FifoFaultHook):
+    """Lost FIFO token: the push happens but the value never lands.
+
+    Keyed by the FIFO's push sequence number (pushes + drops), i.e. one
+    draw per actual push operation.
+    """
+
+    def attach(self, soc) -> None:
+        for fifo in soc.sim.fifos:
+            fifo.fault_hook = self
+
+    def drop_token(self, fifo, now: int, value) -> bool:
+        self.stats.queries += 1
+        sequence = fifo.stats.pushes + fifo.stats.dropped_tokens
+        fired = chance(self.rate, self.seed, stable_id(fifo.name),
+                       sequence, 3)
+        if fired:
+            self.stats.injected += 1
+        return fired
+
+
+class DmaFaultInjector(Injector, DmaFaultHook):
+    """DMA transfer errors: bus aborts and partial bursts.
+
+    One draw per descriptor the engine starts; a retried descriptor
+    gets a fresh sequence number, so retries draw independently and
+    recover with probability ``1 - rate`` each attempt.
+    """
+
+    def __init__(self, rate: float, seed: int):
+        super().__init__(rate, seed)
+        self._transfers = 0
+
+    def attach(self, soc) -> None:
+        soc.dma.fault_hook = self
+
+    def on_transfer(self, dma, descriptor):
+        self._transfers += 1
+        self.stats.queries += 1
+        dma_id = stable_id(dma.name)
+        if not chance(self.rate, self.seed, dma_id, self._transfers):
+            return None
+        self.stats.injected += 1
+        r = prf_int(self.seed, dma_id, self._transfers, 7)
+        if r & 1:
+            moved = (r >> 1) % descriptor.count
+            return DmaFaultAction(moved=moved, reason="partial-burst")
+        return DmaFaultAction(moved=0, reason="bus-abort")
+
+
+class KernelHangInjector(Injector, KernelFaultHook):
+    """Freeze a streaming kernel mid-flight.
+
+    Each (kernel, cycle) pair draws once for hang onset; a hung kernel
+    stays frozen for ``duration`` cycles (``None`` = forever, leaving
+    detection to the watchdog / cycle budget).
+    """
+
+    def __init__(self, rate: float, seed: int,
+                 duration: int | None = None):
+        super().__init__(rate, seed)
+        self.duration = duration
+        self._hung: dict[str, int] = {}   # name -> release cycle (-1 = never)
+
+    def attach(self, soc) -> None:
+        soc.sim.fault_hook = self
+
+    def kernel_hung(self, kernel, now: int) -> bool:
+        release = self._hung.get(kernel.name)
+        if release is not None:
+            if release < 0 or now < release:
+                return True
+            del self._hung[kernel.name]
+        self.stats.queries += 1
+        if not chance(self.rate, self.seed, stable_id(kernel.name), now,
+                      11):
+            return False
+        self.stats.injected += 1
+        self._hung[kernel.name] = -1 if self.duration is None \
+            else now + self.duration
+        return True
+
+
+def make_injector(fault_type: str, rate: float, seed: int) -> Injector:
+    """Instantiate a registered injector by name (see :data:`FAULT_TYPES`)."""
+    if fault_type == "sram_bitflip":
+        return BitFlipInjector(rate, seed, target="sram")
+    if fault_type == "dram_bitflip":
+        return BitFlipInjector(rate, seed, target="dram")
+    if fault_type == "fifo_stall":
+        return FifoStallInjector(rate, seed)
+    if fault_type == "fifo_drop":
+        return FifoDropInjector(rate, seed)
+    if fault_type == "dma":
+        return DmaFaultInjector(rate, seed)
+    if fault_type == "kernel_hang":
+        return KernelHangInjector(rate, seed)
+    raise ValueError(
+        f"unknown fault type {fault_type!r}; known: {', '.join(FAULT_TYPES)}")

@@ -1,0 +1,144 @@
+"""Campaign result records and the aggregated resilience report.
+
+A campaign produces one :class:`TrialResult` per (fault type, rate,
+seed) point; :class:`ResilienceReport` aggregates them into the
+detected / recovered / silent-data-corruption rates and cycle
+overheads that the resilience literature reports for soft-error
+studies.
+
+Outcome taxonomy (one per trial)
+--------------------------------
+
+``clean``
+    No fault fired (either the rate rounded to zero events for this
+    seed, or injection was disabled).  Output is bit-identical.
+``masked``
+    Faults fired but the architecture absorbed them with no recovery
+    action — e.g. a stalled FIFO cycle, or a bit flip in data that was
+    later overwritten.  Output is bit-identical.
+``recovered``
+    Faults fired, a recovery mechanism acted (DMA retry, layer
+    replay), and the final output is bit-identical to the clean run.
+``detected``
+    The fault was caught but not transparently healed: a typed error
+    surfaced (watchdog timeout, deadlock, DMA retry exhaustion,
+    divergence) or the driver degraded gracefully with flagged output.
+``sdc``
+    Silent data corruption — output differs from the clean run and
+    nothing noticed.  The failure mode resilience work tries to drive
+    to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Every outcome a trial can have, in "goodness" order.
+OUTCOMES = ("clean", "masked", "recovered", "detected", "sdc")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One fault-injection run of the campaign workload."""
+
+    fault_type: str
+    rate: float
+    seed: int
+    outcome: str          # one of OUTCOMES
+    injected: int         # faults the injector actually fired
+    cycles: int           # fabric cycles the run took (0 if aborted)
+    overhead_cycles: int  # cycles - clean-run cycles (0 if aborted)
+    detail: str = ""      # exception name, fault-log kinds, ...
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregate view over all trials of one campaign."""
+
+    clean_cycles: int
+    trials: list[TrialResult] = field(default_factory=list)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for t in self.trials if t.outcome == outcome)
+
+    @property
+    def fired_trials(self) -> list[TrialResult]:
+        """Trials in which at least one fault actually fired."""
+        return [t for t in self.trials if t.injected > 0]
+
+    def _rate_of(self, outcome: str) -> float:
+        fired = self.fired_trials
+        if not fired:
+            return 0.0
+        return sum(1 for t in fired if t.outcome == outcome) / len(fired)
+
+    @property
+    def sdc_rate(self) -> float:
+        return self._rate_of("sdc")
+
+    @property
+    def detected_rate(self) -> float:
+        return self._rate_of("detected")
+
+    @property
+    def recovered_rate(self) -> float:
+        return self._rate_of("recovered")
+
+    @property
+    def masked_rate(self) -> float:
+        return self._rate_of("masked")
+
+    def mean_overhead_cycles(self) -> float:
+        """Mean cycle overhead of runs that completed (any outcome)."""
+        done = [t for t in self.trials if t.cycles > 0]
+        if not done:
+            return 0.0
+        return sum(t.overhead_cycles for t in done) / len(done)
+
+    # -- rendering -------------------------------------------------------------
+
+    def format(self) -> str:
+        """Human-readable campaign report for the CLI."""
+        lines = []
+        lines.append("fault-injection campaign report")
+        lines.append("=" * 31)
+        lines.append(f"clean-run cycles : {self.clean_cycles}")
+        lines.append(f"trials           : {len(self.trials)} "
+                     f"({len(self.fired_trials)} with faults fired)")
+        lines.append("")
+        header = (f"{'fault type':<14} {'trials':>6} {'fired':>6} "
+                  f"{'masked':>6} {'recov':>6} {'detect':>6} {'sdc':>5} "
+                  f"{'ovh(cyc)':>9}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        fault_types = sorted({t.fault_type for t in self.trials})
+        for fault_type in fault_types:
+            rows = [t for t in self.trials if t.fault_type == fault_type]
+            fired = [t for t in rows if t.injected > 0]
+            done = [t for t in rows if t.cycles > 0]
+            overhead = (sum(t.overhead_cycles for t in done) / len(done)
+                        if done else 0.0)
+            lines.append(
+                f"{fault_type:<14} {len(rows):>6} {len(fired):>6} "
+                f"{sum(1 for t in rows if t.outcome == 'masked'):>6} "
+                f"{sum(1 for t in rows if t.outcome == 'recovered'):>6} "
+                f"{sum(1 for t in rows if t.outcome == 'detected'):>6} "
+                f"{sum(1 for t in rows if t.outcome == 'sdc'):>5} "
+                f"{overhead:>9.0f}")
+        lines.append("-" * len(header))
+        lines.append(
+            f"rates over fired trials: "
+            f"masked {self.masked_rate:.0%}  "
+            f"recovered {self.recovered_rate:.0%}  "
+            f"detected {self.detected_rate:.0%}  "
+            f"sdc {self.sdc_rate:.0%}")
+        sdc = [t for t in self.trials if t.outcome == "sdc"]
+        if sdc:
+            lines.append("")
+            lines.append("silent corruptions (investigate!):")
+            for t in sdc:
+                lines.append(f"  {t.fault_type} rate={t.rate} seed={t.seed} "
+                             f"injected={t.injected} {t.detail}")
+        return "\n".join(lines)

@@ -27,7 +27,7 @@ from repro.hls.streams import (delay_line, fork, generator_source,
                                round_robin_merge, round_robin_split,
                                streaming_filter, streaming_reduce)
 from repro.hls.waveform import STATE_GLYPHS, WaveformRecorder
-from repro.hls.sim import Simulator, TraceEvent
+from repro.hls.sim import SimSnapshot, Simulator, TraceEvent, Watchdog
 
 __all__ = [
     "Barrier", "BarrierWaitOp",
@@ -45,5 +45,5 @@ __all__ = [
     "delay_line", "fork", "generator_source", "round_robin_merge",
     "round_robin_split", "streaming_filter", "streaming_reduce",
     "STATE_GLYPHS", "WaveformRecorder",
-    "Simulator", "TraceEvent",
+    "SimSnapshot", "Simulator", "TraceEvent", "Watchdog",
 ]

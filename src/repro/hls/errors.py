@@ -8,7 +8,15 @@ from __future__ import annotations
 
 
 class HlsError(Exception):
-    """Base class for all errors raised by the HLS substrate."""
+    """Base class for all errors raised by the HLS substrate.
+
+    When the simulator can describe the system state at the moment of
+    failure, it attaches a :class:`~repro.hls.sim.SimSnapshot` as the
+    :attr:`snapshot` attribute (``None`` otherwise) — per-kernel states
+    and FIFO occupancies for post-mortem diagnosis.
+    """
+
+    snapshot = None
 
 
 class SimulationDeadlock(HlsError):

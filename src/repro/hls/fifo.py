@@ -9,7 +9,20 @@ models those queues at cycle granularity:
   one write port — the LUT-RAM FIFOs of Section IV-A);
 * a pushed value becomes visible to the consumer ``latency`` cycles
   later (default 1, a registered FIFO);
+* the *full* flag is registered: a slot freed by a pop at cycle ``t``
+  accepts a new push only from cycle ``t + 1``.  This makes a
+  same-cycle push + pop on a capacity-1 FIFO deterministic — the push
+  stalls one cycle no matter in which order the scheduler advances the
+  producer and the consumer — at the cost that a depth-1 queue cannot
+  sustain II = 1 (use depth >= 2 for back-to-back streaming, as in
+  real registered FIFOs);
 * if a ``width`` in bits is given, pushed integers are range-checked.
+
+Fault injection (see :mod:`repro.faults`) attaches through the
+:attr:`PthreadFifo.fault_hook` slot.  The slot defaults to ``None`` and
+every call site guards with a single ``is None`` test, so the clean
+path pays no overhead and no cycle-count change when no hook is
+registered.
 
 Kernels never call :meth:`PthreadFifo.pop` directly; they ``yield`` the
 operation objects returned by :meth:`read` / :meth:`write` to the
@@ -23,7 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.hls.errors import FifoWidthError
+from repro.hls.errors import FifoPortConflict, FifoWidthError
 
 
 @dataclass(frozen=True)
@@ -50,6 +63,8 @@ class FifoStats:
     max_occupancy: int = 0
     stall_full_cycles: int = 0
     stall_empty_cycles: int = 0
+    dropped_tokens: int = 0          # pushes discarded by fault injection
+    injected_stall_cycles: int = 0   # stalls forced by fault injection
 
 
 @dataclass
@@ -92,6 +107,9 @@ class PthreadFifo:
         self.width = width
         self.latency = latency
         self.stats = FifoStats()
+        #: Optional fault-injection hook (duck-typed; see
+        #: :mod:`repro.faults.hooks`). ``None`` on the clean path.
+        self.fault_hook = None
         self._entries: deque[_Entry] = deque()
         self._last_push_cycle = -1
         self._last_pop_cycle = -1
@@ -128,16 +146,39 @@ class PthreadFifo:
             return False
         if not self._entries:
             return False
-        return self._entries[0].visible_cycle <= now
+        if self._entries[0].visible_cycle > now:
+            return False
+        if (self.fault_hook is not None
+                and self.fault_hook.stall_read(self, now)):
+            self.stats.injected_stall_cycles += 1
+            return False
+        return True
 
     def can_push(self, now: int) -> bool:
-        """True if there is space and the write port is free at cycle ``now``."""
+        """True if there is space and the write port is free at cycle ``now``.
+
+        The full flag is registered: a slot freed by a pop at ``now``
+        only becomes pushable at ``now + 1``.
+        """
         if self._last_push_cycle == now:
             return False
-        return len(self._entries) < self.depth
+        occupancy = len(self._entries)
+        if self._last_pop_cycle == now:
+            occupancy += 1
+        if occupancy >= self.depth:
+            return False
+        if (self.fault_hook is not None
+                and self.fault_hook.stall_write(self, now)):
+            self.stats.injected_stall_cycles += 1
+            return False
+        return True
 
     def pop(self, now: int) -> Any:
         """Pop the head value. Caller must have checked :meth:`can_pop`."""
+        if self._last_pop_cycle == now:
+            raise FifoPortConflict(
+                f"fifo {self.name!r}: second pop at cycle {now}; the "
+                f"single read port supports one pop per cycle")
         assert self.can_pop(now), f"fifo {self.name!r}: pop without can_pop"
         self._last_pop_cycle = now
         self.stats.pops += 1
@@ -145,9 +186,19 @@ class PthreadFifo:
 
     def push(self, now: int, value: Any) -> None:
         """Push ``value``. Caller must have checked :meth:`can_push`."""
+        if self._last_push_cycle == now:
+            raise FifoPortConflict(
+                f"fifo {self.name!r}: second push at cycle {now}; the "
+                f"single write port supports one push per cycle")
         assert self.can_push(now), f"fifo {self.name!r}: push without can_push"
         self._check_width(value)
         self._last_push_cycle = now
+        if (self.fault_hook is not None
+                and self.fault_hook.drop_token(self, now, value)):
+            # The write port was exercised but the token is lost (a
+            # corrupted valid/enable signal): occupancy is unchanged.
+            self.stats.dropped_tokens += 1
+            return
         self._entries.append(_Entry(value, now + self.latency))
         self.stats.pushes += 1
         if len(self._entries) > self.stats.max_occupancy:

@@ -45,6 +45,74 @@ class TraceEvent:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class SimSnapshot:
+    """Diagnostic freeze-frame of a simulation, attached to errors.
+
+    ``kernels`` holds ``(name, state, wake_cycle)`` triples and
+    ``fifos`` holds ``(name, occupancy, depth)`` triples, enough to see
+    at a glance which kernel hung and which queues backed up.
+    """
+
+    cycle: int
+    kernels: tuple[tuple[str, str, int], ...]
+    fifos: tuple[tuple[str, int, int], ...]
+
+    def format(self) -> str:
+        lines = [f"cycle {self.cycle}"]
+        for name, state, wake in self.kernels:
+            suffix = f" (wake {wake})" if state == "sleeping" else ""
+            lines.append(f"  kernel {name:<24} {state}{suffix}")
+        for name, occupancy, depth in self.fifos:
+            lines.append(f"  fifo   {name:<24} {occupancy}/{depth}")
+        return "\n".join(lines)
+
+
+class Watchdog:
+    """Cycle-budget hang detector for a :class:`Simulator`.
+
+    The watchdog samples a progress signature — total FIFO traffic plus
+    an optional caller-supplied counter (e.g. DMA transfer counts for
+    SoC runs whose direct transfers sleep without touching FIFOs) —
+    every ``interval`` cycles. If the signature is unchanged for more
+    than ``budget`` cycles the simulator raises
+    :class:`~repro.hls.errors.SimulationTimeout` with a diagnostic
+    :class:`SimSnapshot` attached, converting silent hangs (a dropped
+    FIFO token, a hung kernel) into the existing error taxonomy.
+
+    The budget must exceed the longest legitimate quiet period of the
+    design (e.g. the largest single DMA ``Tick``).
+    """
+
+    def __init__(self, budget: int, interval: int = 64,
+                 extra_progress: Callable[[], Any] | None = None):
+        if budget < 1:
+            raise ValueError("watchdog budget must be >= 1 cycle")
+        if interval < 1:
+            raise ValueError("watchdog interval must be >= 1 cycle")
+        self.budget = budget
+        self.interval = interval
+        self.extra_progress = extra_progress
+        self._last_signature: Any = None
+        self._last_progress_cycle = 0
+        self._next_check = 0
+
+    def expired(self, sim: "Simulator") -> bool:
+        """Sample progress at cycle boundaries; True once hung."""
+        if sim.now < self._next_check:
+            return False
+        self._next_check = sim.now + self.interval
+        signature = (sum(f.stats.pushes + f.stats.pops
+                         for f in sim.fifos),
+                     None if self.extra_progress is None
+                     else self.extra_progress())
+        if signature != self._last_signature:
+            self._last_signature = signature
+            self._last_progress_cycle = sim.now
+            return False
+        return sim.now - self._last_progress_cycle > self.budget
+
+
 class Simulator:
     """Lock-step cycle simulator for a set of streaming kernels.
 
@@ -70,6 +138,11 @@ class Simulator:
         self.fifos: list[PthreadFifo] = []
         self.barriers: list[Barrier] = []
         self._ops_per_cycle_limit = ops_per_cycle_limit
+        #: Optional hang-injection hook (duck-typed; see
+        #: :mod:`repro.faults.hooks`). ``None`` on the clean path.
+        self.fault_hook = None
+        #: Optional :class:`Watchdog`; checked once per cycle when set.
+        self.watchdog: Watchdog | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -110,8 +183,8 @@ class Simulator:
             if until is not None and until():
                 return self.now - start
             if self.now - start >= max_cycles:
-                raise SimulationTimeout(
-                    f"{self.name}: exceeded {max_cycles} cycles")
+                raise self._with_snapshot(SimulationTimeout(
+                    f"{self.name}: exceeded {max_cycles} cycles"))
             self._step()
 
     def step(self) -> None:
@@ -121,26 +194,58 @@ class Simulator:
     # -- internals -------------------------------------------------------------
 
     def _step(self) -> None:
+        if self.watchdog is not None and self.watchdog.expired(self):
+            raise self._with_snapshot(SimulationTimeout(
+                f"{self.name}: watchdog expired at cycle {self.now} — no "
+                f"progress for more than {self.watchdog.budget} cycles"))
         progressed = False
+        any_hung = False
         for kernel in self.kernels:
             if kernel.finished:
+                continue
+            if (self.fault_hook is not None
+                    and self.fault_hook.kernel_hung(kernel, self.now)):
+                # An injected hang: the kernel holds its state and makes
+                # no progress; the watchdog (or max_cycles) detects it.
+                kernel.stats.sleep_cycles += 1
+                any_hung = True
                 continue
             if (kernel.state is KernelState.SLEEPING
                     and self.now < kernel.wake_cycle):
                 kernel.stats.sleep_cycles += 1
                 continue
             progressed |= self._advance_kernel(kernel)
-        if not progressed and not self._future_event_pending():
+        if not progressed and not any_hung \
+                and not self._future_event_pending():
             live = [k.name for k in self.kernels if not k.finished]
             states = {k.name: k.state.value for k in self.kernels
                       if not k.finished}
-            raise SimulationDeadlock(
+            raise self._with_snapshot(SimulationDeadlock(
                 f"{self.name}: deadlock at cycle {self.now}; "
-                f"live kernels {live} with states {states}")
+                f"live kernels {live} with states {states}"))
         self.now += 1
+
+    def snapshot(self) -> SimSnapshot:
+        """Freeze-frame of kernel states and FIFO occupancies."""
+        return SimSnapshot(
+            cycle=self.now,
+            kernels=tuple((k.name, k.state.value, k.wake_cycle)
+                          for k in self.kernels),
+            fifos=tuple((f.name, f.occupancy, f.depth)
+                        for f in self.fifos))
+
+    def _with_snapshot(self, exc):
+        exc.snapshot = self.snapshot()
+        return exc
 
     def _future_event_pending(self) -> bool:
         """True if some queued FIFO entry or barrier release can unblock."""
+        if self.fault_hook is not None \
+                or any(f.fault_hook is not None for f in self.fifos):
+            # Under fault injection a blocked system is not proof of
+            # deadlock: an injected stall may lift next cycle.  Hang
+            # detection is owned by the watchdog / max_cycles instead.
+            return True
         if any(f.has_future_visibility(self.now) for f in self.fifos):
             return True
         if any(b.pending_release(self.now) for b in self.barriers):

@@ -1,11 +1,14 @@
 """SoC substrate: Avalon bus, CSRs, ISA, DDR4, DMA, ARM host, driver."""
 
 from repro.soc.avalon import AvalonInterconnect, AvalonSlave, BusError
-from repro.soc.dma import (DmaController, DmaDescriptor, DmaDirection,
-                           DmaStats)
+from repro.soc.dma import (DmaBoundsError, DmaController, DmaDescriptor,
+                           DmaDirection, DmaError, DmaFaultAction, DmaStats,
+                           DmaTransferError)
 from repro.soc.dram import Ddr4, DramAllocator
 from repro.soc.dual import DualSocSystem, SplitConvResult, run_conv_split
-from repro.soc.driver import (FmHandle, InferenceDriver, LayerRun, SocSystem)
+from repro.soc.driver import (DivergenceError, FaultRecord, FmHandle,
+                              InferenceDriver, LayerRun, ResiliencePolicy,
+                              SocSystem)
 from repro.soc.hps import (ARM_CYCLES_PER_REORDERED_VALUE,
                            CYCLES_PER_CSR_ACCESS, ArmHost, HostTimeout)
 from repro.soc.isa import decode_instruction, encode_instruction
@@ -18,10 +21,12 @@ from repro.soc.trace import SocEvent, SocTrace
 
 __all__ = [
     "AvalonInterconnect", "AvalonSlave", "BusError",
-    "DmaController", "DmaDescriptor", "DmaDirection", "DmaStats",
+    "DmaBoundsError", "DmaController", "DmaDescriptor", "DmaDirection",
+    "DmaError", "DmaFaultAction", "DmaStats", "DmaTransferError",
     "Ddr4", "DramAllocator",
     "DualSocSystem", "SplitConvResult", "run_conv_split",
-    "FmHandle", "InferenceDriver", "LayerRun", "SocSystem",
+    "DivergenceError", "FaultRecord", "FmHandle", "InferenceDriver",
+    "LayerRun", "ResiliencePolicy", "SocSystem",
     "ARM_CYCLES_PER_REORDERED_VALUE", "CYCLES_PER_CSR_ACCESS", "ArmHost",
     "HostTimeout",
     "decode_instruction", "encode_instruction",

@@ -19,11 +19,42 @@ from repro.soc.dram import Ddr4
 from repro.soc.registers import CallbackSlave
 
 
+class DmaError(Exception):
+    """Base class for typed DMA failures."""
+
+
+class DmaBoundsError(DmaError, ValueError):
+    """A descriptor names addresses outside DRAM or bank capacity.
+
+    Raised at :meth:`DmaController.submit` time — before any data
+    moves — so a mis-programmed transfer can never silently wrap or
+    overrun into a neighbouring tensor.
+    """
+
+
+class DmaTransferError(DmaError):
+    """A transfer failed and retries (if any) were exhausted."""
+
+
 class DmaDirection(enum.Enum):
     """Transfer direction over the System I bus."""
 
     TO_BANK = "to_bank"    # DDR4 -> SRAM bank (IFM, weights)
     TO_DRAM = "to_dram"    # SRAM bank -> DDR4 (OFM)
+
+
+@dataclass(frozen=True)
+class DmaFaultAction:
+    """Injected outcome of one transfer, returned by a fault hook.
+
+    ``moved`` values are transferred before the engine signals the
+    failure: 0 models a bus abort, ``0 < moved < count`` a partial
+    burst that leaves the destination region half-written until a
+    retry overwrites it.
+    """
+
+    moved: int = 0
+    reason: str = "transfer-error"
 
 
 @dataclass(frozen=True)
@@ -48,6 +79,9 @@ class DmaStats:
     transfers: int = 0
     values_moved: int = 0
     busy_cycles: int = 0
+    failed: int = 0           # transfers that signalled an error
+    retried: int = 0          # descriptors resubmitted after a failure
+    faulted_values: int = 0   # values moved by failed (partial) bursts
 
 
 class DmaController:
@@ -69,30 +103,76 @@ class DmaController:
         self._sim = sim
         self.stats = DmaStats()
         self._pending: list[DmaDescriptor] = []
+        self._faulted: list[tuple[DmaDescriptor, str]] = []
         self._completed = 0
+        self._failed = 0
         self._submitted = 0
+        #: Optional per-transfer fault hook (duck-typed; see
+        #: :mod:`repro.faults.hooks`). ``None`` on the clean path.
+        self.fault_hook = None
         sim.add_kernel(f"{name}.engine", self._engine(), fsm_states=12)
         self.csr = CallbackSlave(f"{name}.csr")
         self.csr.register(0x00, read=lambda: self._completed)
         self.csr.register(0x04, read=lambda: self._submitted)
         self.csr.register(0x08, read=lambda: len(self._pending))
+        self.csr.register(0x0C, read=lambda: self._failed)
+        self.csr.register(0x10, read=lambda: self._completed + self._failed)
 
     # -- host-facing API -------------------------------------------------------
 
     def submit(self, descriptor: DmaDescriptor) -> None:
-        """Queue one transfer (host-side, via descriptor memory)."""
-        if descriptor.bank >= len(self.banks):
-            raise ValueError(f"no bank {descriptor.bank}")
+        """Queue one transfer (host-side, via descriptor memory).
+
+        Descriptor ranges are validated here, against the DRAM size and
+        the target bank's capacity, so an out-of-bounds transfer raises
+        :class:`DmaBoundsError` before any data moves.
+        """
+        if not 0 <= descriptor.bank < len(self.banks):
+            raise DmaBoundsError(
+                f"{self.name}: no bank {descriptor.bank} "
+                f"(have {len(self.banks)})")
+        if descriptor.dram_addr + descriptor.count \
+                > self.dram.capacity_values:
+            raise DmaBoundsError(
+                f"{self.name}: DRAM range [{descriptor.dram_addr}, "
+                f"{descriptor.dram_addr + descriptor.count}) outside "
+                f"capacity {self.dram.capacity_values}")
+        bank = self.banks[descriptor.bank]
+        if descriptor.bank_addr + descriptor.count > bank.capacity_values:
+            raise DmaBoundsError(
+                f"{self.name}: bank {bank.name!r} range "
+                f"[{descriptor.bank_addr}, "
+                f"{descriptor.bank_addr + descriptor.count}) outside "
+                f"capacity {bank.capacity_values}")
         self._pending.append(descriptor)
         self._submitted += 1
+
+    def resubmit(self, descriptor: DmaDescriptor) -> None:
+        """Retry a previously failed transfer (driver recovery path)."""
+        self.stats.retried += 1
+        self.submit(descriptor)
+
+    def take_faulted(self) -> list[tuple[DmaDescriptor, str]]:
+        """Drain and return ``(descriptor, reason)`` for failed transfers."""
+        faulted, self._faulted = self._faulted, []
+        return faulted
 
     @property
     def completed(self) -> int:
         return self._completed
 
     @property
+    def failed(self) -> int:
+        return self._failed
+
+    @property
+    def retired(self) -> int:
+        """Transfers that finished either way (completed + failed)."""
+        return self._completed + self._failed
+
+    @property
     def idle(self) -> bool:
-        return not self._pending and self._completed == self._submitted
+        return not self._pending and self.retired == self._submitted
 
     # -- the engine kernel -----------------------------------------------------
 
@@ -102,6 +182,12 @@ class DmaController:
                 yield Tick(1)
                 continue
             descriptor = self._pending.pop(0)
+            if self.fault_hook is not None:
+                action = self.fault_hook.on_transfer(self, descriptor)
+                if action is not None:
+                    yield Tick(max(1, self._apply_fault(descriptor,
+                                                        action)))
+                    continue
             bank = self.banks[descriptor.bank]
             if self.sdram_port is not None:
                 cycles = yield from self._transfer_via_sdram(descriptor,
@@ -113,6 +199,32 @@ class DmaController:
             self.stats.values_moved += descriptor.count
             self.stats.busy_cycles += cycles
             self._completed += 1
+
+    def _apply_fault(self, descriptor: DmaDescriptor,
+                     action: DmaFaultAction) -> int:
+        """Execute an injected failure; returns engine cycles to charge.
+
+        A partial burst moves ``action.moved`` values through the
+        normal data path (leaving a torn destination region for the
+        retry to overwrite); an abort moves nothing and costs only the
+        bus latency.
+        """
+        moved = min(max(int(action.moved), 0), descriptor.count)
+        if moved:
+            bank = self.banks[descriptor.bank]
+            if descriptor.direction is DmaDirection.TO_BANK:
+                data = self.dram.read(descriptor.dram_addr, moved)
+                bank.dma_write(descriptor.bank_addr, data)
+            else:
+                data = bank.dma_read(descriptor.bank_addr, moved)
+                self.dram.write(descriptor.dram_addr, data)
+            self.stats.faulted_values += moved
+        self.stats.failed += 1
+        self._faulted.append((descriptor, action.reason))
+        self._failed += 1
+        if moved:
+            return self.dram.transfer_cycles(moved)
+        return self.dram.latency_cycles
 
     def _transfer_direct(self, descriptor: DmaDescriptor,
                          bank: SramBank) -> int:

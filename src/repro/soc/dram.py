@@ -34,11 +34,18 @@ class Ddr4:
         self.latency_cycles = latency_cycles
         self.storage = np.zeros(capacity_values, dtype=np.int16)
         self.stats = DramStats()
+        #: Optional fault-injection hook applied to every read
+        #: (duck-typed; see :mod:`repro.faults.hooks`). ``None`` on the
+        #: clean path.
+        self.fault_hook = None
 
     def read(self, addr: int, count: int) -> np.ndarray:
         self._check(addr, count)
         self.stats.values_read += count
-        return self.storage[addr:addr + count].copy()
+        data = self.storage[addr:addr + count].copy()
+        if self.fault_hook is not None:
+            data = self.fault_hook.on_read(self, addr, data)
+        return data
 
     def write(self, addr: int, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=np.int16).reshape(-1)

@@ -32,8 +32,10 @@ from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
                              MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
 from repro.quant.quantize import QuantizedModel
 from repro.quant.signmag import saturate_array, shift_round_array
+from repro.quant.quantize import conv2d_int
 from repro.soc.avalon import AvalonInterconnect
-from repro.soc.dma import DmaController, DmaDescriptor, DmaDirection
+from repro.soc.dma import (DmaController, DmaDescriptor, DmaDirection,
+                           DmaTransferError)
 from repro.soc.dram import Ddr4, DramAllocator
 from repro.soc.hps import ArmHost
 from repro.soc.isa import decode_instruction, encode_instruction
@@ -49,6 +51,46 @@ REG_MAILBOX_GO = 0x08
 REG_PENDING = 0x0C
 REG_TILE_WRITES = 0x10
 DMA_REG_COMPLETED = 0x00
+DMA_REG_RETIRED = 0x10
+
+
+class DivergenceError(Exception):
+    """An accelerator layer's output diverged from the golden model
+    and could not be recovered within the resilience policy's replay
+    budget (and graceful degradation was not enabled)."""
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Driver-level fault handling knobs (Section: repro.faults).
+
+    The defaults keep the clean path bit- and cycle-identical to a
+    policy-less driver: retries and replays only activate when a fault
+    is actually signalled, and golden-output checking is opt-in.
+    """
+
+    dma_retries: int = 3            # resubmissions per failed transfer
+    backoff_base_cycles: int = 32   # first retry back-off (doubles)
+    backoff_cap_cycles: int = 1024  # exponential back-off ceiling
+    layer_replays: int = 2          # conv re-executions from staged inputs
+    check_outputs: bool = False     # golden divergence check per conv layer
+    degrade: bool = False           # record faulted tiles and continue
+
+    def backoff(self, attempt: int) -> int:
+        """Bounded exponential back-off for retry ``attempt`` (0-based)."""
+        return min(self.backoff_base_cycles << attempt,
+                   self.backoff_cap_cycles)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One detected/handled fault, appended to ``SocSystem.fault_log``."""
+
+    cycle: int
+    component: str   # "dma", "conv", ...
+    kind: str        # "dma_retry", "divergence", "replay_recovered",
+                     # "degraded", "dma_exhausted"
+    detail: str = ""
 
 
 class SocSystem:
@@ -56,7 +98,10 @@ class SocSystem:
 
     def __init__(self, bank_capacity: int = 1 << 14,
                  dram_capacity: int = 1 << 22, lanes: int = 4,
-                 trace_limit: int = 100_000):
+                 trace_limit: int = 100_000,
+                 resilience: ResiliencePolicy | None = None):
+        self.resilience = resilience or ResiliencePolicy()
+        self.fault_log: list[FaultRecord] = []
         self.trace = SocTrace(limit=trace_limit)
         self.sim = Simulator("soc")
         self.accel = AcceleratorInstance(
@@ -139,15 +184,52 @@ class SocSystem:
         return sum(bank.stats.tile_writes for bank in self.accel.banks)
 
     def run_dma(self, descriptors: list[DmaDescriptor]) -> None:
-        """Submit transfers and poll the DMA completion counter."""
-        target = self.dma.completed + len(descriptors)
-        for descriptor in descriptors:
-            self.dma.submit(descriptor)
-            self.trace.record(self.sim.now, "dma", "submit",
-                              f"{descriptor.direction.value} "
-                              f"bank{descriptor.bank} n={descriptor.count}")
-        self.host.poll(DMA_BASE + DMA_REG_COMPLETED,
-                       lambda value: value >= target)
+        """Submit transfers and poll until all retire, retrying failures.
+
+        Failed transfers (signalled by the engine's error counter) are
+        resubmitted with bounded exponential back-off up to
+        ``resilience.dma_retries`` times; if failures persist the typed
+        :class:`~repro.soc.dma.DmaTransferError` is raised. With no
+        faults injected this follows the exact submit/poll cadence of
+        the retry-less driver, so clean-path cycle counts are
+        unchanged.
+        """
+        policy = self.resilience
+        pending = list(descriptors)
+        attempt = 0
+        while True:
+            target = self.dma.retired + len(pending)
+            for descriptor in pending:
+                if attempt == 0:
+                    self.dma.submit(descriptor)
+                else:
+                    self.dma.resubmit(descriptor)
+                self.trace.record(
+                    self.sim.now, "dma",
+                    "submit" if attempt == 0 else "retry",
+                    f"{descriptor.direction.value} "
+                    f"bank{descriptor.bank} n={descriptor.count}")
+            self.host.poll(DMA_BASE + DMA_REG_RETIRED,
+                           lambda value: value >= target)
+            faulted = self.dma.take_faulted()
+            if not faulted:
+                return
+            if attempt >= policy.dma_retries:
+                self.fault_log.append(FaultRecord(
+                    self.sim.now, "dma", "dma_exhausted",
+                    f"{len(faulted)} transfers failing after "
+                    f"{attempt} retries"))
+                raise DmaTransferError(
+                    f"{len(faulted)} DMA transfers still failing after "
+                    f"{attempt} retries (first: {faulted[0][1]})")
+            backoff = policy.backoff(attempt)
+            self.fault_log.append(FaultRecord(
+                self.sim.now, "dma", "dma_retry",
+                f"{len(faulted)} failed ({faulted[0][1]}); "
+                f"backoff {backoff} cycles"))
+            self.host.delay(backoff)
+            pending = [descriptor for descriptor, _ in faulted]
+            attempt += 1
 
 
 @dataclass(frozen=True)
@@ -310,15 +392,66 @@ class InferenceDriver:
             packed.out_channels * tiles_along(out_h) * out_tx
             * TILE * TILE)
         out_handle = FmHandle(out_addr, packed.out_channels, out_h, out_w)
+        policy = soc.resilience
         dma_values = 0
-        for row0, rows in plan:
-            dma_values += self._run_conv_stripe(
-                handle, out_handle, name, packed, biases, shift,
-                apply_relu, row0, rows, halo)
+        for replay in range(policy.layer_replays + 1):
+            # Checkpoint/replay: the staged inputs — the IFM behind
+            # ``handle`` and the packed weight streams — live in DDR4
+            # and are never mutated by the layer, so a faulted attempt
+            # re-executes from here instead of restarting the network.
+            for row0, rows in plan:
+                dma_values += self._run_conv_stripe(
+                    handle, out_handle, name, packed, biases, shift,
+                    apply_relu, row0, rows, halo)
+            if not policy.check_outputs:
+                break
+            bad_channels = self._divergent_channels(
+                handle, out_handle, packed, biases, shift, apply_relu)
+            if not bad_channels:
+                if replay:
+                    soc.fault_log.append(FaultRecord(
+                        soc.sim.now, "conv", "replay_recovered",
+                        f"{name}: clean after {replay} replay(s)"))
+                break
+            soc.fault_log.append(FaultRecord(
+                soc.sim.now, "conv", "divergence",
+                f"{name}: channels {bad_channels[:8]} diverge "
+                f"(attempt {replay})"))
+            if replay == policy.layer_replays:
+                if policy.degrade:
+                    soc.fault_log.append(FaultRecord(
+                        soc.sim.now, "conv", "degraded",
+                        f"{name}: continuing with {len(bad_channels)} "
+                        f"faulted channel(s) {bad_channels[:8]}"))
+                    break
+                raise DivergenceError(
+                    f"{name}: output diverges from golden model in "
+                    f"channels {bad_channels[:8]} after "
+                    f"{policy.layer_replays} replay(s)")
         run = LayerRun(name=name, kind="conv",
                        cycles=soc.sim.now - start, dma_values=dma_values,
                        out_shape=(packed.out_channels, out_h, out_w))
         return out_handle, run
+
+    def _divergent_channels(self, handle: FmHandle, out_handle: FmHandle,
+                            packed: PackedLayer, biases: np.ndarray,
+                            shift: int, apply_relu: bool) -> list[int]:
+        """Output channels whose OFM differs from the golden conv.
+
+        The check runs on the ARM against the staged DDR4 inputs — pure
+        host-side arithmetic, so it consumes no fabric cycles and the
+        clean path's cycle counts are untouched.
+        """
+        ifm = self.read_feature_map(handle).astype(np.int64)
+        acc = conv2d_int(ifm, packed.unpack())
+        acc = acc + np.asarray(biases, dtype=np.int64).reshape(-1, 1, 1)
+        golden = shift_round_array(acc, shift)
+        if apply_relu:
+            golden = np.maximum(golden, 0)
+        golden = saturate_array(golden).astype(np.int16)
+        got = self.read_feature_map(out_handle)
+        mismatch = (got != golden).any(axis=(1, 2))
+        return [int(c) for c in np.nonzero(mismatch)[0]]
 
     def _plan_stripes(self, handle: FmHandle, packed: PackedLayer,
                       out_h: int, out_w: int, name: str

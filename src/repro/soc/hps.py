@@ -70,6 +70,10 @@ class ArmHost:
                     f"poll of {addr:#06x} exceeded {max_cycles} cycles")
             self._advance(POLL_INTERVAL)
 
+    def delay(self, cycles: int) -> None:
+        """Busy-wait ``cycles`` on the fabric clock (retry back-off)."""
+        self._advance(cycles)
+
     # -- software-side work accounting --------------------------------------------
 
     def account_reorder(self, values: int) -> None:

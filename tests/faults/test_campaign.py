@@ -1,0 +1,120 @@
+"""Campaign-level properties: zero-rate identity, detection, recovery.
+
+The key acceptance properties of the resilience subsystem:
+
+* a zero-rate campaign trial is *bit- and cycle-identical* to a clean
+  run — registered hooks that never fire cost nothing;
+* an injected DMA fault with retry enabled completes bit-identical to
+  the clean run, with the recovery visible in the fault log;
+* the campaign report shows non-zero detected + recovered counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import PackedLayer
+from repro.faults import (FAULT_TYPES, CampaignConfig, DmaFaultInjector,
+                          ResilienceReport, TrialResult, make_injector,
+                          run_campaign, run_trial, run_workload,
+                          smoke_config)
+from repro.soc import InferenceDriver, ResiliencePolicy, SocSystem
+
+
+def test_zero_rate_run_bit_identical_for_every_fault_type():
+    """Hooks registered at rate 0 leave output AND cycles unchanged."""
+    golden, clean_cycles, _ = run_workload()
+    for fault_type in FAULT_TYPES:
+        injector = make_injector(fault_type, 0.0, seed=0)
+        output, cycles, soc = run_workload(
+            injector, ResiliencePolicy(check_outputs=True),
+            watchdog_budget=5_000)
+        assert injector.fired == 0, fault_type
+        assert np.array_equal(output, golden), fault_type
+        assert cycles == clean_cycles, fault_type
+        assert soc.fault_log == [], fault_type
+
+
+def test_zero_rate_trial_classified_clean():
+    golden, clean_cycles, _ = run_workload()
+    config = CampaignConfig()
+    trial = run_trial("dma", 0.0, 0, golden, clean_cycles, config)
+    assert trial.outcome == "clean"
+    assert trial.injected == 0
+    assert trial.overhead_cycles == 0
+
+
+def test_dma_fault_recovery_bit_identical():
+    """An injected DMA fault retries to a bit-identical result."""
+    golden, clean_cycles, _ = run_workload()
+    injector = DmaFaultInjector(rate=0.2, seed=0)
+    output, cycles, soc = run_workload(injector, watchdog_budget=5_000)
+    assert injector.fired > 0
+    kinds = {record.kind for record in soc.fault_log}
+    assert "dma_retry" in kinds
+    assert np.array_equal(output, golden)
+    assert cycles > clean_cycles   # back-off + resubmission cost cycles
+
+
+def test_smoke_campaign_detects_and_recovers():
+    report = run_campaign(smoke_config())
+    assert report.clean_cycles > 0
+    assert len(report.trials) == 4
+    assert report.count("recovered") > 0
+    assert report.count("recovered") + report.count("detected") > 0
+    assert report.count("sdc") == 0
+    text = report.format()
+    assert "campaign report" in text
+    assert "dma" in text
+
+
+def test_campaign_is_deterministic():
+    config = smoke_config()
+    first = run_campaign(config)
+    second = run_campaign(config)
+    assert first.trials == second.trials
+    assert first.clean_cycles == second.clean_cycles
+
+
+def test_report_aggregation():
+    report = ResilienceReport(clean_cycles=1000)
+    report.trials = [
+        TrialResult("dma", 0.1, 0, "clean", 0, 1000, 0),
+        TrialResult("dma", 0.1, 1, "recovered", 2, 1200, 200),
+        TrialResult("dma", 0.1, 2, "detected", 3, 0, 0),
+        TrialResult("dma", 0.1, 3, "sdc", 1, 1000, 0),
+    ]
+    assert len(report.fired_trials) == 3
+    assert report.recovered_rate == pytest.approx(1 / 3)
+    assert report.detected_rate == pytest.approx(1 / 3)
+    assert report.sdc_rate == pytest.approx(1 / 3)
+    assert report.mean_overhead_cycles() == pytest.approx(200 / 3)
+    assert "investigate" in report.format()
+
+
+def _run_vgg16_conv1_1(injector=None):
+    """VGG-16's first conv layer (3->64, 3x3) on a 16x16 crop."""
+    rng = np.random.default_rng(0)
+    ifm = rng.integers(-32, 32, size=(3, 16, 16), dtype=np.int16)
+    weights = rng.integers(-16, 16, size=(64, 3, 3, 3)).astype(np.int8)
+    biases = rng.integers(-64, 64, size=(64,)).astype(np.int64)
+    soc = SocSystem(bank_capacity=1 << 14)
+    driver = InferenceDriver(soc)
+    if injector is not None:
+        injector.attach(soc)
+    handle = driver.load_feature_map(ifm)
+    packed = PackedLayer.pack(weights)
+    driver.load_packed_weights("conv1_1", packed)
+    out_handle, _ = driver.run_conv(handle, "conv1_1", packed, biases,
+                                    shift=2, apply_relu=True)
+    return driver.read_feature_map(out_handle), soc
+
+
+def test_vgg16_conv_layer_with_dma_fault_matches_clean():
+    """Acceptance: VGG-16 conv layer + injected DMA faults + retry
+    completes bit-identical to the clean run."""
+    golden, _ = _run_vgg16_conv1_1()
+    injector = DmaFaultInjector(rate=0.2, seed=0)
+    output, soc = _run_vgg16_conv1_1(injector)
+    assert injector.fired > 0
+    assert any(record.kind == "dma_retry" for record in soc.fault_log)
+    assert np.array_equal(output, golden)

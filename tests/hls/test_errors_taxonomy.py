@@ -1,0 +1,147 @@
+"""Every class in ``repro.hls.errors`` is raisable through public API.
+
+These are regression tests for the error taxonomy itself: each typed
+error must be reachable by driving the simulator / FIFO / bitwidth
+front doors (not merely importable), must subclass ``HlsError``, and —
+for the scheduler-raised ones — must carry a diagnostic snapshot.
+"""
+
+import pytest
+
+from repro.hls import (BitwidthAnalyzer, BitwidthOverflow,
+                       CombinationalLoop, FifoPortConflict, FifoWidthError,
+                       HlsError, KernelError, PthreadFifo, SimSnapshot,
+                       SimulationDeadlock, SimulationTimeout, Simulator,
+                       Tick, Watchdog)
+
+
+def test_all_errors_subclass_hls_error():
+    for cls in (SimulationDeadlock, SimulationTimeout, CombinationalLoop,
+                FifoWidthError, FifoPortConflict, BitwidthOverflow,
+                KernelError):
+        assert issubclass(cls, HlsError)
+        assert issubclass(cls, Exception)
+
+
+def test_simulation_deadlock_with_snapshot():
+    sim = Simulator("deadlock")
+    q = sim.fifo("q", depth=2)
+
+    def reader():
+        yield q.read()   # no writer exists: blocks forever
+
+    sim.add_kernel("reader", reader())
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        sim.run()
+    snapshot = excinfo.value.snapshot
+    assert isinstance(snapshot, SimSnapshot)
+    assert ("q", 0, 2) in snapshot.fifos
+    assert "reader" in snapshot.format()
+
+
+def test_simulation_timeout_from_max_cycles():
+    sim = Simulator("spin")
+
+    def spinner():
+        while True:
+            yield Tick(1)
+
+    sim.add_kernel("spinner", spinner())
+    with pytest.raises(SimulationTimeout) as excinfo:
+        sim.run(max_cycles=50)
+    assert isinstance(excinfo.value.snapshot, SimSnapshot)
+
+
+def test_simulation_timeout_from_watchdog():
+    # A spinner ticks forever without FIFO traffic: no "progress" by
+    # the watchdog's signature, so the cycle budget trips long before
+    # max_cycles would.
+    sim = Simulator("hung")
+    sim.fifo("idle", depth=2)
+
+    def spinner():
+        while True:
+            yield Tick(1)
+
+    sim.add_kernel("spinner", spinner())
+    sim.watchdog = Watchdog(budget=100, interval=16)
+    with pytest.raises(SimulationTimeout, match="watchdog"):
+        sim.run(max_cycles=1_000_000)
+    assert sim.now < 1_000
+
+
+def test_watchdog_does_not_fire_while_progressing():
+    sim = Simulator("busy")
+    q = sim.fifo("q", depth=2)
+
+    def writer():
+        for i in range(300):
+            yield q.write(i)
+            yield Tick(1)
+
+    def reader():
+        for _ in range(300):
+            yield q.read()
+
+    sim.add_kernel("writer", writer())
+    sim.add_kernel("reader", reader())
+    sim.watchdog = Watchdog(budget=32, interval=8)
+    sim.run()   # steady FIFO traffic: the watchdog must stay quiet
+    assert all(k.finished for k in sim.kernels)
+
+
+def test_combinational_loop():
+    # Unbounded same-cycle work needs a pool of bypass queues, since
+    # each FIFO port allows one transfer per cycle.
+    sim = Simulator("comb", ops_per_cycle_limit=8)
+    queues = [sim.fifo(f"q{i}", depth=4, latency=0) for i in range(16)]
+
+    def looper():
+        while True:   # never ticks; touches a fresh port each op
+            for queue in queues:
+                yield queue.write(0)
+
+    sim.add_kernel("looper", looper())
+    with pytest.raises(CombinationalLoop):
+        sim.run()
+
+
+def test_fifo_width_error():
+    sim = Simulator("width")
+    q = sim.fifo("narrow", depth=2, width=4)
+
+    def writer():
+        yield q.write(200)   # does not fit in 4 bits
+
+    sim.add_kernel("writer", writer())
+    with pytest.raises(FifoWidthError):
+        sim.run()
+
+
+def test_fifo_port_conflict():
+    fifo = PthreadFifo("pc", depth=4)
+    fifo.push(0, 0)
+    with pytest.raises(FifoPortConflict):
+        fifo.push(0, 1)   # second push on the same cycle
+
+
+def test_bitwidth_overflow():
+    analyzer = BitwidthAnalyzer()
+    analyzer.declare("acc", 8, signed=True)
+    analyzer.record("acc", 127)
+    with pytest.raises(BitwidthOverflow):
+        analyzer.record("acc", 128)
+
+
+def test_kernel_error_wraps_original():
+    sim = Simulator("crash")
+
+    def crasher():
+        yield Tick(1)
+        raise ValueError("boom")
+
+    sim.add_kernel("crasher", crasher())
+    with pytest.raises(KernelError) as excinfo:
+        sim.run()
+    assert excinfo.value.kernel_name == "crasher"
+    assert isinstance(excinfo.value.original, ValueError)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hls import FifoWidthError, PthreadFifo
+from repro.hls import FifoPortConflict, FifoWidthError, PthreadFifo
 
 
 def test_rejects_bad_geometry():
@@ -39,7 +39,43 @@ def test_capacity_counts_invisible_entries():
     assert not fifo.can_push(now=0)
     assert not fifo.can_push(now=1)  # still full until popped
     assert fifo.pop(1) == 1
-    assert fifo.can_push(now=1)
+    # The full flag is registered: the slot freed at cycle 1 accepts a
+    # push only from cycle 2.
+    assert not fifo.can_push(now=1)
+    assert fifo.can_push(now=2)
+
+
+def test_same_cycle_push_pop_is_order_independent():
+    """Chosen semantics: a pop at cycle t never enables a push at t.
+
+    Whichever side the scheduler advances first, a capacity-1 FIFO
+    serves one value every two cycles — deterministic under fault
+    injection and kernel reordering.
+    """
+    # Consumer processed first: pop at t, then attempt push at t.
+    fifo = PthreadFifo("q", depth=1, latency=0)
+    fifo.push(0, "a")
+    assert fifo.pop(1) == "a"
+    assert not fifo.can_push(now=1)
+    assert fifo.can_push(now=2)
+    # Producer processed first: push attempt at t (queue full), then pop.
+    fifo = PthreadFifo("q", depth=1, latency=0)
+    fifo.push(0, "a")
+    assert not fifo.can_push(now=1)
+    assert fifo.pop(1) == "a"
+    assert not fifo.can_push(now=1)  # same verdict as consumer-first
+    assert fifo.can_push(now=2)
+
+
+def test_port_conflict_raises_typed_error():
+    fifo = PthreadFifo("q", depth=4, latency=0)
+    fifo.push(0, 1)
+    with pytest.raises(FifoPortConflict):
+        fifo.push(0, 2)
+    fifo.push(1, 2)
+    assert fifo.pop(1) == 1
+    with pytest.raises(FifoPortConflict):
+        fifo.pop(1)
 
 
 def test_one_push_and_one_pop_per_cycle():

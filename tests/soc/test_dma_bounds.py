@@ -1,0 +1,128 @@
+"""Descriptor validation and failure accounting in the DMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.sram import SramBank
+from repro.hls import Simulator
+from repro.soc import (DmaBoundsError, DmaController, DmaDescriptor,
+                       DmaDirection, DmaError, Ddr4)
+from repro.soc.dma import DmaFaultAction
+
+
+def make_dma(bank_capacity=256, dram_capacity=1024):
+    sim = Simulator("dma-test")
+    dram = Ddr4(capacity_values=dram_capacity)
+    banks = [SramBank(f"bank{i}", capacity_values=bank_capacity)
+             for i in range(2)]
+    return sim, dram, DmaController(sim, dram, banks)
+
+
+def test_unknown_bank_raises_bounds_error():
+    _, _, dma = make_dma()
+    with pytest.raises(DmaBoundsError, match="no bank 7"):
+        dma.submit(DmaDescriptor(direction=DmaDirection.TO_BANK,
+                                 dram_addr=0, bank=7, bank_addr=0,
+                                 count=8))
+
+
+def test_dram_overrun_raises_bounds_error():
+    _, _, dma = make_dma(dram_capacity=1024)
+    with pytest.raises(DmaBoundsError, match="DRAM range"):
+        dma.submit(DmaDescriptor(direction=DmaDirection.TO_BANK,
+                                 dram_addr=1020, bank=0, bank_addr=0,
+                                 count=8))
+
+
+def test_bank_overrun_raises_bounds_error():
+    _, _, dma = make_dma(bank_capacity=256)
+    with pytest.raises(DmaBoundsError, match="bank .* range"):
+        dma.submit(DmaDescriptor(direction=DmaDirection.TO_DRAM,
+                                 dram_addr=0, bank=1, bank_addr=250,
+                                 count=8))
+
+
+def test_bounds_error_is_typed_and_backward_compatible():
+    # Pre-existing callers catch ValueError; new callers catch DmaError.
+    assert issubclass(DmaBoundsError, DmaError)
+    assert issubclass(DmaBoundsError, ValueError)
+
+
+def test_bounds_check_rejects_before_any_data_moves():
+    sim, dram, dma = make_dma()
+    dram.write(0, np.arange(16, dtype=np.int16))
+    with pytest.raises(DmaBoundsError):
+        dma.submit(DmaDescriptor(direction=DmaDirection.TO_BANK,
+                                 dram_addr=0, bank=0, bank_addr=255,
+                                 count=16))
+    assert dma._submitted == 0
+    assert dma.idle
+    bank_before = dma.banks[0].dma_read(0, 256).copy()
+    sim.run(max_cycles=50, until=lambda: sim.now >= 40)
+    assert np.array_equal(dma.banks[0].dma_read(0, 256), bank_before)
+
+
+class OneShotFault:
+    """Fails the first transfer it sees, then stays quiet."""
+
+    def __init__(self, moved=0):
+        self.action = DmaFaultAction(moved=moved, reason="test-abort")
+
+    def on_transfer(self, dma, descriptor):
+        action, self.action = self.action, None
+        return action
+
+
+def test_failed_and_retried_counters():
+    sim, dram, dma = make_dma()
+    dram.write(0, np.arange(32, dtype=np.int16))
+    dma.fault_hook = OneShotFault()
+    descriptor = DmaDescriptor(direction=DmaDirection.TO_BANK,
+                               dram_addr=0, bank=0, bank_addr=0, count=32)
+    dma.submit(descriptor)
+    sim.run(until=lambda: dma.retired >= 1)
+    assert dma.stats.failed == 1
+    assert dma.failed == 1
+    assert dma.completed == 0
+    faulted = dma.take_faulted()
+    assert [(d, r) for d, r in faulted] == [(descriptor, "test-abort")]
+    assert dma.take_faulted() == []   # drained
+    dma.resubmit(descriptor)
+    sim.run(until=lambda: dma.completed >= 1)
+    assert dma.stats.retried == 1
+    assert dma.stats.transfers == 1
+    assert dma.idle
+    assert np.array_equal(dma.banks[0].dma_read(0, 32),
+                          np.arange(32, dtype=np.int16))
+
+
+def test_partial_burst_tears_then_retry_overwrites():
+    sim, dram, dma = make_dma()
+    dram.write(0, np.full(32, 5, dtype=np.int16))
+    dma.fault_hook = OneShotFault(moved=10)
+    descriptor = DmaDescriptor(direction=DmaDirection.TO_BANK,
+                               dram_addr=0, bank=0, bank_addr=0, count=32)
+    dma.submit(descriptor)
+    sim.run(until=lambda: dma.retired >= 1)
+    torn = dma.banks[0].dma_read(0, 32)
+    assert np.count_nonzero(torn == 5) == 10   # only the moved prefix
+    assert dma.stats.faulted_values == 10
+    dma.take_faulted()
+    dma.resubmit(descriptor)
+    sim.run(until=lambda: dma.completed >= 1)
+    assert np.array_equal(dma.banks[0].dma_read(0, 32),
+                          np.full(32, 5, dtype=np.int16))
+
+
+def test_retired_csr_counts_completed_and_failed():
+    sim, dram, dma = make_dma()
+    dram.write(0, np.arange(8, dtype=np.int16))
+    dma.fault_hook = OneShotFault()
+    for _ in range(2):
+        dma.submit(DmaDescriptor(direction=DmaDirection.TO_BANK,
+                                 dram_addr=0, bank=0, bank_addr=0,
+                                 count=8))
+    sim.run(until=lambda: dma.retired >= 2)
+    assert dma.csr.read_word(0x0C) == 1          # failed
+    assert dma.csr.read_word(0x10) == 2          # retired = completed+failed
+    assert dma.csr.read_word(0x00) == 1          # completed
