@@ -1,0 +1,56 @@
+"""O1 — Clean-path overhead of the telemetry hooks.
+
+The observability subsystem makes the same bargain as the fault hooks
+(R1): every instrumented site — FIFO ports, SRAM banks, DMA, DDR4,
+kernel stalls, the per-cycle tick — hides behind a single ``is None``
+guard, so an un-instrumented run is bit- and cycle-identical to a
+build without the subsystem.  And because the hooks are observation
+only, even an *attached* hub (metrics, or metrics + timeline
+recording) must leave cycle counts and outputs untouched: telemetry
+that changed what it measured would be worthless.
+"""
+
+import numpy as np
+
+from repro.faults import run_workload
+from repro.obs import Telemetry
+
+
+def compute_rows():
+    golden, clean_cycles, _ = run_workload()
+    rows = [("no hub (baseline)", clean_cycles, True)]
+
+    output, cycles, _ = run_workload(telemetry=Telemetry())
+    rows.append(("metrics hub attached", cycles,
+                 bool(np.array_equal(output, golden))))
+
+    telemetry = Telemetry(timeline=True, counter_interval=16)
+    output, cycles, _ = run_workload(telemetry=telemetry)
+    rows.append(("metrics + timeline recording", cycles,
+                 bool(np.array_equal(output, golden))))
+    spans = len(telemetry.timeline.state_spans)
+
+    return clean_cycles, rows, spans
+
+
+def format_table(clean_cycles, rows, spans):
+    lines = ["O1: telemetry clean-path overhead (campaign conv layer)",
+             f"{'configuration':<34}{'cycles':>8}{'delta':>7}"
+             f"{'bit-exact':>11}"]
+    for label, cycles, exact in rows:
+        lines.append(f"{label:<34}{cycles:>8}"
+                     f"{cycles - clean_cycles:>7}"
+                     f"{str(exact):>11}")
+    lines.append(f"(timeline recorded {spans} kernel-state spans while "
+                 f"changing nothing)")
+    return "\n".join(lines)
+
+
+def test_obs_hook_overhead(benchmark, emit):
+    clean_cycles, rows, spans = benchmark.pedantic(compute_rows, rounds=1,
+                                                   iterations=1)
+    emit("o1_obs_overhead", format_table(clean_cycles, rows, spans))
+    for label, cycles, exact in rows:
+        assert cycles == clean_cycles, label
+        assert exact, label
+    assert spans > 0

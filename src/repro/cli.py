@@ -12,6 +12,9 @@ Usage::
     python -m repro explore       # design-space Pareto sweep
     python -m repro program       # compiled schedule of the demo net
     python -m repro faults campaign [--smoke]   # resilience campaign
+    python -m repro profile conv1_1 [--smoke]   # per-layer bottleneck table
+    python -m repro profile vgg16               # representative layer sweep
+    python -m repro trace --out trace.json      # Perfetto/Chrome timeline
     python -m repro all           # the evaluation tables in one go
 """
 
@@ -203,6 +206,34 @@ def cmd_faults(args) -> str:
     return "\n" + report.format()
 
 
+def cmd_profile(args) -> str:
+    """Profile scaled VGG-16 layer(s) and print the bottleneck table."""
+    from repro.obs import run_profile
+    target = getattr(args, "subcommand", None) or "conv1_1"
+    result = run_profile(target, smoke=args.smoke, seed=args.seed)
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(result.json())
+    if args.json:
+        return result.json()
+    return result.format()
+
+
+def cmd_trace(args) -> str:
+    """Run a profile with the timeline recorder and export Chrome JSON."""
+    import json as _json
+    from repro.obs import run_profile
+    target = getattr(args, "subcommand", None) or "conv1_1"
+    result = run_profile(target, smoke=args.smoke, seed=args.seed,
+                         timeline=True)
+    trace = result.chrome_trace()
+    out = args.out or "trace.json"
+    with open(out, "w") as fh:
+        _json.dump(trace, fh)
+    return (f"wrote {len(trace['traceEvents'])} trace events to {out} "
+            f"(open in https://ui.perfetto.dev or chrome://tracing)")
+
+
 def cmd_all(args) -> str:
     return "\n\n".join([cmd_fig6(args), cmd_fig7(args), cmd_fig8(args),
                         cmd_table1(args), cmd_validate(args),
@@ -220,7 +251,16 @@ COMMANDS = {
     "explore": cmd_explore,
     "program": cmd_program,
     "faults": cmd_faults,
+    "profile": cmd_profile,
+    "trace": cmd_trace,
     "all": cmd_all,
+}
+
+#: Commands whose optional positional ``subcommand`` is meaningful.
+SUBCOMMANDS = {
+    "faults": "'campaign'",
+    "profile": "a VGG-16 conv layer name or 'vgg16'",
+    "trace": "a VGG-16 conv layer name or 'vgg16'",
 }
 
 
@@ -232,7 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="which table/figure to regenerate")
     parser.add_argument("subcommand", nargs="?", default=None,
-                        help="subcommand (faults: 'campaign')")
+                        help="subcommand (faults: 'campaign'; "
+                             "profile/trace: layer name or 'vgg16')")
     parser.add_argument("--seed", type=int, default=0,
                         help="synthetic-model seed (default 0)")
     parser.add_argument("--cases", type=int, default=8,
@@ -240,14 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--variant", default="512-opt",
                         help="variant for the layers command")
     parser.add_argument("--smoke", action="store_true",
-                        help="faults: run the quick CI smoke campaign")
+                        help="faults/profile/trace: quick CI-scale run")
+    parser.add_argument("--json", action="store_true",
+                        help="profile: print the report as JSON")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="profile: also write the metrics JSON here")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="trace: output file (default trace.json)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.subcommand and args.command != "faults":
+    if args.subcommand and args.command not in SUBCOMMANDS:
         parser.error(f"command {args.command!r} takes no subcommand "
                      f"(got {args.subcommand!r})")
     print(COMMANDS[args.command](args))

@@ -69,6 +69,11 @@ class SramBank:
         #: (duck-typed; see :mod:`repro.faults.hooks`). ``None`` on the
         #: clean path, where the guard costs one identity test.
         self.fault_hook = None
+        #: Optional telemetry hub (duck-typed; see
+        #: :mod:`repro.obs.metrics`); counts per-port traffic and
+        #: same-cycle port conflicts. Observation only, ``None`` on the
+        #: clean path.
+        self.obs = None
 
     # -- tile-wide ports ------------------------------------------------------
 
@@ -76,6 +81,8 @@ class SramBank:
         """Port A: read the 16-value word at tile address ``addr``."""
         self._check_addr(addr)
         self.stats.tile_reads += 1
+        if self.obs is not None:
+            self.obs.on_tile_read(self)
         base = addr * self.word_values
         data = self.storage[base:base + self.word_values].copy()
         if self.fault_hook is not None:
@@ -91,6 +98,8 @@ class SramBank:
                 f"bank {self.name!r}: tile write needs {self.word_values} "
                 f"values, got {values.size}")
         self.stats.tile_writes += 1
+        if self.obs is not None:
+            self.obs.on_tile_write(self)
         base = addr * self.word_values
         self.storage[base:base + self.word_values] = values.reshape(-1)
 
@@ -108,6 +117,8 @@ class SramBank:
                 f"{value_addr + count}) outside capacity "
                 f"{self.capacity_values}")
         self.stats.stream_values_read += count
+        if self.obs is not None:
+            self.obs.on_stream_read(self, count)
         data = self.storage[value_addr:value_addr + count].copy()
         if self.fault_hook is not None:
             data = self.fault_hook.on_read(self, value_addr, data)
@@ -128,6 +139,8 @@ class SramBank:
                 f"{value_addr + values.size}) outside capacity")
         self.storage[value_addr:value_addr + values.size] = values
         self.stats.dma_values_written += values.size
+        if self.obs is not None:
+            self.obs.on_bank_dma_write(self, values.size)
 
     def dma_read(self, value_addr: int, count: int) -> np.ndarray:
         """Bulk load by the DMA engine (bank -> off-chip)."""
@@ -136,6 +149,8 @@ class SramBank:
                 f"bank {self.name!r}: DMA read [{value_addr}, "
                 f"{value_addr + count}) outside capacity")
         self.stats.dma_values_read += count
+        if self.obs is not None:
+            self.obs.on_bank_dma_read(self, count)
         data = self.storage[value_addr:value_addr + count].copy()
         if self.fault_hook is not None:
             data = self.fault_hook.on_read(self, value_addr, data)

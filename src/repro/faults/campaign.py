@@ -54,6 +54,11 @@ class CampaignConfig:
     workload_seed: int = 7
     watchdog_budget: int = 5_000
     watchdog_interval: int = 64
+    #: Attach a :class:`repro.obs.metrics.Telemetry` hub to each trial
+    #: and store a per-trial summary in ``TrialResult.metrics`` (where
+    #: the recovery cycles went). Observation-only: cycle counts and
+    #: outcomes are identical either way.
+    collect_metrics: bool = False
 
     def rates_for(self, fault_type: str) -> tuple[float, ...]:
         table = self.rates or DEFAULT_RATES
@@ -85,16 +90,21 @@ def run_workload(injector: Injector | None = None,
                  watchdog_budget: int | None = None,
                  watchdog_interval: int = 64,
                  workload_seed: int = 7,
-                 bank_capacity: int = 1 << 14):
+                 bank_capacity: int = 1 << 14,
+                 telemetry=None):
     """One end-to-end conv layer on a fresh SoC.
 
     Returns ``(output, cycles, soc)``: the CHW int16 OFM, total fabric
     cycles, and the system (for its ``fault_log`` and stats).  Raises
     whatever the detection machinery raises when a fault is caught but
-    not recovered.
+    not recovered.  A :class:`repro.obs.metrics.Telemetry` hub passed
+    as ``telemetry`` is attached to the fresh system before any work
+    (observation-only, so cycles are unchanged).
     """
     ifm, weights, biases = workload_tensors(workload_seed)
     soc = SocSystem(bank_capacity=bank_capacity, resilience=policy)
+    if telemetry is not None:
+        telemetry.attach(soc)
     driver = InferenceDriver(soc)
     if injector is not None:
         injector.attach(soc)
@@ -132,29 +142,56 @@ def _classify(output, golden, injector: Injector, soc) -> tuple[str, str]:
     return "sdc", detail
 
 
+def _metrics_summary(telemetry) -> dict | None:
+    """Compact where-did-the-cycles-go summary for a trial's report."""
+    if telemetry is None:
+        return None
+    report = telemetry.report()
+    stalls = report.stalls_by_resource()
+    top = dict(sorted(stalls.items(), key=lambda kv: -kv[1])[:8])
+    return {
+        "total_cycles": report.total_cycles,
+        "kernel_totals": report.kernel_totals(),
+        "stalls_by_resource": top,
+        "dma": None if report.dma is None else {
+            "transfers": report.dma.transfers,
+            "busy_cycles": report.dma.busy_cycles,
+            "failed": report.dma.failed,
+            "retried": report.dma.retried,
+        },
+    }
+
+
 def run_trial(fault_type: str, rate: float, seed: int,
               golden: np.ndarray, clean_cycles: int,
               config: CampaignConfig) -> TrialResult:
     """One injection run, classified against the golden output."""
     injector = make_injector(fault_type, rate, seed)
     policy = ResiliencePolicy(check_outputs=True, degrade=True)
+    telemetry = None
+    if config.collect_metrics:
+        from repro.obs.metrics import Telemetry
+        telemetry = Telemetry()
     try:
         output, cycles, soc = run_workload(
             injector, policy,
             watchdog_budget=config.watchdog_budget,
             watchdog_interval=config.watchdog_interval,
-            workload_seed=config.workload_seed)
+            workload_seed=config.workload_seed,
+            telemetry=telemetry)
     except DETECTION_ERRORS as exc:
         return TrialResult(fault_type=fault_type, rate=rate, seed=seed,
                            outcome="detected", injected=injector.fired,
                            cycles=0, overhead_cycles=0,
-                           detail=type(exc).__name__)
+                           detail=type(exc).__name__,
+                           metrics=_metrics_summary(telemetry))
     outcome, detail = _classify(output, golden, injector, soc)
     return TrialResult(fault_type=fault_type, rate=rate, seed=seed,
                        outcome=outcome, injected=injector.fired,
                        cycles=cycles,
                        overhead_cycles=cycles - clean_cycles,
-                       detail=detail)
+                       detail=detail,
+                       metrics=_metrics_summary(telemetry))
 
 
 def run_campaign(config: CampaignConfig | None = None,

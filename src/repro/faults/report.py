@@ -49,6 +49,10 @@ class TrialResult:
     cycles: int           # fabric cycles the run took (0 if aborted)
     overhead_cycles: int  # cycles - clean-run cycles (0 if aborted)
     detail: str = ""      # exception name, fault-log kinds, ...
+    #: Optional telemetry summary (``CampaignConfig.collect_metrics``):
+    #: total cycles, kernel-cycle totals, stall attribution and DMA
+    #: stats for the trial, showing where recovery cycles went.
+    metrics: dict | None = None
 
 
 @dataclass

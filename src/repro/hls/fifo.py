@@ -110,6 +110,10 @@ class PthreadFifo:
         #: Optional fault-injection hook (duck-typed; see
         #: :mod:`repro.faults.hooks`). ``None`` on the clean path.
         self.fault_hook = None
+        #: Optional telemetry hub (duck-typed; see
+        #: :mod:`repro.obs.metrics`). Observation only; ``None`` on the
+        #: clean path.
+        self.obs = None
         self._entries: deque[_Entry] = deque()
         self._last_push_cycle = -1
         self._last_pop_cycle = -1
@@ -182,7 +186,10 @@ class PthreadFifo:
         assert self.can_pop(now), f"fifo {self.name!r}: pop without can_pop"
         self._last_pop_cycle = now
         self.stats.pops += 1
-        return self._entries.popleft().value
+        value = self._entries.popleft().value
+        if self.obs is not None:
+            self.obs.on_pop(self, now)
+        return value
 
     def push(self, now: int, value: Any) -> None:
         """Push ``value``. Caller must have checked :meth:`can_push`."""
@@ -203,6 +210,8 @@ class PthreadFifo:
         self.stats.pushes += 1
         if len(self._entries) > self.stats.max_occupancy:
             self.stats.max_occupancy = len(self._entries)
+        if self.obs is not None:
+            self.obs.on_push(self, now)
 
     def has_future_visibility(self, now: int) -> bool:
         """True if some queued entry becomes visible strictly after ``now``.

@@ -33,16 +33,9 @@ from repro.hls.errors import (CombinationalLoop, KernelError,
                               SimulationDeadlock, SimulationTimeout)
 from repro.hls.fifo import PthreadFifo, ReadOp, WriteOp
 from repro.hls.kernel import Kernel, KernelBody, KernelState, Tick
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One scheduler event, recorded when tracing is enabled."""
-
-    cycle: int
-    kernel: str
-    event: str
-    detail: str = ""
+# The scheduler's event record is the unified observability event (the
+# old ``kernel`` field name remains available as a property).
+from repro.obs.events import TraceEvent
 
 
 @dataclass(frozen=True)
@@ -143,6 +136,10 @@ class Simulator:
         self.fault_hook = None
         #: Optional :class:`Watchdog`; checked once per cycle when set.
         self.watchdog: Watchdog | None = None
+        #: Optional telemetry hub (duck-typed; see
+        #: :mod:`repro.obs.metrics`). ``None`` on the clean path; hooks
+        #: are observation-only, so cycle counts are identical either way.
+        self.obs = None
 
     # -- construction --------------------------------------------------------
 
@@ -150,6 +147,7 @@ class Simulator:
              latency: int = 1) -> PthreadFifo:
         """Create and register a FIFO queue."""
         queue = PthreadFifo(name, depth, width=width, latency=latency)
+        queue.obs = self.obs    # inherit telemetry attached before creation
         self.fifos.append(queue)
         return queue
 
@@ -223,6 +221,8 @@ class Simulator:
             raise self._with_snapshot(SimulationDeadlock(
                 f"{self.name}: deadlock at cycle {self.now}; "
                 f"live kernels {live} with states {states}"))
+        if self.obs is not None:
+            self.obs.on_cycle(self)
         self.now += 1
 
     def snapshot(self) -> SimSnapshot:
@@ -296,6 +296,9 @@ class Simulator:
                 kernel.state = KernelState.STALL_EMPTY
                 kernel.stats.stall_empty_cycles += 1
                 op.fifo.stats.stall_empty_cycles += 1
+                if self.obs is not None:
+                    self.obs.on_stall(kernel, op.fifo.name, "empty",
+                                      self.now)
                 return did_work
             if isinstance(op, WriteOp):
                 if op.fifo.can_push(self.now):
@@ -309,6 +312,9 @@ class Simulator:
                 kernel.state = KernelState.STALL_FULL
                 kernel.stats.stall_full_cycles += 1
                 op.fifo.stats.stall_full_cycles += 1
+                if self.obs is not None:
+                    self.obs.on_stall(kernel, op.fifo.name, "full",
+                                      self.now)
                 return did_work
             if isinstance(op, BarrierWaitOp):
                 barrier = op.barrier
@@ -322,6 +328,9 @@ class Simulator:
                 kernel.pending_op = op
                 kernel.state = KernelState.AT_BARRIER
                 kernel.stats.barrier_cycles += 1
+                if self.obs is not None:
+                    self.obs.on_stall(kernel, barrier.name, "barrier",
+                                      self.now)
                 return did_work
             raise TypeError(
                 f"kernel {kernel.name!r} yielded unsupported op {op!r}")

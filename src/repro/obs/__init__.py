@@ -1,0 +1,37 @@
+"""Unified observability: metrics, backpressure profiling, timelines.
+
+Three pillars, all fed by one :class:`~repro.obs.metrics.Telemetry` hub
+attached through the same zero-overhead-when-disabled ``obs`` slots
+that :mod:`repro.faults` uses for ``fault_hook``:
+
+* :mod:`repro.obs.metrics` — cycle-level counters and histograms with
+  a text/JSON :class:`~repro.obs.metrics.MetricsReport`;
+* :mod:`repro.obs.profiler` — per-layer stall attribution rolled into a
+  bottleneck table whose rows sum exactly to the simulator cycle count;
+* :mod:`repro.obs.timeline` — Chrome ``trace_event`` (Perfetto) export
+  unifying HLS and SoC events on one clock.
+
+See ``docs/OBSERVABILITY.md`` for a walkthrough.
+"""
+
+from repro.obs.events import TraceBuffer, TraceEvent
+from repro.obs.metrics import (BankMetrics, DmaMetrics, DramMetrics,
+                               FifoMetrics, KernelMetrics, LayerMetrics,
+                               MetricsReport, Telemetry)
+from repro.obs.profiler import (RESIDUAL_ROW, BottleneckRow,
+                                BottleneckTable, bottleneck_table)
+from repro.obs.timeline import TimelineRecorder, chrome_trace
+from repro.obs.workloads import (ProfileResult, ProfileWorkload,
+                                 run_profile, scaled_workload,
+                                 select_workloads)
+
+__all__ = [
+    "TraceBuffer", "TraceEvent",
+    "BankMetrics", "DmaMetrics", "DramMetrics", "FifoMetrics",
+    "KernelMetrics", "LayerMetrics", "MetricsReport", "Telemetry",
+    "RESIDUAL_ROW", "BottleneckRow", "BottleneckTable",
+    "bottleneck_table",
+    "TimelineRecorder", "chrome_trace",
+    "ProfileResult", "ProfileWorkload", "run_profile",
+    "scaled_workload", "select_workloads",
+]

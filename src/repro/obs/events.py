@@ -1,0 +1,122 @@
+"""Unified trace events and the bounded event buffer.
+
+Before the observability subsystem, the repo carried two disjoint,
+structurally identical event records: ``repro.hls.sim.TraceEvent``
+(field ``kernel``) and ``repro.soc.trace.SocEvent`` (field
+``component``).  Both are now this single :class:`TraceEvent`; the old
+names remain importable as thin aliases (``SocEvent is TraceEvent``)
+and the old field names are read-only properties, so existing call
+sites and tests keep working unchanged.
+
+:class:`TraceBuffer` replaces the old append-only ``SocTrace``.  The
+old buffer silently kept the *oldest* events once ``limit`` was reached
+and dropped everything newer — exactly the wrong half when debugging a
+hang at the end of a run.  The buffer is now a ring by default
+(``keep="tail"``: the most recent ``limit`` events survive); the old
+behaviour is available explicitly with ``keep="head"``.  Either way
+``dropped`` counts the evictions and :meth:`TraceBuffer.format` says
+what was lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event, on the unified fabric clock.
+
+    ``source`` names the emitting entity — a streaming kernel
+    (``acc0.conv2``), an SoC component (``arm``, ``dma``, ``bus``,
+    ``accelerator``) — so HLS-level and system-level events interleave
+    in one timeline.
+    """
+
+    cycle: int
+    source: str
+    event: str       # e.g. "read", "csr_write", "dma_to_bank"
+    detail: str = ""
+
+    @property
+    def kernel(self) -> str:
+        """Compat alias for the old HLS ``TraceEvent.kernel`` field."""
+        return self.source
+
+    @property
+    def component(self) -> str:
+        """Compat alias for the old ``SocEvent.component`` field."""
+        return self.source
+
+
+class TraceBuffer:
+    """Bounded shared event buffer.
+
+    Parameters
+    ----------
+    limit:
+        Maximum events retained.
+    keep:
+        ``"tail"`` (default): ring buffer — once full, recording a new
+        event evicts the oldest, so the *most recent* ``limit`` events
+        survive.  ``"head"``: the legacy behaviour — the first
+        ``limit`` events are kept and later ones are discarded.
+    """
+
+    def __init__(self, limit: int = 100_000, keep: str = "tail"):
+        if limit < 1:
+            raise ValueError(f"trace limit must be >= 1, got {limit}")
+        if keep not in ("tail", "head"):
+            raise ValueError(f"keep must be 'tail' or 'head', got {keep!r}")
+        self.limit = limit
+        self.keep = keep
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque()
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, cycle: int, source: str, event: str,
+               detail: str = "") -> None:
+        if len(self._events) >= self.limit:
+            self.dropped += 1
+            if self.keep == "head":
+                return
+            self._events.popleft()
+        self._events.append(TraceEvent(cycle, source, event, detail))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Retained events in recording order (a copy)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def by_source(self, source: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.source == source]
+
+    # Compat alias for the old ``SocTrace.by_component``.
+    by_component = by_source
+
+    # -- rendering -------------------------------------------------------------
+
+    def format(self, limit: int = 50) -> str:
+        events = self.events
+        lines = [f"{'cycle':>10}  {'source':<12} {'event':<18} detail"]
+        for event in events[:limit]:
+            lines.append(f"{event.cycle:>10}  {event.source:<12} "
+                         f"{event.event:<18} {event.detail}")
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more events")
+        if self.dropped:
+            kept = ("most recent kept" if self.keep == "tail"
+                    else "oldest kept")
+            lines.append(f"({self.dropped} events dropped at "
+                         f"limit {self.limit}; {kept})")
+        return "\n".join(lines)

@@ -1,0 +1,673 @@
+"""Cycle-level metrics registry: the :class:`Telemetry` hub.
+
+The hub is the observability counterpart of :mod:`repro.faults.hooks`:
+every instrumentable component (simulator, FIFOs, SRAM banks, DMA,
+DDR4, Avalon bus, driver) exposes an ``obs`` slot that defaults to
+``None`` and is consulted behind a single ``is None`` guard.  With no
+hub attached the clean path is bit- and cycle-identical to an
+un-instrumented build (asserted by ``benchmarks/bench_obs_overhead.py``);
+with a hub attached the hooks are *observation only* — they never touch
+scheduler state, so cycle counts are still identical.
+
+What the hub collects on top of the components' own lifetime stats
+(``KernelStats``, ``FifoStats``, ``SramStats``, ``DmaStats``):
+
+* **stall attribution** — each stall cycle of each kernel is charged to
+  the blocking resource (which FIFO and whether it was full or empty,
+  or which barrier), the raw material of the backpressure profiler;
+* **FIFO occupancy** — an event-driven occupancy/time integral and
+  histogram per queue (mean depth, time at each level);
+* **SRAM port conflicts** — same-cycle double uses of a bank's read
+  (port A) or write (port B) port, where the behavioural model is more
+  permissive than the exclusive-port RTL of Section IV-A;
+* **per-layer deltas** — the driver brackets each layer with
+  ``begin_layer``/``end_layer``; the hub snapshots every counter and
+  stores the difference as a :class:`LayerMetrics`.
+
+``Telemetry(timeline=True)`` additionally records kernel-state spans
+and counter tracks for the Chrome/Perfetto exporter in
+:mod:`repro.obs.timeline`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Stall kinds used in attribution keys.
+STALL_KINDS = ("empty", "full", "barrier")
+
+#: Aggregate kernel-cycle categories, in presentation order.
+KERNEL_CATEGORIES = ("active", "stall_empty", "stall_full", "barrier",
+                     "sleep")
+
+
+class _OccupancyTracker:
+    """Event-driven occupancy/time integral for one FIFO."""
+
+    __slots__ = ("occupancy", "last_cycle", "integral", "hist",
+                 "max_occupancy")
+
+    def __init__(self, start_cycle: int, occupancy: int = 0):
+        self.occupancy = occupancy
+        self.last_cycle = start_cycle
+        self.integral = 0
+        self.hist: dict[int, int] = {}
+        self.max_occupancy = occupancy
+
+    def observe(self, now: int, new_occupancy: int) -> None:
+        if now > self.last_cycle:
+            span = now - self.last_cycle
+            self.integral += self.occupancy * span
+            self.hist[self.occupancy] = \
+                self.hist.get(self.occupancy, 0) + span
+            self.last_cycle = now
+        self.occupancy = new_occupancy
+        if new_occupancy > self.max_occupancy:
+            self.max_occupancy = new_occupancy
+
+    def close(self, now: int) -> None:
+        self.observe(now, self.occupancy)
+
+
+class _PortTracker:
+    """Same-cycle conflict detection for one bank's two ports."""
+
+    __slots__ = ("last_a", "last_b", "a_conflicts", "b_conflicts")
+
+    def __init__(self):
+        self.last_a = -1
+        self.last_b = -1
+        self.a_conflicts = 0
+        self.b_conflicts = 0
+
+    def touch_a(self, now: int) -> None:
+        if self.last_a == now:
+            self.a_conflicts += 1
+        else:
+            self.last_a = now
+
+    def touch_b(self, now: int) -> None:
+        if self.last_b == now:
+            self.b_conflicts += 1
+        else:
+            self.last_b = now
+
+
+# -- report records --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Cycle breakdown of one kernel over the observed window."""
+
+    name: str
+    active: int
+    stall_empty: int
+    stall_full: int
+    barrier: int
+    sleep: int
+    items_read: int
+    items_written: int
+    reported_ii: int
+
+    @property
+    def observed(self) -> int:
+        return (self.active + self.stall_empty + self.stall_full
+                + self.barrier + self.sleep)
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.active / self.observed if self.observed else 0.0
+
+    @property
+    def items(self) -> int:
+        return max(self.items_read, self.items_written)
+
+    @property
+    def achieved_ii(self) -> float:
+        """Observed cycles per item moved (vs the reported/target II)."""
+        return self.observed / self.items if self.items else 0.0
+
+
+@dataclass(frozen=True)
+class FifoMetrics:
+    """Occupancy and backpressure profile of one FIFO."""
+
+    name: str
+    depth: int
+    pushes: int
+    pops: int
+    max_occupancy: int
+    mean_occupancy: float
+    stall_full_cycles: int
+    stall_empty_cycles: int
+    occupancy_hist: dict[int, int]
+
+
+@dataclass(frozen=True)
+class BankMetrics:
+    """Traffic and port-conflict profile of one SRAM bank."""
+
+    name: str
+    tile_reads: int
+    tile_writes: int
+    stream_values_read: int
+    dma_values_read: int
+    dma_values_written: int
+    port_a_conflicts: int
+    port_b_conflicts: int
+
+
+@dataclass(frozen=True)
+class DmaMetrics:
+    """DMA engine utilization over the observed window."""
+
+    transfers: int
+    values_moved: int
+    busy_cycles: int
+    failed: int
+    retried: int
+    total_cycles: int
+
+    @property
+    def utilization(self) -> float:
+        return (self.busy_cycles / self.total_cycles
+                if self.total_cycles else 0.0)
+
+
+@dataclass(frozen=True)
+class DramMetrics:
+    values_read: int
+    values_written: int
+
+
+@dataclass(frozen=True)
+class LayerMetrics:
+    """Counter deltas over one driver layer (begin/end bracket)."""
+
+    name: str
+    kind: str
+    start_cycle: int
+    end_cycle: int
+    kernel_cycles: dict[str, int]       # category -> cycles (all kernels)
+    stall_by_resource: dict[str, int]   # "fifo x (full)" -> cycles
+    dma_values: int
+    dma_busy_cycles: int
+    dma_transfers: int
+    dram_values_read: int
+    dram_values_written: int
+    bank_conflicts: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def top_bottleneck(self) -> tuple[str, int]:
+        """(resource label, stall cycles) of the heaviest blocker."""
+        if not self.stall_by_resource:
+            return ("-", 0)
+        resource = max(self.stall_by_resource,
+                       key=lambda r: self.stall_by_resource[r])
+        return resource, self.stall_by_resource[resource]
+
+
+@dataclass
+class MetricsReport:
+    """Everything the hub measured, renderable as text and JSON."""
+
+    total_cycles: int
+    kernels: list[KernelMetrics] = field(default_factory=list)
+    fifos: list[FifoMetrics] = field(default_factory=list)
+    banks: list[BankMetrics] = field(default_factory=list)
+    dma: DmaMetrics | None = None
+    dram: DramMetrics | None = None
+    bus: dict[str, tuple[int, int]] = field(default_factory=dict)
+    layers: list[LayerMetrics] = field(default_factory=list)
+    stall_attribution: dict[tuple[str, str, str], int] = \
+        field(default_factory=dict)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def kernel_totals(self) -> dict[str, int]:
+        """Kernel-cycles summed over all kernels, by category."""
+        totals = {category: 0 for category in KERNEL_CATEGORIES}
+        for k in self.kernels:
+            totals["active"] += k.active
+            totals["stall_empty"] += k.stall_empty
+            totals["stall_full"] += k.stall_full
+            totals["barrier"] += k.barrier
+            totals["sleep"] += k.sleep
+        return totals
+
+    def stalls_by_resource(self) -> dict[str, int]:
+        """Stall cycles aggregated over kernels, per blocking resource."""
+        rolled: dict[str, int] = {}
+        for (_, resource, kind), cycles in self.stall_attribution.items():
+            label = (f"{resource} (barrier)" if kind == "barrier"
+                     else f"{resource} ({kind})")
+            rolled[label] = rolled.get(label, 0) + cycles
+        return rolled
+
+    # -- rendering -----------------------------------------------------------
+
+    def format(self, max_rows: int = 12) -> str:
+        lines = ["telemetry report",
+                 "================",
+                 f"observed cycles : {self.total_cycles}"]
+        totals = self.kernel_totals()
+        observed = sum(totals.values())
+        if observed:
+            parts = "  ".join(f"{c} {totals[c]}"
+                              for c in KERNEL_CATEGORIES)
+            lines.append(f"kernel-cycles   : {observed} ({parts})")
+        if self.dma is not None:
+            lines.append(
+                f"dma             : {self.dma.transfers} transfers, "
+                f"{self.dma.values_moved} values, busy "
+                f"{self.dma.busy_cycles} cycles "
+                f"({100 * self.dma.utilization:.1f}% of fabric)")
+        if self.dram is not None:
+            lines.append(f"ddr4            : {self.dram.values_read} read, "
+                         f"{self.dram.values_written} written (values)")
+        if self.bus:
+            traffic = ", ".join(f"{slave} {r}r/{w}w"
+                                for slave, (r, w) in sorted(self.bus.items()))
+            lines.append(f"bus             : {traffic}")
+        lines.append("")
+        lines.append(f"{'kernel':<24}{'active':>8}{'empty':>7}{'full':>7}"
+                     f"{'barr':>6}{'sleep':>7}{'busy':>6}{'II':>6}")
+        shown = sorted(self.kernels, key=lambda k: -k.observed)[:max_rows]
+        for k in shown:
+            ii = f"{k.achieved_ii:.1f}" if k.items else "-"
+            lines.append(f"{k.name:<24}{k.active:>8}{k.stall_empty:>7}"
+                         f"{k.stall_full:>7}{k.barrier:>6}{k.sleep:>7}"
+                         f"{100 * k.busy_fraction:>5.0f}%{ii:>6}")
+        if len(self.kernels) > len(shown):
+            lines.append(f"... {len(self.kernels) - len(shown)} more kernels")
+        lines.append("")
+        lines.append(f"{'fifo':<24}{'push':>7}{'pop':>7}{'max':>5}"
+                     f"{'mean':>7}{'full':>7}{'empty':>7}")
+        busiest = sorted(
+            self.fifos,
+            key=lambda f: -(f.stall_full_cycles + f.stall_empty_cycles
+                            + f.pushes))[:max_rows]
+        for f in busiest:
+            lines.append(f"{f.name:<24}{f.pushes:>7}{f.pops:>7}"
+                         f"{f.max_occupancy:>5}{f.mean_occupancy:>7.2f}"
+                         f"{f.stall_full_cycles:>7}{f.stall_empty_cycles:>7}")
+        if len(self.fifos) > len(busiest):
+            lines.append(f"... {len(self.fifos) - len(busiest)} more fifos")
+        if self.banks:
+            lines.append("")
+            lines.append(f"{'bank':<14}{'tile rd':>9}{'tile wr':>9}"
+                         f"{'stream':>9}{'dma rd':>9}{'dma wr':>9}"
+                         f"{'cfl A':>7}{'cfl B':>7}")
+            for b in self.banks:
+                lines.append(f"{b.name:<14}{b.tile_reads:>9}"
+                             f"{b.tile_writes:>9}{b.stream_values_read:>9}"
+                             f"{b.dma_values_read:>9}"
+                             f"{b.dma_values_written:>9}"
+                             f"{b.port_a_conflicts:>7}"
+                             f"{b.port_b_conflicts:>7}")
+        stalls = self.stalls_by_resource()
+        if stalls:
+            lines.append("")
+            lines.append("stall attribution (cycles blocked, by resource):")
+            for resource in sorted(stalls, key=lambda r: -stalls[r])[:max_rows]:
+                lines.append(f"  {resource:<38}{stalls[resource]:>9}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-data rendering (stable keys, JSON-serializable)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "kernel_totals": self.kernel_totals(),
+            "kernels": [{
+                "name": k.name, "active": k.active,
+                "stall_empty": k.stall_empty, "stall_full": k.stall_full,
+                "barrier": k.barrier, "sleep": k.sleep,
+                "items_read": k.items_read,
+                "items_written": k.items_written,
+                "busy_fraction": k.busy_fraction,
+                "reported_ii": k.reported_ii,
+                "achieved_ii": k.achieved_ii,
+            } for k in self.kernels],
+            "fifos": [{
+                "name": f.name, "depth": f.depth, "pushes": f.pushes,
+                "pops": f.pops, "max_occupancy": f.max_occupancy,
+                "mean_occupancy": f.mean_occupancy,
+                "stall_full_cycles": f.stall_full_cycles,
+                "stall_empty_cycles": f.stall_empty_cycles,
+                "occupancy_hist": {str(k): v
+                                   for k, v in sorted(f.occupancy_hist.items())},
+            } for f in self.fifos],
+            "banks": [{
+                "name": b.name, "tile_reads": b.tile_reads,
+                "tile_writes": b.tile_writes,
+                "stream_values_read": b.stream_values_read,
+                "dma_values_read": b.dma_values_read,
+                "dma_values_written": b.dma_values_written,
+                "port_a_conflicts": b.port_a_conflicts,
+                "port_b_conflicts": b.port_b_conflicts,
+            } for b in self.banks],
+            "dma": None if self.dma is None else {
+                "transfers": self.dma.transfers,
+                "values_moved": self.dma.values_moved,
+                "busy_cycles": self.dma.busy_cycles,
+                "failed": self.dma.failed, "retried": self.dma.retried,
+                "utilization": self.dma.utilization,
+            },
+            "dram": None if self.dram is None else {
+                "values_read": self.dram.values_read,
+                "values_written": self.dram.values_written,
+            },
+            "bus": {slave: {"reads": r, "writes": w}
+                    for slave, (r, w) in sorted(self.bus.items())},
+            "layers": [{
+                "name": layer.name, "kind": layer.kind,
+                "start_cycle": layer.start_cycle,
+                "end_cycle": layer.end_cycle, "cycles": layer.cycles,
+                "kernel_cycles": dict(layer.kernel_cycles),
+                "stall_by_resource": dict(sorted(
+                    layer.stall_by_resource.items(),
+                    key=lambda kv: -kv[1])),
+                "dma_values": layer.dma_values,
+                "dma_busy_cycles": layer.dma_busy_cycles,
+                "dma_transfers": layer.dma_transfers,
+                "dram_values_read": layer.dram_values_read,
+                "dram_values_written": layer.dram_values_written,
+                "bank_conflicts": layer.bank_conflicts,
+            } for layer in self.layers],
+            "stall_attribution": [{
+                "kernel": kernel, "resource": resource, "kind": kind,
+                "cycles": cycles,
+            } for (kernel, resource, kind), cycles
+                in sorted(self.stall_attribution.items(),
+                          key=lambda kv: -kv[1])],
+        }
+
+    def json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+
+# -- the hub ---------------------------------------------------------------------
+
+
+class Telemetry:
+    """Metrics hub attachable to a bare simulator or a whole SoC.
+
+    Parameters
+    ----------
+    timeline:
+        When true, additionally record kernel-state spans and counter
+        samples for the Chrome/Perfetto exporter
+        (:func:`repro.obs.timeline.chrome_trace`).  Timeline recording
+        samples every kernel each cycle — cheap in counters, but
+        memory grows with state churn; leave off for pure metrics.
+    counter_interval:
+        Cycles between counter-track samples in timeline mode.
+    """
+
+    def __init__(self, timeline: bool = False, counter_interval: int = 32):
+        self.sim = None
+        self.soc = None
+        self.stall_attribution: dict[tuple[str, str, str], int] = {}
+        self._occ: dict[str, _OccupancyTracker] = {}
+        self._ports: dict[str, _PortTracker] = {}
+        self._banks: list = []
+        self._dma = None
+        self._dram = None
+        self._bus_traffic: dict[str, list[int]] = {}
+        self._layers: list[LayerMetrics] = []
+        self._layer_stack: list[tuple[str, str, dict]] = []
+        self.timeline = None
+        if timeline:
+            from repro.obs.timeline import TimelineRecorder
+            self.timeline = TimelineRecorder(counter_interval)
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach_sim(self, sim) -> "Telemetry":
+        """Instrument a bare :class:`~repro.hls.sim.Simulator`."""
+        self.sim = sim
+        sim.obs = self
+        for fifo in sim.fifos:
+            fifo.obs = self
+            self._occ[fifo.name] = _OccupancyTracker(sim.now, fifo.occupancy)
+        return self
+
+    def attach(self, soc) -> "Telemetry":
+        """Instrument a full :class:`~repro.soc.driver.SocSystem`."""
+        self.soc = soc
+        self.attach_sim(soc.sim)
+        soc.obs = self
+        self._banks = list(soc.accel.banks)
+        for bank in self._banks:
+            bank.obs = self
+            self._ports[bank.name] = _PortTracker()
+        self._dma = soc.dma
+        soc.dma.obs = self
+        self._dram = soc.dram
+        soc.dram.obs = self
+        soc.bus.subscribe(self._on_bus)
+        return self
+
+    def attach_banks(self, banks) -> "Telemetry":
+        """Instrument SRAM banks of a bare accelerator instance."""
+        self._banks = list(banks)
+        for bank in self._banks:
+            bank.obs = self
+            self._ports[bank.name] = _PortTracker()
+        return self
+
+    # -- site callbacks (observation only — never touch sim state) -----------
+
+    def on_cycle(self, sim) -> None:
+        if self.timeline is not None:
+            self.timeline.on_cycle(sim)
+
+    def on_stall(self, kernel, resource: str, kind: str, now: int) -> None:
+        key = (kernel.name, resource, kind)
+        self.stall_attribution[key] = self.stall_attribution.get(key, 0) + 1
+
+    def on_push(self, fifo, now: int) -> None:
+        tracker = self._occ.get(fifo.name)
+        if tracker is None:
+            tracker = self._occ[fifo.name] = _OccupancyTracker(now)
+        tracker.observe(now, fifo.occupancy)
+
+    on_pop = on_push
+
+    def on_tile_read(self, bank) -> None:
+        self._port(bank).touch_a(self._now())
+
+    def on_stream_read(self, bank, count: int) -> None:
+        self._port(bank).touch_a(self._now())
+
+    def on_bank_dma_read(self, bank, count: int) -> None:
+        self._port(bank).touch_a(self._now())
+
+    def on_tile_write(self, bank) -> None:
+        self._port(bank).touch_b(self._now())
+
+    def on_bank_dma_write(self, bank, count: int) -> None:
+        self._port(bank).touch_b(self._now())
+
+    def _now(self) -> int:
+        return self.sim.now if self.sim is not None else 0
+
+    def on_dma(self, dma, descriptor, start: int, cycles: int,
+               ok: bool) -> None:
+        if self.timeline is not None:
+            self.timeline.add_dma_span(descriptor, start, cycles, ok)
+
+    def on_dram(self, dram, kind: str, count: int) -> None:
+        if self.timeline is not None:
+            self.timeline.note_dram(self.sim.now if self.sim else 0,
+                                    kind, count)
+
+    def _on_bus(self, op: str, slave: str, addr: int, value: int) -> None:
+        traffic = self._bus_traffic.setdefault(slave, [0, 0])
+        traffic[0 if op == "read" else 1] += 1
+
+    def _port(self, bank) -> _PortTracker:
+        tracker = self._ports.get(bank.name)
+        if tracker is None:
+            tracker = self._ports[bank.name] = _PortTracker()
+        return tracker
+
+    # -- per-layer bracketing (driven by the SoC driver) ----------------------
+
+    def begin_layer(self, name: str, kind: str = "layer") -> None:
+        self._layer_stack.append((name, kind, self._snapshot()))
+        if self.timeline is not None:
+            self.timeline.begin_layer(name, self.sim.now)
+
+    def end_layer(self) -> None:
+        name, kind, before = self._layer_stack.pop()
+        after = self._snapshot()
+        self._layers.append(self._diff_layer(name, kind, before, after))
+        if self.timeline is not None:
+            self.timeline.end_layer(name, self.sim.now)
+
+    def _snapshot(self) -> dict:
+        sim = self.sim
+        snap: dict = {"cycle": sim.now if sim else 0}
+        if sim is not None:
+            totals = {category: 0 for category in KERNEL_CATEGORIES}
+            active_by_kernel = {}
+            for k in sim.kernels:
+                totals["active"] += k.stats.active_cycles
+                totals["stall_empty"] += k.stats.stall_empty_cycles
+                totals["stall_full"] += k.stats.stall_full_cycles
+                totals["barrier"] += k.stats.barrier_cycles
+                totals["sleep"] += k.stats.sleep_cycles
+                active_by_kernel[k.name] = k.stats.active_cycles
+            snap["kernel_cycles"] = totals
+            snap["active_by_kernel"] = active_by_kernel
+        snap["attribution"] = dict(self.stall_attribution)
+        if self._dma is not None:
+            stats = self._dma.stats
+            snap["dma"] = (stats.transfers, stats.values_moved,
+                           stats.busy_cycles)
+        if self._dram is not None:
+            snap["dram"] = (self._dram.stats.values_read,
+                            self._dram.stats.values_written)
+        snap["conflicts"] = sum(p.a_conflicts + p.b_conflicts
+                                for p in self._ports.values())
+        return snap
+
+    def _diff_layer(self, name: str, kind: str, before: dict,
+                    after: dict) -> LayerMetrics:
+        kernel_cycles = {
+            category: (after.get("kernel_cycles", {}).get(category, 0)
+                       - before.get("kernel_cycles", {}).get(category, 0))
+            for category in KERNEL_CATEGORIES}
+        # Stalls of kernels that did no work in the layer (e.g. the
+        # pad/pool pipeline idling through a convolution) are not
+        # bottlenecks — a permanently-starved consumer would otherwise
+        # always top the table.  Only working kernels' stalls count.
+        active_before = before.get("active_by_kernel", {})
+        active_after = after.get("active_by_kernel", {})
+        stalls: dict[str, int] = {}
+        for key, cycles in after["attribution"].items():
+            delta = cycles - before["attribution"].get(key, 0)
+            if delta:
+                kernel_name, resource, stall_kind = key
+                if (active_after.get(kernel_name, 0)
+                        <= active_before.get(kernel_name, 0)):
+                    continue
+                label = f"{resource} ({stall_kind})"
+                stalls[label] = stalls.get(label, 0) + delta
+        dma_before = before.get("dma", (0, 0, 0))
+        dma_after = after.get("dma", (0, 0, 0))
+        dram_before = before.get("dram", (0, 0))
+        dram_after = after.get("dram", (0, 0))
+        return LayerMetrics(
+            name=name, kind=kind,
+            start_cycle=before["cycle"], end_cycle=after["cycle"],
+            kernel_cycles=kernel_cycles,
+            stall_by_resource=stalls,
+            dma_values=dma_after[1] - dma_before[1],
+            dma_busy_cycles=dma_after[2] - dma_before[2],
+            dma_transfers=dma_after[0] - dma_before[0],
+            dram_values_read=dram_after[0] - dram_before[0],
+            dram_values_written=dram_after[1] - dram_before[1],
+            bank_conflicts=after["conflicts"] - before["conflicts"],
+        )
+
+    # -- report assembly ------------------------------------------------------
+
+    @property
+    def layers(self) -> list[LayerMetrics]:
+        return list(self._layers)
+
+    def report(self) -> MetricsReport:
+        """Assemble the current counters into a :class:`MetricsReport`."""
+        sim = self.sim
+        now = sim.now if sim else 0
+        kernels = []
+        if sim is not None:
+            for k in sim.kernels:
+                kernels.append(KernelMetrics(
+                    name=k.name,
+                    active=k.stats.active_cycles,
+                    stall_empty=k.stats.stall_empty_cycles,
+                    stall_full=k.stats.stall_full_cycles,
+                    barrier=k.stats.barrier_cycles,
+                    sleep=k.stats.sleep_cycles,
+                    items_read=k.stats.items_read,
+                    items_written=k.stats.items_written,
+                    reported_ii=k.ii))
+        fifos = []
+        if sim is not None:
+            for f in sim.fifos:
+                tracker = self._occ.get(f.name)
+                if tracker is not None:
+                    tracker.close(now)
+                span = now if now else 1
+                mean = (tracker.integral / span) if tracker else 0.0
+                hist = dict(tracker.hist) if tracker else {}
+                fifos.append(FifoMetrics(
+                    name=f.name, depth=f.depth,
+                    pushes=f.stats.pushes, pops=f.stats.pops,
+                    max_occupancy=f.stats.max_occupancy,
+                    mean_occupancy=mean,
+                    stall_full_cycles=f.stats.stall_full_cycles,
+                    stall_empty_cycles=f.stats.stall_empty_cycles,
+                    occupancy_hist=hist))
+        banks = []
+        for bank in self._banks:
+            ports = self._ports.get(bank.name) or _PortTracker()
+            banks.append(BankMetrics(
+                name=bank.name,
+                tile_reads=bank.stats.tile_reads,
+                tile_writes=bank.stats.tile_writes,
+                stream_values_read=bank.stats.stream_values_read,
+                dma_values_read=bank.stats.dma_values_read,
+                dma_values_written=bank.stats.dma_values_written,
+                port_a_conflicts=ports.a_conflicts,
+                port_b_conflicts=ports.b_conflicts))
+        dma = None
+        if self._dma is not None:
+            stats = self._dma.stats
+            dma = DmaMetrics(transfers=stats.transfers,
+                             values_moved=stats.values_moved,
+                             busy_cycles=stats.busy_cycles,
+                             failed=stats.failed, retried=stats.retried,
+                             total_cycles=now)
+        dram = None
+        if self._dram is not None:
+            dram = DramMetrics(values_read=self._dram.stats.values_read,
+                               values_written=self._dram.stats.values_written)
+        return MetricsReport(
+            total_cycles=now,
+            kernels=kernels, fifos=fifos, banks=banks,
+            dma=dma, dram=dram,
+            bus={slave: (r, w)
+                 for slave, (r, w) in self._bus_traffic.items()},
+            layers=list(self._layers),
+            stall_attribution=dict(self.stall_attribution))

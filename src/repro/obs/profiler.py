@@ -1,0 +1,139 @@
+"""Backpressure profiler: the per-layer bottleneck table.
+
+The :class:`~repro.obs.metrics.Telemetry` hub charges every stall cycle
+of every kernel to the resource that blocked it (which FIFO, and
+whether it was full or empty, or which barrier).  This module rolls
+those attributions up per driver layer into a bottleneck table — for
+each layer: where its cycles went, which resource blocked the pipeline
+the longest, and (optionally) how the measured cycles compare to the
+analytic predictions of :mod:`repro.perf.cycle_model`.
+
+The table is *exactly exhaustive*: a final ``(outside layers)`` row
+absorbs the cycles spent between layer brackets (weight preloading,
+host-only phases), so the rows always sum to the simulator's cycle
+count — the acceptance invariant of the observability PR.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Row name of the residual bucket covering cycles between layers.
+RESIDUAL_ROW = "(outside layers)"
+
+
+@dataclass(frozen=True)
+class BottleneckRow:
+    """One layer (or the residual) in the bottleneck table."""
+
+    name: str
+    kind: str
+    cycles: int
+    dma_busy_cycles: int
+    dma_values: int
+    stall_cycles: int          # attributed kernel-stall cycles in the layer
+    bottleneck: str            # heaviest blocking resource
+    bottleneck_cycles: int
+    bank_conflicts: int = 0
+    model_cycles: int | None = None
+
+    @property
+    def model_error(self) -> float | None:
+        """Signed (model - measured) / measured, when a model is given."""
+        if self.model_cycles is None or self.cycles == 0:
+            return None
+        return (self.model_cycles - self.cycles) / self.cycles
+
+
+@dataclass
+class BottleneckTable:
+    """Per-layer cycle attribution; rows sum exactly to ``total_cycles``."""
+
+    total_cycles: int
+    rows: list[BottleneckRow] = field(default_factory=list)
+
+    @property
+    def layer_rows(self) -> list[BottleneckRow]:
+        return [row for row in self.rows if row.name != RESIDUAL_ROW]
+
+    def format(self) -> str:
+        has_model = any(row.model_cycles is not None for row in self.rows)
+        lines = [f"per-layer bottleneck table "
+                 f"({self.total_cycles} fabric cycles)"]
+        header = (f"{'layer':<18}{'kind':<6}{'cycles':>9}{'share':>7}"
+                  f"{'dma busy':>9}{'stall':>8}  {'top bottleneck':<28}")
+        if has_model:
+            header += f"{'model':>9}{'err':>8}"
+        lines.append(header)
+        for row in self.rows:
+            share = (100 * row.cycles / self.total_cycles
+                     if self.total_cycles else 0.0)
+            blocker = (f"{row.bottleneck} [{row.bottleneck_cycles}]"
+                       if row.bottleneck_cycles else "-")
+            line = (f"{row.name:<18}{row.kind:<6}{row.cycles:>9}"
+                    f"{share:>6.1f}%{row.dma_busy_cycles:>9}"
+                    f"{row.stall_cycles:>8}  {blocker:<28}")
+            if has_model:
+                if row.model_cycles is None:
+                    line += f"{'-':>9}{'-':>8}"
+                else:
+                    line += (f"{row.model_cycles:>9}"
+                             f"{100 * row.model_error:>+7.1f}%")
+            lines.append(line)
+        covered = sum(row.cycles for row in self.rows)
+        lines.append(f"{'total':<18}{'':<6}{covered:>9}"
+                     f"{'100.0%' if covered == self.total_cycles else '!':>7}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "total_cycles": self.total_cycles,
+            "rows": [{
+                "name": row.name, "kind": row.kind, "cycles": row.cycles,
+                "dma_busy_cycles": row.dma_busy_cycles,
+                "dma_values": row.dma_values,
+                "stall_cycles": row.stall_cycles,
+                "bottleneck": row.bottleneck,
+                "bottleneck_cycles": row.bottleneck_cycles,
+                "bank_conflicts": row.bank_conflicts,
+                "model_cycles": row.model_cycles,
+                "model_error": row.model_error,
+            } for row in self.rows],
+        }
+
+    def json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+
+def bottleneck_table(telemetry,
+                     model_cycles: dict[str, int] | None = None
+                     ) -> BottleneckTable:
+    """Roll a hub's per-layer metrics into a :class:`BottleneckTable`.
+
+    ``model_cycles`` optionally maps layer names to analytic predictions
+    (:func:`repro.perf.cycle_model.conv_layer_cycles`); matched layers
+    gain model/error columns.  The residual row makes the table total
+    equal ``telemetry.sim.now`` exactly.
+    """
+    model_cycles = model_cycles or {}
+    total = telemetry.sim.now if telemetry.sim is not None else 0
+    rows: list[BottleneckRow] = []
+    for layer in telemetry.layers:
+        resource, blocked = layer.top_bottleneck
+        rows.append(BottleneckRow(
+            name=layer.name, kind=layer.kind, cycles=layer.cycles,
+            dma_busy_cycles=layer.dma_busy_cycles,
+            dma_values=layer.dma_values,
+            stall_cycles=sum(layer.stall_by_resource.values()),
+            bottleneck=resource, bottleneck_cycles=blocked,
+            bank_conflicts=layer.bank_conflicts,
+            model_cycles=model_cycles.get(layer.name)))
+    residual = total - sum(row.cycles for row in rows)
+    if residual:
+        rows.append(BottleneckRow(
+            name=RESIDUAL_ROW, kind="-", cycles=residual,
+            dma_busy_cycles=0, dma_values=0, stall_cycles=0,
+            bottleneck="-", bottleneck_cycles=0))
+    return BottleneckTable(total_cycles=total, rows=rows)

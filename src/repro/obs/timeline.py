@@ -1,0 +1,189 @@
+"""Chrome ``trace_event`` / Perfetto timeline export.
+
+The recorder unifies the two clocks of the model — the HLS simulator's
+fabric cycles and the SoC trace's component events share one timebase
+already (both stamp ``sim.now``), so the exporter simply maps one
+fabric cycle to one microsecond of Chrome trace time and emits:
+
+* ``X`` (complete) events for kernel *state spans* — contiguous runs of
+  one :class:`~repro.hls.kernel.KernelState`, run-length encoded as the
+  simulation advances, so a stalled pipeline shows up as a long red
+  ``stall_full`` block exactly where it happened;
+* ``X`` events for DMA transfers and driver layers;
+* ``C`` (counter) tracks for FIFO occupancy and cumulative DDR4
+  traffic, sampled every ``counter_interval`` cycles;
+* ``i`` (instant) events for every retained
+  :class:`~repro.obs.events.TraceEvent` (CSR writes, instruction
+  issues, DMA submissions, ...).
+
+Load the exported JSON in https://ui.perfetto.dev or
+``chrome://tracing``.  See ``docs/OBSERVABILITY.md`` for a guided
+read-through.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: pid assignment for the exported trace's "processes".
+PID_KERNELS = 1
+PID_MEMORY = 2
+PID_SYSTEM = 3
+
+#: Kernel states skipped in span export (no information content).
+_SKIP_STATES = ("done",)
+
+
+class TimelineRecorder:
+    """Per-cycle span/counter recorder feeding :func:`chrome_trace`."""
+
+    def __init__(self, counter_interval: int = 32):
+        if counter_interval < 1:
+            raise ValueError("counter_interval must be >= 1")
+        self.counter_interval = counter_interval
+        self.state_spans: list[tuple[str, str, int, int]] = []
+        self._open: dict[str, list] = {}    # kernel -> [state, start]
+        self.counter_samples: list[tuple[int, dict[str, int]]] = []
+        self._next_sample = 0
+        self.dma_spans: list[tuple[str, int, int, bool]] = []
+        self.layer_spans: list[tuple[str, int, int]] = []
+        self._open_layers: dict[str, int] = {}
+        self.dram_traffic: list[tuple[int, int]] = []   # (cycle, cum values)
+        self._dram_total = 0
+
+    # -- recording (called via the Telemetry hub) ------------------------------
+
+    def on_cycle(self, sim) -> None:
+        now = sim.now
+        for kernel in sim.kernels:
+            state = kernel.state.value
+            open_span = self._open.get(kernel.name)
+            if open_span is None:
+                self._open[kernel.name] = [state, now]
+            elif open_span[0] != state:
+                self.state_spans.append(
+                    (kernel.name, open_span[0], open_span[1], now))
+                open_span[0] = state
+                open_span[1] = now
+        if now >= self._next_sample:
+            self._next_sample = now + self.counter_interval
+            sample = {fifo.name: fifo.occupancy for fifo in sim.fifos}
+            self.counter_samples.append((now, sample))
+            self.dram_traffic.append((now, self._dram_total))
+
+    def add_dma_span(self, descriptor, start: int, cycles: int,
+                     ok: bool) -> None:
+        label = (f"{descriptor.direction.value} bank{descriptor.bank} "
+                 f"n={descriptor.count}")
+        self.dma_spans.append((label, start, max(1, cycles), ok))
+
+    def note_dram(self, now: int, kind: str, count: int) -> None:
+        self._dram_total += count
+
+    def begin_layer(self, name: str, cycle: int) -> None:
+        self._open_layers[name] = cycle
+
+    def end_layer(self, name: str, cycle: int) -> None:
+        start = self._open_layers.pop(name, cycle)
+        self.layer_spans.append((name, start, cycle))
+
+    def finish(self, sim) -> None:
+        """Close spans still open at the current cycle (idempotent)."""
+        now = sim.now
+        for name, (state, start) in list(self._open.items()):
+            if now > start:
+                self.state_spans.append((name, state, start, now))
+                self._open[name] = [state, now]
+
+
+# -- export ----------------------------------------------------------------------
+
+
+def chrome_trace(telemetry) -> dict[str, Any]:
+    """Render a hub's timeline into Chrome ``trace_event`` JSON format.
+
+    Returns the trace object (``{"traceEvents": [...], ...}``); dump it
+    with ``json.dump`` and open it in Perfetto.  One fabric cycle is
+    exported as one microsecond.
+    """
+    recorder = telemetry.timeline
+    if recorder is None:
+        raise ValueError(
+            "telemetry was created without timeline=True; nothing to export")
+    if telemetry.sim is not None:
+        recorder.finish(telemetry.sim)
+    events: list[dict[str, Any]] = []
+
+    def meta(pid: int, name: str) -> None:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+
+    meta(PID_KERNELS, "streaming kernels")
+    meta(PID_MEMORY, "memory & dma")
+    meta(PID_SYSTEM, "soc system")
+
+    tids: dict[str, int] = {}
+
+    def kernel_tid(name: str) -> int:
+        if name not in tids:
+            tids[name] = len(tids) + 1
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": PID_KERNELS, "tid": tids[name],
+                           "args": {"name": name}})
+        return tids[name]
+
+    for name, state, start, end in recorder.state_spans:
+        if state in _SKIP_STATES:
+            continue
+        events.append({"name": state, "cat": "kernel-state", "ph": "X",
+                       "ts": start, "dur": end - start,
+                       "pid": PID_KERNELS, "tid": kernel_tid(name)})
+    for label, start, duration, ok in recorder.dma_spans:
+        events.append({"name": label, "cat": "dma", "ph": "X",
+                       "ts": start, "dur": duration,
+                       "pid": PID_MEMORY, "tid": 1,
+                       "args": {"ok": ok}})
+    for name, start, end in recorder.layer_spans:
+        events.append({"name": name, "cat": "layer", "ph": "X",
+                       "ts": start, "dur": max(1, end - start),
+                       "pid": PID_SYSTEM, "tid": 1})
+    for cycle, sample in recorder.counter_samples:
+        for fifo_name, occupancy in sample.items():
+            events.append({"name": f"fifo {fifo_name}", "cat": "fifo",
+                           "ph": "C", "ts": cycle, "pid": PID_MEMORY,
+                           "tid": 0, "args": {"occupancy": occupancy}})
+    for cycle, total in recorder.dram_traffic:
+        events.append({"name": "ddr4 values moved", "cat": "dram",
+                       "ph": "C", "ts": cycle, "pid": PID_MEMORY,
+                       "tid": 0, "args": {"values": total}})
+
+    source_tids: dict[str, int] = {}
+
+    def system_tid(source: str) -> int:
+        if source not in source_tids:
+            source_tids[source] = len(source_tids) + 2
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": PID_SYSTEM, "tid": source_tids[source],
+                           "args": {"name": source}})
+        return source_tids[source]
+
+    if telemetry.soc is not None:
+        for event in telemetry.soc.trace.events:
+            events.append({"name": event.event, "cat": "soc", "ph": "i",
+                           "ts": event.cycle, "pid": PID_SYSTEM,
+                           "tid": system_tid(event.source), "s": "t",
+                           "args": {"detail": event.detail}})
+    if telemetry.sim is not None and telemetry.sim.trace:
+        for event in telemetry.sim.events:
+            events.append({"name": event.event, "cat": "hls", "ph": "i",
+                           "ts": event.cycle, "pid": PID_KERNELS,
+                           "tid": kernel_tid(event.source), "s": "t",
+                           "args": {"detail": event.detail}})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "1 fabric cycle exported as 1 us of trace time",
+            "generator": "repro.obs.timeline",
+        },
+    }

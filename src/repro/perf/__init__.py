@@ -16,8 +16,9 @@ from repro.perf.striped_exec import (StripedRunResult,
                                      multi_instance_wall_cycles)
 from repro.perf.striping import (DEFAULT_BANK_CAPACITY, Stripe, StripePlan,
                                  conv_row_costs, plan_conv_stripes)
-from repro.perf.validate import (ValidationResult, validate_conv,
-                                 validation_sweep)
+from repro.perf.validate import (ProfiledValidationResult,
+                                 ValidationResult, profiled_validation,
+                                 validate_conv, validation_sweep)
 from repro.perf.vgg import ConvModelLayer, model_label, vgg16_model_layers
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "multi_instance_wall_cycles",
     "DEFAULT_BANK_CAPACITY", "Stripe", "StripePlan", "conv_row_costs",
     "plan_conv_stripes",
-    "ValidationResult", "validate_conv", "validation_sweep",
+    "ProfiledValidationResult", "ValidationResult", "profiled_validation",
+    "validate_conv", "validation_sweep",
     "ConvModelLayer", "model_label", "vgg16_model_layers",
 ]

@@ -71,6 +71,52 @@ def validate_conv(ifm_q: np.ndarray, weights_q: np.ndarray,
     )
 
 
+@dataclass(frozen=True)
+class ProfiledValidationResult:
+    """Profiler-measured vs modeled cycles for one driver-run layer.
+
+    Unlike :func:`validate_conv` (bare accelerator, no DMA/host), the
+    measured side here is a full SoC layer — DMA staging, CSR polling
+    and instruction issue included — against the analytic model *with*
+    its DMA term, so the percent error quantifies exactly the host-side
+    overhead the model does not capture (the Fig. 8 GOPS path's
+    model-vs-measurement gap).
+    """
+
+    layer: str
+    measured_cycles: int    # telemetry-bracketed SoC cycles
+    model_cycles: int       # analytic model with DMA term
+    stall_cycles: int       # attributed kernel-stall cycles in the layer
+    bottleneck: str         # heaviest blocking resource
+
+    @property
+    def percent_error(self) -> float:
+        """Signed (model - measured) / measured, in percent."""
+        if self.measured_cycles == 0:
+            return 0.0
+        return 100 * (self.model_cycles - self.measured_cycles) \
+            / self.measured_cycles
+
+
+def profiled_validation(target: str = "vgg16", smoke: bool = True,
+                        seed: int = 0) -> list[ProfiledValidationResult]:
+    """Cross-check profiler-measured per-layer cycles vs the model.
+
+    Runs the scaled VGG-16 profile workloads end-to-end through the SoC
+    with telemetry attached and pairs each layer's measured cycles with
+    the analytic prediction for the same scaled geometry.
+    """
+    from repro.obs import run_profile
+    result = run_profile(target, smoke=smoke, seed=seed)
+    return [ProfiledValidationResult(
+        layer=row.name,
+        measured_cycles=row.cycles,
+        model_cycles=row.model_cycles or 0,
+        stall_cycles=row.stall_cycles,
+        bottleneck=row.bottleneck)
+        for row in result.table.layer_rows]
+
+
 def validation_sweep(seeds: list[int], density: float = 0.5,
                      max_ch: int = 9, max_hw: int = 13
                      ) -> list[ValidationResult]:

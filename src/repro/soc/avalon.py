@@ -53,6 +53,26 @@ class AvalonInterconnect:
         self._mappings: list[_Mapping] = []
         self._on_access = on_access
 
+    def subscribe(self,
+                  callback: Callable[[str, str, int, int], None]) -> None:
+        """Add an access observer without displacing the existing one.
+
+        Each registered callback receives ``(op, slave, addr, value)``
+        for every bus access; subscribing chains onto whatever
+        ``on_access`` the bus was constructed with, so e.g. telemetry
+        can observe traffic without unhooking the SoC trace.
+        """
+        previous = self._on_access
+        if previous is None:
+            self._on_access = callback
+            return
+
+        def chained(op: str, slave: str, addr: int, value: int) -> None:
+            previous(op, slave, addr, value)
+            callback(op, slave, addr, value)
+
+        self._on_access = chained
+
     def attach(self, base: int, slave: AvalonSlave) -> None:
         """Map ``slave`` at byte address ``base``."""
         if base % self.WORD:

@@ -110,6 +110,10 @@ class DmaController:
         #: Optional per-transfer fault hook (duck-typed; see
         #: :mod:`repro.faults.hooks`). ``None`` on the clean path.
         self.fault_hook = None
+        #: Optional telemetry hub (duck-typed; see
+        #: :mod:`repro.obs.metrics`). Observation only; ``None`` on the
+        #: clean path.
+        self.obs = None
         sim.add_kernel(f"{name}.engine", self._engine(), fsm_states=12)
         self.csr = CallbackSlave(f"{name}.csr")
         self.csr.register(0x00, read=lambda: self._completed)
@@ -185,10 +189,14 @@ class DmaController:
             if self.fault_hook is not None:
                 action = self.fault_hook.on_transfer(self, descriptor)
                 if action is not None:
-                    yield Tick(max(1, self._apply_fault(descriptor,
-                                                        action)))
+                    cycles = max(1, self._apply_fault(descriptor, action))
+                    if self.obs is not None:
+                        self.obs.on_dma(self, descriptor, self._now(),
+                                        cycles, False)
+                    yield Tick(cycles)
                     continue
             bank = self.banks[descriptor.bank]
+            start = self._now()
             if self.sdram_port is not None:
                 cycles = yield from self._transfer_via_sdram(descriptor,
                                                              bank)
@@ -199,6 +207,8 @@ class DmaController:
             self.stats.values_moved += descriptor.count
             self.stats.busy_cycles += cycles
             self._completed += 1
+            if self.obs is not None:
+                self.obs.on_dma(self, descriptor, start, cycles, True)
 
     def _apply_fault(self, descriptor: DmaDescriptor,
                      action: DmaFaultAction) -> int:

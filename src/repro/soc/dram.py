@@ -38,10 +38,16 @@ class Ddr4:
         #: (duck-typed; see :mod:`repro.faults.hooks`). ``None`` on the
         #: clean path.
         self.fault_hook = None
+        #: Optional telemetry hub (duck-typed; see
+        #: :mod:`repro.obs.metrics`). Observation only; ``None`` on the
+        #: clean path.
+        self.obs = None
 
     def read(self, addr: int, count: int) -> np.ndarray:
         self._check(addr, count)
         self.stats.values_read += count
+        if self.obs is not None:
+            self.obs.on_dram(self, "read", count)
         data = self.storage[addr:addr + count].copy()
         if self.fault_hook is not None:
             data = self.fault_hook.on_read(self, addr, data)
@@ -51,6 +57,8 @@ class Ddr4:
         values = np.asarray(values, dtype=np.int16).reshape(-1)
         self._check(addr, values.size)
         self.stats.values_written += values.size
+        if self.obs is not None:
+            self.obs.on_dram(self, "write", values.size)
         self.storage[addr:addr + values.size] = values
 
     def transfer_cycles(self, count: int) -> int:

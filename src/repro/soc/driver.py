@@ -102,6 +102,11 @@ class SocSystem:
                  resilience: ResiliencePolicy | None = None):
         self.resilience = resilience or ResiliencePolicy()
         self.fault_log: list[FaultRecord] = []
+        #: Optional telemetry hub (set by ``Telemetry.attach``; see
+        #: :mod:`repro.obs.metrics`). The driver brackets each layer
+        #: with ``begin_layer``/``end_layer`` when present. ``None`` on
+        #: the clean path.
+        self.obs = None
         self.trace = SocTrace(limit=trace_limit)
         self.sim = Simulator("soc")
         self.accel = AcceleratorInstance(
@@ -394,40 +399,46 @@ class InferenceDriver:
         out_handle = FmHandle(out_addr, packed.out_channels, out_h, out_w)
         policy = soc.resilience
         dma_values = 0
-        for replay in range(policy.layer_replays + 1):
-            # Checkpoint/replay: the staged inputs — the IFM behind
-            # ``handle`` and the packed weight streams — live in DDR4
-            # and are never mutated by the layer, so a faulted attempt
-            # re-executes from here instead of restarting the network.
-            for row0, rows in plan:
-                dma_values += self._run_conv_stripe(
-                    handle, out_handle, name, packed, biases, shift,
-                    apply_relu, row0, rows, halo)
-            if not policy.check_outputs:
-                break
-            bad_channels = self._divergent_channels(
-                handle, out_handle, packed, biases, shift, apply_relu)
-            if not bad_channels:
-                if replay:
-                    soc.fault_log.append(FaultRecord(
-                        soc.sim.now, "conv", "replay_recovered",
-                        f"{name}: clean after {replay} replay(s)"))
-                break
-            soc.fault_log.append(FaultRecord(
-                soc.sim.now, "conv", "divergence",
-                f"{name}: channels {bad_channels[:8]} diverge "
-                f"(attempt {replay})"))
-            if replay == policy.layer_replays:
-                if policy.degrade:
-                    soc.fault_log.append(FaultRecord(
-                        soc.sim.now, "conv", "degraded",
-                        f"{name}: continuing with {len(bad_channels)} "
-                        f"faulted channel(s) {bad_channels[:8]}"))
+        if soc.obs is not None:
+            soc.obs.begin_layer(name, "conv")
+        try:
+            for replay in range(policy.layer_replays + 1):
+                # Checkpoint/replay: the staged inputs — the IFM behind
+                # ``handle`` and the packed weight streams — live in DDR4
+                # and are never mutated by the layer, so a faulted attempt
+                # re-executes from here instead of restarting the network.
+                for row0, rows in plan:
+                    dma_values += self._run_conv_stripe(
+                        handle, out_handle, name, packed, biases, shift,
+                        apply_relu, row0, rows, halo)
+                if not policy.check_outputs:
                     break
-                raise DivergenceError(
-                    f"{name}: output diverges from golden model in "
-                    f"channels {bad_channels[:8]} after "
-                    f"{policy.layer_replays} replay(s)")
+                bad_channels = self._divergent_channels(
+                    handle, out_handle, packed, biases, shift, apply_relu)
+                if not bad_channels:
+                    if replay:
+                        soc.fault_log.append(FaultRecord(
+                            soc.sim.now, "conv", "replay_recovered",
+                            f"{name}: clean after {replay} replay(s)"))
+                    break
+                soc.fault_log.append(FaultRecord(
+                    soc.sim.now, "conv", "divergence",
+                    f"{name}: channels {bad_channels[:8]} diverge "
+                    f"(attempt {replay})"))
+                if replay == policy.layer_replays:
+                    if policy.degrade:
+                        soc.fault_log.append(FaultRecord(
+                            soc.sim.now, "conv", "degraded",
+                            f"{name}: continuing with {len(bad_channels)} "
+                            f"faulted channel(s) {bad_channels[:8]}"))
+                        break
+                    raise DivergenceError(
+                        f"{name}: output diverges from golden model in "
+                        f"channels {bad_channels[:8]} after "
+                        f"{policy.layer_replays} replay(s)")
+        finally:
+            if soc.obs is not None:
+                soc.obs.end_layer()
         run = LayerRun(name=name, kind="conv",
                        cycles=soc.sim.now - start, dma_values=dma_values,
                        out_shape=(packed.out_channels, out_h, out_w))
@@ -579,25 +590,33 @@ class InferenceDriver:
             raise MemoryError(
                 f"{name}: pad/pool needs {needed} values per bank "
                 f"(IFM + OFM regions), capacity is {cfg.bank_capacity}")
-        dma_values = self._fm_to_banks(handle, 0)
-        done_target = self.soc._done_count + cfg.lanes
-        tile_target = soc.tile_writes() + handle.channels * out_ty * out_tx
-        for unit in range(cfg.lanes):
-            soc.issue_instruction(unit, PadPoolInstruction(
-                instr_id=done_target, opcode=opcode,
-                ifm_base=0, ifm_tiles_y=handle.tiles_y,
-                ifm_tiles_x=handle.tiles_x,
-                local_channels=len(unit_channels(handle.channels, unit,
-                                                 cfg.lanes)),
-                ofm_base=ofm_base, ofm_tiles_y=out_ty, ofm_tiles_x=out_tx,
-                pad=pad if opcode is Opcode.PAD else 0,
-                win=win, stride=stride,
-                ifm_height=handle.height, ifm_width=handle.width))
-        soc.wait_accelerator_done(done_target)
-        soc.wait_tile_writes(tile_target)
-        out_handle = self._fm_from_banks(ofm_base, handle.channels,
-                                         out_h, out_w)
-        dma_values += out_handle.values_per_channel * handle.channels
+        if soc.obs is not None:
+            soc.obs.begin_layer(name, kind)
+        try:
+            dma_values = self._fm_to_banks(handle, 0)
+            done_target = self.soc._done_count + cfg.lanes
+            tile_target = soc.tile_writes() \
+                + handle.channels * out_ty * out_tx
+            for unit in range(cfg.lanes):
+                soc.issue_instruction(unit, PadPoolInstruction(
+                    instr_id=done_target, opcode=opcode,
+                    ifm_base=0, ifm_tiles_y=handle.tiles_y,
+                    ifm_tiles_x=handle.tiles_x,
+                    local_channels=len(unit_channels(handle.channels, unit,
+                                                     cfg.lanes)),
+                    ofm_base=ofm_base, ofm_tiles_y=out_ty,
+                    ofm_tiles_x=out_tx,
+                    pad=pad if opcode is Opcode.PAD else 0,
+                    win=win, stride=stride,
+                    ifm_height=handle.height, ifm_width=handle.width))
+            soc.wait_accelerator_done(done_target)
+            soc.wait_tile_writes(tile_target)
+            out_handle = self._fm_from_banks(ofm_base, handle.channels,
+                                             out_h, out_w)
+            dma_values += out_handle.values_per_channel * handle.channels
+        finally:
+            if soc.obs is not None:
+                soc.obs.end_layer()
         run = LayerRun(name=name, kind=kind, cycles=soc.sim.now - start,
                        dma_values=dma_values,
                        out_shape=(handle.channels, out_h, out_w))

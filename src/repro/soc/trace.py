@@ -1,43 +1,22 @@
-"""System-level event trace for the SoC model."""
+"""System-level event trace for the SoC model (compat shim).
+
+The SoC trace and the HLS scheduler trace now share one event type and
+one bounded buffer, both defined in :mod:`repro.obs.events`.  This
+module keeps the historical names importable:
+
+* ``SocEvent`` is the unified :class:`~repro.obs.events.TraceEvent`
+  (its old ``component`` field is a read-only property of ``source``);
+* ``SocTrace`` is :class:`~repro.obs.events.TraceBuffer` — now a ring
+  buffer that keeps the *most recent* events at the limit instead of
+  silently discarding everything after the first ``limit`` (pass
+  ``keep="head"`` for the legacy behaviour).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.events import TraceBuffer, TraceEvent
 
+SocEvent = TraceEvent
+SocTrace = TraceBuffer
 
-@dataclass(frozen=True)
-class SocEvent:
-    """One traced system event."""
-
-    cycle: int
-    component: str   # "arm", "dma", "accelerator", "bus"
-    event: str       # e.g. "csr_write", "dma_to_bank", "instr_issue"
-    detail: str = ""
-
-
-class SocTrace:
-    """Append-only trace shared by all SoC components."""
-
-    def __init__(self, limit: int = 100_000):
-        self.events: list[SocEvent] = []
-        self.limit = limit
-        self.dropped = 0
-
-    def record(self, cycle: int, component: str, event: str,
-               detail: str = "") -> None:
-        if len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(SocEvent(cycle, component, event, detail))
-
-    def by_component(self, component: str) -> list[SocEvent]:
-        return [e for e in self.events if e.component == component]
-
-    def format(self, limit: int = 50) -> str:
-        lines = [f"{'cycle':>10}  {'component':<12} {'event':<18} detail"]
-        for event in self.events[:limit]:
-            lines.append(f"{event.cycle:>10}  {event.component:<12} "
-                         f"{event.event:<18} {event.detail}")
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
-        return "\n".join(lines)
+__all__ = ["SocEvent", "SocTrace"]

@@ -1,0 +1,45 @@
+"""Fault campaigns optionally carry a telemetry summary per trial.
+
+``CampaignConfig(collect_metrics=True)`` attaches a hub to every trial
+and stores a compact where-did-the-cycles-go dict on the
+``TrialResult`` — recovery overhead becomes attributable, not just
+countable.  Metrics collection must not perturb outcomes.
+"""
+
+from repro.faults import CampaignConfig, run_trial, run_workload
+
+
+def _trial(rate: float, collect: bool):
+    golden, clean_cycles, _ = run_workload()
+    config = CampaignConfig(fault_types=("dma",), rates={"dma": (rate,)},
+                            seeds=(0,), collect_metrics=collect)
+    return run_trial("dma", rate, 0, golden, clean_cycles, config)
+
+
+def test_metrics_disabled_by_default():
+    trial = _trial(0.0, collect=False)
+    assert trial.metrics is None
+
+
+def test_clean_trial_carries_metrics():
+    trial = _trial(0.0, collect=True)
+    assert trial.outcome == "clean"
+    assert trial.metrics is not None
+    assert trial.metrics["total_cycles"] == trial.cycles
+    assert trial.metrics["dma"]["failed"] == 0
+    assert sum(trial.metrics["kernel_totals"].values()) > 0
+
+
+def test_recovered_trial_attributes_overhead():
+    """A DMA-retry recovery shows up in the trial's DMA metrics."""
+    trial = _trial(0.15, collect=True)
+    assert trial.outcome == "recovered"
+    assert trial.metrics["dma"]["retried"] > 0
+    assert trial.metrics["stalls_by_resource"]
+
+
+def test_collection_does_not_change_outcome_or_cycles():
+    bare = _trial(0.15, collect=False)
+    observed = _trial(0.15, collect=True)
+    assert (bare.outcome, bare.cycles, bare.injected) \
+        == (observed.outcome, observed.cycles, observed.injected)

@@ -1,0 +1,63 @@
+"""CLI surface of the observability subsystem: profile and trace."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_profile_and_trace():
+    parser = build_parser()
+    args = parser.parse_args(["profile", "conv1_1", "--smoke"])
+    assert (args.command, args.subcommand, args.smoke) \
+        == ("profile", "conv1_1", True)
+    args = parser.parse_args(["trace", "--out", "t.json"])
+    assert args.command == "trace" and args.out == "t.json"
+
+
+def test_plain_commands_reject_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig6", "conv1_1"])
+    assert "takes no subcommand" in capsys.readouterr().err
+
+
+def test_profile_smoke_output(capsys):
+    assert main(["profile", "conv1_1", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "per-layer bottleneck table" in out
+    assert "conv1_1" in out and "top bottleneck" in out
+    assert "telemetry report" in out
+    assert "smoke scale" in out
+
+
+def test_profile_unknown_layer_fails(capsys):
+    with pytest.raises(ValueError, match="unknown VGG-16 conv layer"):
+        main(["profile", "conv9_9", "--smoke"])
+
+
+def test_profile_json_mode(capsys):
+    assert main(["profile", "conv1_1", "--smoke", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["target"] == "conv1_1"
+    assert data["bottlenecks"]["total_cycles"] > 0
+    assert data["metrics"]["total_cycles"] \
+        == data["bottlenecks"]["total_cycles"]
+
+
+def test_profile_writes_metrics_file(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    assert main(["profile", "conv1_1", "--smoke",
+                 "--metrics", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["metrics"]["kernels"], "metrics JSON must list kernels"
+
+
+def test_trace_writes_chrome_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--smoke", "--out", str(out)]) == 0
+    message = capsys.readouterr().out
+    assert "trace events" in message and str(out) in message
+    trace = json.loads(out.read_text())
+    assert isinstance(trace["traceEvents"], list)
+    assert trace["displayTimeUnit"] == "ms"

@@ -1,0 +1,92 @@
+"""Unified trace events and the ring-buffered trace.
+
+PR satellites: the HLS simulator and the SoC used to carry two
+near-identical trace event types; they are now one dataclass with
+compatibility aliases, and :class:`SocTrace` no longer silently drops
+the *interesting* tail of a long run — it is a ring buffer that keeps
+the most recent events and says how many were dropped.
+"""
+
+import pytest
+
+from repro.obs.events import TraceBuffer, TraceEvent
+from repro.soc.trace import SocEvent, SocTrace
+
+
+def test_soc_aliases_are_the_unified_types():
+    assert SocEvent is TraceEvent
+    assert SocTrace is TraceBuffer
+
+
+def test_event_compat_properties():
+    """Old call sites read .kernel (HLS) or .component (SoC)."""
+    event = TraceEvent(cycle=7, source="mac0", event="push", detail="q0")
+    assert event.kernel == "mac0"
+    assert event.component == "mac0"
+    assert event.cycle == 7 and event.detail == "q0"
+
+
+def test_event_positional_construction():
+    """hls.sim._record constructs positionally: (cycle, kernel, event)."""
+    event = TraceEvent(3, "wb0", "stall_empty")
+    assert (event.cycle, event.kernel, event.event) == (3, "wb0",
+                                                        "stall_empty")
+    assert event.detail == ""
+
+
+def test_event_is_immutable():
+    event = TraceEvent(0, "k", "e")
+    with pytest.raises(AttributeError):
+        event.cycle = 1
+
+
+def _fill(buffer, count):
+    for i in range(count):
+        buffer.record(i, f"comp{i % 3}", "event", detail=str(i))
+
+
+def test_tail_ring_keeps_most_recent():
+    buffer = TraceBuffer(limit=10)
+    _fill(buffer, 25)
+    assert len(buffer) == 10
+    assert buffer.dropped == 15
+    assert [e.cycle for e in buffer.events] == list(range(15, 25))
+
+
+def test_head_mode_keeps_oldest():
+    """keep='head' reproduces the legacy truncate-at-limit behaviour."""
+    buffer = TraceBuffer(limit=10, keep="head")
+    _fill(buffer, 25)
+    assert len(buffer) == 10
+    assert buffer.dropped == 15
+    assert [e.cycle for e in buffer.events] == list(range(10))
+
+
+def test_no_drops_below_limit():
+    buffer = TraceBuffer(limit=10)
+    _fill(buffer, 10)
+    assert len(buffer) == 10 and buffer.dropped == 0
+    assert "dropped" not in buffer.format()
+
+
+def test_format_notes_drops():
+    buffer = TraceBuffer(limit=5)
+    _fill(buffer, 12)
+    text = buffer.format()
+    assert "7 events dropped" in text
+    assert "most recent kept" in text
+
+
+def test_by_source_and_component_alias():
+    buffer = TraceBuffer(limit=100)
+    _fill(buffer, 9)
+    assert len(buffer.by_source("comp0")) == 3
+    assert buffer.by_component("comp1") == buffer.by_source("comp1")
+
+
+def test_iteration_and_bad_keep():
+    buffer = TraceBuffer(limit=4)
+    _fill(buffer, 4)
+    assert [e.detail for e in buffer] == ["0", "1", "2", "3"]
+    with pytest.raises(ValueError):
+        TraceBuffer(keep="middle")

@@ -1,0 +1,83 @@
+"""Telemetry must never change what it observes.
+
+The acceptance property of the observability PR, in both directions:
+
+* **disabled** — a run with no hub attached takes the exact same code
+  path as before the PR (every site is behind one ``is None`` guard);
+* **enabled** — the hooks are observation-only, so even with a hub
+  (and the timeline recorder) attached, cycle counts and outputs are
+  bit-identical to the bare run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
+                                    execute_conv)
+from repro.core.packing import PackedLayer
+from repro.faults import run_workload
+from repro.hls import Simulator
+from repro.obs import Telemetry
+
+
+def test_soc_workload_identical_with_telemetry():
+    """Full SoC path: DMA, CSRs, streaming compute, write-back."""
+    golden, clean_cycles, _ = run_workload()
+    telemetry = Telemetry()
+    output, cycles, soc = run_workload(telemetry=telemetry)
+    assert cycles == clean_cycles
+    assert np.array_equal(output, golden)
+    # ... and the hub actually saw the run.
+    report = telemetry.report()
+    assert report.total_cycles == cycles
+    assert report.dma is not None and report.dma.transfers > 0
+    assert sum(report.kernel_totals().values()) > 0
+
+
+def test_soc_workload_identical_with_timeline():
+    """Timeline recording samples every cycle; still zero-impact."""
+    golden, clean_cycles, _ = run_workload()
+    output, cycles, _ = run_workload(telemetry=Telemetry(timeline=True))
+    assert cycles == clean_cycles
+    assert np.array_equal(output, golden)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bare_accelerator_identical_with_telemetry(seed):
+    """Property over random layers on the bare 20-kernel pipeline."""
+    rng = np.random.default_rng(seed)
+    in_ch, out_ch = int(rng.integers(1, 5)), int(rng.integers(1, 7))
+    h = int(rng.integers(5, 11))
+    ifm = rng.integers(-32, 32, size=(in_ch, h, h)).astype(np.int16)
+    weights = rng.integers(-16, 16, size=(out_ch, in_ch, 3, 3))
+    weights[rng.random(weights.shape) >= 0.5] = 0
+    packed = PackedLayer.pack(weights.astype(np.int8))
+
+    def one_run(with_obs):
+        sim = Simulator("identity")
+        telemetry = Telemetry().attach_sim(sim) if with_obs else None
+        instance = AcceleratorInstance(
+            sim, AcceleratorConfig(bank_capacity=1 << 14))
+        if with_obs:
+            telemetry.attach_banks(instance.banks)
+        ofm, cycles = execute_conv(instance, ifm, packed, shift=2)
+        return ofm, cycles, telemetry
+
+    golden, clean_cycles, _ = one_run(False)
+    ofm, cycles, telemetry = one_run(True)
+    assert cycles == clean_cycles
+    assert np.array_equal(ofm, golden)
+    assert telemetry.report().total_cycles >= cycles
+
+
+def test_fifo_stats_unchanged_by_observation():
+    """Component-lifetime stats agree with and without the hub."""
+
+    def fifo_stats(telemetry):
+        _, _, soc = run_workload(telemetry=telemetry)
+        return {f.name: (f.stats.pushes, f.stats.pops,
+                         f.stats.stall_full_cycles,
+                         f.stats.stall_empty_cycles)
+                for f in soc.sim.fifos}
+
+    assert fifo_stats(None) == fifo_stats(Telemetry())

@@ -1,0 +1,55 @@
+"""Profiler-measured cycles cross-checked against the analytic model.
+
+:func:`repro.perf.profiled_validation` pairs each scaled layer's
+telemetry-bracketed SoC cycles with the analytic prediction for the
+same geometry.  The model deliberately omits host/CSR/DMA-polling
+overhead, so the signed percent error quantifies exactly that gap —
+the test pins its sign and sanity-bounds its magnitude rather than
+pretending the two agree.
+"""
+
+import pytest
+
+from repro.obs.workloads import VGG16_REPRESENTATIVES
+from repro.perf import ProfiledValidationResult, profiled_validation
+
+
+@pytest.fixture(scope="module")
+def results():
+    return profiled_validation("vgg16", smoke=True)
+
+
+def test_one_result_per_representative_layer(results):
+    assert [r.layer for r in results] == VGG16_REPRESENTATIVES
+
+
+def test_measured_and_model_populated(results):
+    for r in results:
+        assert r.measured_cycles > 0, r.layer
+        assert r.model_cycles > 0, r.layer
+        assert r.bottleneck, r.layer
+
+
+def test_model_undershoots_soc_measurement(results):
+    """Host-side overhead is real: model < measured, but within reason
+    (the model must still capture a nontrivial share of the cycles)."""
+    for r in results:
+        assert -100.0 < r.percent_error < 0.0, \
+            f"{r.layer}: {r.percent_error:+.1f}%"
+
+
+def test_percent_error_definition():
+    r = ProfiledValidationResult(layer="x", measured_cycles=200,
+                                 model_cycles=150, stall_cycles=0,
+                                 bottleneck="-")
+    assert r.percent_error == pytest.approx(-25.0)
+    zero = ProfiledValidationResult(layer="x", measured_cycles=0,
+                                    model_cycles=5, stall_cycles=0,
+                                    bottleneck="-")
+    assert zero.percent_error == 0.0
+
+
+def test_single_layer_target():
+    (r,) = profiled_validation("conv1_1", smoke=True)
+    assert r.layer == "conv1_1"
+    assert r.stall_cycles >= 0

@@ -1,0 +1,86 @@
+"""Chrome ``trace_event`` export: schema and clock unification.
+
+The exported JSON must be loadable by Perfetto / ``chrome://tracing``
+without warnings: a top-level ``traceEvents`` list whose entries carry
+the right fields per phase type ("X" complete events need ``dur``,
+counters need numeric ``args``, metadata names processes/threads).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry, chrome_trace, run_profile
+
+#: Phases the exporter is allowed to emit.
+ALLOWED_PHASES = {"X", "C", "i", "M"}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    result = run_profile("conv1_1", smoke=True, timeline=True)
+    return result.chrome_trace()
+
+
+def test_top_level_shape(trace):
+    assert isinstance(trace["traceEvents"], list)
+    assert trace["displayTimeUnit"] == "ms"
+    assert "clock" in trace["otherData"]
+    assert len(trace["traceEvents"]) > 100
+
+
+def test_every_event_matches_schema(trace):
+    for event in trace["traceEvents"]:
+        assert isinstance(event["name"], str) and event["name"]
+        assert event["ph"] in ALLOWED_PHASES
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+        if event["ph"] == "X":
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+        if event["ph"] == "C":
+            assert all(isinstance(v, int)
+                       for v in event["args"].values())
+        if event["ph"] == "M":
+            assert event["name"] in ("process_name", "thread_name")
+            assert "name" in event["args"]
+
+
+def test_trace_is_json_serializable(trace):
+    text = json.dumps(trace)
+    assert json.loads(text)["displayTimeUnit"] == "ms"
+
+
+def test_processes_and_threads_are_named(trace):
+    metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    process_names = {e["args"]["name"] for e in metas
+                     if e["name"] == "process_name"}
+    assert {"streaming kernels", "memory & dma",
+            "soc system"} <= process_names
+    # Every pid/tid used by a span must have been introduced by metadata.
+    named = {(e["pid"], e["tid"]) for e in metas
+             if e["name"] == "thread_name"}
+    for event in trace["traceEvents"]:
+        if event["ph"] == "X" and event["cat"] == "kernel-state":
+            assert (event["pid"], event["tid"]) in named
+
+
+def test_spans_counters_instants_all_present(trace):
+    categories = {e.get("cat") for e in trace["traceEvents"]}
+    assert {"kernel-state", "dma", "layer", "fifo", "dram",
+            "soc"} <= categories
+
+
+def test_unified_clock(trace):
+    """SoC instants and kernel spans share one timebase: no event may
+    end after the run's final cycle."""
+    spans = [e["ts"] + e["dur"] for e in trace["traceEvents"]
+             if e["ph"] == "X"]
+    instants = [e["ts"] for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert max(instants) <= max(spans)
+
+
+def test_export_requires_timeline_mode():
+    with pytest.raises(ValueError, match="timeline"):
+        chrome_trace(Telemetry())
