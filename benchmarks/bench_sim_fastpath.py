@@ -1,0 +1,211 @@
+"""P1 — Cycle-warp fast path: differential identity + wall-clock speedup.
+
+Runs a DMA-heavy scaled VGG-16 conv1_1 layer through the full SoC
+driver path (DMA staging, instruction issue, streaming compute,
+write-back) twice — once with the scheduler's cycle-warp fast path
+(the default) and once with ``fastpath=False``, the validated
+one-cycle-at-a-time reference stepper — and
+
+* asserts **bit- and cycle-identity**: same final cycle, same OFM
+  bytes, same per-kernel cycle breakdown, same FIFO stats;
+* reports the **wall-clock speedup** (the scenario is bandwidth-bound:
+  a narrow, high-latency DMA bus makes most cycles dead, which is
+  exactly the regime the warp targets — and the regime real VGG-16
+  staging lives in, where feature maps dwarf compute per value).
+
+Standalone (not a pytest-benchmark module) so CI can gate on it:
+
+    python benchmarks/bench_sim_fastpath.py --smoke \\
+        --json artifacts/bench_sim_fastpath.json \\
+        --check benchmarks/BENCH_sim_fastpath.json
+
+Exit status is non-zero on identity failure, or — with ``--check`` —
+when the measured speedup regresses more than 20% against the
+committed baseline's speedup for the same mode.
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.packing import PackedLayer
+from repro.soc.driver import InferenceDriver, SocSystem
+
+#: Tolerated wall-clock speedup regression vs the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One DMA-heavy conv-layer configuration.
+
+    ``in_channels=3`` is real VGG-16 conv1_1; ``out_channels`` is
+    scaled down (as in :mod:`repro.obs.workloads`) to keep the Python
+    simulator tractable.  ``dram_bytes_per_cycle`` / ``dram_latency``
+    model a narrow, contended System I bus, which is what makes the
+    layer DMA-bound.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    hw: int                    # padded IFM height/width
+    dram_bytes_per_cycle: int
+    dram_latency: int
+    keep_fraction: float       # weight density after pruning
+    repeats: int               # wall-clock reps (best-of)
+
+
+SCENARIOS = {
+    "full": Scenario(name="vgg16-conv1_1-dma-heavy", in_channels=3,
+                     out_channels=4, hw=34, dram_bytes_per_cycle=1,
+                     dram_latency=1200, keep_fraction=0.1, repeats=3),
+    "smoke": Scenario(name="vgg16-conv1_1-dma-heavy-smoke", in_channels=3,
+                      out_channels=4, hw=18, dram_bytes_per_cycle=1,
+                      dram_latency=800, keep_fraction=0.1, repeats=2),
+}
+
+
+def run_layer(scenario: Scenario, fastpath: bool, seed: int = 0) -> dict:
+    """One full driver run; returns wall time plus an identity record."""
+    soc = SocSystem(bank_capacity=1 << 14)
+    soc.sim.fastpath = fastpath
+    soc.dram.bytes_per_cycle = scenario.dram_bytes_per_cycle
+    soc.dram.latency_cycles = scenario.dram_latency
+    driver = InferenceDriver(soc)
+    rng = np.random.default_rng(seed)
+    ifm = rng.integers(-32, 32, size=(scenario.in_channels, scenario.hw,
+                                      scenario.hw), dtype=np.int16)
+    weights = rng.integers(
+        -16, 16, size=(scenario.out_channels, scenario.in_channels, 3, 3)
+    ).astype(np.int8)
+    weights[rng.random(weights.shape) >= scenario.keep_fraction] = 0
+    biases = rng.integers(-64, 64,
+                          size=(scenario.out_channels,)).astype(np.int64)
+    packed = PackedLayer.pack(weights)
+    handle = driver.load_feature_map(ifm)
+    driver.load_packed_weights("conv1_1", packed)
+    start = time.perf_counter()
+    out_handle, _ = driver.run_conv(handle, "conv1_1", packed, biases,
+                                    shift=2, apply_relu=True)
+    wall = time.perf_counter() - start
+    ofm = driver.read_feature_map(out_handle)
+    sim = soc.sim
+    return {
+        "wall_s": wall,
+        "cycles": sim.now,
+        "ofm_sha256": hashlib.sha256(ofm.tobytes()).hexdigest(),
+        "kernels": {k.name: vars(k.stats) for k in sim.kernels},
+        "fifos": {f.name: vars(f.stats) for f in sim.fifos},
+        "warps": sim.warps,
+        "warped_cycles": sim.warped_cycles,
+    }
+
+
+def check_identity(fast: dict, ref: dict) -> list[str]:
+    """Everything observable must match the reference stepper exactly."""
+    failures = []
+    for key in ("cycles", "ofm_sha256", "kernels", "fifos"):
+        if fast[key] != ref[key]:
+            failures.append(f"{key} diverges between fast path and "
+                            f"reference stepper")
+    if ref["warps"] != 0:
+        failures.append("reference stepper took warps")
+    if fast["warps"] == 0:
+        failures.append("fast path never warped — scenario is not "
+                        "exercising the fast path")
+    return failures
+
+
+def bench(scenario: Scenario) -> dict:
+    fast = run_layer(scenario, fastpath=True)
+    ref = run_layer(scenario, fastpath=False)
+    failures = check_identity(fast, ref)
+    fast_wall = min([fast["wall_s"]]
+                    + [run_layer(scenario, True)["wall_s"]
+                       for _ in range(scenario.repeats - 1)])
+    ref_wall = min([ref["wall_s"]]
+                   + [run_layer(scenario, False)["wall_s"]
+                      for _ in range(scenario.repeats - 1)])
+    return {
+        "scenario": asdict(scenario),
+        "identity": not failures,
+        "identity_failures": failures,
+        "cycles": fast["cycles"],
+        "warps": fast["warps"],
+        "warped_cycles": fast["warped_cycles"],
+        "warped_fraction": (fast["warped_cycles"] / fast["cycles"]
+                            if fast["cycles"] else 0.0),
+        "stepped_cycles": fast["cycles"] - fast["warped_cycles"],
+        "fast_wall_s": fast_wall,
+        "ref_wall_s": ref_wall,
+        "speedup": ref_wall / fast_wall if fast_wall else 0.0,
+    }
+
+
+def check_baseline(result: dict, baseline_path: Path, mode: str) -> list[str]:
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline.get(mode)
+    if entry is None:
+        return [f"baseline {baseline_path} has no entry for mode {mode!r}"]
+    failures = []
+    floor = entry["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+    if result["speedup"] < floor:
+        failures.append(
+            f"speedup regression: measured {result['speedup']:.2f}x, "
+            f"baseline {entry['speedup']:.2f}x (floor {floor:.2f}x)")
+    # Deterministic cross-check: the simulated cycle count must not
+    # drift at all for the pinned scenario + seed.
+    if result["cycles"] != entry["cycles"]:
+        failures.append(
+            f"cycle count drift: measured {result['cycles']}, "
+            f"baseline {entry['cycles']} — scheduler behaviour changed")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenario for CI")
+    parser.add_argument("--json", type=Path, metavar="PATH",
+                        help="write the result record to PATH")
+    parser.add_argument("--check", type=Path, metavar="BASELINE",
+                        help="fail on >20%% speedup regression or any "
+                             "cycle-count drift vs this baseline JSON")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    result = {"name": "bench_sim_fastpath", "mode": mode,
+              **bench(SCENARIOS[mode])}
+
+    print(f"P1: cycle-warp fast path ({result['scenario']['name']})")
+    print(f"  simulated cycles : {result['cycles']}"
+          f" (warped {result['warped_cycles']},"
+          f" {100 * result['warped_fraction']:.1f}%;"
+          f" {result['warps']} warps)")
+    print(f"  reference wall   : {result['ref_wall_s']:.3f} s")
+    print(f"  fast-path wall   : {result['fast_wall_s']:.3f} s")
+    print(f"  speedup          : {result['speedup']:.2f}x")
+    print(f"  bit/cycle identity: {result['identity']}")
+
+    failures = list(result["identity_failures"])
+    if args.check:
+        failures += check_baseline(result, args.check, mode)
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result, indent=2) + "\n")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,9 @@ class FifoStallInjector(Injector, FifoFaultHook):
     def attach(self, soc) -> None:
         for fifo in soc.sim.fifos:
             fifo.fault_hook = self
+        # Armed hooks change when stalled kernels can unblock; make
+        # sure the scheduler's fast path rescans.
+        soc.sim.invalidate_warp_cache()
 
     def _verdict(self, fifo, now: int, salt: int) -> bool:
         self.stats.queries += 1
@@ -151,6 +154,9 @@ class FifoDropInjector(Injector, FifoFaultHook):
     def attach(self, soc) -> None:
         for fifo in soc.sim.fifos:
             fifo.fault_hook = self
+        # Armed hooks change when stalled kernels can unblock; make
+        # sure the scheduler's fast path rescans.
+        soc.sim.invalidate_warp_cache()
 
     def drop_token(self, fifo, now: int, value) -> bool:
         self.stats.queries += 1

@@ -75,6 +75,19 @@ class Barrier:
         if generation not in self._waiting.values():
             self._release_cycle.pop(generation, None)
 
+    def release_cycle_for(self, kernel_name: str) -> int | None:
+        """Release cycle of the generation ``kernel_name`` is waiting in.
+
+        ``None`` if the kernel is not waiting or its generation has no
+        release scheduled yet (more arrivals needed).  Used by the
+        scheduler's cycle-warp fast path: it is the exact cycle at
+        which this waiter unblocks without any other kernel acting.
+        """
+        generation = self._waiting.get(kernel_name)
+        if generation is None:
+            return None
+        return self._release_cycle.get(generation)
+
     def pending_release(self, now: int) -> bool:
         """True if some generation releases strictly after ``now``.
 

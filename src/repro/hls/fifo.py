@@ -114,6 +114,11 @@ class PthreadFifo:
         #: :mod:`repro.obs.metrics`). Observation only; ``None`` on the
         #: clean path.
         self.obs = None
+        #: Owning simulator (set by ``Simulator.fifo``): pushes and
+        #: pops bump its mutation epoch so the fast path knows its
+        #: cached warp target may be stale.  ``None`` for standalone
+        #: queues in unit tests.
+        self.sim = None
         self._entries: deque[_Entry] = deque()
         self._last_push_cycle = -1
         self._last_pop_cycle = -1
@@ -184,6 +189,8 @@ class PthreadFifo:
                 f"fifo {self.name!r}: second pop at cycle {now}; the "
                 f"single read port supports one pop per cycle")
         assert self.can_pop(now), f"fifo {self.name!r}: pop without can_pop"
+        if self.sim is not None:
+            self.sim._epoch += 1
         self._last_pop_cycle = now
         self.stats.pops += 1
         value = self._entries.popleft().value
@@ -198,6 +205,8 @@ class PthreadFifo:
                 f"fifo {self.name!r}: second push at cycle {now}; the "
                 f"single write port supports one push per cycle")
         assert self.can_push(now), f"fifo {self.name!r}: push without can_push"
+        if self.sim is not None:
+            self.sim._epoch += 1
         self._check_width(value)
         self._last_push_cycle = now
         if (self.fault_hook is not None
@@ -212,6 +221,19 @@ class PthreadFifo:
             self.stats.max_occupancy = len(self._entries)
         if self.obs is not None:
             self.obs.on_push(self, now)
+
+    def next_visible_cycle(self, now: int) -> int | None:
+        """Cycle at which the head entry becomes readable, or ``None``.
+
+        ``None`` means the queue is empty — nothing in flight can
+        unblock a stalled reader without a producer acting first.  Pops
+        are in order, so the head entry is always the next to become
+        visible; used by the scheduler's cycle-warp fast path to find
+        the next cycle at which a stalled reader could resume.
+        """
+        if not self._entries:
+            return None
+        return self._entries[0].visible_cycle
 
     def has_future_visibility(self, now: int) -> bool:
         """True if some queued entry becomes visible strictly after ``now``.

@@ -23,7 +23,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
-from repro.hls.fifo import PthreadFifo
+from repro.hls.barrier import BarrierWaitOp
+from repro.hls.fifo import PthreadFifo, ReadOp, WriteOp
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,46 @@ class Kernel:
     @property
     def finished(self) -> bool:
         return self.state in (KernelState.DONE, KernelState.FAILED)
+
+    def next_event_cycle(self, now: int) -> int | None:
+        """Earliest cycle at which this kernel could act *without help*.
+
+        The contract for the scheduler's cycle-warp fast path
+        (:meth:`repro.hls.sim.Simulator.run`):
+
+        * a value ``<= now`` means the kernel can act in the current
+          cycle, so the cycle is live and must be stepped normally;
+        * a value ``> now`` is the exact cycle the kernel unblocks by
+          itself (a ``Tick`` wake-up, or a queued FIFO entry becoming
+          visible);
+        * ``None`` means only *another* kernel can unblock it (a full
+          queue that needs a pop, an empty queue with nothing in
+          flight, a barrier generation not yet released).
+
+        A FIFO with a fault hook armed reports ``now`` — injected
+        stalls are re-decided every cycle, so the warp must not skip
+        any.  Port-busy flags never block here: the scheduler asks
+        *before* advancing any kernel in the cycle, when
+        ``_last_push_cycle``/``_last_pop_cycle`` are at most
+        ``now - 1``.
+        """
+        if self.state is KernelState.SLEEPING:
+            return self.wake_cycle
+        op = self.pending_op
+        if isinstance(op, ReadOp):
+            if op.fifo.fault_hook is not None or op.fifo.can_pop(now):
+                return now
+            return op.fifo.next_visible_cycle(now)
+        if isinstance(op, WriteOp):
+            if op.fifo.fault_hook is not None or op.fifo.can_push(now):
+                return now
+            return None
+        if isinstance(op, BarrierWaitOp):
+            if op.barrier.released(self.name, now):
+                return now
+            return op.barrier.release_cycle_for(self.name)
+        # READY (not yet started) or anything unrecognized: live cycle.
+        return now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Kernel({self.name!r}, {self.state.value})"

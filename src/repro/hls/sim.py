@@ -37,6 +37,10 @@ from repro.hls.kernel import Kernel, KernelBody, KernelState, Tick
 # old ``kernel`` field name remains available as a property).
 from repro.obs.events import TraceEvent
 
+#: Warp-cache sentinel for an event-less idle window: no kernel will
+#: ever self-unblock, and only an external driver can create work.
+_IDLE_FOREVER = float("inf")
+
 
 @dataclass(frozen=True)
 class SimSnapshot:
@@ -75,6 +79,14 @@ class Watchdog:
 
     The budget must exceed the longest legitimate quiet period of the
     design (e.g. the largest single DMA ``Tick``).
+
+    A watchdog object may be reused across runs: :meth:`begin_run`
+    (called by :meth:`Simulator.run`) resets the sampling state so a
+    stale ``_next_check`` / ``_last_progress_cycle`` from a previous
+    run can neither mask a hang nor fire spuriously.  ``extra_progress``
+    must be a pure function of simulator-derived state (it is evaluated
+    once per dead window by the cycle-warp fast path, where it is
+    provably constant).
     """
 
     def __init__(self, budget: int, interval: int = 64,
@@ -90,20 +102,83 @@ class Watchdog:
         self._last_progress_cycle = 0
         self._next_check = 0
 
+    def begin_run(self, now: int) -> None:
+        """Reset sampling state at the start of a run.
+
+        Without this, state surviving from a previous run (or from
+        cycles stepped before ``run()``) lets a hang go undetected for
+        up to a full stale ``budget`` — or fire immediately on a
+        healthy design.  Detection latency from ``now`` is clamped to
+        ``budget + interval`` cycles.
+        """
+        self._last_signature = None
+        self._last_progress_cycle = now
+        self._next_check = now
+
+    def _signature(self, sim: "Simulator") -> Any:
+        return (sum(f.stats.pushes + f.stats.pops for f in sim.fifos),
+                None if self.extra_progress is None
+                else self.extra_progress())
+
     def expired(self, sim: "Simulator") -> bool:
         """Sample progress at cycle boundaries; True once hung."""
         if sim.now < self._next_check:
             return False
         self._next_check = sim.now + self.interval
-        signature = (sum(f.stats.pushes + f.stats.pops
-                         for f in sim.fifos),
-                     None if self.extra_progress is None
-                     else self.extra_progress())
+        signature = self._signature(sim)
         if signature != self._last_signature:
             self._last_signature = signature
             self._last_progress_cycle = sim.now
             return False
         return sim.now - self._last_progress_cycle > self.budget
+
+    def observe_warp(self, sim: "Simulator", start: int, end: int) -> int | None:
+        """Replay the checks a cycle-stepped run would make in ``[start, end)``.
+
+        The cycle-warp fast path calls this before jumping the clock
+        from ``start`` to ``end``.  The progress signature is constant
+        over a dead window (no kernel acts, so no FIFO traffic), so one
+        evaluation stands in for every per-cycle sample; check cycles
+        form the arithmetic sequence the stepper would have visited.
+        Returns the exact cycle :meth:`expired` would first have
+        returned True at, or ``None`` — and leaves the sampling state
+        (``_next_check``, ``_last_progress_cycle``) precisely as the
+        stepper would have.
+        """
+        first = self._next_check if self._next_check > start else start
+        if first >= end:
+            return None
+        signature = self._signature(sim)
+        if signature != self._last_signature:
+            # Progress since the previous sample: the first check in the
+            # window refreshes the signature and cannot fire.
+            self._last_signature = signature
+            self._last_progress_cycle = first
+            steady = first + self.interval
+        else:
+            steady = first
+        # From ``steady`` on, every check sees an unchanged signature and
+        # fires once now - _last_progress_cycle exceeds the budget.
+        fire = None
+        if steady < end:
+            threshold = self._last_progress_cycle + self.budget + 1
+            if steady >= threshold:
+                fire = steady
+            else:
+                periods = -(-(threshold - steady) // self.interval)
+                candidate = steady + periods * self.interval
+                if candidate < end:
+                    fire = candidate
+        if fire is not None:
+            self._next_check = fire + self.interval
+            return fire
+        if steady >= end:
+            last_check = first
+        else:
+            last_check = steady + ((end - 1 - steady)
+                                   // self.interval) * self.interval
+        self._next_check = last_check + self.interval
+        return None
 
 
 class Simulator:
@@ -119,36 +194,96 @@ class Simulator:
     ops_per_cycle_limit:
         Safety bound on operations a single kernel may execute within
         one cycle before the scheduler declares a combinational loop.
+    fastpath:
+        When true (the default), :meth:`run` and :meth:`advance` warp
+        over *dead cycles* — stretches in which every live kernel is
+        sleeping out a ``Tick`` or provably blocked — jumping ``now``
+        straight to the next event instead of stepping one cycle at a
+        time.  All per-cycle accounting (sleep/stall counters, FIFO
+        stall stats, watchdog sampling, telemetry) is bulk-credited so
+        results are bit- and cycle-identical to ``fastpath=False``,
+        the reference stepper; see ``docs/PERFORMANCE.md``.  Armed
+        fault hooks always force the reference path.
     """
 
     def __init__(self, name: str = "sim", trace: bool = False,
-                 ops_per_cycle_limit: int = 100_000):
+                 ops_per_cycle_limit: int = 100_000, fastpath: bool = True):
         self.name = name
         self.now = 0
         self.trace = trace
+        self.fastpath = fastpath
         self.events: list[TraceEvent] = []
         self.kernels: list[Kernel] = []
         self.fifos: list[PthreadFifo] = []
         self.barriers: list[Barrier] = []
         self._ops_per_cycle_limit = ops_per_cycle_limit
+        #: True when an external agent (e.g. the ARM host model) drives
+        #: the simulation between steps and can unblock kernels by
+        #: pushing FIFOs or submitting work from outside any kernel.
+        #: Suppresses the deadlock detector — an all-blocked fabric is
+        #: then just idle, not dead — and lets the fast path warp
+        #: event-less idle windows; hangs are detected by the watchdog,
+        #: host poll timeouts, or ``max_cycles`` instead.
+        self.external_progress = False
         #: Optional hang-injection hook (duck-typed; see
         #: :mod:`repro.faults.hooks`). ``None`` on the clean path.
         self.fault_hook = None
         #: Optional :class:`Watchdog`; checked once per cycle when set.
         self.watchdog: Watchdog | None = None
-        #: Optional telemetry hub (duck-typed; see
-        #: :mod:`repro.obs.metrics`). ``None`` on the clean path; hooks
-        #: are observation-only, so cycle counts are identical either way.
-        self.obs = None
+        #: Telemetry hub slot behind the :attr:`obs` property.
+        self._obs = None
+        #: Fast-path accounting: number of warps taken and total dead
+        #: cycles skipped (both stay 0 with ``fastpath=False``).
+        self.warps = 0
+        self.warped_cycles = 0
+        #: Mutation epoch: bumped by every step, kernel registration,
+        #: and FIFO push/pop, so the fast path can cache its scanned
+        #: warp target across ``advance`` windows (a polling host would
+        #: otherwise rescan every live kernel each poll interval).
+        self._epoch = 0
+        #: ``(epoch, event)`` — the earliest self-unblock cycle found
+        #: by the last full scan, valid while the epoch is unchanged.
+        #: ``event`` is ``inf`` for an event-less idle window (only
+        #: reachable with :attr:`external_progress`).
+        self._warp_cache: tuple[int, float] | None = None
 
     # -- construction --------------------------------------------------------
+
+    @property
+    def obs(self):
+        """Optional telemetry hub (duck-typed; see :mod:`repro.obs.metrics`).
+
+        ``None`` on the clean path; hooks are observation-only, so
+        cycle counts are identical either way.  Assignment propagates
+        the hub to every registered FIFO (and announces each via the
+        hub's ``on_fifo_registered``, if provided), so attachment is
+        ordering-insensitive: a hub attached after FIFOs exist sees
+        them all, and FIFOs created later inherit it in
+        :meth:`fifo`.
+        """
+        return self._obs
+
+    @obs.setter
+    def obs(self, hub) -> None:
+        self._obs = hub
+        for queue in self.fifos:
+            queue.obs = hub
+            self._announce_fifo(queue)
+
+    def _announce_fifo(self, queue: PthreadFifo) -> None:
+        if self._obs is not None:
+            announce = getattr(self._obs, "on_fifo_registered", None)
+            if announce is not None:
+                announce(queue, self.now)
 
     def fifo(self, name: str, depth: int, width: int | None = None,
              latency: int = 1) -> PthreadFifo:
         """Create and register a FIFO queue."""
         queue = PthreadFifo(name, depth, width=width, latency=latency)
-        queue.obs = self.obs    # inherit telemetry attached before creation
+        queue.obs = self._obs   # inherit telemetry attached before creation
+        queue.sim = self        # pushes/pops invalidate the warp cache
         self.fifos.append(queue)
+        self._announce_fifo(queue)
         return queue
 
     def barrier(self, name: str, parties: int) -> Barrier:
@@ -162,6 +297,7 @@ class Simulator:
         """Register a kernel whose body is an already-created generator."""
         kernel = Kernel(name, body, fsm_states=fsm_states, ii=ii)
         self.kernels.append(kernel)
+        self._epoch += 1
         return kernel
 
     # -- execution ------------------------------------------------------------
@@ -173,16 +309,41 @@ class Simulator:
         The run ends when every kernel has finished, when ``until()``
         becomes true (checked at each cycle boundary), or — with an
         exception — on deadlock or when ``max_cycles`` is exceeded.
+
+        With :attr:`fastpath` set, dead stretches are warped over;
+        ``until`` predicates are unaffected because they can only
+        depend on state kernels mutate, which is frozen while every
+        live kernel sleeps or stalls.
         """
         start = self.now
+        limit = start + max_cycles
+        if self.watchdog is not None:
+            self.watchdog.begin_run(self.now)
         while True:
             if all(k.finished for k in self.kernels):
                 return self.now - start
             if until is not None and until():
                 return self.now - start
-            if self.now - start >= max_cycles:
+            if self.now >= limit:
                 raise self._with_snapshot(SimulationTimeout(
                     f"{self.name}: exceeded {max_cycles} cycles"))
+            if self.fastpath and self._try_warp(limit):
+                continue
+            self._step()
+
+    def advance(self, cycles: int) -> None:
+        """Advance the clock by exactly ``cycles`` cycles.
+
+        The bulk equivalent of calling :meth:`step` in a loop — used by
+        host models that interleave bus accesses with fixed waits — but
+        dead stretches are warped over when :attr:`fastpath` is set, so
+        e.g. waiting out a long DMA burst costs O(1) instead of
+        O(cycles).  Results are identical to the stepped loop.
+        """
+        target = self.now + cycles
+        while self.now < target:
+            if self.fastpath and self._try_warp(target):
+                continue
             self._step()
 
     def step(self) -> None:
@@ -191,7 +352,123 @@ class Simulator:
 
     # -- internals -------------------------------------------------------------
 
+    def _try_warp(self, limit: int) -> bool:
+        """Jump over dead cycles up to ``limit``; True if the clock moved.
+
+        A cycle is *dead* when no kernel can change architectural
+        state: every live kernel is sleeping out a ``Tick``, stalled on
+        a FIFO whose condition cannot change without another kernel
+        acting, or parked at an unreleased barrier.  The warp moves
+        ``now`` to the earliest cycle at which some kernel can act
+        (clamped to ``limit``) and bulk-credits exactly the per-cycle
+        accounting the reference stepper would have performed — sleep
+        and stall counters, FIFO stall stats, stall attribution,
+        watchdog checks, timeline samples — so results are bit- and
+        cycle-identical.
+
+        The slow path is forced whenever a simulator or FIFO fault
+        hook is armed (hooks are consulted every cycle and may hold
+        state), and whenever a telemetry hub is attached that lacks the
+        bulk observation hooks (``on_warp`` / ``on_stall_span``).
+        """
+        if self.fault_hook is not None:
+            return False
+        now = self.now
+        cache = self._warp_cache
+        if cache is not None and cache[0] == self._epoch:
+            # No state mutation since the last full scan: the earliest
+            # self-unblock event is unchanged (events are absolute
+            # cycles), so skip the rescan.  This makes repeated short
+            # ``advance`` windows — a host polling through a long DMA
+            # burst — O(live kernels) per warp instead of per scan.
+            event = cache[1]
+            if event <= now:
+                return False        # the event cycle itself is live
+        else:
+            event = None
+            for kernel in self.kernels:
+                state = kernel.state
+                if state is KernelState.DONE or state is KernelState.FAILED:
+                    continue
+                k_event = kernel.next_event_cycle(now)
+                if k_event is None:
+                    continue
+                if k_event <= now:
+                    return False    # live cycle: something can act
+                if event is None or k_event < event:
+                    event = k_event
+            if event is None:
+                if not self.external_progress:
+                    # Nothing will ever self-unblock: fall through so
+                    # _step can run the deadlock detector (or spin out
+                    # residual FIFO visibility) exactly as the
+                    # reference does.  With an external driver the
+                    # fabric is merely idle until ``limit`` (nobody
+                    # inside can act), so the warp proceeds to it.
+                    return False
+                event = _IDLE_FOREVER
+            self._warp_cache = (self._epoch, event)
+        target = limit if event > limit else int(event)
+        window = target - now
+        if window < 2:
+            return False            # a plain step is cheaper
+        obs = self._obs
+        if obs is not None and (not hasattr(obs, "on_warp")
+                                or not hasattr(obs, "on_stall_span")):
+            return False
+        fire = None
+        if self.watchdog is not None:
+            fire = self.watchdog.observe_warp(self, now, target)
+            if fire is not None:
+                target = fire
+                window = target - now
+        for kernel in self.kernels:
+            state = kernel.state
+            if state is KernelState.SLEEPING:
+                kernel.stats.sleep_cycles += window
+            elif state is KernelState.STALL_EMPTY:
+                fifo = kernel.pending_op.fifo
+                kernel.stats.stall_empty_cycles += window
+                fifo.stats.stall_empty_cycles += window
+                if obs is not None and window:
+                    obs.on_stall_span(kernel, fifo.name, "empty",
+                                      now, window)
+            elif state is KernelState.STALL_FULL:
+                fifo = kernel.pending_op.fifo
+                kernel.stats.stall_full_cycles += window
+                fifo.stats.stall_full_cycles += window
+                if obs is not None and window:
+                    obs.on_stall_span(kernel, fifo.name, "full",
+                                      now, window)
+            elif state is KernelState.AT_BARRIER:
+                kernel.stats.barrier_cycles += window
+                if obs is not None and window:
+                    obs.on_stall_span(kernel, kernel.pending_op.barrier.name,
+                                      "barrier", now, window)
+        if obs is not None and window:
+            obs.on_warp(self, now, target)
+        self.now = target
+        if window:
+            self.warps += 1
+            self.warped_cycles += window
+        if fire is not None:
+            raise self._with_snapshot(SimulationTimeout(
+                f"{self.name}: watchdog expired at cycle {self.now} — no "
+                f"progress for more than {self.watchdog.budget} cycles"))
+        return True
+
+    def invalidate_warp_cache(self) -> None:
+        """Drop the fast path's cached warp target.
+
+        Steps, kernel registration, and FIFO pushes/pops invalidate the
+        cache automatically; call this after any *other* out-of-band
+        mutation that can change when a kernel unblocks — e.g. arming a
+        FIFO fault hook in the middle of a run.
+        """
+        self._warp_cache = None
+
     def _step(self) -> None:
+        self._epoch += 1
         if self.watchdog is not None and self.watchdog.expired(self):
             raise self._with_snapshot(SimulationTimeout(
                 f"{self.name}: watchdog expired at cycle {self.now} — no "
@@ -240,6 +517,10 @@ class Simulator:
 
     def _future_event_pending(self) -> bool:
         """True if some queued FIFO entry or barrier release can unblock."""
+        if self.external_progress:
+            # A host model outside the kernel set can always create
+            # work; an all-blocked fabric is idle, not deadlocked.
+            return True
         if self.fault_hook is not None \
                 or any(f.fault_hook is not None for f in self.fifos):
             # Under fault injection a blocked system is not proof of

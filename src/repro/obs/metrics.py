@@ -431,12 +431,15 @@ class Telemetry:
     # -- attachment ----------------------------------------------------------
 
     def attach_sim(self, sim) -> "Telemetry":
-        """Instrument a bare :class:`~repro.hls.sim.Simulator`."""
+        """Instrument a bare :class:`~repro.hls.sim.Simulator`.
+
+        Attachment is ordering-insensitive: assigning ``sim.obs``
+        propagates the hub to every already-registered FIFO (announcing
+        each through :meth:`on_fifo_registered`), and FIFOs created
+        later inherit the hub in ``Simulator.fifo()``.
+        """
         self.sim = sim
         sim.obs = self
-        for fifo in sim.fifos:
-            fifo.obs = self
-            self._occ[fifo.name] = _OccupancyTracker(sim.now, fifo.occupancy)
         return self
 
     def attach(self, soc) -> "Telemetry":
@@ -469,9 +472,32 @@ class Telemetry:
         if self.timeline is not None:
             self.timeline.on_cycle(sim)
 
+    def on_warp(self, sim, start: int, end: int) -> None:
+        """Bulk ``on_cycle`` over a dead window ``[start, end)``.
+
+        Called by the scheduler's cycle-warp fast path instead of one
+        ``on_cycle`` per skipped cycle.  Kernel states and FIFO
+        occupancies are constant over a dead window, so the recorder
+        can reproduce the exact per-cycle sample stream in one call.
+        """
+        if self.timeline is not None:
+            self.timeline.on_warp(sim, start, end)
+
     def on_stall(self, kernel, resource: str, kind: str, now: int) -> None:
         key = (kernel.name, resource, kind)
         self.stall_attribution[key] = self.stall_attribution.get(key, 0) + 1
+
+    def on_stall_span(self, kernel, resource: str, kind: str,
+                      start: int, cycles: int) -> None:
+        """Bulk ``on_stall``: ``cycles`` consecutive stalls from ``start``."""
+        key = (kernel.name, resource, kind)
+        self.stall_attribution[key] = \
+            self.stall_attribution.get(key, 0) + cycles
+
+    def on_fifo_registered(self, fifo, now: int) -> None:
+        """A FIFO joined the instrumented simulator (any time, any order)."""
+        if fifo.name not in self._occ:
+            self._occ[fifo.name] = _OccupancyTracker(now, fifo.occupancy)
 
     def on_push(self, fifo, now: int) -> None:
         tracker = self._occ.get(fifo.name)

@@ -71,6 +71,34 @@ class TimelineRecorder:
             self.counter_samples.append((now, sample))
             self.dram_traffic.append((now, self._dram_total))
 
+    def on_warp(self, sim, start: int, end: int) -> None:
+        """Bulk :meth:`on_cycle` for the dead window ``[start, end)``.
+
+        No kernel changes state and no FIFO moves a value during a dead
+        window, so a single span update at ``start`` covers every
+        skipped cycle, and each counter sample the per-cycle path would
+        have taken is emitted with the (constant) current values —
+        byte-identical output to stepping.
+        """
+        for kernel in sim.kernels:
+            state = kernel.state.value
+            open_span = self._open.get(kernel.name)
+            if open_span is None:
+                self._open[kernel.name] = [state, start]
+            elif open_span[0] != state:
+                self.state_spans.append(
+                    (kernel.name, open_span[0], open_span[1], start))
+                open_span[0] = state
+                open_span[1] = start
+        cycle = self._next_sample if self._next_sample > start else start
+        if cycle < end:
+            while cycle < end:
+                sample = {fifo.name: fifo.occupancy for fifo in sim.fifos}
+                self.counter_samples.append((cycle, sample))
+                self.dram_traffic.append((cycle, self._dram_total))
+                cycle += self.counter_interval
+            self._next_sample = cycle
+
     def add_dma_span(self, descriptor, start: int, cycles: int,
                      ok: bool) -> None:
         label = (f"{descriptor.direction.value} bank{descriptor.bank} "

@@ -31,14 +31,36 @@ from repro.perf.striping import StripePlan, plan_conv_stripes
 
 @dataclass(frozen=True)
 class StripedRunResult:
-    """Outcome of a striped convolution run."""
+    """Outcome of a striped convolution run.
+
+    ``instances`` is carried from the run so :attr:`total_cycles` can
+    report the wall-clock model directly — historically it always
+    returned ``sum(stripe_cycles)``, which silently over-counted
+    multi-instance runs (stripes execute concurrently; callers had to
+    know to reach for :func:`multi_instance_wall_cycles`).
+    """
 
     ofm: np.ndarray
     plan: StripePlan
     stripe_cycles: tuple[int, ...]
+    instances: int = 1
 
     @property
     def total_cycles(self) -> int:
+        """Wall-clock cycles of the run under its instance count.
+
+        With one instance this is the plain sum of stripe cycles; with
+        ``instances > 1`` it is the round-robin wall model (the busiest
+        instance's sum), matching how the stripes actually ran.  Use
+        :attr:`serial_cycles` for the machine-seconds total.
+        """
+        if self.instances <= 1:
+            return sum(self.stripe_cycles)
+        return multi_instance_wall_cycles(self, self.instances)
+
+    @property
+    def serial_cycles(self) -> int:
+        """Sum of stripe cycles regardless of instance count."""
         return sum(self.stripe_cycles)
 
 
@@ -96,12 +118,18 @@ def execute_conv_striped(ifm_q: np.ndarray, packed: PackedLayer,
             sub_ofm[:, :rows_produced, :]
         stripe_cycles.append(cycles)
     return StripedRunResult(ofm=ofm[:, :out_h, :out_w], plan=plan,
-                            stripe_cycles=tuple(stripe_cycles))
+                            stripe_cycles=tuple(stripe_cycles),
+                            instances=instances)
 
 
 def multi_instance_wall_cycles(result: StripedRunResult,
                                instances: int) -> int:
-    """Wall cycles with stripes round-robined over ``instances``."""
+    """Wall cycles with stripes round-robined over ``instances``.
+
+    ``StripedRunResult.total_cycles`` already applies this model for
+    the run's own instance count; this helper remains for what-if
+    analysis at other instance counts.
+    """
     loads = [0] * instances
     for index, cycles in enumerate(result.stripe_cycles):
         loads[index % instances] += cycles

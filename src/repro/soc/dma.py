@@ -114,6 +114,18 @@ class DmaController:
         #: :mod:`repro.obs.metrics`). Observation only; ``None`` on the
         #: clean path.
         self.obs = None
+        # Submit-side doorbell: rung (at most once per cycle) when a
+        # descriptor is queued, so an idle engine blocks on a FIFO read
+        # instead of polling ``_pending`` every cycle — which lets the
+        # scheduler's cycle-warp fast path skip idle stretches.  Pickup
+        # timing is unchanged: a ring at cycle ``t`` is visible at
+        # ``t + 1``, exactly when the old polling loop first saw the
+        # descriptor.
+        self._doorbell = sim.fifo(f"{name}.doorbell", depth=1)
+        # Descriptors arrive from outside the kernel set (the host
+        # calls ``submit``), so an idle, doorbell-blocked engine is not
+        # a deadlock.
+        sim.external_progress = True
         sim.add_kernel(f"{name}.engine", self._engine(), fsm_states=12)
         self.csr = CallbackSlave(f"{name}.csr")
         self.csr.register(0x00, read=lambda: self._completed)
@@ -150,6 +162,7 @@ class DmaController:
                 f"capacity {bank.capacity_values}")
         self._pending.append(descriptor)
         self._submitted += 1
+        self._ring_doorbell()
 
     def resubmit(self, descriptor: DmaDescriptor) -> None:
         """Retry a previously failed transfer (driver recovery path)."""
@@ -178,12 +191,25 @@ class DmaController:
     def idle(self) -> bool:
         return not self._pending and self.retired == self._submitted
 
+    def _ring_doorbell(self) -> None:
+        """Wake a blocked engine.  One token is enough to drain any
+        number of pending descriptors, so a ring into a full (or
+        port-busy) doorbell is simply skipped — the engine is already
+        guaranteed to re-check ``_pending``."""
+        now = self._sim.now
+        if self._doorbell.can_push(now):
+            self._doorbell.push(now, 1)
+
     # -- the engine kernel -----------------------------------------------------
 
     def _engine(self):
         while True:
             if not self._pending:
-                yield Tick(1)
+                # Block on the doorbell rather than polling every
+                # cycle.  Stale rings (descriptors that arrived while a
+                # transfer was in flight and were drained by the loop
+                # below) pop harmlessly and re-check ``_pending``.
+                yield self._doorbell.read()
                 continue
             descriptor = self._pending.pop(0)
             if self.fault_hook is not None:

@@ -116,7 +116,13 @@ class SocSystem:
         self.dram = Ddr4(capacity_values=dram_capacity)
         self.dma = DmaController(self.sim, self.dram, self.accel.banks)
         self._mailbox_words: list[int] = []
-        self._issue_queue: list[tuple[int, object]] = []
+        # Mailbox-to-fabric command queue: ``_mailbox_go`` (CSR side)
+        # pushes decoded instructions, the issue kernel drains them into
+        # the per-unit staging queues.  A real FIFO rather than a Python
+        # list polled every cycle, so an idle command path blocks on the
+        # queue and the scheduler's cycle-warp fast path can skip the
+        # dead cycles.
+        self._issue_q = self.sim.fifo("acc0.issue", depth=16)
         self._done_count = 0
         self.accel_csr = CallbackSlave("accel.csr")
         self.accel_csr.register(REG_DONE_COUNT, read=lambda: self._done_count)
@@ -124,7 +130,7 @@ class SocSystem:
                                 write=self._mailbox_words.append)
         self.accel_csr.register(REG_MAILBOX_GO, write=self._mailbox_go)
         self.accel_csr.register(REG_PENDING,
-                                read=lambda: len(self._issue_queue))
+                                read=lambda: self._issue_q.occupancy)
         # Total OFM tiles written to the banks: the status the driver
         # polls to know the accumulator/write-back pipeline has drained
         # (the staging done tokens precede the last tile by a few
@@ -140,31 +146,43 @@ class SocSystem:
         self.bus.attach(ACCEL_BASE, self.accel_csr)
         self.bus.attach(DMA_BASE, self.dma.csr)
         self.host = ArmHost(self.sim, self.bus, self.trace)
-        self.sim.add_kernel("acc0.cmdproc", self._command_processor(),
-                            fsm_states=16)
+        self.sim.add_kernel("acc0.issue", self._issue_processor(),
+                            fsm_states=8)
+        self.sim.add_kernel("acc0.doneproc", self._done_processor(),
+                            fsm_states=8)
 
     # -- mailbox handling -----------------------------------------------------------
 
     def _mailbox_go(self, unit: int) -> None:
         instr = decode_instruction(self._mailbox_words)
         self._mailbox_words.clear()
-        self._issue_queue.append((unit, instr))
+        while not self._issue_q.can_push(self.sim.now):
+            # The ARM blocks on a full command queue (never on the
+            # clean path: depth 16 far exceeds in-flight instructions).
+            self.sim.step()
+        self._issue_q.push(self.sim.now, (unit, instr))
         self.trace.record(self.sim.now, "accelerator", "instr_queued",
                           f"unit={unit} {type(instr).__name__}")
 
-    def _command_processor(self):
-        """Fabric-side kernel: mailbox -> staging queues, done counting."""
+    def _issue_processor(self):
+        """Fabric-side kernel: command queue -> per-unit staging queues.
+
+        Blocks on the command FIFO when idle (rather than polling a
+        list every cycle), so the command path contributes no live
+        cycles while the accelerator computes or DMA streams.
+        """
         while True:
-            if self._issue_queue:
-                unit, instr = self._issue_queue.pop(0)
-                yield self.accel.instr_qs[unit].write(instr)
-                yield Tick(1)
-                continue
-            if self.accel.done_q.can_pop(self.sim.now):
-                yield self.accel.done_q.read()
-                self._done_count += 1
-                self.trace.record(self.sim.now, "accelerator", "unit_done",
-                                  f"total={self._done_count}")
+            unit, instr = yield self._issue_q.read()
+            yield self.accel.instr_qs[unit].write(instr)
+            yield Tick(1)
+
+    def _done_processor(self):
+        """Fabric-side kernel: counts unit completion tokens."""
+        while True:
+            yield self.accel.done_q.read()
+            self._done_count += 1
+            self.trace.record(self.sim.now, "accelerator", "unit_done",
+                              f"total={self._done_count}")
             yield Tick(1)
 
     # -- host-level operations ---------------------------------------------------------

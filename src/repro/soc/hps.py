@@ -41,6 +41,10 @@ class ArmHost:
         self.trace = trace
         self.csr_accesses = 0
         self.arm_software_cycles = 0
+        # The host acts between simulator steps (CSR writes, DMA
+        # submissions), so a fully-blocked fabric is idle — waiting for
+        # the ARM — not deadlocked.
+        sim.external_progress = True
 
     # -- register access ---------------------------------------------------------
 
@@ -87,5 +91,7 @@ class ArmHost:
     # -- internals ------------------------------------------------------------------
 
     def _advance(self, cycles: int) -> None:
-        for _ in range(cycles):
-            self.sim.step()
+        # Bulk advance: identical to stepping ``cycles`` times, but the
+        # scheduler may warp over stretches where the fabric is idle
+        # (e.g. waiting out a DMA burst between polls).
+        self.sim.advance(cycles)

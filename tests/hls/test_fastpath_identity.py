@@ -1,0 +1,385 @@
+"""Differential harness: cycle-warp fast path vs the reference stepper.
+
+The fast path's acceptance property is *bit- and cycle-identity*: for
+any kernel graph, a ``Simulator(fastpath=True)`` run must finish at the
+same cycle, with the same outputs, the same per-kernel cycle breakdown,
+the same FIFO stats, and the same telemetry as ``fastpath=False`` —
+the one-cycle-at-a-time scheduler that has been validated against hand
+traces.  This suite runs both modes on randomized pipelines (mixed
+``Tick`` durations, FIFO depths/latencies, barriers, watchdogs,
+telemetry hubs) and compares everything observable.
+
+It doubles as a standing correctness tool: any future scheduler change
+that breaks warp/step equivalence fails here before it can corrupt a
+benchmark result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hls import Simulator, Tick
+from repro.hls.errors import SimulationTimeout
+from repro.hls.sim import Watchdog
+from repro.obs import Telemetry
+
+SEEDS = list(range(8))
+
+
+# -- random pipeline generator ---------------------------------------------------
+
+
+def _build_random_pipeline(rng: np.random.Generator, fastpath: bool):
+    """Source -> N parallel lanes (optional barrier) -> sink.
+
+    Every lane handles the same item count, so the graph is
+    deadlock-free by construction while still exercising every
+    blocking state: long sleeps, empty/full stalls, barrier waits.
+    """
+    sim = Simulator("rand", fastpath=fastpath)
+    lanes = int(rng.integers(1, 4))
+    items = int(rng.integers(5, 15))
+    src_period = int(rng.integers(1, 40))
+    sink_period = int(rng.integers(1, 40))
+    works = [int(rng.integers(1, 50)) for _ in range(lanes)]
+    in_qs = [sim.fifo(f"in{i}", depth=int(rng.integers(1, 5)),
+                      latency=int(rng.integers(0, 4)))
+             for i in range(lanes)]
+    out_qs = [sim.fifo(f"out{i}", depth=int(rng.integers(1, 5)),
+                       latency=int(rng.integers(0, 4)))
+              for i in range(lanes)]
+    barrier = None
+    if lanes > 1 and rng.random() < 0.5:
+        barrier = sim.barrier("sync", lanes)
+
+    def source():
+        for i in range(items):
+            for q in in_qs:
+                yield q.write(i)
+            yield Tick(src_period)
+
+    def lane(index):
+        for _ in range(items):
+            value = yield in_qs[index].read()
+            yield Tick(works[index])
+            if barrier is not None:
+                yield barrier.wait()
+            yield out_qs[index].write(value * 2 + index)
+            yield Tick(1)
+
+    collected: list[int] = []
+
+    def sink():
+        for _ in range(items):
+            for q in out_qs:
+                value = yield q.read()
+                collected.append(value)
+            yield Tick(sink_period)
+
+    sim.add_kernel("source", source())
+    for i in range(lanes):
+        sim.add_kernel(f"lane{i}", lane(i))
+    sim.add_kernel("sink", sink())
+    return sim, collected
+
+
+def _state_of(sim: Simulator) -> dict:
+    """Everything observable that must match between the two modes."""
+    return {
+        "now": sim.now,
+        "kernels": {k.name: vars(k.stats) for k in sim.kernels},
+        "fifos": {f.name: vars(f.stats) for f in sim.fifos},
+        "states": {k.name: k.state.value for k in sim.kernels},
+    }
+
+
+# -- randomized differential runs ------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_pipeline_identity(seed):
+    runs = {}
+    for fastpath in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, out = _build_random_pipeline(rng, fastpath)
+        cycles = sim.run()
+        runs[fastpath] = (cycles, out, _state_of(sim), sim.warps)
+    fast, ref = runs[True], runs[False]
+    assert fast[0] == ref[0], "cycle counts diverge"
+    assert fast[1] == ref[1], "outputs diverge"
+    assert fast[2] == ref[2], "kernel/FIFO stats diverge"
+    assert ref[3] == 0, "reference stepper must never warp"
+
+
+def test_warp_engages_somewhere():
+    """The differential suite must actually exercise the fast path."""
+    total_warped = 0
+    for seed in SEEDS:
+        rng = np.random.default_rng(seed)
+        sim, _ = _build_random_pipeline(rng, True)
+        sim.run()
+        total_warped += sim.warped_cycles
+    assert total_warped > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_random_pipeline_identity_with_telemetry(seed):
+    """Stall attribution and occupancy integrals match the stepper."""
+    reports = {}
+    for fastpath in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, _ = _build_random_pipeline(rng, fastpath)
+        hub = Telemetry().attach_sim(sim)
+        sim.run()
+        report = hub.report()
+        reports[fastpath] = (sim.now, hub.stall_attribution,
+                             {f.name: (f.occupancy_hist, f.mean_occupancy)
+                              for f in report.fifos})
+    assert reports[True] == reports[False]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_random_pipeline_identity_with_timeline(seed):
+    """The timeline recorder's sample stream is byte-identical."""
+    recorders = {}
+    for fastpath in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, _ = _build_random_pipeline(rng, fastpath)
+        hub = Telemetry(timeline=True, counter_interval=7).attach_sim(sim)
+        sim.run()
+        hub.timeline.finish(sim)
+        recorders[fastpath] = (sorted(hub.timeline.state_spans),
+                              hub.timeline.counter_samples,
+                              hub.timeline.dram_traffic)
+    assert recorders[True] == recorders[False]
+
+
+# -- watchdog interplay -----------------------------------------------------------
+
+
+def _hang_after_progress(sim: Simulator):
+    """A little FIFO traffic, then a sleep far beyond any budget."""
+    q = sim.fifo("q", depth=4)
+
+    def producer():
+        for i in range(3):
+            yield q.write(i)
+            yield Tick(2)
+        yield Tick(500_000)     # the hang (e.g. a wedged DMA burst)
+
+    def consumer():
+        for _ in range(3):
+            yield q.read()
+            yield Tick(1)
+        yield Tick(500_000)
+
+    sim.add_kernel("producer", producer())
+    sim.add_kernel("consumer", consumer())
+
+
+@pytest.mark.parametrize("interval", [1, 7, 64])
+def test_watchdog_fires_at_identical_cycle(interval):
+    fired = {}
+    for fastpath in (True, False):
+        sim = Simulator("wd", fastpath=fastpath)
+        _hang_after_progress(sim)
+        sim.watchdog = Watchdog(budget=200, interval=interval)
+        with pytest.raises(SimulationTimeout) as info:
+            sim.run()
+        fired[fastpath] = (sim.now, str(info.value), _state_of(sim))
+        if fastpath:
+            assert sim.warps > 0, "hang window must be warped"
+    assert fired[True] == fired[False]
+
+
+def test_post_warp_hang_detection_latency():
+    """A hang beginning after a warp lands fires within
+    ``budget + interval`` cycles of the last real progress."""
+    sim = Simulator("wd-latency")
+    _hang_after_progress(sim)
+    budget, interval = 300, 64
+    sim.watchdog = Watchdog(budget=budget, interval=interval)
+    with pytest.raises(SimulationTimeout):
+        sim.run()
+    assert sim.warps > 0
+    # From the check that last observed progress, the fire must land
+    # within budget + interval (the clamp the warp emulation preserves).
+    assert sim.now - sim.watchdog._last_progress_cycle <= budget + interval
+    # And absolutely: last FIFO traffic is within the first dozen
+    # cycles, observed at most one interval later.  Detection must not
+    # drift with the 500k-cycle sleep length.
+    assert sim.now <= 12 + budget + 2 * interval
+
+
+def test_watchdog_reuse_across_runs_is_reset():
+    """Stale ``_next_check``/``_last_progress_cycle`` from a previous
+    run must not delay (or trigger) detection in the next run."""
+    watchdog = Watchdog(budget=100, interval=16)
+    # First run: healthy, finishes late in absolute cycles.
+    sim1 = Simulator("first")
+    q1 = sim1.fifo("q", depth=2)
+
+    def ping(q, n):
+        for i in range(n):
+            yield q.write(i)
+            yield Tick(40)
+
+    def pong(q, n):
+        for _ in range(n):
+            yield q.read()
+            yield Tick(1)
+
+    sim1.add_kernel("ping", ping(q1, 50))
+    sim1.add_kernel("pong", pong(q1, 50))
+    sim1.watchdog = watchdog
+    sim1.run()
+    assert sim1.now > 1000
+    # Second run, same watchdog object, fresh sim that hangs from the
+    # start: must fire within budget + interval of cycle 0 — neither
+    # suppressed by the stale signature nor delayed by a stale
+    # _next_check far in the future.
+    sim2 = Simulator("second")
+    _hang_after_progress(sim2)
+    sim2.watchdog = watchdog
+    with pytest.raises(SimulationTimeout):
+        sim2.run()
+    assert sim2.now <= 12 + 100 + 16
+
+
+# -- forced slow path --------------------------------------------------------------
+
+
+class _InertFifoHook:
+    """Armed-but-inactive fault hook: decisions identical to no hook."""
+
+    def stall_read(self, fifo, now):
+        return False
+
+    def stall_write(self, fifo, now):
+        return False
+
+    def drop_token(self, fifo, now, value):
+        return False
+
+
+class _InertSimHook:
+    def kernel_hung(self, kernel, now):
+        return False
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_fifo_fault_hook_identity(seed):
+    """Armed (inert) FIFO hooks: warp may still skip sleep-only
+    windows — no hook decision can happen while nobody touches a FIFO
+    — but results must stay identical to the hooked reference."""
+    runs = {}
+    for fastpath in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, out = _build_random_pipeline(rng, fastpath)
+        hook = _InertFifoHook()
+        for fifo in sim.fifos:
+            fifo.fault_hook = hook
+        cycles = sim.run()
+        runs[fastpath] = (cycles, out, _state_of(sim))
+    assert runs[True] == runs[False]
+
+
+def test_stall_on_hooked_fifo_forces_slow_path():
+    """A kernel blocked on a hooked FIFO pins the scheduler to the
+    stepper: injected stalls are re-decided every cycle, so the warp
+    engine must not assume the blockage is stable."""
+    sim = Simulator("hooked-fifo")
+    q = sim.fifo("q", depth=2)
+
+    def producer():
+        yield Tick(200)
+        yield q.write(1)
+
+    def consumer():
+        yield q.read()
+
+    sim.add_kernel("producer", producer())
+    sim.add_kernel("consumer", consumer())
+    q.fault_hook = _InertFifoHook()
+    sim.run()
+    assert sim.warps == 0
+
+
+def test_sim_fault_hook_forces_slow_path():
+    sim = Simulator("hooked")
+    _hang_after_progress(sim)
+    sim.fault_hook = _InertSimHook()
+    sim.run(max_cycles=2_000, until=lambda: sim.now >= 1_000)
+    assert sim.warps == 0
+
+
+def test_unknown_obs_hub_forces_slow_path():
+    """A duck-typed hub without the bulk hooks sees every cycle."""
+
+    class MinimalHub:
+        def __init__(self):
+            self.cycles = 0
+
+        def on_cycle(self, sim):
+            self.cycles += 1
+
+        def on_stall(self, kernel, resource, kind, now):
+            pass
+
+        def on_push(self, fifo, now):
+            pass
+
+        on_pop = on_push
+
+    sim = Simulator("minimal-hub")
+    q = sim.fifo("q", depth=2)
+
+    def src():
+        for i in range(4):
+            yield q.write(i)
+            yield Tick(25)
+
+    def snk():
+        for _ in range(4):
+            yield q.read()
+            yield Tick(1)
+
+    sim.add_kernel("src", src())
+    sim.add_kernel("snk", snk())
+    hub = MinimalHub()
+    sim.obs = hub
+    cycles = sim.run()
+    assert sim.warps == 0
+    assert hub.cycles == cycles
+
+
+# -- bulk-advance API --------------------------------------------------------------
+
+
+def test_advance_matches_stepping():
+    def build(fastpath):
+        sim = Simulator("adv", fastpath=fastpath)
+        q = sim.fifo("q", depth=2)
+
+        def src():
+            for i in range(6):
+                yield q.write(i)
+                yield Tick(30)
+
+        def snk():
+            for _ in range(6):
+                yield q.read()
+                yield Tick(2)
+
+        sim.add_kernel("src", src())
+        sim.add_kernel("snk", snk())
+        return sim
+
+    fast = build(True)
+    ref = build(False)
+    # Chunks total 154 cycles, safely inside the ~180-cycle run.
+    for chunk in (1, 3, 50, 100):
+        fast.advance(chunk)
+        for _ in range(chunk):
+            ref.step()
+        assert _state_of(fast) == _state_of(ref)
+    assert fast.warps > 0

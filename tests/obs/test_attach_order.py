@@ -1,0 +1,98 @@
+"""Hub attachment must be ordering-insensitive (regression).
+
+``Simulator.fifo()`` used to copy ``self.obs`` into the new queue at
+creation time only: a hub attached *after* the FIFOs existed silently
+recorded no FIFO telemetry (no occupancy tracker, no push/pop hooks),
+while the same hub attached first recorded everything.  Assigning
+``sim.obs`` now propagates to every registered FIFO and announces each
+through ``on_fifo_registered``, so attach-then-create and
+create-then-attach produce identical reports.
+"""
+
+from repro.hls import Simulator, Tick
+from repro.obs import Telemetry
+
+
+def _producer_consumer(sim):
+    q = sim.fifo("q", depth=2)
+
+    def producer():
+        for i in range(5):
+            yield q.write(i)
+            yield Tick(3)
+
+    def consumer():
+        for _ in range(5):
+            yield q.read()
+            yield Tick(1)
+
+    sim.add_kernel("producer", producer())
+    sim.add_kernel("consumer", consumer())
+    return q
+
+
+def _fifo_report(hub):
+    report = hub.report()
+    return {f.name: (f.pushes, f.pops, f.max_occupancy, f.mean_occupancy,
+                     f.occupancy_hist) for f in report.fifos}
+
+
+def test_attach_after_fifo_creation_records_telemetry():
+    sim = Simulator("late-attach")
+    _producer_consumer(sim)                    # FIFO exists first
+    hub = Telemetry().attach_sim(sim)          # hub arrives second
+    sim.run()
+    fifos = _fifo_report(hub)
+    assert "q" in fifos
+    pushes, pops, max_occ, mean_occ, hist = fifos["q"]
+    assert pushes == 5 and pops == 5
+    assert max_occ >= 1
+    assert mean_occ > 0
+    assert sum(hist.values()) == sim.now
+
+
+def test_attach_order_is_equivalent():
+    # Order A: attach first, then create FIFOs/kernels.
+    sim_a = Simulator("first")
+    hub_a = Telemetry().attach_sim(sim_a)
+    _producer_consumer(sim_a)
+    sim_a.run()
+    # Order B: create FIFOs/kernels first, then attach.
+    sim_b = Simulator("second")
+    _producer_consumer(sim_b)
+    hub_b = Telemetry().attach_sim(sim_b)
+    sim_b.run()
+    assert sim_a.now == sim_b.now
+    assert _fifo_report(hub_a) == _fifo_report(hub_b)
+    assert hub_a.stall_attribution == hub_b.stall_attribution
+
+
+def test_direct_obs_assignment_propagates_to_fifos():
+    sim = Simulator("direct")
+    q = _producer_consumer(sim)
+    hub = Telemetry()
+    sim.obs = hub                              # bypassing attach_sim
+    hub.sim = sim
+    assert q.obs is hub
+    sim.run()
+    assert "q" in _fifo_report(hub)
+
+
+def test_reattach_replaces_hub_on_existing_fifos():
+    sim = Simulator("swap")
+    first = Telemetry().attach_sim(sim)
+    q = _producer_consumer(sim)
+    assert q.obs is first
+    second = Telemetry().attach_sim(sim)
+    assert q.obs is second
+    sim.run()
+    # The second hub owns the run's FIFO telemetry.
+    assert _fifo_report(second)["q"][0] == 5
+
+
+def test_fifo_created_after_attach_inherits_hub():
+    sim = Simulator("inherit")
+    hub = Telemetry().attach_sim(sim)
+    q = sim.fifo("later", depth=1)
+    assert q.obs is hub
+    assert "later" in hub._occ

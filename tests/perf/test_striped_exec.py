@@ -83,7 +83,23 @@ def test_multi_instance_wall_cycles():
     striped = execute_conv_striped(ifm, packed, bank_capacity=4096,
                                    instances=2, max_rows_cap=3)
     assert striped.plan.count >= 2
+    assert striped.instances == 2
     one = multi_instance_wall_cycles(striped, 1)
     two = multi_instance_wall_cycles(striped, 2)
-    assert one == striped.total_cycles
+    # total_cycles is the wall model for the run's own instance count;
+    # the machine-seconds sum is serial_cycles.
+    assert striped.total_cycles == two
+    assert striped.serial_cycles == one
     assert max(striped.stripe_cycles) <= two < one
+
+
+def test_single_instance_total_cycles_is_sum():
+    rng = np.random.default_rng(10)
+    ifm = rng.integers(-20, 21, size=(4, 26, 10))
+    weights = rng.integers(1, 20, size=(4, 4, 3, 3))
+    packed = PackedLayer.pack(weights)
+    striped = execute_conv_striped(ifm, packed, bank_capacity=4096,
+                                   max_rows_cap=3)
+    assert striped.instances == 1
+    assert striped.total_cycles == sum(striped.stripe_cycles)
+    assert striped.total_cycles == striped.serial_cycles
