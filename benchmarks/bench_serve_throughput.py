@@ -1,0 +1,105 @@
+"""S1 — Serving throughput: instance scaling and batching amortization.
+
+Two claims the serving simulator must keep honest:
+
+* **Sub-linear instance scaling.** With the shared-DDR4 contention
+  model on, N=2 instances must deliver strictly *less* than 2x the N=1
+  throughput on a saturating load (the workload is DDR4-bound, so
+  overlapping memory phases stretch each other) — and exactly 2x with
+  private memory, confirming the gap is the contention model and not a
+  scheduling artifact.
+* **Batching amortization.** A batch of k images stages weights once;
+  k unbatched images stage them k times.  Larger max-batch must
+  monotonically reduce the saturated makespan.
+
+Both sweeps also re-assert the conformance invariant: every
+configuration produces the same output digest.
+"""
+
+from repro.serve import BatchPolicy, ServeConfig, run_serve
+
+SATURATED_REQUESTS = 16
+
+
+def saturated_config(instances=1, contention=True, max_batch=4, seed=1):
+    """Everything arrives at cycle 0: makespan == pure service time."""
+    return ServeConfig(
+        instances=instances, traffic="replay",
+        replay_gaps=tuple([0] * SATURATED_REQUESTS),
+        requests=SATURATED_REQUESTS,
+        policy=BatchPolicy(max_batch=max_batch, max_wait_cycles=0),
+        contention=contention, fault_rate=0.0, seed=seed)
+
+
+def compute_scaling_rows():
+    rows = []
+    for instances in (1, 2, 3):
+        for contention in (True, False):
+            report = run_serve(saturated_config(
+                instances=instances, contention=contention)).report
+            rows.append((instances, contention, report))
+    return rows
+
+
+def compute_batching_rows():
+    return [(max_batch,
+             run_serve(saturated_config(max_batch=max_batch)).report)
+            for max_batch in (1, 2, 4, 8)]
+
+
+def format_tables(scaling_rows, batching_rows):
+    base = {contention: report.throughput_img_s
+            for instances, contention, report in scaling_rows
+            if instances == 1}
+    lines = ["S1a: instance scaling on a saturated load "
+             f"({SATURATED_REQUESTS} requests at cycle 0, batch<=4)",
+             f"{'instances':>10}{'DDR4':>9}{'makespan':>10}"
+             f"{'img/s':>10}{'speedup':>9}{'eff GOPS':>10}"]
+    for instances, contention, report in scaling_rows:
+        speedup = report.throughput_img_s / base[contention]
+        lines.append(
+            f"{instances:>10}{'shared' if contention else 'private':>9}"
+            f"{report.makespan_cycles:>10.0f}"
+            f"{report.throughput_img_s:>10.1f}{speedup:>9.3f}"
+            f"{report.effective_gops:>10.3f}")
+    lines.append("(shared speedup < instance count: overlapping memory "
+                 "phases contend)")
+    lines.append("")
+    lines.append("S1b: batching amortization (1 instance, same load)")
+    lines.append(f"{'max batch':>10}{'batches':>9}{'makespan':>10}"
+                 f"{'img/s':>10}{'p99 lat':>9}")
+    for max_batch, report in batching_rows:
+        lines.append(
+            f"{max_batch:>10}{report.batches_formed:>9}"
+            f"{report.makespan_cycles:>10.0f}"
+            f"{report.throughput_img_s:>10.1f}"
+            f"{report.latency_p99:>9.0f}")
+    lines.append("(weight staging paid once per batch, not once per "
+                 "image)")
+    return "\n".join(lines)
+
+
+def test_serve_throughput_scaling(benchmark, emit):
+    scaling_rows, batching_rows = benchmark.pedantic(
+        lambda: (compute_scaling_rows(), compute_batching_rows()),
+        rounds=1, iterations=1)
+    emit("s1_serve_throughput",
+         format_tables(scaling_rows, batching_rows))
+
+    by_key = {(i, c): r for i, c, r in scaling_rows}
+    digests = {r.output_digest for _, _, r in scaling_rows}
+    digests |= {r.output_digest for _, r in batching_rows}
+    assert len(digests) == 1, "every configuration must serve the " \
+        "same bits"
+    for instances in (2, 3):
+        shared = by_key[(instances, True)].throughput_img_s \
+            / by_key[(1, True)].throughput_img_s
+        private = by_key[(instances, False)].throughput_img_s \
+            / by_key[(1, False)].throughput_img_s
+        assert 1.0 < shared < instances, \
+            f"N={instances} shared-DDR4 speedup {shared:.3f}"
+        assert shared < private <= instances + 1e-9
+    makespans = [r.makespan_cycles for _, r in batching_rows]
+    assert makespans == sorted(makespans, reverse=True), \
+        "larger batches must not slow the saturated makespan"
+    assert makespans[-1] < makespans[0]

@@ -15,6 +15,7 @@ Usage::
     python -m repro profile conv1_1 [--smoke]   # per-layer bottleneck table
     python -m repro profile vgg16               # representative layer sweep
     python -m repro trace --out trace.json      # Perfetto/Chrome timeline
+    python -m repro serve [--smoke] [--json [PATH]]  # serving simulator
     python -m repro all           # the evaluation tables in one go
 """
 
@@ -234,6 +235,36 @@ def cmd_trace(args) -> str:
             f"(open in https://ui.perfetto.dev or chrome://tracing)")
 
 
+def cmd_serve(args) -> str:
+    """Run the batched multi-accelerator serving simulator."""
+    import json as _json
+    from dataclasses import replace
+    from repro.serve import default_config, run_serve, smoke_config
+    config = smoke_config(args.seed) if args.smoke \
+        else default_config(args.seed)
+    if args.instances is not None:
+        config = replace(config, instances=args.instances)
+    if args.traffic is not None:
+        config = replace(config, traffic=args.traffic)
+    if args.out is not None:
+        config = replace(config, timeline=True)
+    result = run_serve(config, echo=print)
+    if args.out is not None:
+        trace = result.chrome_trace()
+        with open(args.out, "w") as fh:
+            _json.dump(trace, fh)
+        print(f"wrote {len(trace['traceEvents'])} serving trace events "
+              f"to {args.out}")
+    document = result.report.json()
+    if isinstance(args.json, str):
+        with open(args.json, "w") as fh:
+            fh.write(document + "\n")
+        print(f"wrote serve report JSON to {args.json}")
+    elif args.json:
+        return document
+    return "\n" + result.report.format()
+
+
 def cmd_all(args) -> str:
     return "\n\n".join([cmd_fig6(args), cmd_fig7(args), cmd_fig8(args),
                         cmd_table1(args), cmd_validate(args),
@@ -253,6 +284,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "profile": cmd_profile,
     "trace": cmd_trace,
+    "serve": cmd_serve,
     "all": cmd_all,
 }
 
@@ -281,13 +313,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--variant", default="512-opt",
                         help="variant for the layers command")
     parser.add_argument("--smoke", action="store_true",
-                        help="faults/profile/trace: quick CI-scale run")
-    parser.add_argument("--json", action="store_true",
-                        help="profile: print the report as JSON")
+                        help="faults/profile/trace/serve: quick CI-scale run")
+    parser.add_argument("--json", nargs="?", const=True, default=False,
+                        metavar="PATH",
+                        help="profile/serve: print the report as JSON "
+                             "(serve: give a PATH to write a file instead)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="profile: also write the metrics JSON here")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="trace: output file (default trace.json)")
+                        help="trace: output file (default trace.json); "
+                             "serve: write the serving Perfetto trace here")
+    parser.add_argument("--instances", type=int, default=None,
+                        help="serve: accelerator instance count override")
+    parser.add_argument("--traffic", default=None,
+                        choices=("poisson", "burst", "replay"),
+                        help="serve: arrival process override")
     return parser
 
 

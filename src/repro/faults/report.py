@@ -31,6 +31,7 @@ Outcome taxonomy (one per trial)
 
 from __future__ import annotations
 
+import json as _json
 from dataclasses import dataclass, field
 
 #: Every outcome a trial can have, in "goodness" order.
@@ -146,3 +147,38 @@ class ResilienceReport:
                 lines.append(f"  {t.fault_type} rate={t.rate} seed={t.seed} "
                              f"injected={t.injected} {t.detail}")
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable campaign report (deterministic).
+
+        For a fixed campaign config the document is byte-identical run
+        to run once serialized with :meth:`json` (sorted keys, fixed
+        float rounding) — regression-tested next to the serve report's
+        determinism guarantee.
+        """
+        return {
+            "schema": "repro.faults/report/v1",
+            "clean_cycles": self.clean_cycles,
+            "trials": len(self.trials),
+            "fired_trials": len(self.fired_trials),
+            "rates": {
+                "masked": round(self.masked_rate, 6),
+                "recovered": round(self.recovered_rate, 6),
+                "detected": round(self.detected_rate, 6),
+                "sdc": round(self.sdc_rate, 6),
+            },
+            "mean_overhead_cycles": round(self.mean_overhead_cycles(), 6),
+            "by_trial": [{
+                "fault_type": t.fault_type,
+                "rate": round(t.rate, 6),
+                "seed": t.seed,
+                "outcome": t.outcome,
+                "injected": t.injected,
+                "cycles": t.cycles,
+                "overhead_cycles": t.overhead_cycles,
+                "detail": t.detail,
+            } for t in self.trials],
+        }
+
+    def json(self, indent: int = 2) -> str:
+        return _json.dumps(self.to_json(), indent=indent, sort_keys=True)

@@ -20,6 +20,7 @@ from repro.obs.metrics import (BankMetrics, DmaMetrics, DramMetrics,
                                MetricsReport, Telemetry)
 from repro.obs.profiler import (RESIDUAL_ROW, BottleneckRow,
                                 BottleneckTable, bottleneck_table)
+from repro.obs.serving import PID_SERVING, ServingTimeline
 from repro.obs.timeline import TimelineRecorder, chrome_trace
 from repro.obs.workloads import (ProfileResult, ProfileWorkload,
                                  run_profile, scaled_workload,
@@ -31,6 +32,7 @@ __all__ = [
     "KernelMetrics", "LayerMetrics", "MetricsReport", "Telemetry",
     "RESIDUAL_ROW", "BottleneckRow", "BottleneckTable",
     "bottleneck_table",
+    "PID_SERVING", "ServingTimeline",
     "TimelineRecorder", "chrome_trace",
     "ProfileResult", "ProfileWorkload", "run_profile",
     "scaled_workload", "select_workloads",

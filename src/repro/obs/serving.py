@@ -1,0 +1,75 @@
+"""Serving-layer timeline: batch spans + queue tracks for Perfetto.
+
+The serving simulator (:mod:`repro.serve`) runs on the same timebase
+as everything else in the reproduction — accelerator fabric cycles —
+so its spans drop straight into the Chrome ``trace_event`` mapping the
+kernel-level exporter (:mod:`repro.obs.timeline`) established: one
+fabric cycle is one microsecond of trace time.
+
+Tracks emitted:
+
+* one thread per accelerator instance under a ``serving`` process,
+  with an ``X`` (complete) span per batch execution — resubmitted
+  (faulted) attempts are flagged in the span arguments;
+* ``C`` (counter) tracks for admission-queue depth and in-flight
+  batches, sampled event-driven (every scheduler event), which is
+  exact: the counters only change at events.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: pid for the serving process (kernel exporter uses 1..3).
+PID_SERVING = 4
+
+
+class ServingTimeline:
+    """Event-driven recorder the serve scheduler feeds."""
+
+    def __init__(self):
+        self.batch_spans: list[tuple[int, str, float, float, bool,
+                                     dict[str, Any]]] = []
+        self.samples: list[tuple[float, int, int]] = []
+        self._last_sample: tuple[int, int] | None = None
+
+    def add_batch_span(self, instance: int, label: str, start, end,
+                       ok: bool, **args: Any) -> None:
+        self.batch_spans.append((instance, label, float(start),
+                                 float(end), ok, dict(args)))
+
+    def sample(self, now, queue_depth: int, inflight: int) -> None:
+        """Record counter values at an event (deduplicated)."""
+        state = (queue_depth, inflight)
+        if state == self._last_sample and self.samples:
+            return
+        self._last_sample = state
+        self.samples.append((float(now), queue_depth, inflight))
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """Render the recording as a Chrome/Perfetto trace document."""
+        events: list[dict[str, Any]] = [
+            {"ph": "M", "pid": PID_SERVING, "name": "process_name",
+             "args": {"name": "serving"}},
+        ]
+        instances = sorted({span[0] for span in self.batch_spans})
+        for instance in instances:
+            events.append({"ph": "M", "pid": PID_SERVING,
+                           "tid": instance + 1, "name": "thread_name",
+                           "args": {"name": f"acc{instance}"}})
+        for instance, label, start, end, ok, args in self.batch_spans:
+            events.append({
+                "ph": "X", "pid": PID_SERVING, "tid": instance + 1,
+                "name": label, "ts": start,
+                "dur": max(end - start, 1e-6),
+                "cat": "batch" if ok else "batch,fault",
+                "args": {"ok": ok, **args},
+            })
+        for now, queue_depth, inflight in self.samples:
+            events.append({"ph": "C", "pid": PID_SERVING, "tid": 0,
+                           "name": "queue depth", "ts": now,
+                           "args": {"requests": queue_depth}})
+            events.append({"ph": "C", "pid": PID_SERVING, "tid": 0,
+                           "name": "inflight batches", "ts": now,
+                           "args": {"batches": inflight}})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

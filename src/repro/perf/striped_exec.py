@@ -45,6 +45,11 @@ class StripedRunResult:
     stripe_cycles: tuple[int, ...]
     instances: int = 1
 
+    def __post_init__(self):
+        if self.instances < 1:
+            raise ValueError(
+                f"instances must be >= 1, got {self.instances}")
+
     @property
     def total_cycles(self) -> int:
         """Wall-clock cycles of the run under its instance count.
@@ -88,6 +93,8 @@ def execute_conv_striped(ifm_q: np.ndarray, packed: PackedLayer,
     the wall-clock model is the max of the per-instance sums (they run
     concurrently on disjoint data).
     """
+    if instances < 1:
+        raise ValueError(f"instances must be >= 1, got {instances}")
     channels, height, width = ifm_q.shape
     kernel = packed.kernel
     out_h, out_w = height - kernel + 1, width - kernel + 1
@@ -122,15 +129,30 @@ def execute_conv_striped(ifm_q: np.ndarray, packed: PackedLayer,
                             instances=instances)
 
 
+def per_instance_cycles(result: StripedRunResult,
+                        instances: int) -> tuple[int, ...]:
+    """Per-instance busy cycles with stripes round-robined.
+
+    Always returns exactly ``instances`` entries; instances left idle
+    because there are fewer stripes than instances report 0 cycles.
+    """
+    if instances < 1:
+        raise ValueError(f"instances must be >= 1, got {instances}")
+    loads = [0] * instances
+    for index, cycles in enumerate(result.stripe_cycles):
+        loads[index % instances] += cycles
+    return tuple(loads)
+
+
 def multi_instance_wall_cycles(result: StripedRunResult,
                                instances: int) -> int:
     """Wall cycles with stripes round-robined over ``instances``.
 
     ``StripedRunResult.total_cycles`` already applies this model for
     the run's own instance count; this helper remains for what-if
-    analysis at other instance counts.
+    analysis at other instance counts.  ``instances`` may exceed the
+    stripe count (the surplus instances simply sit idle); it must be
+    at least 1 — previously ``instances=0`` crashed with a bare
+    ``max(()) ValueError`` and negative counts mis-indexed.
     """
-    loads = [0] * instances
-    for index, cycles in enumerate(result.stripe_cycles):
-        loads[index % instances] += cycles
-    return max(loads)
+    return max(per_instance_cycles(result, instances))

@@ -1,0 +1,37 @@
+"""repro.serve — batched multi-accelerator serving simulator.
+
+Deterministic discrete-event serving on top of the reproduction's
+cycle-accurate accelerator model: seeded arrival traffic, a dynamic
+batcher (max-batch-size + max-wait-cycles), and a scheduler that runs
+batches across N accelerator instances sharing one DDR4 — so
+multi-instance throughput is honest, not N× optimistic.  Reports
+latency percentiles, img/s, effective GOPS against the paper's 138,
+queue depths, and per-instance utilization; integrates with
+``repro.obs`` (serving timeline) and ``repro.faults`` (deterministic
+batch faults + resubmission).  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.engine import (ServeEngine, ServeWorkload, ServiceProfile,
+                                calibrate_profile, output_digest)
+from repro.serve.queue import RequestQueue
+from repro.serve.report import (PAPER_PEAK_EFFECTIVE_GOPS, InstanceStats,
+                                RequestOutcome, ServeReport, build_report,
+                                percentile)
+from repro.serve.scheduler import (ServeConfig, ServeResult, default_config,
+                                   run_serve, smoke_config)
+from repro.serve.traffic import (Request, TrafficTrace, burst_trace,
+                                 make_trace, poisson_trace, replay_trace)
+
+__all__ = [
+    "Batch", "BatchPolicy", "DynamicBatcher",
+    "ServeEngine", "ServeWorkload", "ServiceProfile",
+    "calibrate_profile", "output_digest",
+    "RequestQueue",
+    "PAPER_PEAK_EFFECTIVE_GOPS", "InstanceStats", "RequestOutcome",
+    "ServeReport", "build_report", "percentile",
+    "ServeConfig", "ServeResult", "default_config", "run_serve",
+    "smoke_config",
+    "Request", "TrafficTrace", "burst_trace", "make_trace",
+    "poisson_trace", "replay_trace",
+]

@@ -1,0 +1,94 @@
+"""Dynamic batching: max-batch-size + max-wait-cycles policy.
+
+The standard serving trade-off: larger batches amortize the per-batch
+weight staging (the dominant DMA cost of the small layers this
+simulator serves — exactly the "weights are reloaded per stripe"
+overhead the SoC driver pays when every image is a fresh layer run),
+but a request admitted into a forming batch waits for it to close.
+The policy closes a batch when either
+
+* ``max_batch`` requests are pending (size trigger), or
+* the oldest pending request has waited ``max_wait_cycles``
+  (deadline trigger), so a lone request is never stranded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.queue import RequestQueue
+from repro.serve.traffic import Request
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic batcher."""
+
+    max_batch: int = 4
+    max_wait_cycles: int = 4096
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_cycles < 0:
+            raise ValueError("max_wait_cycles must be >= 0")
+
+
+@dataclass
+class Batch:
+    """A closed batch on its way to (or through) an accelerator."""
+
+    bid: int
+    requests: tuple[Request, ...]
+    formed_cycle: int
+    attempts: int = 0          # executions started (faults resubmit)
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class DynamicBatcher:
+    """Turns the admission queue into a stream of closed batches."""
+
+    def __init__(self, queue: RequestQueue, policy: BatchPolicy):
+        self.queue = queue
+        self.policy = policy
+        self._next_bid = 0
+        self.formed = 0
+        self.size_hist: dict[int, int] = {}
+
+    def deadline(self) -> int | None:
+        """Cycle at which the oldest pending request forces a close."""
+        oldest = self.queue.oldest_arrival
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_cycles
+
+    def ready(self, now, more_arrivals: bool) -> bool:
+        """Should a batch close at ``now``?
+
+        Size trigger, deadline trigger, or end-of-trace flush (no more
+        arrivals will ever come, so waiting longer buys nothing).
+        """
+        if len(self.queue) == 0:
+            return False
+        if len(self.queue) >= self.policy.max_batch:
+            return True
+        deadline = self.deadline()
+        if deadline is not None and now >= deadline:
+            return True
+        return not more_arrivals
+
+    def close(self, now) -> Batch:
+        """Close and return the next batch (caller checked ``ready``)."""
+        size = min(len(self.queue), self.policy.max_batch)
+        if size == 0:
+            raise RuntimeError("close() on an empty batcher")
+        requests = tuple(self.queue.pop(now) for _ in range(size))
+        batch = Batch(bid=self._next_bid, requests=requests,
+                      formed_cycle=int(now))
+        self._next_bid += 1
+        self.formed += 1
+        self.size_hist[size] = self.size_hist.get(size, 0) + 1
+        return batch

@@ -1,0 +1,230 @@
+"""Execution bridge: the serving layer's accelerator backend.
+
+The serving simulator needs two things from the accelerator model:
+
+* **timing** — what one batch costs on one instance, split into the
+  DDR4-bound share (which contends across instances) and the
+  compute-bound share (which does not).  :func:`calibrate_profile`
+  measures this by running one representative image end-to-end through
+  the real cycle-accurate SoC path (DMA staging, instruction issue,
+  streaming compute, write-back — the same path ``repro.faults`` and
+  ``repro profile`` drive) and splitting the wall cycles by the DMA
+  engine's busy-cycle counter.  Nothing here is a guess: the per-image
+  cost *is* the simulated cost, and the memory share *is* the measured
+  DMA occupancy.
+* **functional outputs** — the OFM for each request, bit-identical to
+  a sequential single-instance run.  ``outputs="sim"`` executes every
+  image on a fresh cycle-accurate accelerator instance;
+  ``outputs="model"`` uses the quantized numpy reference, which the
+  differential suites pin as bit-identical to the accelerator.  The
+  property tests in ``tests/serve`` assert the two backends agree.
+
+Batching economics follow the driver: an unbatched image pays weight
+staging + IFM/OFM movement + compute every time (the driver reloads
+the packed streams per layer run), while a batch of ``k`` images with
+resident weights pays the weight staging once:
+``batch(k) = weight_mem + k * (image_mem + compute)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
+                                    execute_conv)
+from repro.core.packing import PackedLayer, serialize_unit_stream
+from repro.hls.sim import Simulator
+from repro.quant.quantize import conv2d_int
+from repro.quant.signmag import saturate_array, shift_round_array
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """The served model: one convolution layer, simulator-scale.
+
+    Kept deliberately small (the cycle-accurate simulator is the cost
+    ceiling) but DMA-heavy, which is exactly the regime where shared
+    DDR4 makes multi-instance throughput sub-linear.
+    """
+
+    in_channels: int = 4
+    hw: int = 10               # IFM height/width (valid 3x3 -> hw-2 out)
+    out_channels: int = 8
+    kernel: int = 3
+    shift: int = 2
+    apply_relu: bool = True
+    weight_seed: int = 7
+
+    @property
+    def out_hw(self) -> int:
+        return self.hw - self.kernel + 1
+
+    @property
+    def macs_nominal(self) -> int:
+        """Nominal MAC count of one image (GOPS convention)."""
+        return (self.out_channels * self.in_channels
+                * self.kernel * self.kernel * self.out_hw * self.out_hw)
+
+    def weights(self) -> np.ndarray:
+        rng = np.random.default_rng(self.weight_seed)
+        w = rng.integers(-16, 16,
+                         size=(self.out_channels, self.in_channels,
+                               self.kernel, self.kernel)).astype(np.int8)
+        # ~40% pruned: exercises zero-skip and keeps streams realistic.
+        w[rng.random(w.shape) >= 0.6] = 0
+        return w
+
+    def biases(self) -> np.ndarray:
+        rng = np.random.default_rng(self.weight_seed + 1)
+        return rng.integers(-64, 64,
+                            size=(self.out_channels,)).astype(np.int64)
+
+    def image(self, image_seed: int) -> np.ndarray:
+        rng = np.random.default_rng(image_seed)
+        return rng.integers(-32, 32,
+                            size=(self.in_channels, self.hw, self.hw),
+                            dtype=np.int16)
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Measured per-image cost, split by resource (cycles).
+
+    ``image_cycles`` is the full unbatched cost (one driver layer run);
+    the three components partition it.  The memory components contend
+    for the shared DDR4 when several instances run concurrently; the
+    compute component is private to an instance.
+    """
+
+    image_cycles: int
+    compute_cycles: int
+    image_mem_cycles: int
+    weight_mem_cycles: int
+
+    def __post_init__(self):
+        if min(self.image_cycles, self.compute_cycles,
+               self.image_mem_cycles, self.weight_mem_cycles) < 0:
+            raise ValueError(f"negative component in {self}")
+
+    @property
+    def mem_fraction(self) -> float:
+        """DDR4-bound share of one unbatched image."""
+        if not self.image_cycles:
+            return 0.0
+        return (self.image_mem_cycles + self.weight_mem_cycles) \
+            / self.image_cycles
+
+    def batch_mem_cycles(self, size: int) -> int:
+        """DDR4 work of a ``size``-image batch (weights staged once)."""
+        return self.weight_mem_cycles + size * self.image_mem_cycles
+
+    def batch_compute_cycles(self, size: int) -> int:
+        return size * self.compute_cycles
+
+    def batch_cycles(self, size: int) -> int:
+        """Uncontended wall cycles of one batch."""
+        return self.batch_mem_cycles(size) + self.batch_compute_cycles(size)
+
+
+def calibrate_profile(workload: ServeWorkload,
+                      bank_capacity: int = 1 << 14) -> ServiceProfile:
+    """Measure one image through the full SoC path and split the cost.
+
+    The wall cycles come from the driver's layer run; the DDR4-bound
+    share is the DMA engine's busy-cycle counter over that run, split
+    between weight staging and IFM/OFM movement in proportion to the
+    values each moves (the engine is store-and-forward, so busy cycles
+    scale with values moved).
+    """
+    from repro.soc.driver import InferenceDriver, SocSystem
+
+    soc = SocSystem(bank_capacity=bank_capacity)
+    driver = InferenceDriver(soc)
+    packed = PackedLayer.pack(workload.weights())
+    handle = driver.load_feature_map(workload.image(0))
+    driver.load_packed_weights("serve", packed)
+    _, run = driver.run_conv(handle, "serve", packed, workload.biases(),
+                             shift=workload.shift,
+                             apply_relu=workload.apply_relu)
+    mem_busy = soc.dma.stats.busy_cycles
+    weight_values = sum(
+        int(serialize_unit_stream(packed, unit,
+                                  lanes=soc.accel.config.lanes,
+                                  group_size=soc.accel.config.lanes).size)
+        for unit in range(soc.accel.config.lanes))
+    total_values = max(1, run.dma_values)
+    weight_mem = round(mem_busy * min(1.0, weight_values / total_values))
+    return ServiceProfile(
+        image_cycles=run.cycles,
+        compute_cycles=max(0, run.cycles - mem_busy),
+        image_mem_cycles=mem_busy - weight_mem,
+        weight_mem_cycles=weight_mem)
+
+
+def _golden_conv(image: np.ndarray, weights: np.ndarray,
+                 biases: np.ndarray, shift: int,
+                 apply_relu: bool) -> np.ndarray:
+    """Quantized numpy reference, bit-identical to the accelerator."""
+    acc = conv2d_int(image.astype(np.int64), weights)
+    acc = acc + np.asarray(biases, dtype=np.int64).reshape(-1, 1, 1)
+    out = shift_round_array(acc, shift)
+    if apply_relu:
+        out = np.maximum(out, 0)
+    return saturate_array(out).astype(np.int16)
+
+
+class ServeEngine:
+    """Functional backend: request images in, OFMs (and digests) out."""
+
+    def __init__(self, workload: ServeWorkload | None = None,
+                 outputs: str = "model"):
+        if outputs not in ("model", "sim"):
+            raise ValueError(f"outputs must be 'model' or 'sim', "
+                             f"got {outputs!r}")
+        self.workload = workload or ServeWorkload()
+        self.outputs = outputs
+        self._weights = self.workload.weights()
+        self._biases = self.workload.biases()
+        self._packed = PackedLayer.pack(self._weights)
+        self.images_run = 0
+
+    def run_image(self, image_seed: int) -> np.ndarray:
+        """Execute one request's image on the configured backend."""
+        w = self.workload
+        image = w.image(image_seed)
+        self.images_run += 1
+        if self.outputs == "model":
+            return _golden_conv(image, self._weights, self._biases,
+                                w.shift, w.apply_relu)
+        sim = Simulator(f"serve-img{self.images_run}")
+        instance = AcceleratorInstance(
+            sim, AcceleratorConfig(bank_capacity=1 << 16))
+        ofm, _ = execute_conv(instance, image, self._packed,
+                              biases=self._biases, shift=w.shift,
+                              apply_relu=w.apply_relu)
+        return ofm
+
+    def sequential_reference(self, trace) -> dict[int, np.ndarray]:
+        """Every request executed alone, in arrival order.
+
+        The baseline the batched/multi-instance scheduler must match
+        bit for bit, whatever batching, striping across instances, or
+        fault-triggered resubmission happened along the way.
+        """
+        return {request.rid: self.run_image(request.image_seed)
+                for request in trace}
+
+
+def output_digest(outputs: dict[int, np.ndarray]) -> str:
+    """Order-insensitive digest of per-request outputs (rid order)."""
+    blake = hashlib.blake2b(digest_size=16)
+    for rid in sorted(outputs):
+        blake.update(rid.to_bytes(8, "little"))
+        arr = np.ascontiguousarray(outputs[rid])
+        blake.update(str(arr.dtype).encode())
+        blake.update(str(arr.shape).encode())
+        blake.update(arr.tobytes())
+    return blake.hexdigest()

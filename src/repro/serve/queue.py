@@ -1,0 +1,78 @@
+"""Admission queue with event-driven depth accounting.
+
+The serving simulator's front door: arrivals are admitted (or dropped,
+when a finite ``capacity`` is configured and the queue is full) and the
+queue keeps the same occupancy/time integral the observability hub
+keeps for hardware FIFOs (:class:`repro.obs.metrics._OccupancyTracker`)
+so the report can state mean/max queue depth without sampling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+
+from repro.serve.traffic import Request
+
+
+class RequestQueue:
+    """FIFO of pending requests with depth statistics.
+
+    Timestamps may be :class:`~fractions.Fraction` (the scheduler's
+    exact clock); the integral stays exact and is only converted to
+    float in the report.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._items: deque[Request] = deque()
+        self._last_time: Fraction = Fraction(0)
+        self._integral: Fraction = Fraction(0)
+        self.max_depth = 0
+        self.admitted = 0
+        self.dropped = 0
+        self.popped = 0
+
+    def _advance(self, now) -> None:
+        now = Fraction(now)
+        if now > self._last_time:
+            self._integral += len(self._items) * (now - self._last_time)
+            self._last_time = now
+
+    def push(self, now, request: Request) -> bool:
+        """Admit ``request`` at time ``now``; False means dropped."""
+        self._advance(now)
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(request)
+        self.admitted += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+        return True
+
+    def pop(self, now) -> Request:
+        self._advance(now)
+        self.popped += 1
+        return self._items.popleft()
+
+    def peek(self) -> Request:
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def oldest_arrival(self) -> int | None:
+        """Arrival cycle of the longest-waiting request (None if empty)."""
+        return self._items[0].arrival_cycle if self._items else None
+
+    def mean_depth(self, now) -> float:
+        """Time-averaged depth over ``[0, now]``."""
+        self._advance(now)
+        now = Fraction(now)
+        if now <= 0:
+            return float(len(self._items))
+        return float(self._integral / now)

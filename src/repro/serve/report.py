@@ -1,0 +1,314 @@
+"""Serving results: latency percentiles, throughput, utilization.
+
+Everything the scheduler measured, rendered as text for the CLI and as
+a deterministic JSON document for CI artifacts.  Determinism matters:
+for a fixed config/seed two runs must produce *byte-identical* JSON
+(regression-tested), so floats are rounded at a fixed precision and
+all dict keys are emitted sorted.
+
+The throughput section relates the simulated service to the paper's
+headline number: effective GOPS (nominal MACs delivered per second,
+the Fig. 8 convention) against the 512-opt peak of 138 effective GOPS
+on the pruned network.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fig. 8 / Section V headline: 512-opt peak effective GOPS (pruned).
+PAPER_PEAK_EFFECTIVE_GOPS = 138.0
+
+#: Rounding applied to every float in the JSON document.
+JSON_FLOAT_DECIMALS = 6
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile, matching numpy's default.
+
+    ``numpy.percentile(values, q)`` with the default ``linear`` method;
+    reimplemented so the report has no behavioural dependency on the
+    numpy version (and works on Fractions).  Validated against numpy in
+    ``tests/serve/test_cli_serve.py``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    items = sorted(float(v) for v in values)
+    if not items:
+        return 0.0
+    position = (len(items) - 1) * q / 100.0
+    lo = math.floor(position)
+    hi = math.ceil(position)
+    if lo == hi:
+        return items[lo]
+    fraction = position - lo
+    return items[lo] + (items[hi] - items[lo]) * fraction
+
+
+def _round(value: float) -> float:
+    return round(float(value), JSON_FLOAT_DECIMALS)
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Per-request accounting (completed or failed)."""
+
+    rid: int
+    arrival_cycle: int
+    batch: int
+    instance: int            # instance that completed it (-1 if failed)
+    done_cycle: float        # completion time (exact clock, floated)
+    latency_cycles: float    # done - arrival
+    failed: bool = False
+
+
+@dataclass
+class InstanceStats:
+    """One accelerator instance's serving history."""
+
+    index: int
+    batches_completed: int = 0
+    images_completed: int = 0
+    faults: int = 0
+    busy_cycles: float = 0.0
+
+    def utilization(self, makespan_cycles: float) -> float:
+        if makespan_cycles <= 0:
+            return 0.0
+        return self.busy_cycles / makespan_cycles
+
+
+@dataclass
+class ServeReport:
+    """Aggregated serving metrics, renderable as text and JSON."""
+
+    seed: int
+    instances: int
+    contention: bool
+    traffic_kind: str
+    clock_mhz: float
+    # workload + calibration echo
+    workload: dict[str, Any] = field(default_factory=dict)
+    profile: dict[str, Any] = field(default_factory=dict)
+    policy: dict[str, Any] = field(default_factory=dict)
+    # counts
+    offered: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    completed: int = 0
+    failed: int = 0
+    resubmissions: int = 0
+    makespan_cycles: float = 0.0
+    # latency (cycles over completed requests)
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    latency_mean: float = 0.0
+    latency_max: float = 0.0
+    # queue + batching
+    queue_mean_depth: float = 0.0
+    queue_max_depth: int = 0
+    batches_formed: int = 0
+    batch_size_hist: dict[int, int] = field(default_factory=dict)
+    # per-instance
+    instance_stats: list[InstanceStats] = field(default_factory=list)
+    output_digest: str = ""
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        return self.makespan_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def throughput_img_s(self) -> float:
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    @property
+    def effective_gops(self) -> float:
+        """Nominal MACs delivered per second (Fig. 8 convention)."""
+        macs = self.workload.get("macs_nominal", 0)
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return macs * self.completed / self.makespan_s / 1e9
+
+    @property
+    def paper_peak_fraction(self) -> float:
+        return self.effective_gops / PAPER_PEAK_EFFECTIVE_GOPS
+
+    def mean_batch_size(self) -> float:
+        total = sum(size * n for size, n in self.batch_size_hist.items())
+        formed = sum(self.batch_size_hist.values())
+        return total / formed if formed else 0.0
+
+    def latency_ms(self, cycles: float) -> float:
+        return cycles / (self.clock_mhz * 1e3)
+
+    # -- rendering -----------------------------------------------------------
+
+    def format(self) -> str:
+        w = self.workload
+        lines = ["serving report", "=" * 14]
+        lines.append(
+            f"workload         : conv {w.get('in_channels')}x"
+            f"{w.get('hw')}x{w.get('hw')} -> {w.get('out_channels')}ch "
+            f"({w.get('macs_nominal')} MACs/img), "
+            f"{self.clock_mhz:g} MHz clock")
+        lines.append(
+            f"service profile  : {self.profile.get('image_cycles')} cyc/img "
+            f"(compute {self.profile.get('compute_cycles')}, "
+            f"ifm+ofm dma {self.profile.get('image_mem_cycles')}, "
+            f"weights dma {self.profile.get('weight_mem_cycles')}; "
+            f"mem {100 * self.profile.get('mem_fraction', 0.0):.0f}%)")
+        lines.append(
+            f"traffic          : {self.traffic_kind}, seed {self.seed}, "
+            f"{self.offered} offered / {self.admitted} admitted / "
+            f"{self.dropped} dropped")
+        lines.append(
+            f"fleet            : {self.instances} instance(s), shared-DDR4 "
+            f"contention {'on' if self.contention else 'off'}")
+        lines.append(
+            f"batcher          : max {self.policy.get('max_batch')} / wait "
+            f"{self.policy.get('max_wait_cycles')} cyc -> "
+            f"{self.batches_formed} batches, mean size "
+            f"{self.mean_batch_size():.2f}, "
+            f"{self.resubmissions} resubmission(s)")
+        lines.append("")
+        lines.append(
+            f"completed        : {self.completed} img "
+            f"({self.failed} failed) in {self.makespan_cycles:.0f} cycles")
+        lines.append(
+            f"throughput       : {self.throughput_img_s:.1f} img/s, "
+            f"{self.effective_gops:.3f} effective GOPS "
+            f"({100 * self.paper_peak_fraction:.2f}% of the paper's "
+            f"{PAPER_PEAK_EFFECTIVE_GOPS:.0f})")
+        lines.append(
+            f"latency (cycles) : p50 {self.latency_p50:.0f}  "
+            f"p95 {self.latency_p95:.0f}  p99 {self.latency_p99:.0f}  "
+            f"mean {self.latency_mean:.0f}  max {self.latency_max:.0f}")
+        lines.append(
+            f"latency (ms)     : p50 {self.latency_ms(self.latency_p50):.3f}"
+            f"  p95 {self.latency_ms(self.latency_p95):.3f}"
+            f"  p99 {self.latency_ms(self.latency_p99):.3f}")
+        lines.append(
+            f"queue depth      : mean {self.queue_mean_depth:.2f}, "
+            f"max {self.queue_max_depth}")
+        lines.append("")
+        lines.append(f"{'instance':<10}{'batches':>9}{'images':>8}"
+                     f"{'faults':>8}{'busy cyc':>12}{'util':>7}")
+        for stats in self.instance_stats:
+            lines.append(
+                f"acc{stats.index:<7}{stats.batches_completed:>9}"
+                f"{stats.images_completed:>8}{stats.faults:>8}"
+                f"{stats.busy_cycles:>12.0f}"
+                f"{100 * stats.utilization(self.makespan_cycles):>6.0f}%")
+        sizes = ", ".join(f"{size}x{n}" for size, n
+                          in sorted(self.batch_size_hist.items()))
+        lines.append(f"batch sizes      : {sizes or '-'}")
+        lines.append(f"output digest    : {self.output_digest}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.serve/report/v1",
+            "seed": self.seed,
+            "instances": self.instances,
+            "contention": self.contention,
+            "traffic_kind": self.traffic_kind,
+            "clock_mhz": _round(self.clock_mhz),
+            "workload": dict(self.workload),
+            "profile": {key: (_round(value) if isinstance(value, float)
+                              else value)
+                        for key, value in self.profile.items()},
+            "policy": dict(self.policy),
+            "counts": {
+                "offered": self.offered,
+                "admitted": self.admitted,
+                "dropped": self.dropped,
+                "completed": self.completed,
+                "failed": self.failed,
+                "resubmissions": self.resubmissions,
+            },
+            "makespan_cycles": _round(self.makespan_cycles),
+            "latency_cycles": {
+                "p50": _round(self.latency_p50),
+                "p95": _round(self.latency_p95),
+                "p99": _round(self.latency_p99),
+                "mean": _round(self.latency_mean),
+                "max": _round(self.latency_max),
+            },
+            "latency_ms": {
+                "p50": _round(self.latency_ms(self.latency_p50)),
+                "p95": _round(self.latency_ms(self.latency_p95)),
+                "p99": _round(self.latency_ms(self.latency_p99)),
+            },
+            "throughput": {
+                "img_per_s": _round(self.throughput_img_s),
+                "effective_gops": _round(self.effective_gops),
+                "paper_peak_gops": _round(PAPER_PEAK_EFFECTIVE_GOPS),
+                "paper_peak_fraction": _round(self.paper_peak_fraction),
+            },
+            "queue": {
+                "mean_depth": _round(self.queue_mean_depth),
+                "max_depth": self.queue_max_depth,
+            },
+            "batches": {
+                "formed": self.batches_formed,
+                "mean_size": _round(self.mean_batch_size()),
+                "size_hist": {str(size): n for size, n
+                              in sorted(self.batch_size_hist.items())},
+            },
+            "instances_stats": [{
+                "index": stats.index,
+                "batches_completed": stats.batches_completed,
+                "images_completed": stats.images_completed,
+                "faults": stats.faults,
+                "busy_cycles": _round(stats.busy_cycles),
+                "utilization": _round(
+                    stats.utilization(self.makespan_cycles)),
+            } for stats in self.instance_stats],
+            "output_digest": self.output_digest,
+        }
+
+    def json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+
+def build_report(*, seed: int, instances: int, contention: bool,
+                 traffic_kind: str, clock_mhz: float,
+                 workload: dict, profile: dict, policy: dict,
+                 offered: int, admitted: int, dropped: int,
+                 outcomes: list[RequestOutcome], resubmissions: int,
+                 makespan_cycles: float, queue_mean_depth: float,
+                 queue_max_depth: int, batches_formed: int,
+                 batch_size_hist: dict[int, int],
+                 instance_stats: list[InstanceStats],
+                 output_digest: str) -> ServeReport:
+    """Assemble the report from the scheduler's raw accounting."""
+    completed = [o for o in outcomes if not o.failed]
+    latencies = [o.latency_cycles for o in completed]
+    return ServeReport(
+        seed=seed, instances=instances, contention=contention,
+        traffic_kind=traffic_kind, clock_mhz=clock_mhz,
+        workload=workload, profile=profile, policy=policy,
+        offered=offered, admitted=admitted, dropped=dropped,
+        completed=len(completed),
+        failed=sum(1 for o in outcomes if o.failed),
+        resubmissions=resubmissions,
+        makespan_cycles=makespan_cycles,
+        latency_p50=percentile(latencies, 50),
+        latency_p95=percentile(latencies, 95),
+        latency_p99=percentile(latencies, 99),
+        latency_mean=(sum(latencies) / len(latencies)) if latencies else 0.0,
+        latency_max=max(latencies) if latencies else 0.0,
+        queue_mean_depth=queue_mean_depth,
+        queue_max_depth=queue_max_depth,
+        batches_formed=batches_formed,
+        batch_size_hist=dict(batch_size_hist),
+        instance_stats=instance_stats,
+        output_digest=output_digest)

@@ -1,0 +1,386 @@
+"""The serving simulator: arrivals -> batches -> N accelerator instances.
+
+A deterministic discrete-event simulation on the fabric-cycle timebase.
+Requests arrive from a seeded :mod:`~repro.serve.traffic` process, are
+admitted into the :class:`~repro.serve.queue.RequestQueue`, grouped by
+the :class:`~repro.serve.batcher.DynamicBatcher`, and dispatched to the
+first idle accelerator instance.  Batch cost comes from the calibrated
+:class:`~repro.serve.engine.ServiceProfile` (measured on the real
+cycle-accurate SoC path), split into a DDR4-bound share and a
+compute-bound share.
+
+**Contention model.**  All instances hang off one DDR4 (the Fig. 1 /
+Section IV-D system: the 512-opt pair shares a single SDRAM
+controller, arbitrated round-robin at burst granularity by
+:class:`~repro.soc.sdram.SdramController`).  The scheduler models that
+arbitration as processor sharing: at any moment the ``k`` jobs in
+their memory phase each progress at ``1/k`` of the DDR4 rate, while
+compute phases always progress at full rate.  Time is kept as exact
+:class:`~fractions.Fraction` cycles so event ordering — and therefore
+the whole report — is bit-deterministic for a fixed seed.  With
+``contention=False`` every instance gets a private memory system and
+throughput scales exactly linearly; with it enabled, N instances
+deliver strictly less than N× (asserted by the property suite),
+because overlapping memory phases stretch.
+
+**Faults.**  With ``fault_rate > 0``, each batch execution may take a
+deterministic pseudo-random fault (:func:`repro.faults.hooks.chance`
+keyed by batch id and attempt).  The faulted instance is drained
+(offline for ``drain_cycles``) and the batch is resubmitted under the
+driver's existing :class:`~repro.soc.driver.ResiliencePolicy`: up to
+``layer_replays`` resubmissions with the policy's bounded exponential
+back-off, after which the batch's requests are failed (never silently
+dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable
+
+from repro.faults.hooks import chance, prf, stable_id
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.engine import (ServeEngine, ServeWorkload, ServiceProfile,
+                                calibrate_profile, output_digest)
+from repro.serve.queue import RequestQueue
+from repro.serve.report import (InstanceStats, RequestOutcome, ServeReport,
+                                build_report)
+from repro.serve.traffic import TrafficTrace, make_trace
+from repro.soc.driver import ResiliencePolicy
+
+#: Key separating serve fault draws from repro.faults' own PRF streams.
+_SERVE_KEY = stable_id("serve.batch_fault")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One serving experiment, fully determined by its fields + seed."""
+
+    instances: int = 2
+    policy: BatchPolicy = BatchPolicy()
+    resilience: ResiliencePolicy = ResiliencePolicy()
+    workload: ServeWorkload = ServeWorkload()
+    traffic: str = "poisson"          # poisson | burst | replay
+    requests: int = 64
+    mean_interarrival_cycles: float = 6000.0
+    bursts: int = 4
+    burst_size: int = 8
+    burst_gap_cycles: int = 40_000
+    replay_gaps: tuple[int, ...] | None = None
+    seed: int = 0
+    queue_capacity: int | None = None
+    contention: bool = True           # shared-DDR4 model on/off
+    outputs: str = "model"            # functional backend (see engine)
+    fault_rate: float = 0.0           # per batch execution
+    drain_cycles: int = 256           # faulted-instance drain time
+    clock_mhz: float = 120.0          # 512-opt achieved clock
+    bank_capacity: int = 1 << 14
+    timeline: bool = False
+
+    def __post_init__(self):
+        if self.instances < 1:
+            raise ValueError("need at least one instance")
+        if self.requests < 0:
+            raise ValueError("requests must be >= 0")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if self.drain_cycles < 0:
+            raise ValueError("drain_cycles must be >= 0")
+
+    def trace(self) -> TrafficTrace:
+        return make_trace(
+            self.traffic, self.seed, count=self.requests,
+            mean_interarrival_cycles=self.mean_interarrival_cycles,
+            bursts=self.bursts, burst_size=self.burst_size,
+            gap_cycles=self.burst_gap_cycles, gaps=self.replay_gaps)
+
+
+def smoke_config(seed: int = 0) -> ServeConfig:
+    """CI-scale config: small trace, faults armed, both instances busy."""
+    return ServeConfig(
+        instances=2, requests=24,
+        policy=BatchPolicy(max_batch=4, max_wait_cycles=3000),
+        mean_interarrival_cycles=2500.0,
+        fault_rate=0.12, seed=seed)
+
+
+def default_config(seed: int = 0) -> ServeConfig:
+    """The full evaluation run behind ``repro serve``."""
+    return ServeConfig(
+        instances=2, requests=96,
+        policy=BatchPolicy(max_batch=4, max_wait_cycles=4096),
+        mean_interarrival_cycles=4000.0,
+        fault_rate=0.05, seed=seed)
+
+
+class _Job:
+    """One batch executing on one instance (exact remaining work)."""
+
+    __slots__ = ("batch", "instance", "mem_rem", "compute_rem",
+                 "work_done", "fault_at", "started")
+
+    def __init__(self, batch: Batch, instance: int, mem_cycles: int,
+                 compute_cycles: int, fault_at: Fraction | None,
+                 started: Fraction):
+        self.batch = batch
+        self.instance = instance
+        self.mem_rem = Fraction(mem_cycles)
+        self.compute_rem = Fraction(compute_cycles)
+        self.work_done = Fraction(0)
+        self.fault_at = fault_at        # work threshold, None = no fault
+        self.started = started
+
+    @property
+    def in_mem(self) -> bool:
+        return self.mem_rem > 0
+
+    @property
+    def done(self) -> bool:
+        return self.mem_rem <= 0 and self.compute_rem <= 0
+
+    @property
+    def faulted(self) -> bool:
+        return self.fault_at is not None and self.work_done >= self.fault_at
+
+    def next_event_dt(self, mem_rate: Fraction) -> Fraction:
+        """Time to this job's next state change at current rates."""
+        if self.in_mem:
+            rate, phase_rem = mem_rate, self.mem_rem
+        else:
+            rate, phase_rem = Fraction(1), self.compute_rem
+        dt = phase_rem / rate
+        if self.fault_at is not None:
+            to_fault = self.fault_at - self.work_done
+            if to_fault <= phase_rem:
+                dt = min(dt, max(Fraction(0), to_fault) / rate)
+        return dt
+
+    def advance(self, dt: Fraction, mem_rate: Fraction) -> None:
+        if dt <= 0:
+            return
+        if self.in_mem:
+            progress = dt * mem_rate
+            self.mem_rem -= progress
+        else:
+            progress = dt
+            self.compute_rem -= progress
+        self.work_done += progress
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced."""
+
+    config: ServeConfig
+    trace: TrafficTrace
+    profile: ServiceProfile
+    report: ServeReport
+    outputs: dict[int, "object"] = field(default_factory=dict)
+    timeline: "object | None" = None
+
+    def chrome_trace(self) -> dict:
+        if self.timeline is None:
+            raise ValueError("run with ServeConfig(timeline=True) "
+                             "to record a serving timeline")
+        return self.timeline.chrome_trace()
+
+
+def _fault_threshold(config: ServeConfig, batch: Batch,
+                     total_work: int) -> Fraction | None:
+    """Deterministic fault point for this (batch, attempt), if any."""
+    if config.fault_rate <= 0:
+        return None
+    if not chance(config.fault_rate, config.seed, _SERVE_KEY,
+                  batch.bid, batch.attempts):
+        return None
+    # Fault position as a coarse fraction of the batch's total work
+    # (coarse keeps the exact-arithmetic denominators small).
+    position = prf(config.seed, _SERVE_KEY, batch.bid, batch.attempts, 1)
+    numerator = min(4095, max(1, round(position * 4096)))
+    return Fraction(numerator * total_work, 4096)
+
+
+def run_serve(config: ServeConfig | None = None,
+              echo: Callable[[str], None] | None = None) -> ServeResult:
+    """Run one serving experiment end to end."""
+    config = config or ServeConfig()
+    trace = config.trace()
+    profile = calibrate_profile(config.workload, config.bank_capacity)
+    if echo:
+        echo(f"calibrated service profile: {profile.image_cycles} cyc/img "
+             f"({100 * profile.mem_fraction:.0f}% DDR4-bound), "
+             f"{config.instances} instance(s), "
+             f"{len(trace)} requests ({trace.kind})")
+    engine = ServeEngine(config.workload, outputs=config.outputs)
+    queue = RequestQueue(config.queue_capacity)
+    batcher = DynamicBatcher(queue, config.policy)
+    timeline = None
+    if config.timeline:
+        from repro.obs.serving import ServingTimeline
+        timeline = ServingTimeline()
+    stats = [InstanceStats(i) for i in range(config.instances)]
+    idle: list[int] = list(range(config.instances))
+    offline: dict[int, Fraction] = {}
+    jobs: dict[int, _Job] = {}
+    ready: list[tuple[Fraction, Batch]] = []
+    outcomes: list[RequestOutcome] = []
+    outputs: dict[int, object] = {}
+    resubmissions = 0
+    policy = config.resilience
+    arrivals = list(trace)
+    next_arrival = 0
+    now = Fraction(0)
+
+    def mem_rate() -> Fraction:
+        if not config.contention:
+            return Fraction(1)
+        busy = sum(1 for job in jobs.values() if job.in_mem)
+        return Fraction(1, busy) if busy > 1 else Fraction(1)
+
+    def dispatch(batch: Batch, instance: int) -> None:
+        batch.attempts += 1
+        mem = profile.batch_mem_cycles(batch.size)
+        compute = profile.batch_compute_cycles(batch.size)
+        fault_at = _fault_threshold(config, batch, mem + compute)
+        jobs[instance] = _Job(batch, instance, mem, compute, fault_at, now)
+
+    def settle() -> None:
+        """Process everything due at the current instant."""
+        nonlocal next_arrival
+        while (next_arrival < len(arrivals)
+               and arrivals[next_arrival].arrival_cycle <= now):
+            queue.push(now, arrivals[next_arrival])
+            next_arrival += 1
+        while batcher.ready(now, next_arrival < len(arrivals)):
+            ready.append((now, batcher.close(now)))
+        while idle and any(at <= now for at, _ in ready):
+            index = next(i for i, (at, _) in enumerate(ready) if at <= now)
+            _, batch = ready.pop(index)
+            dispatch(batch, idle.pop(0))
+        if timeline is not None:
+            timeline.sample(now, len(queue), len(jobs))
+
+    def complete(instance: int, job: _Job) -> None:
+        entry = stats[instance]
+        entry.batches_completed += 1
+        entry.images_completed += job.batch.size
+        entry.busy_cycles += float(now - job.started)
+        for request in job.batch.requests:
+            outputs[request.rid] = engine.run_image(request.image_seed)
+            outcomes.append(RequestOutcome(
+                rid=request.rid, arrival_cycle=request.arrival_cycle,
+                batch=job.batch.bid, instance=instance,
+                done_cycle=float(now),
+                latency_cycles=float(now - request.arrival_cycle)))
+        if timeline is not None:
+            timeline.add_batch_span(
+                instance, f"batch{job.batch.bid} x{job.batch.size}",
+                job.started, now, True, attempt=job.batch.attempts)
+        del jobs[instance]
+        idle.append(instance)
+        idle.sort()
+
+    def take_fault(instance: int, job: _Job) -> None:
+        nonlocal resubmissions
+        entry = stats[instance]
+        entry.faults += 1
+        entry.busy_cycles += float(now - job.started)
+        if timeline is not None:
+            timeline.add_batch_span(
+                instance, f"batch{job.batch.bid} x{job.batch.size}",
+                job.started, now, False, attempt=job.batch.attempts)
+        del jobs[instance]
+        offline[instance] = now + config.drain_cycles
+        batch = job.batch
+        if batch.attempts > policy.batch_resubmits:
+            for request in batch.requests:
+                outcomes.append(RequestOutcome(
+                    rid=request.rid, arrival_cycle=request.arrival_cycle,
+                    batch=batch.bid, instance=-1, done_cycle=float(now),
+                    latency_cycles=0.0, failed=True))
+            return
+        resubmissions += 1
+        backoff = policy.backoff(batch.attempts - 1)
+        ready.insert(0, (now + backoff, batch))
+
+    guard = 0
+    while (next_arrival < len(arrivals) or len(queue) or ready or jobs):
+        guard += 1
+        if guard > 10_000_000:
+            raise RuntimeError("serve scheduler failed to converge")
+        settle()
+        if not (next_arrival < len(arrivals) or len(queue)
+                or ready or jobs):
+            break
+        candidates: list[Fraction] = []
+        if next_arrival < len(arrivals):
+            candidates.append(Fraction(
+                arrivals[next_arrival].arrival_cycle))
+        if len(queue):
+            deadline = batcher.deadline()
+            if deadline is not None and Fraction(deadline) > now:
+                candidates.append(Fraction(deadline))
+        for ready_at, _ in ready:
+            if ready_at > now:
+                candidates.append(ready_at)
+        candidates.extend(offline.values())
+        rate = mem_rate()
+        for job in jobs.values():
+            candidates.append(now + job.next_event_dt(rate))
+        target = min(candidates)
+        if target > now:
+            dt = target - now
+            for job in jobs.values():
+                job.advance(dt, rate)
+            now = target
+        for instance in sorted(offline):
+            if offline[instance] <= now:
+                del offline[instance]
+                idle.append(instance)
+                idle.sort()
+        for instance in sorted(jobs):
+            job = jobs[instance]
+            if job.faulted:
+                take_fault(instance, job)
+            elif job.done:
+                complete(instance, job)
+
+    makespan = float(now)
+    digest = output_digest(outputs)
+    report = build_report(
+        seed=config.seed, instances=config.instances,
+        contention=config.contention, traffic_kind=trace.kind,
+        clock_mhz=config.clock_mhz,
+        workload={
+            "in_channels": config.workload.in_channels,
+            "hw": config.workload.hw,
+            "out_channels": config.workload.out_channels,
+            "kernel": config.workload.kernel,
+            "macs_nominal": config.workload.macs_nominal,
+        },
+        profile={
+            "image_cycles": profile.image_cycles,
+            "compute_cycles": profile.compute_cycles,
+            "image_mem_cycles": profile.image_mem_cycles,
+            "weight_mem_cycles": profile.weight_mem_cycles,
+            "mem_fraction": profile.mem_fraction,
+        },
+        policy={
+            "max_batch": config.policy.max_batch,
+            "max_wait_cycles": config.policy.max_wait_cycles,
+        },
+        offered=len(trace), admitted=queue.admitted,
+        dropped=queue.dropped, outcomes=outcomes,
+        resubmissions=resubmissions, makespan_cycles=makespan,
+        queue_mean_depth=queue.mean_depth(now if now > 0 else 1),
+        queue_max_depth=queue.max_depth,
+        batches_formed=batcher.formed,
+        batch_size_hist=batcher.size_hist,
+        instance_stats=stats, output_digest=digest)
+    if echo:
+        echo(f"served {report.completed}/{report.offered} requests in "
+             f"{makespan:.0f} cycles "
+             f"({report.throughput_img_s:.1f} img/s)")
+    return ServeResult(config=config, trace=trace, profile=profile,
+                       report=report, outputs=outputs, timeline=timeline)

@@ -1,0 +1,145 @@
+"""Seeded arrival processes for the serving simulator.
+
+The serving layer's clock is the accelerator fabric cycle, so arrival
+traces are integer cycle stamps.  Three generators cover the usual
+evaluation regimes:
+
+* :func:`poisson_trace` — memoryless arrivals at a mean rate, the
+  open-loop traffic model used throughout the serving literature;
+* :func:`burst_trace` — an on/off process (dense bursts separated by
+  idle gaps) that exercises queue growth and batch formation;
+* :func:`replay_trace` — explicit inter-arrival gaps, for replaying a
+  recorded trace or hand-building a worst case in tests.
+
+Everything is driven by :class:`numpy.random.Generator` seeded from the
+config, so a trace is a pure function of ``(kind, parameters, seed)``
+and two runs with the same seed are identical request for request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request entering the serving layer.
+
+    ``image_seed`` determines the request's input tensor (the engine
+    generates it deterministically), so a trace fully specifies the
+    workload without carrying arrays around.
+    """
+
+    rid: int
+    arrival_cycle: int
+    image_seed: int
+
+    def __post_init__(self):
+        if self.rid < 0 or self.arrival_cycle < 0:
+            raise ValueError(f"bad request {self}")
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """An arrival trace: requests sorted by arrival cycle."""
+
+    kind: str
+    requests: tuple[Request, ...]
+
+    def __post_init__(self):
+        cycles = [r.arrival_cycle for r in self.requests]
+        if cycles != sorted(cycles):
+            raise ValueError("trace must be sorted by arrival cycle")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def span_cycles(self) -> int:
+        """Cycles from the first to the last arrival."""
+        if not self.requests:
+            return 0
+        return (self.requests[-1].arrival_cycle
+                - self.requests[0].arrival_cycle)
+
+    def interarrivals(self) -> list[int]:
+        cycles = [r.arrival_cycle for r in self.requests]
+        return [b - a for a, b in zip(cycles, cycles[1:])]
+
+
+def _make_requests(gaps: Sequence[int], seed: int,
+                   first_cycle: int = 0) -> tuple[Request, ...]:
+    """Gaps -> cumulative arrivals, with per-request image seeds."""
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    requests = []
+    cycle = first_cycle
+    for rid, gap in enumerate(gaps):
+        if gap < 0:
+            raise ValueError(f"negative inter-arrival gap {gap}")
+        cycle += int(gap)
+        requests.append(Request(rid=rid, arrival_cycle=cycle,
+                                image_seed=int(rng.integers(1 << 30))))
+    return tuple(requests)
+
+
+def poisson_trace(count: int, mean_interarrival_cycles: float,
+                  seed: int = 0) -> TrafficTrace:
+    """Poisson arrivals: exponential gaps, rounded to whole cycles."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if mean_interarrival_cycles <= 0:
+        raise ValueError("mean inter-arrival must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = np.rint(rng.exponential(mean_interarrival_cycles,
+                                   size=count)).astype(np.int64)
+    return TrafficTrace("poisson", _make_requests(gaps.tolist(), seed))
+
+
+def burst_trace(bursts: int, burst_size: int, gap_cycles: int,
+                intra_gap_cycles: int = 1, seed: int = 0) -> TrafficTrace:
+    """On/off arrivals: ``bursts`` groups of ``burst_size`` requests.
+
+    Requests inside a burst arrive ``intra_gap_cycles`` apart; bursts
+    are separated by ``gap_cycles`` of silence.
+    """
+    if bursts < 0 or burst_size < 1:
+        raise ValueError("need bursts >= 0 and burst_size >= 1")
+    gaps: list[int] = []
+    for b in range(bursts):
+        for i in range(burst_size):
+            if b == 0 and i == 0:
+                gaps.append(0)
+            elif i == 0:
+                gaps.append(gap_cycles)
+            else:
+                gaps.append(intra_gap_cycles)
+    return TrafficTrace("burst", _make_requests(gaps, seed))
+
+
+def replay_trace(gaps: Sequence[int], seed: int = 0) -> TrafficTrace:
+    """Explicit inter-arrival gaps (first gap is the start offset)."""
+    return TrafficTrace("replay", _make_requests(list(gaps), seed))
+
+
+def make_trace(kind: str, seed: int = 0, *, count: int = 32,
+               mean_interarrival_cycles: float = 4096.0,
+               bursts: int = 4, burst_size: int = 8,
+               gap_cycles: int = 20_000,
+               gaps: Sequence[int] | None = None) -> TrafficTrace:
+    """Config-level factory: resolve a trace spec by ``kind``."""
+    if kind == "poisson":
+        return poisson_trace(count, mean_interarrival_cycles, seed)
+    if kind == "burst":
+        return burst_trace(bursts, burst_size, gap_cycles, seed=seed)
+    if kind == "replay":
+        if gaps is None:
+            raise ValueError("replay trace needs explicit gaps")
+        return replay_trace(gaps, seed)
+    raise ValueError(f"unknown traffic kind {kind!r} "
+                     f"(expected poisson/burst/replay)")

@@ -5,7 +5,8 @@ from repro.soc.dma import (DmaBoundsError, DmaController, DmaDescriptor,
                            DmaDirection, DmaError, DmaFaultAction, DmaStats,
                            DmaTransferError)
 from repro.soc.dram import Ddr4, DramAllocator
-from repro.soc.dual import DualSocSystem, SplitConvResult, run_conv_split
+from repro.soc.dual import (ContentionProbe, DualSocSystem, SplitConvResult,
+                            measure_contention, run_conv_split)
 from repro.soc.driver import (DivergenceError, FaultRecord, FmHandle,
                               InferenceDriver, LayerRun, ResiliencePolicy,
                               SocSystem)
@@ -24,7 +25,8 @@ __all__ = [
     "DmaBoundsError", "DmaController", "DmaDescriptor", "DmaDirection",
     "DmaError", "DmaFaultAction", "DmaStats", "DmaTransferError",
     "Ddr4", "DramAllocator",
-    "DualSocSystem", "SplitConvResult", "run_conv_split",
+    "ContentionProbe", "DualSocSystem", "SplitConvResult",
+    "measure_contention", "run_conv_split",
     "DivergenceError", "FaultRecord", "FmHandle", "InferenceDriver",
     "LayerRun", "ResiliencePolicy", "SocSystem",
     "ARM_CYCLES_PER_REORDERED_VALUE", "CYCLES_PER_CSR_ACCESS", "ArmHost",

@@ -73,6 +73,7 @@ class ResiliencePolicy:
     backoff_base_cycles: int = 32   # first retry back-off (doubles)
     backoff_cap_cycles: int = 1024  # exponential back-off ceiling
     layer_replays: int = 2          # conv re-executions from staged inputs
+    batch_resubmits: int = 2        # serving-batch resubmissions (repro.serve)
     check_outputs: bool = False     # golden divergence check per conv layer
     degrade: bool = False           # record faulted tiles and continue
 

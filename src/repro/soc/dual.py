@@ -31,11 +31,24 @@ class DualSocSystem:
 
     def __init__(self, bank_capacity: int = 1 << 14,
                  dram_capacity: int = 1 << 22,
-                 sdram_burst: int = 64):
+                 sdram_burst: int = 64, shared_sdram: bool = True):
         self.sim = Simulator("dual-soc")
         self.dram = Ddr4(capacity_values=dram_capacity)
-        self.sdram = SdramController(self.sim, self.dram, ports=2,
-                                     burst_values=sdram_burst)
+        self.shared_sdram = shared_sdram
+        if shared_sdram:
+            # The real 512-opt topology: one controller, two ports,
+            # round-robin burst arbitration.
+            self.sdrams = [SdramController(self.sim, self.dram, ports=2,
+                                           burst_values=sdram_burst)]
+            ports = [self.sdrams[0].port(0), self.sdrams[0].port(1)]
+        else:
+            # Counterfactual for contention probes: each instance gets
+            # a private controller (infinite-bandwidth DDR4 fiction).
+            self.sdrams = [SdramController(self.sim, self.dram, ports=1,
+                                           burst_values=sdram_burst)
+                           for _ in range(2)]
+            ports = [sdram.port(0) for sdram in self.sdrams]
+        self.sdram = self.sdrams[0]
         self.instances = [
             AcceleratorInstance(
                 self.sim, AcceleratorConfig(bank_capacity=bank_capacity),
@@ -44,10 +57,14 @@ class DualSocSystem:
         ]
         self.dmas = [
             DmaController(self.sim, self.dram, self.instances[i].banks,
-                          name=f"dma{i}", sdram_port=self.sdram.port(i))
+                          name=f"dma{i}", sdram_port=ports[i])
             for i in range(2)
         ]
         self.alloc = DramAllocator(self.dram)
+
+    @property
+    def total_sdram_bursts(self) -> int:
+        return sum(sdram.total_bursts for sdram in self.sdrams)
 
     # -- data placement (host software) ------------------------------------------
 
@@ -189,4 +206,50 @@ def run_conv_split(soc: DualSocSystem, ifm_q: np.ndarray,
     dma_values = sum(dma.stats.values_moved for dma in soc.dmas)
     return SplitConvResult(
         ofm=ofm[:, :out_h, :out_w], wall_cycles=wall,
-        dma_values=dma_values, sdram_bursts=soc.sdram.total_bursts)
+        dma_values=dma_values, sdram_bursts=soc.total_sdram_bursts)
+
+
+@dataclass(frozen=True)
+class ContentionProbe:
+    """Shared-vs-private DDR4 cost of the same dual-instance conv.
+
+    Measured at burst-arbiter fidelity: the identical split layer run
+    once on the real topology (one SDRAM controller, two ports) and
+    once on the counterfactual private-controller topology.  The
+    ``stretch`` is what the serving layer's processor-sharing model
+    approximates when several instances sit in their memory phase.
+    """
+
+    shared_wall_cycles: int
+    private_wall_cycles: int
+    sdram_bursts: int
+    outputs_identical: bool
+
+    @property
+    def stretch(self) -> float:
+        """Wall-cycle multiplier charged by sharing the DDR4 (>= 1)."""
+        if self.private_wall_cycles <= 0:
+            return 1.0
+        return self.shared_wall_cycles / self.private_wall_cycles
+
+
+def measure_contention(ifm_q: np.ndarray, packed: PackedLayer,
+                       biases: np.ndarray | None = None, shift: int = 0,
+                       apply_relu: bool = False,
+                       bank_capacity: int = 1 << 14) -> ContentionProbe:
+    """Probe the shared-DDR4 penalty for one convolution.
+
+    Runs the split conv on both topologies and checks the outputs are
+    bit-identical (contention must shift timing, never data).
+    """
+    shared = run_conv_split(
+        DualSocSystem(bank_capacity=bank_capacity, shared_sdram=True),
+        ifm_q, packed, biases=biases, shift=shift, apply_relu=apply_relu)
+    private = run_conv_split(
+        DualSocSystem(bank_capacity=bank_capacity, shared_sdram=False),
+        ifm_q, packed, biases=biases, shift=shift, apply_relu=apply_relu)
+    return ContentionProbe(
+        shared_wall_cycles=shared.wall_cycles,
+        private_wall_cycles=private.wall_cycles,
+        sdram_bursts=shared.sdram_bursts,
+        outputs_identical=bool(np.array_equal(shared.ofm, private.ofm)))

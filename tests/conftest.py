@@ -1,0 +1,25 @@
+"""Shared pytest configuration: Hypothesis execution profiles.
+
+Two profiles:
+
+* ``dev`` (default) — Hypothesis defaults minus deadlines (the
+  cycle-accurate simulator makes per-example runtimes spiky, which is
+  load, not a bug).
+* ``ci`` — bounded examples so property suites stay inside the CI
+  timeout, still no deadlines.  CI selects it via
+  ``HYPOTHESIS_PROFILE=ci`` and pins ``--hypothesis-seed=0`` on the
+  pytest command line so failures reproduce exactly.
+
+Tests that pin their own ``@settings(max_examples=...)`` keep it; the
+profile covers everything else.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci", deadline=None, max_examples=8, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -6,8 +6,9 @@ import pytest
 from repro.core import (AcceleratorConfig, AcceleratorInstance, PackedLayer,
                         execute_conv)
 from repro.hls import Simulator
-from repro.perf.striped_exec import (execute_conv_striped,
-                                     multi_instance_wall_cycles)
+from repro.perf.striped_exec import (StripedRunResult, execute_conv_striped,
+                                     multi_instance_wall_cycles,
+                                     per_instance_cycles)
 
 
 def whole_layer_reference(ifm, packed, biases, shift, relu):
@@ -103,3 +104,62 @@ def test_single_instance_total_cycles_is_sum():
     assert striped.instances == 1
     assert striped.total_cycles == sum(striped.stripe_cycles)
     assert striped.total_cycles == striped.serial_cycles
+
+
+# -- edge-case regressions (instances=1, instances<1, stripes<instances) -------------
+
+
+def _dummy_result(stripe_cycles, instances=1):
+    return StripedRunResult(ofm=np.zeros((1, 1, 1), dtype=np.int16),
+                            plan=None, stripe_cycles=stripe_cycles,
+                            instances=instances)
+
+
+def test_wall_cycles_rejects_nonpositive_instances():
+    """Regression: instances=0 used to crash with a bare max(())
+    ValueError and negative counts mis-indexed via i % instances."""
+    result = _dummy_result((10, 20, 30))
+    for bad in (0, -1, -7):
+        with pytest.raises(ValueError, match="instances"):
+            multi_instance_wall_cycles(result, bad)
+        with pytest.raises(ValueError, match="instances"):
+            per_instance_cycles(result, bad)
+
+
+def test_striped_run_result_rejects_nonpositive_instances():
+    with pytest.raises(ValueError, match="instances"):
+        _dummy_result((10,), instances=0)
+    with pytest.raises(ValueError, match="instances"):
+        _dummy_result((10,), instances=-2)
+
+
+def test_execute_conv_striped_rejects_nonpositive_instances():
+    rng = np.random.default_rng(11)
+    ifm = rng.integers(-20, 21, size=(4, 10, 10))
+    packed = PackedLayer.pack(rng.integers(1, 5, size=(4, 4, 3, 3)))
+    with pytest.raises(ValueError, match="instances"):
+        execute_conv_striped(ifm, packed, instances=0)
+
+
+def test_wall_cycles_instances_one_equals_serial():
+    result = _dummy_result((10, 20, 30))
+    assert multi_instance_wall_cycles(result, 1) == 60
+    assert per_instance_cycles(result, 1) == (60,)
+
+
+def test_more_instances_than_stripes_leaves_idle_instances():
+    """stripes < instances: surplus instances sit idle at 0 cycles and
+    the wall clock is the busiest (= longest single stripe)."""
+    result = _dummy_result((10, 20))
+    loads = per_instance_cycles(result, 5)
+    assert len(loads) == 5
+    assert loads == (10, 20, 0, 0, 0)
+    assert multi_instance_wall_cycles(result, 5) == 20
+
+
+def test_per_instance_cycles_conserves_work():
+    result = _dummy_result((7, 11, 13, 17, 19))
+    for instances in (1, 2, 3, 4, 5, 9):
+        loads = per_instance_cycles(result, instances)
+        assert sum(loads) == result.serial_cycles
+        assert multi_instance_wall_cycles(result, instances) == max(loads)

@@ -1,0 +1,114 @@
+"""``repro serve`` CLI: smoke run, JSON schema, percentile math."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import percentile
+
+#: Keys the CI consumer of artifacts/serve_smoke.json relies on.
+REQUIRED_TOP_LEVEL = {
+    "schema", "seed", "instances", "contention", "traffic_kind",
+    "clock_mhz", "workload", "profile", "policy", "counts",
+    "makespan_cycles", "latency_cycles", "latency_ms", "throughput",
+    "queue", "batches", "instances_stats", "output_digest",
+}
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_serve_smoke_completes_quickly(capsys):
+    start = time.monotonic()
+    out = run_cli(capsys, "serve", "--smoke")
+    elapsed = time.monotonic() - start
+    assert elapsed < 60, f"smoke run took {elapsed:.1f}s"
+    assert "serving report" in out
+    assert "p50" in out and "p95" in out and "p99" in out
+    assert "img/s" in out and "effective GOPS" in out
+    assert "util" in out  # per-instance utilization table
+
+
+def test_serve_smoke_json_to_stdout(capsys):
+    out = run_cli(capsys, "serve", "--smoke", "--json")
+    document = json.loads(out[out.index("{"):])
+    assert document["schema"] == "repro.serve/report/v1"
+    assert REQUIRED_TOP_LEVEL <= set(document)
+
+
+def test_serve_smoke_json_to_file(tmp_path, capsys):
+    path = tmp_path / "serve_smoke.json"
+    out = run_cli(capsys, "serve", "--smoke", "--json", str(path))
+    assert "serving report" in out  # human report still printed
+    document = json.loads(path.read_text())
+    assert REQUIRED_TOP_LEVEL <= set(document)
+    latency = document["latency_cycles"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"] \
+        <= latency["max"]
+    counts = document["counts"]
+    assert counts["completed"] + counts["failed"] \
+        + counts["dropped"] == counts["offered"]
+    stats = document["instances_stats"]
+    assert len(stats) == document["instances"]
+    assert all(0.0 <= s["utilization"] <= 1.0 for s in stats)
+
+
+def test_serve_instances_and_traffic_overrides(capsys):
+    out = run_cli(capsys, "serve", "--smoke", "--instances", "1",
+                  "--traffic", "burst", "--json")
+    document = json.loads(out[out.index("{"):])
+    assert document["instances"] == 1
+    assert document["traffic_kind"] == "burst"
+
+
+def test_serve_writes_perfetto_timeline(tmp_path, capsys):
+    path = tmp_path / "serve_trace.json"
+    run_cli(capsys, "serve", "--smoke", "--out", str(path))
+    trace = json.loads(path.read_text())
+    events = trace["traceEvents"]
+    assert any(e["ph"] == "X" and e["pid"] == 4 for e in events)
+    assert any(e["ph"] == "C" and e["name"] == "queue depth"
+               for e in events)
+
+
+def test_profile_json_flag_still_works(capsys):
+    """The --json flag grew an optional PATH; bare use is unchanged."""
+    out = run_cli(capsys, "profile", "conv1_1", "--smoke", "--json")
+    document = json.loads(out)
+    assert document["target"] == "conv1_1"
+
+
+# -- percentile math vs numpy --------------------------------------------------------
+
+
+def test_percentile_on_hand_built_latency_trace():
+    # Hand-built: known answers at exact and interpolated positions.
+    trace = [100.0, 200.0, 300.0, 400.0, 500.0]
+    assert percentile(trace, 0) == 100.0
+    assert percentile(trace, 50) == 300.0
+    assert percentile(trace, 100) == 500.0
+    assert percentile(trace, 25) == 200.0
+    assert percentile(trace, 95) == pytest.approx(480.0)
+    assert percentile([42.0], 99) == 42.0
+    assert percentile([], 50) == 0.0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_percentile_matches_numpy(seed):
+    rng = np.random.default_rng(seed)
+    values = rng.exponential(5000.0, size=int(rng.integers(1, 200)))
+    for q in (0, 1, 25, 50, 75, 90, 95, 99, 99.9, 100):
+        assert percentile(values, q) \
+            == pytest.approx(float(np.percentile(values, q)), rel=1e-12)
+
+
+def test_percentile_rejects_bad_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)

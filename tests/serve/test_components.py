@@ -1,0 +1,228 @@
+"""Unit tests for the serving building blocks.
+
+Queue depth accounting, batcher triggers, traffic generators, the
+calibrated service profile's arithmetic, and the serving timeline's
+Perfetto document — each checked on hand-built cases with known
+answers.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.obs.serving import PID_SERVING, ServingTimeline
+from repro.serve import (BatchPolicy, DynamicBatcher, RequestQueue,
+                         ServeConfig, ServiceProfile, burst_trace,
+                         make_trace, output_digest, poisson_trace,
+                         replay_trace)
+from repro.serve.traffic import Request
+
+
+def req(rid, cycle):
+    return Request(rid=rid, arrival_cycle=cycle, image_seed=rid + 100)
+
+
+# -- queue ---------------------------------------------------------------------------
+
+
+def test_queue_fifo_and_counters():
+    queue = RequestQueue()
+    for i in range(3):
+        assert queue.push(i, req(i, i))
+    assert len(queue) == 3
+    assert queue.oldest_arrival == 0
+    assert [queue.pop(3).rid for _ in range(3)] == [0, 1, 2]
+    assert queue.admitted == 3 and queue.popped == 3
+    assert queue.dropped == 0 and queue.max_depth == 3
+    assert queue.oldest_arrival is None
+
+
+def test_queue_capacity_drops():
+    queue = RequestQueue(capacity=2)
+    assert queue.push(0, req(0, 0))
+    assert queue.push(0, req(1, 0))
+    assert not queue.push(0, req(2, 0))  # full -> dropped
+    assert queue.dropped == 1 and queue.admitted == 2
+    queue.pop(1)
+    assert queue.push(1, req(3, 1))  # space again
+
+
+def test_queue_mean_depth_exact():
+    # depth 1 over [0,10), depth 2 over [10,20) -> mean 1.5 at t=20.
+    queue = RequestQueue()
+    queue.push(0, req(0, 0))
+    queue.push(10, req(1, 10))
+    assert queue.mean_depth(20) == pytest.approx(1.5)
+
+
+def test_queue_accepts_fraction_timestamps():
+    # depth 0 over [0,1/3), depth 1 over [1/3,4/3) -> mean 3/4.
+    queue = RequestQueue()
+    queue.push(Fraction(1, 3), req(0, 0))
+    assert queue.mean_depth(Fraction(4, 3)) == pytest.approx(0.75)
+
+
+def test_queue_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RequestQueue(capacity=0)
+
+
+# -- batcher -------------------------------------------------------------------------
+
+
+def make_batcher(max_batch=3, max_wait=100):
+    queue = RequestQueue()
+    return queue, DynamicBatcher(
+        queue, BatchPolicy(max_batch=max_batch, max_wait_cycles=max_wait))
+
+
+def test_batcher_size_trigger():
+    queue, batcher = make_batcher(max_batch=3)
+    for i in range(2):
+        queue.push(i, req(i, i))
+        assert not batcher.ready(i, more_arrivals=True)
+    queue.push(2, req(2, 2))
+    assert batcher.ready(2, more_arrivals=True)
+    batch = batcher.close(2)
+    assert batch.size == 3 and batch.bid == 0
+    assert [r.rid for r in batch.requests] == [0, 1, 2]
+
+
+def test_batcher_deadline_trigger():
+    queue, batcher = make_batcher(max_batch=4, max_wait=100)
+    queue.push(0, req(0, 0))
+    assert batcher.deadline() == 100
+    assert not batcher.ready(99, more_arrivals=True)
+    assert batcher.ready(100, more_arrivals=True)
+    assert batcher.close(100).size == 1
+
+
+def test_batcher_end_of_trace_flush():
+    queue, batcher = make_batcher(max_batch=4, max_wait=10_000)
+    queue.push(0, req(0, 0))
+    assert not batcher.ready(1, more_arrivals=True)
+    assert batcher.ready(1, more_arrivals=False)
+
+
+def test_batcher_never_exceeds_max_batch():
+    queue, batcher = make_batcher(max_batch=2)
+    for i in range(5):
+        queue.push(0, req(i, 0))
+    sizes = []
+    while len(queue):
+        sizes.append(batcher.close(0).size)
+    assert sizes == [2, 2, 1]
+    assert batcher.size_hist == {2: 2, 1: 1}
+    assert batcher.formed == 3
+
+
+def test_batcher_close_on_empty_queue_raises():
+    _, batcher = make_batcher()
+    with pytest.raises(RuntimeError):
+        batcher.close(0)
+
+
+def test_batch_policy_validation():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_wait_cycles=-1)
+
+
+# -- traffic -------------------------------------------------------------------------
+
+
+def test_poisson_trace_shape():
+    trace = poisson_trace(50, 1000.0, seed=2)
+    assert len(trace) == 50 and trace.kind == "poisson"
+    cycles = [r.arrival_cycle for r in trace]
+    assert cycles == sorted(cycles)
+    assert all(r.rid == i for i, r in enumerate(trace))
+    # Mean inter-arrival in the right ballpark (seeded, not flaky).
+    mean = sum(trace.interarrivals()) / (len(trace) - 1)
+    assert 400 < mean < 2500
+
+
+def test_burst_trace_structure():
+    trace = burst_trace(3, 4, gap_cycles=1000, intra_gap_cycles=2)
+    assert len(trace) == 12
+    gaps = trace.interarrivals()
+    assert gaps == [2, 2, 2, 1000, 2, 2, 2, 1000, 2, 2, 2]
+    assert trace.span_cycles == sum(gaps)
+
+
+def test_replay_trace_and_validation():
+    trace = replay_trace([5, 0, 10])
+    assert [r.arrival_cycle for r in trace] == [5, 5, 15]
+    with pytest.raises(ValueError):
+        replay_trace([3, -1])
+    with pytest.raises(ValueError):
+        make_trace("replay")        # needs explicit gaps
+    with pytest.raises(ValueError):
+        make_trace("sinusoidal")
+    with pytest.raises(ValueError):
+        poisson_trace(4, 0.0)
+
+
+# -- service profile + config --------------------------------------------------------
+
+
+def test_service_profile_batch_arithmetic():
+    profile = ServiceProfile(image_cycles=100, compute_cycles=40,
+                             image_mem_cycles=45, weight_mem_cycles=15)
+    assert profile.mem_fraction == pytest.approx(0.6)
+    assert profile.batch_mem_cycles(1) == 60
+    assert profile.batch_mem_cycles(4) == 15 + 4 * 45
+    assert profile.batch_compute_cycles(4) == 160
+    assert profile.batch_cycles(4) == 15 + 4 * 45 + 160
+    # Amortization: 4 batched images < 4 unbatched images.
+    assert profile.batch_cycles(4) < 4 * profile.batch_cycles(1)
+
+
+def test_service_profile_rejects_negative_components():
+    with pytest.raises(ValueError):
+        ServiceProfile(image_cycles=10, compute_cycles=-1,
+                       image_mem_cycles=5, weight_mem_cycles=5)
+
+
+def test_serve_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(instances=0)
+    with pytest.raises(ValueError):
+        ServeConfig(fault_rate=1.5)
+    with pytest.raises(ValueError):
+        ServeConfig(requests=-1)
+    with pytest.raises(ValueError):
+        ServeConfig(drain_cycles=-1)
+
+
+# -- digest + timeline ---------------------------------------------------------------
+
+
+def test_output_digest_is_order_insensitive():
+    import numpy as np
+    a = np.arange(6, dtype=np.int16).reshape(2, 3)
+    b = np.arange(6, 12, dtype=np.int16).reshape(2, 3)
+    assert output_digest({0: a, 1: b}) == output_digest({1: b, 0: a})
+    assert output_digest({0: a, 1: b}) != output_digest({0: b, 1: a})
+
+
+def test_serving_timeline_chrome_trace():
+    timeline = ServingTimeline()
+    timeline.add_batch_span(0, "batch0 x4", 0, 100, True, attempt=1)
+    timeline.add_batch_span(1, "batch1 x2", 50, 90, False, attempt=1)
+    timeline.sample(0, 3, 1)
+    timeline.sample(10, 3, 1)   # unchanged -> deduplicated
+    timeline.sample(20, 1, 2)
+    trace = timeline.chrome_trace()
+    events = trace["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 2
+    assert all(e["pid"] == PID_SERVING for e in spans)
+    assert {e["cat"] for e in spans} == {"batch", "batch,fault"}
+    counters = [e for e in events if e["ph"] == "C"]
+    # 2 distinct samples x 2 counter tracks.
+    assert len(counters) == 4
+    threads = [e for e in events if e["ph"] == "M"
+               and e["name"] == "thread_name"]
+    assert {e["args"]["name"] for e in threads} == {"acc0", "acc1"}

@@ -1,0 +1,71 @@
+"""Determinism regressions: fixed seed => byte-identical reports.
+
+The serving simulator and the fault-campaign runner both promise
+reproducibility strong enough to diff CI artifacts across runs: the
+rendered JSON documents must be *byte*-identical for a fixed config,
+and different seeds must actually change the experiment (different
+arrival traces), not just relabel it.
+"""
+
+import numpy as np
+
+from repro.faults import CampaignConfig, run_campaign
+from repro.serve import (ServeConfig, burst_trace, make_trace,
+                         poisson_trace, run_serve, smoke_config)
+
+
+def test_serve_report_byte_identical_for_fixed_seed():
+    first = run_serve(smoke_config(3))
+    second = run_serve(smoke_config(3))
+    assert first.report.json() == second.report.json()
+    assert first.report.output_digest == second.report.output_digest
+    for rid in first.outputs:
+        np.testing.assert_array_equal(first.outputs[rid],
+                                      second.outputs[rid])
+
+
+def test_serve_report_differs_across_seeds():
+    a = run_serve(smoke_config(3)).report
+    b = run_serve(smoke_config(4)).report
+    assert a.json() != b.json()
+
+
+def test_different_seeds_give_different_arrival_traces():
+    a = poisson_trace(32, 1000.0, seed=0)
+    b = poisson_trace(32, 1000.0, seed=1)
+    assert a.interarrivals() != b.interarrivals()
+    # ... and different image payloads, not just different timing.
+    assert [r.image_seed for r in a] != [r.image_seed for r in b]
+
+
+def test_same_seed_reproduces_the_trace_exactly():
+    for kind in ("poisson", "burst", "replay"):
+        a = make_trace(kind, seed=5, count=16, gaps=tuple([3] * 16))
+        b = make_trace(kind, seed=5, count=16, gaps=tuple([3] * 16))
+        assert [(r.rid, r.arrival_cycle, r.image_seed) for r in a] \
+            == [(r.rid, r.arrival_cycle, r.image_seed) for r in b]
+
+
+def test_burst_trace_seed_changes_payload_not_shape():
+    a = burst_trace(2, 4, 5000, seed=0)
+    b = burst_trace(2, 4, 5000, seed=9)
+    assert [r.arrival_cycle for r in a] == [r.arrival_cycle for r in b]
+    assert [r.image_seed for r in a] != [r.image_seed for r in b]
+
+
+def test_fault_campaign_report_byte_identical_for_fixed_config():
+    config = CampaignConfig(fault_types=("dma",), rates={"dma": (0.15,)},
+                            seeds=(0,))
+    first = run_campaign(config)
+    second = run_campaign(config)
+    assert first.json() == second.json()
+    document = first.to_json()
+    assert document["schema"] == "repro.faults/report/v1"
+    assert document["trials"] == len(first.trials)
+
+
+def test_serve_faulted_run_is_deterministic():
+    config = ServeConfig(instances=2, requests=12, fault_rate=0.25,
+                         seed=11)
+    assert run_serve(config).report.json() \
+        == run_serve(config).report.json()

@@ -1,0 +1,209 @@
+"""Property-based differential conformance for the serving stack.
+
+Hypothesis drives randomized shapes/seeds through three layers of
+equivalence, every one asserted bit for bit:
+
+1. the cycle-accurate accelerator vs the quantized numpy reference
+   (conv and pool primitives over random small shapes);
+2. the serving engine's two functional backends against each other
+   (``model`` golden vs ``sim`` cycle-accurate);
+3. the batched multi-instance scheduler vs a sequential
+   single-instance run of the same trace — whatever batching,
+   instance count, contention setting, or fault-triggered
+   resubmission happened along the way.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (AcceleratorConfig, AcceleratorInstance, PackedLayer,
+                        execute_conv)
+from repro.core.accelerator import execute_padpool
+from repro.core.instructions import Opcode
+from repro.hls import Simulator
+from repro.nn.reference import maxpool2d
+from repro.perf.striped_exec import execute_conv_striped
+from repro.serve import (BatchPolicy, ServeConfig, ServeEngine,
+                         ServeWorkload, output_digest, run_serve)
+from repro.serve.engine import _golden_conv
+from repro.soc.driver import ResiliencePolicy
+
+
+def _fresh_instance(name: str, bank_capacity: int = 1 << 16):
+    sim = Simulator(name)
+    return AcceleratorInstance(
+        sim, AcceleratorConfig(bank_capacity=bank_capacity))
+
+
+# -- 1. accelerator primitives vs nn reference --------------------------------------
+
+
+@given(seed=st.integers(0, 10_000), in_ch=st.integers(1, 4),
+       out_ch=st.integers(1, 8), hw=st.integers(5, 12),
+       shift=st.integers(0, 4), relu=st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_conv_accelerator_matches_reference(seed, in_ch, out_ch, hw,
+                                            shift, relu):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-16, 16,
+                           size=(out_ch, in_ch, 3, 3)).astype(np.int8)
+    weights[rng.random(weights.shape) >= rng.uniform(0.3, 1.0)] = 0
+    ifm = rng.integers(-64, 64, size=(in_ch, hw, hw), dtype=np.int16)
+    biases = rng.integers(-128, 128, size=(out_ch,)).astype(np.int64)
+    ofm, cycles = execute_conv(
+        _fresh_instance(f"prop-conv-{seed}"), ifm,
+        PackedLayer.pack(weights), biases=biases, shift=shift,
+        apply_relu=relu)
+    np.testing.assert_array_equal(
+        ofm, _golden_conv(ifm, weights, biases, shift, relu))
+    assert cycles > 0
+
+
+@given(seed=st.integers(0, 10_000), ch=st.integers(1, 4),
+       hw=st.sampled_from([4, 6, 8, 10]))
+@settings(max_examples=8, deadline=None)
+def test_pool_accelerator_matches_reference(seed, ch, hw):
+    rng = np.random.default_rng(seed)
+    ifm = rng.integers(-128, 128, size=(ch, hw, hw), dtype=np.int16)
+    ofm, cycles = execute_padpool(
+        _fresh_instance(f"prop-pool-{seed}"), ifm, Opcode.POOL,
+        win=2, stride=2)
+    np.testing.assert_array_equal(ofm, maxpool2d(ifm, size=2, stride=2))
+    assert cycles > 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=4, deadline=None)
+def test_striped_multi_instance_matches_whole_layer(seed):
+    """Stripes round-robined over 2 instances stitch bit-identically."""
+    rng = np.random.default_rng(seed)
+    in_ch = int(rng.integers(2, 5))
+    out_ch = int(rng.integers(2, 7))
+    ifm = rng.integers(-30, 31, size=(in_ch, 26, 10), dtype=np.int16)
+    weights = rng.integers(-16, 16,
+                           size=(out_ch, in_ch, 3, 3)).astype(np.int8)
+    weights[rng.random(weights.shape) >= 0.6] = 0
+    packed = PackedLayer.pack(weights)
+    whole, _ = execute_conv(_fresh_instance(f"prop-whole-{seed}"),
+                            ifm, packed, shift=1)
+    striped = execute_conv_striped(ifm, packed, shift=1,
+                                   bank_capacity=4096, instances=2,
+                                   max_rows_cap=3)
+    np.testing.assert_array_equal(striped.ofm, whole)
+    assert striped.total_cycles <= striped.serial_cycles
+
+
+# -- 2. engine backends agree --------------------------------------------------------
+
+
+@given(image_seed=st.integers(0, 1 << 30))
+@settings(max_examples=6, deadline=None)
+def test_engine_backends_bit_identical(image_seed):
+    workload = ServeWorkload()
+    model = ServeEngine(workload, outputs="model")
+    sim = ServeEngine(workload, outputs="sim")
+    np.testing.assert_array_equal(model.run_image(image_seed),
+                                  sim.run_image(image_seed))
+
+
+# -- 3. batched serving == sequential reference --------------------------------------
+
+
+def _assert_matches_sequential(result):
+    reference = ServeEngine(result.config.workload).sequential_reference(
+        result.trace)
+    assert set(result.outputs) == set(reference)
+    for rid in reference:
+        np.testing.assert_array_equal(result.outputs[rid], reference[rid])
+    assert result.report.output_digest == output_digest(reference)
+
+
+@given(seed=st.integers(0, 10_000), instances=st.integers(1, 3),
+       max_batch=st.integers(1, 5), contention=st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_batched_serving_bit_identical_to_sequential(seed, instances,
+                                                     max_batch,
+                                                     contention):
+    config = ServeConfig(
+        instances=instances, requests=10,
+        policy=BatchPolicy(max_batch=max_batch, max_wait_cycles=2000),
+        mean_interarrival_cycles=1500.0, contention=contention,
+        seed=seed, fault_rate=0.0)
+    result = run_serve(config)
+    assert result.report.completed == 10
+    _assert_matches_sequential(result)
+
+
+@given(seed=st.integers(0, 5_000), traffic=st.sampled_from(
+    ["poisson", "burst"]))
+@settings(max_examples=6, deadline=None)
+def test_faulted_serving_still_bit_identical(seed, traffic):
+    """Fault + drain + resubmit must shift timing, never data."""
+    config = ServeConfig(
+        instances=2, requests=8, traffic=traffic,
+        bursts=2, burst_size=4, burst_gap_cycles=8000,
+        policy=BatchPolicy(max_batch=3, max_wait_cycles=1000),
+        mean_interarrival_cycles=1000.0, seed=seed, fault_rate=0.3,
+        resilience=ResiliencePolicy(batch_resubmits=64))
+    result = run_serve(config)
+    assert result.report.failed == 0, "generous replay budget"
+    _assert_matches_sequential(result)
+    if result.report.resubmissions:
+        assert sum(s.faults for s in result.report.instance_stats) \
+            >= result.report.resubmissions
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=5, deadline=None)
+def test_contention_changes_timing_not_outputs(seed):
+    """Shared vs private DDR4: same digest, shared never faster."""
+    base = ServeConfig(
+        instances=2, requests=12, traffic="replay",
+        replay_gaps=tuple([0] * 12),
+        policy=BatchPolicy(max_batch=4, max_wait_cycles=0),
+        seed=seed, fault_rate=0.0)
+    shared = run_serve(base)
+    private = run_serve(replace(base, contention=False))
+    assert shared.report.output_digest == private.report.output_digest
+    assert shared.report.makespan_cycles \
+        >= private.report.makespan_cycles
+
+
+def test_two_instances_strictly_sublinear_under_shared_ddr4():
+    """The acceptance criterion: N=2 throughput < 2x N=1 with the
+    shared-DDR4 contention model enabled (and exactly 2x without,
+    on a saturating embarrassingly-parallel load)."""
+
+    def saturated(instances, contention):
+        return run_serve(ServeConfig(
+            instances=instances, traffic="replay",
+            replay_gaps=tuple([0] * 16), requests=16,
+            policy=BatchPolicy(max_batch=4, max_wait_cycles=0),
+            contention=contention, fault_rate=0.0, seed=1)).report
+
+    single = saturated(1, True)
+    dual_shared = saturated(2, True)
+    dual_private = saturated(2, False)
+    assert single.profile["mem_fraction"] > 0.5, \
+        "workload must be DDR4-bound for the bound to be strict"
+    speedup_shared = (dual_shared.throughput_img_s
+                      / single.throughput_img_s)
+    speedup_private = (dual_private.throughput_img_s
+                       / single.throughput_img_s)
+    assert 1.0 < speedup_shared < 2.0
+    assert speedup_shared < speedup_private <= 2.0 + 1e-9
+
+
+def test_batching_amortizes_weight_staging():
+    """batch(k) pays weight DMA once: makespan(batch=4) < makespan(1)."""
+
+    def makespan(max_batch):
+        return run_serve(ServeConfig(
+            instances=1, traffic="replay", replay_gaps=tuple([0] * 16),
+            requests=16,
+            policy=BatchPolicy(max_batch=max_batch, max_wait_cycles=0),
+            fault_rate=0.0, seed=1)).report.makespan_cycles
+
+    assert makespan(4) < makespan(1)

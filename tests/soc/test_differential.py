@@ -11,11 +11,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core import PackedLayer
 from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
                       MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
                       SoftmaxLayer, generate_image, generate_weights)
 from repro.quant import quantize_network, run_quantized
+from repro.serve.engine import _golden_conv
 from repro.soc import InferenceDriver, SocSystem
+from repro.soc.dual import DualSocSystem, run_conv_split
 
 
 def random_network(rng) -> Network:
@@ -97,3 +100,27 @@ def test_random_network_striped_soc_vs_golden(seed):
     run_quantized(network, model, image, collect=collected)
     np.testing.assert_array_equal(out, collected["relu0"])
     del out_ch
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=3, deadline=None)
+def test_dual_instance_split_conv_vs_golden(seed):
+    """The 512-opt dual-instance split (two DMAs through one arbitrated
+    SDRAM controller) must also be bit-identical to the quantized numpy
+    reference — contention shifts timing, never data."""
+    rng = np.random.default_rng(seed)
+    in_ch = int(rng.integers(1, 5))
+    out_ch = int(rng.integers(2, 9))
+    hw = int(rng.choice([10, 12, 16]))
+    weights = rng.integers(-16, 16,
+                           size=(out_ch, in_ch, 3, 3)).astype(np.int8)
+    weights[rng.random(weights.shape) >= rng.uniform(0.4, 1.0)] = 0
+    ifm = rng.integers(-32, 32, size=(in_ch, hw, hw), dtype=np.int16)
+    biases = rng.integers(-64, 64, size=(out_ch,)).astype(np.int64)
+    result = run_conv_split(DualSocSystem(bank_capacity=1 << 14),
+                            ifm, PackedLayer.pack(weights),
+                            biases=biases, shift=2, apply_relu=True)
+    golden = _golden_conv(ifm, weights, biases, 2, True)
+    np.testing.assert_array_equal(result.ofm, golden)
+    assert result.wall_cycles > 0
+    assert result.sdram_bursts > 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import PackedLayer
 from repro.quant import conv2d_int, saturate_array, shift_round_array
-from repro.soc.dual import DualSocSystem, run_conv_split
+from repro.soc.dual import DualSocSystem, measure_contention, run_conv_split
 
 
 def golden(ifm, weights, biases, shift, relu):
@@ -68,6 +68,30 @@ def test_sdram_contention_is_visible():
     np.testing.assert_array_equal(r_fast.ofm, r_slow.ofm)
     assert r_slow.sdram_bursts > r_fast.sdram_bursts
     assert r_slow.wall_cycles > r_fast.wall_cycles
+
+
+def test_contention_probe_shared_vs_private():
+    """measure_contention: same layer on the real shared controller and
+    on private per-instance controllers. Sharing may only cost cycles,
+    never change bits — and here it measurably does cost cycles."""
+    ifm, weights, biases = make_case(5)
+    probe = measure_contention(ifm, packed_of(weights), biases=biases,
+                               shift=2, apply_relu=True,
+                               bank_capacity=1 << 13)
+    assert probe.outputs_identical
+    assert probe.shared_wall_cycles > probe.private_wall_cycles
+    assert probe.stretch > 1.0
+    assert probe.sdram_bursts > 0
+
+
+def test_private_sdram_topology_still_bit_exact():
+    ifm, weights, biases = make_case(6)
+    result = run_conv_split(
+        DualSocSystem(bank_capacity=1 << 13, shared_sdram=False),
+        ifm, packed_of(weights), biases=biases, shift=2, apply_relu=True)
+    np.testing.assert_array_equal(
+        result.ofm, golden(ifm, weights, biases, 2, True))
+    assert result.sdram_bursts > 0
 
 
 def test_forty_kernels_total():
