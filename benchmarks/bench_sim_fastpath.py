@@ -1,17 +1,20 @@
-"""P1 — Cycle-warp fast path: differential identity + wall-clock speedup.
+"""P1 — Scheduler fast paths: differential identity + wall-clock speedup.
 
-Runs a DMA-heavy scaled VGG-16 conv1_1 layer through the full SoC
-driver path (DMA staging, instruction issue, streaming compute,
-write-back) twice — once with the scheduler's cycle-warp fast path
-(the default) and once with ``fastpath=False``, the validated
-one-cycle-at-a-time reference stepper — and
+Runs scaled conv layers through the full SoC driver path (DMA staging,
+instruction issue, streaming compute, write-back) twice — once with
+the scheduler fast paths (cycle-warp + burst mode, the defaults) and
+once with the validated one-cycle-at-a-time reference stepper — and
 
 * asserts **bit- and cycle-identity**: same final cycle, same OFM
   bytes, same per-kernel cycle breakdown, same FIFO stats;
-* reports the **wall-clock speedup** (the scenario is bandwidth-bound:
-  a narrow, high-latency DMA bus makes most cycles dead, which is
-  exactly the regime the warp targets — and the regime real VGG-16
-  staging lives in, where feature maps dwarf compute per value).
+* reports the **wall-clock speedup** per scenario, with both the
+  warped fraction (dead cycles jumped by cycle-warp) and the burst
+  fraction (steady-state MAC cycles executed vectorized).
+
+Two scenario classes bracket the regimes: a *DMA-heavy* layer (narrow,
+high-latency bus — most cycles dead, cycle-warp's home turf) and a
+*compute-bound* layer (high channel count, fast DRAM, dense weights —
+almost no dead cycles, burst mode's home turf).
 
 Standalone (not a pytest-benchmark module) so CI can gate on it:
 
@@ -20,8 +23,8 @@ Standalone (not a pytest-benchmark module) so CI can gate on it:
         --check benchmarks/BENCH_sim_fastpath.json
 
 Exit status is non-zero on identity failure, or — with ``--check`` —
-when the measured speedup regresses more than 20% against the
-committed baseline's speedup for the same mode.
+when a measured speedup regresses more than 20% against the committed
+baseline's speedup for the same scenario.
 """
 
 import argparse
@@ -45,13 +48,15 @@ REGRESSION_TOLERANCE = 0.20
 
 @dataclass(frozen=True)
 class Scenario:
-    """One DMA-heavy conv-layer configuration.
+    """One conv-layer configuration for the SoC driver path.
 
-    ``in_channels=3`` is real VGG-16 conv1_1; ``out_channels`` is
-    scaled down (as in :mod:`repro.obs.workloads`) to keep the Python
-    simulator tractable.  ``dram_bytes_per_cycle`` / ``dram_latency``
-    model a narrow, contended System I bus, which is what makes the
-    layer DMA-bound.
+    The DMA-heavy scenarios use ``in_channels=3`` (real VGG-16 conv1_1,
+    ``out_channels`` scaled down as in :mod:`repro.obs.workloads`) with
+    a narrow, contended System I bus.  The compute-bound scenarios use
+    a high channel count, dense weights and a wide low-latency bus, so
+    nearly every fabric cycle is a MAC-stream cycle.
+    ``expect_bursts`` marks scenarios whose steady-state streams must
+    engage the burst engine.
     """
 
     name: str
@@ -62,15 +67,28 @@ class Scenario:
     dram_latency: int
     keep_fraction: float       # weight density after pruning
     repeats: int               # wall-clock reps (best-of)
+    expect_bursts: bool = False
 
 
 SCENARIOS = {
-    "full": Scenario(name="vgg16-conv1_1-dma-heavy", in_channels=3,
-                     out_channels=4, hw=34, dram_bytes_per_cycle=1,
-                     dram_latency=1200, keep_fraction=0.1, repeats=3),
-    "smoke": Scenario(name="vgg16-conv1_1-dma-heavy-smoke", in_channels=3,
-                      out_channels=4, hw=18, dram_bytes_per_cycle=1,
-                      dram_latency=800, keep_fraction=0.1, repeats=2),
+    "full": [
+        Scenario(name="vgg16-conv1_1-dma-heavy", in_channels=3,
+                 out_channels=4, hw=34, dram_bytes_per_cycle=1,
+                 dram_latency=1200, keep_fraction=0.1, repeats=3),
+        Scenario(name="compute-bound-dense", in_channels=64,
+                 out_channels=4, hw=14, dram_bytes_per_cycle=64,
+                 dram_latency=20, keep_fraction=1.0, repeats=3,
+                 expect_bursts=True),
+    ],
+    "smoke": [
+        Scenario(name="vgg16-conv1_1-dma-heavy-smoke", in_channels=3,
+                 out_channels=4, hw=18, dram_bytes_per_cycle=1,
+                 dram_latency=800, keep_fraction=0.1, repeats=2),
+        Scenario(name="compute-bound-dense-smoke", in_channels=32,
+                 out_channels=4, hw=12, dram_bytes_per_cycle=64,
+                 dram_latency=20, keep_fraction=1.0, repeats=2,
+                 expect_bursts=True),
+    ],
 }
 
 
@@ -78,6 +96,7 @@ def run_layer(scenario: Scenario, fastpath: bool, seed: int = 0) -> dict:
     """One full driver run; returns wall time plus an identity record."""
     soc = SocSystem(bank_capacity=1 << 14)
     soc.sim.fastpath = fastpath
+    soc.sim.burst = fastpath
     soc.dram.bytes_per_cycle = scenario.dram_bytes_per_cycle
     soc.dram.latency_cycles = scenario.dram_latency
     driver = InferenceDriver(soc)
@@ -107,74 +126,91 @@ def run_layer(scenario: Scenario, fastpath: bool, seed: int = 0) -> dict:
         "fifos": {f.name: vars(f.stats) for f in sim.fifos},
         "warps": sim.warps,
         "warped_cycles": sim.warped_cycles,
+        "bursts": sim.bursts,
+        "burst_cycles": sim.burst_cycles,
     }
 
 
-def check_identity(fast: dict, ref: dict) -> list[str]:
+def check_identity(fast: dict, ref: dict, scenario: Scenario) -> list[str]:
     """Everything observable must match the reference stepper exactly."""
     failures = []
     for key in ("cycles", "ofm_sha256", "kernels", "fifos"):
         if fast[key] != ref[key]:
             failures.append(f"{key} diverges between fast path and "
-                            f"reference stepper")
-    if ref["warps"] != 0:
-        failures.append("reference stepper took warps")
-    if fast["warps"] == 0:
-        failures.append("fast path never warped — scenario is not "
-                        "exercising the fast path")
+                            f"reference stepper ({scenario.name})")
+    if ref["warps"] != 0 or ref["bursts"] != 0:
+        failures.append(f"reference stepper took fast paths "
+                        f"({scenario.name})")
+    if fast["warps"] == 0 and fast["bursts"] == 0:
+        failures.append(f"fast paths never engaged ({scenario.name})")
+    if scenario.expect_bursts and fast["bursts"] == 0:
+        failures.append(f"burst mode never engaged ({scenario.name})")
     return failures
 
 
 def bench(scenario: Scenario) -> dict:
     fast = run_layer(scenario, fastpath=True)
     ref = run_layer(scenario, fastpath=False)
-    failures = check_identity(fast, ref)
+    failures = check_identity(fast, ref, scenario)
     fast_wall = min([fast["wall_s"]]
                     + [run_layer(scenario, True)["wall_s"]
                        for _ in range(scenario.repeats - 1)])
     ref_wall = min([ref["wall_s"]]
                    + [run_layer(scenario, False)["wall_s"]
                       for _ in range(scenario.repeats - 1)])
+    cycles = fast["cycles"]
     return {
         "scenario": asdict(scenario),
         "identity": not failures,
         "identity_failures": failures,
-        "cycles": fast["cycles"],
+        "cycles": cycles,
         "warps": fast["warps"],
         "warped_cycles": fast["warped_cycles"],
-        "warped_fraction": (fast["warped_cycles"] / fast["cycles"]
-                            if fast["cycles"] else 0.0),
-        "stepped_cycles": fast["cycles"] - fast["warped_cycles"],
+        "warped_fraction": (fast["warped_cycles"] / cycles
+                            if cycles else 0.0),
+        "bursts": fast["bursts"],
+        "burst_cycles": fast["burst_cycles"],
+        "burst_fraction": (fast["burst_cycles"] / cycles
+                           if cycles else 0.0),
+        "stepped_cycles": (cycles - fast["warped_cycles"]
+                           - fast["burst_cycles"]),
         "fast_wall_s": fast_wall,
         "ref_wall_s": ref_wall,
         "speedup": ref_wall / fast_wall if fast_wall else 0.0,
     }
 
 
-def check_baseline(result: dict, baseline_path: Path, mode: str) -> list[str]:
+def check_baseline(results: dict, baseline_path: Path, mode: str) -> list[str]:
     baseline = json.loads(baseline_path.read_text())
-    entry = baseline.get(mode)
-    if entry is None:
-        return [f"baseline {baseline_path} has no entry for mode {mode!r}"]
+    entries = baseline.get(mode, {}).get("scenarios")
+    if entries is None:
+        return [f"baseline {baseline_path} has no scenarios for "
+                f"mode {mode!r}"]
     failures = []
-    floor = entry["speedup"] * (1.0 - REGRESSION_TOLERANCE)
-    if result["speedup"] < floor:
-        failures.append(
-            f"speedup regression: measured {result['speedup']:.2f}x, "
-            f"baseline {entry['speedup']:.2f}x (floor {floor:.2f}x)")
-    # Deterministic cross-check: the simulated cycle count must not
-    # drift at all for the pinned scenario + seed.
-    if result["cycles"] != entry["cycles"]:
-        failures.append(
-            f"cycle count drift: measured {result['cycles']}, "
-            f"baseline {entry['cycles']} — scheduler behaviour changed")
+    for name, result in results.items():
+        entry = entries.get(name)
+        if entry is None:
+            failures.append(f"baseline has no entry for scenario {name!r}")
+            continue
+        floor = entry["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+        if result["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup regression: measured "
+                f"{result['speedup']:.2f}x, baseline "
+                f"{entry['speedup']:.2f}x (floor {floor:.2f}x)")
+        # Deterministic cross-check: the simulated cycle count must not
+        # drift at all for the pinned scenario + seed.
+        if result["cycles"] != entry["cycles"]:
+            failures.append(
+                f"{name}: cycle count drift: measured {result['cycles']}, "
+                f"baseline {entry['cycles']} — scheduler behaviour changed")
     return failures
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="small scenario for CI")
+                        help="small scenarios for CI")
     parser.add_argument("--json", type=Path, metavar="PATH",
                         help="write the result record to PATH")
     parser.add_argument("--check", type=Path, metavar="BASELINE",
@@ -183,25 +219,30 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
-    result = {"name": "bench_sim_fastpath", "mode": mode,
-              **bench(SCENARIOS[mode])}
+    results = {}
+    failures: list[str] = []
+    for scenario in SCENARIOS[mode]:
+        result = bench(scenario)
+        results[scenario.name] = result
+        print(f"P1: scheduler fast paths ({scenario.name})")
+        print(f"  simulated cycles : {result['cycles']}"
+              f" (warped {result['warped_cycles']},"
+              f" {100 * result['warped_fraction']:.1f}%;"
+              f" burst {result['burst_cycles']},"
+              f" {100 * result['burst_fraction']:.1f}%)")
+        print(f"  reference wall   : {result['ref_wall_s']:.3f} s")
+        print(f"  fast-path wall   : {result['fast_wall_s']:.3f} s")
+        print(f"  speedup          : {result['speedup']:.2f}x")
+        print(f"  bit/cycle identity: {result['identity']}")
+        failures += result["identity_failures"]
 
-    print(f"P1: cycle-warp fast path ({result['scenario']['name']})")
-    print(f"  simulated cycles : {result['cycles']}"
-          f" (warped {result['warped_cycles']},"
-          f" {100 * result['warped_fraction']:.1f}%;"
-          f" {result['warps']} warps)")
-    print(f"  reference wall   : {result['ref_wall_s']:.3f} s")
-    print(f"  fast-path wall   : {result['fast_wall_s']:.3f} s")
-    print(f"  speedup          : {result['speedup']:.2f}x")
-    print(f"  bit/cycle identity: {result['identity']}")
-
-    failures = list(result["identity_failures"])
     if args.check:
-        failures += check_baseline(result, args.check, mode)
+        failures += check_baseline(results, args.check, mode)
     if args.json:
+        record = {"name": "bench_sim_fastpath", "mode": mode,
+                  "scenarios": results}
         args.json.parent.mkdir(parents=True, exist_ok=True)
-        args.json.write_text(json.dumps(result, indent=2) + "\n")
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

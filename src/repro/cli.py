@@ -11,7 +11,7 @@ Usage::
     python -m repro latency       # end-to-end fps per variant
     python -m repro explore       # design-space Pareto sweep
     python -m repro program       # compiled schedule of the demo net
-    python -m repro faults campaign [--smoke]   # resilience campaign
+    python -m repro faults campaign [--smoke] [--jobs N]  # resilience campaign
     python -m repro profile conv1_1 [--smoke]   # per-layer bottleneck table
     python -m repro profile vgg16               # representative layer sweep
     python -m repro trace --out trace.json      # Perfetto/Chrome timeline
@@ -203,7 +203,7 @@ def cmd_faults(args) -> str:
             f"repro faults: unknown subcommand {subcommand!r} "
             f"(expected 'campaign')")
     config = smoke_config() if args.smoke else None
-    report = run_campaign(config, echo=print)
+    report = run_campaign(config, echo=print, jobs=args.jobs)
     return "\n" + report.format()
 
 
@@ -320,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(serve: give a PATH to write a file instead)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="profile: also write the metrics JSON here")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="faults: run trials across N worker "
+                             "processes (default 1 = serial; the report "
+                             "is identical either way)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="trace: output file (default trace.json); "
                              "serve: write the serving Perfetto trace here")

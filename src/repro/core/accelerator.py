@@ -22,17 +22,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.accumulator import accumulator_kernel
-from repro.core.conv_unit import conv_unit_kernel
+from repro.core.accumulator import AccumulatorPhase, accumulator_kernel
+from repro.core.burst import BurstPipeline
+from repro.core.conv_unit import ConvUnitPhase, conv_unit_kernel
 from repro.core.instructions import (ConvInstruction, Opcode,
                                      PadPoolInstruction)
 from repro.core.packing import (PackedLayer, serialize_unit_stream,
                                 unit_channels)
 from repro.core.padpool import padpool_kernel
 from repro.core.sram import SramBank, make_banks
-from repro.core.staging import staging_kernel
+from repro.core.staging import StagingPhase, staging_kernel
 from repro.core.tile import TILE, tiles_along, to_tiles
-from repro.core.writeback import writeback_kernel
+from repro.core.writeback import WritebackPhase, writeback_kernel
 from repro.hls.kernel import Tick
 from repro.hls.sim import Simulator
 
@@ -85,36 +86,60 @@ class AcceleratorInstance:
                        for u in range(cfg.lanes)]
         self.writeback_qs = [sim.fifo(f"{name}.wb{j}", cfg.queue_depth)
                              for j in range(cfg.lanes)]
+        staging_kernels = []
+        conv_kernels = []
+        accum_kernels = []
         for u in range(cfg.lanes):
-            sim.add_kernel(
+            staging_phase = StagingPhase()
+            kernel = sim.add_kernel(
                 f"{name}.staging{u}",
                 staging_kernel(u, self.banks[u], self.instr_qs[u],
                                self.conv_qs[u], self.padpool_qs[u],
                                self.done_q, self.barrier,
-                               lanes=cfg.lanes, tile=cfg.tile),
+                               lanes=cfg.lanes, tile=cfg.tile,
+                               phase=staging_phase),
                 fsm_states=180, ii=1)
-            sim.add_kernel(
+            kernel.phase = staging_phase
+            staging_kernels.append(kernel)
+            conv_phase = ConvUnitPhase()
+            kernel = sim.add_kernel(
                 f"{name}.conv{u}",
                 conv_unit_kernel(u, self.conv_qs[u],
                                  [self.acc_qs[u][j] for j in range(cfg.lanes)],
-                                 tile=cfg.tile),
+                                 tile=cfg.tile, phase=conv_phase),
                 fsm_states=12, ii=1)
-            sim.add_kernel(
+            kernel.phase = conv_phase
+            conv_kernels.append(kernel)
+            accum_phase = AccumulatorPhase()
+            kernel = sim.add_kernel(
                 f"{name}.accum{u}",
                 accumulator_kernel(u,
                                    [self.acc_qs[v][u]
                                     for v in range(cfg.lanes)],
-                                   self.writeback_qs[u], tile=cfg.tile),
+                                   self.writeback_qs[u], tile=cfg.tile,
+                                   phase=accum_phase),
                 fsm_states=10, ii=1)
+            kernel.phase = accum_phase
+            accum_kernels.append(kernel)
             sim.add_kernel(
                 f"{name}.padpool{u}",
                 padpool_kernel(u, self.padpool_qs[u], self.writeback_qs[u],
                                tile=cfg.tile),
                 fsm_states=8, ii=1)
-            sim.add_kernel(
+            writeback_phase = WritebackPhase()
+            kernel = sim.add_kernel(
                 f"{name}.writeback{u}",
-                writeback_kernel(u, self.writeback_qs[u], self.banks[u]),
+                writeback_kernel(u, self.writeback_qs[u], self.banks[u],
+                                 phase=writeback_phase),
                 fsm_states=4, ii=1)
+            kernel.phase = writeback_phase
+        #: Burst-mode detector/executor for this instance's MAC pipeline
+        #: (engaged only when ``sim.burst`` is set; see
+        #: :mod:`repro.core.burst`).
+        self.burst_pipeline = BurstPipeline(
+            sim, staging_kernels, conv_kernels, accum_kernels,
+            self.conv_qs, self.acc_qs, self.banks, tile=cfg.tile)
+        sim.register_burst_pipeline(self.burst_pipeline)
         self._exec_count = 0
 
     # -- host-side data movement (behavioural DMA) -------------------------------

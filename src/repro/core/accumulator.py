@@ -21,8 +21,30 @@ from repro.hls.kernel import Tick
 from repro.quant.signmag import saturate_array, shift_round_array
 
 
+class AccumulatorPhase:
+    """Published phase state of one accumulator unit (``Kernel.phase``).
+
+    Holds the output-stationary tile state (``acc``, ``finished``,
+    ``meta``, ``started``) so the burst engine can fold whole product
+    windows into ``acc`` without resuming the generator.  ``streaming``
+    is True exactly while the generator is parked at the round
+    ``Tick(1)`` with all four input streams still live — one pop per
+    queue per cycle, the posture a burst window extends.
+    """
+
+    __slots__ = ("acc", "finished", "meta", "started", "streaming")
+
+    def __init__(self):
+        self.acc: np.ndarray | None = None
+        self.finished: list[bool] = []
+        self.meta: PositionMeta | None = None
+        self.started = False
+        self.streaming = False
+
+
 def accumulator_kernel(index: int, in_qs: list[PthreadFifo],
-                       writeback_q: PthreadFifo, tile: int = 4):
+                       writeback_q: PthreadFifo, tile: int = 4,
+                       phase: AccumulatorPhase | None = None):
     """Generator body of accumulator ``index`` (one OFM of the group).
 
     ``in_qs[u]`` carries messages from convolution unit ``u``. Each
@@ -32,35 +54,40 @@ def accumulator_kernel(index: int, in_qs: list[PthreadFifo],
     and the tile completes when all four have finished — the hardware
     analogue of the Pthreads barrier on the staging side.
     """
+    if phase is None:
+        phase = AccumulatorPhase()
     while True:
-        acc = np.zeros((tile, tile), dtype=np.int64)
-        finished = [False] * len(in_qs)
-        meta: PositionMeta | None = None
-        started = False
-        while not all(finished):
+        phase.acc = np.zeros((tile, tile), dtype=np.int64)
+        phase.finished = [False] * len(in_qs)
+        phase.meta = None
+        phase.started = False
+        while not all(phase.finished):
             for unit, in_q in enumerate(in_qs):
-                if finished[unit]:
+                if phase.finished[unit]:
                     continue
                 msg = yield in_q.read()
                 kind = msg[0]
                 if kind == "start":
-                    started = True
+                    phase.started = True
                     if msg[2] is not None:
-                        meta = msg[2]
+                        phase.meta = msg[2]
                 elif kind == "mac":
                     products = msg[2]
                     if products is not None:
-                        acc += products
+                        phase.acc += products
                 elif kind == "finish":
-                    finished[unit] = True
+                    phase.finished[unit] = True
                 else:
                     raise TypeError(
                         f"accumulator {index}: bad message {kind!r}")
+            phase.streaming = not any(phase.finished)
             yield Tick(1)
-        if not started or meta is None:
+            phase.streaming = False
+        if not phase.started or phase.meta is None:
             raise RuntimeError(
                 f"accumulator {index}: position completed without metadata")
-        value = acc + meta.biases[index]
+        meta = phase.meta
+        value = phase.acc + meta.biases[index]
         out = shift_round_array(value, meta.shift)
         if meta.apply_relu:
             out = np.maximum(out, 0)

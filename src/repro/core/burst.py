@@ -1,0 +1,318 @@
+"""Burst-mode vectorized execution of steady-state MAC streams.
+
+The paper's accelerator earns its throughput in one regime: an IFM
+region is latched, packed weights stream at one group per cycle, and
+up to 64 multiplies fire per convolution unit per cycle with fully
+regular dataflow (Section III-B).  The cycle-accurate model pays
+Python-generator dispatch for every one of those cycles — PR 3's
+cycle-warp eliminates *dead* windows, but a compute-bound layer has
+almost none.
+
+This module adds the third scheduler mode: when every lane of an
+accelerator instance is parked in the steady-state posture —
+
+* staging units at their in-loop ``Tick(1)`` with MAC messages left to
+  emit (``StagingStream.streaming``),
+* convolution units at the MAC-branch ``Tick(1)`` with a latched
+  region (``ConvUnitPhase.streaming``),
+* accumulator units at the round ``Tick(1)`` with all four input
+  streams live (``AccumulatorPhase.streaming``),
+* every pipeline queue in pure producer/consumer flow (exactly one
+  visible in-flight MAC message, both ports idle —
+  ``PthreadFifo.steady_stream_head``),
+* no sim/FIFO/SRAM fault hooks armed, and every other kernel provably
+  inert for the window —
+
+the remainder of the window is executed as batched numpy ops
+(``einsum`` over the 8x8 regions; zero weights contribute exactly the
+zero the scalar bubble skip would) and every per-cycle side effect is
+bulk-credited: kernel cycle counters, FIFO port/stall stats, occupancy
+integrals, timeline samples and watchdog checks land bit- and
+cycle-identically to the reference stepper.  Region loads still go
+through ``SramBank.read_tile`` with ``sim.now`` staged to the exact
+emission cycle, so bank stats and port-conflict detection are exact.
+
+The schedule being replayed (one cycle ``c`` of a burst window):
+
+* staging ``u`` pushes message ``M_c`` into its conv queue;
+* conv ``u`` pops ``M_{c-1}`` (visible after the 1-cycle FIFO latency)
+  and pushes four product tiles;
+* accumulator ``j`` pops the product pushed at ``c-1`` from each of
+  the four conv->acc queues.
+
+Hence over a window of ``W`` cycles the conv unit consumes the
+in-flight head plus the first ``W - 1`` fresh emissions, the
+accumulators absorb the in-flight products plus the products of the
+first ``W - 1`` conv consumptions, and exactly one message per queue
+remains in flight afterwards — the boundary invariant the eligibility
+check verifies before and the engine re-establishes after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.hls.errors import SimulationTimeout
+from repro.hls.fifo import ReadOp, WriteOp
+from repro.hls.kernel import KernelState
+
+#: Smallest window worth vectorizing; below this plain stepping is
+#: cheaper than the eligibility scan + batched setup.
+MIN_BURST_CYCLES = 4
+
+
+class BurstPipeline:
+    """Burst-eligibility detector + vectorized executor for one instance.
+
+    Registered with the simulator via
+    :meth:`repro.hls.sim.Simulator.register_burst_pipeline`; the
+    scheduler calls :meth:`try_burst` on live cycles after the
+    cycle-warp fast path declined.
+    """
+
+    def __init__(self, sim, staging_kernels, conv_kernels, accum_kernels,
+                 conv_qs, acc_qs, banks, tile: int = 4):
+        self.sim = sim
+        self.lanes = lanes = len(staging_kernels)
+        self.tile = tile
+        self.staging = list(staging_kernels)
+        self.convs = list(conv_kernels)
+        self.accums = list(accum_kernels)
+        self.conv_qs = list(conv_qs)
+        self.acc_qs = [list(row) for row in acc_qs]   # [u][j]: conv u -> acc j
+        self.banks = list(banks)
+        #: ``(fifo, mid-cycle occupancy peak)`` for bulk telemetry
+        #: crediting.  A producer registered before its consumer pushes
+        #: before the pop within a cycle (the conv queue always; the
+        #: acc edge ``(u, j)`` exactly when ``u <= j``), peaking at 2;
+        #: the opposite order pops first and peaks at 1.
+        self.flows = [(q, 2) for q in self.conv_qs]
+        self.flows += [(self.acc_qs[u][j], 2 if u <= j else 1)
+                       for u in range(lanes) for j in range(lanes)]
+        self._involved = frozenset(id(q) for q, _ in self.flows)
+        self._participants = frozenset(
+            id(k) for k in (*self.staging, *self.convs, *self.accums))
+        #: FIFO port events per burst cycle (the watchdog's progress
+        #: signature advances at this rate): per lane one push + one
+        #: pop on the conv queue plus ``lanes`` pushes + ``lanes`` pops
+        #: across the accumulator queues.
+        self.traffic_rate = lanes * (2 + 2 * lanes)
+
+    # -- eligibility -----------------------------------------------------------
+
+    def try_burst(self, sim, limit: int) -> bool:
+        """Execute one burst window ending at or before ``limit``.
+
+        Returns True if the clock moved.  Bit- and cycle-identity with
+        the reference stepper is the contract; anything not provably in
+        the steady-state pattern declines.
+        """
+        now = sim.now
+        lanes = self.lanes
+        window = limit - now
+        if window < MIN_BURST_CYCLES:
+            return False
+        sleeping = KernelState.SLEEPING
+        for u in range(lanes):
+            kernel = self.staging[u]
+            if kernel.state is not sleeping or kernel.wake_cycle != now:
+                return False
+            stream = kernel.phase.stream
+            if stream is None or not stream.streaming:
+                return False
+            kernel = self.convs[u]
+            if (kernel.state is not sleeping or kernel.wake_cycle != now
+                    or not kernel.phase.streaming):
+                return False
+            kernel = self.accums[u]
+            if (kernel.state is not sleeping or kernel.wake_cycle != now
+                    or not kernel.phase.streaming):
+                return False
+            remaining = stream.remaining
+            if remaining < 1:
+                return False
+            if remaining < window:
+                window = remaining
+        if window < MIN_BURST_CYCLES:
+            return False
+        heads = []
+        for u in range(lanes):
+            head = self.conv_qs[u].steady_stream_head(now)
+            if head is None or head[0] != "mac":
+                return False
+            heads.append(head)
+            for j in range(lanes):
+                entry = self.acc_qs[u][j].steady_stream_head(now)
+                if entry is None or entry[0] != "mac":
+                    return False
+        for bank in self.banks:
+            # Region loads go through the hooked read path whose state
+            # is per-call: a hooked bank takes the reference stepper.
+            if bank.fault_hook is not None:
+                return False
+        for kernel in sim.kernels:
+            if id(kernel) in self._participants or kernel.finished:
+                continue
+            op = kernel.pending_op
+            if (isinstance(op, (ReadOp, WriteOp))
+                    and id(op.fifo) in self._involved):
+                return False   # an outside observer of a burst queue
+            event = kernel.next_event_cycle(now)
+            if event is None:
+                continue       # only another kernel can unblock it
+            if event <= now:
+                return False   # live non-participant: step normally
+            if event - now < window:
+                window = event - now
+        if window < MIN_BURST_CYCLES:
+            return False
+        end = now + window
+        if sim.watchdog is not None:
+            fire = sim.watchdog.observe_burst(sim, now, end,
+                                              self.traffic_rate)
+            if fire is not None:
+                # Only the check at `now` (before any burst cycle runs)
+                # can fire — every later check sees strictly more FIFO
+                # traffic and refreshes — so raise without executing,
+                # exactly as the stepper would at the top of this cycle.
+                raise sim._with_snapshot(SimulationTimeout(
+                    f"{sim.name}: watchdog expired at cycle {sim.now} — no "
+                    f"progress for more than {sim.watchdog.budget} cycles"))
+        self._execute(sim, now, end, heads)
+        return True
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute(self, sim, start: int, end: int, heads: list) -> None:
+        lanes = self.lanes
+        tile = self.tile
+        window = end - start
+        last = end - 1
+        obs = sim._obs
+        tails = []
+        contribs = []      # per lane u: (lanes, tile, tile) summed products
+        tail_products = []  # per lane u: per j, exact final product (or None)
+        for u in range(lanes):
+            stream = self.staging[u].phase.stream
+            conv_phase = self.convs[u].phase
+
+            def loader(strm, lc, offset):
+                # Stage the clock to the emission cycle so bank stats
+                # and port-conflict telemetry see the exact cycle the
+                # reference stepper would have used.
+                saved = sim.now
+                sim.now = start + offset
+                try:
+                    return strm.load_region(lc)
+                finally:
+                    sim.now = saved
+
+            slices, tail = stream.burst_slices(window, loader)
+            tails.append(tail)
+            head = heads[u]
+            # Combined message sequence: in-flight head + W emissions.
+            # Conv consumes rows [0, W); rows [0, W-1) are absorbed by
+            # the accumulators inside the window; row W-1's products
+            # stay in flight; row W is the new conv-queue tail.
+            regions = [conv_phase.region]
+            region_idx = []
+            lengths = []
+            w_parts = [np.array([head[2]], dtype=np.int64)]
+            o_parts = [np.array([head[3]], dtype=np.int64)]
+            if head[1] is not None:
+                regions.append(head[1])
+            region_idx.append(len(regions) - 1)
+            lengths.append(1)
+            for region, w_arr, o_arr in slices:
+                if region is not None:
+                    regions.append(region)
+                region_idx.append(len(regions) - 1)
+                lengths.append(len(w_arr))
+                w_parts.append(w_arr)
+                o_parts.append(o_arr)
+            w_all = np.concatenate(w_parts)
+            o_all = np.concatenate(o_parts)
+            rid = np.repeat(np.array(region_idx), np.array(lengths))
+            stacked = np.stack(regions)
+            windows = sliding_window_view(stacked, (tile, tile),
+                                          axis=(1, 2))   # (R, 5, 5, t, t)
+            m = window - 1   # rows summed straight into the accumulators
+            oy = o_all[:m] // tile
+            ox = o_all[:m] % tile
+            picked = windows[rid[:m, None], oy, ox]       # (m, 4, t, t)
+            contribs.append(np.einsum('mj,mjab->jab', w_all[:m], picked))
+            final_region = regions[rid[m]]
+            products = []
+            for j in range(lanes):
+                weight = int(w_all[m, j])
+                if weight == 0:
+                    products.append(None)   # bubble: zero weight skipped
+                else:
+                    fy, fx = divmod(int(o_all[m, j]), tile)
+                    products.append(
+                        final_region[fy:fy + tile, fx:fx + tile] * weight)
+            tail_products.append(products)
+            conv_phase.region = final_region
+        # Queue turnover: each queue moved one value per cycle; exactly
+        # one message per queue remains in flight afterwards.
+        acc_heads = []
+        for u in range(lanes):
+            self.conv_qs[u].burst_replace(tails[u], last, window, 2)
+            row = []
+            for j in range(lanes):
+                row.append(self.acc_qs[u][j].burst_replace(
+                    ("mac", u, tail_products[u][j]), last, window,
+                    2 if u <= j else 1))
+            acc_heads.append(row)
+        for j in range(lanes):
+            acc = self.accums[j].phase.acc
+            for u in range(lanes):
+                head_products = acc_heads[u][j][2]
+                if head_products is not None:
+                    acc += head_products
+                acc += contribs[u][j]
+        for u in range(lanes):
+            kernel = self.staging[u]
+            kernel.stats.active_cycles += window
+            kernel.stats.items_written += window
+            kernel.wake_cycle = end
+            kernel = self.convs[u]
+            kernel.stats.active_cycles += window
+            kernel.stats.items_read += window
+            kernel.stats.items_written += window * lanes
+            kernel.wake_cycle = end
+            kernel = self.accums[u]
+            kernel.stats.active_cycles += window
+            kernel.stats.items_read += window * lanes
+            kernel.wake_cycle = end
+        for kernel in sim.kernels:
+            if id(kernel) in self._participants or kernel.finished:
+                continue
+            state = kernel.state
+            if state is KernelState.SLEEPING:
+                kernel.stats.sleep_cycles += window
+            elif state is KernelState.STALL_EMPTY:
+                fifo = kernel.pending_op.fifo
+                kernel.stats.stall_empty_cycles += window
+                fifo.stats.stall_empty_cycles += window
+                if obs is not None:
+                    obs.on_stall_span(kernel, fifo.name, "empty",
+                                      start, window)
+            elif state is KernelState.STALL_FULL:
+                fifo = kernel.pending_op.fifo
+                kernel.stats.stall_full_cycles += window
+                fifo.stats.stall_full_cycles += window
+                if obs is not None:
+                    obs.on_stall_span(kernel, fifo.name, "full",
+                                      start, window)
+            elif state is KernelState.AT_BARRIER:
+                kernel.stats.barrier_cycles += window
+                if obs is not None:
+                    obs.on_stall_span(kernel, kernel.pending_op.barrier.name,
+                                      "barrier", start, window)
+        if obs is not None:
+            obs.on_burst(sim, start, end, self.flows)
+        sim.now = end
+        sim.bursts += 1
+        sim.burst_cycles += window

@@ -18,15 +18,35 @@ from repro.hls.fifo import PthreadFifo
 from repro.hls.kernel import Tick
 
 
+class ConvUnitPhase:
+    """Published phase state of one convolution unit (``Kernel.phase``).
+
+    ``region`` is the latched 8x8 IFM region (channel-boundary state the
+    burst engine must read and update); ``streaming`` is True exactly
+    while the generator is parked at the MAC-branch ``Tick(1)`` with all
+    four product writes completed — the steady-state posture the burst
+    engine (:mod:`repro.core.burst`) may extend without resuming the
+    generator.
+    """
+
+    __slots__ = ("region", "streaming")
+
+    def __init__(self):
+        self.region: np.ndarray | None = None
+        self.streaming = False
+
+
 def conv_unit_kernel(unit: int, in_q: PthreadFifo,
-                     acc_qs: list[PthreadFifo], tile: int = 4):
+                     acc_qs: list[PthreadFifo], tile: int = 4,
+                     phase: ConvUnitPhase | None = None):
     """Generator body of one convolution unit.
 
     ``acc_qs[j]`` is this unit's queue toward accumulator ``j``; with
     four filters per group, the unit performs up to
     ``4 * tile * tile = 64`` multiplications per cycle.
     """
-    region: np.ndarray | None = None
+    if phase is None:
+        phase = ConvUnitPhase()
     while True:
         msg = yield in_q.read()
         kind = msg[0]
@@ -38,7 +58,8 @@ def conv_unit_kernel(unit: int, in_q: PthreadFifo,
         elif kind == "mac":
             _, new_region, weights, offsets = msg
             if new_region is not None:
-                region = new_region
+                phase.region = new_region
+            region = phase.region
             for j, acc_q in enumerate(acc_qs):
                 weight = weights[j]
                 if weight == 0:
@@ -51,7 +72,9 @@ def conv_unit_kernel(unit: int, in_q: PthreadFifo,
                     window = region[oy:oy + tile, ox:ox + tile]
                     products = window * int(weight)
                 yield acc_q.write(("mac", unit, products))
+            phase.streaming = True
             yield Tick(1)
+            phase.streaming = False
         elif kind == "finish":
             for acc_q in acc_qs:
                 yield acc_q.write(("finish", unit))

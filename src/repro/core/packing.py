@@ -28,7 +28,14 @@ import numpy as np
 
 from repro.core.tile import TILE
 from repro.nn.tensor import assert_ochw
+from repro.obs.cache import KeyedCache
 from repro.quant.signmag import MAX_MAG, decode, encode
+
+#: Memoizes :meth:`PackedLayer.pack` — the Python per-position walk is
+#: the priciest step of staging a layer, and serving/benchmark paths
+#: pack the same weights repeatedly.  Hit/miss counters surface via
+#: ``repro.obs.cache_stats()``.
+_PACK_CACHE = KeyedCache("packing.pack", maxsize=32)
 
 
 @dataclass(frozen=True)
@@ -57,7 +64,12 @@ class PackedLayer:
 
     @classmethod
     def pack(cls, weights_q: np.ndarray, tile: int = TILE) -> "PackedLayer":
-        """Pack quantized OCHW weights (integers in [-127, 127])."""
+        """Pack quantized OCHW weights (integers in [-127, 127]).
+
+        Memoized on the weight bytes: repeated packs of identical
+        weights (serving, benchmarks, repeated layer runs) return the
+        same ``PackedLayer`` instance.  Treat it as read-only.
+        """
         assert_ochw(weights_q)
         out_ch, in_ch, kernel_h, kernel_w = weights_q.shape
         if kernel_h != kernel_w:
@@ -69,6 +81,15 @@ class PackedLayer:
         weights_q = np.asarray(weights_q)
         if weights_q.size and np.abs(weights_q).max() > MAX_MAG:
             raise ValueError("weights exceed sign-magnitude range [-127,127]")
+        key = (tile, weights_q.shape, weights_q.dtype.str,
+               weights_q.tobytes())
+        return _PACK_CACHE.get_or_build(
+            key, lambda: cls._pack_uncached(weights_q, tile))
+
+    @classmethod
+    def _pack_uncached(cls, weights_q: np.ndarray,
+                       tile: int) -> "PackedLayer":
+        out_ch, in_ch, kernel_h, kernel_w = weights_q.shape
         entries: list[list[list[PackedEntry]]] = []
         for o in range(out_ch):
             per_channel: list[list[PackedEntry]] = []

@@ -49,17 +49,181 @@ from repro.quant.signmag import decode
 MIN_CYCLES_PER_WEIGHT_TILE = 4
 
 
+class _StreamSegment:
+    """One channel's slice of a group's MAC stream (``steps`` messages).
+
+    The per-``k`` weight/offset quads depend only on the group's packed
+    weights, so they are built once per group and reused across every
+    tile position; only the IFM region differs per position.
+    """
+
+    __slots__ = ("lc", "steps", "weights", "offsets", "_arrays")
+
+    def __init__(self, lc: int, steps: int, entry_lists, tile: int):
+        self.lc = lc
+        self.steps = steps
+        self.weights = tuple(
+            tuple(lst[k].weight if k < len(lst) else 0 for lst in entry_lists)
+            for k in range(steps))
+        self.offsets = tuple(
+            tuple(lst[k].offset if k < len(lst) else 0 for lst in entry_lists)
+            for k in range(steps))
+        self._arrays = None
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(weights, offsets)`` as ``(steps, 4)`` arrays (lazy, cached).
+
+        Built on first burst use only, so reference-stepper runs never
+        pay for them.
+        """
+        if self._arrays is None:
+            self._arrays = (np.array(self.weights, dtype=np.int64),
+                            np.array(self.offsets, dtype=np.int64))
+        return self._arrays
+
+
+class StagingSchedule:
+    """Precomputed MAC-stream schedule of one OFM group (all channels)."""
+
+    __slots__ = ("segments", "total_messages")
+
+    def __init__(self, group_weights, tile: int):
+        self.segments: list[_StreamSegment] = []
+        for lc, entry_lists in enumerate(group_weights):
+            longest = max(len(lst) for lst in entry_lists)
+            if longest == 0:
+                continue  # all four filters zero: skip channel
+            steps = max(MIN_CYCLES_PER_WEIGHT_TILE, longest)
+            self.segments.append(_StreamSegment(lc, steps, entry_lists, tile))
+        self.total_messages = sum(s.steps for s in self.segments)
+
+
+class StagingStream:
+    """Cursor over one (group, tile position)'s MAC-message stream.
+
+    Drives both execution modes of the staging unit's steady-state loop:
+    the scalar generator calls :meth:`next_message` once per cycle, and
+    the burst engine (:mod:`repro.core.burst`) advances the cursor many
+    messages at once via :meth:`burst_slices`.  ``streaming`` is True
+    exactly while the generator is parked at the in-loop ``Tick(1)``
+    with the cursor consistent — the burst engine's licence to advance
+    the stream without touching the generator.
+    """
+
+    __slots__ = ("schedule", "bank", "instr", "py", "px", "tile",
+                 "seg_idx", "k", "streaming")
+
+    def __init__(self, schedule: StagingSchedule, bank: SramBank,
+                 instr: ConvInstruction, py: int, px: int, tile: int):
+        self.schedule = schedule
+        self.bank = bank
+        self.instr = instr
+        self.py = py
+        self.px = px
+        self.tile = tile
+        self.seg_idx = 0
+        self.k = 0
+        self.streaming = False
+
+    @property
+    def remaining(self) -> int:
+        """Messages not yet emitted (0 once the stream is exhausted)."""
+        segments = self.schedule.segments
+        if self.seg_idx >= len(segments):
+            return 0
+        return (sum(s.steps for s in segments[self.seg_idx:]) - self.k)
+
+    def load_region(self, lc: int) -> np.ndarray:
+        return _load_region(self.bank, self.instr, lc, self.py, self.px,
+                            self.tile)
+
+    def next_message(self):
+        """Emit the next MAC message (scalar path), or ``None`` at end.
+
+        Channel transitions are seamless — a new channel's region load
+        happens in the same cycle as its ``k = 0`` message, exactly as
+        the pre-descriptor nested loops did.
+        """
+        segments = self.schedule.segments
+        if self.seg_idx >= len(segments):
+            return None
+        segment = segments[self.seg_idx]
+        k = self.k
+        region = self.load_region(segment.lc) if k == 0 else None
+        msg = ("mac", region, segment.weights[k], segment.offsets[k])
+        k += 1
+        if k >= segment.steps:
+            self.seg_idx += 1
+            self.k = 0
+        else:
+            self.k = k
+        return msg
+
+    def burst_slices(self, count: int, loader):
+        """Advance the cursor ``count`` messages; return vectorizable slices.
+
+        Returns ``(slices, tail)`` where ``slices`` is a list of
+        ``(region_or_None, weights, offsets)`` — ``weights``/``offsets``
+        are ``(n, 4)`` int64 array views covering consecutive messages,
+        and ``region`` is the freshly loaded IFM region when the slice
+        starts at ``k = 0`` (``None`` continues the previous region) —
+        and ``tail`` is the exact message tuple of the final emitted
+        message (the one left in flight after the window).  ``loader``
+        is called as ``loader(stream, lc, offset)`` for each region
+        load, where ``offset`` is the message's position in the window,
+        so the caller can stage ``sim.now`` to the exact emission cycle.
+        """
+        segments = self.schedule.segments
+        slices = []
+        tail = None
+        emitted = 0
+        while emitted < count:
+            segment = segments[self.seg_idx]
+            take = min(segment.steps - self.k, count - emitted)
+            start_k = self.k
+            region = None
+            if start_k == 0:
+                region = loader(self, segment.lc, emitted)
+            w_arr, o_arr = segment.arrays()
+            slices.append((region, w_arr[start_k:start_k + take],
+                           o_arr[start_k:start_k + take]))
+            emitted += take
+            self.k = start_k + take
+            if emitted == count:
+                last_k = self.k - 1
+                tail = ("mac", region if last_k == 0 else None,
+                        segment.weights[last_k], segment.offsets[last_k])
+            if self.k >= segment.steps:
+                self.seg_idx += 1
+                self.k = 0
+        return slices, tail
+
+
+class StagingPhase:
+    """Published phase state of one staging unit (see ``Kernel.phase``)."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self):
+        #: The active :class:`StagingStream`, or ``None`` outside the
+        #: steady-state MAC loop.
+        self.stream: StagingStream | None = None
+
+
 def staging_kernel(unit: int, bank: SramBank, instr_q: PthreadFifo,
                    conv_q: PthreadFifo, padpool_q: PthreadFifo,
                    done_q: PthreadFifo, barrier: Barrier,
-                   lanes: int = 4, tile: int = 4):
+                   lanes: int = 4, tile: int = 4,
+                   phase: StagingPhase | None = None):
     """Generator body of one data-staging/control unit."""
+    if phase is None:
+        phase = StagingPhase()
     while True:
         instr = yield instr_q.read()
         yield Tick(1)  # instruction decode
         if isinstance(instr, ConvInstruction):
             yield from _run_conv(unit, bank, instr, conv_q, barrier,
-                                 lanes, tile)
+                                 lanes, tile, phase)
         elif isinstance(instr, PadPoolInstruction):
             yield from _run_padpool(unit, bank, instr, padpool_q, tile)
         else:
@@ -72,7 +236,8 @@ def staging_kernel(unit: int, bank: SramBank, instr_q: PthreadFifo,
 
 
 def _run_conv(unit: int, bank: SramBank, instr: ConvInstruction,
-              conv_q: PthreadFifo, barrier: Barrier, lanes: int, tile: int):
+              conv_q: PthreadFifo, barrier: Barrier, lanes: int, tile: int,
+              phase: StagingPhase):
     group_size = lanes
     groups = -(-instr.out_channels // group_size)
     stream_addr = instr.weight_base
@@ -81,6 +246,7 @@ def _run_conv(unit: int, bank: SramBank, instr: ConvInstruction,
             bank, stream_addr, instr.local_channels, group_size,
             instr.compact_weights, tile=tile)
         stream_addr += consumed
+        schedule = StagingSchedule(group_weights, tile)
         # Streaming the packed bytes into scratchpad occupies port A.
         yield Tick(max(1, bank.stream_cycles(consumed)))
         meta_biases = None
@@ -106,24 +272,17 @@ def _run_conv(unit: int, bank: SramBank, instr: ConvInstruction,
                 yield conv_q.write(("start", meta))
                 # Prologue: preload the first channel's four IFM tiles.
                 yield Tick(MIN_CYCLES_PER_WEIGHT_TILE)
-                for lc in range(instr.local_channels):
-                    entry_lists = group_weights[lc]
-                    longest = max(len(lst) for lst in entry_lists)
-                    if longest == 0:
-                        continue  # all four filters zero: skip channel
-                    region = _load_region(bank, instr, lc, py, px, tile)
-                    steps = max(MIN_CYCLES_PER_WEIGHT_TILE, longest)
-                    for k in range(steps):
-                        weights4 = tuple(
-                            lst[k].weight if k < len(lst) else 0
-                            for lst in entry_lists)
-                        offsets4 = tuple(
-                            lst[k].offset if k < len(lst) else 0
-                            for lst in entry_lists)
-                        payload_region = region if k == 0 else None
-                        yield conv_q.write(
-                            ("mac", payload_region, weights4, offsets4))
-                        yield Tick(1)
+                stream = StagingStream(schedule, bank, instr, py, px, tile)
+                phase.stream = stream
+                while True:
+                    msg = stream.next_message()
+                    if msg is None:
+                        break
+                    yield conv_q.write(msg)
+                    stream.streaming = True
+                    yield Tick(1)
+                    stream.streaming = False
+                phase.stream = None
                 yield conv_q.write(("finish",))
                 yield barrier.wait()
 

@@ -13,10 +13,33 @@ from repro.hls.fifo import PthreadFifo
 from repro.hls.kernel import Tick
 
 
-def writeback_kernel(index: int, in_q: PthreadFifo, bank: SramBank):
+class WritebackPhase:
+    """Published phase state of one write-to-memory unit (``Kernel.phase``).
+
+    The unit is stateless between tiles, so the descriptor only marks
+    the drain posture: during a steady MAC stream the accumulators are
+    mid-tile, the drain queue is empty, and the unit sits in
+    ``stall_empty`` — a stable non-participant the burst engine credits
+    with bulk stall cycles (no vectorized equivalent is needed because
+    no writeback traffic occurs inside a burst window).
+    """
+
+    __slots__ = ("draining",)
+
+    def __init__(self):
+        #: True while a popped tile is being committed to the bank.
+        self.draining = False
+
+
+def writeback_kernel(index: int, in_q: PthreadFifo, bank: SramBank,
+                     phase: WritebackPhase | None = None):
     """Generator body of one write-to-memory unit."""
     del index  # units are identical; kept for naming symmetry
+    if phase is None:
+        phase = WritebackPhase()
     while True:
         addr, values = yield in_q.read()
+        phase.draining = True
         bank.write_tile(addr, values)
         yield Tick(1)
+        phase.draining = False

@@ -194,24 +194,43 @@ def run_trial(fault_type: str, rate: float, seed: int,
                        metrics=_metrics_summary(telemetry))
 
 
+def _run_trial_star(packed_args) -> TrialResult:
+    """Unpack-and-call shim so ``executor.map`` gets one picklable arg."""
+    return run_trial(*packed_args)
+
+
 def run_campaign(config: CampaignConfig | None = None,
-                 echo: Callable[[str], None] | None = None
-                 ) -> ResilienceReport:
-    """Sweep the config's fault grid and aggregate a resilience report."""
+                 echo: Callable[[str], None] | None = None,
+                 jobs: int = 1) -> ResilienceReport:
+    """Sweep the config's fault grid and aggregate a resilience report.
+
+    ``jobs > 1`` fans the trials out across that many worker processes.
+    Every trial builds its own SoC from its own seeds, so trials are
+    independent; ``executor.map`` preserves grid order, making the
+    report — and any JSON serialization of it — byte-identical to a
+    serial run of the same config.  The default (``jobs=1``) keeps the
+    exact in-process serial path.
+    """
     config = config or CampaignConfig()
     golden, clean_cycles, _ = run_workload(
         workload_seed=config.workload_seed)
     if echo:
         echo(f"clean run: {clean_cycles} cycles")
     report = ResilienceReport(clean_cycles=clean_cycles)
-    for fault_type in config.fault_types:
-        for rate in config.rates_for(fault_type):
-            for seed in config.seeds:
-                trial = run_trial(fault_type, rate, seed, golden,
-                                  clean_cycles, config)
-                report.trials.append(trial)
-                if echo:
-                    echo(f"  {fault_type:<14} rate={rate:<8g} seed={seed} "
-                         f"-> {trial.outcome:<9} (injected={trial.injected}"
-                         f", {trial.detail or 'no faults'})")
+    grid = [(fault_type, rate, seed, golden, clean_cycles, config)
+            for fault_type in config.fault_types
+            for rate in config.rates_for(fault_type)
+            for seed in config.seeds]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            trials = list(executor.map(_run_trial_star, grid))
+    else:
+        trials = [run_trial(*packed_args) for packed_args in grid]
+    for (fault_type, rate, seed, _, _, _), trial in zip(grid, trials):
+        report.trials.append(trial)
+        if echo:
+            echo(f"  {fault_type:<14} rate={rate:<8g} seed={seed} "
+                 f"-> {trial.outcome:<9} (injected={trial.injected}"
+                 f", {trial.detail or 'no faults'})")
     return report

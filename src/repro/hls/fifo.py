@@ -248,6 +248,52 @@ class PthreadFifo:
         assert self._entries and self._entries[0].visible_cycle <= now
         return self._entries[0].value
 
+    def steady_stream_head(self, now: int) -> Any:
+        """Burst-eligibility probe: the head value iff this queue is in
+        pure producer/consumer flow at cycle ``now``, else ``None``.
+
+        Steady flow means: exactly one in-flight entry, already visible,
+        both ports idle this cycle, a depth that can sustain II = 1, and
+        no fault hook armed (injected stalls are re-decided per cycle,
+        so a hooked queue must take the reference stepper).  This is the
+        boundary state of a queue carrying one value per cycle between
+        two II = 1 kernels; see :mod:`repro.core.burst`.
+        """
+        if (self.fault_hook is not None or self.depth < 2
+                or len(self._entries) != 1
+                or self._last_push_cycle >= now
+                or self._last_pop_cycle >= now):
+            return None
+        entry = self._entries[0]
+        if entry.visible_cycle > now:
+            return None
+        return entry.value
+
+    def burst_replace(self, value: Any, last_cycle: int, pushes: int,
+                      peak_occupancy: int) -> Any:
+        """Replace the single in-flight entry after a burst window.
+
+        The burst engine consumed the head and produced ``value`` as the
+        window's final in-flight message; ``pushes`` transfers crossed
+        each port during the window and the mid-cycle occupancy peaked
+        at ``peak_occupancy``.  Port cycles land on ``last_cycle`` (the
+        window's final cycle) exactly as per-cycle stepping would leave
+        them.  Returns the consumed head value.  Telemetry is *not*
+        notified per transfer — the caller bulk-credits occupancy via
+        the hub's ``on_burst`` hook.
+        """
+        head = self._entries.popleft().value
+        self._entries.append(_Entry(value, last_cycle + self.latency))
+        self._last_push_cycle = last_cycle
+        self._last_pop_cycle = last_cycle
+        self.stats.pushes += pushes
+        self.stats.pops += pushes
+        if peak_occupancy > self.stats.max_occupancy:
+            self.stats.max_occupancy = peak_occupancy
+        if self.sim is not None:
+            self.sim._epoch += 1
+        return head
+
     # -- internals ----------------------------------------------------------
 
     def _check_width(self, value: Any) -> None:

@@ -97,6 +97,13 @@ class Kernel:
         self.send_value: Any = None
         self.wake_cycle: int = 0
         self.failure: BaseException | None = None
+        #: Optional declarative phase descriptor exposed by the kernel
+        #: body (e.g. :class:`repro.core.conv_unit.ConvUnitPhase`).  The
+        #: burst-mode fast path (:mod:`repro.core.burst`) introspects it
+        #: to decide steady-state eligibility; ``None`` means the kernel
+        #: publishes no phase information and can never participate in
+        #: a burst (it is still warped over / credited generically).
+        self.phase: Any = None
 
     @property
     def finished(self) -> bool:

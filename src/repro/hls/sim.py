@@ -180,6 +180,40 @@ class Watchdog:
         self._next_check = last_check + self.interval
         return None
 
+    def observe_burst(self, sim: "Simulator", start: int, end: int,
+                      rate: int) -> int | None:
+        """Replay the checks of a *burst* window ``[start, end)``.
+
+        Unlike a dead (warp) window, a burst window generates FIFO
+        traffic at a known constant ``rate`` (port events per cycle),
+        so the signature the stepper would sample at check cycle ``c``
+        is ``base + (c - start) * rate`` where ``base`` is the traffic
+        total at ``start``.  With ``rate > 0`` every check after the
+        first sees a strictly larger signature and refreshes progress
+        — the only check that can fire is one falling exactly on
+        ``start`` whose signature matches the previous sample.  Returns
+        that fire cycle (always ``start``) or ``None``, leaving the
+        sampling state precisely as the stepper would.
+        """
+        first = self._next_check if self._next_check > start else start
+        if first >= end:
+            return None
+        base, extra = self._signature(sim)
+        signature = (base + (first - start) * rate, extra)
+        if signature == self._last_signature:
+            self._next_check = first + self.interval
+            if first - self._last_progress_cycle > self.budget:
+                return first
+            first += self.interval
+            if first >= end:
+                return None
+        last_check = first + ((end - 1 - first)
+                              // self.interval) * self.interval
+        self._last_signature = (base + (last_check - start) * rate, extra)
+        self._last_progress_cycle = last_check
+        self._next_check = last_check + self.interval
+        return None
+
 
 class Simulator:
     """Lock-step cycle simulator for a set of streaming kernels.
@@ -204,14 +238,28 @@ class Simulator:
         results are bit- and cycle-identical to ``fastpath=False``,
         the reference stepper; see ``docs/PERFORMANCE.md``.  Armed
         fault hooks always force the reference path.
+    burst:
+        When true, *steady-state compute* phases are additionally
+        executed in bulk: a registered burst pipeline
+        (:meth:`register_burst_pipeline`, see
+        :class:`repro.core.burst.BurstPipeline`) that detects its
+        kernels parked in a pure streaming posture replays whole
+        MAC-stream windows as batched numpy ops with all per-cycle
+        accounting bulk-credited — again bit- and cycle-identical to
+        the reference stepper.  Defaults to ``fastpath``, so
+        ``fastpath=False`` alone still selects the pure reference
+        stepper.  Armed fault hooks and ``trace=True`` force the
+        reference path.
     """
 
     def __init__(self, name: str = "sim", trace: bool = False,
-                 ops_per_cycle_limit: int = 100_000, fastpath: bool = True):
+                 ops_per_cycle_limit: int = 100_000, fastpath: bool = True,
+                 burst: bool | None = None):
         self.name = name
         self.now = 0
         self.trace = trace
         self.fastpath = fastpath
+        self.burst = fastpath if burst is None else burst
         self.events: list[TraceEvent] = []
         self.kernels: list[Kernel] = []
         self.fifos: list[PthreadFifo] = []
@@ -236,6 +284,14 @@ class Simulator:
         #: cycles skipped (both stay 0 with ``fastpath=False``).
         self.warps = 0
         self.warped_cycles = 0
+        #: Burst-mode accounting: number of burst windows executed and
+        #: total cycles they covered (both stay 0 with ``burst=False``
+        #: or no registered pipelines).
+        self.bursts = 0
+        self.burst_cycles = 0
+        #: Burst pipelines registered via :meth:`register_burst_pipeline`,
+        #: consulted in order by :meth:`_try_burst` on live cycles.
+        self._burst_pipelines: list = []
         #: Mutation epoch: bumped by every step, kernel registration,
         #: and FIFO push/pop, so the fast path can cache its scanned
         #: warp target across ``advance`` windows (a polling host would
@@ -292,6 +348,19 @@ class Simulator:
         self.barriers.append(barrier)
         return barrier
 
+    def register_burst_pipeline(self, pipeline) -> None:
+        """Register a burst-eligibility detector/executor (duck-typed).
+
+        ``pipeline.try_burst(sim, limit)`` is called on live cycles
+        (after the cycle-warp fast path declined) and must either
+        return ``False`` without side effects, or execute a whole
+        steady-state window — advancing ``sim.now`` and bulk-crediting
+        every per-cycle effect bit- and cycle-identically to the
+        reference stepper — and return ``True``.  See
+        :class:`repro.core.burst.BurstPipeline`.
+        """
+        self._burst_pipelines.append(pipeline)
+
     def add_kernel(self, name: str, body: KernelBody, *,
                    fsm_states: int = 1, ii: int = 1) -> Kernel:
         """Register a kernel whose body is an already-created generator."""
@@ -329,6 +398,8 @@ class Simulator:
                     f"{self.name}: exceeded {max_cycles} cycles"))
             if self.fastpath and self._try_warp(limit):
                 continue
+            if self.burst and self._try_burst(limit):
+                continue
             self._step()
 
     def advance(self, cycles: int) -> None:
@@ -343,6 +414,8 @@ class Simulator:
         target = self.now + cycles
         while self.now < target:
             if self.fastpath and self._try_warp(target):
+                continue
+            if self.burst and self._try_burst(target):
                 continue
             self._step()
 
@@ -456,6 +529,30 @@ class Simulator:
                 f"{self.name}: watchdog expired at cycle {self.now} — no "
                 f"progress for more than {self.watchdog.budget} cycles"))
         return True
+
+    def _try_burst(self, limit: int) -> bool:
+        """Execute one steady-state burst window; True if the clock moved.
+
+        Cheap global gates live here; the per-pipeline structural
+        eligibility check (every participant parked in its streaming
+        posture, queues in pure producer/consumer flow, no outside
+        observer of an involved queue) lives in the pipeline.  The
+        reference path is forced whenever a simulator fault hook is
+        armed, tracing is on (bursts skip per-op event records), or an
+        attached telemetry hub lacks the bulk observation hooks.
+        """
+        if (not self._burst_pipelines or self.fault_hook is not None
+                or self.trace):
+            return False
+        obs = self._obs
+        if obs is not None and (not hasattr(obs, "on_warp")
+                                or not hasattr(obs, "on_stall_span")
+                                or not hasattr(obs, "on_burst")):
+            return False
+        for pipeline in self._burst_pipelines:
+            if pipeline.try_burst(self, limit):
+                return True
+        return False
 
     def invalidate_warp_cache(self) -> None:
         """Drop the fast path's cached warp target.

@@ -14,6 +14,8 @@ that :mod:`repro.faults` uses for ``fault_hook``:
 See ``docs/OBSERVABILITY.md`` for a walkthrough.
 """
 
+from repro.obs.cache import (CacheStats, KeyedCache, cache_stats,
+                             reset_caches)
 from repro.obs.events import TraceBuffer, TraceEvent
 from repro.obs.metrics import (BankMetrics, DmaMetrics, DramMetrics,
                                FifoMetrics, KernelMetrics, LayerMetrics,
@@ -27,6 +29,7 @@ from repro.obs.workloads import (ProfileResult, ProfileWorkload,
                                  select_workloads)
 
 __all__ = [
+    "CacheStats", "KeyedCache", "cache_stats", "reset_caches",
     "TraceBuffer", "TraceEvent",
     "BankMetrics", "DmaMetrics", "DramMetrics", "FifoMetrics",
     "KernelMetrics", "LayerMetrics", "MetricsReport", "Telemetry",

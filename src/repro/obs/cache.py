@@ -1,0 +1,100 @@
+"""Keyed memoization with observable hit/miss counters.
+
+Several front-end paths redo deterministic, moderately expensive work
+on every call — offline weight packing (:meth:`PackedLayer.pack` walks
+every kernel position in Python) and serving-profile calibration (a
+full SoC layer run).  A :class:`KeyedCache` memoizes such a function
+behind an explicit key and counts hits, misses and evictions, so the
+saving is *measurable* rather than assumed: every cache registers
+itself in a process-wide table surfaced through :func:`cache_stats`
+(exported as ``repro.obs.cache_stats``).
+
+Caches are bounded (FIFO eviction by insertion order) and keyed by
+caller-supplied hashables; values are returned by reference, so cached
+objects must be treated as immutable by callers — which both current
+users satisfy (``PackedLayer`` is write-once after packing,
+``ServiceProfile`` is a frozen dataclass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+#: Process-wide registry of every KeyedCache, by name (creation order).
+_REGISTRY: dict[str, "KeyedCache"] = {}
+
+
+@dataclass
+class CacheStats:
+    """Counter triple for one cache; ``snapshot()`` feeds reports."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> dict[str, int | float]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+@dataclass
+class KeyedCache:
+    """Bounded memo table with hit/miss accounting.
+
+    ``get_or_build(key, build)`` returns the cached value for ``key``
+    or calls ``build()`` once, stores and returns its result.  Oldest
+    entries are evicted first once ``maxsize`` is reached (dict
+    insertion order).
+    """
+
+    name: str
+    maxsize: int = 64
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: dict[Hashable, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        if self.name in _REGISTRY:
+            raise ValueError(f"cache name {self.name!r} already registered")
+        _REGISTRY[self.name] = self
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            value = build()
+            if len(self._entries) >= self.maxsize:
+                self._entries.pop(next(iter(self._entries)))
+                self.stats.evictions += 1
+            self._entries[key] = value
+            return value
+        self.stats.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept — they tell the story)."""
+        self._entries.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int | float]]:
+    """Hit/miss/eviction snapshot of every registered cache, by name."""
+    return {name: cache.stats.snapshot()
+            for name, cache in _REGISTRY.items()}
+
+
+def reset_caches() -> None:
+    """Drop every cache's entries *and* counters (test isolation)."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+        cache.stats = CacheStats()

@@ -483,6 +483,37 @@ class Telemetry:
         if self.timeline is not None:
             self.timeline.on_warp(sim, start, end)
 
+    def on_burst(self, sim, start: int, end: int, flows) -> None:
+        """Bulk push/pop accounting for a burst window ``[start, end)``.
+
+        Called by the burst-mode fast path instead of one
+        ``on_push``/``on_pop`` pair per queue per cycle.  ``flows`` is a
+        sequence of ``(fifo, peak)`` pairs: each queue moved exactly one
+        value per cycle (end-of-cycle occupancy constant at 1), touching
+        a mid-cycle ``peak`` occupancy of 2 when its producer pushes
+        before its consumer pops within the cycle, else 1.  The
+        per-cycle path would credit one span at the (constant) standing
+        occupancy per cycle; one bulk span reproduces the integral,
+        histogram and max exactly.
+        """
+        last = end - 1
+        for fifo, peak in flows:
+            tracker = self._occ.get(fifo.name)
+            if tracker is None:
+                tracker = self._occ[fifo.name] = \
+                    _OccupancyTracker(start, fifo.occupancy)
+            span = last - tracker.last_cycle
+            if span > 0:
+                tracker.integral += tracker.occupancy * span
+                tracker.hist[tracker.occupancy] = \
+                    tracker.hist.get(tracker.occupancy, 0) + span
+                tracker.last_cycle = last
+            tracker.occupancy = fifo.occupancy
+            if peak > tracker.max_occupancy:
+                tracker.max_occupancy = peak
+        if self.timeline is not None:
+            self.timeline.on_burst(sim, start, end)
+
     def on_stall(self, kernel, resource: str, kind: str, now: int) -> None:
         key = (kernel.name, resource, kind)
         self.stall_attribution[key] = self.stall_attribution.get(key, 0) + 1

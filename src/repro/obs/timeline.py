@@ -99,6 +99,18 @@ class TimelineRecorder:
                 cycle += self.counter_interval
             self._next_sample = cycle
 
+    def on_burst(self, sim, start: int, end: int) -> None:
+        """Bulk :meth:`on_cycle` for a burst window ``[start, end)``.
+
+        A burst window moves data, but its *end-of-cycle* observables
+        are constant: every participant ends each cycle parked at its
+        ``Tick`` (``sleeping``) and every queue ends each cycle back at
+        occupancy 1, so the dead-window replay of :meth:`on_warp` —
+        span update at ``start`` plus constant counter samples —
+        produces byte-identical output to stepping.
+        """
+        self.on_warp(sim, start, end)
+
     def add_dma_span(self, descriptor, start: int, cycles: int,
                      ok: bool) -> None:
         label = (f"{descriptor.direction.value} bank{descriptor.bank} "

@@ -39,15 +39,20 @@ class ValidationResult:
 
 def validate_conv(ifm_q: np.ndarray, weights_q: np.ndarray,
                   shift: int = 0, apply_relu: bool = False,
-                  bank_capacity: int = 1 << 15) -> ValidationResult:
+                  bank_capacity: int = 1 << 15,
+                  fastpath: bool = True) -> ValidationResult:
     """Run one conv layer through simulator and model; compare cycles.
 
     Both see identical inputs: the packed weights' non-zero structure
     drives the model, the packed stream itself drives the simulation.
+    ``fastpath=False`` forces the reference stepper (disabling both
+    cycle-warp and burst mode); the scheduler fast paths are
+    cycle-identical, so the result is the same either way — exposed so
+    the cross-check in ``tests/perf`` can prove exactly that.
     """
     weights_q = np.asarray(weights_q)
     packed = PackedLayer.pack(weights_q)
-    sim = Simulator("validate")
+    sim = Simulator("validate", fastpath=fastpath)
     instance = AcceleratorInstance(
         sim, AcceleratorConfig(bank_capacity=bank_capacity))
     ofm, sim_cycles = execute_conv(instance, ifm_q, packed,

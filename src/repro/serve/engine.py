@@ -37,8 +37,13 @@ from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
                                     execute_conv)
 from repro.core.packing import PackedLayer, serialize_unit_stream
 from repro.hls.sim import Simulator
+from repro.obs.cache import KeyedCache
 from repro.quant.quantize import conv2d_int
 from repro.quant.signmag import saturate_array, shift_round_array
+
+#: Memoizes :func:`calibrate_profile` — one full SoC layer run per
+#: distinct (workload, bank_capacity), reused across scheduler sweeps.
+_PROFILE_CACHE = KeyedCache("serve.calibrate_profile", maxsize=16)
 
 
 @dataclass(frozen=True)
@@ -138,7 +143,18 @@ def calibrate_profile(workload: ServeWorkload,
     between weight staging and IFM/OFM movement in proportion to the
     values each moves (the engine is store-and-forward, so busy cycles
     scale with values moved).
+
+    Calibration is fully determined by ``(workload, bank_capacity)``
+    (fresh SoC, seeded tensors), so results are memoized; hit/miss
+    counters surface via ``repro.obs.cache_stats()``.
     """
+    return _PROFILE_CACHE.get_or_build(
+        (workload, bank_capacity),
+        lambda: _calibrate_uncached(workload, bank_capacity))
+
+
+def _calibrate_uncached(workload: ServeWorkload,
+                        bank_capacity: int) -> ServiceProfile:
     from repro.soc.driver import InferenceDriver, SocSystem
 
     soc = SocSystem(bank_capacity=bank_capacity)

@@ -75,6 +75,15 @@ def test_campaign_is_deterministic():
     assert first.clean_cycles == second.clean_cycles
 
 
+def test_parallel_campaign_matches_serial():
+    """jobs>1 fans trials over processes; the report is identical."""
+    config = smoke_config()
+    serial = run_campaign(config, jobs=1)
+    parallel = run_campaign(config, jobs=2)
+    assert parallel.trials == serial.trials
+    assert parallel.clean_cycles == serial.clean_cycles
+
+
 def test_report_aggregation():
     report = ResilienceReport(clean_cycles=1000)
     report.trials = [

@@ -1,6 +1,6 @@
-"""Differential harness: cycle-warp fast path vs the reference stepper.
+"""Differential harness: scheduler fast paths vs the reference stepper.
 
-The fast path's acceptance property is *bit- and cycle-identity*: for
+The fast paths' acceptance property is *bit- and cycle-identity*: for
 any kernel graph, a ``Simulator(fastpath=True)`` run must finish at the
 same cycle, with the same outputs, the same per-kernel cycle breakdown,
 the same FIFO stats, and the same telemetry as ``fastpath=False`` —
@@ -9,14 +9,27 @@ traces.  This suite runs both modes on randomized pipelines (mixed
 ``Tick`` durations, FIFO depths/latencies, barriers, watchdogs,
 telemetry hubs) and compares everything observable.
 
+Two fast paths are covered:
+
+* **cycle-warp** (PR 3) — jumping over *dead* windows where no kernel
+  can act;
+* **burst mode** (``repro.core.burst``) — vectorized execution of
+  *steady-state MAC streams* of the accelerator pipeline, exercised
+  here through randomized convolutions across zero-weight densities,
+  with fault hooks armed mid-run, telemetry attached before and after,
+  and warp+burst interleaving.
+
 It doubles as a standing correctness tool: any future scheduler change
-that breaks warp/step equivalence fails here before it can corrupt a
-benchmark result.
+that breaks warp/step/burst equivalence fails here before it can
+corrupt a benchmark result.
 """
 
 import numpy as np
 import pytest
 
+from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
+                                    execute_conv, prepare_conv)
+from repro.core.packing import PackedLayer
 from repro.hls import Simulator, Tick
 from repro.hls.errors import SimulationTimeout
 from repro.hls.sim import Watchdog
@@ -383,3 +396,287 @@ def test_advance_matches_stepping():
             ref.step()
         assert _state_of(fast) == _state_of(ref)
     assert fast.warps > 0
+
+
+# -- burst mode: vectorized steady-state MAC streams -------------------------------
+
+#: Zero-weight densities spanning the eligibility space: all-zero
+#: weights (no MAC stream at all), sparse (short desynchronized
+#: streams), near-dense and fully dense (long aligned streams).
+DENSITIES = (0.0, 0.3, 0.9, 1.0)
+
+
+def _random_conv(rng: np.random.Generator, density: float,
+                 fastpath: bool, burst: bool):
+    """A randomized quantized convolution on a fresh instance.
+
+    All rng draws happen before mode-dependent construction, so the two
+    modes of a differential pair see identical workloads.
+    """
+    in_ch = int(rng.integers(5, 17))
+    out_ch = int(rng.integers(3, 9))
+    hw = int(rng.integers(8, 15))
+    ifm = rng.integers(-8, 8, size=(in_ch, hw, hw), dtype=np.int16)
+    weights = rng.integers(-7, 8, size=(out_ch, in_ch, 3, 3),
+                           dtype=np.int16)
+    mask = rng.random(weights.shape)
+    weights[mask > density] = 0
+    sim = Simulator("conv", fastpath=fastpath, burst=burst)
+    instance = AcceleratorInstance(sim, AcceleratorConfig())
+    return sim, instance, ifm, PackedLayer.pack(weights)
+
+
+def _conv_state(sim, instance, ofm) -> dict:
+    state = _state_of(sim)
+    state["ofm"] = ofm.tobytes()
+    state["banks"] = {b.name: vars(b.stats) for b in instance.banks}
+    return state
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_burst_identity_random(seed, density):
+    """Burst runs are bit- and cycle-identical to the reference stepper."""
+    runs = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, instance, ifm, packed = _random_conv(rng, density,
+                                                  fastpath=burst, burst=burst)
+        ofm, cycles = execute_conv(instance, ifm, packed, shift=3,
+                                   apply_relu=bool(seed % 2))
+        runs[burst] = (cycles, _conv_state(sim, instance, ofm), sim.bursts)
+    assert runs[True][0] == runs[False][0], "cycle counts diverge"
+    assert runs[True][1] == runs[False][1], "state diverges"
+    assert runs[False][2] == 0, "reference stepper must never burst"
+
+
+def test_burst_engages_across_densities():
+    """The differential suite must actually exercise the burst engine.
+
+    Dense and near-dense streams must burst on every seed; sparse
+    streams (lanes desynchronize on differing non-zero counts) must
+    burst at least somewhere across the seed set; all-zero weights have
+    no MAC stream to burst.
+    """
+    engaged = {density: 0 for density in DENSITIES}
+    for density in DENSITIES:
+        for seed in SEEDS[:5]:
+            rng = np.random.default_rng(seed)
+            sim, instance, ifm, packed = _random_conv(rng, density,
+                                                      fastpath=True,
+                                                      burst=True)
+            execute_conv(instance, ifm, packed, shift=3)
+            engaged[density] += sim.bursts
+            if density >= 0.9:
+                assert sim.bursts > 0, (seed, density)
+    assert engaged[0.3] > 0, "sparse streams never burst"
+    assert engaged[0.0] == 0, "all-zero weights have no stream to burst"
+
+
+def test_burst_and_warp_interleave():
+    """One run exercises both fast paths: bursts through MAC streams,
+    warps through the dead windows between them."""
+    rng = np.random.default_rng(0)
+    sim, instance, ifm, packed = _random_conv(rng, 1.0, fastpath=True,
+                                              burst=True)
+    execute_conv(instance, ifm, packed, shift=3)
+    assert sim.bursts > 0
+    assert sim.warps > 0
+    assert sim.burst_cycles + sim.warped_cycles < sim.now
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_burst_identity_with_telemetry(seed):
+    """Telemetry attached *before* the run: stall attribution, occupancy
+    integrals/histograms, port conflicts and the timeline sample stream
+    all match the stepper."""
+    results = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, instance, ifm, packed = _random_conv(rng, 1.0,
+                                                  fastpath=burst, burst=burst)
+        hub = Telemetry(timeline=True, counter_interval=7).attach_sim(sim)
+        hub.attach_banks(instance.banks)
+        ofm, _ = execute_conv(instance, ifm, packed, shift=3)
+        hub.timeline.finish(sim)
+        report = hub.report()
+        results[burst] = (
+            _conv_state(sim, instance, ofm),
+            hub.stall_attribution,
+            {f.name: (f.occupancy_hist, f.mean_occupancy, f.max_occupancy)
+             for f in report.fifos},
+            {b.name: (b.port_a_conflicts, b.port_b_conflicts)
+             for b in report.banks},
+            sorted(hub.timeline.state_spans),
+            hub.timeline.counter_samples,
+        )
+        if burst:
+            assert sim.bursts > 0
+    assert results[True] == results[False]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_burst_identity_with_telemetry_attached_late(seed):
+    """Telemetry attached *after* a first layer already ran (occupancy
+    trackers start mid-history): the second layer's burst crediting
+    must still match the stepper."""
+    results = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, instance, ifm, packed = _random_conv(rng, 1.0,
+                                                  fastpath=burst, burst=burst)
+        execute_conv(instance, ifm, packed, shift=3)
+        hub = Telemetry().attach_sim(sim)
+        hub.attach_banks(instance.banks)
+        ofm, _ = execute_conv(instance, ifm, packed, shift=3)
+        report = hub.report()
+        results[burst] = (
+            _conv_state(sim, instance, ofm),
+            hub.stall_attribution,
+            {f.name: (f.occupancy_hist, f.mean_occupancy, f.max_occupancy)
+             for f in report.fifos},
+        )
+        if burst:
+            assert sim.bursts > 0
+    assert results[True] == results[False]
+
+
+class _InertBankHook:
+    """Armed-but-inactive SRAM read hook: data passes through unchanged."""
+
+    def on_read(self, bank, base, data):
+        return data
+
+
+def _run_conv_paused(burst: bool, seed: int, pause_at: int, arm):
+    """Issue a dense conv, pause around ``pause_at``, call ``arm``, finish.
+
+    Returns ``(sim, instance, ofm, bursts_at_pause)``.
+    """
+    rng = np.random.default_rng(seed)
+    sim, instance, ifm, packed = _random_conv(rng, 1.0,
+                                              fastpath=burst, burst=burst)
+    setup = prepare_conv(instance, ifm, packed, shift=3)
+    finished: list[bool] = []
+
+    def host():
+        for unit, instr in enumerate(setup.instructions):
+            yield instance.instr_qs[unit].write(instr)
+        yield Tick(1)
+        for _ in range(len(setup.instructions)):
+            yield instance.done_q.read()
+        while sum(b.stats.tile_writes
+                  for b in instance.banks) < setup.expected_tiles:
+            yield Tick(1)
+        finished.append(True)
+
+    sim.add_kernel("host", host())
+    sim.run(until=lambda: bool(finished) or sim.now >= pause_at)
+    bursts_at_pause = sim.bursts
+    arm(sim, instance)
+    sim.invalidate_warp_cache()
+    sim.run(until=lambda: bool(finished))
+    return sim, instance, setup.read_ofm(), bursts_at_pause
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_burst_identity_with_hooks_armed_mid_run(seed):
+    """Inert sim/FIFO/bank fault hooks armed mid-run (mid-stream for the
+    burst mode): results stay identical, and no burst executes while
+    any hook is armed."""
+
+    def arm(sim, instance):
+        sim.fault_hook = _InertSimHook()
+        fifo_hook = _InertFifoHook()
+        for fifo in instance.conv_qs:
+            fifo.fault_hook = fifo_hook
+        for bank in instance.banks:
+            bank.fault_hook = _InertBankHook()
+
+    runs = {}
+    for burst in (True, False):
+        sim, instance, ofm, at_pause = _run_conv_paused(
+            burst, seed, pause_at=120, arm=arm)
+        runs[burst] = (_conv_state(sim, instance, ofm), at_pause, sim.bursts)
+    assert runs[True][0] == runs[False][0], "state diverges"
+    assert runs[True][1] > 0, "no burst before the hooks were armed"
+    assert runs[True][2] == runs[True][1], "burst executed under armed hooks"
+    assert runs[False][2] == 0
+
+
+def test_burst_default_follows_fastpath():
+    assert Simulator("a").burst is True
+    assert Simulator("b", fastpath=False).burst is False
+    assert Simulator("c", fastpath=False, burst=True).burst is True
+    assert Simulator("d", fastpath=True, burst=False).burst is False
+
+
+def test_trace_forces_reference_for_bursts():
+    """``trace=True`` records per-op events, which bursts skip — so
+    tracing pins the MAC stream to the stepper and the event streams of
+    both modes are identical."""
+    events = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(1)
+        in_ch, out_ch, hw = 8, 4, 8
+        ifm = rng.integers(-8, 8, size=(in_ch, hw, hw), dtype=np.int16)
+        weights = rng.integers(-7, 8, size=(out_ch, in_ch, 3, 3),
+                               dtype=np.int16)
+        sim = Simulator("traced", trace=True, fastpath=burst, burst=burst)
+        instance = AcceleratorInstance(sim, AcceleratorConfig())
+        execute_conv(instance, ifm, PackedLayer.pack(weights), shift=3)
+        assert sim.bursts == 0
+        events[burst] = [(e.cycle, e.source, e.event, e.detail)
+                         for e in sim.events]
+    assert events[True] == events[False]
+
+
+def test_burst_advance_matches_stepping():
+    """Bursts triggered from ``advance`` respect the chunk target and
+    stay state-identical to per-cycle stepping at every chunk boundary."""
+    def build(burst):
+        rng = np.random.default_rng(2)
+        sim, instance, ifm, packed = _random_conv(rng, 1.0,
+                                                  fastpath=burst, burst=burst)
+        setup = prepare_conv(instance, ifm, packed, shift=3)
+
+        def host():
+            for unit, instr in enumerate(setup.instructions):
+                yield instance.instr_qs[unit].write(instr)
+            yield Tick(1)
+            for _ in range(len(setup.instructions)):
+                yield instance.done_q.read()
+
+        sim.add_kernel("host", host())
+        # The chunk schedule advances past the drain point; an idle
+        # fabric is expected there, not a deadlock.
+        sim.external_progress = True
+        return sim
+
+    fast = build(True)
+    ref = build(False)
+    for chunk in (1, 5, 7, 64, 3, 200, 11, 100):
+        fast.advance(chunk)
+        for _ in range(chunk):
+            ref.step()
+        assert _state_of(fast) == _state_of(ref), chunk
+    assert fast.bursts > 0
+
+
+def test_burst_identity_with_watchdog():
+    """A live watchdog samples the exact same progress signatures
+    through burst windows as through stepped cycles."""
+    runs = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(3)
+        sim, instance, ifm, packed = _random_conv(rng, 1.0,
+                                                  fastpath=burst, burst=burst)
+        sim.watchdog = Watchdog(budget=5_000, interval=13)
+        ofm, cycles = execute_conv(instance, ifm, packed, shift=3)
+        runs[burst] = (cycles, _conv_state(sim, instance, ofm),
+                       sim.watchdog._next_check,
+                       sim.watchdog._last_progress_cycle,
+                       sim.watchdog._last_signature)
+        if burst:
+            assert sim.bursts > 0
+    assert runs[True] == runs[False]

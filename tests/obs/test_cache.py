@@ -1,0 +1,68 @@
+"""KeyedCache semantics + the two wired-in users (packing, serving)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import PackedLayer
+from repro.obs import cache_stats
+from repro.obs.cache import KeyedCache, _REGISTRY
+from repro.serve.engine import ServeWorkload, calibrate_profile
+
+
+@pytest.fixture
+def scratch_cache():
+    cache = KeyedCache("test.scratch", maxsize=2)
+    yield cache
+    del _REGISTRY["test.scratch"]
+
+
+def test_build_once_then_hit(scratch_cache):
+    calls = []
+    for _ in range(3):
+        value = scratch_cache.get_or_build("k", lambda: calls.append(1) or 42)
+    assert value == 42
+    assert calls == [1]
+    assert scratch_cache.stats.hits == 2
+    assert scratch_cache.stats.misses == 1
+
+
+def test_fifo_eviction(scratch_cache):
+    scratch_cache.get_or_build("a", lambda: 1)
+    scratch_cache.get_or_build("b", lambda: 2)
+    scratch_cache.get_or_build("c", lambda: 3)   # evicts "a"
+    assert scratch_cache.stats.evictions == 1
+    assert len(scratch_cache) == 2
+    scratch_cache.get_or_build("a", lambda: 9)   # rebuilt -> miss
+    assert scratch_cache.stats.misses == 4
+
+
+def test_duplicate_name_rejected(scratch_cache):
+    with pytest.raises(ValueError, match="already registered"):
+        KeyedCache("test.scratch")
+
+
+def test_registry_snapshot_shape(scratch_cache):
+    scratch_cache.get_or_build("k", lambda: 0)
+    snap = cache_stats()["test.scratch"]
+    assert snap == {"hits": 0, "misses": 1, "evictions": 0, "hit_rate": 0.0}
+
+
+def test_pack_memoized_by_weight_bytes():
+    rng = np.random.default_rng(3)
+    w = rng.integers(-8, 8, size=(4, 4, 3, 3)).astype(np.int8)
+    assert PackedLayer.pack(w) is PackedLayer.pack(w.copy())
+    w2 = w.copy()
+    w2[0, 0, 0, 0] += 1
+    assert PackedLayer.pack(w2) is not PackedLayer.pack(w)
+
+
+def test_pack_cache_respects_tile():
+    w = np.ones((2, 2, 3, 3), dtype=np.int8)
+    assert PackedLayer.pack(w, tile=4) is not PackedLayer.pack(w, tile=5)
+
+
+def test_calibrate_profile_memoized():
+    workload = ServeWorkload(hw=8)
+    first = calibrate_profile(workload)
+    assert calibrate_profile(workload) is first
+    assert calibrate_profile(workload, bank_capacity=1 << 15) is not first

@@ -33,6 +33,21 @@ def test_validation_exact_on_sparse_case():
     assert result.sim_cycles == result.model_cycles
 
 
+def test_validation_invariant_to_scheduler_fast_paths():
+    """The analytic cycle model pins against identical cycles whether
+    the simulation steps, warps or bursts — a dense layer (burst mode's
+    regime) validated against the reference stepper must agree with the
+    default fast-path run cycle for cycle."""
+    rng = np.random.default_rng(99)
+    ifm = rng.integers(-30, 31, size=(8, 14, 14))
+    weights = rng.integers(1, 16, size=(8, 8, 3, 3))  # fully dense
+    fast = validate_conv(ifm, weights, shift=1)
+    ref = validate_conv(ifm, weights, shift=1, fastpath=False)
+    assert fast.functional_match and ref.functional_match
+    assert fast.sim_cycles == ref.sim_cycles
+    assert fast.sim_cycles == fast.model_cycles
+
+
 def test_validation_with_idle_unit():
     """C=3 (conv1_1 pattern): unit 3 idles, model must still match."""
     rng = np.random.default_rng(55)
