@@ -1,0 +1,74 @@
+"""R2 — Clean-path overhead of the serving resilience machinery.
+
+Mirror of ``bench_fault_overhead.py`` one layer up the stack: arming
+the serving resilience policy (jittered back-off, hedged re-dispatch,
+circuit breaker) and an *empty* disruption script must cost nothing
+when no fault fires.  The gate runs the fault-free serve config four
+ways — legacy-derived policy, armed policy, armed + empty script,
+armed + hedge — and asserts every report is byte-identical outside
+the policy echo section (the ``serve_policy`` block prints the knobs
+themselves, so it differs by definition; everything *behavioural* —
+makespan, latencies, digests, per-instance stats — must not move).
+"""
+
+from dataclasses import replace
+
+from repro.serve import ServePolicy, run_serve, smoke_config
+
+
+def _fault_free():
+    return replace(smoke_config(), fault_rate=0.0)
+
+
+def _behaviour(report):
+    """The report JSON minus the policy echo (the knobs themselves)."""
+    document = report.to_json()
+    document.pop("serve_policy")
+    return document
+
+
+def compute_rows():
+    baseline = run_serve(_fault_free()).report
+    golden = _behaviour(baseline)
+    configs = [
+        ("armed policy (jitter+breaker)",
+         replace(_fault_free(), serve_policy=ServePolicy(
+             backoff_jitter=0.4, eject_after=2))),
+        ("armed + hedge factor 3",
+         replace(_fault_free(), serve_policy=ServePolicy(
+             backoff_jitter=0.4, eject_after=2, hedge_factor=3.0))),
+        ("armed + empty disruption script",
+         replace(_fault_free(), serve_policy=ServePolicy(
+             backoff_jitter=0.4, eject_after=2, hedge_factor=3.0),
+             instance_faults=())),
+    ]
+    rows = [("legacy-derived policy (baseline)",
+             baseline.makespan_cycles, True)]
+    for label, config in configs:
+        report = run_serve(config).report
+        rows.append((label, report.makespan_cycles,
+                     _behaviour(report) == golden))
+    return baseline.makespan_cycles, rows
+
+
+def format_table(clean_cycles, rows):
+    lines = ["R2: serving-resilience clean-path overhead (smoke config, "
+             "fault-free)",
+             f"{'configuration':<34}{'cycles':>10}{'delta':>7}"
+             f"{'byte-exact':>12}"]
+    for label, cycles, exact in rows:
+        lines.append(f"{label:<34}{cycles:>10.0f}"
+                     f"{cycles - clean_cycles:>7.0f}"
+                     f"{str(exact):>12}")
+    lines.append("(zero delta everywhere: armed-but-idle resilience "
+                 "is free)")
+    return "\n".join(lines)
+
+
+def test_serve_resilience_overhead(benchmark, emit):
+    clean_cycles, rows = benchmark.pedantic(compute_rows, rounds=1,
+                                            iterations=1)
+    emit("r2_serve_resilience_overhead", format_table(clean_cycles, rows))
+    for label, cycles, exact in rows:
+        assert cycles == clean_cycles, label
+        assert exact, label

@@ -16,6 +16,7 @@ Usage::
     python -m repro profile vgg16               # representative layer sweep
     python -m repro trace --out trace.json      # Perfetto/Chrome timeline
     python -m repro serve [--smoke] [--json [PATH]]  # serving simulator
+    python -m repro serve chaos [--smoke] [--jobs N]  # chaos campaign
     python -m repro all           # the evaluation tables in one go
 """
 
@@ -235,11 +236,33 @@ def cmd_trace(args) -> str:
             f"(open in https://ui.perfetto.dev or chrome://tracing)")
 
 
+def cmd_serve_chaos(args) -> str:
+    """Run a serving chaos campaign over the accelerator fleet."""
+    from repro.faults import run_chaos, smoke_chaos_config
+    config = smoke_chaos_config() if args.smoke else None
+    report = run_chaos(config, echo=print, jobs=args.jobs)
+    document = report.json()
+    if isinstance(args.json, str):
+        with open(args.json, "w") as fh:
+            fh.write(document + "\n")
+        print(f"wrote chaos report JSON to {args.json}")
+    elif args.json:
+        return document
+    return "\n" + report.format()
+
+
 def cmd_serve(args) -> str:
     """Run the batched multi-accelerator serving simulator."""
     import json as _json
     from dataclasses import replace
     from repro.serve import default_config, run_serve, smoke_config
+    subcommand = getattr(args, "subcommand", None)
+    if subcommand == "chaos":
+        return cmd_serve_chaos(args)
+    if subcommand is not None:
+        raise SystemExit(
+            f"repro serve: unknown subcommand {subcommand!r} "
+            f"(expected 'chaos')")
     config = smoke_config(args.seed) if args.smoke \
         else default_config(args.seed)
     if args.instances is not None:
@@ -293,6 +316,7 @@ SUBCOMMANDS = {
     "faults": "'campaign'",
     "profile": "a VGG-16 conv layer name or 'vgg16'",
     "trace": "a VGG-16 conv layer name or 'vgg16'",
+    "serve": "'chaos'",
 }
 
 
@@ -304,8 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="which table/figure to regenerate")
     parser.add_argument("subcommand", nargs="?", default=None,
-                        help="subcommand (faults: 'campaign'; "
-                             "profile/trace: layer name or 'vgg16')")
+                        help="subcommand (faults: 'campaign'; serve: "
+                             "'chaos'; profile/trace: layer name or "
+                             "'vgg16')")
     parser.add_argument("--seed", type=int, default=0,
                         help="synthetic-model seed (default 0)")
     parser.add_argument("--cases", type=int, default=8,
@@ -316,14 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="faults/profile/trace/serve: quick CI-scale run")
     parser.add_argument("--json", nargs="?", const=True, default=False,
                         metavar="PATH",
-                        help="profile/serve: print the report as JSON "
-                             "(serve: give a PATH to write a file instead)")
+                        help="profile/serve/chaos: print the report as "
+                             "JSON (serve/chaos: give a PATH to write a "
+                             "file instead)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="profile: also write the metrics JSON here")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="faults: run trials across N worker "
-                             "processes (default 1 = serial; the report "
-                             "is identical either way)")
+                        help="faults/serve chaos: run trials across N "
+                             "worker processes (default 1 = serial; the "
+                             "report is identical either way)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="trace: output file (default trace.json); "
                              "serve: write the serving Perfetto trace here")

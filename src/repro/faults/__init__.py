@@ -19,6 +19,10 @@ from repro.faults.injectors import (FAULT_TYPES, BitFlipInjector,
                                     InjectorStats, KernelHangInjector,
                                     make_injector)
 from repro.faults.report import (OUTCOMES, ResilienceReport, TrialResult)
+from repro.faults.serving import (CHAOS_SCENARIOS, INSTANCE_FAULT_KINDS,
+                                  ChaosConfig, ChaosReport, ChaosTrial,
+                                  InstanceFault, run_chaos,
+                                  run_chaos_trial, smoke_chaos_config)
 
 __all__ = [
     "DEFAULT_RATES", "CampaignConfig", "run_campaign", "run_trial",
@@ -29,4 +33,7 @@ __all__ = [
     "FifoDropInjector", "FifoStallInjector", "Injector", "InjectorStats",
     "KernelHangInjector", "make_injector",
     "OUTCOMES", "ResilienceReport", "TrialResult",
+    "CHAOS_SCENARIOS", "INSTANCE_FAULT_KINDS", "ChaosConfig",
+    "ChaosReport", "ChaosTrial", "InstanceFault", "run_chaos",
+    "run_chaos_trial", "smoke_chaos_config",
 ]

@@ -1,0 +1,416 @@
+"""Serving-layer fault scripts and chaos campaigns.
+
+Where :mod:`repro.faults.campaign` injects faults *inside* one SoC
+(bit flips, FIFO stalls, DMA errors), this module disrupts the *fleet*
+the serving simulator schedules over: instances fail-stop, flap, or
+degrade to a fraction of their service rate, while the serving
+resilience machinery (:mod:`repro.serve.resilience`) — retries,
+hedging, circuit breakers, drain-and-requeue failover — tries to keep
+the SLOs intact.
+
+A **chaos campaign** sweeps scenario × seed, runs every trial twice
+(fault-free reference, then chaos), and classifies:
+
+* **availability** — fraction of fleet-cycles instances were up;
+* **SLO attainment / goodput** — did deadlines survive the disruption;
+* **SDC rate** — any non-dropped request whose output differs from
+  the fault-free reference run (the serving layer must *fail* or
+  *drop* requests it cannot serve correctly, never corrupt them);
+* **recovery latency** — cycles from a batch's first fault/requeue to
+  its eventual completion, reported as percentiles.
+
+Everything is a pure function of ``(scenario, seed, config)``:
+scenario scripts are built from :func:`repro.faults.hooks.prf` draws,
+and trials fan out across processes (``jobs > 1``) with
+``executor.map`` preserving grid order — so the campaign JSON is
+byte-identical serial vs parallel (regression-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults.hooks import prf, stable_id
+
+#: PRF stream key for chaos scenario scripts.
+_CHAOS_KEY = stable_id("serve.chaos")
+
+#: Scripted instance-fault kinds.
+INSTANCE_FAULT_KINDS = ("fail_stop", "degrade", "flap")
+
+
+@dataclass(frozen=True)
+class InstanceFault:
+    """One scripted disruption of one accelerator instance.
+
+    * ``fail_stop`` — the instance is dead over
+      ``[at_cycle, until_cycle)`` (``until_cycle=None`` = forever);
+      in-flight work is drained and requeued.
+    * ``degrade`` — the instance still serves but at ``1/factor`` of
+      its rate over ``[at_cycle, until_cycle)`` (a thermally throttled
+      or partially-defective replica).
+    * ``flap`` — the instance alternates ``period_cycles`` down /
+      ``period_cycles`` up across ``[at_cycle, until_cycle)``, down
+      first (a flaky link or brown-out).
+    """
+
+    kind: str
+    instance: int
+    at_cycle: int
+    until_cycle: int | None = None
+    factor: float = 2.0          # degrade only: service-rate divisor
+    period_cycles: int = 0       # flap only: half-period
+
+    def __post_init__(self):
+        if self.kind not in INSTANCE_FAULT_KINDS:
+            raise ValueError(f"unknown instance-fault kind {self.kind!r} "
+                             f"(expected one of {INSTANCE_FAULT_KINDS})")
+        if self.instance < 0 or self.at_cycle < 0:
+            raise ValueError(f"bad instance fault {self}")
+        if self.kind in ("degrade", "flap") and self.until_cycle is None:
+            raise ValueError(f"{self.kind} needs an until_cycle")
+        if self.until_cycle is not None \
+                and self.until_cycle <= self.at_cycle:
+            raise ValueError("until_cycle must be after at_cycle")
+        if self.kind == "degrade" and self.factor <= 1.0:
+            raise ValueError("degrade factor must be > 1")
+        if self.kind == "flap" and self.period_cycles <= 0:
+            raise ValueError("flap needs a positive period_cycles")
+
+
+# -- seeded scenario scripts ---------------------------------------------------------
+
+
+def _window(seed: int, scenario_id: int, horizon: int,
+            lo: float = 0.15, hi: float = 0.45) -> tuple[int, int]:
+    """A deterministic disruption window inside the arrival horizon."""
+    start = int(horizon * (lo + (hi - lo)
+                           * prf(seed, _CHAOS_KEY, scenario_id, 1)))
+    length = int(horizon * (0.2 + 0.3 * prf(seed, _CHAOS_KEY,
+                                            scenario_id, 2)))
+    return max(1, start), max(1, start) + max(1, length)
+
+
+def _victim(seed: int, scenario_id: int, instances: int) -> int:
+    return int(prf(seed, _CHAOS_KEY, scenario_id, 0) * instances) \
+        % instances
+
+
+def scenario_fail_stop(seed: int, instances: int,
+                       horizon: int) -> tuple[InstanceFault, ...]:
+    """One instance fail-stops mid-run and comes back."""
+    victim = _victim(seed, 1, instances)
+    start, end = _window(seed, 1, horizon)
+    return (InstanceFault("fail_stop", victim, start, end),)
+
+
+def scenario_degrade(seed: int, instances: int,
+                     horizon: int) -> tuple[InstanceFault, ...]:
+    """One instance runs at 1/2x..1/4x rate for a window."""
+    victim = _victim(seed, 2, instances)
+    start, end = _window(seed, 2, horizon)
+    factor = 2.0 + 2.0 * prf(seed, _CHAOS_KEY, 2, 3)
+    return (InstanceFault("degrade", victim, start, end,
+                          factor=round(factor, 3)),)
+
+
+def scenario_flap(seed: int, instances: int,
+                  horizon: int) -> tuple[InstanceFault, ...]:
+    """One instance flaps (down/up/down...) across a window."""
+    victim = _victim(seed, 3, instances)
+    start, end = _window(seed, 3, horizon, lo=0.1, hi=0.3)
+    period = max(1, (end - start) // 6)
+    return (InstanceFault("flap", victim, start, end,
+                          period_cycles=period),)
+
+
+def scenario_mixed(seed: int, instances: int,
+                   horizon: int) -> tuple[InstanceFault, ...]:
+    """Fail-stop one instance while another degrades (overlapping)."""
+    faults = list(scenario_fail_stop(seed, instances, horizon))
+    if instances > 1:
+        degraded = list(scenario_degrade(seed, instances, horizon))
+        for fault in degraded:
+            if fault.instance == faults[0].instance:
+                fault = InstanceFault(
+                    "degrade", (fault.instance + 1) % instances,
+                    fault.at_cycle, fault.until_cycle,
+                    factor=fault.factor)
+            faults.append(fault)
+    return tuple(faults)
+
+
+#: Scenario registry: name -> builder(seed, instances, horizon).
+CHAOS_SCENARIOS: dict[str, Callable[[int, int, int],
+                                    tuple[InstanceFault, ...]]] = {
+    "fail_stop": scenario_fail_stop,
+    "degrade": scenario_degrade,
+    "flap": scenario_flap,
+    "mixed": scenario_mixed,
+}
+
+
+# -- campaign definition -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A chaos campaign: scenario × seed over one serving setup."""
+
+    scenarios: tuple[str, ...] = tuple(CHAOS_SCENARIOS)
+    seeds: tuple[int, ...] = (0, 1, 2)
+    instances: int = 2
+    requests: int = 48
+    mean_interarrival_cycles: float = 3000.0
+    fault_rate: float = 0.08
+    #: Arm the SLO mix (DEFAULT_SLO_CLASSES) so attainment is measured.
+    slo: bool = True
+    #: Arm hedged re-dispatch at this factor (None = off).
+    hedge_factor: float | None = 2.5
+
+    def __post_init__(self):
+        for name in self.scenarios:
+            if name not in CHAOS_SCENARIOS:
+                raise ValueError(f"unknown chaos scenario {name!r} "
+                                 f"(have {tuple(CHAOS_SCENARIOS)})")
+
+    @property
+    def horizon_cycles(self) -> int:
+        """Rough arrival horizon the scenario scripts aim inside."""
+        return max(1, int(self.requests * self.mean_interarrival_cycles))
+
+    def serve_config(self, scenario: str, seed: int):
+        """The chaos :class:`repro.serve.ServeConfig` for one trial."""
+        from repro.serve import (BatchPolicy, DEFAULT_SLO_CLASSES,
+                                 ServeConfig, ServePolicy)
+        faults = CHAOS_SCENARIOS[scenario](seed, self.instances,
+                                           self.horizon_cycles)
+        return ServeConfig(
+            instances=self.instances, requests=self.requests,
+            policy=BatchPolicy(max_batch=4, max_wait_cycles=3000),
+            serve_policy=ServePolicy(hedge_factor=self.hedge_factor),
+            slo_classes=DEFAULT_SLO_CLASSES if self.slo else None,
+            instance_faults=faults,
+            mean_interarrival_cycles=self.mean_interarrival_cycles,
+            fault_rate=self.fault_rate, seed=seed)
+
+
+def smoke_chaos_config() -> ChaosConfig:
+    """A <30 s subset for CI: fail-stop + flap, 2 seeds."""
+    return ChaosConfig(scenarios=("fail_stop", "flap"), seeds=(0, 1),
+                       requests=24)
+
+
+# -- trial execution -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosTrial:
+    """One chaos run, classified against its fault-free reference."""
+
+    scenario: str
+    seed: int
+    offered: int
+    completed: int
+    failed: int
+    dropped: int
+    sdc: int                     # completed outputs != reference outputs
+    availability: float
+    slo_attainment: float
+    goodput_img_s: float
+    requeued: int
+    hedges: int
+    hedge_wins: int
+    ejections: int
+    fleet_dead: bool
+    makespan_cycles: float
+    recovery_latencies: tuple[float, ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        from repro.serve.report import percentile
+        r = round
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "offered": self.offered,
+            "completed": self.completed,
+            "failed": self.failed,
+            "dropped": self.dropped,
+            "sdc": self.sdc,
+            "availability": r(self.availability, 6),
+            "slo_attainment": r(self.slo_attainment, 6),
+            "goodput_img_per_s": r(self.goodput_img_s, 6),
+            "requeued": self.requeued,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "ejections": self.ejections,
+            "fleet_dead": self.fleet_dead,
+            "makespan_cycles": r(self.makespan_cycles, 6),
+            "recovery_cycles": {
+                "count": len(self.recovery_latencies),
+                "p50": r(percentile(self.recovery_latencies, 50), 6),
+                "p95": r(percentile(self.recovery_latencies, 95), 6),
+                "p99": r(percentile(self.recovery_latencies, 99), 6),
+            },
+        }
+
+
+def run_chaos_trial(scenario: str, seed: int,
+                    config: ChaosConfig) -> ChaosTrial:
+    """Reference run + chaos run + differential classification."""
+    from dataclasses import replace
+    from repro.serve import run_serve
+    chaos_config = config.serve_config(scenario, seed)
+    reference = run_serve(replace(chaos_config, fault_rate=0.0,
+                                  instance_faults=()))
+    chaos = run_serve(chaos_config)
+    # SDC: a request the chaos run claims to have completed whose
+    # output differs from the fault-free reference.  Recovery must be
+    # bit-exact — degraded service may fail or drop, never corrupt.
+    sdc = 0
+    import numpy as np
+    for rid, output in chaos.outputs.items():
+        if rid not in reference.outputs:
+            continue
+        if not np.array_equal(output, reference.outputs[rid]):
+            sdc += 1
+    report = chaos.report
+    return ChaosTrial(
+        scenario=scenario, seed=seed,
+        offered=report.offered, completed=report.completed,
+        failed=report.failed, dropped=report.dropped, sdc=sdc,
+        availability=report.availability,
+        slo_attainment=report.slo_attainment,
+        goodput_img_s=report.goodput_img_s,
+        requeued=report.requeued, hedges=report.hedges,
+        hedge_wins=report.hedge_wins,
+        ejections=sum(s.ejections for s in report.instance_stats),
+        fleet_dead=report.fleet_dead,
+        makespan_cycles=report.makespan_cycles,
+        recovery_latencies=tuple(report.recovery_latencies))
+
+
+def _run_chaos_trial_star(packed_args) -> ChaosTrial:
+    """Unpack-and-call shim so ``executor.map`` gets one picklable arg."""
+    return run_chaos_trial(*packed_args)
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated chaos campaign results (text + deterministic JSON)."""
+
+    trials: list[ChaosTrial] = field(default_factory=list)
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def sdc_total(self) -> int:
+        return sum(t.sdc for t in self.trials)
+
+    @property
+    def availability_min(self) -> float:
+        return min((t.availability for t in self.trials), default=1.0)
+
+    @property
+    def slo_attainment_mean(self) -> float:
+        if not self.trials:
+            return 1.0
+        return sum(t.slo_attainment for t in self.trials) \
+            / len(self.trials)
+
+    def pooled_recovery(self) -> list[float]:
+        pooled: list[float] = []
+        for trial in self.trials:
+            pooled.extend(trial.recovery_latencies)
+        return pooled
+
+    # -- rendering -----------------------------------------------------------
+
+    def format(self) -> str:
+        from repro.serve.report import percentile
+        lines = ["chaos campaign", "=" * 14]
+        lines.append(f"{'scenario':<11}{'seed':>5}{'compl':>7}"
+                     f"{'fail':>6}{'drop':>6}{'sdc':>5}{'avail':>8}"
+                     f"{'slo':>7}{'requeue':>8}{'hedge':>7}{'eject':>7}")
+        for t in self.trials:
+            lines.append(
+                f"{t.scenario:<11}{t.seed:>5}{t.completed:>7}"
+                f"{t.failed:>6}{t.dropped:>6}{t.sdc:>5}"
+                f"{100 * t.availability:>7.1f}%"
+                f"{100 * t.slo_attainment:>6.0f}%"
+                f"{t.requeued:>8}{t.hedges:>7}{t.ejections:>7}"
+                + ("  FLEET DEAD" if t.fleet_dead else ""))
+        pooled = self.pooled_recovery()
+        lines.append("")
+        lines.append(
+            f"trials           : {len(self.trials)}, "
+            f"SDC total {self.sdc_total}, "
+            f"min availability {100 * self.availability_min:.1f}%, "
+            f"mean SLO attainment "
+            f"{100 * self.slo_attainment_mean:.1f}%")
+        if pooled:
+            lines.append(
+                f"recovery (cycles): p50 {percentile(pooled, 50):.0f}"
+                f"  p95 {percentile(pooled, 95):.0f}"
+                f"  p99 {percentile(pooled, 99):.0f}"
+                f"  over {len(pooled)} event(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        from repro.serve.report import percentile
+        pooled = self.pooled_recovery()
+        return {
+            "schema": "repro.serve/chaos/v1",
+            "trials": [trial.to_json() for trial in self.trials],
+            "summary": {
+                "trials": len(self.trials),
+                "sdc_total": self.sdc_total,
+                "availability_min": round(self.availability_min, 6),
+                "slo_attainment_mean": round(self.slo_attainment_mean,
+                                             6),
+                "recovery_cycles": {
+                    "count": len(pooled),
+                    "p50": round(percentile(pooled, 50), 6),
+                    "p95": round(percentile(pooled, 95), 6),
+                    "p99": round(percentile(pooled, 99), 6),
+                },
+            },
+        }
+
+    def json(self, indent: int = 2) -> str:
+        import json
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+
+def run_chaos(config: ChaosConfig | None = None,
+              echo: Callable[[str], None] | None = None,
+              jobs: int = 1) -> ChaosReport:
+    """Sweep scenario × seed and aggregate a chaos report.
+
+    ``jobs > 1`` fans trials out across processes; ``executor.map``
+    preserves grid order and every trial is a pure function of
+    ``(scenario, seed, config)``, so the report JSON is byte-identical
+    to a serial run (regression-tested in ``tests/serve/test_chaos.py``).
+    """
+    config = config or ChaosConfig()
+    grid = [(scenario, seed, config)
+            for scenario in config.scenarios
+            for seed in config.seeds]
+    if echo:
+        echo(f"chaos campaign: {len(config.scenarios)} scenario(s) x "
+             f"{len(config.seeds)} seed(s) = {len(grid)} trial(s)")
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            trials = list(executor.map(_run_chaos_trial_star, grid))
+    else:
+        trials = [run_chaos_trial(*packed_args) for packed_args in grid]
+    report = ChaosReport(trials=trials)
+    if echo:
+        for trial in trials:
+            echo(f"  {trial.scenario:<11} seed={trial.seed} -> "
+                 f"{trial.completed} completed, {trial.failed} failed, "
+                 f"{trial.dropped} dropped, sdc={trial.sdc}, "
+                 f"avail={100 * trial.availability:.1f}%")
+    return report

@@ -13,7 +13,11 @@ Tracks emitted:
   (faulted) attempts are flagged in the span arguments;
 * ``C`` (counter) tracks for admission-queue depth and in-flight
   batches, sampled event-driven (every scheduler event), which is
-  exact: the counters only change at events.
+  exact: the counters only change at events;
+* ``i`` (instant) markers for the resilience machinery — hedged
+  re-dispatches, circuit-breaker ejections, half-open probes and
+  scripted fail-stops — pinned to the instance thread they happened
+  on, so a chaos run reads as a story in the Perfetto UI.
 """
 
 from __future__ import annotations
@@ -31,12 +35,18 @@ class ServingTimeline:
         self.batch_spans: list[tuple[int, str, float, float, bool,
                                      dict[str, Any]]] = []
         self.samples: list[tuple[float, int, int]] = []
+        self.instants: list[tuple[str, float, int, dict[str, Any]]] = []
         self._last_sample: tuple[int, int] | None = None
 
     def add_batch_span(self, instance: int, label: str, start, end,
                        ok: bool, **args: Any) -> None:
         self.batch_spans.append((instance, label, float(start),
                                  float(end), ok, dict(args)))
+
+    def add_instant(self, name: str, now, instance: int,
+                    **args: Any) -> None:
+        """Record a point event (hedge/eject/probe/fail-stop)."""
+        self.instants.append((name, float(now), instance, dict(args)))
 
     def sample(self, now, queue_depth: int, inflight: int) -> None:
         """Record counter values at an event (deduplicated)."""
@@ -52,7 +62,8 @@ class ServingTimeline:
             {"ph": "M", "pid": PID_SERVING, "name": "process_name",
              "args": {"name": "serving"}},
         ]
-        instances = sorted({span[0] for span in self.batch_spans})
+        instances = sorted({span[0] for span in self.batch_spans}
+                           | {instant[2] for instant in self.instants})
         for instance in instances:
             events.append({"ph": "M", "pid": PID_SERVING,
                            "tid": instance + 1, "name": "thread_name",
@@ -64,6 +75,12 @@ class ServingTimeline:
                 "dur": max(end - start, 1e-6),
                 "cat": "batch" if ok else "batch,fault",
                 "args": {"ok": ok, **args},
+            })
+        for name, now, instance, args in self.instants:
+            events.append({
+                "ph": "i", "pid": PID_SERVING, "tid": instance + 1,
+                "name": name, "ts": now, "s": "t",
+                "cat": "resilience", "args": dict(args),
             })
         for now, queue_depth, inflight in self.samples:
             events.append({"ph": "C", "pid": PID_SERVING, "tid": 0,

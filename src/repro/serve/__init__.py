@@ -9,6 +9,14 @@ latency percentiles, img/s, effective GOPS against the paper's 138,
 queue depths, and per-instance utilization; integrates with
 ``repro.obs`` (serving timeline) and ``repro.faults`` (deterministic
 batch faults + resubmission).  See ``docs/SERVING.md``.
+
+The resilience layer (:mod:`repro.serve.resilience`) adds per-request
+SLO deadlines with deadline-aware shedding and batching, a seeded
+retry/hedging :class:`ServePolicy`, per-instance circuit breakers,
+and scripted fleet disruptions (fail-stop / degrade / flap) with
+drain-and-requeue failover — all byte-deterministic per seed.  Chaos
+campaigns over this machinery live in :mod:`repro.faults.serving`
+(``repro serve chaos``).  See ``docs/RESILIENCE.md``.
 """
 
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
@@ -18,6 +26,10 @@ from repro.serve.queue import RequestQueue
 from repro.serve.report import (PAPER_PEAK_EFFECTIVE_GOPS, InstanceStats,
                                 RequestOutcome, ServeReport, build_report,
                                 percentile)
+from repro.serve.resilience import (BEST_EFFORT, DEFAULT_SLO_CLASSES,
+                                    FleetDisruptions, InstanceHealth,
+                                    ServePolicy, SloClass,
+                                    assign_slo_classes)
 from repro.serve.scheduler import (ServeConfig, ServeResult, default_config,
                                    run_serve, smoke_config)
 from repro.serve.traffic import (Request, TrafficTrace, burst_trace,
@@ -30,6 +42,8 @@ __all__ = [
     "RequestQueue",
     "PAPER_PEAK_EFFECTIVE_GOPS", "InstanceStats", "RequestOutcome",
     "ServeReport", "build_report", "percentile",
+    "BEST_EFFORT", "DEFAULT_SLO_CLASSES", "FleetDisruptions",
+    "InstanceHealth", "ServePolicy", "SloClass", "assign_slo_classes",
     "ServeConfig", "ServeResult", "default_config", "run_serve",
     "smoke_config",
     "Request", "TrafficTrace", "burst_trace", "make_trace",

@@ -9,12 +9,17 @@ The policy closes a batch when either
 
 * ``max_batch`` requests are pending (size trigger), or
 * the oldest pending request has waited ``max_wait_cycles``
-  (deadline trigger), so a lone request is never stranded.
+  (deadline trigger), so a lone request is never stranded, or
+* — when the scheduler supplies a ``service_estimate`` because SLO
+  classes are armed — the *tightest member deadline* would be missed
+  by waiting any longer (the batch must close early enough that its
+  estimated service still fits before the earliest deadline).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.serve.queue import RequestQueue
 from repro.serve.traffic import Request
@@ -42,6 +47,8 @@ class Batch:
     requests: tuple[Request, ...]
     formed_cycle: int
     attempts: int = 0          # executions started (faults resubmit)
+    #: Tightest member deadline (None when every member is best-effort).
+    deadline_cycle: int | None = None
 
     @property
     def size(self) -> int:
@@ -49,27 +56,51 @@ class Batch:
 
 
 class DynamicBatcher:
-    """Turns the admission queue into a stream of closed batches."""
+    """Turns the admission queue into a stream of closed batches.
 
-    def __init__(self, queue: RequestQueue, policy: BatchPolicy):
+    ``service_estimate`` — optional ``size -> cycles`` callable (the
+    scheduler passes the calibrated profile's uncontended batch cost
+    when SLO classes are armed) — makes batch formation deadline-aware:
+    a pending deadline forces a close while the estimated service can
+    still complete before it.  ``None`` keeps the legacy size/wait
+    triggers bit-identically.
+    """
+
+    def __init__(self, queue: RequestQueue, policy: BatchPolicy,
+                 service_estimate: Callable[[int], int] | None = None):
         self.queue = queue
         self.policy = policy
+        self.service_estimate = service_estimate
         self._next_bid = 0
         self.formed = 0
         self.size_hist: dict[int, int] = {}
 
     def deadline(self) -> int | None:
-        """Cycle at which the oldest pending request forces a close."""
+        """Cycle at which the pending requests force a close.
+
+        The oldest request's max-wait trigger, tightened (when a
+        service estimate is available) by the earliest member deadline
+        minus the estimated service of the batch that would close now.
+        """
         oldest = self.queue.oldest_arrival
         if oldest is None:
             return None
-        return oldest + self.policy.max_wait_cycles
+        close_at = oldest + self.policy.max_wait_cycles
+        if self.service_estimate is not None:
+            size = min(len(self.queue), self.policy.max_batch)
+            estimate = self.service_estimate(size)
+            for request in self.queue:
+                if request.deadline_cycle is not None:
+                    close_at = min(close_at,
+                                   request.deadline_cycle - estimate)
+        return close_at
 
     def ready(self, now, more_arrivals: bool) -> bool:
         """Should a batch close at ``now``?
 
-        Size trigger, deadline trigger, or end-of-trace flush (no more
-        arrivals will ever come, so waiting longer buys nothing).
+        Size trigger, deadline trigger (max-wait or tightest member
+        SLO deadline), or end-of-trace flush (no more arrivals will
+        ever come, so waiting longer buys nothing).
         """
         if len(self.queue) == 0:
             return False
@@ -86,8 +117,11 @@ class DynamicBatcher:
         if size == 0:
             raise RuntimeError("close() on an empty batcher")
         requests = tuple(self.queue.pop(now) for _ in range(size))
+        deadlines = [r.deadline_cycle for r in requests
+                     if r.deadline_cycle is not None]
         batch = Batch(bid=self._next_bid, requests=requests,
-                      formed_cycle=int(now))
+                      formed_cycle=int(now),
+                      deadline_cycle=min(deadlines) if deadlines else None)
         self._next_bid += 1
         self.formed += 1
         self.size_hist[size] = self.size_hist.get(size, 0) + 1

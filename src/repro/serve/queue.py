@@ -5,14 +5,25 @@ when a finite ``capacity`` is configured and the queue is full) and the
 queue keeps the same occupancy/time integral the observability hub
 keeps for hardware FIFOs (:class:`repro.obs.metrics._OccupancyTracker`)
 so the report can state mean/max queue depth without sampling.
+
+Drops carry a reason — ``queue_full`` (admission rejected),
+``deadline_expired`` (the request's SLO deadline passed while it
+queued) or ``shed`` (deadline-aware load shedding: the request could
+no longer make its SLO even if dispatched immediately) — surfaced as
+``drop_reasons`` and, through the report, as the serving layer's drop
+taxonomy.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from fractions import Fraction
+from typing import Callable
 
 from repro.serve.traffic import Request
+
+#: Every reason a request can be dropped, in pipeline order.
+DROP_REASONS = ("queue_full", "deadline_expired", "shed")
 
 
 class RequestQueue:
@@ -20,12 +31,15 @@ class RequestQueue:
 
     Timestamps may be :class:`~fractions.Fraction` (the scheduler's
     exact clock); the integral stays exact and is only converted to
-    float in the report.
+    float in the report.  ``capacity=0`` is legal and means "admit
+    nothing" (every push is a ``queue_full`` drop) — the degenerate
+    end of the admission-control spectrum, useful in tests and drain
+    scenarios.
     """
 
     def __init__(self, capacity: int | None = None):
-        if capacity is not None and capacity < 1:
-            raise ValueError("capacity must be >= 1 (or None)")
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0 (or None)")
         self.capacity = capacity
         self._items: deque[Request] = deque()
         self._last_time: Fraction = Fraction(0)
@@ -34,6 +48,7 @@ class RequestQueue:
         self.admitted = 0
         self.dropped = 0
         self.popped = 0
+        self.drop_reasons: dict[str, int] = {r: 0 for r in DROP_REASONS}
 
     def _advance(self, now) -> None:
         now = Fraction(now)
@@ -41,11 +56,18 @@ class RequestQueue:
             self._integral += len(self._items) * (now - self._last_time)
             self._last_time = now
 
+    def _drop(self, reason: str) -> None:
+        if reason not in self.drop_reasons:
+            raise ValueError(f"unknown drop reason {reason!r} "
+                             f"(expected one of {DROP_REASONS})")
+        self.dropped += 1
+        self.drop_reasons[reason] += 1
+
     def push(self, now, request: Request) -> bool:
         """Admit ``request`` at time ``now``; False means dropped."""
         self._advance(now)
         if self.capacity is not None and len(self._items) >= self.capacity:
-            self.dropped += 1
+            self._drop("queue_full")
             return False
         self._items.append(request)
         self.admitted += 1
@@ -59,10 +81,35 @@ class RequestQueue:
         return self._items.popleft()
 
     def peek(self) -> Request:
+        if not self._items:
+            raise IndexError("peek() on an empty queue")
         return self._items[0]
+
+    def remove_where(self, now, predicate: Callable[[Request], bool],
+                     reason: str) -> list[Request]:
+        """Drop every queued request matching ``predicate``.
+
+        Used by the deadline-aware scheduler to expire requests whose
+        deadline has passed (``reason="deadline_expired"``) and to shed
+        requests that can no longer make their SLO (``reason="shed"``).
+        Preserves FIFO order of the survivors and returns the removed
+        requests (oldest first) for outcome accounting.
+        """
+        self._advance(now)
+        removed = [r for r in self._items if predicate(r)]
+        if removed:
+            self._items = deque(r for r in self._items
+                                if not predicate(r))
+            for _ in removed:
+                self._drop(reason)
+        return removed
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def __iter__(self):
+        """Oldest-first view of the pending requests (read-only)."""
+        return iter(self._items)
 
     @property
     def oldest_arrival(self) -> int | None:
@@ -70,7 +117,13 @@ class RequestQueue:
         return self._items[0].arrival_cycle if self._items else None
 
     def mean_depth(self, now) -> float:
-        """Time-averaged depth over ``[0, now]``."""
+        """Time-averaged depth over ``[0, now]``.
+
+        Over a zero-length window (``now == 0``, e.g. a trace whose
+        every event is at cycle 0) the time integral is empty, so the
+        mean is defined as the instantaneous depth — exact, and
+        consistent with the limit of a shrinking window.
+        """
         self._advance(now)
         now = Fraction(now)
         if now <= 0:

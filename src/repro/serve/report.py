@@ -1,10 +1,19 @@
-"""Serving results: latency percentiles, throughput, utilization.
+"""Serving results: latency percentiles, throughput, utilization, SLOs.
 
 Everything the scheduler measured, rendered as text for the CLI and as
 a deterministic JSON document for CI artifacts.  Determinism matters:
 for a fixed config/seed two runs must produce *byte-identical* JSON
 (regression-tested), so floats are rounded at a fixed precision and
 all dict keys are emitted sorted.
+
+Schema v2 (``repro.serve/report/v2``) grows the resilience story on
+top of v1: a per-reason drop taxonomy (``queue_full`` /
+``deadline_expired`` / ``shed``), an ``slo`` section (per-class
+attainment + goodput), and a ``health`` section (availability,
+ejections/probes, hedges, requeues, recovery-latency percentiles).
+Every new section is *always* present — armed-but-idle resilience
+must not change a fault-free report byte for byte
+(``benchmarks/bench_serve_resilience.py``).
 
 The throughput section relates the simulated service to the paper's
 headline number: effective GOPS (nominal MACs delivered per second,
@@ -63,6 +72,11 @@ class RequestOutcome:
     done_cycle: float        # completion time (exact clock, floated)
     latency_cycles: float    # done - arrival
     failed: bool = False
+    slo: str = "best-effort"
+    deadline_cycle: int | None = None
+    #: Completed at or before the deadline (best-effort always True
+    #: when completed; failed requests with a deadline count as missed).
+    deadline_met: bool = True
 
 
 @dataclass
@@ -74,6 +88,16 @@ class InstanceStats:
     images_completed: int = 0
     faults: int = 0
     busy_cycles: float = 0.0
+    #: In-flight batches drained-and-requeued off this instance when a
+    #: scripted fail-stop killed it.
+    requeued: int = 0
+    #: Circuit-breaker ejections / half-open trial batches.
+    ejections: int = 0
+    probes: int = 0
+    #: Hedged legs on this instance that won the race.
+    hedge_wins: int = 0
+    #: Cycles this instance was unavailable (scripted down + ejected).
+    unavailable_cycles: float = 0.0
 
     def utilization(self, makespan_cycles: float) -> float:
         if makespan_cycles <= 0:
@@ -94,6 +118,7 @@ class ServeReport:
     workload: dict[str, Any] = field(default_factory=dict)
     profile: dict[str, Any] = field(default_factory=dict)
     policy: dict[str, Any] = field(default_factory=dict)
+    serve_policy: dict[str, Any] = field(default_factory=dict)
     # counts
     offered: int = 0
     admitted: int = 0
@@ -101,6 +126,8 @@ class ServeReport:
     completed: int = 0
     failed: int = 0
     resubmissions: int = 0
+    #: Per-reason drop taxonomy (queue_full/deadline_expired/shed).
+    drop_reasons: dict[str, int] = field(default_factory=dict)
     makespan_cycles: float = 0.0
     # latency (cycles over completed requests)
     latency_p50: float = 0.0
@@ -113,6 +140,20 @@ class ServeReport:
     queue_max_depth: int = 0
     batches_formed: int = 0
     batch_size_hist: dict[int, int] = field(default_factory=dict)
+    # SLO accounting (per class: offered/completed/met counts)
+    slo_by_class: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Completions that met their deadline (== completed when no
+    #: deadline-carrying class is in play).
+    deadline_met: int = 0
+    # resilience / health
+    requeued: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_cancelled: int = 0
+    fail_stops: int = 0
+    fleet_dead: bool = False
+    availability: float = 1.0
+    recovery_latencies: list[float] = field(default_factory=list)
     # per-instance
     instance_stats: list[InstanceStats] = field(default_factory=list)
     output_digest: str = ""
@@ -128,6 +169,21 @@ class ServeReport:
         if self.makespan_cycles <= 0:
             return 0.0
         return self.completed / self.makespan_s
+
+    @property
+    def goodput_img_s(self) -> float:
+        """Deadline-meeting completions per second (== throughput when
+        no SLO class is armed)."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.deadline_met / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *offered* requests that completed within SLO."""
+        if self.offered <= 0:
+            return 1.0
+        return self.deadline_met / self.offered
 
     @property
     def effective_gops(self) -> float:
@@ -149,6 +205,9 @@ class ServeReport:
     def latency_ms(self, cycles: float) -> float:
         return cycles / (self.clock_mhz * 1e3)
 
+    def recovery_percentile(self, q: float) -> float:
+        return percentile(self.recovery_latencies, q)
+
     # -- rendering -----------------------------------------------------------
 
     def format(self) -> str:
@@ -165,10 +224,12 @@ class ServeReport:
             f"ifm+ofm dma {self.profile.get('image_mem_cycles')}, "
             f"weights dma {self.profile.get('weight_mem_cycles')}; "
             f"mem {100 * self.profile.get('mem_fraction', 0.0):.0f}%)")
+        drops = ", ".join(f"{reason} {count}" for reason, count
+                          in sorted(self.drop_reasons.items()) if count)
         lines.append(
             f"traffic          : {self.traffic_kind}, seed {self.seed}, "
             f"{self.offered} offered / {self.admitted} admitted / "
-            f"{self.dropped} dropped")
+            f"{self.dropped} dropped" + (f" ({drops})" if drops else ""))
         lines.append(
             f"fleet            : {self.instances} instance(s), shared-DDR4 "
             f"contention {'on' if self.contention else 'off'}")
@@ -198,6 +259,30 @@ class ServeReport:
         lines.append(
             f"queue depth      : mean {self.queue_mean_depth:.2f}, "
             f"max {self.queue_max_depth}")
+        lines.append(
+            f"slo              : attainment "
+            f"{100 * self.slo_attainment:.1f}% "
+            f"({self.deadline_met}/{self.offered} in deadline), "
+            f"goodput {self.goodput_img_s:.1f} img/s")
+        for name, counts in sorted(self.slo_by_class.items()):
+            lines.append(
+                f"  class {name:<12}: {counts.get('offered', 0)} offered, "
+                f"{counts.get('completed', 0)} completed, "
+                f"{counts.get('met', 0)} met")
+        lines.append(
+            f"health           : availability "
+            f"{100 * self.availability:.2f}%, "
+            f"{self.fail_stops} fail-stop(s), "
+            f"{sum(s.ejections for s in self.instance_stats)} ejection(s), "
+            f"{self.requeued} requeued, {self.hedges} hedge(s) "
+            f"({self.hedge_wins} won)"
+            + (", FLEET DEAD" if self.fleet_dead else ""))
+        if self.recovery_latencies:
+            lines.append(
+                f"recovery (cycles): p50 {self.recovery_percentile(50):.0f}"
+                f"  p95 {self.recovery_percentile(95):.0f}"
+                f"  p99 {self.recovery_percentile(99):.0f}"
+                f"  over {len(self.recovery_latencies)} event(s)")
         lines.append("")
         lines.append(f"{'instance':<10}{'batches':>9}{'images':>8}"
                      f"{'faults':>8}{'busy cyc':>12}{'util':>7}")
@@ -215,7 +300,7 @@ class ServeReport:
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "schema": "repro.serve/report/v1",
+            "schema": "repro.serve/report/v2",
             "seed": self.seed,
             "instances": self.instances,
             "contention": self.contention,
@@ -226,13 +311,18 @@ class ServeReport:
                               else value)
                         for key, value in self.profile.items()},
             "policy": dict(self.policy),
+            "serve_policy": {
+                key: (_round(value) if isinstance(value, float) else value)
+                for key, value in self.serve_policy.items()},
             "counts": {
                 "offered": self.offered,
                 "admitted": self.admitted,
                 "dropped": self.dropped,
+                "drop_reasons": dict(self.drop_reasons),
                 "completed": self.completed,
                 "failed": self.failed,
                 "resubmissions": self.resubmissions,
+                "requeued": self.requeued,
             },
             "makespan_cycles": _round(self.makespan_cycles),
             "latency_cycles": {
@@ -253,6 +343,30 @@ class ServeReport:
                 "paper_peak_gops": _round(PAPER_PEAK_EFFECTIVE_GOPS),
                 "paper_peak_fraction": _round(self.paper_peak_fraction),
             },
+            "slo": {
+                "attainment": _round(self.slo_attainment),
+                "deadline_met": self.deadline_met,
+                "goodput_img_per_s": _round(self.goodput_img_s),
+                "by_class": {name: dict(counts) for name, counts
+                             in sorted(self.slo_by_class.items())},
+            },
+            "health": {
+                "availability": _round(self.availability),
+                "fail_stops": self.fail_stops,
+                "fleet_dead": self.fleet_dead,
+                "ejections": sum(s.ejections
+                                 for s in self.instance_stats),
+                "probes": sum(s.probes for s in self.instance_stats),
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "hedge_cancelled": self.hedge_cancelled,
+                "recovery_cycles": {
+                    "count": len(self.recovery_latencies),
+                    "p50": _round(self.recovery_percentile(50)),
+                    "p95": _round(self.recovery_percentile(95)),
+                    "p99": _round(self.recovery_percentile(99)),
+                },
+            },
             "queue": {
                 "mean_depth": _round(self.queue_mean_depth),
                 "max_depth": self.queue_max_depth,
@@ -271,6 +385,11 @@ class ServeReport:
                 "busy_cycles": _round(stats.busy_cycles),
                 "utilization": _round(
                     stats.utilization(self.makespan_cycles)),
+                "requeued": stats.requeued,
+                "ejections": stats.ejections,
+                "probes": stats.probes,
+                "hedge_wins": stats.hedge_wins,
+                "unavailable_cycles": _round(stats.unavailable_cycles),
             } for stats in self.instance_stats],
             "output_digest": self.output_digest,
         }
@@ -288,18 +407,41 @@ def build_report(*, seed: int, instances: int, contention: bool,
                  queue_max_depth: int, batches_formed: int,
                  batch_size_hist: dict[int, int],
                  instance_stats: list[InstanceStats],
-                 output_digest: str) -> ServeReport:
+                 output_digest: str,
+                 serve_policy: dict | None = None,
+                 drop_reasons: dict[str, int] | None = None,
+                 trace_requests: list | None = None,
+                 requeued: int = 0, hedges: int = 0,
+                 hedge_wins: int = 0, hedge_cancelled: int = 0,
+                 fail_stops: int = 0, fleet_dead: bool = False,
+                 availability: float = 1.0,
+                 recovery_latencies: list[float] | None = None
+                 ) -> ServeReport:
     """Assemble the report from the scheduler's raw accounting."""
     completed = [o for o in outcomes if not o.failed]
     latencies = [o.latency_cycles for o in completed]
+    deadline_met = sum(1 for o in completed if o.deadline_met)
+    slo_by_class: dict[str, dict[str, int]] = {}
+    for request in (trace_requests or ()):
+        entry = slo_by_class.setdefault(
+            request.slo, {"offered": 0, "completed": 0, "met": 0})
+        entry["offered"] += 1
+    for outcome in completed:
+        entry = slo_by_class.setdefault(
+            outcome.slo, {"offered": 0, "completed": 0, "met": 0})
+        entry["completed"] += 1
+        if outcome.deadline_met:
+            entry["met"] += 1
     return ServeReport(
         seed=seed, instances=instances, contention=contention,
         traffic_kind=traffic_kind, clock_mhz=clock_mhz,
         workload=workload, profile=profile, policy=policy,
+        serve_policy=dict(serve_policy or {}),
         offered=offered, admitted=admitted, dropped=dropped,
         completed=len(completed),
         failed=sum(1 for o in outcomes if o.failed),
         resubmissions=resubmissions,
+        drop_reasons=dict(drop_reasons or {}),
         makespan_cycles=makespan_cycles,
         latency_p50=percentile(latencies, 50),
         latency_p95=percentile(latencies, 95),
@@ -310,5 +452,10 @@ def build_report(*, seed: int, instances: int, contention: bool,
         queue_max_depth=queue_max_depth,
         batches_formed=batches_formed,
         batch_size_hist=dict(batch_size_hist),
+        slo_by_class=slo_by_class, deadline_met=deadline_met,
+        requeued=requeued, hedges=hedges, hedge_wins=hedge_wins,
+        hedge_cancelled=hedge_cancelled, fail_stops=fail_stops,
+        fleet_dead=fleet_dead, availability=availability,
+        recovery_latencies=list(recovery_latencies or []),
         instance_stats=instance_stats,
         output_digest=output_digest)

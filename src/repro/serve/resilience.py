@@ -1,0 +1,346 @@
+"""Serving-side resilience: policy, SLO classes, health, disruptions.
+
+The serving simulator's answer to "what happens when something
+misbehaves under load".  Four pieces, all deterministic per seed:
+
+* :class:`ServePolicy` — the serving-layer knobs that used to live
+  (awkwardly) on the SoC driver's ``ResiliencePolicy``: bounded
+  resubmission with exponential back-off and *deterministic* jitter,
+  optional hedged re-dispatch, and the circuit-breaker thresholds.
+* :class:`SloClass` + :func:`assign_slo_classes` — traffic classes
+  that stamp every request with a completion deadline; the admission
+  queue and batcher become deadline-aware, and the report gains
+  SLO-attainment and goodput columns.
+* :class:`InstanceHealth` — a per-instance circuit breaker: ``K``
+  consecutive batch faults eject the instance (OPEN); after a
+  cool-down it accepts exactly one half-open trial batch, whose
+  outcome either closes the breaker or re-ejects.
+* :class:`FleetDisruptions` — the scheduler-side view of a seeded
+  instance-fault script (:class:`repro.faults.serving.InstanceFault`):
+  fail-stop windows, flapping, and service-rate derating, normalized
+  into per-instance down/derate intervals whose boundaries become
+  discrete-event candidates (so rates are constant between events and
+  the exact-Fraction clock stays exact).
+
+Nothing here consumes global RNG state: every stochastic choice is a
+:func:`repro.faults.hooks.prf` draw keyed on explicit integers, so a
+chaos run is byte-reproducible across processes and CI machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.faults.hooks import prf, stable_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.soc.driver import ResiliencePolicy
+
+#: PRF stream keys, disjoint from repro.faults' own streams.
+_SLO_KEY = stable_id("serve.slo_class")
+_JITTER_KEY = stable_id("serve.backoff_jitter")
+
+#: Circuit-breaker states (:class:`InstanceHealth`).
+BREAKER_CLOSED = "closed"        # healthy, dispatchable
+BREAKER_OPEN = "open"            # ejected, waiting out the cool-down
+BREAKER_HALF_OPEN = "half-open"  # one trial batch in flight
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Serving-layer resilience knobs (split out of the SoC driver).
+
+    ``repro.soc.driver.ResiliencePolicy`` keeps a deprecated
+    ``batch_resubmits`` field as a compatibility alias; configs that
+    only set that keep working via :meth:`from_resilience`.  The
+    defaults arm the retry path and the circuit breaker but leave
+    hedging off; an armed-but-idle policy is guaranteed not to change
+    a fault-free run (``benchmarks/bench_serve_resilience.py``).
+    """
+
+    #: Resubmissions per batch after a fault (then its requests fail).
+    batch_resubmits: int = 2
+    #: First resubmission back-off (doubles per attempt, capped).
+    backoff_base_cycles: int = 32
+    backoff_cap_cycles: int = 1024
+    #: Deterministic jitter: each back-off is scaled by a seeded PRF
+    #: draw in ``[1 - jitter, 1 + jitter]``.  0.0 = the exact legacy
+    #: ``ResiliencePolicy.backoff`` schedule.
+    backoff_jitter: float = 0.0
+    #: Hedged re-dispatch: when a batch has been running longer than
+    #: ``hedge_factor x`` its uncontended service estimate and a
+    #: healthy instance is idle, launch a second copy; first completion
+    #: wins and the loser is cancelled at that exact instant.  ``None``
+    #: disables hedging.
+    hedge_factor: float | None = None
+    #: Circuit breaker: eject an instance after this many *consecutive*
+    #: batch faults (0 disables the breaker).
+    eject_after: int = 3
+    #: Cool-down before an ejected instance accepts a half-open trial.
+    probe_cooldown_cycles: int = 2048
+
+    def __post_init__(self):
+        if self.batch_resubmits < 0:
+            raise ValueError("batch_resubmits must be >= 0")
+        if self.backoff_base_cycles < 0 or self.backoff_cap_cycles < 0:
+            raise ValueError("back-off cycles must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.hedge_factor is not None and self.hedge_factor <= 0:
+            raise ValueError("hedge_factor must be positive (or None)")
+        if self.eject_after < 0:
+            raise ValueError("eject_after must be >= 0 (0 = breaker off)")
+        if self.probe_cooldown_cycles < 0:
+            raise ValueError("probe_cooldown_cycles must be >= 0")
+
+    def backoff(self, attempt: int, seed: int = 0, *keys: int) -> int:
+        """Back-off for resubmission ``attempt`` (0-based), jittered.
+
+        The jitter draw is a pure function of ``(seed, keys, attempt)``
+        so two runs of the same config produce the same schedule.
+        """
+        base = min(self.backoff_base_cycles << attempt,
+                   self.backoff_cap_cycles)
+        if self.backoff_jitter <= 0.0 or base == 0:
+            return base
+        draw = prf(seed, _JITTER_KEY, *keys, attempt)
+        scale = 1.0 + self.backoff_jitter * (2.0 * draw - 1.0)
+        return max(0, round(base * scale))
+
+    @classmethod
+    def from_resilience(cls, policy: "ResiliencePolicy") -> "ServePolicy":
+        """Adapt a driver ``ResiliencePolicy`` (deprecation alias).
+
+        Carries over the serving-relevant knobs (``batch_resubmits``
+        and the back-off schedule) and keeps every new mechanism off,
+        reproducing the pre-split scheduler behaviour exactly.
+        """
+        return cls(batch_resubmits=policy.batch_resubmits,
+                   backoff_base_cycles=policy.backoff_base_cycles,
+                   backoff_cap_cycles=policy.backoff_cap_cycles,
+                   backoff_jitter=0.0, hedge_factor=None, eject_after=0)
+
+
+# -- SLO classes and deadlines -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One traffic class: a name, a deadline, and a traffic share.
+
+    ``deadline_cycles=None`` means best-effort (no deadline: the
+    request can never be shed or expire, and always counts as meeting
+    its SLO).  ``weight`` is the relative share of traffic assigned to
+    this class by :func:`assign_slo_classes`.
+    """
+
+    name: str
+    deadline_cycles: int | None = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("SLO class needs a name")
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise ValueError("deadline_cycles must be positive (or None)")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+#: The implicit class of every request when no SLO mix is configured.
+BEST_EFFORT = SloClass("best-effort", None)
+
+#: A representative interactive/batch mix for chaos scenarios.
+DEFAULT_SLO_CLASSES = (SloClass("interactive", 60_000, weight=1.0),
+                       SloClass("batch", 400_000, weight=1.0))
+
+
+def assign_slo_classes(trace, classes: Sequence[SloClass], seed: int):
+    """Stamp every request of ``trace`` with a class and deadline.
+
+    The class of request ``rid`` is a weighted deterministic PRF draw
+    keyed on ``(seed, rid)`` — independent of arrival timing, so the
+    same rid gets the same class across traffic kinds.  Returns a new
+    :class:`~repro.serve.traffic.TrafficTrace` of the same kind.
+    """
+    from repro.serve.traffic import TrafficTrace
+    if not classes:
+        raise ValueError("need at least one SLO class")
+    total = sum(c.weight for c in classes)
+    stamped = []
+    for request in trace:
+        draw = prf(seed, _SLO_KEY, request.rid) * total
+        acc = 0.0
+        chosen = classes[-1]
+        for cls in classes:
+            acc += cls.weight
+            if draw < acc:
+                chosen = cls
+                break
+        deadline = None if chosen.deadline_cycles is None \
+            else request.arrival_cycle + chosen.deadline_cycles
+        stamped.append(replace(request, slo=chosen.name,
+                               deadline_cycle=deadline))
+    return TrafficTrace(trace.kind, tuple(stamped))
+
+
+# -- per-instance health (circuit breaker) -------------------------------------------
+
+
+@dataclass
+class InstanceHealth:
+    """Circuit-breaker state machine for one accelerator instance.
+
+    CLOSED (healthy) --K consecutive faults--> OPEN (ejected)
+    OPEN --cool-down elapsed, one batch dispatched--> HALF_OPEN (trial)
+    HALF_OPEN --trial completes--> CLOSED / --trial faults--> OPEN
+    """
+
+    index: int
+    state: str = BREAKER_CLOSED
+    consecutive_faults: int = 0
+    probe_at: Fraction | None = None
+    ejections: int = 0
+    probes: int = 0
+    #: (open_at, closed_at_or_None) windows, for availability math.
+    open_spans: list = None
+
+    def __post_init__(self):
+        if self.open_spans is None:
+            self.open_spans = []
+
+    def can_dispatch(self, now: Fraction) -> bool:
+        """May the scheduler place a batch on this instance at ``now``?"""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            return self.probe_at is not None and now >= self.probe_at
+        return False                          # HALF_OPEN: trial in flight
+
+    def on_dispatch(self, now: Fraction) -> bool:
+        """Record a dispatch; True if this batch is a half-open trial."""
+        if self.state == BREAKER_OPEN:
+            self.state = BREAKER_HALF_OPEN
+            self.probes += 1
+            return True
+        return False
+
+    def on_fault(self, now: Fraction, policy: ServePolicy,
+                 drain_cycles: int) -> bool:
+        """Record a batch fault; True if the instance was ejected."""
+        self.consecutive_faults += 1
+        tripped = (self.state == BREAKER_HALF_OPEN
+                   or (policy.eject_after > 0
+                       and self.consecutive_faults >= policy.eject_after))
+        if tripped:
+            self.state = BREAKER_OPEN
+            self.ejections += 1
+            self.probe_at = (now + drain_cycles
+                             + policy.probe_cooldown_cycles)
+            self.open_spans.append([now, None])
+        return tripped
+
+    def on_success(self, now: Fraction) -> None:
+        """A batch completed cleanly: close the breaker."""
+        self.consecutive_faults = 0
+        if self.state != BREAKER_CLOSED:
+            self.state = BREAKER_CLOSED
+            self.probe_at = None
+            if self.open_spans and self.open_spans[-1][1] is None:
+                self.open_spans[-1][1] = now
+
+    def open_cycles(self, makespan: Fraction) -> Fraction:
+        """Total ejected time over ``[0, makespan]`` (exact)."""
+        total = Fraction(0)
+        for start, end in self.open_spans:
+            stop = makespan if end is None else min(end, makespan)
+            if stop > start:
+                total += stop - start
+        return total
+
+
+# -- fleet disruptions (instance-fault scripts) --------------------------------------
+
+
+class FleetDisruptions:
+    """Scheduler-side view of an instance-fault script.
+
+    Normalizes :class:`repro.faults.serving.InstanceFault` events into
+    per-instance *down* intervals (fail-stop, flap off-phases) and
+    *derate* intervals (slow-replica clock derating), and exposes the
+    sorted transition cycles so the discrete-event loop can stop at
+    every boundary.  An empty script costs nothing: every query hits
+    the empty-intervals fast path.
+    """
+
+    def __init__(self, faults: Iterable = ()):
+        self._down: dict[int, list[tuple[int, int | None]]] = {}
+        self._derate: dict[int, list[tuple[int, int, Fraction]]] = {}
+        events: set[int] = set()
+        for fault in faults:
+            if fault.kind == "fail_stop":
+                self._down.setdefault(fault.instance, []).append(
+                    (fault.at_cycle, fault.until_cycle))
+                events.add(fault.at_cycle)
+                if fault.until_cycle is not None:
+                    events.add(fault.until_cycle)
+            elif fault.kind == "degrade":
+                factor = Fraction(fault.factor).limit_denominator(1024)
+                if factor <= 1:
+                    raise ValueError("degrade factor must be > 1")
+                self._derate.setdefault(fault.instance, []).append(
+                    (fault.at_cycle, fault.until_cycle, factor))
+                events.update((fault.at_cycle, fault.until_cycle))
+            elif fault.kind == "flap":
+                # Expand the flap window into alternating down phases
+                # (down first — the fault starts by taking it out).
+                cycle = fault.at_cycle
+                while cycle < fault.until_cycle:
+                    end = min(cycle + fault.period_cycles,
+                              fault.until_cycle)
+                    self._down.setdefault(fault.instance, []).append(
+                        (cycle, end))
+                    events.update((cycle, end))
+                    cycle += 2 * fault.period_cycles
+            else:
+                raise ValueError(f"unknown instance-fault kind "
+                                 f"{fault.kind!r}")
+        self._events = sorted(events)
+        self.fail_stops = sum(len(spans) for spans in self._down.values())
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._down or self._derate)
+
+    def is_down(self, instance: int, now) -> bool:
+        """Is ``instance`` scripted dead/offline at ``now``?"""
+        for start, end in self._down.get(instance, ()):
+            if start <= now and (end is None or now < end):
+                return True
+        return False
+
+    def derate(self, instance: int, now) -> Fraction:
+        """Service-rate divisor for ``instance`` at ``now`` (>= 1)."""
+        worst = Fraction(1)
+        for start, end, factor in self._derate.get(instance, ()):
+            if start <= now < end and factor > worst:
+                worst = factor
+        return worst
+
+    def next_event_after(self, now) -> int | None:
+        """Earliest scripted transition strictly after ``now``."""
+        for cycle in self._events:
+            if cycle > now:
+                return cycle
+        return None
+
+    def down_cycles(self, instance: int, makespan: Fraction) -> Fraction:
+        """Scripted down time of ``instance`` over ``[0, makespan]``."""
+        total = Fraction(0)
+        for start, end in self._down.get(instance, ()):
+            stop = makespan if end is None else min(Fraction(end), makespan)
+            if stop > start:
+                total += stop - Fraction(start)
+        return total

@@ -4,9 +4,9 @@ A deterministic discrete-event simulation on the fabric-cycle timebase.
 Requests arrive from a seeded :mod:`~repro.serve.traffic` process, are
 admitted into the :class:`~repro.serve.queue.RequestQueue`, grouped by
 the :class:`~repro.serve.batcher.DynamicBatcher`, and dispatched to the
-first idle accelerator instance.  Batch cost comes from the calibrated
-:class:`~repro.serve.engine.ServiceProfile` (measured on the real
-cycle-accurate SoC path), split into a DDR4-bound share and a
+first idle healthy accelerator instance.  Batch cost comes from the
+calibrated :class:`~repro.serve.engine.ServiceProfile` (measured on the
+real cycle-accurate SoC path), split into a DDR4-bound share and a
 compute-bound share.
 
 **Contention model.**  All instances hang off one DDR4 (the Fig. 1 /
@@ -23,14 +23,39 @@ throughput scales exactly linearly; with it enabled, N instances
 deliver strictly less than N× (asserted by the property suite),
 because overlapping memory phases stretch.
 
-**Faults.**  With ``fault_rate > 0``, each batch execution may take a
-deterministic pseudo-random fault (:func:`repro.faults.hooks.chance`
-keyed by batch id and attempt).  The faulted instance is drained
-(offline for ``drain_cycles``) and the batch is resubmitted under the
-driver's existing :class:`~repro.soc.driver.ResiliencePolicy`: up to
-``layer_replays`` resubmissions with the policy's bounded exponential
-back-off, after which the batch's requests are failed (never silently
-dropped).
+**Resilience** (:mod:`repro.serve.resilience`).  The serving-side
+fault story is governed by a :class:`ServePolicy` (split out of the
+SoC driver's ``ResiliencePolicy``; the old ``batch_resubmits`` field
+still works as a deprecation alias via
+:meth:`ServePolicy.from_resilience`):
+
+* **deadlines** — with ``slo_classes`` configured, every request
+  carries a deadline; queued requests whose deadline passed are
+  *expired*, requests that could no longer make their SLO even if
+  dispatched immediately are *shed*, and batch formation closes early
+  enough that the tightest member deadline can still be met;
+* **faults + retry** — with ``fault_rate > 0`` each batch execution
+  may take a deterministic pseudo-random fault
+  (:func:`repro.faults.hooks.chance` keyed by batch id and attempt);
+  the instance drains offline for ``drain_cycles`` and the batch
+  resubmits with the policy's bounded, deterministically-jittered
+  exponential back-off, after which its requests are failed (never
+  silently dropped);
+* **hedging** — with ``hedge_factor`` set, a batch running longer
+  than ``factor x`` its uncontended service estimate is re-dispatched
+  to a second healthy idle instance; first completion wins and the
+  loser is cancelled at that exact Fraction instant;
+* **health + failover** — a per-instance circuit breaker ejects an
+  instance after ``eject_after`` consecutive faults and probes it
+  back with a half-open trial batch; scripted instance faults
+  (``instance_faults``: fail-stop, flapping, degraded replicas — see
+  :mod:`repro.faults.serving`) take instances down or derate their
+  service rate, and in-flight work on a dying instance is drained and
+  requeued at the head of the dispatch queue.
+
+An armed-but-idle policy (no faults fire, no deadline binds, no hedge
+triggers) leaves the fault-free report *byte-identical* — gated by
+``benchmarks/bench_serve_resilience.py``.
 """
 
 from __future__ import annotations
@@ -46,6 +71,9 @@ from repro.serve.engine import (ServeEngine, ServeWorkload, ServiceProfile,
 from repro.serve.queue import RequestQueue
 from repro.serve.report import (InstanceStats, RequestOutcome, ServeReport,
                                 build_report)
+from repro.serve.resilience import (FleetDisruptions, InstanceHealth,
+                                    ServePolicy, SloClass,
+                                    assign_slo_classes)
 from repro.serve.traffic import TrafficTrace, make_trace
 from repro.soc.driver import ResiliencePolicy
 
@@ -60,6 +88,17 @@ class ServeConfig:
     instances: int = 2
     policy: BatchPolicy = BatchPolicy()
     resilience: ResiliencePolicy = ResiliencePolicy()
+    #: Serving-side resilience policy.  ``None`` derives one from
+    #: ``resilience`` (deprecation alias: its ``batch_resubmits`` and
+    #: back-off knobs, everything new off) so pre-split configs behave
+    #: identically.
+    serve_policy: ServePolicy | None = None
+    #: SLO traffic classes; ``None`` = everything best-effort (no
+    #: deadlines, no shedding — the legacy behaviour).
+    slo_classes: tuple[SloClass, ...] | None = None
+    #: Scripted instance faults (fail-stop / degrade / flap events,
+    #: :class:`repro.faults.serving.InstanceFault`).
+    instance_faults: tuple = ()
     workload: ServeWorkload = ServeWorkload()
     traffic: str = "poisson"          # poisson | burst | replay
     requests: int = 64
@@ -87,13 +126,26 @@ class ServeConfig:
             raise ValueError("fault_rate must be in [0, 1]")
         if self.drain_cycles < 0:
             raise ValueError("drain_cycles must be >= 0")
+        for fault in self.instance_faults:
+            if fault.instance >= self.instances:
+                raise ValueError(f"instance fault targets instance "
+                                 f"{fault.instance} of {self.instances}")
+
+    def effective_policy(self) -> ServePolicy:
+        """The serving policy actually applied by :func:`run_serve`."""
+        if self.serve_policy is not None:
+            return self.serve_policy
+        return ServePolicy.from_resilience(self.resilience)
 
     def trace(self) -> TrafficTrace:
-        return make_trace(
+        trace = make_trace(
             self.traffic, self.seed, count=self.requests,
             mean_interarrival_cycles=self.mean_interarrival_cycles,
             bursts=self.bursts, burst_size=self.burst_size,
             gap_cycles=self.burst_gap_cycles, gaps=self.replay_gaps)
+        if self.slo_classes is not None:
+            trace = assign_slo_classes(trace, self.slo_classes, self.seed)
+        return trace
 
 
 def smoke_config(seed: int = 0) -> ServeConfig:
@@ -115,14 +167,15 @@ def default_config(seed: int = 0) -> ServeConfig:
 
 
 class _Job:
-    """One batch executing on one instance (exact remaining work)."""
+    """One batch leg executing on one instance (exact remaining work)."""
 
     __slots__ = ("batch", "instance", "mem_rem", "compute_rem",
-                 "work_done", "fault_at", "started")
+                 "work_done", "fault_at", "started", "hedge", "probe")
 
     def __init__(self, batch: Batch, instance: int, mem_cycles: int,
                  compute_cycles: int, fault_at: Fraction | None,
-                 started: Fraction):
+                 started: Fraction, hedge: bool = False,
+                 probe: bool = False):
         self.batch = batch
         self.instance = instance
         self.mem_rem = Fraction(mem_cycles)
@@ -130,6 +183,8 @@ class _Job:
         self.work_done = Fraction(0)
         self.fault_at = fault_at        # work threshold, None = no fault
         self.started = started
+        self.hedge = hedge              # hedged re-dispatch leg
+        self.probe = probe              # half-open breaker trial
 
     @property
     def in_mem(self) -> bool:
@@ -143,12 +198,13 @@ class _Job:
     def faulted(self) -> bool:
         return self.fault_at is not None and self.work_done >= self.fault_at
 
-    def next_event_dt(self, mem_rate: Fraction) -> Fraction:
+    def next_event_dt(self, mem_rate: Fraction,
+                      derate: Fraction) -> Fraction:
         """Time to this job's next state change at current rates."""
         if self.in_mem:
-            rate, phase_rem = mem_rate, self.mem_rem
+            rate, phase_rem = mem_rate / derate, self.mem_rem
         else:
-            rate, phase_rem = Fraction(1), self.compute_rem
+            rate, phase_rem = Fraction(1) / derate, self.compute_rem
         dt = phase_rem / rate
         if self.fault_at is not None:
             to_fault = self.fault_at - self.work_done
@@ -156,14 +212,15 @@ class _Job:
                 dt = min(dt, max(Fraction(0), to_fault) / rate)
         return dt
 
-    def advance(self, dt: Fraction, mem_rate: Fraction) -> None:
+    def advance(self, dt: Fraction, mem_rate: Fraction,
+                derate: Fraction) -> None:
         if dt <= 0:
             return
         if self.in_mem:
-            progress = dt * mem_rate
+            progress = dt * mem_rate / derate
             self.mem_rem -= progress
         else:
-            progress = dt
+            progress = dt / derate
             self.compute_rem -= progress
         self.work_done += progress
 
@@ -212,22 +269,38 @@ def run_serve(config: ServeConfig | None = None,
              f"({100 * profile.mem_fraction:.0f}% DDR4-bound), "
              f"{config.instances} instance(s), "
              f"{len(trace)} requests ({trace.kind})")
+    spolicy = config.effective_policy()
+    slo_armed = config.slo_classes is not None
+    disruptions = FleetDisruptions(config.instance_faults)
+    hedge_ratio = None if spolicy.hedge_factor is None \
+        else Fraction(spolicy.hedge_factor).limit_denominator(4096)
     engine = ServeEngine(config.workload, outputs=config.outputs)
     queue = RequestQueue(config.queue_capacity)
-    batcher = DynamicBatcher(queue, config.policy)
+    batcher = DynamicBatcher(
+        queue, config.policy,
+        service_estimate=profile.batch_cycles if slo_armed else None)
     timeline = None
     if config.timeline:
         from repro.obs.serving import ServingTimeline
         timeline = ServingTimeline()
     stats = [InstanceStats(i) for i in range(config.instances)]
+    health = [InstanceHealth(i) for i in range(config.instances)]
+    was_down = [False] * config.instances
     idle: list[int] = list(range(config.instances))
     offline: dict[int, Fraction] = {}
     jobs: dict[int, _Job] = {}
+    legs: dict[int, list[int]] = {}        # bid -> instances with a leg
+    hedged_bids: set[int] = set()
+    completed_bids: set[int] = set()
+    pending_recovery: dict[int, Fraction] = {}
+    recovery_latencies: list[float] = []
     ready: list[tuple[Fraction, Batch]] = []
     outcomes: list[RequestOutcome] = []
     outputs: dict[int, object] = {}
     resubmissions = 0
-    policy = config.resilience
+    requeued = 0
+    hedges = hedge_wins = hedge_cancelled = 0
+    fail_stop_events = 0
     arrivals = list(trace)
     next_arrival = 0
     now = Fraction(0)
@@ -238,77 +311,217 @@ def run_serve(config: ServeConfig | None = None,
         busy = sum(1 for job in jobs.values() if job.in_mem)
         return Fraction(1, busy) if busy > 1 else Fraction(1)
 
-    def dispatch(batch: Batch, instance: int) -> None:
+    def usable(instance: int) -> bool:
+        """Healthy + powered: may receive a batch right now."""
+        return (not disruptions.is_down(instance, now)
+                and health[instance].can_dispatch(now))
+
+    def dispatch(batch: Batch, instance: int, hedge: bool = False) -> None:
         batch.attempts += 1
         mem = profile.batch_mem_cycles(batch.size)
         compute = profile.batch_compute_cycles(batch.size)
         fault_at = _fault_threshold(config, batch, mem + compute)
-        jobs[instance] = _Job(batch, instance, mem, compute, fault_at, now)
+        probe = health[instance].on_dispatch(now)
+        jobs[instance] = _Job(batch, instance, mem, compute, fault_at,
+                              now, hedge=hedge, probe=probe)
+        legs.setdefault(batch.bid, []).append(instance)
+        if timeline is not None and probe:
+            timeline.add_instant("probe", now, instance,
+                                 batch=batch.bid)
+
+    def remove_leg(bid: int, instance: int) -> None:
+        entries = legs.get(bid)
+        if entries and instance in entries:
+            entries.remove(instance)
+            if not entries:
+                del legs[bid]
+
+    def expected_cycles(batch: Batch) -> int:
+        return profile.batch_cycles(batch.size)
+
+    def fail_batch(batch: Batch) -> None:
+        for request in batch.requests:
+            outcomes.append(RequestOutcome(
+                rid=request.rid, arrival_cycle=request.arrival_cycle,
+                batch=batch.bid, instance=-1, done_cycle=float(now),
+                latency_cycles=0.0, failed=True, slo=request.slo,
+                deadline_cycle=request.deadline_cycle,
+                deadline_met=request.deadline_cycle is None))
 
     def settle() -> None:
         """Process everything due at the current instant."""
-        nonlocal next_arrival
+        nonlocal next_arrival, hedges
         while (next_arrival < len(arrivals)
                and arrivals[next_arrival].arrival_cycle <= now):
             queue.push(now, arrivals[next_arrival])
             next_arrival += 1
+        if slo_armed:
+            # Expired: the deadline already passed while queued.
+            queue.remove_where(
+                now, lambda r: (r.deadline_cycle is not None
+                                and r.deadline_cycle < now),
+                "deadline_expired")
+            # Shed: could not make the SLO even dispatched alone now.
+            solo = profile.batch_cycles(1)
+            queue.remove_where(
+                now, lambda r: (r.deadline_cycle is not None
+                                and r.deadline_cycle < now + solo),
+                "shed")
         while batcher.ready(now, next_arrival < len(arrivals)):
             ready.append((now, batcher.close(now)))
-        while idle and any(at <= now for at, _ in ready):
+        while any(at <= now for at, _ in ready):
+            eligible = [i for i in idle if usable(i)]
+            if not eligible:
+                break
             index = next(i for i, (at, _) in enumerate(ready) if at <= now)
             _, batch = ready.pop(index)
-            dispatch(batch, idle.pop(0))
+            instance = eligible[0]
+            idle.remove(instance)
+            dispatch(batch, instance)
+        if hedge_ratio is not None:
+            for instance in sorted(jobs):
+                job = jobs[instance]
+                bid = job.batch.bid
+                if (job.hedge or bid in hedged_bids
+                        or bid in completed_bids):
+                    continue
+                if now - job.started < hedge_ratio \
+                        * expected_cycles(job.batch):
+                    continue
+                eligible = [i for i in idle if usable(i)]
+                if not eligible:
+                    break
+                backup = eligible[0]
+                idle.remove(backup)
+                hedged_bids.add(bid)
+                hedges += 1
+                dispatch(job.batch, backup, hedge=True)
+                if timeline is not None:
+                    timeline.add_instant("hedge", now, backup,
+                                         batch=bid, primary=instance)
         if timeline is not None:
             timeline.sample(now, len(queue), len(jobs))
 
+    def sync_disruptions() -> None:
+        """Apply scripted down/up transitions at the current instant."""
+        nonlocal requeued, fail_stop_events
+        if not disruptions.armed:
+            return
+        for instance in range(config.instances):
+            down = disruptions.is_down(instance, now)
+            if down and not was_down[instance]:
+                fail_stop_events += 1
+                if timeline is not None:
+                    timeline.add_instant("fail-stop", now, instance)
+                if instance in jobs:
+                    job = jobs.pop(instance)
+                    bid = job.batch.bid
+                    stats[instance].busy_cycles += float(now - job.started)
+                    stats[instance].requeued += 1
+                    remove_leg(bid, instance)
+                    if timeline is not None:
+                        timeline.add_batch_span(
+                            instance,
+                            f"batch{bid} x{job.batch.size}",
+                            job.started, now, False,
+                            attempt=job.batch.attempts, killed=True)
+                    if bid not in legs and bid not in completed_bids:
+                        # Drain-and-requeue at the head of the queue.
+                        requeued += 1
+                        pending_recovery.setdefault(bid, now)
+                        hedged_bids.discard(bid)
+                        ready.insert(0, (now, job.batch))
+                    idle.append(instance)
+                    idle.sort()
+            was_down[instance] = down
+
     def complete(instance: int, job: _Job) -> None:
+        nonlocal hedge_wins, hedge_cancelled
+        bid = job.batch.bid
         entry = stats[instance]
         entry.batches_completed += 1
         entry.images_completed += job.batch.size
         entry.busy_cycles += float(now - job.started)
+        health[instance].on_success(now)
+        if job.hedge:
+            hedge_wins += 1
+            entry.hedge_wins += 1
+        remove_leg(bid, instance)
+        # First completion wins: cancel any sibling leg exactly now.
+        for other in list(legs.get(bid, ())):
+            loser = jobs.pop(other)
+            stats[other].busy_cycles += float(now - loser.started)
+            hedge_cancelled += 1
+            remove_leg(bid, other)
+            idle.append(other)
+            if timeline is not None:
+                timeline.add_batch_span(
+                    other, f"batch{bid} x{loser.batch.size}",
+                    loser.started, now, False,
+                    attempt=loser.batch.attempts, cancelled=True)
+        completed_bids.add(bid)
+        if bid in pending_recovery:
+            recovery_latencies.append(float(now - pending_recovery.pop(bid)))
         for request in job.batch.requests:
             outputs[request.rid] = engine.run_image(request.image_seed)
+            met = (request.deadline_cycle is None
+                   or now <= request.deadline_cycle)
             outcomes.append(RequestOutcome(
                 rid=request.rid, arrival_cycle=request.arrival_cycle,
-                batch=job.batch.bid, instance=instance,
+                batch=bid, instance=instance,
                 done_cycle=float(now),
-                latency_cycles=float(now - request.arrival_cycle)))
+                latency_cycles=float(now - request.arrival_cycle),
+                slo=request.slo, deadline_cycle=request.deadline_cycle,
+                deadline_met=met))
         if timeline is not None:
             timeline.add_batch_span(
-                instance, f"batch{job.batch.bid} x{job.batch.size}",
-                job.started, now, True, attempt=job.batch.attempts)
+                instance, f"batch{bid} x{job.batch.size}",
+                job.started, now, True, attempt=job.batch.attempts,
+                hedge=job.hedge)
         del jobs[instance]
         idle.append(instance)
         idle.sort()
 
     def take_fault(instance: int, job: _Job) -> None:
         nonlocal resubmissions
+        bid = job.batch.bid
         entry = stats[instance]
         entry.faults += 1
         entry.busy_cycles += float(now - job.started)
         if timeline is not None:
             timeline.add_batch_span(
-                instance, f"batch{job.batch.bid} x{job.batch.size}",
+                instance, f"batch{bid} x{job.batch.size}",
                 job.started, now, False, attempt=job.batch.attempts)
         del jobs[instance]
+        remove_leg(bid, instance)
         offline[instance] = now + config.drain_cycles
+        ejected = health[instance].on_fault(now, spolicy,
+                                            config.drain_cycles)
+        if ejected:
+            entry.ejections += 1
+            if timeline is not None:
+                timeline.add_instant("eject", now, instance,
+                                     after=health[instance]
+                                     .consecutive_faults)
+        if bid in legs:
+            return          # a sibling (hedge) leg carries the batch on
         batch = job.batch
-        if batch.attempts > policy.batch_resubmits:
-            for request in batch.requests:
-                outcomes.append(RequestOutcome(
-                    rid=request.rid, arrival_cycle=request.arrival_cycle,
-                    batch=batch.bid, instance=-1, done_cycle=float(now),
-                    latency_cycles=0.0, failed=True))
+        if batch.attempts > spolicy.batch_resubmits:
+            fail_batch(batch)
             return
         resubmissions += 1
-        backoff = policy.backoff(batch.attempts - 1)
+        pending_recovery.setdefault(bid, now)
+        hedged_bids.discard(bid)
+        backoff = spolicy.backoff(batch.attempts - 1, config.seed, bid)
         ready.insert(0, (now + backoff, batch))
 
     guard = 0
+    fleet_dead = False
     while (next_arrival < len(arrivals) or len(queue) or ready or jobs):
         guard += 1
         if guard > 10_000_000:
             raise RuntimeError("serve scheduler failed to converge")
+        sync_disruptions()
         settle()
         if not (next_arrival < len(arrivals) or len(queue)
                 or ready or jobs):
@@ -325,21 +538,47 @@ def run_serve(config: ServeConfig | None = None,
             if ready_at > now:
                 candidates.append(ready_at)
         candidates.extend(offline.values())
+        for entry in health:
+            if entry.probe_at is not None and entry.probe_at > now:
+                candidates.append(entry.probe_at)
+        script_event = disruptions.next_event_after(now)
+        if script_event is not None:
+            candidates.append(Fraction(script_event))
         rate = mem_rate()
-        for job in jobs.values():
-            candidates.append(now + job.next_event_dt(rate))
+        derates = {instance: disruptions.derate(instance, now)
+                   for instance in jobs}
+        for instance, job in jobs.items():
+            candidates.append(
+                now + job.next_event_dt(rate, derates[instance]))
+            if (hedge_ratio is not None and not job.hedge
+                    and job.batch.bid not in hedged_bids):
+                trigger = job.started + hedge_ratio \
+                    * expected_cycles(job.batch)
+                if trigger > now:
+                    candidates.append(trigger)
+        if not candidates:
+            # Fleet permanently dead with work still queued: fail it
+            # (never silently dropped) and stop the clock honestly.
+            fleet_dead = True
+            for _, batch in ready:
+                fail_batch(batch)
+            ready.clear()
+            break
         target = min(candidates)
         if target > now:
             dt = target - now
-            for job in jobs.values():
-                job.advance(dt, rate)
+            for instance, job in jobs.items():
+                job.advance(dt, rate, derates[instance])
             now = target
         for instance in sorted(offline):
             if offline[instance] <= now:
                 del offline[instance]
                 idle.append(instance)
                 idle.sort()
+        sync_disruptions()
         for instance in sorted(jobs):
+            if instance not in jobs:
+                continue        # cancelled as a losing hedge leg
             job = jobs[instance]
             if job.faulted:
                 take_fault(instance, job)
@@ -348,6 +587,19 @@ def run_serve(config: ServeConfig | None = None,
 
     makespan = float(now)
     digest = output_digest(outputs)
+    unavailable = []
+    for entry, h in zip(stats, health):
+        down = disruptions.down_cycles(entry.index, now) \
+            + h.open_cycles(now)
+        entry.unavailable_cycles = float(min(down, now))
+        entry.ejections = h.ejections
+        entry.probes = h.probes
+        unavailable.append(min(down, now))
+    if now > 0:
+        availability = float(
+            1 - sum(unavailable) / (config.instances * now))
+    else:
+        availability = 1.0
     report = build_report(
         seed=config.seed, instances=config.instances,
         contention=config.contention, traffic_kind=trace.kind,
@@ -370,9 +622,26 @@ def run_serve(config: ServeConfig | None = None,
             "max_batch": config.policy.max_batch,
             "max_wait_cycles": config.policy.max_wait_cycles,
         },
+        serve_policy={
+            "batch_resubmits": spolicy.batch_resubmits,
+            "backoff_base_cycles": spolicy.backoff_base_cycles,
+            "backoff_cap_cycles": spolicy.backoff_cap_cycles,
+            "backoff_jitter": spolicy.backoff_jitter,
+            "hedge_factor": spolicy.hedge_factor,
+            "eject_after": spolicy.eject_after,
+            "probe_cooldown_cycles": spolicy.probe_cooldown_cycles,
+        },
         offered=len(trace), admitted=queue.admitted,
-        dropped=queue.dropped, outcomes=outcomes,
-        resubmissions=resubmissions, makespan_cycles=makespan,
+        dropped=queue.dropped,
+        drop_reasons=dict(queue.drop_reasons),
+        outcomes=outcomes, trace_requests=arrivals,
+        resubmissions=resubmissions, requeued=requeued,
+        hedges=hedges, hedge_wins=hedge_wins,
+        hedge_cancelled=hedge_cancelled,
+        fail_stops=fail_stop_events, fleet_dead=fleet_dead,
+        availability=availability,
+        recovery_latencies=recovery_latencies,
+        makespan_cycles=makespan,
         queue_mean_depth=queue.mean_depth(now if now > 0 else 1),
         queue_max_depth=queue.max_depth,
         batches_formed=batcher.formed,

@@ -30,16 +30,24 @@ class Request:
 
     ``image_seed`` determines the request's input tensor (the engine
     generates it deterministically), so a trace fully specifies the
-    workload without carrying arrays around.
+    workload without carrying arrays around.  ``slo``/``deadline_cycle``
+    are stamped by :func:`repro.serve.resilience.assign_slo_classes`
+    when an SLO mix is configured; the defaults are best-effort (no
+    deadline, so the request can never be shed or expire).
     """
 
     rid: int
     arrival_cycle: int
     image_seed: int
+    slo: str = "best-effort"
+    deadline_cycle: int | None = None
 
     def __post_init__(self):
         if self.rid < 0 or self.arrival_cycle < 0:
             raise ValueError(f"bad request {self}")
+        if self.deadline_cycle is not None \
+                and self.deadline_cycle < self.arrival_cycle:
+            raise ValueError(f"deadline before arrival in {self}")
 
 
 @dataclass(frozen=True)

@@ -67,13 +67,22 @@ class ResiliencePolicy:
     The defaults keep the clean path bit- and cycle-identical to a
     policy-less driver: retries and replays only activate when a fault
     is actually signalled, and golden-output checking is opt-in.
+
+    .. deprecated:: ``batch_resubmits``
+        The serving-layer knobs moved to
+        :class:`repro.serve.resilience.ServePolicy` (which also owns
+        hedging, jittered back-off and the circuit breaker); this
+        field remains as a compatibility alias — a ``ServeConfig``
+        without an explicit ``serve_policy`` derives one via
+        :meth:`ServePolicy.from_resilience`, reproducing the pre-split
+        behaviour exactly.
     """
 
     dma_retries: int = 3            # resubmissions per failed transfer
     backoff_base_cycles: int = 32   # first retry back-off (doubles)
     backoff_cap_cycles: int = 1024  # exponential back-off ceiling
     layer_replays: int = 2          # conv re-executions from staged inputs
-    batch_resubmits: int = 2        # serving-batch resubmissions (repro.serve)
+    batch_resubmits: int = 2        # DEPRECATED alias: see ServePolicy
     check_outputs: bool = False     # golden divergence check per conv layer
     degrade: bool = False           # record faulted tiles and continue
 

@@ -1,0 +1,99 @@
+"""Chaos campaigns: determinism, differential bit-identity, SDC=0.
+
+The two load-bearing properties of ``repro serve chaos``:
+
+1. **differential conformance** (Hypothesis): whatever the disruption
+   script does — fail-stop, flap, degrade, plus stochastic batch
+   faults — every request the chaos run completes must produce output
+   *bit-identical* to the fault-free reference run.  Recovery may
+   shift timing, fail, or drop; it may never corrupt.
+2. **byte determinism**: the campaign JSON is a pure function of its
+   config — identical across repeat runs and identical serial vs
+   ``--jobs N`` (``executor.map`` preserves grid order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.serving import (CHAOS_SCENARIOS, ChaosConfig,
+                                  run_chaos, run_chaos_trial,
+                                  smoke_chaos_config)
+
+
+# -- scenario scripts ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(CHAOS_SCENARIOS))
+def test_scenario_scripts_are_valid_and_deterministic(name):
+    builder = CHAOS_SCENARIOS[name]
+    faults = builder(0, 2, 100_000)
+    assert faults == builder(0, 2, 100_000)   # pure function of seed
+    assert len(faults) >= 1
+    for fault in faults:
+        assert 0 <= fault.instance < 2
+        assert fault.at_cycle < 100_000
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        ChaosConfig(scenarios=("earthquake",))
+
+
+# -- differential conformance (Hypothesis) -------------------------------------------
+
+
+@given(seed=st.integers(0, 5_000),
+       scenario=st.sampled_from(sorted(CHAOS_SCENARIOS)))
+@settings(max_examples=6, deadline=None)
+def test_chaos_outputs_bit_identical_to_fault_free(seed, scenario):
+    """Every request a chaos run completes matches the fault-free
+    reference output bit for bit (recovery never corrupts)."""
+    from dataclasses import replace
+    from repro.serve import run_serve
+    config = ChaosConfig(seeds=(seed,), requests=16,
+                         mean_interarrival_cycles=2000.0)
+    chaos_config = config.serve_config(scenario, seed)
+    reference = run_serve(replace(chaos_config, fault_rate=0.0,
+                                  instance_faults=()))
+    chaos = run_serve(chaos_config)
+    report = chaos.report
+    assert report.completed + report.failed + report.dropped \
+        == report.offered
+    for rid, output in chaos.outputs.items():
+        np.testing.assert_array_equal(output, reference.outputs[rid])
+
+
+def test_trial_classification_reports_zero_sdc():
+    trial = run_chaos_trial("fail_stop", 0, smoke_chaos_config())
+    assert trial.sdc == 0
+    assert trial.completed + trial.failed + trial.dropped \
+        == trial.offered
+    assert 0.0 < trial.availability < 1.0    # the outage registered
+
+
+# -- byte determinism ----------------------------------------------------------------
+
+
+def test_chaos_json_byte_identical_across_runs():
+    config = smoke_chaos_config()
+    assert run_chaos(config).json() == run_chaos(config).json()
+
+
+def test_chaos_json_byte_identical_serial_vs_jobs():
+    """The acceptance criterion: ``--jobs 2`` must not change a byte."""
+    config = smoke_chaos_config()
+    serial = run_chaos(config, jobs=1).json()
+    parallel = run_chaos(config, jobs=2).json()
+    assert serial == parallel
+
+
+def test_chaos_smoke_summary_shape():
+    report = run_chaos(smoke_chaos_config())
+    document = report.to_json()
+    assert document["schema"] == "repro.serve/chaos/v1"
+    assert document["summary"]["trials"] == 4     # 2 scenarios x 2 seeds
+    assert document["summary"]["sdc_total"] == 0
+    assert 0.0 < document["summary"]["availability_min"] <= 1.0
+    recovery = document["summary"]["recovery_cycles"]
+    assert recovery["p50"] <= recovery["p95"] <= recovery["p99"]

@@ -12,9 +12,10 @@ from repro.serve import percentile
 #: Keys the CI consumer of artifacts/serve_smoke.json relies on.
 REQUIRED_TOP_LEVEL = {
     "schema", "seed", "instances", "contention", "traffic_kind",
-    "clock_mhz", "workload", "profile", "policy", "counts",
-    "makespan_cycles", "latency_cycles", "latency_ms", "throughput",
-    "queue", "batches", "instances_stats", "output_digest",
+    "clock_mhz", "workload", "profile", "policy", "serve_policy",
+    "counts", "makespan_cycles", "latency_cycles", "latency_ms",
+    "throughput", "slo", "health", "queue", "batches",
+    "instances_stats", "output_digest",
 }
 
 
@@ -37,7 +38,7 @@ def test_serve_smoke_completes_quickly(capsys):
 def test_serve_smoke_json_to_stdout(capsys):
     out = run_cli(capsys, "serve", "--smoke", "--json")
     document = json.loads(out[out.index("{"):])
-    assert document["schema"] == "repro.serve/report/v1"
+    assert document["schema"] == "repro.serve/report/v2"
     assert REQUIRED_TOP_LEVEL <= set(document)
 
 
@@ -53,6 +54,9 @@ def test_serve_smoke_json_to_file(tmp_path, capsys):
     counts = document["counts"]
     assert counts["completed"] + counts["failed"] \
         + counts["dropped"] == counts["offered"]
+    assert sum(counts["drop_reasons"].values()) == counts["dropped"]
+    assert 0.0 <= document["health"]["availability"] <= 1.0
+    assert 0.0 <= document["slo"]["attainment"] <= 1.0
     stats = document["instances_stats"]
     assert len(stats) == document["instances"]
     assert all(0.0 <= s["utilization"] <= 1.0 for s in stats)
@@ -74,6 +78,26 @@ def test_serve_writes_perfetto_timeline(tmp_path, capsys):
     assert any(e["ph"] == "X" and e["pid"] == 4 for e in events)
     assert any(e["ph"] == "C" and e["name"] == "queue depth"
                for e in events)
+
+
+def test_serve_chaos_smoke_json_to_file(tmp_path, capsys):
+    path = tmp_path / "chaos_smoke.json"
+    out = run_cli(capsys, "serve", "chaos", "--smoke", "--json",
+                  str(path))
+    assert "chaos campaign" in out
+    document = json.loads(path.read_text())
+    assert document["schema"] == "repro.serve/chaos/v1"
+    assert document["summary"]["trials"] == len(document["trials"])
+    assert document["summary"]["sdc_total"] == 0
+    for trial in document["trials"]:
+        assert trial["completed"] + trial["failed"] \
+            + trial["dropped"] == trial["offered"]
+        assert 0.0 <= trial["availability"] <= 1.0
+
+
+def test_serve_rejects_unknown_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "mayhem", "--smoke"])
 
 
 def test_profile_json_flag_still_works(capsys):

@@ -64,7 +64,67 @@ def test_queue_accepts_fraction_timestamps():
 
 def test_queue_rejects_bad_capacity():
     with pytest.raises(ValueError):
-        RequestQueue(capacity=0)
+        RequestQueue(capacity=-1)
+
+
+def test_queue_capacity_zero_admits_nothing():
+    # capacity=0 is legal: the degenerate admit-nothing endpoint.
+    queue = RequestQueue(capacity=0)
+    assert not queue.push(0, req(0, 0))
+    assert not queue.push(5, req(1, 5))
+    assert queue.admitted == 0 and queue.dropped == 2
+    assert queue.drop_reasons == {"queue_full": 2,
+                                  "deadline_expired": 0, "shed": 0}
+    assert queue.oldest_arrival is None and queue.max_depth == 0
+    assert queue.mean_depth(10) == 0.0
+
+
+def test_queue_peek_and_oldest_after_drops():
+    queue = RequestQueue(capacity=2)
+    queue.push(0, req(0, 0))
+    queue.push(1, req(1, 1))
+    assert not queue.push(2, req(2, 2))      # queue_full drop
+    assert queue.peek().rid == 0             # drop didn't disturb FIFO
+    assert queue.oldest_arrival == 0
+    queue.pop(3)
+    assert queue.peek().rid == 1 and queue.oldest_arrival == 1
+    queue.pop(4)
+    with pytest.raises(IndexError):
+        queue.peek()
+
+
+def test_queue_mean_depth_zero_length_window():
+    # A zero-length window has an empty time integral: the mean is
+    # defined as the instantaneous depth (limit of a shrinking window).
+    queue = RequestQueue()
+    queue.push(0, req(0, 0))
+    queue.push(0, req(1, 0))
+    assert queue.mean_depth(0) == 2.0
+    empty = RequestQueue()
+    assert empty.mean_depth(0) == 0.0
+
+
+def test_queue_remove_where_reasons_and_order():
+    queue = RequestQueue()
+    for i in range(4):
+        queue.push(i, req(i, i))
+    removed = queue.remove_where(4, lambda r: r.rid % 2 == 0,
+                                 "deadline_expired")
+    assert [r.rid for r in removed] == [0, 2]      # oldest first
+    assert [r.rid for r in queue] == [1, 3]        # survivors in FIFO
+    assert queue.dropped == 2
+    assert queue.drop_reasons["deadline_expired"] == 2
+    shed = queue.remove_where(5, lambda r: r.rid == 3, "shed")
+    assert [r.rid for r in shed] == [3]
+    assert queue.drop_reasons["shed"] == 1
+    assert sum(queue.drop_reasons.values()) == queue.dropped == 3
+
+
+def test_queue_rejects_unknown_drop_reason():
+    queue = RequestQueue()
+    queue.push(0, req(0, 0))
+    with pytest.raises(ValueError):
+        queue.remove_where(1, lambda r: True, "cosmic_ray")
 
 
 # -- batcher -------------------------------------------------------------------------

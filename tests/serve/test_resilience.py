@@ -1,0 +1,366 @@
+"""Serving resilience: policy, SLO deadlines, breaker, failover.
+
+Unit tests on the resilience building blocks plus scheduler-level
+integration: deadline shedding taxonomy, hedged re-dispatch with
+first-completion-wins, circuit-breaker ejection/probing, scripted
+fail-stop with drain-and-requeue — and the two compatibility
+invariants (``from_resilience`` reproduces the pre-split behaviour;
+an armed-but-idle policy leaves the fault-free report byte-identical
+outside the policy echo).
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.faults.serving import InstanceFault
+from repro.serve import (BatchPolicy, DynamicBatcher, FleetDisruptions,
+                         InstanceHealth, RequestQueue, ServeConfig,
+                         ServePolicy, SloClass, assign_slo_classes,
+                         make_trace, run_serve)
+from repro.serve.resilience import (BREAKER_CLOSED, BREAKER_HALF_OPEN,
+                                    BREAKER_OPEN)
+from repro.soc.driver import ResiliencePolicy
+
+
+# -- ServePolicy ---------------------------------------------------------------------
+
+
+def test_policy_backoff_matches_legacy_without_jitter():
+    legacy = ResiliencePolicy()
+    policy = ServePolicy.from_resilience(legacy)
+    for attempt in range(8):
+        assert policy.backoff(attempt, 0, 7) == legacy.backoff(attempt)
+    assert policy.eject_after == 0 and policy.hedge_factor is None
+
+
+def test_policy_jitter_is_bounded_and_deterministic():
+    policy = ServePolicy(backoff_jitter=0.5)
+    for attempt in range(6):
+        base = min(policy.backoff_base_cycles << attempt,
+                   policy.backoff_cap_cycles)
+        jittered = policy.backoff(attempt, 3, 11)
+        assert 0.5 * base - 1 <= jittered <= 1.5 * base + 1
+        assert jittered == policy.backoff(attempt, 3, 11)
+    # Different keys give a different (but still bounded) schedule.
+    assert any(policy.backoff(a, 3, 11) != policy.backoff(a, 3, 12)
+               for a in range(6))
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ServePolicy(batch_resubmits=-1)
+    with pytest.raises(ValueError):
+        ServePolicy(backoff_jitter=1.5)
+    with pytest.raises(ValueError):
+        ServePolicy(hedge_factor=0.0)
+    with pytest.raises(ValueError):
+        ServePolicy(eject_after=-1)
+
+
+# -- SLO classes ---------------------------------------------------------------------
+
+
+def test_assign_slo_classes_stamps_deadlines():
+    trace = make_trace("poisson", 5, count=40)
+    classes = (SloClass("fast", 1000, weight=1.0),
+               SloClass("slow", 100_000, weight=1.0))
+    stamped = assign_slo_classes(trace, classes, seed=5)
+    assert len(stamped) == len(trace) and stamped.kind == trace.kind
+    names = {r.slo for r in stamped}
+    assert names == {"fast", "slow"}         # both classes drawn
+    for request in stamped:
+        expect = 1000 if request.slo == "fast" else 100_000
+        assert request.deadline_cycle \
+            == request.arrival_cycle + expect
+    # Same seed -> same assignment; it is a pure function.
+    again = assign_slo_classes(trace, classes, seed=5)
+    assert [r.slo for r in again] == [r.slo for r in stamped]
+
+
+def test_slo_class_validation():
+    with pytest.raises(ValueError):
+        SloClass("", 100)
+    with pytest.raises(ValueError):
+        SloClass("x", 0)
+    with pytest.raises(ValueError):
+        SloClass("x", 100, weight=0.0)
+
+
+# -- circuit breaker -----------------------------------------------------------------
+
+
+def test_breaker_ejects_after_k_consecutive_faults():
+    policy = ServePolicy(eject_after=3, probe_cooldown_cycles=100)
+    health = InstanceHealth(0)
+    assert health.can_dispatch(Fraction(0))
+    assert not health.on_fault(Fraction(10), policy, drain_cycles=5)
+    assert not health.on_fault(Fraction(20), policy, drain_cycles=5)
+    assert health.on_fault(Fraction(30), policy, drain_cycles=5)
+    assert health.state == BREAKER_OPEN and health.ejections == 1
+    assert not health.can_dispatch(Fraction(40))
+    # After drain (5) + cooldown (100) a probe is allowed.
+    assert health.can_dispatch(Fraction(135))
+    assert health.on_dispatch(Fraction(135))   # half-open trial
+    assert health.state == BREAKER_HALF_OPEN and health.probes == 1
+    assert not health.can_dispatch(Fraction(136))  # one trial at a time
+    health.on_success(Fraction(200))
+    assert health.state == BREAKER_CLOSED
+    assert health.open_spans == [[Fraction(30), Fraction(200)]]
+    assert health.open_cycles(Fraction(200)) == 170
+
+
+def test_breaker_half_open_fault_re_ejects():
+    policy = ServePolicy(eject_after=2, probe_cooldown_cycles=10)
+    health = InstanceHealth(0)
+    health.on_fault(Fraction(0), policy, 0)
+    health.on_fault(Fraction(1), policy, 0)
+    assert health.state == BREAKER_OPEN
+    health.on_dispatch(Fraction(20))
+    assert health.on_fault(Fraction(25), policy, 0)  # trial failed
+    assert health.state == BREAKER_OPEN and health.ejections == 2
+
+
+def test_breaker_success_resets_consecutive_count():
+    policy = ServePolicy(eject_after=2)
+    health = InstanceHealth(0)
+    health.on_fault(Fraction(0), policy, 0)
+    health.on_success(Fraction(5))
+    health.on_fault(Fraction(10), policy, 0)
+    assert health.state == BREAKER_CLOSED   # never two consecutive
+
+
+def test_breaker_disabled_with_eject_after_zero():
+    policy = ServePolicy(eject_after=0)
+    health = InstanceHealth(0)
+    for t in range(10):
+        assert not health.on_fault(Fraction(t), policy, 0)
+    assert health.state == BREAKER_CLOSED
+
+
+# -- fleet disruptions ---------------------------------------------------------------
+
+
+def test_disruptions_fail_stop_and_events():
+    faults = (InstanceFault("fail_stop", 0, 100, 200),)
+    disruptions = FleetDisruptions(faults)
+    assert disruptions.armed
+    assert not disruptions.is_down(0, 99)
+    assert disruptions.is_down(0, 100) and disruptions.is_down(0, 199)
+    assert not disruptions.is_down(0, 200)
+    assert not disruptions.is_down(1, 150)
+    assert disruptions.next_event_after(0) == 100
+    assert disruptions.next_event_after(100) == 200
+    assert disruptions.next_event_after(200) is None
+    assert disruptions.down_cycles(0, Fraction(150)) == 50
+    assert disruptions.down_cycles(0, Fraction(500)) == 100
+
+
+def test_disruptions_flap_expands_alternating():
+    faults = (InstanceFault("flap", 1, 0, 100, period_cycles=20),)
+    disruptions = FleetDisruptions(faults)
+    # down [0,20), up [20,40), down [40,60), up [60,80), down [80,100)
+    assert disruptions.is_down(1, 10)
+    assert not disruptions.is_down(1, 25)
+    assert disruptions.is_down(1, 45)
+    assert not disruptions.is_down(1, 70)
+    assert disruptions.is_down(1, 90)
+    assert not disruptions.is_down(1, 100)
+    assert disruptions.down_cycles(1, Fraction(100)) == 60
+
+
+def test_disruptions_degrade_is_exact_fraction():
+    faults = (InstanceFault("degrade", 0, 50, 150, factor=2.5),)
+    disruptions = FleetDisruptions(faults)
+    assert disruptions.derate(0, 49) == 1
+    assert disruptions.derate(0, 50) == Fraction(5, 2)
+    assert disruptions.derate(0, 149) == Fraction(5, 2)
+    assert disruptions.derate(0, 150) == 1
+    assert not disruptions.is_down(0, 100)    # degraded, not dead
+
+
+def test_instance_fault_validation():
+    with pytest.raises(ValueError):
+        InstanceFault("meteor", 0, 10)
+    with pytest.raises(ValueError):
+        InstanceFault("fail_stop", 0, 10, 10)
+    with pytest.raises(ValueError):
+        InstanceFault("degrade", 0, 10, 20, factor=1.0)
+    with pytest.raises(ValueError):
+        InstanceFault("flap", 0, 10, 20, period_cycles=0)
+    with pytest.raises(ValueError):
+        InstanceFault("degrade", 0, 10)       # needs until_cycle
+    with pytest.raises(ValueError):
+        ServeConfig(instances=2, instance_faults=(
+            InstanceFault("fail_stop", 5, 10),))
+
+
+# -- scheduler integration -----------------------------------------------------------
+
+
+def _base_config(**overrides):
+    defaults = dict(
+        instances=2, requests=16,
+        policy=BatchPolicy(max_batch=4, max_wait_cycles=2000),
+        mean_interarrival_cycles=2000.0, seed=3, fault_rate=0.0)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def test_deadline_shedding_taxonomy_in_report():
+    # Deadlines far tighter than one batch service: everything with a
+    # deadline must be shed or expired, never served late.
+    config = _base_config(
+        slo_classes=(SloClass("impossible", 10, weight=1.0),))
+    report = run_serve(config).report
+    assert report.completed == 0
+    assert report.dropped == report.offered
+    reasons = report.drop_reasons
+    assert sum(reasons.values()) == report.dropped
+    assert reasons["shed"] + reasons["deadline_expired"] \
+        == report.dropped
+    assert report.slo_attainment == 0.0
+
+
+def test_generous_deadlines_all_met():
+    config = _base_config(
+        slo_classes=(SloClass("relaxed", 10_000_000, weight=1.0),))
+    report = run_serve(config).report
+    assert report.completed == report.offered
+    assert report.deadline_met == report.completed
+    assert report.slo_attainment == 1.0
+    assert report.goodput_img_s == report.throughput_img_s
+    assert report.slo_by_class["relaxed"]["offered"] == report.offered
+
+
+def test_counts_invariant_holds_under_deadlines():
+    config = _base_config(
+        requests=32, mean_interarrival_cycles=500.0,
+        slo_classes=(SloClass("tight", 9000, weight=1.0),
+                     SloClass("loose", 500_000, weight=1.0)))
+    report = run_serve(config).report
+    assert report.completed + report.failed + report.dropped \
+        == report.offered
+    assert sum(report.drop_reasons.values()) == report.dropped
+
+
+def test_fail_stop_drains_and_requeues():
+    # Kill instance 0 over a window that overlaps its work; nothing
+    # may be lost and the report must say the fleet was degraded.
+    config = _base_config(
+        requests=12, mean_interarrival_cycles=1000.0,
+        instance_faults=(InstanceFault("fail_stop", 0, 2000, 60_000),))
+    result = run_serve(config)
+    report = result.report
+    assert report.completed == report.offered
+    assert report.fail_stops >= 1
+    assert report.availability < 1.0
+    assert report.instance_stats[0].unavailable_cycles > 0
+    # During the outage only instance 1 can have completed work.
+    assert report.instance_stats[1].batches_completed > 0
+
+
+def test_permanent_fleet_death_fails_requests():
+    config = _base_config(
+        instances=1, requests=6, mean_interarrival_cycles=500.0,
+        instance_faults=(InstanceFault("fail_stop", 0, 1000, None),))
+    report = run_serve(config).report
+    assert report.fleet_dead
+    assert report.completed + report.failed == report.offered
+    assert report.failed > 0
+    assert report.availability < 1.0
+
+
+def test_degraded_instance_changes_timing_not_outputs():
+    clean = run_serve(_base_config())
+    slow = run_serve(_base_config(instance_faults=(
+        InstanceFault("degrade", 0, 0, 10_000_000, factor=3.0),)))
+    assert slow.report.completed == clean.report.completed
+    assert slow.report.output_digest == clean.report.output_digest
+    assert slow.report.makespan_cycles >= clean.report.makespan_cycles
+
+
+def test_hedging_fires_on_degraded_instance_and_wins():
+    # Instance 0 is 8x slow; hedged re-dispatch onto the healthy
+    # instance should win races and keep outputs bit-identical.
+    faults = (InstanceFault("degrade", 0, 0, 10_000_000, factor=8.0),)
+    hedged = run_serve(_base_config(
+        serve_policy=ServePolicy(hedge_factor=1.5),
+        instance_faults=faults))
+    unhedged = run_serve(_base_config(instance_faults=faults))
+    assert hedged.report.hedges > 0
+    assert hedged.report.hedge_wins > 0
+    # Every hedge race resolves: one leg wins, the loser is cancelled
+    # (unless a fault removed it first).
+    assert hedged.report.hedge_wins <= hedged.report.hedges
+    assert hedged.report.hedge_cancelled <= hedged.report.hedges
+    assert hedged.report.completed == hedged.report.offered
+    assert hedged.report.output_digest == unhedged.report.output_digest
+    assert hedged.report.makespan_cycles \
+        <= unhedged.report.makespan_cycles
+
+
+def test_breaker_ejects_faulty_instance_in_scheduler():
+    config = _base_config(
+        requests=24, fault_rate=0.5, mean_interarrival_cycles=500.0,
+        serve_policy=ServePolicy(batch_resubmits=64, eject_after=2,
+                                 probe_cooldown_cycles=4096))
+    report = run_serve(config).report
+    assert report.failed == 0          # generous resubmit budget
+    total_faults = sum(s.faults for s in report.instance_stats)
+    assert total_faults >= 2
+    assert sum(s.ejections for s in report.instance_stats) >= 1
+    assert report.availability < 1.0   # ejected time counts against it
+
+
+def test_recovery_latency_recorded_on_resubmission():
+    config = _base_config(requests=24, fault_rate=0.4,
+                          mean_interarrival_cycles=500.0,
+                          serve_policy=ServePolicy(batch_resubmits=64))
+    report = run_serve(config).report
+    assert report.resubmissions > 0
+    assert len(report.recovery_latencies) > 0
+    assert all(lat > 0 for lat in report.recovery_latencies)
+
+
+# -- compatibility invariants --------------------------------------------------------
+
+
+def test_legacy_resilience_alias_reproduces_behaviour():
+    """A config that only sets ResiliencePolicy.batch_resubmits must
+    behave exactly as before the ServePolicy split."""
+    legacy = _base_config(fault_rate=0.3,
+                          resilience=ResiliencePolicy(batch_resubmits=5))
+    explicit = _base_config(fault_rate=0.3,
+                            serve_policy=ServePolicy.from_resilience(
+                                ResiliencePolicy(batch_resubmits=5)))
+    a, b = run_serve(legacy).report, run_serve(explicit).report
+    assert a.json() == b.json()
+
+
+def test_armed_idle_policy_is_behaviourally_invisible():
+    """Armed resilience with zero faults: everything outside the
+    policy echo section is byte-identical to the unarmed run."""
+    base = run_serve(_base_config()).report.to_json()
+    armed = run_serve(_base_config(
+        serve_policy=ServePolicy(backoff_jitter=0.3, hedge_factor=4.0,
+                                 eject_after=2))).report.to_json()
+    assert base.pop("serve_policy") != armed.pop("serve_policy")
+    assert base == armed
+
+
+def test_deadline_aware_batcher_closes_before_slo_deadline():
+    queue = RequestQueue()
+    policy = BatchPolicy(max_batch=4, max_wait_cycles=100_000)
+    batcher = DynamicBatcher(queue, policy,
+                             service_estimate=lambda size: 1000 * size)
+    from repro.serve.traffic import Request
+    queue.push(0, Request(rid=0, arrival_cycle=0, image_seed=1,
+                          slo="fast", deadline_cycle=5000))
+    # close_at = deadline - estimate(1) = 4000, not arrival + 100000.
+    assert batcher.deadline() == 4000
+    assert not batcher.ready(3999, more_arrivals=True)
+    assert batcher.ready(4000, more_arrivals=True)
+    batch = batcher.close(4000)
+    assert batch.deadline_cycle == 5000
