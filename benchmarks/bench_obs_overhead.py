@@ -10,10 +10,14 @@ recording) must leave cycle counts and outputs untouched: telemetry
 that changed what it measured would be worthless.
 """
 
+import json
+from dataclasses import replace
+
 import numpy as np
 
 from repro.faults import run_workload
 from repro.obs import Telemetry
+from repro.serve import run_serve, smoke_config
 
 
 def compute_rows():
@@ -46,6 +50,47 @@ def format_table(clean_cycles, rows, spans):
     return "\n".join(lines)
 
 
+def compute_flight_rows():
+    """Serving-layer mirror of O1: arming the flight recorder (and the
+    timeline) must leave the serving run bit- and cycle-identical.
+
+    The attribution section is the recorder's own output — everything
+    else in the report, including the output digest and exact makespan,
+    must match the clean run byte for byte.
+    """
+    base = smoke_config(seed=0)
+    clean = run_serve(base)
+    armed = run_serve(replace(base, flight=True, timeline=True))
+
+    clean_doc = clean.report.to_json()
+    armed_doc = armed.report.to_json()
+    assert clean_doc.pop("attribution") is None
+    assert armed_doc.pop("attribution") is not None
+
+    identical = json.dumps(clean_doc, sort_keys=True) \
+        == json.dumps(armed_doc, sort_keys=True)
+    rows = [
+        ("clean serve (baseline)", clean.report.makespan_cycles, True),
+        ("flight + timeline armed", armed.report.makespan_cycles,
+         identical),
+    ]
+    paths = len(armed.flight.critical_paths())
+    return clean.report.makespan_cycles, rows, paths
+
+
+def format_flight_table(clean_makespan, rows, paths):
+    lines = ["O1b: flight recorder clean-path overhead (smoke serve)",
+             f"{'configuration':<34}{'makespan':>10}{'delta':>7}"
+             f"{'bit-exact':>11}"]
+    for label, makespan, exact in rows:
+        lines.append(f"{label:<34}{makespan:>10}"
+                     f"{makespan - clean_makespan:>7}"
+                     f"{str(exact):>11}")
+    lines.append(f"(recorder attributed {paths} request critical paths "
+                 f"while changing nothing)")
+    return "\n".join(lines)
+
+
 def test_obs_hook_overhead(benchmark, emit):
     clean_cycles, rows, spans = benchmark.pedantic(compute_rows, rounds=1,
                                                    iterations=1)
@@ -54,3 +99,14 @@ def test_obs_hook_overhead(benchmark, emit):
         assert cycles == clean_cycles, label
         assert exact, label
     assert spans > 0
+
+
+def test_flight_recorder_overhead(benchmark, emit):
+    clean_makespan, rows, paths = benchmark.pedantic(
+        compute_flight_rows, rounds=1, iterations=1)
+    emit("o1b_flight_overhead",
+         format_flight_table(clean_makespan, rows, paths))
+    for label, makespan, exact in rows:
+        assert makespan == clean_makespan, label
+        assert exact, label
+    assert paths > 0

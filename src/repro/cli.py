@@ -16,7 +16,9 @@ Usage::
     python -m repro profile vgg16               # representative layer sweep
     python -m repro trace --out trace.json      # Perfetto/Chrome timeline
     python -m repro serve [--smoke] [--json [PATH]]  # serving simulator
+    python -m repro serve --attrib              # + critical-path attribution
     python -m repro serve chaos [--smoke] [--jobs N]  # chaos campaign
+    python -m repro obs report [--smoke] [--out merged.json]  # observability
     python -m repro all           # the evaluation tables in one go
 """
 
@@ -221,19 +223,27 @@ def cmd_profile(args) -> str:
     return result.format()
 
 
+def write_trace(trace: dict, path: str) -> str:
+    """Dump a Chrome trace document to ``path``; returns a summary line.
+
+    The one place serving/profile/flight traces hit the filesystem, so
+    every command writes the same shape (and the summary line stays
+    consistent).
+    """
+    import json as _json
+    with open(path, "w") as fh:
+        _json.dump(trace, fh)
+    return (f"wrote {len(trace['traceEvents'])} trace events to {path} "
+            f"(open in https://ui.perfetto.dev or chrome://tracing)")
+
+
 def cmd_trace(args) -> str:
     """Run a profile with the timeline recorder and export Chrome JSON."""
-    import json as _json
     from repro.obs import run_profile
     target = getattr(args, "subcommand", None) or "conv1_1"
     result = run_profile(target, smoke=args.smoke, seed=args.seed,
                          timeline=True)
-    trace = result.chrome_trace()
-    out = args.out or "trace.json"
-    with open(out, "w") as fh:
-        _json.dump(trace, fh)
-    return (f"wrote {len(trace['traceEvents'])} trace events to {out} "
-            f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    return write_trace(result.chrome_trace(), args.out or "trace.json")
 
 
 def cmd_serve_chaos(args) -> str:
@@ -253,7 +263,6 @@ def cmd_serve_chaos(args) -> str:
 
 def cmd_serve(args) -> str:
     """Run the batched multi-accelerator serving simulator."""
-    import json as _json
     from dataclasses import replace
     from repro.serve import default_config, run_serve, smoke_config
     subcommand = getattr(args, "subcommand", None)
@@ -271,13 +280,18 @@ def cmd_serve(args) -> str:
         config = replace(config, traffic=args.traffic)
     if args.out is not None:
         config = replace(config, timeline=True)
+    if args.attrib:
+        config = replace(config, flight=True)
     result = run_serve(config, echo=print)
     if args.out is not None:
-        trace = result.chrome_trace()
-        with open(args.out, "w") as fh:
-            _json.dump(trace, fh)
-        print(f"wrote {len(trace['traceEvents'])} serving trace events "
-              f"to {args.out}")
+        print(write_trace(result.chrome_trace(), args.out))
+    if args.series is not None:
+        if result.timeline is None:
+            raise SystemExit("repro serve: --series needs a timeline; "
+                             "pass --out too")
+        with open(args.series, "w") as fh:
+            fh.write(result.timeline.series.json() + "\n")
+        print(f"wrote windowed time-series JSON to {args.series}")
     document = result.report.json()
     if isinstance(args.json, str):
         with open(args.json, "w") as fh:
@@ -286,6 +300,61 @@ def cmd_serve(args) -> str:
     elif args.json:
         return document
     return "\n" + result.report.format()
+
+
+def cmd_obs(args) -> str:
+    """End-to-end observability report: attribution + hostprof ranking.
+
+    ``repro obs report`` runs the serving simulator with the flight
+    recorder and serving timeline armed *and* a scaled-layer profile
+    with the host profiler armed, then prints (or emits as one JSON
+    document) the critical-path attribution, the windowed time-series
+    and the "vectorize next" host-time ranking.  ``--out`` merges every
+    track — SoC kernels/memory/system, serving, flight — into one
+    Perfetto file.
+    """
+    import json as _json
+    from dataclasses import replace
+    from repro.obs import HostProfiler, merge_traces, run_profile
+    from repro.serve import default_config, run_serve, smoke_config
+    subcommand = getattr(args, "subcommand", None) or "report"
+    if subcommand != "report":
+        raise SystemExit(
+            f"repro obs: unknown subcommand {subcommand!r} "
+            f"(expected 'report')")
+    config = smoke_config(args.seed) if args.smoke \
+        else default_config(args.seed)
+    config = replace(config, flight=True, timeline=True)
+    if args.instances is not None:
+        config = replace(config, instances=args.instances)
+    if args.traffic is not None:
+        config = replace(config, traffic=args.traffic)
+    serve_result = run_serve(config, echo=None if args.json else print)
+    hostprof = HostProfiler()
+    profile_result = run_profile("conv1_1", smoke=True, seed=args.seed,
+                                 timeline=args.out is not None,
+                                 hostprof=hostprof)
+    if args.out is not None:
+        merged = merge_traces(profile_result.chrome_trace(),
+                              serve_result.timeline.chrome_trace(),
+                              serve_result.flight.chrome_trace())
+        print(write_trace(merged, args.out))
+    document = {
+        "schema": "repro.obs/report/v1",
+        "serve": serve_result.report.to_json(),
+        "series": serve_result.timeline.series.to_json(),
+        "hostprof": hostprof.to_json(),
+    }
+    rendered = _json.dumps(document, indent=2, sort_keys=True)
+    if isinstance(args.json, str):
+        with open(args.json, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote observability report JSON to {args.json}")
+    elif args.json:
+        return rendered
+    lines = ["", serve_result.report.format_attribution(), "",
+             hostprof.format()]
+    return "\n".join(lines)
 
 
 def cmd_all(args) -> str:
@@ -308,6 +377,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "serve": cmd_serve,
+    "obs": cmd_obs,
     "all": cmd_all,
 }
 
@@ -317,6 +387,7 @@ SUBCOMMANDS = {
     "profile": "a VGG-16 conv layer name or 'vgg16'",
     "trace": "a VGG-16 conv layer name or 'vgg16'",
     "serve": "'chaos'",
+    "obs": "'report'",
 }
 
 
@@ -352,12 +423,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "report is identical either way)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="trace: output file (default trace.json); "
-                             "serve: write the serving Perfetto trace here")
+                             "serve/obs: write the (merged) Perfetto "
+                             "trace here")
     parser.add_argument("--instances", type=int, default=None,
-                        help="serve: accelerator instance count override")
+                        help="serve/obs: accelerator instance count "
+                             "override")
     parser.add_argument("--traffic", default=None,
                         choices=("poisson", "burst", "replay"),
-                        help="serve: arrival process override")
+                        help="serve/obs: arrival process override")
+    parser.add_argument("--attrib", action="store_true",
+                        help="serve: arm the flight recorder and print "
+                             "the critical-path attribution")
+    parser.add_argument("--series", default=None, metavar="PATH",
+                        help="serve: write the windowed time-series JSON "
+                             "here (needs --out)")
     return parser
 
 

@@ -278,6 +278,12 @@ class Simulator:
         self.fault_hook = None
         #: Optional :class:`Watchdog`; checked once per cycle when set.
         self.watchdog: Watchdog | None = None
+        #: Optional host wall-clock profiler slot (duck-typed; see
+        #: :class:`repro.obs.hostprof.HostProfiler`).  ``None`` on the
+        #: clean path — :meth:`run`/:meth:`advance` select a separate
+        #: profiled loop when set, so un-profiled runs execute the
+        #: original loop with zero added work per cycle.
+        self.hostprof = None
         #: Telemetry hub slot behind the :attr:`obs` property.
         self._obs = None
         #: Fast-path accounting: number of warps taken and total dead
@@ -388,6 +394,8 @@ class Simulator:
         limit = start + max_cycles
         if self.watchdog is not None:
             self.watchdog.begin_run(self.now)
+        if self.hostprof is not None:
+            return self._run_profiled(start, limit, max_cycles, until)
         while True:
             if all(k.finished for k in self.kernels):
                 return self.now - start
@@ -402,6 +410,36 @@ class Simulator:
                 continue
             self._step()
 
+    def _run_profiled(self, start: int, limit: int, max_cycles: int,
+                      until: Callable[[], bool] | None) -> int:
+        """The :meth:`run` loop with per-mode wall-clock timing.
+
+        Identical control flow to the plain loop — same warp/burst
+        precedence, same termination checks — with each segment timed
+        and reported to the :attr:`hostprof` slot.  Observation only:
+        cycle-for-cycle identical results.
+        """
+        from time import perf_counter
+        hp = self.hostprof
+        while True:
+            if all(k.finished for k in self.kernels):
+                return self.now - start
+            if until is not None and until():
+                return self.now - start
+            if self.now >= limit:
+                raise self._with_snapshot(SimulationTimeout(
+                    f"{self.name}: exceeded {max_cycles} cycles"))
+            before = self.now
+            t0 = perf_counter()
+            if self.fastpath and self._try_warp(limit):
+                hp.on_warp(self.now - before, perf_counter() - t0)
+                continue
+            if self.burst and self._try_burst(limit):
+                hp.on_burst(self.now - before, perf_counter() - t0)
+                continue
+            self._step()
+            hp.on_scalar(self, perf_counter() - t0)
+
     def advance(self, cycles: int) -> None:
         """Advance the clock by exactly ``cycles`` cycles.
 
@@ -412,12 +450,30 @@ class Simulator:
         O(cycles).  Results are identical to the stepped loop.
         """
         target = self.now + cycles
+        if self.hostprof is not None:
+            return self._advance_profiled(target)
         while self.now < target:
             if self.fastpath and self._try_warp(target):
                 continue
             if self.burst and self._try_burst(target):
                 continue
             self._step()
+
+    def _advance_profiled(self, target: int) -> None:
+        """The :meth:`advance` loop with per-mode wall-clock timing."""
+        from time import perf_counter
+        hp = self.hostprof
+        while self.now < target:
+            before = self.now
+            t0 = perf_counter()
+            if self.fastpath and self._try_warp(target):
+                hp.on_warp(self.now - before, perf_counter() - t0)
+                continue
+            if self.burst and self._try_burst(target):
+                hp.on_burst(self.now - before, perf_counter() - t0)
+                continue
+            self._step()
+            hp.on_scalar(self, perf_counter() - t0)
 
     def step(self) -> None:
         """Advance exactly one clock cycle (primarily for tests)."""

@@ -17,13 +17,19 @@ See ``docs/OBSERVABILITY.md`` for a walkthrough.
 from repro.obs.cache import (CacheStats, KeyedCache, cache_stats,
                              reset_caches)
 from repro.obs.events import TraceBuffer, TraceEvent
+from repro.obs.flight import (COMPONENTS, CriticalPath, FlightRecorder,
+                              interval_union)
+from repro.obs.hostprof import HostProfiler, kernel_family
 from repro.obs.metrics import (BankMetrics, DmaMetrics, DramMetrics,
                                FifoMetrics, KernelMetrics, LayerMetrics,
                                MetricsReport, Telemetry)
 from repro.obs.profiler import (RESIDUAL_ROW, BottleneckRow,
                                 BottleneckTable, bottleneck_table)
-from repro.obs.serving import PID_SERVING, ServingTimeline
+from repro.obs.series import TimeSeries
+from repro.obs.serving import ServingTimeline
 from repro.obs.timeline import TimelineRecorder, chrome_trace
+from repro.obs.trackreg import (PID_FLIGHT, PID_KERNELS, PID_MEMORY,
+                                PID_SERVING, PID_SYSTEM, merge_traces)
 from repro.obs.workloads import (ProfileResult, ProfileWorkload,
                                  run_profile, scaled_workload,
                                  select_workloads)
@@ -31,11 +37,16 @@ from repro.obs.workloads import (ProfileResult, ProfileWorkload,
 __all__ = [
     "CacheStats", "KeyedCache", "cache_stats", "reset_caches",
     "TraceBuffer", "TraceEvent",
+    "COMPONENTS", "CriticalPath", "FlightRecorder", "interval_union",
+    "HostProfiler", "kernel_family",
     "BankMetrics", "DmaMetrics", "DramMetrics", "FifoMetrics",
     "KernelMetrics", "LayerMetrics", "MetricsReport", "Telemetry",
     "RESIDUAL_ROW", "BottleneckRow", "BottleneckTable",
     "bottleneck_table",
-    "PID_SERVING", "ServingTimeline",
+    "TimeSeries",
+    "PID_KERNELS", "PID_MEMORY", "PID_SYSTEM", "PID_SERVING",
+    "PID_FLIGHT", "merge_traces",
+    "ServingTimeline",
     "TimelineRecorder", "chrome_trace",
     "ProfileResult", "ProfileWorkload", "run_profile",
     "scaled_workload", "select_workloads",

@@ -1,0 +1,367 @@
+"""Request-scoped flight recorder: span trees + exact critical paths.
+
+Every request that enters the serving scheduler with
+``ServeConfig(flight=True)`` accumulates a deterministic span tree —
+admission-queue wait, batcher residency, dispatch attempts (including
+hedged legs, half-open probes and drain-and-requeue detours), back-off
+sleeps, and the per-attempt progress splits the exact-Fraction
+contention model produces.  On top of the raw spans the recorder
+computes an **exact critical-path decomposition**: for every completed
+request
+
+    ``queue + batch + contention + compute + resilience + other``
+
+sums to its end-to-end latency *as Fractions* — the serving-layer
+mirror of the PR 2 invariant that the bottleneck table sums exactly to
+``sim.now``.  The components:
+
+* **queue** — arrival to batch close (admission + batcher residency);
+* **batch** — batch close to the start of the *winning* attempt, minus
+  any time already attributed to resilience (waiting for an idle
+  healthy instance, dispatch gaps after a requeue);
+* **compute** — ideal uncontended service consumed by the winning
+  attempt (exactly ``profile.batch_cycles(size)``);
+* **contention** — the winning attempt's DDR4 processor-sharing stall
+  (time the memory phase stretched because other instances held the
+  shared controller);
+* **resilience** — everything the fault machinery cost: the merged
+  interval union of losing/faulted/killed/cancelled attempt time
+  before the winner started, back-off sleeps, plus the winning
+  attempt's derate stall under scripted slow-replica disruptions;
+* **other** — the residual, **identically zero by construction**
+  (asserted by the property suite; kept in the schema so a future
+  accounting bug is loud, not silent).
+
+The decomposition is derived, not sampled: each ``_Job.advance(dt)``
+splits ``dt`` exactly into ideal progress, contention stall and derate
+stall (``dt = ideal + dt·(1-mem_rate) + dt·mem_rate·(1-1/derate)`` in
+the memory phase), so the components are exact by the same arithmetic
+that advances the clock.  Arming the recorder is observation-only:
+cycle counts, outputs and the behavioural report are byte-identical
+with it attached (``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.obs.trackreg import PID_FLIGHT, process_meta
+
+#: Rounding for the attribution JSON (matches the serve report).
+JSON_FLOAT_DECIMALS = 6
+
+#: Canonical component order of the decomposition.
+COMPONENTS = ("queue", "batch", "contention", "compute", "resilience",
+              "other")
+
+
+def _round(value) -> float:
+    return round(float(value), JSON_FLOAT_DECIMALS)
+
+
+def interval_union(intervals) -> Fraction:
+    """Total length of the union of ``[start, end)`` Fraction intervals.
+
+    Hedged legs overlap their primary, so resilience time before the
+    winning attempt must be merged, not summed — double counting would
+    break the exact-sum invariant.
+    """
+    spans = sorted((s, e) for s, e in intervals if e > s)
+    total = Fraction(0)
+    cursor = None
+    for start, end in spans:
+        if cursor is None or start > cursor:
+            total += end - start
+            cursor = end
+        elif end > cursor:
+            total += end - cursor
+            cursor = end
+    return total
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Exact latency decomposition of one completed request."""
+
+    rid: int
+    bid: int
+    instance: int            # instance whose attempt won
+    latency: Fraction
+    queue: Fraction
+    batch: Fraction
+    contention: Fraction
+    compute: Fraction
+    resilience: Fraction
+    other: Fraction
+
+    def components(self) -> dict[str, Fraction]:
+        return {name: getattr(self, name) for name in COMPONENTS}
+
+    @property
+    def exact(self) -> bool:
+        """Does the decomposition sum exactly to the latency?"""
+        return sum(self.components().values()) == self.latency
+
+
+class _Attempt:
+    """One dispatch leg of one batch on one instance."""
+
+    __slots__ = ("instance", "start", "end", "outcome", "hedge", "probe",
+                 "number", "ideal", "contention", "derate")
+
+    def __init__(self, instance: int, start: Fraction, number: int,
+                 hedge: bool, probe: bool):
+        self.instance = instance
+        self.start = start
+        self.end: Fraction | None = None
+        self.outcome: str | None = None   # complete/fault/cancelled/killed
+        self.hedge = hedge
+        self.probe = probe
+        self.number = number
+        self.ideal = Fraction(0)
+        self.contention = Fraction(0)
+        self.derate = Fraction(0)
+
+
+class _BatchFlight:
+    """Everything the recorder knows about one batch's life."""
+
+    __slots__ = ("bid", "size", "rids", "close", "reason", "attempts",
+                 "backoffs", "failed_at", "deadline")
+
+    def __init__(self, bid: int, size: int, rids: tuple[int, ...],
+                 close: Fraction, reason: str, deadline):
+        self.bid = bid
+        self.size = size
+        self.rids = rids
+        self.close = close
+        self.reason = reason
+        self.attempts: list[_Attempt] = []
+        self.backoffs: list[tuple[Fraction, Fraction]] = []
+        self.failed_at: Fraction | None = None
+        self.deadline = deadline
+
+
+class FlightRecorder:
+    """Observation-only recorder the serve scheduler feeds.
+
+    The scheduler calls the ``on_*`` hooks at the exact instants the
+    events happen (all timestamps are the scheduler's Fraction clock);
+    after the run :meth:`critical_paths` derives the per-request
+    decomposition and :meth:`attribution` rolls it up fleet-wide.
+    """
+
+    def __init__(self):
+        self.arrivals: dict[int, Fraction] = {}      # rid -> arrival
+        self.drops: list[tuple[int, Fraction, str]] = []
+        self.batches: dict[int, _BatchFlight] = {}
+        self.instants: list[tuple[str, Fraction, int, dict]] = []
+        self.breaker_logs: dict[int, list] = {}
+        self.makespan: Fraction = Fraction(0)
+
+    # -- hooks (called by the scheduler) ---------------------------------------
+
+    def on_arrival(self, request, now, admitted: bool) -> None:
+        self.arrivals[request.rid] = Fraction(request.arrival_cycle)
+        if not admitted:
+            self.drops.append((request.rid, Fraction(now), "queue_full"))
+
+    def on_drop(self, request, now, reason: str) -> None:
+        self.drops.append((request.rid, Fraction(now), reason))
+
+    def on_close(self, batch, now) -> None:
+        self.batches[batch.bid] = _BatchFlight(
+            bid=batch.bid, size=batch.size,
+            rids=tuple(r.rid for r in batch.requests),
+            close=Fraction(now),
+            reason=getattr(batch, "close_reason", "size"),
+            deadline=batch.deadline_cycle)
+
+    def on_dispatch(self, batch, instance: int, now, hedge: bool,
+                    probe: bool) -> None:
+        log = self.batches[batch.bid]
+        log.attempts.append(_Attempt(instance, Fraction(now),
+                                     batch.attempts, hedge, probe))
+
+    def on_attempt_end(self, bid: int, instance: int, now, outcome: str,
+                       split) -> None:
+        log = self.batches[bid]
+        for attempt in reversed(log.attempts):
+            if attempt.instance == instance and attempt.end is None:
+                attempt.end = Fraction(now)
+                attempt.outcome = outcome
+                if split is not None:
+                    attempt.ideal, attempt.contention, attempt.derate = split
+                return
+        raise KeyError(f"no open attempt for batch {bid} on "
+                       f"instance {instance}")
+
+    def on_backoff(self, bid: int, start, end) -> None:
+        self.batches[bid].backoffs.append((Fraction(start), Fraction(end)))
+
+    def on_fail(self, batch, now) -> None:
+        log = self.batches.get(batch.bid)
+        if log is None:
+            # A fleet-dead batch may fail while still in the dispatch
+            # queue without ever having closed through the batcher's
+            # flight hook (defensive; close precedes ready in settle).
+            self.on_close(batch, now)
+            log = self.batches[batch.bid]
+        log.failed_at = Fraction(now)
+
+    def on_instant(self, name: str, now, instance: int,
+                   **args: Any) -> None:
+        self.instants.append((name, Fraction(now), instance, dict(args)))
+
+    def add_breaker_log(self, instance: int, transitions) -> None:
+        self.breaker_logs[instance] = list(transitions)
+
+    def finish(self, now) -> None:
+        self.makespan = Fraction(now)
+
+    # -- derivation ------------------------------------------------------------
+
+    def critical_paths(self) -> list[CriticalPath]:
+        """Exact per-request decomposition (completed requests only)."""
+        paths: list[CriticalPath] = []
+        for bid in sorted(self.batches):
+            log = self.batches[bid]
+            winner = next((a for a in log.attempts
+                           if a.outcome == "complete"), None)
+            if winner is None:
+                continue                # failed / fleet-dead batch
+            pre = [(a.start, min(a.end, winner.start))
+                   for a in log.attempts
+                   if a is not winner and a.end is not None]
+            pre.extend((start, min(end, winner.start))
+                       for start, end in log.backoffs)
+            resilience_pre = interval_union(
+                (max(s, log.close), e) for s, e in pre)
+            batch_wait = (winner.start - log.close) - resilience_pre
+            resilience = resilience_pre + winner.derate
+            done = winner.end
+            for rid in log.rids:
+                arrival = self.arrivals[rid]
+                queue = log.close - arrival
+                latency = done - arrival
+                other = latency - (queue + batch_wait + winner.contention
+                                   + winner.ideal + resilience)
+                paths.append(CriticalPath(
+                    rid=rid, bid=bid, instance=winner.instance,
+                    latency=latency, queue=queue, batch=batch_wait,
+                    contention=winner.contention, compute=winner.ideal,
+                    resilience=resilience, other=other))
+        return paths
+
+    def attribution(self, clock_mhz: float | None = None
+                    ) -> dict[str, Any]:
+        """Fleet-level roll-up of the critical paths (JSON-ready)."""
+        paths = self.critical_paths()
+        totals = {name: Fraction(0) for name in COMPONENTS}
+        per_instance: dict[int, Fraction] = {}
+        latency_total = Fraction(0)
+        for path in paths:
+            latency_total += path.latency
+            for name, value in path.components().items():
+                totals[name] += value
+            per_instance[path.instance] = (
+                per_instance.get(path.instance, Fraction(0))
+                + path.contention)
+        n = len(paths)
+        components = {}
+        for name in COMPONENTS:
+            total = totals[name]
+            components[name] = {
+                "total_cycles": _round(total),
+                "mean_cycles": _round(total / n) if n else 0.0,
+                "share": (_round(total / latency_total)
+                          if latency_total else 0.0),
+            }
+        close_reasons: dict[str, int] = {}
+        for log in self.batches.values():
+            close_reasons[log.reason] = close_reasons.get(log.reason, 0) + 1
+        return {
+            "schema": "repro.obs/flight/attribution/v1",
+            "requests": n,
+            "exact_sum": all(path.exact and path.other == 0
+                             for path in paths),
+            "latency_total_cycles": _round(latency_total),
+            "components": components,
+            "per_instance_contention_cycles": {
+                str(i): _round(per_instance[i])
+                for i in sorted(per_instance)},
+            "batch_close_reasons": dict(sorted(close_reasons.items())),
+        }
+
+    # -- export ----------------------------------------------------------------
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """Flight tracks as a Chrome trace document (pid 5).
+
+        One thread per batch carrying nested ``X`` spans — per-member
+        queue waits (all ending at the close instant, so they nest),
+        every dispatch attempt with its outcome and exact splits in
+        ``args``, and back-off sleeps — plus resilience instants and
+        circuit-breaker transitions on thread 0, all in the same
+        SoC-style ``args`` metadata schema.
+        """
+        events: list[dict[str, Any]] = [process_meta(PID_FLIGHT)]
+        for bid in sorted(self.batches):
+            log = self.batches[bid]
+            tid = bid + 1
+            events.append({"ph": "M", "pid": PID_FLIGHT, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": f"batch{bid}"}})
+            for rid in sorted(log.rids,
+                              key=lambda r: self.arrivals[r]):
+                start = self.arrivals[rid]
+                if log.close > start:
+                    events.append({
+                        "ph": "X", "pid": PID_FLIGHT, "tid": tid,
+                        "name": f"queue r{rid}", "cat": "request",
+                        "ts": float(start),
+                        "dur": float(log.close - start),
+                        "args": {"rid": rid, "close_reason": log.reason}})
+            for attempt in log.attempts:
+                end = attempt.end if attempt.end is not None \
+                    else self.makespan
+                args = {"outcome": attempt.outcome or "open",
+                        "instance": attempt.instance,
+                        "attempt": attempt.number,
+                        "hedge": attempt.hedge, "probe": attempt.probe}
+                if attempt.outcome == "complete":
+                    args.update(compute_cycles=_round(attempt.ideal),
+                                contention_cycles=_round(
+                                    attempt.contention),
+                                derate_cycles=_round(attempt.derate))
+                cat = "attempt" if attempt.outcome == "complete" \
+                    else "attempt,resilience"
+                events.append({
+                    "ph": "X", "pid": PID_FLIGHT, "tid": tid,
+                    "name": f"attempt{attempt.number} "
+                            f"acc{attempt.instance}",
+                    "cat": cat, "ts": float(attempt.start),
+                    "dur": max(float(end - attempt.start), 1e-6),
+                    "args": args})
+            for start, end in log.backoffs:
+                events.append({
+                    "ph": "X", "pid": PID_FLIGHT, "tid": tid,
+                    "name": "backoff", "cat": "resilience",
+                    "ts": float(start),
+                    "dur": max(float(end - start), 1e-6),
+                    "args": {"bid": bid}})
+        for name, now, instance, args in self.instants:
+            events.append({
+                "ph": "i", "pid": PID_FLIGHT, "tid": 0, "name": name,
+                "ts": float(now), "s": "t", "cat": "resilience",
+                "args": {"detail": {"instance": instance, **args}}})
+        for instance in sorted(self.breaker_logs):
+            for state, cycle in self.breaker_logs[instance]:
+                events.append({
+                    "ph": "i", "pid": PID_FLIGHT, "tid": 0,
+                    "name": f"breaker {state}", "ts": float(cycle),
+                    "s": "t", "cat": "breaker",
+                    "args": {"detail": {"instance": instance}}})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

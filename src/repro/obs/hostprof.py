@@ -1,0 +1,181 @@
+"""Host wall-clock profiler: Python time by kernel family × mode.
+
+The cycle-accurate simulator executes in three modes — scalar stepping
+(one Python generator resume per live kernel per cycle), cycle-warp
+(dead windows jumped in O(1)) and burst (steady-state MAC windows
+replayed as batched numpy).  The ROADMAP's burst-coverage item says
+"profile first, attack the largest residual": this module answers
+*which kernel family's scalar cycles dominate the remaining Python
+time*, i.e. what to vectorize next.
+
+:class:`HostProfiler` plugs into the simulator's ``hostprof`` slot
+(``sim.hostprof = HostProfiler()``); the slot follows the repo's
+zero-overhead contract — ``None`` on the clean path, and the profiled
+loop is a separate branch so un-profiled runs execute the exact
+original loop.  When armed it times every warp window, burst window
+and scalar step with ``perf_counter`` and, on scalar steps, counts one
+*live kernel-cycle* per non-finished kernel (the stepper's actual unit
+of Python work) bucketed by :func:`kernel_family`.
+
+Determinism: cycle counts and kernel-cycle counts are exact properties
+of the simulation, so :meth:`HostProfiler.to_json` (which excludes
+wall seconds) is byte-deterministic per seed; wall-clock numbers
+appear only in the human-readable :meth:`HostProfiler.format` table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Kernel families the accelerator pipeline decomposes into.
+FAMILIES = ("staging", "conv", "accum", "padpool", "writeback", "dma",
+            "control", "host")
+
+_STEM_FAMILIES = {"staging", "conv", "accum", "padpool", "writeback"}
+_CONTROL_STEMS = {"issue", "doneproc", "arbiter", "engine"}
+
+
+def kernel_family(name: str) -> str:
+    """Classify a kernel name into its pipeline family.
+
+    ``acc0.conv1`` → ``conv``; ``dma.engine`` → ``dma``;
+    ``acc0.issue`` / ``acc0.doneproc`` → ``control``; anything
+    unrecognized (ARM-host helper kernels, test fixtures) → ``host``.
+    """
+    stem = name.rsplit(".", 1)[-1].rstrip("0123456789")
+    if name.startswith("dma.") or stem == "dma":
+        return "dma"
+    if stem in _STEM_FAMILIES:
+        return stem
+    if stem in _CONTROL_STEMS:
+        return "control"
+    return "host"
+
+
+class HostProfiler:
+    """Wall-clock + kernel-cycle accumulator for one simulator run."""
+
+    def __init__(self):
+        self.scalar_cycles = 0
+        self.scalar_wall = 0.0
+        self.warp_cycles = 0
+        self.warp_windows = 0
+        self.warp_wall = 0.0
+        self.burst_cycles = 0
+        self.burst_windows = 0
+        self.burst_wall = 0.0
+        #: family -> live kernel-cycles stepped scalar (deterministic).
+        self.family_scalar: dict[str, int] = {}
+        #: family -> wall seconds attributed (scalar steps, split
+        #: evenly across the live kernels of that step).
+        self.family_wall: dict[str, float] = {}
+        self._family_of: dict[str, str] = {}
+
+    # -- hooks (called by the simulator's profiled loop) -----------------------
+
+    def on_warp(self, cycles: int, wall: float) -> None:
+        self.warp_cycles += cycles
+        self.warp_windows += 1
+        self.warp_wall += wall
+
+    def on_burst(self, cycles: int, wall: float) -> None:
+        self.burst_cycles += cycles
+        self.burst_windows += 1
+        self.burst_wall += wall
+
+    def on_scalar(self, sim, wall: float) -> None:
+        self.scalar_cycles += 1
+        self.scalar_wall += wall
+        cache = self._family_of
+        live: list[str] = []
+        for kernel in sim.kernels:
+            if kernel.finished:
+                continue
+            family = cache.get(kernel.name)
+            if family is None:
+                family = cache[kernel.name] = kernel_family(kernel.name)
+            self.family_scalar[family] = \
+                self.family_scalar.get(family, 0) + 1
+            live.append(family)
+        if live:
+            share = wall / len(live)
+            for family in live:
+                self.family_wall[family] = \
+                    self.family_wall.get(family, 0.0) + share
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return self.scalar_cycles + self.warp_cycles + self.burst_cycles
+
+    @property
+    def total_wall(self) -> float:
+        return self.scalar_wall + self.warp_wall + self.burst_wall
+
+    def ranking(self) -> list[str]:
+        """Families by scalar live kernel-cycles, largest residual first.
+
+        This is the "vectorize next" order: the family whose kernels
+        the scalar stepper resumes most often is where batched replay
+        (ROADMAP burst-coverage item) buys the most wall time.
+        Deterministic: ranked on exact counts, names break ties.
+        """
+        return sorted(self.family_scalar,
+                      key=lambda f: (-self.family_scalar[f], f))
+
+    def to_json(self) -> dict[str, Any]:
+        """Byte-deterministic JSON (cycle counts only, no wall time)."""
+        total_scalar = sum(self.family_scalar.values())
+        return {
+            "schema": "repro.obs/hostprof/v1",
+            "modes": {
+                "scalar": {"cycles": self.scalar_cycles},
+                "warp": {"cycles": self.warp_cycles,
+                         "windows": self.warp_windows},
+                "burst": {"cycles": self.burst_cycles,
+                          "windows": self.burst_windows},
+            },
+            "total_cycles": self.total_cycles,
+            "families": [{
+                "family": family,
+                "scalar_kernel_cycles": self.family_scalar[family],
+                "share": (round(self.family_scalar[family]
+                                / total_scalar, 6)
+                          if total_scalar else 0.0),
+            } for family in self.ranking()],
+            "vectorize_next": self.ranking(),
+        }
+
+    def json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def format(self) -> str:
+        lines = ["hostprof: Python wall-clock by execution mode",
+                 f"{'mode':<10}{'cycles':>10}{'windows':>9}"
+                 f"{'wall s':>9}{'cyc/s':>12}"]
+        rows = [("scalar", self.scalar_cycles, self.scalar_cycles,
+                 self.scalar_wall),
+                ("warp", self.warp_cycles, self.warp_windows,
+                 self.warp_wall),
+                ("burst", self.burst_cycles, self.burst_windows,
+                 self.burst_wall)]
+        for mode, cycles, windows, wall in rows:
+            rate = cycles / wall if wall > 0 else 0.0
+            lines.append(f"{mode:<10}{cycles:>10}{windows:>9}"
+                         f"{wall:>9.3f}{rate:>12.0f}")
+        lines.append("")
+        lines.append("vectorize next (scalar-residual ranking):")
+        lines.append(f"{'family':<12}{'scalar kcyc':>12}{'share':>8}"
+                     f"{'est wall s':>12}")
+        total_scalar = sum(self.family_scalar.values())
+        for family in self.ranking():
+            count = self.family_scalar[family]
+            share = count / total_scalar if total_scalar else 0.0
+            lines.append(
+                f"{family:<12}{count:>12}{100 * share:>7.1f}%"
+                f"{self.family_wall.get(family, 0.0):>12.3f}")
+        if not self.family_scalar:
+            lines.append("(no scalar steps: everything warped/bursted)")
+        return "\n".join(lines)

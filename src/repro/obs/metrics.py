@@ -581,7 +581,7 @@ class Telemetry:
     def begin_layer(self, name: str, kind: str = "layer") -> None:
         self._layer_stack.append((name, kind, self._snapshot()))
         if self.timeline is not None:
-            self.timeline.begin_layer(name, self.sim.now)
+            self.timeline.begin_layer(name, self.sim.now, kind)
 
     def end_layer(self) -> None:
         name, kind, before = self._layer_stack.pop()

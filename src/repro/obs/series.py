@@ -1,0 +1,218 @@
+"""Windowed time-series metrics: counters, gauges, histograms.
+
+The serving layer used to keep only event-driven ``(time, value)``
+samples (:meth:`repro.obs.serving.ServingTimeline.sample`) — fine for
+a Perfetto counter track, useless for answering "what did queue depth
+do over the 30th window of 4096 cycles?".  :class:`TimeSeries` is the
+windowed recorder underneath: every observation lands in the cycle
+window ``floor(t / window)`` and is aggregated there, so a finished
+run exposes a compact, *byte-deterministic* rolling view:
+
+* **counters** — monotonically accumulating event counts (arrivals,
+  drops by reason, batches closed, completions, faults, hedges),
+  per-window increments plus the running total;
+* **gauges** — instantaneous values sampled at events (queue depth,
+  in-flight batches), per-window last/min/max;
+* **histograms** — value distributions (request latency) over fixed
+  bucket bounds, cumulative counts plus exact count/total.
+
+Two expositions: :meth:`to_json` (sorted keys, floats rounded at the
+same fixed precision as the serve report, byte-identical per seed) and
+:meth:`prom_text` (Prometheus text format, for eyeballs and scrapers).
+Everything is observation-only and exact: timestamps may be
+:class:`~fractions.Fraction` and window indices are computed by exact
+floor division, so attaching the recorder can never perturb the
+simulation it watches.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from fractions import Fraction
+from typing import Any
+
+#: Rounding applied to every float in the JSON document (matches
+#: ``repro.serve.report.JSON_FLOAT_DECIMALS``).
+JSON_FLOAT_DECIMALS = 6
+
+#: Default histogram bucket upper bounds (cycles, log2-spaced).
+DEFAULT_BOUNDS = tuple(1 << k for k in range(8, 25, 2))
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _round(value: float) -> float:
+    return round(float(value), JSON_FLOAT_DECIMALS)
+
+
+def _window_of(now, window: int) -> int:
+    """Exact window index of timestamp ``now`` (Fraction-safe)."""
+    return int(Fraction(now) // window)
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus text exposition."""
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+class _Gauge:
+    __slots__ = ("windows",)
+
+    def __init__(self):
+        # window -> [last, min, max]
+        self.windows: dict[int, list[float]] = {}
+
+    def record(self, window: int, value: float) -> None:
+        entry = self.windows.get(window)
+        if entry is None:
+            self.windows[window] = [value, value, value]
+        else:
+            entry[0] = value
+            if value < entry[1]:
+                entry[1] = value
+            if value > entry[2]:
+                entry[2] = value
+
+
+class _Histogram:
+    __slots__ = ("bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...]):
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)   # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class TimeSeries:
+    """Rolling counters/gauges/histograms on fixed cycle windows."""
+
+    def __init__(self, window: int = 4096):
+        if window < 1:
+            raise ValueError("window must be >= 1 cycle")
+        self.window = window
+        self._counters: dict[str, dict[int, int]] = {}
+        self._gauges: dict[str, _Gauge] = {}
+        self._hists: dict[str, _Histogram] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def count(self, name: str, now, n: int = 1) -> None:
+        """Add ``n`` events to counter ``name`` at timestamp ``now``.
+
+        A zero increment is a no-op (it neither creates the counter nor
+        an empty window), so callers can pass ``len(batch)`` directly.
+        """
+        if n == 0:
+            return
+        windows = self._counters.setdefault(name, {})
+        w = _window_of(now, self.window)
+        windows[w] = windows.get(w, 0) + n
+
+    def gauge(self, name: str, now, value) -> None:
+        """Record an instantaneous ``value`` of gauge ``name``."""
+        series = self._gauges.get(name)
+        if series is None:
+            series = self._gauges[name] = _Gauge()
+        series.record(_window_of(now, self.window), float(value))
+
+    def observe(self, name: str, value,
+                bounds: tuple[float, ...] | None = None) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The first observation fixes the bucket bounds (``bounds`` or
+        :data:`DEFAULT_BOUNDS`); later ``bounds`` arguments are ignored
+        so the distribution stays self-consistent.
+        """
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = _Histogram(
+                tuple(bounds) if bounds is not None else DEFAULT_BOUNDS)
+        hist.record(float(value))
+
+    # -- inspection ------------------------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        return sum(self._counters.get(name, {}).values())
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._hists)
+
+    # -- exposition ------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """Byte-deterministic JSON view (sorted keys, rounded floats)."""
+        counters = {}
+        for name in sorted(self._counters):
+            windows = self._counters[name]
+            counters[name] = {
+                "total": sum(windows.values()),
+                "windows": {str(w): windows[w] for w in sorted(windows)},
+            }
+        gauges = {}
+        for name in sorted(self._gauges):
+            series = self._gauges[name]
+            gauges[name] = {
+                "windows": {
+                    str(w): {"last": _round(entry[0]),
+                             "min": _round(entry[1]),
+                             "max": _round(entry[2])}
+                    for w, entry in sorted(series.windows.items())},
+            }
+        hists = {}
+        for name in sorted(self._hists):
+            hist = self._hists[name]
+            hists[name] = {
+                "bounds": [_round(b) for b in hist.bounds],
+                "bucket_counts": list(hist.bucket_counts),
+                "count": hist.count,
+                "sum": _round(hist.total),
+            }
+        return {
+            "schema": "repro.obs/series/v1",
+            "window_cycles": self.window,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+        }
+
+    def json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def prom_text(self) -> str:
+        """Prometheus text-format exposition of the final state."""
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            metric = prom_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {self.counter_total(name)}")
+        for name in sorted(self._gauges):
+            metric = prom_name(name)
+            series = self._gauges[name]
+            last_window = max(series.windows)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {series.windows[last_window][0]:g}")
+        for name in sorted(self._hists):
+            metric = prom_name(name)
+            hist = self._hists[name]
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, n in zip(hist.bounds, hist.bucket_counts):
+                cumulative += n
+                lines.append(f'{metric}_bucket{{le="{bound:g}"}} '
+                             f"{cumulative}")
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{metric}_sum {hist.total:g}")
+            lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -4,7 +4,9 @@ The serving simulator (:mod:`repro.serve`) runs on the same timebase
 as everything else in the reproduction — accelerator fabric cycles —
 so its spans drop straight into the Chrome ``trace_event`` mapping the
 kernel-level exporter (:mod:`repro.obs.timeline`) established: one
-fabric cycle is one microsecond of trace time.
+fabric cycle is one microsecond of trace time.  The process id comes
+from the shared :mod:`repro.obs.trackreg` registry, so a serving
+trace merges into one file with SoC and flight-recorder tracks.
 
 Tracks emitted:
 
@@ -17,26 +19,34 @@ Tracks emitted:
 * ``i`` (instant) markers for the resilience machinery — hedged
   re-dispatches, circuit-breaker ejections, half-open probes and
   scripted fail-stops — pinned to the instance thread they happened
-  on, so a chaos run reads as a story in the Perfetto UI.
+  on, carrying the same ``args: {"detail": ...}`` metadata schema as
+  the SoC exporter's instants.
+
+Underneath the event-exact samples, every observation also lands in a
+windowed :class:`~repro.obs.series.TimeSeries` (rolling counters,
+gauges and latency histograms on fixed cycle windows) — the canonical
+machine-readable artifact, byte-deterministic per seed.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-#: pid for the serving process (kernel exporter uses 1..3).
-PID_SERVING = 4
+from repro.obs.series import TimeSeries
+from repro.obs.trackreg import PID_SERVING, process_meta
 
 
 class ServingTimeline:
     """Event-driven recorder the serve scheduler feeds."""
 
-    def __init__(self):
+    def __init__(self, series_window: int = 4096):
         self.batch_spans: list[tuple[int, str, float, float, bool,
                                      dict[str, Any]]] = []
         self.samples: list[tuple[float, int, int]] = []
         self.instants: list[tuple[str, float, int, dict[str, Any]]] = []
         self._last_sample: tuple[int, int] | None = None
+        #: Windowed counters/gauges/histograms (``repro.obs.series``).
+        self.series = TimeSeries(window=series_window)
 
     def add_batch_span(self, instance: int, label: str, start, end,
                        ok: bool, **args: Any) -> None:
@@ -50,18 +60,25 @@ class ServingTimeline:
 
     def sample(self, now, queue_depth: int, inflight: int) -> None:
         """Record counter values at an event (deduplicated)."""
+        self.series.gauge("queue_depth", now, queue_depth)
+        self.series.gauge("inflight_batches", now, inflight)
         state = (queue_depth, inflight)
         if state == self._last_sample and self.samples:
             return
         self._last_sample = state
         self.samples.append((float(now), queue_depth, inflight))
 
+    def count(self, name: str, now, n: int = 1) -> None:
+        """Bump windowed counter ``name`` (arrivals, drops, faults...)."""
+        self.series.count(name, now, n)
+
+    def observe(self, name: str, value) -> None:
+        """Record ``value`` into the windowed histogram ``name``."""
+        self.series.observe(name, value)
+
     def chrome_trace(self) -> dict[str, Any]:
         """Render the recording as a Chrome/Perfetto trace document."""
-        events: list[dict[str, Any]] = [
-            {"ph": "M", "pid": PID_SERVING, "name": "process_name",
-             "args": {"name": "serving"}},
-        ]
+        events: list[dict[str, Any]] = [process_meta(PID_SERVING)]
         instances = sorted({span[0] for span in self.batch_spans}
                            | {instant[2] for instant in self.instants})
         for instance in instances:
@@ -80,7 +97,7 @@ class ServingTimeline:
             events.append({
                 "ph": "i", "pid": PID_SERVING, "tid": instance + 1,
                 "name": name, "ts": now, "s": "t",
-                "cat": "resilience", "args": dict(args),
+                "cat": "resilience", "args": {"detail": dict(args)},
             })
         for now, queue_depth, inflight in self.samples:
             events.append({"ph": "C", "pid": PID_SERVING, "tid": 0,

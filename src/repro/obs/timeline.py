@@ -25,10 +25,10 @@ from __future__ import annotations
 
 from typing import Any
 
-#: pid assignment for the exported trace's "processes".
-PID_KERNELS = 1
-PID_MEMORY = 2
-PID_SYSTEM = 3
+# pid assignment comes from the shared registry so SoC, serving and
+# flight tracks merge into one file without collisions (re-exported
+# here for backward compatibility).
+from repro.obs.trackreg import PID_KERNELS, PID_MEMORY, PID_SYSTEM
 
 #: Kernel states skipped in span export (no information content).
 _SKIP_STATES = ("done",)
@@ -46,8 +46,8 @@ class TimelineRecorder:
         self.counter_samples: list[tuple[int, dict[str, int]]] = []
         self._next_sample = 0
         self.dma_spans: list[tuple[str, int, int, bool]] = []
-        self.layer_spans: list[tuple[str, int, int]] = []
-        self._open_layers: dict[str, int] = {}
+        self.layer_spans: list[tuple[str, int, int, str]] = []
+        self._open_layers: dict[str, tuple[int, str]] = {}
         self.dram_traffic: list[tuple[int, int]] = []   # (cycle, cum values)
         self._dram_total = 0
 
@@ -120,12 +120,13 @@ class TimelineRecorder:
     def note_dram(self, now: int, kind: str, count: int) -> None:
         self._dram_total += count
 
-    def begin_layer(self, name: str, cycle: int) -> None:
-        self._open_layers[name] = cycle
+    def begin_layer(self, name: str, cycle: int,
+                    kind: str = "layer") -> None:
+        self._open_layers[name] = (cycle, kind)
 
     def end_layer(self, name: str, cycle: int) -> None:
-        start = self._open_layers.pop(name, cycle)
-        self.layer_spans.append((name, start, cycle))
+        start, kind = self._open_layers.pop(name, (cycle, "layer"))
+        self.layer_spans.append((name, start, cycle, kind))
 
     def finish(self, sim) -> None:
         """Close spans still open at the current cycle (idempotent)."""
@@ -183,10 +184,11 @@ def chrome_trace(telemetry) -> dict[str, Any]:
                        "ts": start, "dur": duration,
                        "pid": PID_MEMORY, "tid": 1,
                        "args": {"ok": ok}})
-    for name, start, end in recorder.layer_spans:
+    for name, start, end, kind in recorder.layer_spans:
         events.append({"name": name, "cat": "layer", "ph": "X",
                        "ts": start, "dur": max(1, end - start),
-                       "pid": PID_SYSTEM, "tid": 1})
+                       "pid": PID_SYSTEM, "tid": 1,
+                       "args": {"kind": kind}})
     for cycle, sample in recorder.counter_samples:
         for fifo_name, occupancy in sample.items():
             events.append({"name": f"fifo {fifo_name}", "cat": "fifo",

@@ -1,0 +1,83 @@
+"""Shared Perfetto pid/track registry + trace merging.
+
+Every Chrome ``trace_event`` exporter in the repo maps onto one unified
+clock (one fabric cycle = one microsecond of trace time) but, before
+this module, each exporter picked its process ids independently:
+:mod:`repro.obs.timeline` used pids 1..3 for the SoC, and
+:mod:`repro.obs.serving` hard-coded pid 4.  That worked only as long
+as the files stayed separate.  This registry is the single source of
+truth for pid assignments, so one merged ``--out`` file can carry SoC,
+serving and flight-recorder tracks side by side without collisions.
+
+:func:`merge_traces` combines several trace documents into one:
+``traceEvents`` are concatenated, duplicate ``process_name`` metadata
+is deduplicated, and a *conflicting* claim on a pid (two documents
+naming the same pid differently) is an error rather than a silent
+overwrite.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Unified pid assignment for every exporter in the repo.
+PID_KERNELS = 1        # HLS streaming kernels (state spans)
+PID_MEMORY = 2         # DMA engine + DDR4 counters
+PID_SYSTEM = 3         # SoC-level instants + driver layer spans
+PID_SERVING = 4        # serving simulator (batch spans, queue counters)
+PID_FLIGHT = 5         # request-scoped flight recorder
+
+#: Canonical process names, emitted as ``process_name`` metadata.
+PROCESS_NAMES = {
+    PID_KERNELS: "streaming kernels",
+    PID_MEMORY: "memory & dma",
+    PID_SYSTEM: "soc system",
+    PID_SERVING: "serving",
+    PID_FLIGHT: "flight recorder",
+}
+
+#: The clock statement every merged document carries.
+CLOCK_NOTE = "1 fabric cycle exported as 1 us of trace time"
+
+
+def process_meta(pid: int, name: str | None = None) -> dict[str, Any]:
+    """The ``process_name`` metadata event for ``pid``."""
+    label = name if name is not None else PROCESS_NAMES.get(pid, f"pid{pid}")
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label}}
+
+
+def merge_traces(*documents: dict[str, Any]) -> dict[str, Any]:
+    """Merge several Chrome trace documents onto the unified clock.
+
+    Concatenates ``traceEvents`` in argument order, deduplicates
+    identical ``process_name`` metadata, and raises :class:`ValueError`
+    when two documents claim the same pid under different names — a
+    collision would silently mislabel whole tracks in the Perfetto UI.
+    """
+    if not documents:
+        raise ValueError("merge_traces needs at least one trace document")
+    events: list[dict[str, Any]] = []
+    claimed: dict[int, str] = {}
+    for document in documents:
+        for event in document.get("traceEvents", ()):
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                pid = event["pid"]
+                name = event["args"]["name"]
+                if pid in claimed:
+                    if claimed[pid] != name:
+                        raise ValueError(
+                            f"pid {pid} claimed as {claimed[pid]!r} and "
+                            f"{name!r}; use the repro.obs.trackreg "
+                            f"constants to keep exporters collision-free")
+                    continue            # duplicate claim: drop it
+                claimed[pid] = name
+            events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": CLOCK_NOTE,
+            "generator": "repro.obs.trackreg.merge_traces",
+        },
+    }

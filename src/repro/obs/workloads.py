@@ -93,6 +93,11 @@ class ProfileResult:
     report: MetricsReport
     table: BottleneckTable
     model_cycles: dict[str, int] = field(default_factory=dict)
+    #: ``repro.obs.cache_stats()`` snapshot (counters reset per run,
+    #: so the JSON stays byte-deterministic).
+    cache: dict[str, Any] = field(default_factory=dict)
+    #: Host wall-clock profiler, when one was armed for the run.
+    hostprof: Any = None
 
     def format(self) -> str:
         scale = "smoke" if self.smoke else "default"
@@ -121,6 +126,10 @@ class ProfileResult:
             "bottlenecks": self.table.to_json(),
             "metrics": self.report.to_json(),
             "model_cycles": dict(self.model_cycles),
+            "cache": {name: dict(stats) for name, stats
+                      in sorted(self.cache.items())},
+            "hostprof": (self.hostprof.to_json()
+                         if self.hostprof is not None else None),
         }
 
     def json(self, indent: int = 2) -> str:
@@ -133,7 +142,8 @@ class ProfileResult:
 
 def run_profile(target: str = "conv1_1", smoke: bool = False,
                 seed: int = 0, timeline: bool = False,
-                bank_capacity: int = 1 << 14) -> ProfileResult:
+                bank_capacity: int = 1 << 14,
+                hostprof: Any = None) -> ProfileResult:
     """Profile scaled VGG-16 conv layer(s) end-to-end through the SoC.
 
     Each selected layer runs the full driver path on one shared system
@@ -141,14 +151,24 @@ def run_profile(target: str = "conv1_1", smoke: bool = False,
     :class:`~repro.obs.metrics.Telemetry` hub attached; the analytic
     cycle model is evaluated on the *same scaled geometry* so the
     bottleneck table's model column is apples-to-apples.
+
+    ``hostprof`` — an optional
+    :class:`~repro.obs.hostprof.HostProfiler` armed on the simulator
+    for the whole run (wall-clock by kernel family × execution mode).
+    Cache counters are reset at run start so the result's ``cache``
+    section (and therefore the JSON document) is byte-deterministic.
     """
     from repro.core.packing import PackedLayer
+    from repro.obs.cache import cache_stats, reset_caches
     from repro.perf.cycle_model import CycleModelParams, conv_layer_cycles
     from repro.soc.driver import InferenceDriver, SocSystem
 
+    reset_caches()
     workloads = select_workloads(target, smoke)
     soc = SocSystem(bank_capacity=bank_capacity)
     telemetry = Telemetry(timeline=timeline).attach(soc)
+    if hostprof is not None:
+        soc.sim.hostprof = hostprof
     driver = InferenceDriver(soc)
     rng = np.random.default_rng(seed)
     params = CycleModelParams(bank_capacity=bank_capacity,
@@ -177,4 +197,5 @@ def run_profile(target: str = "conv1_1", smoke: bool = False,
     table = bottleneck_table(telemetry, model_cycles)
     return ProfileResult(target=target, smoke=smoke, workloads=workloads,
                          telemetry=telemetry, report=telemetry.report(),
-                         table=table, model_cycles=model_cycles)
+                         table=table, model_cycles=model_cycles,
+                         cache=cache_stats(), hostprof=hostprof)

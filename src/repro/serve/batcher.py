@@ -49,6 +49,11 @@ class Batch:
     attempts: int = 0          # executions started (faults resubmit)
     #: Tightest member deadline (None when every member is best-effort).
     deadline_cycle: int | None = None
+    #: Which trigger closed the batch: ``size`` (max_batch pending),
+    #: ``wait`` (oldest member hit max_wait_cycles), ``slo`` (tightest
+    #: member deadline forced an early close) or ``flush``
+    #: (end-of-trace, no more arrivals coming).
+    close_reason: str = "size"
 
     @property
     def size(self) -> int:
@@ -74,6 +79,7 @@ class DynamicBatcher:
         self._next_bid = 0
         self.formed = 0
         self.size_hist: dict[int, int] = {}
+        self._close_reason = "size"     # trigger behind the last ready()
 
     def deadline(self) -> int | None:
         """Cycle at which the pending requests force a close.
@@ -105,11 +111,18 @@ class DynamicBatcher:
         if len(self.queue) == 0:
             return False
         if len(self.queue) >= self.policy.max_batch:
+            self._close_reason = "size"
             return True
         deadline = self.deadline()
         if deadline is not None and now >= deadline:
+            wait_close = (self.queue.oldest_arrival
+                          + self.policy.max_wait_cycles)
+            self._close_reason = "slo" if deadline < wait_close else "wait"
             return True
-        return not more_arrivals
+        if not more_arrivals:
+            self._close_reason = "flush"
+            return True
+        return False
 
     def close(self, now) -> Batch:
         """Close and return the next batch (caller checked ``ready``)."""
@@ -121,7 +134,8 @@ class DynamicBatcher:
                      if r.deadline_cycle is not None]
         batch = Batch(bid=self._next_bid, requests=requests,
                       formed_cycle=int(now),
-                      deadline_cycle=min(deadlines) if deadlines else None)
+                      deadline_cycle=min(deadlines) if deadlines else None,
+                      close_reason=self._close_reason)
         self._next_bid += 1
         self.formed += 1
         self.size_hist[size] = self.size_hist.get(size, 0) + 1

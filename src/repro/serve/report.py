@@ -15,6 +15,13 @@ Every new section is *always* present — armed-but-idle resilience
 must not change a fault-free report byte for byte
 (``benchmarks/bench_serve_resilience.py``).
 
+Schema v3 (``repro.serve/report/v3``) adds the observability story: a
+``cache`` section (``repro.obs.cache_stats()`` with counters reset at
+run start, so it is run-order independent) and an ``attribution``
+section — the flight recorder's exact critical-path decomposition
+(``repro.obs.flight``), ``null`` unless the run was made with
+``ServeConfig(flight=True)``.
+
 The throughput section relates the simulated service to the paper's
 headline number: effective GOPS (nominal MACs delivered per second,
 the Fig. 8 convention) against the 512-opt peak of 138 effective GOPS
@@ -157,6 +164,12 @@ class ServeReport:
     # per-instance
     instance_stats: list[InstanceStats] = field(default_factory=list)
     output_digest: str = ""
+    #: Flight-recorder critical-path attribution
+    #: (``repro.obs.flight.FlightRecorder.attribution``), ``None``
+    #: unless the run was made with ``ServeConfig(flight=True)``.
+    attribution: dict[str, Any] | None = None
+    #: ``repro.obs.cache_stats()`` snapshot (counters reset per run).
+    cache: dict[str, Any] = field(default_factory=dict)
 
     # -- derived -------------------------------------------------------------
 
@@ -295,12 +308,45 @@ class ServeReport:
         sizes = ", ".join(f"{size}x{n}" for size, n
                           in sorted(self.batch_size_hist.items()))
         lines.append(f"batch sizes      : {sizes or '-'}")
+        if self.cache:
+            parts = []
+            for name, stats in sorted(self.cache.items()):
+                parts.append(f"{name} {stats.get('hits', 0)}h/"
+                             f"{stats.get('misses', 0)}m")
+            lines.append(f"caches           : {', '.join(parts)}")
         lines.append(f"output digest    : {self.output_digest}")
+        if self.attribution is not None:
+            lines.append("")
+            lines.append(self.format_attribution())
+        return "\n".join(lines)
+
+    def format_attribution(self) -> str:
+        """Critical-path attribution table (flight recorder armed)."""
+        a = self.attribution or {}
+        n = a.get("requests", 0)
+        lines = [f"critical-path attribution ({n} request(s), "
+                 f"exact sum: {'yes' if a.get('exact_sum') else 'NO'})"]
+        lines.append(f"{'component':<12}{'total cyc':>14}{'mean cyc':>12}"
+                     f"{'share':>8}")
+        for name, row in a.get("components", {}).items():
+            lines.append(f"{name:<12}{row['total_cycles']:>14.0f}"
+                         f"{row['mean_cycles']:>12.0f}"
+                         f"{100 * row['share']:>7.1f}%")
+        reasons = ", ".join(f"{reason} {count}" for reason, count
+                            in a.get("batch_close_reasons", {}).items())
+        if reasons:
+            lines.append(f"batch closes : {reasons}")
+        contention = a.get("per_instance_contention_cycles", {})
+        if contention:
+            shares = ", ".join(f"acc{index} {cycles:.0f}"
+                               for index, cycles in contention.items())
+            lines.append(f"contention   : {shares} (cycles on the "
+                         f"winning attempts)")
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "schema": "repro.serve/report/v2",
+            "schema": "repro.serve/report/v3",
             "seed": self.seed,
             "instances": self.instances,
             "contention": self.contention,
@@ -392,6 +438,9 @@ class ServeReport:
                 "unavailable_cycles": _round(stats.unavailable_cycles),
             } for stats in self.instance_stats],
             "output_digest": self.output_digest,
+            "attribution": self.attribution,
+            "cache": {name: dict(stats) for name, stats
+                      in sorted(self.cache.items())},
         }
 
     def json(self, indent: int = 2) -> str:
@@ -415,8 +464,9 @@ def build_report(*, seed: int, instances: int, contention: bool,
                  hedge_wins: int = 0, hedge_cancelled: int = 0,
                  fail_stops: int = 0, fleet_dead: bool = False,
                  availability: float = 1.0,
-                 recovery_latencies: list[float] | None = None
-                 ) -> ServeReport:
+                 recovery_latencies: list[float] | None = None,
+                 attribution: dict | None = None,
+                 cache: dict | None = None) -> ServeReport:
     """Assemble the report from the scheduler's raw accounting."""
     completed = [o for o in outcomes if not o.failed]
     latencies = [o.latency_cycles for o in completed]
@@ -458,4 +508,5 @@ def build_report(*, seed: int, instances: int, contention: bool,
         fleet_dead=fleet_dead, availability=availability,
         recovery_latencies=list(recovery_latencies or []),
         instance_stats=instance_stats,
-        output_digest=output_digest)
+        output_digest=output_digest,
+        attribution=attribution, cache=dict(cache or {}))

@@ -206,10 +206,15 @@ class InstanceHealth:
     probes: int = 0
     #: (open_at, closed_at_or_None) windows, for availability math.
     open_spans: list = None
+    #: Every breaker state change as ``(state, cycle)``, in order —
+    #: the flight recorder renders these as trace instants.
+    transitions: list = None
 
     def __post_init__(self):
         if self.open_spans is None:
             self.open_spans = []
+        if self.transitions is None:
+            self.transitions = []
 
     def can_dispatch(self, now: Fraction) -> bool:
         """May the scheduler place a batch on this instance at ``now``?"""
@@ -223,6 +228,7 @@ class InstanceHealth:
         """Record a dispatch; True if this batch is a half-open trial."""
         if self.state == BREAKER_OPEN:
             self.state = BREAKER_HALF_OPEN
+            self.transitions.append((BREAKER_HALF_OPEN, now))
             self.probes += 1
             return True
         return False
@@ -236,6 +242,7 @@ class InstanceHealth:
                        and self.consecutive_faults >= policy.eject_after))
         if tripped:
             self.state = BREAKER_OPEN
+            self.transitions.append((BREAKER_OPEN, now))
             self.ejections += 1
             self.probe_at = (now + drain_cycles
                              + policy.probe_cooldown_cycles)
@@ -247,6 +254,7 @@ class InstanceHealth:
         self.consecutive_faults = 0
         if self.state != BREAKER_CLOSED:
             self.state = BREAKER_CLOSED
+            self.transitions.append((BREAKER_CLOSED, now))
             self.probe_at = None
             if self.open_spans and self.open_spans[-1][1] is None:
                 self.open_spans[-1][1] = now

@@ -116,6 +116,10 @@ class ServeConfig:
     clock_mhz: float = 120.0          # 512-opt achieved clock
     bank_capacity: int = 1 << 14
     timeline: bool = False
+    #: Arm the request-scoped flight recorder (span trees + exact
+    #: critical-path attribution, :mod:`repro.obs.flight`).
+    #: Observation-only: the run is bit-identical with it armed.
+    flight: bool = False
 
     def __post_init__(self):
         if self.instances < 1:
@@ -170,7 +174,8 @@ class _Job:
     """One batch leg executing on one instance (exact remaining work)."""
 
     __slots__ = ("batch", "instance", "mem_rem", "compute_rem",
-                 "work_done", "fault_at", "started", "hedge", "probe")
+                 "work_done", "fault_at", "started", "hedge", "probe",
+                 "split")
 
     def __init__(self, batch: Batch, instance: int, mem_cycles: int,
                  compute_cycles: int, fault_at: Fraction | None,
@@ -185,6 +190,10 @@ class _Job:
         self.started = started
         self.hedge = hedge              # hedged re-dispatch leg
         self.probe = probe              # half-open breaker trial
+        #: ``[ideal, contention, derate]`` exact-Fraction accumulators
+        #: when the flight recorder is armed; ``None`` keeps the clean
+        #: path's advance() untouched (one attribute test per event).
+        self.split: list[Fraction] | None = None
 
     @property
     def in_mem(self) -> bool:
@@ -219,9 +228,18 @@ class _Job:
         if self.in_mem:
             progress = dt * mem_rate / derate
             self.mem_rem -= progress
+            if self.split is not None:
+                # dt = ideal + contention stall + derate stall, exactly:
+                # dt = progress + dt(1-mem_rate) + dt·mem_rate(1-1/derate)
+                self.split[0] += progress
+                self.split[1] += dt * (1 - mem_rate)
+                self.split[2] += dt * mem_rate * (1 - Fraction(1) / derate)
         else:
             progress = dt / derate
             self.compute_rem -= progress
+            if self.split is not None:
+                self.split[0] += progress
+                self.split[2] += dt - progress
         self.work_done += progress
 
 
@@ -235,12 +253,22 @@ class ServeResult:
     report: ServeReport
     outputs: dict[int, "object"] = field(default_factory=dict)
     timeline: "object | None" = None
+    flight: "object | None" = None
 
     def chrome_trace(self) -> dict:
-        if self.timeline is None:
+        """Trace document: serving tracks, flight tracks, or both merged."""
+        documents = []
+        if self.timeline is not None:
+            documents.append(self.timeline.chrome_trace())
+        if self.flight is not None:
+            documents.append(self.flight.chrome_trace())
+        if not documents:
             raise ValueError("run with ServeConfig(timeline=True) "
                              "to record a serving timeline")
-        return self.timeline.chrome_trace()
+        if len(documents) == 1:
+            return documents[0]
+        from repro.obs.trackreg import merge_traces
+        return merge_traces(*documents)
 
 
 def _fault_threshold(config: ServeConfig, batch: Batch,
@@ -261,7 +289,13 @@ def _fault_threshold(config: ServeConfig, batch: Batch,
 def run_serve(config: ServeConfig | None = None,
               echo: Callable[[str], None] | None = None) -> ServeResult:
     """Run one serving experiment end to end."""
+    from repro.obs.cache import cache_stats, reset_caches
+
     config = config or ServeConfig()
+    # Reset cache entries *and* counters up front so the report's cache
+    # section is identical whether this is the first run of the process
+    # or the hundredth (byte-determinism; re-calibration is cheap).
+    reset_caches()
     trace = config.trace()
     profile = calibrate_profile(config.workload, config.bank_capacity)
     if echo:
@@ -283,6 +317,10 @@ def run_serve(config: ServeConfig | None = None,
     if config.timeline:
         from repro.obs.serving import ServingTimeline
         timeline = ServingTimeline()
+    flight = None
+    if config.flight:
+        from repro.obs.flight import FlightRecorder
+        flight = FlightRecorder()
     stats = [InstanceStats(i) for i in range(config.instances)]
     health = [InstanceHealth(i) for i in range(config.instances)]
     was_down = [False] * config.instances
@@ -322,12 +360,21 @@ def run_serve(config: ServeConfig | None = None,
         compute = profile.batch_compute_cycles(batch.size)
         fault_at = _fault_threshold(config, batch, mem + compute)
         probe = health[instance].on_dispatch(now)
-        jobs[instance] = _Job(batch, instance, mem, compute, fault_at,
-                              now, hedge=hedge, probe=probe)
+        job = _Job(batch, instance, mem, compute, fault_at,
+                   now, hedge=hedge, probe=probe)
+        if flight is not None:
+            job.split = [Fraction(0), Fraction(0), Fraction(0)]
+            flight.on_dispatch(batch, instance, now, hedge, probe)
+        jobs[instance] = job
         legs.setdefault(batch.bid, []).append(instance)
-        if timeline is not None and probe:
-            timeline.add_instant("probe", now, instance,
-                                 batch=batch.bid)
+        if timeline is not None:
+            timeline.count("dispatches", now)
+        if probe:
+            if timeline is not None:
+                timeline.add_instant("probe", now, instance,
+                                     batch=batch.bid)
+            if flight is not None:
+                flight.on_instant("probe", now, instance, batch=batch.bid)
 
     def remove_leg(bid: int, instance: int) -> None:
         entries = legs.get(bid)
@@ -340,6 +387,10 @@ def run_serve(config: ServeConfig | None = None,
         return profile.batch_cycles(batch.size)
 
     def fail_batch(batch: Batch) -> None:
+        if flight is not None:
+            flight.on_fail(batch, now)
+        if timeline is not None:
+            timeline.count("batches_failed", now)
         for request in batch.requests:
             outcomes.append(RequestOutcome(
                 rid=request.rid, arrival_cycle=request.arrival_cycle,
@@ -353,22 +404,42 @@ def run_serve(config: ServeConfig | None = None,
         nonlocal next_arrival, hedges
         while (next_arrival < len(arrivals)
                and arrivals[next_arrival].arrival_cycle <= now):
-            queue.push(now, arrivals[next_arrival])
+            request = arrivals[next_arrival]
+            admitted = queue.push(now, request)
+            if timeline is not None:
+                timeline.count("arrivals", now)
+                if not admitted:
+                    timeline.count("drops_queue_full", now)
+            if flight is not None:
+                flight.on_arrival(request, now, admitted)
             next_arrival += 1
         if slo_armed:
             # Expired: the deadline already passed while queued.
-            queue.remove_where(
+            expired = queue.remove_where(
                 now, lambda r: (r.deadline_cycle is not None
                                 and r.deadline_cycle < now),
                 "deadline_expired")
             # Shed: could not make the SLO even dispatched alone now.
             solo = profile.batch_cycles(1)
-            queue.remove_where(
+            shed = queue.remove_where(
                 now, lambda r: (r.deadline_cycle is not None
                                 and r.deadline_cycle < now + solo),
                 "shed")
+            if timeline is not None:
+                timeline.count("drops_deadline_expired", now, len(expired))
+                timeline.count("drops_shed", now, len(shed))
+            if flight is not None:
+                for request in expired:
+                    flight.on_drop(request, now, "deadline_expired")
+                for request in shed:
+                    flight.on_drop(request, now, "shed")
         while batcher.ready(now, next_arrival < len(arrivals)):
-            ready.append((now, batcher.close(now)))
+            batch = batcher.close(now)
+            if timeline is not None:
+                timeline.count("batches_closed", now)
+            if flight is not None:
+                flight.on_close(batch, now)
+            ready.append((now, batch))
         while any(at <= now for at, _ in ready):
             eligible = [i for i in idle if usable(i)]
             if not eligible:
@@ -397,8 +468,12 @@ def run_serve(config: ServeConfig | None = None,
                 hedges += 1
                 dispatch(job.batch, backup, hedge=True)
                 if timeline is not None:
+                    timeline.count("hedges", now)
                     timeline.add_instant("hedge", now, backup,
                                          batch=bid, primary=instance)
+                if flight is not None:
+                    flight.on_instant("hedge", now, backup,
+                                      batch=bid, primary=instance)
         if timeline is not None:
             timeline.sample(now, len(queue), len(jobs))
 
@@ -413,6 +488,8 @@ def run_serve(config: ServeConfig | None = None,
                 fail_stop_events += 1
                 if timeline is not None:
                     timeline.add_instant("fail-stop", now, instance)
+                if flight is not None:
+                    flight.on_instant("fail-stop", now, instance)
                 if instance in jobs:
                     job = jobs.pop(instance)
                     bid = job.batch.bid
@@ -425,11 +502,19 @@ def run_serve(config: ServeConfig | None = None,
                             f"batch{bid} x{job.batch.size}",
                             job.started, now, False,
                             attempt=job.batch.attempts, killed=True)
+                    if flight is not None:
+                        flight.on_attempt_end(bid, instance, now,
+                                              "killed", job.split)
                     if bid not in legs and bid not in completed_bids:
                         # Drain-and-requeue at the head of the queue.
                         requeued += 1
                         pending_recovery.setdefault(bid, now)
                         hedged_bids.discard(bid)
+                        if timeline is not None:
+                            timeline.count("requeues", now)
+                        if flight is not None:
+                            flight.on_instant("requeue", now, instance,
+                                              batch=bid)
                         ready.insert(0, (now, job.batch))
                     idle.append(instance)
                     idle.sort()
@@ -459,6 +544,9 @@ def run_serve(config: ServeConfig | None = None,
                     other, f"batch{bid} x{loser.batch.size}",
                     loser.started, now, False,
                     attempt=loser.batch.attempts, cancelled=True)
+            if flight is not None:
+                flight.on_attempt_end(bid, other, now, "cancelled",
+                                      loser.split)
         completed_bids.add(bid)
         if bid in pending_recovery:
             recovery_latencies.append(float(now - pending_recovery.pop(bid)))
@@ -474,10 +562,17 @@ def run_serve(config: ServeConfig | None = None,
                 slo=request.slo, deadline_cycle=request.deadline_cycle,
                 deadline_met=met))
         if timeline is not None:
+            timeline.count("completions", now, job.batch.size)
+            for request in job.batch.requests:
+                timeline.observe("latency_cycles",
+                                 float(now - request.arrival_cycle))
             timeline.add_batch_span(
                 instance, f"batch{bid} x{job.batch.size}",
                 job.started, now, True, attempt=job.batch.attempts,
                 hedge=job.hedge)
+        if flight is not None:
+            flight.on_attempt_end(bid, instance, now, "complete",
+                                  job.split)
         del jobs[instance]
         idle.append(instance)
         idle.sort()
@@ -489,9 +584,12 @@ def run_serve(config: ServeConfig | None = None,
         entry.faults += 1
         entry.busy_cycles += float(now - job.started)
         if timeline is not None:
+            timeline.count("faults", now)
             timeline.add_batch_span(
                 instance, f"batch{bid} x{job.batch.size}",
                 job.started, now, False, attempt=job.batch.attempts)
+        if flight is not None:
+            flight.on_attempt_end(bid, instance, now, "fault", job.split)
         del jobs[instance]
         remove_leg(bid, instance)
         offline[instance] = now + config.drain_cycles
@@ -503,6 +601,10 @@ def run_serve(config: ServeConfig | None = None,
                 timeline.add_instant("eject", now, instance,
                                      after=health[instance]
                                      .consecutive_faults)
+            if flight is not None:
+                flight.on_instant("eject", now, instance,
+                                  after=health[instance]
+                                  .consecutive_faults)
         if bid in legs:
             return          # a sibling (hedge) leg carries the batch on
         batch = job.batch
@@ -513,6 +615,10 @@ def run_serve(config: ServeConfig | None = None,
         pending_recovery.setdefault(bid, now)
         hedged_bids.discard(bid)
         backoff = spolicy.backoff(batch.attempts - 1, config.seed, bid)
+        if timeline is not None:
+            timeline.count("resubmissions", now)
+        if flight is not None:
+            flight.on_backoff(bid, now, now + backoff)
         ready.insert(0, (now + backoff, batch))
 
     guard = 0
@@ -587,6 +693,13 @@ def run_serve(config: ServeConfig | None = None,
 
     makespan = float(now)
     digest = output_digest(outputs)
+    attribution = None
+    if flight is not None:
+        flight.finish(now)
+        for entry in health:
+            if entry.transitions:
+                flight.add_breaker_log(entry.index, entry.transitions)
+        attribution = flight.attribution(config.clock_mhz)
     unavailable = []
     for entry, h in zip(stats, health):
         down = disruptions.down_cycles(entry.index, now) \
@@ -646,10 +759,12 @@ def run_serve(config: ServeConfig | None = None,
         queue_max_depth=queue.max_depth,
         batches_formed=batcher.formed,
         batch_size_hist=batcher.size_hist,
-        instance_stats=stats, output_digest=digest)
+        instance_stats=stats, output_digest=digest,
+        attribution=attribution, cache=cache_stats())
     if echo:
         echo(f"served {report.completed}/{report.offered} requests in "
              f"{makespan:.0f} cycles "
              f"({report.throughput_img_s:.1f} img/s)")
     return ServeResult(config=config, trace=trace, profile=profile,
-                       report=report, outputs=outputs, timeline=timeline)
+                       report=report, outputs=outputs, timeline=timeline,
+                       flight=flight)

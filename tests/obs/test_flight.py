@@ -1,0 +1,218 @@
+"""Flight recorder units: interval union, critical paths, trace export."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.obs.flight import (COMPONENTS, CriticalPath, FlightRecorder,
+                              interval_union)
+from repro.obs.trackreg import PID_FLIGHT
+
+
+class _Req:
+    def __init__(self, rid, arrival):
+        self.rid = rid
+        self.arrival_cycle = arrival
+
+
+class _Batch:
+    def __init__(self, bid, rids, arrivals, attempts=0,
+                 close_reason="size", deadline_cycle=None):
+        self.bid = bid
+        self.requests = tuple(_Req(r, a) for r, a in zip(rids, arrivals))
+        self.attempts = attempts
+        self.close_reason = close_reason
+        self.deadline_cycle = deadline_cycle
+
+    @property
+    def size(self):
+        return len(self.requests)
+
+
+# -- interval_union ------------------------------------------------------------------
+
+
+def test_interval_union_disjoint_and_overlapping():
+    F = Fraction
+    assert interval_union([]) == 0
+    assert interval_union([(F(0), F(10))]) == 10
+    assert interval_union([(F(0), F(10)), (F(20), F(30))]) == 20
+    # Overlap merges, never double counts.
+    assert interval_union([(F(0), F(10)), (F(5), F(15))]) == 15
+    # Containment.
+    assert interval_union([(F(0), F(20)), (F(5), F(10))]) == 20
+    # Empty / inverted intervals are ignored.
+    assert interval_union([(F(5), F(5)), (F(9), F(3))]) == 0
+
+
+def test_interval_union_exact_fractions():
+    F = Fraction
+    total = interval_union([(F(1, 3), F(2, 3)), (F(1, 2), F(5, 6))])
+    assert total == F(5, 6) - F(1, 3)
+
+
+# -- critical paths on a hand-built recording ----------------------------------------
+
+
+def _record_simple_flight():
+    """One batch, two requests, one clean attempt: knowable by hand."""
+    flight = FlightRecorder()
+    batch = _Batch(0, [0, 1], [100, 200], close_reason="wait")
+    for request in batch.requests:
+        flight.on_arrival(request, request.arrival_cycle, True)
+    flight.on_close(batch, 300)
+    batch.attempts = 1
+    flight.on_dispatch(batch, 0, 350, hedge=False, probe=False)
+    # splits: ideal 900, contention 40, derate 10 -> ends at 350+950
+    flight.on_attempt_end(0, 0, 1300, "complete",
+                          [Fraction(900), Fraction(40), Fraction(10)])
+    flight.finish(1300)
+    return flight
+
+
+def test_critical_path_hand_checked_decomposition():
+    flight = _record_simple_flight()
+    paths = flight.critical_paths()
+    assert len(paths) == 2
+    by_rid = {p.rid: p for p in paths}
+    p0 = by_rid[0]
+    assert p0.queue == 200          # arrival 100 -> close 300
+    assert p0.batch == 50           # close 300 -> dispatch 350
+    assert p0.compute == 900
+    assert p0.contention == 40
+    assert p0.resilience == 10      # winner derate stall only
+    assert p0.other == 0
+    assert p0.latency == 1200       # 1300 - 100
+    assert p0.exact
+    p1 = by_rid[1]
+    assert p1.queue == 100 and p1.latency == 1100 and p1.exact
+
+
+def test_critical_path_resilience_interval_union():
+    """A faulted attempt + backoff before the winner land in resilience."""
+    flight = FlightRecorder()
+    batch = _Batch(7, [3], [0])
+    flight.on_arrival(batch.requests[0], 0, True)
+    flight.on_close(batch, 10)
+    batch.attempts = 1
+    flight.on_dispatch(batch, 0, 10, hedge=False, probe=False)
+    flight.on_attempt_end(7, 0, 110, "fault",
+                          [Fraction(80), Fraction(20), Fraction(0)])
+    flight.on_backoff(7, 110, 140)
+    batch.attempts = 2
+    flight.on_dispatch(batch, 1, 150, hedge=False, probe=False)
+    flight.on_attempt_end(7, 1, 250, "complete",
+                          [Fraction(100), Fraction(0), Fraction(0)])
+    flight.finish(250)
+    (path,) = flight.critical_paths()
+    # Failed attempt [10,110) + backoff [110,140) = 130 resilience;
+    # the dispatch gap [140,150) is batch wait.
+    assert path.resilience == 130
+    assert path.batch == 10
+    assert path.compute == 100
+    assert path.queue == 10
+    assert path.other == 0 and path.exact
+
+
+def test_critical_path_overlapping_hedge_leg_not_double_counted():
+    flight = FlightRecorder()
+    batch = _Batch(1, [5], [0])
+    flight.on_arrival(batch.requests[0], 0, True)
+    flight.on_close(batch, 0)
+    batch.attempts = 1
+    flight.on_dispatch(batch, 0, 0, hedge=False, probe=False)
+    batch.attempts = 2
+    flight.on_dispatch(batch, 1, 60, hedge=True, probe=False)
+    # Hedge on instance 1 wins at 160; primary cancelled at the same
+    # instant -- its [0, 160) leg clips to [0, 60) = winner start.
+    flight.on_attempt_end(1, 0, 160, "cancelled",
+                          [Fraction(90), Fraction(10), Fraction(0)])
+    flight.on_attempt_end(1, 1, 160, "complete",
+                          [Fraction(100), Fraction(0), Fraction(0)])
+    flight.finish(160)
+    (path,) = flight.critical_paths()
+    assert path.resilience == 60    # primary leg up to winner start
+    assert path.batch == 0
+    assert path.compute == 100
+    assert path.exact and path.other == 0
+
+
+def test_failed_batch_produces_no_critical_path():
+    flight = FlightRecorder()
+    batch = _Batch(2, [9], [0])
+    flight.on_arrival(batch.requests[0], 0, True)
+    flight.on_close(batch, 5)
+    batch.attempts = 1
+    flight.on_dispatch(batch, 0, 5, hedge=False, probe=False)
+    flight.on_attempt_end(2, 0, 50, "fault",
+                          [Fraction(30), Fraction(0), Fraction(0)])
+    flight.on_fail(batch, 50)
+    flight.finish(50)
+    assert flight.critical_paths() == []
+    attribution = flight.attribution()
+    assert attribution["requests"] == 0
+    assert attribution["exact_sum"] is True
+
+
+def test_attempt_end_without_open_attempt_raises():
+    flight = FlightRecorder()
+    batch = _Batch(0, [0], [0])
+    flight.on_close(batch, 0)
+    with pytest.raises(KeyError):
+        flight.on_attempt_end(0, 3, 10, "complete", None)
+
+
+# -- attribution / export ------------------------------------------------------------
+
+
+def test_attribution_schema_and_shares():
+    flight = _record_simple_flight()
+    attribution = flight.attribution()
+    assert attribution["schema"] == "repro.obs/flight/attribution/v1"
+    assert attribution["requests"] == 2
+    assert attribution["exact_sum"] is True
+    assert set(attribution["components"]) == set(COMPONENTS)
+    shares = sum(row["share"]
+                 for row in attribution["components"].values())
+    assert shares == pytest.approx(1.0, abs=1e-5)
+    assert attribution["batch_close_reasons"] == {"wait": 1}
+    assert attribution["per_instance_contention_cycles"] == {"0": 80.0}
+
+
+def test_chrome_trace_flight_schema():
+    flight = _record_simple_flight()
+    flight.on_instant("hedge", 400, 1, batch=0)
+    flight.add_breaker_log(0, [("open", Fraction(500))])
+    document = flight.chrome_trace()
+    events = document["traceEvents"]
+    assert all(event["pid"] == PID_FLIGHT for event in events)
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    queue_spans = [e for e in events
+                   if e["ph"] == "X" and e["name"].startswith("queue")]
+    assert len(queue_spans) == 2
+    # Queue spans all end at the close instant, so they nest.
+    assert len({span["ts"] + span["dur"] for span in queue_spans}) == 1
+    attempts = [e for e in events
+                if e["ph"] == "X" and e["name"].startswith("attempt")]
+    assert attempts[0]["args"]["outcome"] == "complete"
+    assert attempts[0]["args"]["compute_cycles"] == 900.0
+    instants = [e for e in events if e["ph"] == "i"]
+    assert any(e["args"]["detail"].get("batch") == 0 for e in instants)
+    assert any(e["name"] == "breaker open" for e in instants)
+
+
+def test_critical_path_components_accessor():
+    path = CriticalPath(rid=0, bid=0, instance=0,
+                        latency=Fraction(6), queue=Fraction(1),
+                        batch=Fraction(1), contention=Fraction(1),
+                        compute=Fraction(1), resilience=Fraction(1),
+                        other=Fraction(1))
+    assert list(path.components()) == list(COMPONENTS)
+    assert path.exact
+    bad = CriticalPath(rid=0, bid=0, instance=0,
+                       latency=Fraction(7), queue=Fraction(1),
+                       batch=Fraction(1), contention=Fraction(1),
+                       compute=Fraction(1), resilience=Fraction(1),
+                       other=Fraction(1))
+    assert not bad.exact

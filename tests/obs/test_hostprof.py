@@ -1,0 +1,70 @@
+"""Host profiler: family classification, identity, determinism."""
+
+import json
+
+from repro.obs import HostProfiler, kernel_family, run_profile
+
+
+def test_kernel_family_classification():
+    assert kernel_family("acc0.conv0") == "conv"
+    assert kernel_family("acc0.conv12") == "conv"
+    assert kernel_family("acc1.staging3") == "staging"
+    assert kernel_family("acc0.accum2") == "accum"
+    assert kernel_family("acc0.padpool0") == "padpool"
+    assert kernel_family("acc0.writeback0") == "writeback"
+    assert kernel_family("dma.engine") == "dma"
+    assert kernel_family("acc0.issue") == "control"
+    assert kernel_family("acc0.doneproc") == "control"
+    assert kernel_family("sdram.arbiter") == "control"
+    assert kernel_family("mystery.kernel7") == "host"
+
+
+def test_hostprof_is_observation_only_and_deterministic():
+    clean = run_profile("conv1_1", smoke=True, seed=0)
+    hostprof = HostProfiler()
+    profiled = run_profile("conv1_1", smoke=True, seed=0,
+                           hostprof=hostprof)
+    # Arming the profiler must not change anything the run measured.
+    assert profiled.report.to_json() == clean.report.to_json()
+    assert profiled.table.to_json() == clean.table.to_json()
+    # Cycle accounting covers the whole run, split across modes.
+    assert hostprof.total_cycles > 0
+    assert hostprof.scalar_cycles > 0
+    document = hostprof.to_json()
+    assert document["schema"] == "repro.obs/hostprof/v1"
+    assert document["total_cycles"] == hostprof.total_cycles
+    # The JSON is wall-clock-free, hence byte-deterministic: a second
+    # profiled run produces the identical document.
+    second = HostProfiler()
+    run_profile("conv1_1", smoke=True, seed=0, hostprof=second)
+    assert json.dumps(document, sort_keys=True) \
+        == json.dumps(second.to_json(), sort_keys=True)
+    # The profile result embeds the same document.
+    assert profiled.to_json()["hostprof"] == document
+    assert clean.to_json()["hostprof"] is None
+
+
+def test_hostprof_ranking_and_format():
+    hostprof = HostProfiler()
+    run_profile("conv1_1", smoke=True, seed=0, hostprof=hostprof)
+    ranking = hostprof.ranking()
+    assert ranking, "smoke profile must take scalar steps"
+    counts = [hostprof.family_scalar[f] for f in ranking]
+    assert counts == sorted(counts, reverse=True)
+    shares = [row["share"] for row in hostprof.to_json()["families"]]
+    assert abs(sum(shares) - 1.0) < 1e-4
+    text = hostprof.format()
+    assert "vectorize next" in text
+    assert ranking[0] in text
+
+
+def test_profile_json_carries_cache_stats():
+    result = run_profile("conv1_1", smoke=True, seed=0)
+    document = result.to_json()
+    assert "cache" in document
+    assert "packing.pack" in document["cache"]
+    for stats in document["cache"].values():
+        assert set(stats) >= {"hits", "misses", "evictions", "hit_rate"}
+    # Counters are reset per run: two runs report identical documents.
+    again = run_profile("conv1_1", smoke=True, seed=0)
+    assert again.to_json()["cache"] == document["cache"]

@@ -1,0 +1,106 @@
+"""Windowed time-series recorder: counters, gauges, histograms."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.obs.series import (DEFAULT_BOUNDS, TimeSeries, prom_name)
+
+
+def test_counter_windows_and_total():
+    series = TimeSeries(window=100)
+    series.count("arrivals", 5)
+    series.count("arrivals", 99)
+    series.count("arrivals", 100)          # next window
+    series.count("arrivals", 250, n=3)
+    assert series.counter_total("arrivals") == 6
+    document = series.to_json()
+    assert document["counters"]["arrivals"]["windows"] \
+        == {"0": 2, "1": 1, "2": 3}
+
+
+def test_counter_zero_increment_is_noop():
+    series = TimeSeries()
+    series.count("drops", 0, n=0)
+    assert series.empty
+    assert series.counter_total("drops") == 0
+
+
+def test_fraction_timestamps_use_exact_floor():
+    series = TimeSeries(window=10)
+    series.count("events", Fraction(99999, 10000))   # 9.9999 -> window 0
+    series.count("events", Fraction(100001, 10000))  # 10.0001 -> window 1
+    windows = series.to_json()["counters"]["events"]["windows"]
+    assert windows == {"0": 1, "1": 1}
+
+
+def test_gauge_last_min_max_per_window():
+    series = TimeSeries(window=50)
+    series.gauge("queue_depth", 10, 3)
+    series.gauge("queue_depth", 20, 7)
+    series.gauge("queue_depth", 30, 1)
+    series.gauge("queue_depth", 60, 5)
+    document = series.to_json()
+    w0 = document["gauges"]["queue_depth"]["windows"]["0"]
+    assert w0 == {"last": 1.0, "min": 1.0, "max": 7.0}
+    w1 = document["gauges"]["queue_depth"]["windows"]["1"]
+    assert w1 == {"last": 5.0, "min": 5.0, "max": 5.0}
+
+
+def test_histogram_buckets_and_overflow():
+    series = TimeSeries()
+    series.observe("latency", 100, bounds=(256, 1024))
+    series.observe("latency", 1000)
+    series.observe("latency", 5000)        # overflow bucket
+    hist = series.to_json()["histograms"]["latency"]
+    assert hist["bounds"] == [256.0, 1024.0]
+    assert hist["bucket_counts"] == [1, 1, 1]
+    assert hist["count"] == 3
+    assert hist["sum"] == 6100.0
+
+
+def test_histogram_first_call_fixes_bounds():
+    series = TimeSeries()
+    series.observe("latency", 1)
+    series.observe("latency", 2, bounds=(10,))   # ignored
+    hist = series.to_json()["histograms"]["latency"]
+    assert tuple(hist["bounds"]) == tuple(float(b)
+                                          for b in DEFAULT_BOUNDS)
+
+
+def test_json_byte_deterministic():
+    def build():
+        series = TimeSeries(window=64)
+        for t in (3, 64, 65, 200):
+            series.count("a", t)
+            series.gauge("g", t, t % 7)
+            series.observe("h", t * 3)
+        return series.json()
+    assert build() == build()
+    json.loads(build())                     # valid JSON
+
+
+def test_prom_text_exposition():
+    series = TimeSeries(window=64)
+    series.count("arrivals", 10, n=4)
+    series.gauge("queue_depth", 20, 3)
+    series.observe("latency_cycles", 300, bounds=(256, 1024))
+    text = series.prom_text()
+    assert "# TYPE repro_arrivals_total counter" in text
+    assert "repro_arrivals_total 4" in text
+    assert "repro_queue_depth 3" in text
+    assert 'repro_latency_cycles_bucket{le="1024"} 1' in text
+    assert 'repro_latency_cycles_bucket{le="+Inf"} 1' in text
+    assert "repro_latency_cycles_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prom_name_sanitizes():
+    assert prom_name("queue depth!") == "repro_queue_depth_"
+    assert prom_name("ok_name") == "repro_ok_name"
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        TimeSeries(window=0)

@@ -1,0 +1,74 @@
+"""ServingTimeline: instant schema, counter ordering, sample dedup."""
+
+from repro.obs.serving import ServingTimeline
+from repro.obs.trackreg import PID_SERVING
+
+
+def test_add_instant_detail_args_schema():
+    """Instants carry the SoC exporter's args: {"detail": ...} schema."""
+    timeline = ServingTimeline()
+    timeline.add_instant("hedge", 120, 1, batch=3, primary=0)
+    document = timeline.chrome_trace()
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    event = instants[0]
+    assert event["pid"] == PID_SERVING
+    assert event["tid"] == 2                 # instance 1 -> thread 2
+    assert event["cat"] == "resilience"
+    assert event["s"] == "t"
+    assert event["args"] == {"detail": {"batch": 3, "primary": 0}}
+
+
+def test_counter_events_monotonic_and_paired():
+    timeline = ServingTimeline()
+    timeline.sample(0, 1, 0)
+    timeline.sample(50, 2, 1)
+    timeline.sample(120, 0, 2)
+    document = timeline.chrome_trace()
+    counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+    depth = [e for e in counters if e["name"] == "queue depth"]
+    inflight = [e for e in counters if e["name"] == "inflight batches"]
+    assert len(depth) == len(inflight) == 3
+    assert [e["ts"] for e in depth] == sorted(e["ts"] for e in depth)
+    assert [e["args"]["requests"] for e in depth] == [1, 2, 0]
+    assert [e["args"]["batches"] for e in inflight] == [0, 1, 2]
+
+
+def test_sample_dedup_keeps_first_and_changes():
+    timeline = ServingTimeline()
+    timeline.sample(0, 1, 1)
+    timeline.sample(10, 1, 1)        # unchanged -> deduplicated
+    timeline.sample(20, 1, 1)        # unchanged -> deduplicated
+    timeline.sample(30, 2, 1)        # depth changed -> kept
+    assert [(t, d, i) for t, d, i in timeline.samples] \
+        == [(0.0, 1, 1), (30.0, 2, 1)]
+    # The windowed series still sees every observation (gauges record
+    # last/min/max per window, dedup only affects the trace track).
+    gauge = timeline.series.to_json()["gauges"]["queue_depth"]
+    assert gauge["windows"]["0"]["last"] == 2.0
+
+
+def test_process_meta_present_and_batch_spans_named():
+    timeline = ServingTimeline()
+    timeline.add_batch_span(0, "batch0 x2", 10, 60, True, attempt=1)
+    document = timeline.chrome_trace()
+    events = document["traceEvents"]
+    assert events[0]["name"] == "process_name"
+    assert events[0]["args"]["name"] == "serving"
+    threads = [e for e in events if e.get("name") == "thread_name"]
+    assert any(e["args"]["name"] == "acc0" for e in threads)
+    spans = [e for e in events if e["ph"] == "X"]
+    assert spans[0]["args"]["ok"] is True
+    assert spans[0]["cat"] == "batch"
+
+
+def test_count_and_observe_delegate_to_series():
+    timeline = ServingTimeline(series_window=128)
+    timeline.count("arrivals", 10)
+    timeline.count("arrivals", 200, n=2)
+    timeline.observe("latency_cycles", 4096)
+    document = timeline.series.to_json()
+    assert document["counters"]["arrivals"]["total"] == 3
+    assert document["counters"]["arrivals"]["windows"] \
+        == {"0": 1, "1": 2}
+    assert document["histograms"]["latency_cycles"]["count"] == 1

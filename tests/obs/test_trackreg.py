@@ -1,0 +1,50 @@
+"""Shared trace process registry: pid map, meta events, merging."""
+
+import pytest
+
+from repro.obs.trackreg import (PID_FLIGHT, PID_KERNELS, PID_MEMORY,
+                                PID_SERVING, PID_SYSTEM, PROCESS_NAMES,
+                                merge_traces, process_meta)
+
+
+def test_pids_are_distinct_and_named():
+    pids = [PID_KERNELS, PID_MEMORY, PID_SYSTEM, PID_SERVING, PID_FLIGHT]
+    assert len(set(pids)) == len(pids)
+    for pid in pids:
+        assert pid in PROCESS_NAMES
+
+
+def test_process_meta_shape():
+    meta = process_meta(PID_SERVING)
+    assert meta["ph"] == "M" and meta["name"] == "process_name"
+    assert meta["pid"] == PID_SERVING
+    assert meta["args"]["name"] == PROCESS_NAMES[PID_SERVING]
+    custom = process_meta(PID_FLIGHT, name="override")
+    assert custom["args"]["name"] == "override"
+
+
+def _doc(*events):
+    return {"traceEvents": list(events), "displayTimeUnit": "ms"}
+
+
+def test_merge_concatenates_and_dedupes_metas():
+    span = {"ph": "X", "pid": PID_SERVING, "tid": 1, "name": "b",
+            "ts": 0, "dur": 5}
+    merged = merge_traces(
+        _doc(process_meta(PID_SERVING), span),
+        _doc(process_meta(PID_SERVING),
+             process_meta(PID_FLIGHT),
+             {"ph": "i", "pid": PID_FLIGHT, "tid": 0, "name": "e",
+              "ts": 1, "s": "t"}))
+    events = merged["traceEvents"]
+    metas = [e for e in events if e.get("name") == "process_name"]
+    assert len(metas) == 2              # duplicate serving meta dropped
+    assert len(events) == 4
+    assert "clock" in merged["otherData"]
+
+
+def test_merge_rejects_conflicting_pid_claims():
+    with pytest.raises(ValueError):
+        merge_traces(
+            _doc(process_meta(PID_SERVING)),
+            _doc(process_meta(PID_SERVING, name="imposter")))

@@ -15,7 +15,7 @@ REQUIRED_TOP_LEVEL = {
     "clock_mhz", "workload", "profile", "policy", "serve_policy",
     "counts", "makespan_cycles", "latency_cycles", "latency_ms",
     "throughput", "slo", "health", "queue", "batches",
-    "instances_stats", "output_digest",
+    "instances_stats", "output_digest", "attribution", "cache",
 }
 
 
@@ -38,8 +38,11 @@ def test_serve_smoke_completes_quickly(capsys):
 def test_serve_smoke_json_to_stdout(capsys):
     out = run_cli(capsys, "serve", "--smoke", "--json")
     document = json.loads(out[out.index("{"):])
-    assert document["schema"] == "repro.serve/report/v2"
+    assert document["schema"] == "repro.serve/report/v3"
     assert REQUIRED_TOP_LEVEL <= set(document)
+    # Flight recorder off by default: the section is present but null.
+    assert document["attribution"] is None
+    assert "serve.calibrate_profile" in document["cache"]
 
 
 def test_serve_smoke_json_to_file(tmp_path, capsys):
@@ -78,6 +81,57 @@ def test_serve_writes_perfetto_timeline(tmp_path, capsys):
     assert any(e["ph"] == "X" and e["pid"] == 4 for e in events)
     assert any(e["ph"] == "C" and e["name"] == "queue depth"
                for e in events)
+
+
+def test_serve_attrib_prints_attribution(capsys):
+    out = run_cli(capsys, "serve", "--smoke", "--attrib")
+    assert "critical-path attribution" in out
+    assert "exact sum: yes" in out
+    for component in ("queue", "batch", "contention", "compute",
+                      "resilience", "other"):
+        assert component in out
+
+
+def test_serve_attrib_json_schema(capsys):
+    out = run_cli(capsys, "serve", "--smoke", "--attrib", "--json")
+    document = json.loads(out[out.index("{"):])
+    attribution = document["attribution"]
+    assert attribution["schema"] == "repro.obs/flight/attribution/v1"
+    assert attribution["exact_sum"] is True
+    assert attribution["requests"] == document["counts"]["completed"]
+    shares = sum(row["share"]
+                 for row in attribution["components"].values())
+    assert shares == pytest.approx(1.0, abs=1e-4)
+    assert attribution["components"]["other"]["total_cycles"] == 0.0
+
+
+def test_serve_series_sidecar(tmp_path, capsys):
+    trace_path = tmp_path / "serve_trace.json"
+    series_path = tmp_path / "series.json"
+    run_cli(capsys, "serve", "--smoke", "--out", str(trace_path),
+            "--series", str(series_path))
+    document = json.loads(series_path.read_text())
+    assert document["schema"] == "repro.obs/series/v1"
+    assert document["counters"]["arrivals"]["total"] == 24
+    assert "queue_depth" in document["gauges"]
+    assert "latency_cycles" in document["histograms"]
+
+
+def test_obs_report_command(tmp_path, capsys):
+    trace_path = tmp_path / "merged.json"
+    json_path = tmp_path / "obs.json"
+    out = run_cli(capsys, "obs", "report", "--smoke",
+                  "--out", str(trace_path), "--json", str(json_path))
+    assert "trace events" in out
+    document = json.loads(json_path.read_text())
+    assert document["schema"] == "repro.obs/report/v1"
+    assert document["serve"]["attribution"]["exact_sum"] is True
+    assert document["hostprof"]["schema"] == "repro.obs/hostprof/v1"
+    assert document["series"]["schema"] == "repro.obs/series/v1"
+    merged = json.loads(trace_path.read_text())
+    pids = {event["pid"] for event in merged["traceEvents"]}
+    # SoC kernels/memory/system + serving + flight in one file.
+    assert {1, 2, 3, 4, 5} <= pids
 
 
 def test_serve_chaos_smoke_json_to_file(tmp_path, capsys):

@@ -1,0 +1,107 @@
+"""Property suite for the flight recorder's exact-sum invariant.
+
+The serving-layer mirror of the PR 2 bottleneck-table invariant: for
+every completed request, across traffic kinds, instance counts,
+contention settings, batch faults, hedging, SLO deadlines and scripted
+instance disruptions,
+
+    queue + batch + contention + compute + resilience + other
+
+must equal the request's end-to-end latency *as exact Fractions* —
+with ``other`` identically zero and the winning attempt's ``compute``
+exactly ``profile.batch_cycles(size)``.  Arming the recorder must also
+be observation-only: the behavioural report is byte-identical.
+"""
+
+import json
+from dataclasses import replace
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.serving import InstanceFault
+from repro.serve import BatchPolicy, ServeConfig, run_serve
+from repro.serve.resilience import DEFAULT_SLO_CLASSES, ServePolicy
+
+
+def _chaos_faults(instances, kind):
+    if kind == "none" or instances < 2:
+        return ()
+    if kind == "fail_stop":
+        return (InstanceFault("fail_stop", instances - 1,
+                              20_000, 90_000),)
+    if kind == "degrade":
+        return (InstanceFault("degrade", instances - 1, 10_000,
+                              150_000, factor=2.5),)
+    return (InstanceFault("flap", instances - 1, 15_000, 80_000,
+                          period_cycles=12_000),)
+
+
+@given(seed=st.integers(0, 1_000),
+       traffic=st.sampled_from(["poisson", "burst"]),
+       instances=st.integers(1, 3),
+       contention=st.booleans(),
+       fault_rate=st.sampled_from([0.0, 0.25]),
+       hedge=st.booleans(),
+       slo=st.booleans(),
+       chaos=st.sampled_from(["none", "fail_stop", "degrade", "flap"]))
+@settings(max_examples=20, deadline=None)
+def test_critical_paths_sum_exactly(seed, traffic, instances, contention,
+                                    fault_rate, hedge, slo, chaos):
+    config = ServeConfig(
+        instances=instances, requests=16,
+        policy=BatchPolicy(max_batch=3, max_wait_cycles=2500),
+        mean_interarrival_cycles=1800.0, bursts=3, burst_size=6,
+        traffic=traffic, contention=contention, fault_rate=fault_rate,
+        serve_policy=ServePolicy(hedge_factor=1.4 if hedge else None,
+                                 eject_after=2, backoff_jitter=0.2),
+        slo_classes=DEFAULT_SLO_CLASSES if slo else None,
+        instance_faults=_chaos_faults(instances, chaos),
+        seed=seed, flight=True)
+    result = run_serve(config)
+    flight = result.flight
+    paths = flight.critical_paths()
+    # Exactly the completed requests get a critical path (the engine
+    # produced an output for each of them and nothing else).
+    assert {p.rid for p in paths} == set(result.outputs)
+    assert len(paths) == result.report.completed
+    latencies = []
+    for path in paths:
+        # The tentpole invariant, exact in Fraction arithmetic.
+        assert path.other == 0
+        assert path.exact
+        assert sum(path.components().values()) == path.latency
+        # Every component is non-negative.
+        for name, value in path.components().items():
+            assert value >= 0, (name, value)
+        # The winner's ideal service is exactly the calibrated batch
+        # cost -- contention/derate stalls never leak into compute.
+        size = flight.batches[path.bid].size
+        assert path.compute == Fraction(
+            result.profile.batch_cycles(size))
+        latencies.append(float(path.latency))
+    # The decomposition agrees with the latency tail the report
+    # measured independently from RequestOutcome records.
+    if latencies:
+        assert max(latencies) == result.report.latency_max
+    attribution = result.report.attribution
+    assert attribution["exact_sum"] is True
+    assert attribution["requests"] == len(paths)
+
+
+@given(seed=st.integers(0, 500),
+       traffic=st.sampled_from(["poisson", "burst"]))
+@settings(max_examples=8, deadline=None)
+def test_armed_flight_is_observation_only(seed, traffic):
+    """Arming the recorder never changes the behavioural report."""
+    base = ServeConfig(instances=2, requests=12,
+                       policy=BatchPolicy(max_batch=3,
+                                          max_wait_cycles=2500),
+                       mean_interarrival_cycles=2000.0,
+                       traffic=traffic, fault_rate=0.15, seed=seed)
+    clean = run_serve(base).report.to_json()
+    armed = run_serve(replace(base, flight=True)).report.to_json()
+    assert armed.pop("attribution") is not None
+    assert clean.pop("attribution") is None
+    assert json.dumps(clean, sort_keys=True) \
+        == json.dumps(armed, sort_keys=True)
