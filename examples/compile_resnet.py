@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compile a residual CNN to an accelerator program and verify it.
+
+Walks the full graph-compiler pipeline on a small residual network
+(skip connections are what the legacy linear driver cannot schedule):
+
+1. build + quantize a `cifar_resnet` from the zoo;
+2. `compile_graph` — topological scheduling with ReLU fusion,
+   liveness-based DDR4 placement, stripe planning, static
+   DMA/instruction emission;
+3. disassemble the encoded stream and re-assemble it byte-exactly;
+4. replay the program on the cycle-accurate SoC and bit-compare
+   against the pure-numpy quantized golden model.
+
+Run:  python examples/compile_resnet.py
+"""
+
+from repro.compiler import (assemble, compile_graph, disassemble,
+                            golden_check, program_words)
+from repro.nn import build_cifar_resnet, generate_image, generate_weights
+from repro.quant import quantize_network
+
+
+def main():
+    net = build_cifar_resnet(widths=(4, 8), input_hw=16)
+    weights, biases = generate_weights(net, seed=0)
+    image = generate_image(net.layers[0].shape.as_tuple(), seed=0)
+    model = quantize_network(net, weights, biases, image)
+
+    program = compile_graph(net, model)
+    print(program.listing())
+    print()
+
+    listing = disassemble(program)
+    words = program_words(program)
+    print(f"encoded stream: {len(words)} words "
+          f"({4 * len(words)} bytes)")
+    print(f"assembler round-trip byte-exact: "
+          f"{assemble(listing) == words}")
+
+    skip = program.placement("conv_stem")
+    print(f"residual skip tensor 'conv_stem' resident at DDR4 "
+          f"[{skip.addr}, {skip.addr + skip.values}) across its block")
+    print()
+
+    check = golden_check(net, model, image, program=program)
+    print(f"cycle-accurate SoC vs golden model: {check}")
+    print("first instructions of the stream:")
+    for line in listing.splitlines()[:8]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

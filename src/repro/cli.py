@@ -11,6 +11,9 @@ Usage::
     python -m repro latency       # end-to-end fps per variant
     python -m repro explore       # design-space Pareto sweep
     python -m repro program       # compiled schedule of the demo net
+    python -m repro compile cifar_resnet          # graph-compile a zoo net
+    python -m repro compile branch_merge --asm    # instruction listing
+    python -m repro compile vgg16 --smoke --check # golden-model diff
     python -m repro faults campaign [--smoke] [--jobs N]  # resilience campaign
     python -m repro profile conv1_1 [--smoke]   # per-layer bottleneck table
     python -m repro profile vgg16               # representative layer sweep
@@ -197,6 +200,85 @@ def cmd_program(args) -> str:
     return program.listing()
 
 
+#: Scaled-down builder geometry for ``repro compile --smoke``: small
+#: enough that the cycle-accurate golden check finishes in seconds.
+_COMPILE_SMOKE = {
+    "vgg11": dict(input_hw=32, num_classes=10, width_multiplier=1 / 16,
+                  fc_features=16),
+    "vgg13": dict(input_hw=32, num_classes=10, width_multiplier=1 / 16,
+                  fc_features=16),
+    "vgg16": dict(input_hw=32, num_classes=10, width_multiplier=1 / 16,
+                  fc_features=16),
+    "vgg19": dict(input_hw=32, num_classes=10, width_multiplier=1 / 16,
+                  fc_features=16),
+    "cifar_quicknet": dict(input_hw=16, widths=(4, 8)),
+    "cifar_resnet": dict(input_hw=16, widths=(4, 8)),
+    "branch_merge": dict(input_hw=16, width=4),
+}
+
+
+def _builder_accepts(builder, key: str) -> bool:
+    import inspect
+    params = inspect.signature(builder).parameters
+    return key in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values())
+
+
+def cmd_compile(args) -> str:
+    """Graph-compile a zoo network; optionally disassemble or check it."""
+    from repro.compiler import assemble, disassemble, golden_check
+    from repro.compiler.lower import compile_graph
+    from repro.nn import generate_image, generate_weights, zoo_networks
+    from repro.quant import quantize_network
+    from repro.soc import CompileConfig
+    builders = zoo_networks()
+    name = getattr(args, "subcommand", None)
+    if name not in builders:
+        raise SystemExit(
+            f"repro compile: unknown network {name!r} "
+            f"(choose from {', '.join(sorted(builders))})")
+    kwargs = dict(_COMPILE_SMOKE[name]) if args.smoke else {}
+    for key, value in (("input_hw", args.input_hw),
+                       ("width_multiplier", args.width_mult),
+                       ("fc_features", args.fc_features)):
+        if value is not None:
+            if not _builder_accepts(builders[name], key):
+                raise SystemExit(
+                    f"repro compile: {name} takes no {key!r}")
+            kwargs[key] = value
+    network = builders[name](**kwargs)
+    weights, biases = generate_weights(network, seed=args.seed)
+    image = generate_image(network.layers[0].shape.as_tuple(),
+                           seed=args.seed)
+    model = quantize_network(network, weights, biases, image)
+    program = compile_graph(network, model,
+                            CompileConfig(bank_capacity=args.bank_capacity))
+    lines = []
+    if args.check:
+        check = golden_check(network, model, image, program=program)
+        lines.append(str(check))
+        if not check.matches:
+            raise SystemExit(f"repro compile: {check}")
+    if args.asm or args.disasm:
+        text = disassemble(program)
+        if args.disasm:
+            # Re-frame from the raw word stream: proves the encoded
+            # program is self-framing, not just pretty-printable.
+            text = disassemble(assemble(text))
+        body = text.rstrip("\n")
+    else:
+        body = program.listing()
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(body + "\n")
+        lines.append(f"wrote {network.name} "
+                     f"({program.total_instructions} instructions) "
+                     f"to {args.out}")
+    else:
+        lines.append(body)
+    return "\n".join(lines)
+
+
 def cmd_faults(args) -> str:
     """Run a fault-injection campaign and print the resilience report."""
     from repro.faults import run_campaign, smoke_config
@@ -373,6 +455,7 @@ COMMANDS = {
     "latency": cmd_latency,
     "explore": cmd_explore,
     "program": cmd_program,
+    "compile": cmd_compile,
     "faults": cmd_faults,
     "profile": cmd_profile,
     "trace": cmd_trace,
@@ -383,6 +466,7 @@ COMMANDS = {
 
 #: Commands whose optional positional ``subcommand`` is meaningful.
 SUBCOMMANDS = {
+    "compile": "a zoo network name",
     "faults": "'campaign'",
     "profile": "a VGG-16 conv layer name or 'vgg16'",
     "trace": "a VGG-16 conv layer name or 'vgg16'",
@@ -437,6 +521,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--series", default=None, metavar="PATH",
                         help="serve: write the windowed time-series JSON "
                              "here (needs --out)")
+    parser.add_argument("--asm", action="store_true",
+                        help="compile: print the instruction listing "
+                             "instead of the schedule")
+    parser.add_argument("--disasm", action="store_true",
+                        help="compile: assemble the listing and "
+                             "disassemble the raw word stream (framing "
+                             "round-trip)")
+    parser.add_argument("--check", action="store_true",
+                        help="compile: execute on the cycle-accurate SoC "
+                             "and bit-compare against the golden model")
+    parser.add_argument("--bank-capacity", type=int, default=1 << 17,
+                        help="compile: SRAM bank capacity in values "
+                             "(default 128Ki)")
+    parser.add_argument("--input-hw", type=int, default=None,
+                        help="compile: input height/width override")
+    parser.add_argument("--width-mult", type=float, default=None,
+                        help="compile: conv width multiplier (VGG nets)")
+    parser.add_argument("--fc-features", type=int, default=None,
+                        help="compile: hidden FC width (VGG nets)")
     return parser
 
 

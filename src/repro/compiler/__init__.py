@@ -1,0 +1,37 @@
+"""Graph compiler: arbitrary CNN DAGs to executable accelerator programs.
+
+The pipeline has two passes plus tooling around the artifact:
+
+1. :func:`~repro.compiler.schedule.build_schedule` — topological op
+   scheduling with ReLU fusion, tensor naming and execution-site
+   assignment (accelerator vs ARM);
+2. :func:`~repro.compiler.lower.compile_graph` — liveness-based DDR4
+   placement, stripe planning, and static DMA/instruction emission
+   into a :class:`~repro.soc.program.Program`;
+
+plus an assembler/disassembler for the encoded instruction stream
+(:mod:`repro.compiler.asm`), a replay runner for the cycle-accurate
+SoC (:mod:`repro.compiler.runner`), and the golden-model differential
+check (:mod:`repro.compiler.golden`).
+"""
+
+from repro.compiler.asm import (AsmError, assemble, bytes_to_words,
+                                disassemble, disassemble_instruction,
+                                parse_instruction, program_words,
+                                split_stream, words_to_bytes)
+from repro.compiler.golden import GoldenCheck, golden_check
+from repro.compiler.lower import (LivenessAllocator, compile_graph,
+                                  fm_values)
+from repro.compiler.runner import ProgramRun, ProgramRunner
+from repro.compiler.schedule import (CompileError, Schedule, ScheduledOp,
+                                     build_schedule)
+
+__all__ = [
+    "AsmError", "assemble", "bytes_to_words", "disassemble",
+    "disassemble_instruction", "parse_instruction", "program_words",
+    "split_stream", "words_to_bytes",
+    "GoldenCheck", "golden_check",
+    "LivenessAllocator", "compile_graph", "fm_values",
+    "ProgramRun", "ProgramRunner",
+    "CompileError", "Schedule", "ScheduledOp", "build_schedule",
+]

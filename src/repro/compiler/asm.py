@@ -1,0 +1,193 @@
+"""Assembler / disassembler for accelerator instruction streams.
+
+The encoded mailbox words of a compiled :class:`~repro.soc.program.
+Program` form a self-framing stream (each instruction's first word
+carries its opcode; a conv's bias count sits in its header), so the
+stream disassembles greedily into a textual listing — one instruction
+per line of ``key=value`` fields — and the listing assembles back to
+the exact same words. The round-trip is byte-exact in both
+directions, which is what lets CI diff two independent compiles of
+the same network.
+
+Comment lines start with ``;`` and are ignored by the assembler.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction)
+from repro.soc.isa import (CONV_HEADER_WORDS, MalformedInstructionError,
+                           decode_instruction, encode_instruction,
+                           instruction_length)
+from repro.soc.program import Program
+
+
+class AsmError(ValueError):
+    """A listing line cannot be parsed back into an instruction."""
+
+
+def program_words(program: Program) -> list[int]:
+    """All encoded instruction words of ``program`` in issue order."""
+    words: list[int] = []
+    for step in program.steps:
+        for stripe in step.ops:
+            for instr in stripe.instructions:
+                words.extend(encode_instruction(instr))
+    return words
+
+
+def words_to_bytes(words: list[int]) -> bytes:
+    """Little-endian 32-bit serialization of a word stream."""
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def bytes_to_words(blob: bytes) -> list[int]:
+    if len(blob) % 4:
+        raise MalformedInstructionError(
+            f"{len(blob)} bytes is not a whole number of 32-bit words")
+    return list(struct.unpack(f"<{len(blob) // 4}I", blob))
+
+
+def split_stream(words: list[int]) -> list[list[int]]:
+    """Frame a raw word stream into per-instruction word lists."""
+    frames: list[list[int]] = []
+    i = 0
+    while i < len(words):
+        length = instruction_length(words[i])
+        if length == CONV_HEADER_WORDS:
+            if i + CONV_HEADER_WORDS > len(words):
+                raise MalformedInstructionError(
+                    "truncated convolution instruction at end of stream")
+            length += words[i + CONV_HEADER_WORDS - 1] & 0xFFFF
+        if i + length > len(words):
+            raise MalformedInstructionError(
+                "truncated instruction at end of stream")
+        frames.append(words[i:i + length])
+        i += length
+    return frames
+
+
+def disassemble_instruction(instr) -> str:
+    """One instruction as a single listing line."""
+    if isinstance(instr, ConvInstruction):
+        biases = ",".join(str(b) for b in instr.biases) or "-"
+        return (f"conv id={instr.instr_id}"
+                f" ifm={instr.ifm_base}:{instr.ifm_tiles_y}x"
+                f"{instr.ifm_tiles_x}"
+                f" local={instr.local_channels}"
+                f" ofm={instr.ofm_base}:{instr.ofm_tiles_y}x"
+                f"{instr.ofm_tiles_x}"
+                f" out={instr.out_channels}"
+                f" w={instr.weight_base}+{instr.weight_bytes}"
+                f" shift={instr.shift}"
+                f" relu={int(instr.apply_relu)}"
+                f" compact={int(instr.compact_weights)}"
+                f" biases={biases}")
+    if isinstance(instr, PadPoolInstruction):
+        return (f"{instr.opcode.value} id={instr.instr_id}"
+                f" ifm={instr.ifm_base}:{instr.ifm_tiles_y}x"
+                f"{instr.ifm_tiles_x}"
+                f" local={instr.local_channels}"
+                f" ofm={instr.ofm_base}:{instr.ofm_tiles_y}x"
+                f"{instr.ofm_tiles_x}"
+                f" geom={instr.ifm_height}x{instr.ifm_width}"
+                f" pad={instr.pad} win={instr.win} stride={instr.stride}")
+    raise TypeError(f"cannot disassemble {type(instr).__name__}")
+
+
+def _fields(tokens: list[str], line_no: int) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise AsmError(f"line {line_no}: malformed field {token!r}")
+        key, value = token.split("=", 1)
+        if key in fields:
+            raise AsmError(f"line {line_no}: duplicate field {key!r}")
+        fields[key] = value
+    return fields
+
+
+def _base_tiles(value: str, line_no: int) -> tuple[int, int, int]:
+    """Parse ``base:tyxtx`` into (base, tiles_y, tiles_x)."""
+    try:
+        base, tiles = value.split(":")
+        ty, tx = tiles.split("x")
+        return int(base), int(ty), int(tx)
+    except ValueError:
+        raise AsmError(
+            f"line {line_no}: expected base:tyxtx, got {value!r}") from None
+
+
+def parse_instruction(line: str, line_no: int = 0):
+    """One listing line back into an instruction object."""
+    tokens = line.split()
+    mnemonic, fields = tokens[0], _fields(tokens[1:], line_no)
+    try:
+        if mnemonic == "conv":
+            ifm_base, ifm_ty, ifm_tx = _base_tiles(fields["ifm"], line_no)
+            ofm_base, ofm_ty, ofm_tx = _base_tiles(fields["ofm"], line_no)
+            weight_base, weight_bytes = (int(v) for v in
+                                         fields["w"].split("+"))
+            biases = () if fields["biases"] == "-" else tuple(
+                int(b) for b in fields["biases"].split(","))
+            return ConvInstruction(
+                instr_id=int(fields["id"]), ifm_base=ifm_base,
+                ifm_tiles_y=ifm_ty, ifm_tiles_x=ifm_tx,
+                local_channels=int(fields["local"]),
+                ofm_base=ofm_base, ofm_tiles_y=ofm_ty, ofm_tiles_x=ofm_tx,
+                out_channels=int(fields["out"]),
+                weight_base=weight_base, weight_bytes=weight_bytes,
+                shift=int(fields["shift"]),
+                apply_relu=bool(int(fields["relu"])),
+                compact_weights=bool(int(fields["compact"])),
+                biases=biases)
+        if mnemonic in ("pad", "pool"):
+            ifm_base, ifm_ty, ifm_tx = _base_tiles(fields["ifm"], line_no)
+            ofm_base, ofm_ty, ofm_tx = _base_tiles(fields["ofm"], line_no)
+            height, width = (int(v) for v in fields["geom"].split("x"))
+            return PadPoolInstruction(
+                instr_id=int(fields["id"]),
+                opcode=Opcode.PAD if mnemonic == "pad" else Opcode.POOL,
+                ifm_base=ifm_base, ifm_tiles_y=ifm_ty, ifm_tiles_x=ifm_tx,
+                local_channels=int(fields["local"]),
+                ofm_base=ofm_base, ofm_tiles_y=ofm_ty, ofm_tiles_x=ofm_tx,
+                pad=int(fields["pad"]), win=int(fields["win"]),
+                stride=int(fields["stride"]),
+                ifm_height=height, ifm_width=width)
+    except (KeyError, ValueError) as exc:
+        raise AsmError(f"line {line_no}: {exc}") from exc
+    raise AsmError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+
+def disassemble(source: Program | list[int]) -> str:
+    """A program (or raw word stream) as a textual listing."""
+    if isinstance(source, Program):
+        lines = [f"; {source.network}: "
+                 f"{source.total_instructions} instructions, "
+                 f"lanes={source.lanes}, "
+                 f"bank_capacity={source.bank_capacity}"]
+        for step in source.steps:
+            if not step.ops:
+                continue
+            lines.append(f"; {step.layer} ({step.kind}, "
+                         f"{step.stripes} stripe(s))")
+            for stripe in step.ops:
+                lines.extend(disassemble_instruction(i)
+                             for i in stripe.instructions)
+        return "\n".join(lines) + "\n"
+    frames = split_stream(list(source))
+    return "\n".join(disassemble_instruction(decode_instruction(f))
+                     for f in frames) + ("\n" if frames else "")
+
+
+def assemble(text: str) -> list[int]:
+    """A textual listing back into the exact mailbox word stream."""
+    words: list[int] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        words.extend(encode_instruction(parse_instruction(line, line_no)))
+    return words

@@ -1,0 +1,59 @@
+"""Golden-model differential check for compiled programs.
+
+Compiles a network, replays the program on the cycle-accurate SoC,
+runs the same image through the integer golden model
+(:func:`repro.quant.run_quantized`), and bit-compares the outputs.
+The two paths share their quantized parameters but *nothing* of their
+execution — one is mailbox words, DMA bursts and RTL-equivalent
+kernels, the other pure numpy — so an exact match is strong evidence
+the whole compile-and-execute pipeline is faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Network
+from repro.quant.quantize import QuantizedModel, run_quantized
+from repro.soc.program import CompileConfig, Program
+
+from repro.compiler.lower import compile_graph
+from repro.compiler.runner import ProgramRun, ProgramRunner
+
+
+@dataclass(frozen=True)
+class GoldenCheck:
+    """Outcome of one compile-execute-compare run."""
+
+    network: str
+    matches: bool
+    max_abs_diff: float
+    program: Program
+    run: ProgramRun
+    expected: np.ndarray
+
+    def __str__(self) -> str:
+        verdict = "BIT-EXACT" if self.matches else \
+            f"DIVERGED (max |diff| {self.max_abs_diff:.3e})"
+        return f"{self.network}: {verdict}"
+
+
+def golden_check(network: Network, model: QuantizedModel,
+                 image: np.ndarray,
+                 config: CompileConfig | None = None,
+                 program: Program | None = None) -> GoldenCheck:
+    """Compile (unless given), execute, and compare against the golden model."""
+    if program is None:
+        program = compile_graph(network, model, config)
+    run = ProgramRunner(program, network, model).run(image)
+    expected = run_quantized(network, model, image)
+    got = np.asarray(run.output, dtype=np.float64).reshape(-1)
+    want = np.asarray(expected, dtype=np.float64).reshape(-1)
+    matches = got.shape == want.shape and bool(np.array_equal(got, want))
+    diff = float(np.abs(got - want).max()) if got.shape == want.shape \
+        else float("inf")
+    return GoldenCheck(network=network.name, matches=matches,
+                      max_abs_diff=diff, program=program, run=run,
+                      expected=expected)

@@ -1,0 +1,418 @@
+"""Lowering pass: an op schedule to an executable accelerator program.
+
+The second compiler pass performs, ahead of time, every computation
+the live :class:`~repro.soc.driver.InferenceDriver` does on the fly:
+
+* **DDR4 placement with liveness.** Feature maps are reference-counted
+  by their consumers and released after the last one, through a
+  first-fit free-list allocator — so a residual skip tensor stays
+  resident across the whole block that needs it, while the sequential
+  spine recycles its regions. Weight streams are persistent.
+* **Stripe planning.** Convolutions whose working set exceeds the
+  SRAM banks split into OFM tile-row stripes with kernel-derived halo
+  re-fetch, using the same arithmetic as the driver (kept honest by
+  the differential tests).
+* **Instruction and DMA emission.** Every stripe becomes a
+  :class:`~repro.soc.program.StripeOp`: concrete DMA descriptors and
+  fully-encoded instructions, with done-counter and tile-write
+  targets resolved statically — the issue order is fixed at compile
+  time, so both hardware counters are pure functions of the program
+  position.
+
+The result is a :class:`~repro.soc.program.Program` a runner can
+replay on the cycle-accurate SoC without making a single scheduling
+decision of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instructions import (ConvInstruction, Opcode,
+                                     PadPoolInstruction)
+from repro.core.packing import (PackedLayer, serialize_unit_stream,
+                                unit_channels)
+from repro.core.tile import TILE, tiles_along
+from repro.nn.graph import Network
+from repro.nn.tensor import Shape
+from repro.perf.cycle_model import (CycleModelParams, conv_layer_cycles,
+                                    padpool_layer_cycles)
+from repro.quant.quantize import QuantizedModel
+from repro.soc.dma import DmaDescriptor, DmaDirection
+from repro.soc.program import (CompileConfig, Program, ProgramStep, StripeOp,
+                               TensorPlacement)
+
+from repro.compiler.schedule import (CompileError, Schedule, ScheduledOp,
+                                     build_schedule)
+
+
+def fm_values(shape: Shape, tile: int = TILE) -> int:
+    """DDR4 values of a CHW map in tiled layout (padded to full tiles)."""
+    return (shape.c * tiles_along(shape.h, tile) * tiles_along(shape.w, tile)
+            * tile * tile)
+
+
+class LivenessAllocator:
+    """First-fit DDR4 allocator with region reuse.
+
+    ``free`` returns a region to a sorted, coalesced free list; a later
+    ``alloc`` takes the first hole that fits (splitting it) before
+    growing the high-water mark. Placements are recorded for every
+    tensor ever resident, so ``Program.dram_footprint`` (max end
+    address) reports the true peak.
+    """
+
+    def __init__(self):
+        self.top = 0
+        self._free: list[tuple[int, int]] = []   # (addr, size), sorted
+        self.placements: list[TensorPlacement] = []
+        self._live: dict[str, TensorPlacement] = {}
+
+    def alloc(self, name: str, values: int, kind: str) -> int:
+        if values < 1:
+            raise ValueError(f"{name}: cannot place {values} values")
+        addr = None
+        for i, (start, size) in enumerate(self._free):
+            if size >= values:
+                addr = start
+                if size == values:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + values, size - values)
+                break
+        if addr is None:
+            addr = self.top
+            self.top += values
+        placement = TensorPlacement(name, addr, values, kind)
+        self.placements.append(placement)
+        self._live[name] = placement
+        return addr
+
+    def free(self, name: str) -> None:
+        placement = self._live.pop(name)
+        self._free.append((placement.addr, placement.values))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for start, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((start, size))
+        self._free = merged
+
+
+@dataclass(frozen=True)
+class _Fm:
+    """A planned DDR4 feature map (compile-time FmHandle)."""
+
+    addr: int
+    channels: int
+    height: int
+    width: int
+
+    @property
+    def tiles_y(self) -> int:
+        return tiles_along(self.height)
+
+    @property
+    def tiles_x(self) -> int:
+        return tiles_along(self.width)
+
+    @property
+    def values_per_channel(self) -> int:
+        return self.tiles_y * self.tiles_x * TILE * TILE
+
+    def channel_addr(self, channel: int) -> int:
+        return self.addr + channel * self.values_per_channel
+
+
+class _Lowering:
+    """Mutable state of one lowering run."""
+
+    def __init__(self, schedule: Schedule, cfg: CompileConfig):
+        self.schedule = schedule
+        self.cfg = cfg
+        self.alloc = LivenessAllocator()
+        self.params = CycleModelParams(lanes=cfg.lanes,
+                                       group_size=cfg.lanes, tile=cfg.tile,
+                                       bank_capacity=cfg.bank_capacity)
+        self.done = 0        # accelerator done-counter after this point
+        self.tiles = 0       # bank tile-write counter after this point
+        self.fms: dict[str, _Fm] = {}
+        self.refs: dict[str, int] = {}
+        self.steps: list[ProgramStep] = []
+        #: Conv layer -> (per-unit DDR4 addrs, per-unit stream sizes).
+        self.weights: dict[str, tuple[list[int], list[int]]] = {}
+        self.place_weights()
+
+    def place_weights(self) -> None:
+        """Place every conv's packed unit streams, before any feature map.
+
+        Weight streams are staged into DDR4 once, before inference
+        starts, and stay resident — so they must never land in a
+        region the liveness allocator later recycles for feature
+        maps. Allocating them all first (in schedule order) keeps the
+        free list purely feature-map territory.
+        """
+        cfg = self.cfg
+        for op in self.schedule.ops:
+            if op.kind != "conv":
+                continue
+            qop = self.schedule.model.ops[op.layer.name]
+            packed = PackedLayer.pack(qop.weights_q, tile=cfg.tile)
+            sizes = [int(serialize_unit_stream(packed, unit,
+                                               lanes=cfg.lanes,
+                                               group_size=cfg.lanes).size)
+                     for unit in range(cfg.lanes)]
+            addrs = [self.alloc.alloc(f"{op.layer.name}.weights.u{unit}",
+                                      max(1, sizes[unit]), "weights")
+                     for unit in range(cfg.lanes)]
+            self.weights[op.layer.name] = (addrs, sizes)
+
+    # -- liveness ----------------------------------------------------------------
+
+    def retain(self, tensor: str, shape: Shape) -> _Fm:
+        """Place a feature-map tensor, refcounted by its consumers."""
+        reads = len(self.schedule.consumers(tensor))
+        if tensor == self.schedule.output_tensor:
+            reads += 1   # the host reads the network output at the end
+        addr = self.alloc.alloc(tensor, fm_values(shape, self.cfg.tile),
+                                "fm")
+        self.fms[tensor] = _Fm(addr, shape.c, shape.h, shape.w)
+        self.refs[tensor] = reads
+        return self.fms[tensor]
+
+    def release(self, tensors: tuple[str, ...]) -> None:
+        """Drop one reference per read; free maps after their last."""
+        for tensor in tensors:
+            if tensor not in self.refs:
+                continue
+            self.refs[tensor] -= 1
+            if self.refs[tensor] == 0:
+                self.alloc.free(tensor)
+                del self.refs[tensor]
+
+    # -- emission helpers --------------------------------------------------------
+
+    def fm_load_dma(self, fm: _Fm, base_tile_addr: int
+                    ) -> tuple[DmaDescriptor, ...]:
+        """Whole-map DDR4 -> banks descriptors (pad/pool input)."""
+        lanes = self.cfg.lanes
+        word = self.cfg.tile * self.cfg.tile
+        return tuple(DmaDescriptor(
+            direction=DmaDirection.TO_BANK,
+            dram_addr=fm.channel_addr(c),
+            bank=c % lanes,
+            bank_addr=(base_tile_addr
+                       + (c // lanes) * fm.tiles_y * fm.tiles_x) * word,
+            count=fm.values_per_channel)
+            for c in range(fm.channels))
+
+    def fm_store_dma(self, fm: _Fm, base_tile_addr: int
+                     ) -> tuple[DmaDescriptor, ...]:
+        """Whole-map banks -> DDR4 descriptors (pad/pool output)."""
+        lanes = self.cfg.lanes
+        word = self.cfg.tile * self.cfg.tile
+        return tuple(DmaDescriptor(
+            direction=DmaDirection.TO_DRAM,
+            dram_addr=fm.channel_addr(c),
+            bank=c % lanes,
+            bank_addr=(base_tile_addr
+                       + (c // lanes) * fm.tiles_y * fm.tiles_x) * word,
+            count=fm.values_per_channel)
+            for c in range(fm.channels))
+
+    # -- per-op lowering ---------------------------------------------------------
+
+    def lower_padpool(self, op: ScheduledOp) -> None:
+        cfg = self.cfg
+        word = cfg.tile * cfg.tile
+        src = self.fms[op.inputs[0]]
+        out = self.retain(op.output, op.out_shape)
+        out_ty, out_tx = out.tiles_y, out.tiles_x
+        max_local = -(-src.channels // cfg.lanes)
+        ofm_base = max_local * src.tiles_y * src.tiles_x
+        needed = (ofm_base + max_local * out_ty * out_tx) * word
+        if needed > cfg.bank_capacity:
+            raise MemoryError(
+                f"{op.layer.name}: pad/pool needs {needed} values per "
+                f"bank (IFM + OFM regions), capacity is "
+                f"{cfg.bank_capacity}")
+        if op.kind == "pad":
+            opcode, pad = Opcode.PAD, op.layer.pad
+            win, stride = 2, 2
+        else:
+            opcode, pad = Opcode.POOL, 0
+            win, stride = op.layer.size, op.layer.stride
+        self.done += cfg.lanes
+        self.tiles += src.channels * out_ty * out_tx
+        instrs = tuple(PadPoolInstruction(
+            instr_id=self.done, opcode=opcode,
+            ifm_base=0, ifm_tiles_y=src.tiles_y, ifm_tiles_x=src.tiles_x,
+            local_channels=len(unit_channels(src.channels, unit,
+                                             cfg.lanes)),
+            ofm_base=ofm_base, ofm_tiles_y=out_ty, ofm_tiles_x=out_tx,
+            pad=pad, win=win, stride=stride,
+            ifm_height=src.height, ifm_width=src.width)
+            for unit in range(cfg.lanes))
+        stripe = StripeOp(
+            ifm_dma=self.fm_load_dma(src, 0),
+            instructions=instrs,
+            ofm_dma=self.fm_store_dma(out, ofm_base),
+            done_target=self.done, tile_writes_target=self.tiles)
+        dma = sum(d.count for d in stripe.ifm_dma + stripe.ofm_dma)
+        est = padpool_layer_cycles(out.channels, out_ty, out_tx,
+                                   self.params)
+        self.steps.append(ProgramStep(
+            kind=op.kind, layer=op.layer.name, stripes=1,
+            instructions=cfg.lanes, dma_values=dma, est_cycles=est,
+            out_shape=op.out_shape.as_tuple(),
+            inputs=op.inputs, output=op.output, ops=(stripe,)))
+        self.release(op.inputs)
+
+    def conv_stripes(self, src: _Fm, out_ty: int, out_tx: int,
+                     out_channels: int, weight_bytes: int, halo: int,
+                     name: str) -> list[tuple[int, int]]:
+        """The driver's stripe plan, generalized to kernel-derived halo."""
+        cfg = self.cfg
+        word = cfg.tile * cfg.tile
+        local_in = -(-src.channels // cfg.lanes)
+        groups = -(-out_channels // cfg.lanes)
+        ifm_row_cost = local_in * src.tiles_x * word
+        ofm_row_cost = groups * out_tx * word
+        budget = cfg.bank_capacity - weight_bytes - halo * ifm_row_cost
+        max_rows = budget // (ifm_row_cost + ofm_row_cost)
+        if max_rows < 1:
+            raise MemoryError(
+                f"{name}: one stripe row needs "
+                f"{ifm_row_cost + ofm_row_cost} values plus "
+                f"{weight_bytes} weight bytes; bank capacity "
+                f"{cfg.bank_capacity} is too small")
+        max_rows = min(max_rows, out_ty)
+        plan, row = [], 0
+        while row < out_ty:
+            rows = min(max_rows, out_ty - row)
+            plan.append((row, rows))
+            row += rows
+        return plan
+
+    def lower_conv(self, op: ScheduledOp) -> None:
+        cfg = self.cfg
+        word = cfg.tile * cfg.tile
+        layer = op.layer
+        qop = self.schedule.model.ops[layer.name]
+        packed = PackedLayer.pack(qop.weights_q, tile=cfg.tile)
+        w_addrs, sizes = self.weights[layer.name]
+        src = self.fms[op.inputs[0]]
+        out = self.retain(op.output, op.out_shape)
+        kernel = layer.kernel
+        halo = -(-(kernel - 1) // cfg.tile) if kernel > 1 else 0
+        out_ty, out_tx = out.tiles_y, out.tiles_x
+        local_in = -(-src.channels // cfg.lanes)
+        groups = -(-out.channels // cfg.lanes)
+        plan = self.conv_stripes(src, out_ty, out_tx, out.channels,
+                                 max(sizes), halo, layer.name)
+        bias_tuple = tuple(int(b) for b in qop.bias_q.reshape(-1))
+        row_values = src.tiles_x * word
+        out_row_values = out_tx * word
+        stripes: list[StripeOp] = []
+        dma = 0
+        for row0, rows in plan:
+            ifm_rows = min(rows + halo, src.tiles_y - row0)
+            ifm_dma = tuple(DmaDescriptor(
+                direction=DmaDirection.TO_BANK,
+                dram_addr=src.channel_addr(c) + row0 * row_values,
+                bank=c % cfg.lanes,
+                bank_addr=(c // cfg.lanes) * ifm_rows * row_values,
+                count=ifm_rows * row_values)
+                for c in range(src.channels))
+            ofm_base = local_in * ifm_rows * src.tiles_x
+            weight_base = (ofm_base + groups * rows * out_tx) * word
+            weight_dma = tuple(DmaDescriptor(
+                direction=DmaDirection.TO_BANK,
+                dram_addr=w_addrs[unit], bank=unit,
+                bank_addr=weight_base, count=sizes[unit])
+                for unit in range(cfg.lanes) if sizes[unit] > 0)
+            self.done += cfg.lanes
+            self.tiles += groups * rows * out_tx * cfg.lanes
+            instrs = tuple(ConvInstruction(
+                instr_id=self.done,
+                ifm_base=0, ifm_tiles_y=ifm_rows, ifm_tiles_x=src.tiles_x,
+                local_channels=len(unit_channels(src.channels, unit,
+                                                 cfg.lanes)),
+                ofm_base=ofm_base, ofm_tiles_y=rows, ofm_tiles_x=out_tx,
+                out_channels=out.channels,
+                weight_base=weight_base, weight_bytes=sizes[unit],
+                shift=qop.shift, apply_relu=op.fused_relu,
+                biases=bias_tuple if unit == 0 else ())
+                for unit in range(cfg.lanes))
+            ofm_dma = tuple(DmaDescriptor(
+                direction=DmaDirection.TO_DRAM,
+                dram_addr=out.channel_addr(o) + row0 * out_row_values,
+                bank=o % cfg.lanes,
+                bank_addr=(ofm_base
+                           + (o // cfg.lanes) * rows * out_tx) * word,
+                count=rows * out_row_values)
+                for o in range(out.channels))
+            stripe = StripeOp(ifm_dma=ifm_dma, weight_dma=weight_dma,
+                              instructions=instrs, ofm_dma=ofm_dma,
+                              done_target=self.done,
+                              tile_writes_target=self.tiles)
+            dma += sum(d.count for d in ifm_dma + weight_dma + ofm_dma)
+            stripes.append(stripe)
+        modeled = conv_layer_cycles(
+            layer.name, op.in_shapes[0].as_tuple(),
+            op.out_shape.as_tuple(), kernel, packed.nnz_matrix(),
+            self.params)
+        self.steps.append(ProgramStep(
+            kind="conv", layer=layer.name, stripes=len(plan),
+            instructions=cfg.lanes * len(plan), dma_values=dma,
+            est_cycles=modeled.cycles, out_shape=op.out_shape.as_tuple(),
+            inputs=op.inputs, output=op.output, ops=tuple(stripes)))
+        self.release(op.inputs)
+
+    def lower_arm(self, op: ScheduledOp) -> None:
+        """Flatten/FC/ReLU/merge/softmax: host-side steps.
+
+        A merge or standalone ReLU whose result feeds an accelerator
+        op materializes its output as a DDR4 feature map (the ARM
+        writes it back in tiled layout); vector-domain results stay
+        host-resident.
+        """
+        model = self.schedule.model
+        est = 0
+        if op.kind == "fc":
+            est = model.ops[op.layer.name].weights_q.size  # ~1 MAC/cycle
+        elif op.kind in ("relu", "add", "concat", "flatten"):
+            est = op.out_shape.size   # ~1 touched value per ARM cycle
+        if op.kind in ("relu", "add", "concat") \
+                and self.schedule.domain[op.output] == "fm":
+            self.retain(op.output, op.out_shape)
+        self.steps.append(ProgramStep(
+            kind=f"arm-{op.kind}", layer=op.layer.name,
+            stripes=0, est_cycles=est,
+            out_shape=op.out_shape.as_tuple(),
+            inputs=op.inputs, output=op.output,
+            fused_relu=op.fused_relu))
+        self.release(op.inputs)
+
+
+def compile_graph(network: Network, model: QuantizedModel,
+                  config: CompileConfig | None = None) -> Program:
+    """Compile an arbitrary layer DAG into an executable program."""
+    cfg = config or CompileConfig()
+    schedule = build_schedule(network, model)
+    state = _Lowering(schedule, cfg)
+    input_layer = network.layers[0]
+    state.retain(input_layer.name, input_layer.shape)
+    for op in schedule.ops:
+        if op.kind in ("pad", "pool"):
+            state.lower_padpool(op)
+        elif op.kind == "conv":
+            state.lower_conv(op)
+        else:
+            state.lower_arm(op)
+    program = Program(network=network.name, steps=state.steps,
+                      memory=state.alloc.placements, lanes=cfg.lanes,
+                      bank_capacity=cfg.bank_capacity)
+    return program

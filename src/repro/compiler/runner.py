@@ -1,0 +1,201 @@
+"""Program runner: replay a compiled program on the cycle-accurate SoC.
+
+The runner makes *no* scheduling decisions: every DMA descriptor,
+every encoded instruction and both hardware counter targets come out
+of the compiled :class:`~repro.soc.program.Program` verbatim. Its
+only jobs are to stage the inputs (quantized image and packed weight
+streams at their planned DDR4 addresses), replay each step, and
+execute the ARM-side steps (flatten, FC, merges, standalone ReLU,
+softmax) with the same integer arithmetic as
+:func:`repro.quant.run_quantized` — which is what makes the
+golden-model differential check (:mod:`repro.compiler.golden`)
+bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.packing import PackedLayer, serialize_unit_stream
+from repro.core.tile import TILE, to_tiles
+from repro.nn.graph import Network
+from repro.quant.quantize import QuantizedModel
+from repro.quant.scale import QuantParams
+from repro.quant.signmag import saturate_array, shift_round_array
+from repro.soc.driver import FmHandle, LayerRun, SocSystem
+from repro.soc.program import Program, ProgramStep
+
+
+@dataclass
+class ProgramRun:
+    """Result of one replayed inference."""
+
+    output: np.ndarray            # float network output
+    runs: list[LayerRun] = field(default_factory=list)
+
+
+class ProgramRunner:
+    """Executes a compiled program on a (fresh) :class:`SocSystem`.
+
+    The program's done-counter and tile-write targets are absolute, so
+    the SoC must start with zeroed counters — the runner builds its
+    own system by default and refuses half-used ones implicitly by
+    construction.
+    """
+
+    def __init__(self, program: Program, network: Network,
+                 model: QuantizedModel, soc: SocSystem | None = None):
+        self.program = program
+        self.network = network
+        self.model = model
+        if soc is None:
+            capacity = max(1 << 12, program.dram_footprint)
+            soc = SocSystem(bank_capacity=program.bank_capacity,
+                            lanes=program.lanes, dram_capacity=capacity)
+        self.soc = soc
+
+    # -- DDR4 staging ------------------------------------------------------------
+
+    def _write_fm(self, addr: int, fm_q: np.ndarray) -> FmHandle:
+        """Store a CHW map at ``addr`` in tiled layout (host-side)."""
+        fm_q = np.asarray(fm_q, dtype=np.int16)
+        channels, height, width = fm_q.shape
+        flat = to_tiles(fm_q).reshape(-1)
+        self.soc.dram.write(addr, flat)
+        self.soc.host.account_reorder(flat.size)
+        return FmHandle(addr, channels, height, width)
+
+    def _read_fm(self, handle: FmHandle) -> np.ndarray:
+        """Fetch a tiled map back into CHW layout (host-side)."""
+        fm = np.zeros((handle.channels, handle.tiles_y * TILE,
+                       handle.tiles_x * TILE), dtype=np.int16)
+        for c in range(handle.channels):
+            flat = self.soc.dram.read(handle.channel_addr(c),
+                                      handle.values_per_channel)
+            shaped = flat.reshape(handle.tiles_y, handle.tiles_x,
+                                  TILE, TILE)
+            fm[c] = shaped.transpose(0, 2, 1, 3).reshape(
+                handle.tiles_y * TILE, handle.tiles_x * TILE)
+        return fm[:, :handle.height, :handle.width]
+
+    def _stage_weights(self) -> None:
+        """Write every conv layer's packed unit streams where planned."""
+        lanes = self.program.lanes
+        for step in self.program.steps:
+            if step.kind != "conv":
+                continue
+            qop = self.model.ops[step.layer]
+            packed = PackedLayer.pack(qop.weights_q)
+            for unit in range(lanes):
+                stream = serialize_unit_stream(packed, unit, lanes=lanes,
+                                               group_size=lanes)
+                placement = self.program.placement(
+                    f"{step.layer}.weights.u{unit}")
+                if stream.size > placement.values:
+                    raise ValueError(
+                        f"{step.layer}: unit {unit} stream is "
+                        f"{stream.size} bytes, planned {placement.values}")
+                if stream.size:
+                    self.soc.dram.write(placement.addr, stream)
+                self.soc.host.account_reorder(int(stream.size))
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, image: np.ndarray) -> ProgramRun:
+        program, model, soc = self.program, self.model, self.soc
+        input_name = self.network.layers[0].name
+        image_q = model.input_params.quantize(image)
+        handles: dict[str, FmHandle] = {
+            input_name: self._write_fm(program.placement(input_name).addr,
+                                       image_q)}
+        self._stage_weights()
+        vecs: dict[str, np.ndarray] = {}
+        params: dict[str, QuantParams] = {input_name: model.input_params}
+        final: np.ndarray | None = None
+        runs: list[LayerRun] = []
+
+        def value_of(tensor: str) -> np.ndarray:
+            if tensor in vecs:
+                return vecs[tensor]
+            return self._read_fm(handles[tensor]).astype(np.int64)
+
+        for step in program.steps:
+            start = soc.sim.now
+            dma_values = 0
+            if step.ops:   # accelerator step: replay the micro-schedule
+                for stripe in step.ops:
+                    soc.run_dma(list(stripe.ifm_dma))
+                    if stripe.weight_dma:
+                        soc.run_dma(list(stripe.weight_dma))
+                    for unit, instr in enumerate(stripe.instructions):
+                        soc.issue_instruction(unit, instr)
+                    soc.wait_accelerator_done(stripe.done_target)
+                    soc.wait_tile_writes(stripe.tile_writes_target)
+                    soc.run_dma(list(stripe.ofm_dma))
+                    dma_values += sum(
+                        d.count for d in stripe.ifm_dma
+                        + stripe.weight_dma + stripe.ofm_dma)
+                handles[step.output] = FmHandle(
+                    program.placement(step.output).addr, *step.out_shape)
+                params[step.output] = (
+                    model.ops[step.layer].out_params
+                    if step.kind == "conv" else params[step.inputs[0]])
+            elif step.kind == "arm-flatten":
+                vecs[step.output] = value_of(step.inputs[0]).reshape(-1)
+                params[step.output] = params[step.inputs[0]]
+            elif step.kind == "arm-fc":
+                qop = model.ops[step.layer]
+                acc = qop.weights_q.astype(np.int64) \
+                    @ value_of(step.inputs[0]).reshape(-1) + qop.bias_q
+                x = saturate_array(shift_round_array(acc, qop.shift))
+                if step.fused_relu:
+                    x = np.maximum(x, 0)
+                soc.host.account_software(qop.weights_q.size)
+                vecs[step.output] = x
+                params[step.output] = qop.out_params
+            elif step.kind == "arm-relu":
+                x = np.maximum(value_of(step.inputs[0]), 0)
+                self._store_arm_result(step, x, handles, vecs)
+                params[step.output] = params[step.inputs[0]]
+            elif step.kind in ("arm-add", "arm-concat"):
+                merge = model.merges[step.layer]
+                x = merge.apply([value_of(t) for t in step.inputs])
+                self._store_arm_result(step, x, handles, vecs)
+                params[step.output] = merge.out_params
+            elif step.kind == "arm-softmax":
+                x = value_of(step.inputs[0])
+                scaled = params[step.inputs[0]].dequantize(x).reshape(-1)
+                exp = np.exp(scaled - scaled.max())
+                final = (exp / exp.sum()).reshape(-1, 1, 1)
+                vecs[step.output] = x
+                params[step.output] = params[step.inputs[0]]
+            else:
+                raise ValueError(f"runner cannot replay step {step.kind!r}")
+            runs.append(LayerRun(
+                name=step.layer, kind=step.kind,
+                cycles=soc.sim.now - start, dma_values=dma_values,
+                out_shape=step.out_shape))
+
+        if final is not None:
+            return ProgramRun(output=final, runs=runs)
+        sink = program.steps[-1].output
+        if sink in vecs:
+            out = params[sink].dequantize(vecs[sink]).reshape(-1, 1, 1)
+        else:
+            out = params[sink].dequantize(
+                self._read_fm(handles[sink]).astype(np.int64))
+        return ProgramRun(output=out, runs=runs)
+
+    def _store_arm_result(self, step: ProgramStep, x: np.ndarray,
+                          handles: dict[str, FmHandle],
+                          vecs: dict[str, np.ndarray]) -> None:
+        """Materialize an ARM result: DDR4 map if planned, else vector."""
+        try:
+            placement = self.program.placement(step.output)
+        except KeyError:
+            vecs[step.output] = x
+            return
+        handles[step.output] = self._write_fm(placement.addr,
+                                              x.reshape(step.out_shape))

@@ -1,0 +1,165 @@
+"""Scheduling pass: a layer DAG to a linear op schedule.
+
+The first compiler pass turns a :class:`~repro.nn.graph.Network` into
+a deterministic, linear list of :class:`ScheduledOp` — one executable
+operation per layer, in topological order, with every tensor named.
+It decides three things the lowering pass then relies on:
+
+* **Execution site.** Padding, convolution and pooling run on the
+  accelerator; flatten, fully-connected layers, softmax, merges
+  (residual add / concat) and un-fusable ReLUs run on the ARM, which
+  reads and writes feature maps directly in DDR4 — exactly the
+  paper's split, where the "software framework" owns everything the
+  fabric does not.
+* **ReLU fusion.** A ReLU whose sole producer is a conv or FC layer
+  — and which is that producer's sole consumer — folds into the
+  producer (the accelerator's write-back applies it for free). The
+  fused ReLU's output *aliases* the producer's tensor; any other ReLU
+  becomes an explicit ARM op.
+* **Tensor naming.** Every op writes one tensor, named after its
+  layer. Consumers reference tensors through the alias map, so
+  fusion is invisible downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.graph import Network
+from repro.nn.layers import (AddLayer, ConcatLayer, ConvLayer, FCLayer,
+                             FlattenLayer, InputLayer, Layer, MaxPoolLayer,
+                             PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.tensor import Shape
+from repro.quant.quantize import QuantizedModel
+
+
+class CompileError(ValueError):
+    """The network cannot be lowered onto the accelerator."""
+
+
+#: Op kinds executed on the accelerator fabric.
+DEVICE_KINDS = frozenset({"pad", "conv", "pool"})
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One executable operation of the compiled schedule."""
+
+    kind: str                    # pad|conv|pool|flatten|fc|relu|add|concat|softmax
+    layer: Layer
+    inputs: tuple[str, ...]      # tensor names read
+    output: str                  # tensor name written (the layer's name)
+    in_shapes: tuple[Shape, ...]
+    out_shape: Shape
+    fused_relu: bool = False     # conv/fc only
+
+    @property
+    def device(self) -> bool:
+        return self.kind in DEVICE_KINDS
+
+
+@dataclass
+class Schedule:
+    """The linear op schedule plus tensor metadata."""
+
+    network: Network
+    model: QuantizedModel
+    ops: list[ScheduledOp] = field(default_factory=list)
+    #: Layer name -> tensor name its output resolves to (fused ReLUs
+    #: alias their producer's tensor).
+    alias: dict[str, str] = field(default_factory=dict)
+    #: Tensor name -> "fm" (CHW map in DDR4) or "vec" (flat ARM vector).
+    domain: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def output_tensor(self) -> str:
+        """Tensor holding the network's declared output."""
+        return self.alias[self.network.layers[-1].name]
+
+    def consumers(self, tensor: str) -> list[ScheduledOp]:
+        """Ops reading ``tensor``, in schedule order (with multiplicity)."""
+        return [op for op in self.ops for t in op.inputs if t == tensor]
+
+
+_KINDS = {
+    PadLayer: "pad", ConvLayer: "conv", MaxPoolLayer: "pool",
+    FlattenLayer: "flatten", FCLayer: "fc", ReluLayer: "relu",
+    AddLayer: "add", ConcatLayer: "concat", SoftmaxLayer: "softmax",
+}
+
+
+def _fusable_relu(network: Network, layer: Layer) -> bool:
+    """True when ``layer`` is a ReLU foldable into its producer."""
+    if not isinstance(layer, ReluLayer):
+        return False
+    sources = network.inputs_of(layer.name)
+    if len(sources) != 1:
+        return False
+    producer = network.layer(sources[0])
+    if not isinstance(producer, (ConvLayer, FCLayer)):
+        return False
+    # The producer must feed only this ReLU: folding changes the
+    # producer's stored tensor, which other consumers would observe.
+    return network.consumers_of(producer.name) == (layer.name,)
+
+
+def build_schedule(network: Network, model: QuantizedModel) -> Schedule:
+    """Run the scheduling pass over ``network``."""
+    schedule = Schedule(network=network, model=model)
+    alias = schedule.alias
+    domain = schedule.domain
+    for layer in network.topo_layers():
+        info = network.info(layer.name)
+        if isinstance(layer, InputLayer):
+            alias[layer.name] = layer.name
+            domain[layer.name] = "fm"
+            continue
+        sources = tuple(alias[s] for s in network.inputs_of(layer.name))
+        if _fusable_relu(network, layer):
+            alias[layer.name] = sources[0]
+            continue
+        kind = _KINDS.get(type(layer))
+        if kind is None:
+            raise CompileError(
+                f"{layer.name}: cannot compile {type(layer).__name__}")
+        in_domains = {domain[s] for s in sources}
+        if kind in DEVICE_KINDS and in_domains != {"fm"}:
+            raise CompileError(
+                f"{layer.name}: accelerator {kind} needs a feature-map "
+                f"input, got {sorted(in_domains)}")
+        if kind in ("add", "concat", "fc") and len(in_domains) != 1:
+            raise CompileError(
+                f"{layer.name}: mixed fm/vec inputs cannot merge")
+        if isinstance(layer, ConvLayer):
+            if layer.pad != 0:
+                raise CompileError(
+                    f"{layer.name}: convolution padding must be lowered "
+                    f"to an explicit PadLayer (conv pad must be 0)")
+            if layer.stride != 1:
+                raise CompileError(
+                    f"{layer.name}: the accelerator convolves with "
+                    f"stride 1 only")
+            if layer.name not in model.ops:
+                raise CompileError(f"{layer.name}: not quantized")
+        if isinstance(layer, FCLayer) and layer.name not in model.ops:
+            raise CompileError(f"{layer.name}: not quantized")
+        if isinstance(layer, (AddLayer, ConcatLayer)) \
+                and layer.name not in model.merges:
+            raise CompileError(f"{layer.name}: merge not calibrated")
+        fused = False
+        if isinstance(layer, (ConvLayer, FCLayer)):
+            users = network.consumers_of(layer.name)
+            fused = (len(users) == 1
+                     and _fusable_relu(network, network.layer(users[0])))
+        schedule.ops.append(ScheduledOp(
+            kind=kind, layer=layer, inputs=sources, output=layer.name,
+            in_shapes=info.in_shapes, out_shape=info.out_shape,
+            fused_relu=fused))
+        alias[layer.name] = layer.name
+        if kind in ("flatten", "fc"):
+            domain[layer.name] = "vec"
+        elif kind in ("relu", "add", "concat", "softmax"):
+            domain[layer.name] = next(iter(in_domains))
+        else:
+            domain[layer.name] = "fm"
+    return schedule

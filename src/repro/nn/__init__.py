@@ -2,9 +2,9 @@
 
 from repro.nn.graph import LayerInfo, Network
 from repro.nn.init import generate_image, generate_weights, he_std
-from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
-                             Layer, MaxPoolLayer, PadLayer, ReluLayer,
-                             SoftmaxLayer)
+from repro.nn.layers import (AddLayer, ConcatLayer, ConvLayer, FCLayer,
+                             FlattenLayer, InputLayer, Layer, MaxPoolLayer,
+                             MergeLayer, PadLayer, ReluLayer, SoftmaxLayer)
 from repro.nn.ops_count import (ConvWorkload, conv_workloads, gops_from_macs,
                                 macs_per_second, total_conv_macs)
 from repro.nn.reference import (conv2d, fully_connected, maxpool2d, relu,
@@ -13,14 +13,16 @@ from repro.nn.tensor import (Shape, assert_chw, assert_ochw, conv_output_hw,
                              pool_output_hw, shape_of)
 from repro.nn.vgg16 import (VGG16_BLOCKS, VGG16_CONV_NAMES, VGG16_FC,
                             build_vgg16, vgg16_conv_specs)
-from repro.nn.zoo import (VGG_CONFIGS, build_cifar_quicknet, build_vgg,
-                          build_vgg11, build_vgg13, build_vgg19)
+from repro.nn.zoo import (VGG_CONFIGS, ZOO_BUILDERS, build_branch_merge,
+                          build_cifar_quicknet, build_cifar_resnet, build_vgg,
+                          build_vgg11, build_vgg13, build_vgg19, zoo_networks)
 
 __all__ = [
     "LayerInfo", "Network",
     "generate_image", "generate_weights", "he_std",
-    "ConvLayer", "FCLayer", "FlattenLayer", "InputLayer", "Layer",
-    "MaxPoolLayer", "PadLayer", "ReluLayer", "SoftmaxLayer",
+    "AddLayer", "ConcatLayer", "ConvLayer", "FCLayer", "FlattenLayer",
+    "InputLayer", "Layer", "MaxPoolLayer", "MergeLayer", "PadLayer",
+    "ReluLayer", "SoftmaxLayer",
     "ConvWorkload", "conv_workloads", "gops_from_macs", "macs_per_second",
     "total_conv_macs",
     "conv2d", "fully_connected", "maxpool2d", "relu", "run_network",
@@ -29,6 +31,7 @@ __all__ = [
     "pool_output_hw", "shape_of",
     "VGG16_BLOCKS", "VGG16_CONV_NAMES", "VGG16_FC", "build_vgg16",
     "vgg16_conv_specs",
-    "VGG_CONFIGS", "build_cifar_quicknet", "build_vgg", "build_vgg11",
-    "build_vgg13", "build_vgg19",
+    "VGG_CONFIGS", "ZOO_BUILDERS", "build_branch_merge",
+    "build_cifar_quicknet", "build_cifar_resnet", "build_vgg", "build_vgg11",
+    "build_vgg13", "build_vgg19", "zoo_networks",
 ]

@@ -1,32 +1,58 @@
-"""Sequential network container with shape propagation and cost queries."""
+"""Network container: a layer DAG with shape propagation and cost queries.
+
+A :class:`Network` is a directed acyclic graph of layers. By default
+each layer consumes the output of the layer declared before it — the
+sequential stacks of VGG — but any layer's producers can be named
+explicitly via the ``inputs`` wiring, which is what residual skips,
+branches, and merges (:class:`~repro.nn.layers.AddLayer`,
+:class:`~repro.nn.layers.ConcatLayer`) need. Shape propagation runs
+once over a deterministic topological order in ``__init__``; any
+geometry mismatch (wrong channel count, collapsing convolution,
+mis-shaped residual add) raises immediately, so a constructed
+``Network`` is always internally consistent.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.nn.layers import (ConvLayer, FCLayer, InputLayer, Layer)
+from repro.nn.layers import (ConvLayer, FCLayer, InputLayer, Layer,
+                             MergeLayer)
 from repro.nn.tensor import Shape
 
 
 @dataclass(frozen=True)
 class LayerInfo:
-    """One layer resolved against concrete shapes."""
+    """One layer resolved against concrete shapes.
+
+    ``in_shape`` is the first (for most layers: the only) producer's
+    shape; merge layers additionally expose every producer shape via
+    ``in_shapes``.
+    """
 
     layer: Layer
     in_shape: Shape
     out_shape: Shape
     macs: int
+    in_shapes: tuple[Shape, ...] = ()
 
 
 class Network:
-    """An ordered stack of layers, validated at construction.
+    """A named DAG of layers, validated at construction.
 
-    Shape propagation runs once in ``__init__``; any geometry mismatch
-    (wrong channel count, collapsing convolution) raises immediately,
-    so a constructed ``Network`` is always internally consistent.
+    ``layers`` is the declaration order (any topological order of the
+    graph works; cycles are rejected). ``inputs`` optionally maps a
+    layer name to the name(s) of its producer layer(s); layers not
+    mentioned default to the previously declared layer, so plain
+    sequential networks need no wiring at all::
+
+        Network("res", [inp, conv_a, relu_a, conv_b, add, relu_b],
+                inputs={"add": ("conv_b", "relu_a")})
     """
 
-    def __init__(self, name: str, layers: list[Layer]):
+    def __init__(self, name: str, layers: list[Layer],
+                 inputs: dict[str, tuple[str, ...] | list[str] | str]
+                 | None = None):
         if not layers:
             raise ValueError("network needs at least one layer")
         if not isinstance(layers[0], InputLayer):
@@ -35,16 +61,120 @@ class Network:
         duplicates = {n for n in names if names.count(n) > 1}
         if duplicates:
             raise ValueError(f"duplicate layer names: {sorted(duplicates)}")
+        extra_inputs = [layer.name for layer in layers[1:]
+                        if isinstance(layer, InputLayer)]
+        if extra_inputs:
+            raise ValueError(
+                f"network {name!r} declares more than one InputLayer "
+                f"({extra_inputs})")
         self.name = name
         self.layers = list(layers)
-        self.infos: list[LayerInfo] = []
-        shape = layers[0].shape
-        for layer in layers:
-            out_shape = layer.output_shape(shape)
-            self.infos.append(LayerInfo(layer, shape, out_shape,
-                                        layer.macs(shape)))
-            shape = out_shape
-        self.output_shape = shape
+        self._by_name = {layer.name: layer for layer in self.layers}
+        self.inputs: dict[str, tuple[str, ...]] = self._resolve_inputs(
+            inputs or {})
+        self.consumers: dict[str, tuple[str, ...]] = self._consumers()
+        self._topo = self._topo_sort()
+        shapes = self._propagate_shapes()
+        self.infos: list[LayerInfo] = [shapes[layer.name]
+                                       for layer in self.layers]
+        self.output_shape = self.infos[-1].out_shape
+
+    # -- graph construction ------------------------------------------------------
+
+    def _resolve_inputs(self, declared) -> dict[str, tuple[str, ...]]:
+        for name in declared:
+            if name not in self._by_name:
+                raise ValueError(
+                    f"network {self.name!r}: inputs wiring names unknown "
+                    f"layer {name!r}")
+        resolved: dict[str, tuple[str, ...]] = {}
+        previous: str | None = None
+        for layer in self.layers:
+            if isinstance(layer, InputLayer):
+                if layer.name in declared:
+                    raise ValueError(
+                        f"{layer.name}: an InputLayer takes no inputs")
+                resolved[layer.name] = ()
+                previous = layer.name
+                continue
+            wired = declared.get(layer.name)
+            if wired is None:
+                sources: tuple[str, ...] = (previous,)
+            elif isinstance(wired, str):
+                sources = (wired,)
+            else:
+                sources = tuple(wired)
+            if not sources:
+                raise ValueError(f"{layer.name}: empty inputs wiring")
+            for source in sources:
+                if source not in self._by_name:
+                    raise ValueError(
+                        f"{layer.name}: unknown input layer {source!r}")
+                if source == layer.name:
+                    raise ValueError(f"{layer.name}: layer feeds itself")
+            minimum = getattr(layer, "min_inputs", 1)
+            if isinstance(layer, MergeLayer):
+                if len(sources) < minimum:
+                    raise ValueError(
+                        f"{layer.name}: merge layer needs >= {minimum} "
+                        f"inputs, got {len(sources)}")
+            elif len(sources) != 1:
+                raise ValueError(
+                    f"{layer.name}: {type(layer).__name__} takes exactly "
+                    f"one input, got {len(sources)}")
+            resolved[layer.name] = sources
+            previous = layer.name
+        return resolved
+
+    def _consumers(self) -> dict[str, tuple[str, ...]]:
+        consumers: dict[str, list[str]] = {l.name: [] for l in self.layers}
+        for layer in self.layers:
+            for source in self.inputs[layer.name]:
+                consumers[source].append(layer.name)
+        return {name: tuple(users) for name, users in consumers.items()}
+
+    def _topo_sort(self) -> list[Layer]:
+        """Deterministic Kahn topological order (declaration-index ties)."""
+        index = {layer.name: i for i, layer in enumerate(self.layers)}
+        remaining = {layer.name: len(self.inputs[layer.name])
+                     for layer in self.layers}
+        ready = sorted((n for n, d in remaining.items() if d == 0),
+                       key=index.get)
+        order: list[Layer] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self._by_name[name])
+            inserted = False
+            for user in self.consumers[name]:
+                remaining[user] -= 1
+                if remaining[user] == 0:
+                    ready.append(user)
+                    inserted = True
+            if inserted:
+                ready.sort(key=index.get)
+        if len(order) != len(self.layers):
+            stuck = sorted(n for n, d in remaining.items() if d > 0)
+            raise ValueError(
+                f"network {self.name!r} has a cycle through {stuck}")
+        return order
+
+    def _propagate_shapes(self) -> dict[str, LayerInfo]:
+        shapes: dict[str, Shape] = {}
+        infos: dict[str, LayerInfo] = {}
+        for layer in self._topo:
+            if isinstance(layer, InputLayer):
+                in_shapes: tuple[Shape, ...] = (layer.shape,)
+            else:
+                in_shapes = tuple(shapes[s] for s in self.inputs[layer.name])
+            if isinstance(layer, MergeLayer):
+                out_shape = layer.output_shape(*in_shapes)
+            else:
+                out_shape = layer.output_shape(in_shapes[0])
+            shapes[layer.name] = out_shape
+            infos[layer.name] = LayerInfo(
+                layer, in_shapes[0], out_shape, layer.macs(in_shapes[0]),
+                in_shapes=in_shapes)
+        return infos
 
     # -- queries ---------------------------------------------------------------
 
@@ -55,16 +185,38 @@ class Network:
         return len(self.layers)
 
     def layer(self, name: str) -> Layer:
-        for layer in self.layers:
-            if layer.name == name:
-                return layer
-        raise KeyError(f"network {self.name!r} has no layer {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"network {self.name!r} has no layer {name!r}") from None
 
     def info(self, name: str) -> LayerInfo:
         for entry in self.infos:
             if entry.layer.name == name:
                 return entry
         raise KeyError(f"network {self.name!r} has no layer {name!r}")
+
+    def inputs_of(self, name: str) -> tuple[str, ...]:
+        """Producer layer names of ``name`` (empty for the input layer)."""
+        self.layer(name)
+        return self.inputs[name]
+
+    def consumers_of(self, name: str) -> tuple[str, ...]:
+        """Layer names consuming ``name``'s output, in declaration order."""
+        self.layer(name)
+        return self.consumers[name]
+
+    def topo_layers(self) -> list[Layer]:
+        """Layers in deterministic topological order."""
+        return list(self._topo)
+
+    @property
+    def is_linear(self) -> bool:
+        """True when every layer consumes exactly the previous layer."""
+        return all(
+            self.inputs[layer.name] == (self.layers[i - 1].name,)
+            for i, layer in enumerate(self.layers) if i > 0)
 
     def conv_infos(self) -> list[LayerInfo]:
         """Resolved info for every convolution layer, in network order."""
@@ -95,4 +247,7 @@ class Network:
                 f"{info.layer.name:<12}{type(info.layer).__name__:<14}"
                 f"{str(info.in_shape):>14}{str(info.out_shape):>14}"
                 f"{info.macs / 1e6:>10.1f}")
+            if len(info.in_shapes) > 1:
+                sources = ", ".join(self.inputs[info.layer.name])
+                lines.append(f"{'':<12}  <- {sources}")
         return "\n".join(lines)

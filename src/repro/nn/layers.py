@@ -173,3 +173,56 @@ class SoftmaxLayer(Layer):
 
     def output_shape(self, in_shape: Shape) -> Shape:
         return in_shape
+
+
+@dataclass(frozen=True)
+class MergeLayer(Layer):
+    """Base for layers that combine several producer tensors.
+
+    Merge layers are what make a :class:`~repro.nn.graph.Network` a true
+    DAG: they take two or more named inputs (declared via the network's
+    ``inputs`` wiring) instead of the implicit previous layer. Their
+    ``output_shape`` receives one shape per input.
+    """
+
+    #: Minimum number of producer tensors this layer accepts.
+    min_inputs = 2
+
+    def output_shape(self, *in_shapes: Shape) -> Shape:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddLayer(MergeLayer):
+    """Elementwise residual addition: ``y = x0 + x1 + ...``.
+
+    All inputs must share one shape. On the SoC this merge runs on the
+    ARM (like the FC tail): each quantized input is shifted into the
+    output activation domain, summed, and saturated.
+    """
+
+    def output_shape(self, *in_shapes: Shape) -> Shape:
+        if len(in_shapes) < 2:
+            raise ValueError(f"{self.name}: residual add needs >= 2 inputs")
+        first = in_shapes[0]
+        for shape in in_shapes[1:]:
+            if shape != first:
+                raise ValueError(
+                    f"{self.name}: cannot add {first} and {shape}")
+        return first
+
+
+@dataclass(frozen=True)
+class ConcatLayer(MergeLayer):
+    """Channel-axis concatenation of same-spatial-size feature maps."""
+
+    def output_shape(self, *in_shapes: Shape) -> Shape:
+        if len(in_shapes) < 2:
+            raise ValueError(f"{self.name}: concat needs >= 2 inputs")
+        first = in_shapes[0]
+        for shape in in_shapes[1:]:
+            if (shape.h, shape.w) != (first.h, first.w):
+                raise ValueError(
+                    f"{self.name}: cannot concatenate {first} and {shape}: "
+                    f"spatial dimensions differ")
+        return Shape(sum(s.c for s in in_shapes), first.h, first.w)

@@ -12,8 +12,9 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.graph import Network
-from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
-                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.layers import (AddLayer, ConcatLayer, ConvLayer, FCLayer,
+                             FlattenLayer, InputLayer, MaxPoolLayer, PadLayer,
+                             ReluLayer, SoftmaxLayer)
 from repro.nn.tensor import assert_chw, assert_ochw
 
 
@@ -95,15 +96,21 @@ def run_network(network: Network, weights: dict[str, np.ndarray],
     """Run the float reference over ``network``.
 
     ``weights`` maps conv/FC layer names to their weight tensors;
-    ``biases`` (optional) maps the same names to bias vectors.
+    ``biases`` (optional) maps the same names to bias vectors. DAG
+    networks (residual adds, branch/merge) evaluate in topological
+    order, each layer reading its named producers.
     """
     biases = biases or {}
-    x = np.asarray(image, dtype=np.float64)
-    for layer in network:
+    image = np.asarray(image, dtype=np.float64)
+    outputs: dict[str, np.ndarray] = {}
+    for layer in network.topo_layers():
+        sources = [outputs[name] for name in network.inputs_of(layer.name)]
+        x = sources[0] if sources else image
         if isinstance(layer, InputLayer):
-            if x.shape != layer.shape.as_tuple():
+            if image.shape != layer.shape.as_tuple():
                 raise ValueError(
-                    f"input shape {x.shape} != declared {layer.shape}")
+                    f"input shape {image.shape} != declared {layer.shape}")
+            x = image
         elif isinstance(layer, PadLayer):
             x = zero_pad(x, layer.pad)
         elif isinstance(layer, ConvLayer):
@@ -120,6 +127,13 @@ def run_network(network: Network, weights: dict[str, np.ndarray],
                                 biases.get(layer.name)).reshape(-1, 1, 1)
         elif isinstance(layer, SoftmaxLayer):
             x = softmax(x)
+        elif isinstance(layer, AddLayer):
+            x = sources[0].copy()
+            for other in sources[1:]:
+                x = x + other
+        elif isinstance(layer, ConcatLayer):
+            x = np.concatenate(sources, axis=0)
         else:
             raise TypeError(f"no reference executor for {type(layer).__name__}")
-    return x
+        outputs[layer.name] = x
+    return outputs[network.layers[-1].name]

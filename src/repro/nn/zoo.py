@@ -1,19 +1,30 @@
-"""Network zoo: VGG variants and small CNNs beyond the paper's VGG-16.
+"""Network zoo: VGG variants, small CNNs, and residual/branchy DAGs.
 
 The paper evaluates VGG-16 only, but nothing in the accelerator is
 VGG-specific — any stack of 3x3 convolutions, 2x2 pools and FC layers
-lowers onto it. This module provides the other VGG configurations
-(A/B/D/E from Simonyan & Zisserman) and a small CIFAR-scale network,
-all built with the same explicit-padding convention, so the rest of the
-stack (quantizer, compiler, driver, performance model) exercises more
-than one workload.
+lowers onto it, and with the graph compiler (:mod:`repro.compiler`)
+so does any DAG of them. This module provides the other VGG
+configurations (A/B/D/E from Simonyan & Zisserman), a small
+CIFAR-scale network, a ResNet-style residual network and a two-branch
+merge network, all built with the same explicit-padding convention, so
+the rest of the stack (quantizer, compiler, driver, performance model)
+exercises more than one workload topology.
+
+Every builder takes geometry knobs (``input_hw``, widths, feature
+counts) so tests can compile the same topologies at SoC-simulation
+scale; the defaults are the nominal full-size networks.
+:func:`zoo_networks` is the name registry the ``repro compile`` CLI
+and the CI compile sweep use.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.nn.graph import Network
-from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
-                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.layers import (AddLayer, ConcatLayer, ConvLayer, FCLayer,
+                             FlattenLayer, InputLayer, MaxPoolLayer, PadLayer,
+                             ReluLayer, SoftmaxLayer)
 from repro.nn.tensor import Shape
 
 #: Simonyan & Zisserman's configurations: out-channels per conv layer,
@@ -28,12 +39,21 @@ VGG_CONFIGS: dict[str, list[list[int]]] = {
 }
 
 
-def build_vgg(config: str, input_hw: int = 224,
-              num_classes: int = 1000) -> Network:
-    """Build any VGG configuration with explicit padding layers."""
+def build_vgg(config: str, input_hw: int = 224, num_classes: int = 1000,
+              width_multiplier: float = 1.0,
+              fc_features: int = 4096) -> Network:
+    """Build any VGG configuration with explicit padding layers.
+
+    ``width_multiplier`` scales every conv width (minimum 1 channel) and
+    ``fc_features`` sets the two hidden FC widths — both default to the
+    nominal network; tests use them to compile the same topology at a
+    scale the cycle-accurate SoC simulation can execute quickly.
+    """
     if config not in VGG_CONFIGS:
         raise KeyError(f"unknown VGG config {config!r}; "
                        f"choose from {sorted(VGG_CONFIGS)}")
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be > 0")
     blocks = VGG_CONFIGS[config]
     if input_hw % (2 ** len(blocks)) != 0:
         raise ValueError(
@@ -41,7 +61,8 @@ def build_vgg(config: str, input_hw: int = 224,
     layers = [InputLayer("input", Shape(3, input_hw, input_hw))]
     channels = 3
     for block_index, widths in enumerate(blocks, start=1):
-        for conv_index, out_channels in enumerate(widths, start=1):
+        for conv_index, nominal in enumerate(widths, start=1):
+            out_channels = max(1, round(nominal * width_multiplier))
             stem = f"conv{block_index}_{conv_index}"
             layers.append(PadLayer(f"pad{block_index}_{conv_index}", pad=1))
             layers.append(ConvLayer(stem, in_channels=channels,
@@ -52,7 +73,8 @@ def build_vgg(config: str, input_hw: int = 224,
         layers.append(MaxPoolLayer(f"pool{block_index}", size=2, stride=2))
     layers.append(FlattenLayer("flatten"))
     features = channels * (input_hw // 2 ** len(blocks)) ** 2
-    for i, width in enumerate([4096, 4096, num_classes], start=1):
+    for i, width in enumerate([fc_features, fc_features, num_classes],
+                              start=1):
         layers.append(FCLayer(f"fc{5 + i}", in_features=features,
                               out_features=width))
         if i < 3:
@@ -62,31 +84,39 @@ def build_vgg(config: str, input_hw: int = 224,
     return Network(f"vgg-{config}-{input_hw}", layers)
 
 
-def build_vgg11(input_hw: int = 224, num_classes: int = 1000) -> Network:
+def build_vgg11(input_hw: int = 224, num_classes: int = 1000,
+                **kwargs) -> Network:
     """VGG-11 (Simonyan & Zisserman configuration A)."""
-    return build_vgg("A", input_hw, num_classes)
+    return build_vgg("A", input_hw, num_classes, **kwargs)
 
 
-def build_vgg13(input_hw: int = 224, num_classes: int = 1000) -> Network:
+def build_vgg13(input_hw: int = 224, num_classes: int = 1000,
+                **kwargs) -> Network:
     """VGG-13 (Simonyan & Zisserman configuration B)."""
-    return build_vgg("B", input_hw, num_classes)
+    return build_vgg("B", input_hw, num_classes, **kwargs)
 
 
-def build_vgg19(input_hw: int = 224, num_classes: int = 1000) -> Network:
+def build_vgg19(input_hw: int = 224, num_classes: int = 1000,
+                **kwargs) -> Network:
     """VGG-19 (Simonyan & Zisserman configuration E)."""
-    return build_vgg("E", input_hw, num_classes)
+    return build_vgg("E", input_hw, num_classes, **kwargs)
 
 
-def build_cifar_quicknet(num_classes: int = 10) -> Network:
+def build_cifar_quicknet(num_classes: int = 10,
+                         widths: tuple[int, ...] = (32, 64, 128),
+                         input_hw: int = 32) -> Network:
     """A CIFAR-scale 6-conv network: the embedded-sized workload.
 
     32x32x3 input, three conv blocks (32/64/128 channels), one FC
     classifier — small enough to run end-to-end through the
     cycle-accurate SoC in tests and examples.
     """
-    layers: list = [InputLayer("input", Shape(3, 32, 32))]
+    if input_hw % (2 ** len(widths)) != 0:
+        raise ValueError(
+            f"input_hw must be divisible by {2 ** len(widths)}")
+    layers: list = [InputLayer("input", Shape(3, input_hw, input_hw))]
     channels = 3
-    for block, width in enumerate([32, 64, 128], start=1):
+    for block, width in enumerate(widths, start=1):
         for conv in (1, 2):
             stem = f"conv{block}_{conv}"
             layers.append(PadLayer(f"pad{block}_{conv}", pad=1))
@@ -95,8 +125,132 @@ def build_cifar_quicknet(num_classes: int = 10) -> Network:
             layers.append(ReluLayer(f"relu{block}_{conv}"))
             channels = width
         layers.append(MaxPoolLayer(f"pool{block}", size=2, stride=2))
+    final_hw = input_hw // 2 ** len(widths)
     layers.append(FlattenLayer("flatten"))
-    layers.append(FCLayer("fc", in_features=128 * 4 * 4,
+    layers.append(FCLayer("fc", in_features=channels * final_hw * final_hw,
                           out_features=num_classes))
     layers.append(SoftmaxLayer("prob"))
     return Network("cifar-quicknet", layers)
+
+
+def build_cifar_resnet(num_classes: int = 10,
+                       widths: tuple[int, ...] = (16, 32, 64),
+                       blocks_per_stage: int = 1,
+                       input_hw: int = 32) -> Network:
+    """A small ResNet-style CIFAR network with identity skips.
+
+    Stem conv, then ``len(widths)`` stages of residual blocks (each
+    block: pad-conv-relu-pad-conv, elementwise add with the block
+    input, relu), a 2x2 max-pool between stages, FC classifier. The
+    skip connections make this a true DAG: each
+    :class:`~repro.nn.layers.AddLayer` reads both its conv branch and
+    the block's input tensor, exercising the graph compiler's
+    multi-consumer DDR4 placement.
+    """
+    if blocks_per_stage < 1:
+        raise ValueError("blocks_per_stage must be >= 1")
+    if input_hw % (2 ** len(widths)) != 0:
+        raise ValueError(
+            f"input_hw must be divisible by {2 ** len(widths)}")
+    layers: list = [InputLayer("input", Shape(3, input_hw, input_hw))]
+    inputs: dict[str, tuple[str, ...]] = {}
+    layers.append(PadLayer("pad_stem", pad=1))
+    layers.append(ConvLayer("conv_stem", in_channels=3,
+                            out_channels=widths[0], kernel=3, pad=0))
+    layers.append(ReluLayer("relu_stem"))
+    skip = "relu_stem"
+    channels = widths[0]
+    for stage, width in enumerate(widths, start=1):
+        if width != channels:
+            layers.append(PadLayer(f"pad{stage}_in", pad=1))
+            layers.append(ConvLayer(f"conv{stage}_in", in_channels=channels,
+                                    out_channels=width, kernel=3, pad=0))
+            layers.append(ReluLayer(f"relu{stage}_in"))
+            inputs[f"pad{stage}_in"] = (skip,)
+            skip = f"relu{stage}_in"
+            channels = width
+        for block in range(1, blocks_per_stage + 1):
+            stem = f"s{stage}b{block}"
+            layers.append(PadLayer(f"pad_{stem}a", pad=1))
+            layers.append(ConvLayer(f"conv_{stem}a", in_channels=width,
+                                    out_channels=width, kernel=3, pad=0))
+            layers.append(ReluLayer(f"relu_{stem}a"))
+            layers.append(PadLayer(f"pad_{stem}b", pad=1))
+            layers.append(ConvLayer(f"conv_{stem}b", in_channels=width,
+                                    out_channels=width, kernel=3, pad=0))
+            layers.append(AddLayer(f"add_{stem}"))
+            layers.append(ReluLayer(f"relu_{stem}"))
+            inputs[f"pad_{stem}a"] = (skip,)
+            inputs[f"add_{stem}"] = (f"conv_{stem}b", skip)
+            skip = f"relu_{stem}"
+        layers.append(MaxPoolLayer(f"pool{stage}", size=2, stride=2))
+        inputs[f"pool{stage}"] = (skip,)
+        skip = f"pool{stage}"
+    final_hw = input_hw // 2 ** len(widths)
+    layers.append(FlattenLayer("flatten"))
+    layers.append(FCLayer("fc", in_features=channels * final_hw * final_hw,
+                          out_features=num_classes))
+    layers.append(SoftmaxLayer("prob"))
+    return Network("cifar-resnet", layers, inputs=inputs)
+
+
+def build_branch_merge(num_classes: int = 10, width: int = 16,
+                       input_hw: int = 32) -> Network:
+    """A two-branch merge network (inception-style fork/join).
+
+    A stem conv forks into a 3x3 conv branch and a 1x1 conv branch;
+    a channel concat joins them, a tail conv mixes the merged
+    channels, then pool/FC/softmax. Exercises branch scheduling, the
+    concat merge and 1x1 (pad-free) convolution lowering.
+    """
+    if input_hw % 2 != 0:
+        raise ValueError("input_hw must be even")
+    layers: list = [
+        InputLayer("input", Shape(3, input_hw, input_hw)),
+        PadLayer("pad_stem", pad=1),
+        ConvLayer("conv_stem", in_channels=3, out_channels=width,
+                  kernel=3, pad=0),
+        ReluLayer("relu_stem"),
+        # 3x3 branch.
+        PadLayer("pad_a", pad=1),
+        ConvLayer("conv_a", in_channels=width, out_channels=width,
+                  kernel=3, pad=0),
+        ReluLayer("relu_a"),
+        # 1x1 branch.
+        ConvLayer("conv_b", in_channels=width, out_channels=width,
+                  kernel=1, pad=0),
+        ReluLayer("relu_b"),
+        # Join and mix.
+        ConcatLayer("merge"),
+        PadLayer("pad_tail", pad=1),
+        ConvLayer("conv_tail", in_channels=2 * width, out_channels=width,
+                  kernel=3, pad=0),
+        ReluLayer("relu_tail"),
+        MaxPoolLayer("pool", size=2, stride=2),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=width * (input_hw // 2) ** 2,
+                out_features=num_classes),
+        SoftmaxLayer("prob"),
+    ]
+    return Network("branch-merge", layers, inputs={
+        "conv_b": ("relu_stem",),
+        "merge": ("relu_a", "relu_b"),
+    })
+
+
+#: Registry for ``repro compile`` and the CI compile sweep: every
+#: network the zoo knows how to build, by CLI name.
+ZOO_BUILDERS: dict[str, Callable[..., Network]] = {
+    "vgg11": build_vgg11,
+    "vgg13": build_vgg13,
+    "vgg16": lambda **kwargs: build_vgg("D", **kwargs),
+    "vgg19": build_vgg19,
+    "cifar_quicknet": build_cifar_quicknet,
+    "cifar_resnet": build_cifar_resnet,
+    "branch_merge": build_branch_merge,
+}
+
+
+def zoo_networks() -> dict[str, Callable[..., Network]]:
+    """Name -> builder for every zoo network (stable iteration order)."""
+    return dict(ZOO_BUILDERS)

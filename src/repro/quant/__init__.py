@@ -5,8 +5,9 @@ from repro.quant.accuracy import (AgreementReport, PruningPoint,
                                   accuracy_vs_pruning, evaluate_agreement,
                                   top1, topk)
 
-from repro.quant.quantize import (QuantizedModel, QuantizedTensorOp,
-                                  conv2d_int, quantize_network,
+from repro.quant.quantize import (QuantizedMergeOp, QuantizedModel,
+                                  QuantizedTensorOp, conv2d_int,
+                                  quantize_network,
                                   quantized_conv_reference, run_quantized)
 from repro.quant.scale import (QuantParams, exponent_for_max_abs, params_for,
                                quantization_snr_db)
@@ -24,7 +25,8 @@ __all__ = [
     "evaluate_agreement", "top1", "topk",
     "TernaryResult", "binarize", "binarize_network",
     "reconstruction_error", "ternarize", "ternarize_network",
-    "QuantizedModel", "QuantizedTensorOp", "conv2d_int", "quantize_network",
+    "QuantizedMergeOp", "QuantizedModel", "QuantizedTensorOp", "conv2d_int",
+    "quantize_network",
     "quantized_conv_reference", "run_quantized",
     "QuantParams", "exponent_for_max_abs", "params_for",
     "quantization_snr_db",

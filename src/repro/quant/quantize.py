@@ -18,8 +18,9 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.graph import Network
-from repro.nn.layers import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
-                             MaxPoolLayer, PadLayer, ReluLayer, SoftmaxLayer)
+from repro.nn.layers import (AddLayer, ConcatLayer, ConvLayer, FCLayer,
+                             FlattenLayer, InputLayer, MaxPoolLayer,
+                             MergeLayer, PadLayer, ReluLayer, SoftmaxLayer)
 from repro.nn.reference import (conv2d, fully_connected, maxpool2d, relu,
                                 softmax, zero_pad)
 from repro.quant.scale import QuantParams, params_for
@@ -56,6 +57,38 @@ class QuantizedTensorOp:
         return float(np.count_nonzero(self.weights_q)) / self.weights_q.size
 
 
+@dataclass(frozen=True)
+class QuantizedMergeOp:
+    """Integer semantics of one DAG merge (residual add or concat).
+
+    Power-of-two scales make domain changes pure arithmetic shifts:
+    input ``i`` enters the merge's output activation domain via
+    ``shift_round(q_i, shifts[i])`` (``shifts[i]`` is the producer's
+    exponent minus the output exponent; negative shifts are exact left
+    shifts). An add then sums and saturates; a concat saturates each
+    aligned input and stacks channels.
+    """
+
+    name: str
+    kind: str                 # "add" | "concat"
+    shifts: tuple[int, ...]   # one per input, in wiring order
+    out_params: QuantParams
+
+    def apply(self, inputs: list[np.ndarray]) -> np.ndarray:
+        if len(inputs) != len(self.shifts):
+            raise ValueError(
+                f"{self.name}: {len(inputs)} inputs for "
+                f"{len(self.shifts)} calibrated shifts")
+        aligned = [shift_round_array(np.asarray(q, dtype=np.int64), s)
+                   for q, s in zip(inputs, self.shifts)]
+        if self.kind == "add":
+            total = aligned[0]
+            for other in aligned[1:]:
+                total = total + other
+            return saturate_array(total)
+        return np.concatenate([saturate_array(a) for a in aligned], axis=0)
+
+
 @dataclass
 class QuantizedModel:
     """A fully quantized network: per-layer integer ops plus input domain."""
@@ -63,6 +96,7 @@ class QuantizedModel:
     network: Network
     input_params: QuantParams
     ops: dict[str, QuantizedTensorOp] = field(default_factory=dict)
+    merges: dict[str, QuantizedMergeOp] = field(default_factory=dict)
 
     def conv_ops(self) -> list[QuantizedTensorOp]:
         return [self.ops[info.layer.name]
@@ -81,16 +115,26 @@ def quantize_network(network: Network, weights: dict[str, np.ndarray],
 
     Activation scales come from a float calibration pass over
     ``calibration_image`` (the offline step the paper performs in
-    Caffe); weight scales cover each layer's max |w|.
+    Caffe); weight scales cover each layer's max |w|. The pass walks
+    the layer DAG in topological order, tracking one (activation,
+    domain) pair per layer, so branchy/residual networks calibrate the
+    same way sequential stacks always have; each merge layer gets a
+    :class:`QuantizedMergeOp` recording its per-input alignment shifts.
     """
     input_params = params_for(calibration_image)
     model = QuantizedModel(network, input_params)
-    x = np.asarray(calibration_image, dtype=np.float64)
-    act_params = input_params
-    for layer in network:
+    image = np.asarray(calibration_image, dtype=np.float64)
+    acts: dict[str, np.ndarray] = {}
+    domains: dict[str, QuantParams] = {}
+    for layer in network.topo_layers():
+        sources = network.inputs_of(layer.name)
+        xs = [acts[s] for s in sources]
+        ps = [domains[s] for s in sources]
+        x = xs[0] if xs else image
+        act_params = ps[0] if ps else input_params
         if isinstance(layer, InputLayer):
-            continue
-        if isinstance(layer, PadLayer):
+            x, act_params = image, input_params
+        elif isinstance(layer, PadLayer):
             x = zero_pad(x, layer.pad)
         elif isinstance(layer, ReluLayer):
             x = relu(x)
@@ -118,10 +162,27 @@ def quantize_network(network: Network, weights: dict[str, np.ndarray],
                 out_params=out_params,
             )
             act_params = out_params
+        elif isinstance(layer, (AddLayer, ConcatLayer)):
+            if isinstance(layer, AddLayer):
+                x = xs[0].copy()
+                for other in xs[1:]:
+                    x = x + other
+                kind = "add"
+            else:
+                x = np.concatenate(xs, axis=0)
+                kind = "concat"
+            out_params = params_for(x)
+            model.merges[layer.name] = QuantizedMergeOp(
+                name=layer.name, kind=kind,
+                shifts=tuple(p.exponent - out_params.exponent for p in ps),
+                out_params=out_params)
+            act_params = out_params
         elif isinstance(layer, SoftmaxLayer):
             x = softmax(x)
         else:
             raise TypeError(f"cannot quantize layer {type(layer).__name__}")
+        acts[layer.name] = x
+        domains[layer.name] = act_params
     return model
 
 
@@ -157,13 +218,22 @@ def run_quantized(network: Network, model: QuantizedModel,
     """Integer inference over the whole network.
 
     Returns the float softmax output; if ``collect`` is given, each
-    layer's quantized output (int16) is stored under its name.
+    layer's quantized output (int16) is stored under its name. DAG
+    networks evaluate in topological order; merge layers apply their
+    calibrated :class:`QuantizedMergeOp` alignment shifts.
     """
-    x = model.input_params.quantize(image).astype(np.int64)
-    last_params = model.input_params
-    for layer in network:
+    image_q = model.input_params.quantize(image).astype(np.int64)
+    outputs: dict[str, np.ndarray] = {}
+    domains: dict[str, QuantParams] = {}
+    final: np.ndarray | None = None
+    for layer in network.topo_layers():
+        sources = network.inputs_of(layer.name)
+        xs = [outputs[s] for s in sources]
+        ps = [domains[s] for s in sources]
+        x = xs[0] if xs else image_q
+        last_params = ps[0] if ps else model.input_params
         if isinstance(layer, InputLayer):
-            pass
+            x, last_params = image_q, model.input_params
         elif isinstance(layer, PadLayer):
             x = np.pad(x, ((0, 0), (layer.pad, layer.pad),
                            (layer.pad, layer.pad)))
@@ -189,10 +259,22 @@ def run_quantized(network: Network, model: QuantizedModel,
             x = saturate_array(shift_round_array(acc, op.shift))
             x = x.reshape(-1, 1, 1)
             last_params = op.out_params
+        elif isinstance(layer, MergeLayer):
+            merge = model.merges[layer.name]
+            x = merge.apply(xs)
+            last_params = merge.out_params
         elif isinstance(layer, SoftmaxLayer):
-            return softmax(last_params.dequantize(x))
+            final = softmax(last_params.dequantize(x))
+            outputs[layer.name] = x
+            domains[layer.name] = last_params
+            continue
         else:
             raise TypeError(f"no quantized executor for {type(layer).__name__}")
+        outputs[layer.name] = x
+        domains[layer.name] = last_params
         if collect is not None:
             collect[layer.name] = np.asarray(x, dtype=np.int64).copy()
-    return last_params.dequantize(x)
+    if final is not None:
+        return final
+    sink = network.layers[-1].name
+    return domains[sink].dequantize(outputs[sink])

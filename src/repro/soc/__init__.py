@@ -12,8 +12,10 @@ from repro.soc.driver import (DivergenceError, FaultRecord, FmHandle,
                               SocSystem)
 from repro.soc.hps import (ARM_CYCLES_PER_REORDERED_VALUE,
                            CYCLES_PER_CSR_ACCESS, ArmHost, HostTimeout)
-from repro.soc.isa import decode_instruction, encode_instruction
-from repro.soc.program import (CompileConfig, Program, ProgramStep,
+from repro.soc.isa import (FieldOverflowError, IsaError,
+                           MalformedInstructionError, UnknownOpcodeError,
+                           decode_instruction, encode_instruction)
+from repro.soc.program import (CompileConfig, Program, ProgramStep, StripeOp,
                                TensorPlacement, compile_network)
 from repro.soc.registers import CallbackSlave, RegisterFile
 from repro.soc.sdram import (SdramController, SdramOp, SdramPort,
@@ -31,9 +33,10 @@ __all__ = [
     "LayerRun", "ResiliencePolicy", "SocSystem",
     "ARM_CYCLES_PER_REORDERED_VALUE", "CYCLES_PER_CSR_ACCESS", "ArmHost",
     "HostTimeout",
-    "decode_instruction", "encode_instruction",
-    "CompileConfig", "Program", "ProgramStep", "TensorPlacement",
-    "compile_network",
+    "FieldOverflowError", "IsaError", "MalformedInstructionError",
+    "UnknownOpcodeError", "decode_instruction", "encode_instruction",
+    "CompileConfig", "Program", "ProgramStep", "StripeOp",
+    "TensorPlacement", "compile_network",
     "CallbackSlave", "RegisterFile",
     "SdramController", "SdramOp", "SdramPort", "SdramRequest",
     "SocEvent", "SocTrace",

@@ -5,6 +5,14 @@ Fig. 3 shows the instruction interface into the main controller
 This module serializes the behavioural instruction objects of
 :mod:`repro.core.instructions` into 32-bit words and back, so the
 host-side driver exercises a realistic register-level protocol.
+
+Encoding is *strict*: a field that does not fit its bit width raises
+:class:`FieldOverflowError` instead of silently truncating — a
+truncated address or instruction id would otherwise surface as a
+wild DMA or a hung done-counter wait, far from the bug. Decoding is
+equally strict: unknown opcode bits raise :class:`UnknownOpcodeError`
+and short/overlong streams raise :class:`MalformedInstructionError`.
+All three derive from :class:`IsaError` (a ``ValueError``).
 """
 
 from __future__ import annotations
@@ -16,24 +24,54 @@ MASK16 = 0xFFFF
 MASK24 = 0xFF_FFFF
 MASK32 = 0xFFFF_FFFF
 
+#: Words in an encoded conv instruction before the bias list.
+CONV_HEADER_WORDS = 10
+#: Words in an encoded pad/pool instruction.
+PADPOOL_WORDS = 8
+
 _OPCODE_BITS = {Opcode.CONV: 1, Opcode.PAD: 2, Opcode.POOL: 3}
 _BITS_OPCODE = {v: k for k, v in _OPCODE_BITS.items()}
 
 
-def _pack16(hi: int, lo: int) -> int:
-    if not (0 <= hi <= MASK16 and 0 <= lo <= MASK16):
-        raise ValueError(f"field overflow packing ({hi}, {lo})")
-    return (hi << 16) | lo
+class IsaError(ValueError):
+    """Base for all instruction encode/decode failures."""
+
+
+class FieldOverflowError(IsaError):
+    """An instruction field does not fit its encoded bit width."""
+
+
+class UnknownOpcodeError(IsaError):
+    """The opcode bits of word 0 name no known instruction."""
+
+
+class MalformedInstructionError(IsaError):
+    """A word stream is the wrong length for its opcode."""
+
+
+def _field(value: int, bits: int, name: str) -> int:
+    """An unsigned field of ``bits`` width; raises instead of masking."""
+    if not 0 <= value < (1 << bits):
+        raise FieldOverflowError(
+            f"{name}={value} does not fit {bits} unsigned bits")
+    return value
+
+
+def _signed_field(value: int, bits: int, name: str) -> int:
+    """A two's-complement field of ``bits`` width, returned as unsigned."""
+    if not -(1 << (bits - 1)) <= value < (1 << (bits - 1)):
+        raise FieldOverflowError(
+            f"{name}={value} does not fit {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def _pack16(hi: int, lo: int, hi_name: str = "hi",
+            lo_name: str = "lo") -> int:
+    return (_field(hi, 16, hi_name) << 16) | _field(lo, 16, lo_name)
 
 
 def _unpack16(word: int) -> tuple[int, int]:
     return (word >> 16) & MASK16, word & MASK16
-
-
-def _signed32(value: int) -> int:
-    if not -(1 << 31) <= value < (1 << 31):
-        raise ValueError(f"bias {value} exceeds 32 bits")
-    return value & MASK32
 
 
 def _unsigned_to_signed32(word: int) -> int:
@@ -41,47 +79,90 @@ def _unsigned_to_signed32(word: int) -> int:
 
 
 def encode_instruction(instr) -> list[int]:
-    """Serialize an instruction into mailbox words."""
+    """Serialize an instruction into mailbox words.
+
+    Every field is range-checked against its bit width;
+    :class:`FieldOverflowError` is raised on any overflow.
+    """
     if isinstance(instr, ConvInstruction):
         words = [
-            (_OPCODE_BITS[Opcode.CONV] << 24) | (instr.instr_id & MASK24),
-            instr.ifm_base & MASK32,
-            _pack16(instr.ifm_tiles_y, instr.ifm_tiles_x),
-            _pack16(instr.local_channels, instr.out_channels),
-            instr.ofm_base & MASK32,
-            _pack16(instr.ofm_tiles_y, instr.ofm_tiles_x),
-            instr.weight_base & MASK32,
-            instr.weight_bytes & MASK32,
-            ((instr.shift & 0xFF) << 8)
+            (_OPCODE_BITS[Opcode.CONV] << 24)
+            | _field(instr.instr_id, 24, "instr_id"),
+            _field(instr.ifm_base, 32, "ifm_base"),
+            _pack16(instr.ifm_tiles_y, instr.ifm_tiles_x,
+                    "ifm_tiles_y", "ifm_tiles_x"),
+            _pack16(instr.local_channels, instr.out_channels,
+                    "local_channels", "out_channels"),
+            _field(instr.ofm_base, 32, "ofm_base"),
+            _pack16(instr.ofm_tiles_y, instr.ofm_tiles_x,
+                    "ofm_tiles_y", "ofm_tiles_x"),
+            _field(instr.weight_base, 32, "weight_base"),
+            _field(instr.weight_bytes, 32, "weight_bytes"),
+            (_signed_field(instr.shift, 8, "shift") << 8)
             | (2 if instr.compact_weights else 0)
             | (1 if instr.apply_relu else 0),
-            len(instr.biases) & MASK16,
+            _field(len(instr.biases), 16, "bias_count"),
         ]
-        words.extend(_signed32(int(b)) for b in instr.biases)
+        words.extend(_signed_field(int(b), 32, f"biases[{i}]")
+                     for i, b in enumerate(instr.biases))
         return words
     if isinstance(instr, PadPoolInstruction):
         return [
-            (_OPCODE_BITS[instr.opcode] << 24) | (instr.instr_id & MASK24),
-            instr.ifm_base & MASK32,
-            _pack16(instr.ifm_tiles_y, instr.ifm_tiles_x),
-            _pack16(instr.local_channels, 0),
-            instr.ofm_base & MASK32,
-            _pack16(instr.ofm_tiles_y, instr.ofm_tiles_x),
-            (instr.pad << 16) | (instr.win << 8) | instr.stride,
-            _pack16(instr.ifm_height, instr.ifm_width),
+            (_OPCODE_BITS[instr.opcode] << 24)
+            | _field(instr.instr_id, 24, "instr_id"),
+            _field(instr.ifm_base, 32, "ifm_base"),
+            _pack16(instr.ifm_tiles_y, instr.ifm_tiles_x,
+                    "ifm_tiles_y", "ifm_tiles_x"),
+            _pack16(instr.local_channels, 0, "local_channels"),
+            _field(instr.ofm_base, 32, "ofm_base"),
+            _pack16(instr.ofm_tiles_y, instr.ofm_tiles_x,
+                    "ofm_tiles_y", "ofm_tiles_x"),
+            (_field(instr.pad, 8, "pad") << 16)
+            | (_field(instr.win, 8, "win") << 8)
+            | _field(instr.stride, 8, "stride"),
+            _pack16(instr.ifm_height, instr.ifm_width,
+                    "ifm_height", "ifm_width"),
         ]
     raise TypeError(f"cannot encode {type(instr).__name__}")
 
 
+def instruction_length(word0: int) -> int | None:
+    """Words in the instruction starting with ``word0``.
+
+    For a conv instruction the bias count is in word 9, so the full
+    length is only known once the header has been read; this returns
+    the *header* length (the stream is self-framing beyond that).
+    Raises :class:`UnknownOpcodeError` for unrecognized opcode bits.
+    """
+    opcode = _BITS_OPCODE.get((word0 >> 24) & 0xFF)
+    if opcode is None:
+        raise UnknownOpcodeError(
+            f"unknown opcode bits {(word0 >> 24) & 0xFF:#04x} "
+            f"in word {word0:#010x}")
+    return CONV_HEADER_WORDS if opcode is Opcode.CONV else PADPOOL_WORDS
+
+
 def decode_instruction(words: list[int]):
-    """Reconstruct the instruction object from mailbox words."""
+    """Reconstruct the instruction object from mailbox words.
+
+    Raises :class:`UnknownOpcodeError` when the opcode bits of word 0
+    name no instruction, and :class:`MalformedInstructionError` when
+    the stream length disagrees with the opcode (and, for conv, the
+    encoded bias count).
+    """
     if not words:
-        raise ValueError("empty instruction stream")
-    opcode = _BITS_OPCODE.get((words[0] >> 24) & 0xFF)
+        raise MalformedInstructionError("empty instruction stream")
+    opcode_bits = (words[0] >> 24) & 0xFF
+    opcode = _BITS_OPCODE.get(opcode_bits)
+    if opcode is None:
+        raise UnknownOpcodeError(
+            f"unknown opcode bits {opcode_bits:#04x} "
+            f"in word {words[0]:#010x}")
     instr_id = words[0] & MASK24
     if opcode is Opcode.CONV:
-        if len(words) < 10:
-            raise ValueError("truncated convolution instruction")
+        if len(words) < CONV_HEADER_WORDS:
+            raise MalformedInstructionError(
+                "truncated convolution instruction")
         ifm_tiles_y, ifm_tiles_x = _unpack16(words[2])
         local_channels, out_channels = _unpack16(words[3])
         ofm_tiles_y, ofm_tiles_x = _unpack16(words[5])
@@ -89,10 +170,12 @@ def decode_instruction(words: list[int]):
         if shift & 0x80:
             shift -= 0x100
         bias_count = words[9] & MASK16
-        if len(words) != 10 + bias_count:
-            raise ValueError(
-                f"expected {10 + bias_count} words, got {len(words)}")
-        biases = tuple(_unsigned_to_signed32(w) for w in words[10:])
+        if len(words) != CONV_HEADER_WORDS + bias_count:
+            raise MalformedInstructionError(
+                f"expected {CONV_HEADER_WORDS + bias_count} words, "
+                f"got {len(words)}")
+        biases = tuple(_unsigned_to_signed32(w)
+                       for w in words[CONV_HEADER_WORDS:])
         return ConvInstruction(
             instr_id=instr_id, ifm_base=words[1],
             ifm_tiles_y=ifm_tiles_y, ifm_tiles_x=ifm_tiles_x,
@@ -102,20 +185,20 @@ def decode_instruction(words: list[int]):
             weight_base=words[6], weight_bytes=words[7],
             shift=shift, apply_relu=bool(words[8] & 1),
             compact_weights=bool(words[8] & 2), biases=biases)
-    if opcode in (Opcode.PAD, Opcode.POOL):
-        if len(words) != 8:
-            raise ValueError("pad/pool instruction must be 8 words")
-        ifm_tiles_y, ifm_tiles_x = _unpack16(words[2])
-        local_channels, _ = _unpack16(words[3])
-        ofm_tiles_y, ofm_tiles_x = _unpack16(words[5])
-        ifm_height, ifm_width = _unpack16(words[7])
-        return PadPoolInstruction(
-            instr_id=instr_id, opcode=opcode, ifm_base=words[1],
-            ifm_tiles_y=ifm_tiles_y, ifm_tiles_x=ifm_tiles_x,
-            local_channels=local_channels,
-            ofm_base=words[4], ofm_tiles_y=ofm_tiles_y,
-            ofm_tiles_x=ofm_tiles_x,
-            pad=(words[6] >> 16) & 0xFF, win=(words[6] >> 8) & 0xFF,
-            stride=words[6] & 0xFF,
-            ifm_height=ifm_height, ifm_width=ifm_width)
-    raise ValueError(f"unknown opcode in word {words[0]:#010x}")
+    if len(words) != PADPOOL_WORDS:
+        raise MalformedInstructionError(
+            f"pad/pool instruction must be {PADPOOL_WORDS} words, "
+            f"got {len(words)}")
+    ifm_tiles_y, ifm_tiles_x = _unpack16(words[2])
+    local_channels, _ = _unpack16(words[3])
+    ofm_tiles_y, ofm_tiles_x = _unpack16(words[5])
+    ifm_height, ifm_width = _unpack16(words[7])
+    return PadPoolInstruction(
+        instr_id=instr_id, opcode=opcode, ifm_base=words[1],
+        ifm_tiles_y=ifm_tiles_y, ifm_tiles_x=ifm_tiles_x,
+        local_channels=local_channels,
+        ofm_base=words[4], ofm_tiles_y=ofm_tiles_y,
+        ofm_tiles_x=ofm_tiles_x,
+        pad=(words[6] >> 16) & 0xFF, win=(words[6] >> 8) & 0xFF,
+        stride=words[6] & 0xFF,
+        ifm_height=ifm_height, ifm_width=ifm_width)

@@ -35,16 +35,45 @@ from repro.quant.quantize import QuantizedModel
 
 
 @dataclass(frozen=True)
-class ProgramStep:
-    """One step of the compiled schedule."""
+class StripeOp:
+    """The replayable micro-schedule of one accelerator stripe.
 
-    kind: str                 # pad | conv | pool | arm-fc | arm-softmax
+    The graph compiler (:mod:`repro.compiler`) emits one of these per
+    (layer, stripe): the exact DMA descriptors and pre-encoded
+    instructions the driver would compute at run time, with the done-
+    counter and tile-write targets resolved statically (the issue order
+    is fixed, so both counters are known at compile time). A runner
+    replays them verbatim on a fresh :class:`SocSystem`.
+    """
+
+    ifm_dma: tuple = ()           # DmaDescriptor: DDR4 -> banks (IFM)
+    weight_dma: tuple = ()        # DmaDescriptor: DDR4 -> banks (weights)
+    instructions: tuple = ()      # one instruction per unit, in unit order
+    ofm_dma: tuple = ()           # DmaDescriptor: banks -> DDR4 (OFM)
+    done_target: int = 0          # absolute done-counter value to wait for
+    tile_writes_target: int = 0   # absolute bank tile-write total
+
+
+@dataclass(frozen=True)
+class ProgramStep:
+    """One step of the compiled schedule.
+
+    ``inputs``/``output`` name the DDR4 tensors the step reads and
+    writes (graph-compiler programs only); accelerator steps carry
+    their stripe micro-schedule in ``ops``.
+    """
+
+    kind: str                 # pad | conv | pool | arm-*
     layer: str
     stripes: int = 1
     instructions: int = 0     # accelerator instructions issued
     dma_values: int = 0       # values moved over System I
     est_cycles: int = 0       # fabric cycles (analytic model)
     out_shape: tuple[int, int, int] = (0, 0, 0)
+    inputs: tuple[str, ...] = ()
+    output: str = ""
+    ops: tuple[StripeOp, ...] = ()
+    fused_relu: bool = False  # arm-fc steps: ReLU folded into the FC
 
 
 @dataclass(frozen=True)
@@ -64,6 +93,8 @@ class Program:
     network: str
     steps: list[ProgramStep] = field(default_factory=list)
     memory: list[TensorPlacement] = field(default_factory=list)
+    lanes: int = 4
+    bank_capacity: int = 1 << 14
 
     @property
     def total_dma_values(self) -> int:
@@ -79,13 +110,42 @@ class Program:
 
     @property
     def dram_footprint(self) -> int:
-        return sum(placement.values for placement in self.memory)
+        """Peak DDR4 values in use.
+
+        The highest end address of any placement — identical to the
+        summed sizes under the legacy bump allocator, but correct when
+        the liveness-based allocator reuses freed regions.
+        """
+        return max((p.addr + p.values for p in self.memory), default=0)
 
     def step(self, layer: str) -> ProgramStep:
-        for candidate in self.steps:
-            if candidate.layer == layer:
-                return candidate
-        raise KeyError(f"no step for layer {layer!r}")
+        """The unique step for ``layer``.
+
+        Raises ``KeyError`` when no step exists and ``ValueError``
+        when the lookup is ambiguous (several steps share the layer
+        name — use :meth:`steps_for` to enumerate them). Returning the
+        first match would silently hide duplicates.
+        """
+        matches = self.steps_for(layer)
+        if not matches:
+            raise KeyError(f"no step for layer {layer!r}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"{len(matches)} steps for layer {layer!r} "
+                f"({', '.join(s.kind for s in matches)}); "
+                f"use steps_for() for multi-step layers")
+        return matches[0]
+
+    def steps_for(self, layer: str) -> list[ProgramStep]:
+        """Every step attributed to ``layer``, in schedule order."""
+        return [s for s in self.steps if s.layer == layer]
+
+    def placement(self, name: str) -> TensorPlacement:
+        """The DDR4 placement of tensor ``name``."""
+        for entry in self.memory:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no DDR4 placement for {name!r}")
 
     def listing(self) -> str:
         """Human-readable program listing."""
@@ -160,7 +220,8 @@ def compile_network(network: Network, model: QuantizedModel,
                     config: CompileConfig | None = None) -> Program:
     """Compile an explicit-padding network into a :class:`Program`."""
     cfg = config or CompileConfig()
-    program = Program(network=network.name)
+    program = Program(network=network.name, lanes=cfg.lanes,
+                      bank_capacity=cfg.bank_capacity)
     alloc = _Allocator()
     params = CycleModelParams(lanes=cfg.lanes, group_size=cfg.lanes,
                               tile=cfg.tile,

@@ -1,0 +1,64 @@
+"""Shared fixtures: tiny quantized networks sized for the
+cycle-accurate simulator (seconds, not minutes, per golden run)."""
+
+import pytest
+
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer,
+                      MaxPoolLayer, Network, PadLayer, ReluLayer, Shape,
+                      SoftmaxLayer, build_branch_merge, build_cifar_resnet,
+                      build_cifar_quicknet, generate_image, generate_weights)
+from repro.quant import quantize_network
+
+
+def quantize(net, seed=0):
+    """(network, model, image) for a freshly quantized random net."""
+    weights, biases = generate_weights(net, seed=seed)
+    image = generate_image(net.layers[0].shape.as_tuple(), seed=seed)
+    model = quantize_network(net, weights, biases, image)
+    return net, model, image
+
+
+def tiny_linear_net():
+    return Network("tiny-linear", [
+        InputLayer("input", shape=Shape(3, 8, 8)),
+        PadLayer("pad1", pad=1),
+        ConvLayer("conv1", in_channels=3, out_channels=4, kernel=3, pad=0),
+        ReluLayer("relu1"),
+        MaxPoolLayer("pool1"),
+        FlattenLayer("flatten"),
+        FCLayer("fc", in_features=64, out_features=5),
+        SoftmaxLayer("prob"),
+    ])
+
+
+@pytest.fixture(scope="session")
+def tiny_linear():
+    return quantize(tiny_linear_net())
+
+
+@pytest.fixture(scope="session")
+def tiny_quicknet():
+    return quantize(build_cifar_quicknet(widths=(4, 8), input_hw=16))
+
+
+@pytest.fixture(scope="session")
+def tiny_resnet():
+    return quantize(build_cifar_resnet(widths=(4, 8), input_hw=16))
+
+
+@pytest.fixture(scope="session")
+def tiny_branch():
+    return quantize(build_branch_merge(width=4, input_hw=16))
+
+
+@pytest.fixture(scope="session")
+def striped_quicknet():
+    """A compile whose banks are too small for whole-layer stripes:
+    2368 values sits just under conv1_1's whole-output working set but
+    above every pad/pool working set, forcing a 2-stripe split."""
+    from repro.compiler import compile_graph
+    from repro.soc import CompileConfig
+    quantized = quantize(build_cifar_quicknet(widths=(4, 8), input_hw=32))
+    net, model, _ = quantized
+    program = compile_graph(net, model, CompileConfig(bank_capacity=2368))
+    return program, quantized

@@ -1,0 +1,116 @@
+"""Assembler/disassembler: byte-exact round-trips and framing."""
+
+import pytest
+
+from repro.compiler import (AsmError, assemble, bytes_to_words, compile_graph,
+                            disassemble, disassemble_instruction,
+                            parse_instruction, program_words, split_stream,
+                            words_to_bytes)
+from repro.core import ConvInstruction, Opcode, PadPoolInstruction
+from repro.soc import MalformedInstructionError, UnknownOpcodeError
+from repro.soc.isa import encode_instruction
+
+
+@pytest.fixture(scope="module", params=["tiny_linear", "tiny_resnet",
+                                        "tiny_branch"])
+def program_and_words(request):
+    net, model, _ = request.getfixturevalue(request.param)
+    program = compile_graph(net, model)
+    return program, program_words(program)
+
+
+def test_listing_roundtrip_is_word_exact(program_and_words):
+    program, words = program_and_words
+    assert assemble(disassemble(program)) == words
+
+
+def test_raw_stream_roundtrip_is_word_exact(program_and_words):
+    """Framing from raw words alone (no Program structure) survives."""
+    _, words = program_and_words
+    assert assemble(disassemble(words)) == words
+
+
+def test_byte_serialization_roundtrip(program_and_words):
+    _, words = program_and_words
+    blob = words_to_bytes(words)
+    assert len(blob) == 4 * len(words)
+    assert bytes_to_words(blob) == words
+
+
+def test_compile_and_listing_are_deterministic(tiny_branch):
+    net, model, _ = tiny_branch
+    a, b = compile_graph(net, model), compile_graph(net, model)
+    assert program_words(a) == program_words(b)
+    assert disassemble(a) == disassemble(b)
+
+
+def test_split_stream_framing(program_and_words):
+    program, words = program_and_words
+    frames = split_stream(words)
+    issued = sum(len(stripe.instructions)
+                 for step in program.steps for stripe in step.ops)
+    assert len(frames) == issued
+    assert sum(len(f) for f in frames) == len(words)
+
+
+def test_listing_comments_only_in_program_form(program_and_words):
+    program, _ = program_and_words
+    pretty = disassemble(program).splitlines()
+    raw = disassemble(program_words(program)).splitlines()
+    assert [l for l in pretty if not l.startswith(";")] == raw
+    assert pretty[0].startswith(f"; {program.network}:")
+
+
+def test_assembler_skips_comments_and_blanks():
+    instr = PadPoolInstruction(
+        instr_id=4, opcode=Opcode.PAD, ifm_base=0, ifm_tiles_y=2,
+        ifm_tiles_x=2, local_channels=1, ofm_base=8, ofm_tiles_y=3,
+        ofm_tiles_x=3, pad=1, win=2, stride=2, ifm_height=8, ifm_width=8)
+    text = f"; header\n\n  {disassemble_instruction(instr)}  \n; tail\n"
+    assert assemble(text) == encode_instruction(instr)
+
+
+def test_every_instruction_line_reparses(program_and_words):
+    program, _ = program_and_words
+    for step in program.steps:
+        for stripe in step.ops:
+            for instr in stripe.instructions:
+                line = disassemble_instruction(instr)
+                assert parse_instruction(line) == instr
+
+
+def test_parse_rejects_unknown_mnemonic():
+    with pytest.raises(AsmError, match="line 3.*jmp"):
+        parse_instruction("jmp id=1", line_no=3)
+
+
+def test_parse_rejects_malformed_fields():
+    with pytest.raises(AsmError, match="malformed field"):
+        parse_instruction("conv id", line_no=1)
+    with pytest.raises(AsmError, match="duplicate field"):
+        parse_instruction("conv id=1 id=2", line_no=1)
+    with pytest.raises(AsmError, match="base:tyxtx"):
+        parse_instruction(
+            "pad id=1 ifm=oops local=1 ofm=0:1x1 geom=4x4 "
+            "pad=1 win=2 stride=2", line_no=1)
+    with pytest.raises(AsmError):    # missing required field (ofm)
+        parse_instruction("conv id=1 ifm=0:1x1 local=1", line_no=1)
+
+
+def test_split_stream_rejects_garbage():
+    with pytest.raises(UnknownOpcodeError):
+        split_stream([0xFF00_0000])
+    conv = ConvInstruction(
+        instr_id=1, ifm_base=0, ifm_tiles_y=1, ifm_tiles_x=1,
+        local_channels=1, ofm_base=0, ofm_tiles_y=1, ofm_tiles_x=1,
+        out_channels=1, weight_base=0, weight_bytes=0, biases=(5,))
+    words = encode_instruction(conv)
+    with pytest.raises(MalformedInstructionError):
+        split_stream(words[:-1])     # bias list cut short
+    with pytest.raises(MalformedInstructionError):
+        split_stream(words[:5])      # header cut short
+
+
+def test_bytes_to_words_rejects_ragged_blob():
+    with pytest.raises(MalformedInstructionError):
+        bytes_to_words(b"\x00" * 6)

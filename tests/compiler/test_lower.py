@@ -1,0 +1,146 @@
+"""Lowering pass: liveness placement, weight pre-pass, stripe planning."""
+
+import pytest
+
+from repro.compiler import LivenessAllocator, compile_graph, fm_values
+from repro.nn import Shape
+from repro.soc import CompileConfig
+
+
+# -- allocator ------------------------------------------------------------------
+
+def test_first_fit_reuses_freed_region():
+    alloc = LivenessAllocator()
+    assert alloc.alloc("a", 10, "fm") == 0
+    assert alloc.alloc("b", 20, "fm") == 10
+    alloc.free("a")
+    assert alloc.alloc("c", 8, "fm") == 0     # fits in a's hole
+    assert alloc.alloc("d", 2, "fm") == 8     # the split remainder
+    assert alloc.top == 30                    # no growth needed
+
+
+def test_free_list_coalesces_neighbours():
+    alloc = LivenessAllocator()
+    for name in "abc":
+        alloc.alloc(name, 10, "fm")
+    alloc.free("a")
+    alloc.free("c")
+    alloc.free("b")                           # bridges a and c
+    assert alloc.alloc("big", 30, "fm") == 0  # one coalesced hole
+
+
+def test_alloc_overflows_to_top_when_no_hole_fits():
+    alloc = LivenessAllocator()
+    alloc.alloc("a", 4, "fm")
+    alloc.alloc("b", 4, "fm")
+    alloc.free("a")
+    assert alloc.alloc("big", 16, "fm") == 8  # hole too small -> bump
+    assert alloc.top == 24
+
+
+def test_alloc_rejects_empty_region():
+    with pytest.raises(ValueError):
+        LivenessAllocator().alloc("empty", 0, "fm")
+
+
+def test_placements_record_every_resident_tensor():
+    alloc = LivenessAllocator()
+    alloc.alloc("a", 10, "fm")
+    alloc.free("a")
+    alloc.alloc("b", 10, "fm")
+    assert [(p.name, p.addr) for p in alloc.placements] == \
+        [("a", 0), ("b", 0)]
+
+
+def test_fm_values_pads_to_whole_tiles():
+    assert fm_values(Shape(1, 4, 4)) == 16
+    assert fm_values(Shape(1, 5, 5)) == 64      # 2x2 tiles of 16
+    assert fm_values(Shape(3, 16, 16)) == 3 * 16 * 16
+
+
+# -- whole-program placement ----------------------------------------------------
+
+def test_weights_are_placed_before_any_feature_map(tiny_quicknet):
+    """Weight streams must never land in recycled feature-map holes:
+    the runner stages all weights up front, before the input image's
+    region would be freed."""
+    net, model, _ = tiny_quicknet
+    program = compile_graph(net, model)
+    kinds = [p.kind for p in program.memory]
+    first_fm = kinds.index("fm")
+    assert all(k == "weights" for k in kinds[:first_fm])
+    assert "weights" not in kinds[first_fm:]
+    weight_end = max(p.addr + p.values for p in program.memory
+                     if p.kind == "weights")
+    assert all(p.addr >= weight_end for p in program.memory
+               if p.kind == "fm")
+
+
+def test_liveness_recycles_sequential_spine(tiny_quicknet):
+    net, model, _ = tiny_quicknet
+    program = compile_graph(net, model)
+    fm = [p for p in program.memory if p.kind == "fm"]
+    assert len({p.addr for p in fm}) < len(fm)     # regions were reused
+    assert program.dram_footprint < sum(p.values for p in program.memory)
+    assert program.dram_footprint == max(p.addr + p.values
+                                         for p in program.memory)
+
+
+def test_residual_skip_stays_resident(tiny_resnet):
+    """The skip tensor of a residual block must not overlap anything
+    placed while the block body runs."""
+    net, model, _ = tiny_resnet
+    program = compile_graph(net, model)
+    place = {p.name: p for p in program.memory if p.kind == "fm"}
+    add_step = next(s for s in program.steps if s.kind == "arm-add")
+    skip, body = (place[name] for name in add_step.inputs)
+    assert skip.addr + skip.values <= body.addr \
+        or body.addr + body.values <= skip.addr
+
+
+def test_conv_stripe_plan_covers_output_exactly(tiny_quicknet):
+    net, model, _ = tiny_quicknet
+    program = compile_graph(net, model)
+    for step in program.steps:
+        if step.kind != "conv":
+            continue
+        rows = 0
+        for stripe in step.ops:
+            instr = stripe.instructions[0]
+            rows += instr.ofm_tiles_y
+        out_ty = -(-step.out_shape[1] // 4)
+        assert rows == out_ty
+
+
+def test_small_banks_force_multiple_stripes(striped_quicknet):
+    program, _ = striped_quicknet
+    stripes = {s.layer: s.stripes for s in program.steps
+               if s.kind == "conv"}
+    assert max(stripes.values()) >= 2
+    # Counter targets are strictly increasing across the whole program.
+    targets = [(op.done_target, op.tile_writes_target)
+               for step in program.steps for op in step.ops]
+    assert targets == sorted(targets)
+    assert all(a != b for a, b in zip(targets, targets[1:]))
+
+
+def test_impossible_bank_capacity_raises(tiny_quicknet):
+    net, model, _ = tiny_quicknet
+    with pytest.raises(MemoryError):
+        compile_graph(net, model, CompileConfig(bank_capacity=64))
+
+
+def test_program_carries_its_config(tiny_quicknet):
+    net, model, _ = tiny_quicknet
+    cfg = CompileConfig(bank_capacity=1 << 15)
+    program = compile_graph(net, model, cfg)
+    assert program.lanes == cfg.lanes
+    assert program.bank_capacity == 1 << 15
+
+
+def test_compile_is_deterministic(tiny_branch):
+    net, model, _ = tiny_branch
+    a = compile_graph(net, model)
+    b = compile_graph(net, model)
+    assert a.memory == b.memory
+    assert [s.ops for s in a.steps] == [s.ops for s in b.steps]

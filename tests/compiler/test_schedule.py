@@ -1,0 +1,132 @@
+"""Scheduling pass: op ordering, ReLU fusion, domains, validation."""
+
+import pytest
+
+from repro.compiler import CompileError, build_schedule
+from repro.nn import (ConvLayer, FCLayer, FlattenLayer, InputLayer, Network,
+                      PadLayer, ReluLayer, Shape, SoftmaxLayer,
+                      generate_image, generate_weights)
+from repro.quant import quantize_network
+
+
+def quantize(net, seed=0):
+    weights, biases = generate_weights(net, seed=seed)
+    image = generate_image(net.layers[0].shape.as_tuple(), seed=seed)
+    return net, quantize_network(net, weights, biases, image), image
+
+
+def test_linear_schedule_and_fusion(tiny_linear):
+    net, model, _ = tiny_linear
+    schedule = build_schedule(net, model)
+    assert [op.kind for op in schedule.ops] == \
+        ["pad", "conv", "pool", "flatten", "fc", "softmax"]
+    conv = schedule.ops[1]
+    assert conv.fused_relu          # relu1 folded into conv1
+    assert schedule.alias["relu1"] == "conv1"
+    pool = schedule.ops[2]
+    assert pool.inputs == ("conv1",)   # reads through the alias
+    assert schedule.domain["conv1"] == "fm"
+    assert schedule.domain["fc"] == "vec"
+    assert schedule.domain["prob"] == "vec"
+    assert schedule.output_tensor == "prob"
+
+
+def test_fc_relu_fusion():
+    net, model, _ = quantize(Network("fc-relu", [
+        InputLayer("input", shape=Shape(2, 4, 4)),
+        FlattenLayer("flatten"),
+        FCLayer("fc1", in_features=32, out_features=16),
+        ReluLayer("relu1"),
+        FCLayer("fc2", in_features=16, out_features=4),
+        SoftmaxLayer("prob"),
+    ]))
+    schedule = build_schedule(net, model)
+    kinds = [op.kind for op in schedule.ops]
+    assert "relu" not in kinds
+    fc1 = next(op for op in schedule.ops if op.output == "fc1")
+    assert fc1.fused_relu
+    fc2 = next(op for op in schedule.ops if op.output == "fc2")
+    assert not fc2.fused_relu
+    assert fc2.inputs == ("fc1",)
+
+
+def test_branch_merge_aliases_through_fusion(tiny_branch):
+    """A fused ReLU's tensor feeds both branches under one name."""
+    net, model, _ = tiny_branch
+    schedule = build_schedule(net, model)
+    assert schedule.alias["relu_stem"] == "conv_stem"
+    merge = next(op for op in schedule.ops if op.kind == "concat")
+    assert merge.inputs == ("conv_a", "conv_b")   # both ReLUs fused
+    assert schedule.domain[merge.output] == "fm"
+    # conv_stem is read by both branches.
+    readers = [op.output for op in schedule.consumers("conv_stem")]
+    assert readers == ["pad_a", "conv_b"]
+
+
+def test_resnet_add_blocks_fusion(tiny_resnet):
+    """The conv feeding a residual add keeps its ReLU explicit."""
+    net, model, _ = tiny_resnet
+    schedule = build_schedule(net, model)
+    conv_b = next(op for op in schedule.ops if op.output == "conv_s1b1b")
+    assert not conv_b.fused_relu     # consumed by add_s1b1, not a ReLU
+    add = next(op for op in schedule.ops if op.output == "add_s1b1")
+    assert add.kind == "add"
+    assert "conv_s1b1b" in add.inputs
+    relu = next(op for op in schedule.ops if op.output == "relu_s1b1")
+    assert relu.kind == "relu"       # post-add ReLU runs on the ARM
+    assert schedule.domain["relu_s1b1"] == "fm"
+
+
+def test_conv_with_implicit_padding_rejected():
+    net, model, _ = quantize(Network("padded-conv", [
+        InputLayer("input", shape=Shape(3, 8, 8)),
+        ConvLayer("conv1", in_channels=3, out_channels=4, kernel=3, pad=1),
+        SoftmaxLayer("prob"),
+    ]))
+    with pytest.raises(CompileError, match="explicit PadLayer"):
+        build_schedule(net, model)
+
+
+def test_strided_conv_rejected():
+    net, model, _ = quantize(Network("strided-conv", [
+        InputLayer("input", shape=Shape(3, 8, 8)),
+        ConvLayer("conv1", in_channels=3, out_channels=4, kernel=1,
+                  stride=2, pad=0),
+        SoftmaxLayer("prob"),
+    ]))
+    with pytest.raises(CompileError, match="stride 1"):
+        build_schedule(net, model)
+
+
+def test_unquantized_conv_rejected(tiny_linear):
+    other = Network("other", [
+        InputLayer("input", shape=Shape(3, 8, 8)),
+        PadLayer("pad9", pad=1),
+        ConvLayer("conv9", in_channels=3, out_channels=4, kernel=3, pad=0),
+        SoftmaxLayer("prob"),
+    ])
+    _, model, _ = tiny_linear   # has no entry for conv9
+    with pytest.raises(CompileError, match="conv9.*not quantized"):
+        build_schedule(other, model)
+
+
+def test_uncalibrated_merge_rejected(tiny_branch, tiny_linear):
+    net, _, _ = tiny_branch
+    _, model, _ = tiny_linear   # no merge calibration for this net
+    with pytest.raises(CompileError):
+        build_schedule(net, model)
+
+
+def test_consumers_count_multiplicity(tiny_linear):
+    net, model, _ = tiny_linear
+    schedule = build_schedule(net, model)
+    assert len(schedule.consumers("input")) == 1
+    assert schedule.consumers("prob") == []
+
+
+def test_schedule_is_deterministic(tiny_resnet):
+    net, model, _ = tiny_resnet
+    a = build_schedule(net, model)
+    b = build_schedule(net, model)
+    assert [op.output for op in a.ops] == [op.output for op in b.ops]
+    assert a.alias == b.alias and a.domain == b.domain

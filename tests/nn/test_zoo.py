@@ -69,3 +69,51 @@ def test_zoo_networks_quantize_and_run():
     out = run_quantized(net, model, image)
     assert out.shape == (5, 1, 1)
     assert np.isclose(out.sum(), 1.0)
+
+
+def test_width_multiplier_scales_convs():
+    net = build_vgg("A", width_multiplier=0.25)
+    full = build_vgg("A")
+    assert net.info("conv1_1").out_shape.c == 16
+    assert net.total_params() < full.total_params()
+    with pytest.raises(ValueError):
+        build_vgg("A", width_multiplier=0)
+
+
+def test_cifar_resnet_is_a_dag():
+    from repro.nn import build_cifar_resnet
+    net = build_cifar_resnet()
+    assert not net.is_linear
+    assert net.output_shape == Shape(10, 1, 1)
+    # Each residual add reads the block body and the skip tensor.
+    assert net.inputs_of("add_s1b1") == ("conv_s1b1b", "relu_stem")
+    # The skip tensor fans out: the block body AND the residual add.
+    assert set(net.consumers_of("relu_stem")) == {"pad_s1b1a", "add_s1b1"}
+
+
+def test_cifar_resnet_stages_and_blocks():
+    from repro.nn import build_cifar_resnet
+    net = build_cifar_resnet(widths=(4, 8), blocks_per_stage=2,
+                             input_hw=16)
+    adds = [l.name for l in net.layers if l.name.startswith("add_")]
+    assert adds == ["add_s1b1", "add_s1b2", "add_s2b1", "add_s2b2"]
+    assert net.info("pool2").out_shape == Shape(8, 4, 4)
+
+
+def test_branch_merge_concatenates_branches():
+    from repro.nn import build_branch_merge
+    net = build_branch_merge(width=4, input_hw=16)
+    assert not net.is_linear
+    assert net.info("merge").out_shape.c == 8    # 4 + 4 channels
+    assert net.inputs_of("merge") == ("relu_a", "relu_b")
+    assert net.layer("conv_b").kernel == 1       # 1x1 needs no pad
+
+
+def test_zoo_registry_builds_every_entry():
+    from repro.nn import ZOO_BUILDERS, zoo_networks
+    nets = zoo_networks()
+    assert set(nets) == {"vgg11", "vgg13", "vgg16", "vgg19",
+                         "cifar_quicknet", "cifar_resnet", "branch_merge"}
+    assert nets is not ZOO_BUILDERS       # a defensive copy
+    built = nets["cifar_resnet"](widths=(4, 8), input_hw=16)
+    assert built.output_shape == Shape(10, 1, 1)

@@ -1,0 +1,247 @@
+"""Property suite: exact ISA encode/decode over the full legal space.
+
+Two families of properties:
+
+* ``decode(encode(i)) == i`` for *every* legal instruction — fields at
+  their extremes included — and every emitted word fits 32 bits;
+* ``encode`` raises :class:`FieldOverflowError` for *every* field
+  pushed one past its encoded width (no silent truncation anywhere).
+
+Plus the typed decode failures: unknown opcode bits and malformed
+stream lengths raise dedicated :class:`IsaError` subclasses.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConvInstruction, Opcode, PadPoolInstruction
+from repro.soc import (FieldOverflowError, IsaError,
+                       MalformedInstructionError, UnknownOpcodeError,
+                       decode_instruction, encode_instruction)
+from repro.soc.isa import (CONV_HEADER_WORDS, PADPOOL_WORDS,
+                           instruction_length)
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u16_pos = st.integers(min_value=1, max_value=0xFFFF)
+u24 = st.integers(min_value=0, max_value=0xFF_FFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+s8 = st.integers(min_value=-128, max_value=127)
+s32 = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+@st.composite
+def conv_instructions(draw):
+    # Biases must cover out_channels when present; keep the channel
+    # count small in that branch so the tuple stays reasonable.
+    if draw(st.booleans()):
+        out_channels = draw(st.integers(min_value=1, max_value=48))
+        biases = tuple(draw(st.lists(
+            s32, min_size=out_channels, max_size=out_channels + 8)))
+    else:
+        out_channels = draw(u16_pos)
+        biases = ()
+    return ConvInstruction(
+        instr_id=draw(u24), ifm_base=draw(u32),
+        ifm_tiles_y=draw(u16_pos), ifm_tiles_x=draw(u16_pos),
+        local_channels=draw(u16),
+        ofm_base=draw(u32), ofm_tiles_y=draw(u16_pos),
+        ofm_tiles_x=draw(u16_pos), out_channels=out_channels,
+        weight_base=draw(u32), weight_bytes=draw(u32),
+        shift=draw(s8), apply_relu=draw(st.booleans()),
+        compact_weights=draw(st.booleans()), biases=biases)
+
+
+@st.composite
+def padpool_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.PAD, Opcode.POOL]))
+    if opcode is Opcode.PAD:
+        pad, win, stride = draw(st.integers(1, 3)), 2, 2
+    else:
+        pad = 0
+        win, stride = draw(st.integers(1, 2)), draw(st.integers(1, 2))
+    return PadPoolInstruction(
+        instr_id=draw(u24), opcode=opcode, ifm_base=draw(u32),
+        ifm_tiles_y=draw(u16_pos), ifm_tiles_x=draw(u16_pos),
+        local_channels=draw(u16),
+        ofm_base=draw(u32), ofm_tiles_y=draw(u16_pos),
+        ofm_tiles_x=draw(u16_pos), pad=pad, win=win, stride=stride,
+        ifm_height=draw(u16), ifm_width=draw(u16))
+
+
+@given(conv_instructions())
+@settings(max_examples=60, deadline=None)
+def test_conv_roundtrip_full_space(instr):
+    words = encode_instruction(instr)
+    assert len(words) == CONV_HEADER_WORDS + len(instr.biases)
+    assert all(0 <= w <= 0xFFFF_FFFF for w in words)
+    assert decode_instruction(words) == instr
+
+
+@given(padpool_instructions())
+@settings(max_examples=60, deadline=None)
+def test_padpool_roundtrip_full_space(instr):
+    words = encode_instruction(instr)
+    assert len(words) == PADPOOL_WORDS
+    assert all(0 <= w <= 0xFFFF_FFFF for w in words)
+    assert decode_instruction(words) == instr
+
+
+def max_conv(**overrides):
+    """Every field simultaneously at its largest encodable value."""
+    fields = dict(
+        instr_id=2 ** 24 - 1, ifm_base=2 ** 32 - 1,
+        ifm_tiles_y=0xFFFF, ifm_tiles_x=0xFFFF,
+        local_channels=0xFFFF, ofm_base=2 ** 32 - 1,
+        ofm_tiles_y=0xFFFF, ofm_tiles_x=0xFFFF, out_channels=2,
+        weight_base=2 ** 32 - 1, weight_bytes=2 ** 32 - 1,
+        shift=127, apply_relu=True, compact_weights=True,
+        biases=(2 ** 31 - 1, -(2 ** 31)))
+    fields.update(overrides)
+    return ConvInstruction(**fields)
+
+
+def max_padpool(**overrides):
+    fields = dict(
+        instr_id=2 ** 24 - 1, opcode=Opcode.PAD,
+        ifm_base=2 ** 32 - 1, ifm_tiles_y=0xFFFF, ifm_tiles_x=0xFFFF,
+        local_channels=0xFFFF, ofm_base=2 ** 32 - 1,
+        ofm_tiles_y=0xFFFF, ofm_tiles_x=0xFFFF,
+        pad=3, win=2, stride=2, ifm_height=0xFFFF, ifm_width=0xFFFF)
+    fields.update(overrides)
+    return PadPoolInstruction(**fields)
+
+
+def test_conv_boundary_values_roundtrip():
+    instr = max_conv()
+    assert decode_instruction(encode_instruction(instr)) == instr
+    low = max_conv(instr_id=0, ifm_base=0, ofm_base=0, weight_base=0,
+                   weight_bytes=0, shift=-128, local_channels=0,
+                   ifm_tiles_y=1, ifm_tiles_x=1, ofm_tiles_y=1,
+                   ofm_tiles_x=1, out_channels=1, apply_relu=False,
+                   compact_weights=False, biases=())
+    assert decode_instruction(encode_instruction(low)) == low
+
+
+def test_padpool_boundary_values_roundtrip():
+    instr = max_padpool()
+    assert decode_instruction(encode_instruction(instr)) == instr
+
+
+CONV_OVERFLOWS = [
+    ("instr_id", 2 ** 24),
+    ("ifm_base", 2 ** 32),
+    ("ifm_tiles_y", 2 ** 16),
+    ("ifm_tiles_x", 2 ** 16),
+    ("local_channels", 2 ** 16),
+    ("ofm_base", 2 ** 32),
+    ("ofm_tiles_y", 2 ** 16),
+    ("ofm_tiles_x", 2 ** 16),
+    ("out_channels", 2 ** 16),
+    ("weight_base", 2 ** 32),
+    ("weight_bytes", 2 ** 32),
+    ("shift", 128),
+    ("shift", -129),
+    ("biases", (2 ** 31, 0)),
+    ("biases", (0, -(2 ** 31) - 1)),
+]
+
+
+@pytest.mark.parametrize("field,value", CONV_OVERFLOWS,
+                         ids=[f"{f}={v}" for f, v in CONV_OVERFLOWS])
+def test_conv_encode_rejects_overflow(field, value):
+    overrides = {field: value}
+    if field == "out_channels":
+        overrides["biases"] = ()  # dataclass wants len(biases) >= out
+    instr = max_conv(**overrides)
+    with pytest.raises(FieldOverflowError, match=field.rstrip("es")):
+        encode_instruction(instr)
+
+
+def test_conv_encode_rejects_bias_count_overflow():
+    instr = max_conv(out_channels=1, biases=(0,) * 2 ** 16)
+    with pytest.raises(FieldOverflowError, match="bias_count"):
+        encode_instruction(instr)
+
+
+PADPOOL_OVERFLOWS = [
+    ("instr_id", 2 ** 24),
+    ("ifm_base", 2 ** 32),
+    ("ifm_tiles_y", 2 ** 16),
+    ("ifm_tiles_x", 2 ** 16),
+    ("local_channels", 2 ** 16),
+    ("ofm_base", 2 ** 32),
+    ("ofm_tiles_y", 2 ** 16),
+    ("ofm_tiles_x", 2 ** 16),
+    ("ifm_height", 2 ** 16),
+    ("ifm_width", 2 ** 16),
+]
+
+
+@pytest.mark.parametrize("field,value", PADPOOL_OVERFLOWS,
+                         ids=[f for f, _ in PADPOOL_OVERFLOWS])
+def test_padpool_encode_rejects_overflow(field, value):
+    instr = max_padpool(**{field: value})
+    with pytest.raises(FieldOverflowError, match=field):
+        encode_instruction(instr)
+
+
+@given(st.integers(min_value=0, max_value=0xFF).filter(
+    lambda b: b not in (1, 2, 3)), u24)
+@settings(max_examples=40, deadline=None)
+def test_decode_rejects_unknown_opcode_bits(opcode_bits, instr_id):
+    word0 = (opcode_bits << 24) | instr_id
+    with pytest.raises(UnknownOpcodeError):
+        decode_instruction([word0] + [0] * (PADPOOL_WORDS - 1))
+    with pytest.raises(UnknownOpcodeError):
+        instruction_length(word0)
+
+
+def test_instruction_length_by_opcode():
+    conv0 = encode_instruction(max_conv())[0]
+    pad0 = encode_instruction(max_padpool())[0]
+    assert instruction_length(conv0) == CONV_HEADER_WORDS
+    assert instruction_length(pad0) == PADPOOL_WORDS
+
+
+def test_decode_rejects_malformed_lengths():
+    with pytest.raises(MalformedInstructionError):
+        decode_instruction([])
+    conv_words = encode_instruction(max_conv())
+    with pytest.raises(MalformedInstructionError):
+        decode_instruction(conv_words[:CONV_HEADER_WORDS - 1])
+    with pytest.raises(MalformedInstructionError):
+        decode_instruction(conv_words[:-1])  # bias count disagrees
+    with pytest.raises(MalformedInstructionError):
+        decode_instruction(conv_words + [0])
+    pad_words = encode_instruction(max_padpool())
+    with pytest.raises(MalformedInstructionError):
+        decode_instruction(pad_words[:-1])
+    with pytest.raises(MalformedInstructionError):
+        decode_instruction(pad_words + [0])
+
+
+def test_isa_errors_are_value_errors():
+    """Callers that caught ValueError before the typed errors existed
+    keep working."""
+    for exc in (FieldOverflowError, UnknownOpcodeError,
+                MalformedInstructionError):
+        assert issubclass(exc, IsaError)
+        assert issubclass(exc, ValueError)
+    with pytest.raises(ValueError):
+        encode_instruction(max_conv(instr_id=2 ** 24))
+    with pytest.raises(ValueError):
+        decode_instruction([0xFF << 24] + [0] * 7)
+
+
+def test_encode_rejects_unknown_type():
+    with pytest.raises(TypeError):
+        encode_instruction(object())
+
+
+def test_encode_never_mutates_input():
+    instr = max_conv()
+    copy = dataclasses.replace(instr)
+    encode_instruction(instr)
+    assert instr == copy

@@ -135,3 +135,26 @@ def test_standalone_relu_rejected():
                              generate_image((3, 8, 8)))
     with pytest.raises(ValueError):
         compile_network(net, model)
+
+
+def test_step_lookup_raises_on_missing_and_ambiguous(compiled_and_run):
+    """`step()` must never silently return the first of several
+    matches — a duplicated layer name is a compiler bug upstream."""
+    from repro.soc.program import Program
+    program = compiled_and_run[0]
+    with pytest.raises(KeyError, match="no-such-layer"):
+        program.step("no-such-layer")
+    conv = program.step("conv1")
+    doubled = Program(network=program.network,
+                      steps=list(program.steps) + [conv],
+                      memory=list(program.memory))
+    with pytest.raises(ValueError, match="use steps_for"):
+        doubled.step("conv1")
+    assert doubled.steps_for("conv1") == [conv, conv]
+    assert doubled.steps_for("no-such-layer") == []
+
+
+def test_placement_raises_on_unknown_tensor(compiled_and_run):
+    program = compiled_and_run[0]
+    with pytest.raises(KeyError):
+        program.placement("no-such-tensor")
