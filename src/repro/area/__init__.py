@@ -2,11 +2,13 @@
 
 from repro.area.alm_model import (AreaReport, accumulator_alms, bank_m20ks,
                                   conv_unit_alms, fig6_breakdown,
-                                  padpool_alms, staging_alms, variant_area)
+                                  padpool_alms, queue_delta_alms,
+                                  staging_alms, variant_area)
 from repro.area.device import ARRIA10_GT1150, ARRIA10_SX660, FpgaDevice
 
 __all__ = [
     "AreaReport", "accumulator_alms", "bank_m20ks", "conv_unit_alms",
-    "fig6_breakdown", "padpool_alms", "staging_alms", "variant_area",
+    "fig6_breakdown", "padpool_alms", "queue_delta_alms", "staging_alms",
+    "variant_area",
     "ARRIA10_GT1150", "ARRIA10_SX660", "FpgaDevice",
 ]

@@ -35,6 +35,16 @@ ALMS_WRITEBACK_UNIT = 1_000
 ALMS_SYSTEM = 5_000          # DMA engine + Avalon interconnect glue
 STAGING_FSM_STATES = 180     # after the controller split (Section IV-A)
 
+# Register-backed inter-kernel FIFO queues.  The calibrated per-module
+# costs above already include the default depths (2-entry streaming
+# queues, 8-entry conv->acc product queues, matching
+# ``AcceleratorConfig``); sweeping a depth charges — or refunds — the
+# register + mux cost of the delta entries.  Each entry buffers one
+# tile x tile message of 32-bit values.
+ALMS_PER_QUEUE_VALUE = 9
+BASELINE_QUEUE_DEPTH = 2
+BASELINE_ACC_QUEUE_DEPTH = 8
+
 # DSP usage: one 8x8 multiplier per DSP half is conservative; the
 # accumulators keep their wide adds in DSP accumulators.
 DSPS_PER_MULT = 1.0
@@ -126,6 +136,27 @@ def padpool_alms(tile: int, max_units: int = 4) -> int:
             + tile * tile * ALMS_PER_PADPOOL_MUX + ALMS_PADPOOL_CTRL)
 
 
+def queue_delta_alms(lanes: int, tile: int,
+                     queue_depth: int = BASELINE_QUEUE_DEPTH,
+                     acc_queue_depth: int = BASELINE_ACC_QUEUE_DEPTH) -> int:
+    """ALM delta of non-default FIFO depths, for one instance.
+
+    Per lane there are three streaming queues (staging->conv,
+    staging->pad/pool, ->write-back) of ``queue_depth`` entries and
+    ``lanes`` conv->accumulator product queues of ``acc_queue_depth``
+    entries.  Zero at the calibrated defaults; negative when queues are
+    shallower than the defaults (registers freed).
+    """
+    if queue_depth < 1 or acc_queue_depth < 1:
+        raise ValueError(
+            f"queue depths must be >= 1, got {queue_depth}/"
+            f"{acc_queue_depth}")
+    per_entry = tile * tile * ALMS_PER_QUEUE_VALUE
+    streaming = 3 * lanes * (queue_depth - BASELINE_QUEUE_DEPTH)
+    acc = lanes * lanes * (acc_queue_depth - BASELINE_ACC_QUEUE_DEPTH)
+    return (streaming + acc) * per_entry
+
+
 def bank_m20ks(capacity_bytes: int, tile: int) -> int:
     """M20K blocks for one dual-port tile-wide SRAM bank."""
     width_bits = tile * tile * 8
@@ -138,7 +169,10 @@ def bank_m20ks(capacity_bytes: int, tile: int) -> int:
 def variant_area(variant: AcceleratorVariant,
                  bank_capacity: int = DEFAULT_BANK_CAPACITY,
                  tile: int = 4,
-                 device: FpgaDevice = ARRIA10_SX660) -> AreaReport:
+                 device: FpgaDevice = ARRIA10_SX660,
+                 queue_depth: int = BASELINE_QUEUE_DEPTH,
+                 acc_queue_depth: int = BASELINE_ACC_QUEUE_DEPTH
+                 ) -> AreaReport:
     """Full-variant area report (all instances plus system glue)."""
     lanes = variant.lanes
     group_size = variant.lanes if variant.lanes > 1 else 1
@@ -149,6 +183,8 @@ def variant_area(variant: AcceleratorVariant,
         "data-staging/control": n * lanes * staging_alms(),
         "pad/pool": n * lanes * padpool_alms(tile),
         "write-to-memory": n * lanes * ALMS_WRITEBACK_UNIT,
+        "fifo-queues": n * queue_delta_alms(lanes, tile, queue_depth,
+                                            acc_queue_depth),
         "dma+system": ALMS_SYSTEM,
     }
     mults = n * lanes * group_size * tile * tile

@@ -183,6 +183,38 @@ def cmd_explore(args) -> str:
     return "\n".join(lines)
 
 
+def cmd_dse(args) -> str:
+    """Run a DSE campaign: sweep, Pareto-extract, validate against sim."""
+    import json as _json
+    from repro.dse import (SweepConfig, ValidationError, format_report,
+                           require_validated, run_sweep)
+    if args.smoke:
+        config = SweepConfig.smoke(jobs=args.jobs, validate=args.validate,
+                                   seed=args.seed)
+    else:
+        config = SweepConfig(jobs=args.jobs, validate=args.validate,
+                             seed=args.seed)
+    result = run_sweep(config)
+    report_json = result.json()
+    if isinstance(args.json, str):
+        with open(args.json, "w") as fh:
+            fh.write(report_json)
+    if args.out:
+        frontier_doc = {
+            "paper_anchor_gops": result.to_json()["paper_anchor_gops"],
+            "frontier": [p.to_json() for p in result.frontier],
+        }
+        with open(args.out, "w") as fh:
+            fh.write(_json.dumps(frontier_doc, indent=2, sort_keys=True))
+    try:
+        require_validated(result)
+    except ValidationError as error:
+        raise SystemExit(f"repro dse: {error}")
+    if args.json is True:
+        return report_json
+    return format_report(result)
+
+
 def cmd_program(args) -> str:
     """Compile the CIFAR-scale demo network and print its program."""
     from repro.nn import (build_cifar_quicknet, generate_image,
@@ -454,6 +486,7 @@ COMMANDS = {
     "layers": cmd_layers,
     "latency": cmd_latency,
     "explore": cmd_explore,
+    "dse": cmd_dse,
     "program": cmd_program,
     "compile": cmd_compile,
     "faults": cmd_faults,
@@ -493,22 +526,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--variant", default="512-opt",
                         help="variant for the layers command")
     parser.add_argument("--smoke", action="store_true",
-                        help="faults/profile/trace/serve: quick CI-scale run")
+                        help="faults/profile/trace/serve/dse: quick "
+                             "CI-scale run")
     parser.add_argument("--json", nargs="?", const=True, default=False,
                         metavar="PATH",
-                        help="profile/serve/chaos: print the report as "
-                             "JSON (serve/chaos: give a PATH to write a "
-                             "file instead)")
+                        help="profile/serve/chaos/dse: print the report "
+                             "as JSON (serve/chaos/dse: give a PATH to "
+                             "write a file instead)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="profile: also write the metrics JSON here")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="faults/serve chaos: run trials across N "
+                        help="faults/serve chaos/dse: run trials across N "
                              "worker processes (default 1 = serial; the "
                              "report is identical either way)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="trace: output file (default trace.json); "
                              "serve/obs: write the (merged) Perfetto "
-                             "trace here")
+                             "trace here; dse: write the Pareto-frontier "
+                             "JSON here")
     parser.add_argument("--instances", type=int, default=None,
                         help="serve/obs: accelerator instance count "
                              "override")
@@ -531,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check", action="store_true",
                         help="compile: execute on the cycle-accurate SoC "
                              "and bit-compare against the golden model")
+    parser.add_argument("--validate", type=int, default=0, metavar="K",
+                        help="dse: differential-check the whole Pareto "
+                             "frontier plus K seeded interior samples on "
+                             "the cycle-accurate simulator (0 = skip)")
     parser.add_argument("--bank-capacity", type=int, default=1 << 17,
                         help="compile: SRAM bank capacity in values "
                              "(default 128Ki)")

@@ -22,7 +22,7 @@ from repro.core.tile import (TILE, flatten_tiled, from_tiles, pad_to_tiles,
 from repro.core.variants import (ALL_VARIANTS, AcceleratorVariant,
                                  VARIANT_16_UNOPT, VARIANT_256_OPT,
                                  VARIANT_256_UNOPT, VARIANT_512_OPT,
-                                 variant_by_name)
+                                 custom_variant, variant_by_name)
 
 __all__ = [
     "AcceleratorConfig", "AcceleratorInstance", "ConvSetup",
@@ -40,5 +40,5 @@ __all__ = [
     "tiles_along", "to_tiles", "unflatten_tiled",
     "ALL_VARIANTS", "AcceleratorVariant", "VARIANT_16_UNOPT",
     "VARIANT_256_OPT", "VARIANT_256_UNOPT", "VARIANT_512_OPT",
-    "variant_by_name",
+    "custom_variant", "variant_by_name",
 ]

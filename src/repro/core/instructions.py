@@ -124,6 +124,6 @@ class PositionMeta:
     """Per-tile-position metadata unit 0 forwards to the accumulators."""
 
     ofm_addr: int            # destination tile address (same in each bank)
-    biases: tuple[int, int, int, int]
+    biases: tuple[int, ...]  # one per accumulator (group_size entries)
     shift: int
     apply_relu: bool

@@ -252,7 +252,7 @@ def _run_conv(unit: int, bank: SramBank, instr: ConvInstruction,
         meta_biases = None
         if instr.biases:
             lo = g * group_size
-            quad = [0, 0, 0, 0]
+            quad = [0] * group_size
             for j in range(group_size):
                 if lo + j < instr.out_channels:
                     quad[j] = int(instr.biases[lo + j])
@@ -265,7 +265,7 @@ def _run_conv(unit: int, bank: SramBank, instr: ConvInstruction,
                         (g * instr.ofm_tiles_y + py) * instr.ofm_tiles_x + px)
                     meta = PositionMeta(
                         ofm_addr=addr,
-                        biases=meta_biases or (0, 0, 0, 0),
+                        biases=meta_biases or (0,) * group_size,
                         shift=instr.shift,
                         apply_relu=instr.apply_relu,
                     )

@@ -65,6 +65,33 @@ class AcceleratorVariant:
         return self.lanes > 1
 
 
+def custom_variant(lanes: int, instances: int, target_mhz: float,
+                   clock_mhz: float = 0.0, tile: int = 4,
+                   performance_optimized: bool = True,
+                   name: str | None = None) -> AcceleratorVariant:
+    """An off-catalogue variant for design-space exploration.
+
+    The paper's point: new architectures are software/constraint
+    changes, not new RTL.  ``macs_per_cycle`` follows the structural
+    rule of :class:`repro.core.accelerator.AcceleratorConfig` — each of
+    the ``lanes`` convolution units applies one weight per
+    concurrently-computed OFM (group size = lanes) to a
+    ``tile x tile`` region every cycle.  ``clock_mhz`` is usually left
+    0.0 until the area model and the congestion model have sized the
+    achieved clock (see :func:`repro.hls.constraints.achieved_fmax_mhz`).
+    """
+    if lanes < 1 or instances < 1:
+        raise ValueError(
+            f"lanes and instances must be >= 1, got {lanes}/{instances}")
+    group_size = lanes  # one concurrently-computed OFM per lane
+    macs = instances * lanes * group_size * tile * tile
+    return AcceleratorVariant(
+        name=name or f"L{lanes}xI{instances}t{tile}@{target_mhz:.0f}",
+        macs_per_cycle=macs, instances=instances, lanes=lanes,
+        performance_optimized=performance_optimized,
+        target_clock_mhz=target_mhz, clock_mhz=clock_mhz)
+
+
 VARIANT_16_UNOPT = AcceleratorVariant(
     name="16-unopt", macs_per_cycle=16, instances=1, lanes=1,
     performance_optimized=False, target_clock_mhz=55.0, clock_mhz=55.0)

@@ -1,0 +1,46 @@
+"""Design-space exploration: sweep, Pareto-extract, prove against sim.
+
+The paper's Section V claim — one multi-threaded C program plus HLS
+constraints spans a whole accelerator family — becomes testable here:
+
+* :mod:`repro.dse.space` defines the knobs (lanes, instances, tile,
+  FIFO depths, bank capacity, clock target) and their legality rules;
+* :mod:`repro.dse.evaluate` prices one configuration through the area,
+  clock, cycle and power models;
+* :mod:`repro.dse.campaign` fans a grid out over worker processes and
+  emits a byte-deterministic report;
+* :mod:`repro.dse.pareto` extracts the (GOPS up, W down, ALM down)
+  frontier;
+* :mod:`repro.dse.validate` re-runs chosen points on the
+  cycle-accurate simulator and fails the sweep when the models leave
+  their calibrated error envelope.
+
+``repro.perf.explore`` now aliases this package.
+"""
+
+from repro.dse.campaign import (SweepConfig, SweepResult, ValidationError,
+                                require_validated, run_sweep)
+from repro.dse.evaluate import evaluate_config, evaluate_design, explore
+from repro.dse.pareto import dominates, dominators, pareto_frontier
+from repro.dse.report import format_frontier, format_report
+from repro.dse.space import (PAPER_ANCHOR_GOPS, DesignConfig, DesignPoint,
+                             IllegalConfig, SweepSpace, default_space,
+                             smoke_space)
+from repro.dse.validate import (ENVELOPE_ABS_CYCLES, ENVELOPE_REL,
+                                EXACT_TOLERANCE_CYCLES, PointValidation,
+                                cycle_tolerance, differential_check,
+                                is_calibrated, select_validation_points,
+                                validate_points)
+
+__all__ = [
+    "SweepConfig", "SweepResult", "ValidationError", "require_validated",
+    "run_sweep",
+    "evaluate_config", "evaluate_design", "explore",
+    "dominates", "dominators", "pareto_frontier",
+    "format_frontier", "format_report",
+    "PAPER_ANCHOR_GOPS", "DesignConfig", "DesignPoint", "IllegalConfig",
+    "SweepSpace", "default_space", "smoke_space",
+    "ENVELOPE_ABS_CYCLES", "ENVELOPE_REL", "EXACT_TOLERANCE_CYCLES",
+    "PointValidation", "cycle_tolerance", "differential_check",
+    "is_calibrated", "select_validation_points", "validate_points",
+]

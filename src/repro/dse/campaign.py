@@ -1,0 +1,170 @@
+"""Sweep campaigns: fan a design space out over worker processes.
+
+Mirrors the fault-campaign runner's shape: build the work list up
+front in deterministic grid order, run it through an order-preserving
+``ProcessPoolExecutor.map``, and keep every derived artifact (frontier,
+validation picks, JSON) a pure function of that ordered list — which
+makes the report byte-identical for any ``jobs`` value and across
+repeated runs.
+
+Workers receive the *specification* of the workload (pruned flag,
+seed, input size), not the built layer list: ConvModelLayer carries
+numpy-derived sparsity counts and rebuilding it once per process via an
+``lru_cache`` is cheaper than pickling it per task.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.dse.evaluate import evaluate_config
+from repro.dse.pareto import pareto_frontier
+from repro.dse.space import (PAPER_ANCHOR_GOPS, DesignConfig, DesignPoint,
+                             SweepSpace, default_space, smoke_space)
+from repro.dse.validate import (PointValidation, select_validation_points,
+                                validate_points)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything that defines one campaign."""
+
+    space: SweepSpace = field(default_factory=default_space)
+    pruned: bool = True        # the paper's headline model is pruned VGG
+    seed: int = 0              # pruning-pattern seed
+    input_hw: int = 224        # 64 for smoke-scale sweeps
+    #: 0 skips validation; K > 0 differential-checks the whole frontier
+    #: plus K seeded interior samples on the cycle-accurate simulator.
+    validate: int = 0
+    jobs: int = 1
+
+    @classmethod
+    def smoke(cls, jobs: int = 1, validate: int = 2,
+              seed: int = 0) -> "SweepConfig":
+        """CI-scale campaign: small grid, scaled VGG, sim-validatable."""
+        return cls(space=smoke_space(), pruned=True, seed=seed,
+                   input_hw=64, validate=validate, jobs=jobs)
+
+
+@lru_cache(maxsize=4)
+def _model_layers(pruned: bool, seed: int, input_hw: int):
+    """Per-process layer-list cache (workers rebuild once, not per task)."""
+    from repro.perf.vgg import vgg16_model_layers
+    return vgg16_model_layers(pruned=pruned, seed=seed, input_hw=input_hw)
+
+
+def _evaluate_task(task: tuple[DesignConfig, bool, int, int]
+                   ) -> DesignPoint | None:
+    """Evaluate one grid cell; shaped for ``executor.map`` pickling."""
+    config, pruned, seed, input_hw = task
+    layers = _model_layers(pruned, seed, input_hw)
+    return evaluate_config(config, layers)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One campaign's complete outcome."""
+
+    config: SweepConfig
+    grid_size: int                       # raw grid cardinality
+    legal: int                           # after legality filtering
+    points: tuple[DesignPoint, ...]      # fitting points, grid order
+    frontier: tuple[DesignPoint, ...]
+    validations: tuple[PointValidation, ...]
+
+    @property
+    def dropped(self) -> int:
+        """Legal configurations that did not fit the device."""
+        return self.legal - len(self.points)
+
+    @property
+    def validation_passed(self) -> bool:
+        return all(v.passed for v in self.validations)
+
+    @property
+    def best_gops(self) -> float:
+        return max((p.mean_gops for p in self.points), default=0.0)
+
+    def to_json(self) -> dict:
+        interior = [p for p in self.points if p not in set(self.frontier)]
+        return {
+            "campaign": {
+                "pruned": self.config.pruned,
+                "seed": self.config.seed,
+                "input_hw": self.config.input_hw,
+                "validate": self.config.validate,
+                "space": self.config.space.to_json(),
+            },
+            "grid_size": self.grid_size,
+            "legal": self.legal,
+            "evaluated": len(self.points),
+            "dropped_unfit": self.dropped,
+            "interior": len(interior),
+            "paper_anchor_gops": PAPER_ANCHOR_GOPS,
+            "best_mean_gops": self.best_gops,
+            "frontier": [p.to_json() for p in self.frontier],
+            "validation": {
+                "passed": self.validation_passed,
+                "checks": [v.to_json() for v in self.validations],
+            },
+        }
+
+    def json(self) -> str:
+        """Byte-deterministic report serialization."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def run_sweep(config: SweepConfig) -> SweepResult:
+    """Evaluate the whole space, extract the frontier, validate it.
+
+    With ``jobs > 1`` the evaluations fan out over worker processes;
+    ``executor.map`` preserves submission order, so results — and the
+    serialized report — are byte-identical to a serial run.  Validation
+    always runs serially in the parent: it is a handful of simulator
+    runs gated on the already-merged frontier.
+    """
+    space = config.space
+    configs = space.configs()
+    tasks = [(cell, config.pruned, config.seed, config.input_hw)
+             for cell in configs]
+    if config.jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=config.jobs) as executor:
+            raw = list(executor.map(_evaluate_task, tasks, chunksize=4))
+    else:
+        raw = [_evaluate_task(task) for task in tasks]
+    points = tuple(point for point in raw if point is not None)
+    frontier = tuple(pareto_frontier(points))
+
+    validations: tuple[PointValidation, ...] = ()
+    if config.validate > 0 and points:
+        frontier_set = set(frontier)
+        interior = [p for p in points if p not in frontier_set]
+        chosen = select_validation_points(
+            list(frontier), interior, config.validate, seed=config.seed)
+        validations = tuple(validate_points(chosen, seed=config.seed))
+
+    return SweepResult(config=config, grid_size=space.size,
+                       legal=len(configs), points=points,
+                       frontier=frontier, validations=validations)
+
+
+class ValidationError(RuntimeError):
+    """Raised when a campaign's differential checks fail."""
+
+
+def require_validated(result: SweepResult) -> SweepResult:
+    """Return ``result`` or raise if any differential check failed."""
+    failed = [v for v in result.validations if not v.passed]
+    if failed:
+        detail = "; ".join(
+            f"{v.name}: model {v.model_cycles} vs sim {v.sim_cycles} "
+            f"(tol {v.tolerance_cycles:.0f}, functional "
+            f"{'ok' if v.functional_match else 'MISMATCH'})"
+            for v in failed)
+        raise ValidationError(
+            f"{len(failed)} validation point(s) outside the "
+            f"model-vs-sim envelope: {detail}")
+    return result

@@ -1,0 +1,114 @@
+"""Push one :class:`DesignConfig` through the full model stack.
+
+Area first (the config may not fit the device), then the congestion
+clock model gives the achieved Fmax, then the analytic cycle model runs
+the VGG-16 layer list, and finally the power model prices the result.
+The output is a fully-populated :class:`DesignPoint`, or ``None`` when
+the configuration does not fit or cannot hold a layer in its banks.
+
+``repro.perf`` is imported *inside* the functions, never at module
+scope: ``repro.perf.__init__`` re-exports the legacy explorer, which
+now lives here, so importing any ``repro.perf`` submodule while this
+module initializes would close that cycle during interpreter start-up.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.area.alm_model import variant_area
+from repro.area.device import ARRIA10_SX660, FpgaDevice
+from repro.core.variants import custom_variant
+from repro.dse.space import DesignConfig, DesignPoint
+from repro.hls.constraints import achieved_fmax_mhz, routing_succeeds
+from repro.power.model import variant_power
+
+if TYPE_CHECKING:
+    from repro.perf.vgg import ConvModelLayer
+
+
+def evaluate_config(config: DesignConfig,
+                    model_layers: list[ConvModelLayer],
+                    device: FpgaDevice = ARRIA10_SX660,
+                    model: str = "vgg16") -> DesignPoint | None:
+    """Model one configuration end to end; ``None`` if it does not fit."""
+    from repro.perf.cycle_model import CycleModelParams
+    from repro.perf.gops import evaluate_layers
+    config.check()
+    variant = custom_variant(
+        lanes=config.lanes, instances=config.instances,
+        target_mhz=config.target_mhz, tile=config.tile,
+        name=config.label)
+    area = variant_area(variant, bank_capacity=config.bank_capacity,
+                        tile=config.tile, device=device,
+                        queue_depth=config.queue_depth,
+                        acc_queue_depth=config.acc_queue_depth)
+    if not area.fits():
+        return None
+    clock = achieved_fmax_mhz(variant.constraints, area.alm_utilization)
+    met = routing_succeeds(variant.constraints, area.alm_utilization)
+    sized = custom_variant(
+        lanes=config.lanes, instances=config.instances,
+        target_mhz=config.target_mhz, clock_mhz=clock, tile=config.tile,
+        name=config.label)
+    params = CycleModelParams(
+        tile=config.tile, lanes=config.lanes,
+        group_size=config.group_size,
+        bank_capacity=config.bank_capacity,
+        dma_bytes_per_cycle=32)
+    try:
+        evaluation = evaluate_layers(sized, model_layers, model, params)
+    except ValueError:
+        return None  # a layer does not fit the banks at this geometry
+    power = variant_power(sized, area)
+    return DesignPoint(
+        name=sized.name, lanes=config.lanes, instances=config.instances,
+        bank_capacity=config.bank_capacity, clock_mhz=clock,
+        alm_utilization=area.alm_utilization,
+        ram_utilization=area.ram_utilization,
+        fpga_power_w=power.fpga_mw / 1000.0,
+        mean_gops=evaluation.mean_gops,
+        tile=config.tile, queue_depth=config.queue_depth,
+        acc_queue_depth=config.acc_queue_depth,
+        target_mhz=config.target_mhz,
+        total_alms=area.total_alms,
+        dsp_utilization=area.dsp_utilization,
+        board_power_w=power.board_mw / 1000.0,
+        static_power_w=power.static_mw / 1000.0,
+        dynamic_power_w=power.dynamic_mw / 1000.0,
+        peak_gops=evaluation.peak_effective_gops,
+        met_timing=met)
+
+
+# ---------------------------------------------------------------------
+# Legacy surface of repro.perf.explore, now served from the DSE stack.
+# ---------------------------------------------------------------------
+
+def evaluate_design(lanes: int, instances: int, bank_capacity: int,
+                    target_mhz: float,
+                    model_layers: list[ConvModelLayer],
+                    device: FpgaDevice = ARRIA10_SX660
+                    ) -> DesignPoint | None:
+    """Original four-knob entry point (tile 4, default FIFO depths)."""
+    config = DesignConfig(lanes=lanes, instances=instances,
+                          bank_capacity=bank_capacity,
+                          target_mhz=target_mhz)
+    return evaluate_config(config, model_layers, device)
+
+
+def explore(model_layers: list[ConvModelLayer],
+            lanes_options=(2, 4, 8),
+            instance_options=(1, 2),
+            bank_options=(256 * 1024, 512 * 1024),
+            clock_targets=(150.0,),
+            device: FpgaDevice = ARRIA10_SX660) -> list[DesignPoint]:
+    """Original cross-product sweep; unfittable points drop out."""
+    from itertools import product
+    points = []
+    for lanes, instances, bank, target in product(
+            lanes_options, instance_options, bank_options, clock_targets):
+        point = evaluate_design(lanes, instances, bank, target,
+                                model_layers, device)
+        if point is not None:
+            points.append(point)
+    return points

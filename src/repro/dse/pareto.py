@@ -1,0 +1,50 @@
+"""Pareto extraction over (throughput up, power down, area down).
+
+The dominance convention matches the original explorer: a point is
+dominated when some other point is at least as good on every objective
+and strictly better on one.  Frontier output is sorted on a full key
+(mean_gops, fpga_power_w, alm_utilization, name) so the result is a
+*set* property of the input — invariant under input permutation — which
+the campaign relies on for byte-reproducible reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dse.space import DesignPoint
+
+
+def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """True when ``a`` is at least as good everywhere, better somewhere."""
+    return (a.mean_gops >= b.mean_gops
+            and a.fpga_power_w <= b.fpga_power_w
+            and a.alm_utilization <= b.alm_utilization
+            and (a.mean_gops > b.mean_gops
+                 or a.fpga_power_w < b.fpga_power_w
+                 or a.alm_utilization < b.alm_utilization))
+
+
+def _frontier_key(point: DesignPoint) -> tuple:
+    return (point.mean_gops, point.fpga_power_w, point.alm_utilization,
+            point.name)
+
+
+def pareto_frontier(points: Iterable[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated points, sorted by throughput (ties fully ordered)."""
+    pool = list(points)
+    frontier = [candidate for candidate in pool
+                if not any(dominates(other, candidate) for other in pool)]
+    return sorted(frontier, key=_frontier_key)
+
+
+def dominators(point: DesignPoint,
+               points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Every point in ``points`` that dominates ``point``.
+
+    Empty exactly when ``point`` belongs on the frontier of
+    ``points + [point]``; the campaign report uses this to explain why
+    each dropped point was dropped.
+    """
+    return sorted((other for other in points if dominates(other, point)),
+                  key=_frontier_key)

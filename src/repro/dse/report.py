@@ -1,0 +1,61 @@
+"""Human-readable campaign reports.
+
+The JSON artifact is the machine contract (byte-deterministic; see
+``SweepResult.json``); this module renders the same result for eyes:
+the frontier table with the paper's 138 GOPS pruned-VGG anchor, the
+drop accounting, and the differential-validation scoreboard.
+"""
+
+from __future__ import annotations
+
+from repro.dse.campaign import SweepResult
+from repro.dse.space import PAPER_ANCHOR_GOPS, DesignPoint
+
+
+def format_point_row(point: DesignPoint) -> str:
+    return (f"{point.name:<28}{point.mean_gops:>9.2f}{point.peak_gops:>9.2f}"
+            f"{point.clock_mhz:>8.0f}{100 * point.alm_utilization:>7.0f}%"
+            f"{point.fpga_power_w:>8.2f}{point.gops_per_watt:>9.2f}"
+            f"{'yes' if point.met_timing else 'NO':>7}")
+
+
+def format_frontier(result: SweepResult) -> str:
+    header = (f"{'design point':<28}{'mean':>9}{'peak':>9}{'MHz':>8}"
+              f"{'ALM':>8}{'W':>8}{'GOPS/W':>9}{'timing':>7}")
+    lines = [header]
+    lines += [format_point_row(p) for p in result.frontier]
+    return "\n".join(lines)
+
+
+def format_report(result: SweepResult) -> str:
+    """Full campaign summary."""
+    model = "vgg16-pr" if result.config.pruned else "vgg16"
+    lines = [
+        f"DSE campaign: {model} (seed {result.config.seed}, "
+        f"input {result.config.input_hw}x{result.config.input_hw})",
+        f"grid {result.grid_size} -> legal {result.legal} -> "
+        f"fits {len(result.points)} (dropped {result.dropped} unfit)",
+        "",
+        f"Pareto frontier ({len(result.frontier)} points) — paper anchor: "
+        f"{PAPER_ANCHOR_GOPS:.0f} GOPS peak (pruned VGG-16, 512-opt):",
+        format_frontier(result),
+    ]
+    best = max(result.frontier, key=lambda p: p.peak_gops, default=None)
+    if best is not None:
+        ratio = best.peak_gops / PAPER_ANCHOR_GOPS
+        lines += ["",
+                  f"best peak {best.peak_gops:.1f} GOPS = "
+                  f"{100 * ratio:.0f}% of the paper anchor "
+                  f"({best.name})"]
+    if result.validations:
+        lines += ["", f"validation ({len(result.validations)} points, "
+                      f"{'PASS' if result.validation_passed else 'FAIL'}):"]
+        for check in result.validations:
+            regime = "exact" if check.calibrated else "envelope"
+            lines.append(
+                f"  {check.name:<28} sim {check.sim_cycles:>8} "
+                f"model {check.model_cycles:>8} "
+                f"err {check.error_cycles:>4} "
+                f"(tol {check.tolerance_cycles:>6.1f}, {regime}) "
+                f"{'ok' if check.passed else 'FAIL'}")
+    return "\n".join(lines)

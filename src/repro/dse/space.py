@@ -1,0 +1,250 @@
+"""The design space: what a configuration *is* and which ones are legal.
+
+Section V's argument is that lanes, tile geometry, FIFO depths, SRAM
+banking and the clock constraint are all software/HLS-constraint knobs
+— no hand-written RTL per variant.  This module gives that space a
+first-class shape: :class:`DesignConfig` is one raw knob setting,
+:class:`SweepSpace` an axis-aligned grid of them, and
+:class:`DesignPoint` the record a configuration becomes once the model
+stack has sized it (area, achieved clock, power, VGG-16 throughput).
+
+Legality rules (enforced by :meth:`DesignConfig.check`):
+
+* ``tile >= kernel`` (3 for VGG): a packed weight tile must hold the
+  whole filter, so tile-2 geometry cannot run 3x3 convolutions;
+* ``queue_depth >= 2`` and ``acc_queue_depth >= 2``: a depth-1
+  PthreadFifo cannot sustain II = 1 (see :mod:`repro.hls.fifo`), so
+  the streaming kernels stall roughly every other cycle — a regime the
+  analytic cycle model deliberately does not cover;
+* positive lane/instance/bank/clock values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from itertools import product
+
+#: The paper's pruned-VGG-16 headline: 138 GOPS peak on 512-opt.  The
+#: sweep report plots every frontier against this anchor.
+PAPER_ANCHOR_GOPS = 138.0
+
+#: Smallest kernel-legal tile for the 3x3 VGG convolutions.
+MIN_TILE = 3
+
+#: Smallest FIFO depth that sustains II = 1 streaming (hls/fifo.py).
+MIN_STREAM_DEPTH = 2
+
+
+class IllegalConfig(ValueError):
+    """A configuration outside the legal design space."""
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """One raw knob setting, before any model has looked at it."""
+
+    lanes: int = 4
+    instances: int = 1
+    tile: int = 4
+    queue_depth: int = 2
+    acc_queue_depth: int = 8
+    bank_capacity: int = 512 * 1024   # values per SRAM bank
+    target_mhz: float = 150.0         # clock constraint handed to HLS
+
+    @property
+    def group_size(self) -> int:
+        """Concurrently-computed OFMs (= lanes; 1 for the single-lane)."""
+        return self.lanes if self.lanes > 1 else 1
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiplies per cycle across all instances."""
+        return (self.instances * self.lanes * self.group_size
+                * self.tile * self.tile)
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identity, unique within any grid."""
+        return (f"L{self.lanes}xI{self.instances}t{self.tile}"
+                f"q{self.queue_depth}a{self.acc_queue_depth}"
+                f"b{self.bank_capacity // 1024}K@{self.target_mhz:.0f}")
+
+    def check(self, kernel: int = 3) -> None:
+        """Raise :class:`IllegalConfig` if the knobs are out of range."""
+        if self.lanes < 1:
+            raise IllegalConfig(f"{self.label}: lanes must be >= 1")
+        if self.instances < 1:
+            raise IllegalConfig(f"{self.label}: instances must be >= 1")
+        if self.tile < max(MIN_TILE, kernel):
+            raise IllegalConfig(
+                f"{self.label}: tile {self.tile} cannot hold a "
+                f"{kernel}x{kernel} filter's weight tile")
+        if self.queue_depth < MIN_STREAM_DEPTH:
+            raise IllegalConfig(
+                f"{self.label}: queue_depth {self.queue_depth} cannot "
+                f"sustain II=1 streaming (need >= {MIN_STREAM_DEPTH})")
+        if self.acc_queue_depth < MIN_STREAM_DEPTH:
+            raise IllegalConfig(
+                f"{self.label}: acc_queue_depth {self.acc_queue_depth} "
+                f"cannot sustain II=1 streaming "
+                f"(need >= {MIN_STREAM_DEPTH})")
+        if self.bank_capacity < self.tile * self.tile:
+            raise IllegalConfig(
+                f"{self.label}: bank capacity {self.bank_capacity} "
+                f"below one {self.tile}x{self.tile} tile")
+        if self.target_mhz <= 0:
+            raise IllegalConfig(
+                f"{self.label}: clock target must be positive")
+
+    def is_legal(self, kernel: int = 3) -> bool:
+        try:
+            self.check(kernel)
+        except IllegalConfig:
+            return False
+        return True
+
+    def to_json(self) -> dict:
+        return {
+            "lanes": self.lanes, "instances": self.instances,
+            "tile": self.tile, "queue_depth": self.queue_depth,
+            "acc_queue_depth": self.acc_queue_depth,
+            "bank_capacity": self.bank_capacity,
+            "target_mhz": self.target_mhz,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpace:
+    """An axis-aligned grid of :class:`DesignConfig` settings."""
+
+    lanes: tuple[int, ...] = (1, 2, 4, 8)
+    instances: tuple[int, ...] = (1, 2, 4)
+    tiles: tuple[int, ...] = (4, 8)
+    queue_depths: tuple[int, ...] = (2, 4)
+    acc_queue_depths: tuple[int, ...] = (2, 8)
+    bank_capacities: tuple[int, ...] = (256 * 1024, 512 * 1024)
+    clock_targets: tuple[float, ...] = (120.0, 150.0, 180.0, 240.0)
+
+    @property
+    def size(self) -> int:
+        """Grid cardinality before legality/fit filtering."""
+        axes = (self.lanes, self.instances, self.tiles, self.queue_depths,
+                self.acc_queue_depths, self.bank_capacities,
+                self.clock_targets)
+        n = 1
+        for axis in axes:
+            n *= len(axis)
+        return n
+
+    def configs(self, kernel: int = 3) -> list[DesignConfig]:
+        """Legal configurations in deterministic grid order.
+
+        The enumeration order is the sorted cross product — stable
+        across runs, process counts and axis-tuple ordering, which is
+        what makes sweep JSON byte-reproducible.
+        """
+        grid = product(sorted(set(self.lanes)),
+                       sorted(set(self.instances)),
+                       sorted(set(self.tiles)),
+                       sorted(set(self.queue_depths)),
+                       sorted(set(self.acc_queue_depths)),
+                       sorted(set(self.bank_capacities)),
+                       sorted(set(self.clock_targets)))
+        configs = []
+        for lanes, inst, tile, qd, aqd, bank, target in grid:
+            config = DesignConfig(
+                lanes=lanes, instances=inst, tile=tile, queue_depth=qd,
+                acc_queue_depth=aqd, bank_capacity=bank,
+                target_mhz=target)
+            if config.is_legal(kernel):
+                configs.append(config)
+        return configs
+
+    def to_json(self) -> dict:
+        return {
+            "lanes": list(self.lanes), "instances": list(self.instances),
+            "tiles": list(self.tiles),
+            "queue_depths": list(self.queue_depths),
+            "acc_queue_depths": list(self.acc_queue_depths),
+            "bank_capacities": list(self.bank_capacities),
+            "clock_targets": list(self.clock_targets),
+        }
+
+
+def default_space() -> SweepSpace:
+    """The full sweep grid (768 raw settings; see docs/DSE.md)."""
+    from repro.hls.constraints import DEFAULT_CLOCK_TARGETS
+    return SweepSpace(clock_targets=DEFAULT_CLOCK_TARGETS)
+
+
+def smoke_space() -> SweepSpace:
+    """A CI-scale grid: every axis exercised, every point validatable."""
+    return SweepSpace(lanes=(2, 4), instances=(1, 2), tiles=(4,),
+                      queue_depths=(2,), acc_queue_depths=(2, 8),
+                      bank_capacities=(512 * 1024,),
+                      clock_targets=(150.0, 240.0))
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration after the full model stack has sized it.
+
+    The first nine fields keep the field order of the original
+    ``repro.perf.explore.DesignPoint`` so legacy positional
+    construction keeps working; the remainder are the knobs and
+    absolute metrics the DSE report needs (defaulted, so old call
+    sites are unaffected).
+    """
+
+    name: str
+    lanes: int
+    instances: int
+    bank_capacity: int
+    clock_mhz: float            # achieved clock (congestion-modelled)
+    alm_utilization: float
+    ram_utilization: float
+    fpga_power_w: float
+    mean_gops: float
+    # -- repro.dse extensions ------------------------------------------
+    tile: int = 4
+    queue_depth: int = 2
+    acc_queue_depth: int = 8
+    target_mhz: float = 0.0
+    total_alms: int = 0
+    dsp_utilization: float = 0.0
+    board_power_w: float = 0.0
+    static_power_w: float = 0.0
+    dynamic_power_w: float = 0.0
+    peak_gops: float = 0.0      # best sustained rate (paper's "peak")
+    met_timing: bool = True     # requested target routed (no derate)
+
+    @property
+    def gops_per_watt(self) -> float:
+        return self.mean_gops / self.fpga_power_w
+
+    @property
+    def gops_per_kalm(self) -> float:
+        """Throughput per thousand ALMs occupied (area efficiency)."""
+        if self.total_alms:
+            return self.mean_gops / (self.total_alms / 1000.0)
+        # Legacy points carry utilization only; assume the SX660.
+        from repro.area.device import ARRIA10_SX660
+        alms = self.alm_utilization * ARRIA10_SX660.alms
+        return self.mean_gops / (alms / 1000.0)
+
+    @property
+    def config(self) -> DesignConfig:
+        """The raw knob setting this point was evaluated from."""
+        return DesignConfig(
+            lanes=self.lanes, instances=self.instances, tile=self.tile,
+            queue_depth=self.queue_depth,
+            acc_queue_depth=self.acc_queue_depth,
+            bank_capacity=self.bank_capacity,
+            target_mhz=self.target_mhz or self.clock_mhz)
+
+    def to_json(self) -> dict:
+        document = {f.name: getattr(self, f.name)
+                    for f in fields(self)}
+        document["gops_per_watt"] = self.gops_per_watt
+        document["gops_per_kalm"] = self.gops_per_kalm
+        return document

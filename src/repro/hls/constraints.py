@@ -36,6 +36,14 @@ CONGESTION_SLOPE_MHZ = 140.0
 #: paper verified functional correctness of the unopt variants at 55 MHz.
 UNOPT_CLOCK_MHZ = 55.0
 
+#: Clock-period targets the design-space explorer hands to HLS/RTL
+#: synthesis (``repro.dse``).  120/150 MHz are the paper's achieved
+#: -opt clocks; 180/240 probe the congestion ceiling — past the
+#: ``CONGESTION_F0_MHZ`` intercept a higher target cannot help, so the
+#: ladder stops there.  55 MHz is excluded: unopt runs pin to it
+#: regardless of target (see :func:`achieved_fmax_mhz`).
+DEFAULT_CLOCK_TARGETS: tuple[float, ...] = (120.0, 150.0, 180.0, 240.0)
+
 
 @dataclass(frozen=True)
 class HlsConstraints:

@@ -1,123 +1,18 @@
-"""Design-space exploration: the paper's HLS-variant argument, as an API.
+"""Deprecated alias: the explorer moved to :mod:`repro.dse`.
 
-"A wide range of architectures with distinct performance/area
-trade-offs can be produced by software and HLS constraint changes
-alone. ... It would be expensive and time-consuming to produce
-hand-written RTL for all architecture variants considered."
-(Section V.) This module makes that exploration one function call:
-enumerate candidate configurations (lanes, instances, bank capacity,
-clock target), push each through the full model stack — area, achieved
-clock, power, VGG-16 throughput — and extract the Pareto frontier.
+The original four-knob explorer (lanes x instances x banks x clock)
+grew into the full design-space-exploration package — more axes (tile
+geometry, FIFO depths), parallel campaigns, and differential
+validation against the cycle-accurate simulator.  Everything exported
+here is the same object as its ``repro.dse`` counterpart; existing
+imports keep working unchanged.  New code should import from
+``repro.dse`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from itertools import product
+from repro.dse.evaluate import evaluate_design, explore
+from repro.dse.pareto import pareto_frontier
+from repro.dse.space import DesignPoint
 
-from repro.area.alm_model import variant_area
-from repro.area.device import ARRIA10_SX660, FpgaDevice
-from repro.core.variants import AcceleratorVariant
-from repro.hls.constraints import achieved_fmax_mhz
-from repro.perf.cycle_model import CycleModelParams
-from repro.perf.gops import evaluate_layers
-from repro.perf.vgg import ConvModelLayer
-from repro.power.model import variant_power
-
-
-@dataclass(frozen=True)
-class DesignPoint:
-    """One evaluated configuration."""
-
-    name: str
-    lanes: int
-    instances: int
-    bank_capacity: int
-    clock_mhz: float
-    alm_utilization: float
-    ram_utilization: float
-    fpga_power_w: float
-    mean_gops: float
-
-    @property
-    def gops_per_watt(self) -> float:
-        return self.mean_gops / self.fpga_power_w
-
-    @property
-    def gops_per_kalm(self) -> float:
-        """Throughput per thousand ALMs occupied (area efficiency)."""
-        alms = self.alm_utilization * ARRIA10_SX660.alms
-        return self.mean_gops / (alms / 1000.0)
-
-
-def evaluate_design(lanes: int, instances: int, bank_capacity: int,
-                    target_mhz: float,
-                    model_layers: list[ConvModelLayer],
-                    device: FpgaDevice = ARRIA10_SX660
-                    ) -> DesignPoint | None:
-    """Model one configuration end to end; None if it does not fit."""
-    macs = instances * lanes * lanes * 16
-    variant = AcceleratorVariant(
-        name=f"L{lanes}xI{instances}b{bank_capacity // 1024}K"
-             f"@{target_mhz:.0f}",
-        macs_per_cycle=macs, instances=instances, lanes=lanes,
-        performance_optimized=True, target_clock_mhz=target_mhz,
-        clock_mhz=0.0)
-    area = variant_area(variant, bank_capacity=bank_capacity,
-                        device=device)
-    if not area.fits():
-        return None
-    clock = achieved_fmax_mhz(variant.constraints, area.alm_utilization)
-    sized = AcceleratorVariant(
-        name=variant.name, macs_per_cycle=macs, instances=instances,
-        lanes=lanes, performance_optimized=True,
-        target_clock_mhz=target_mhz, clock_mhz=clock)
-    params = CycleModelParams(lanes=lanes, group_size=lanes,
-                              bank_capacity=bank_capacity,
-                              dma_bytes_per_cycle=32)
-    try:
-        evaluation = evaluate_layers(sized, model_layers, "vgg16", params)
-    except ValueError:
-        return None  # a layer does not fit the banks
-    power = variant_power(sized, area)
-    return DesignPoint(
-        name=sized.name, lanes=lanes, instances=instances,
-        bank_capacity=bank_capacity, clock_mhz=clock,
-        alm_utilization=area.alm_utilization,
-        ram_utilization=area.ram_utilization,
-        fpga_power_w=power.fpga_mw / 1000.0,
-        mean_gops=evaluation.mean_gops)
-
-
-def explore(model_layers: list[ConvModelLayer],
-            lanes_options=(2, 4, 8),
-            instance_options=(1, 2),
-            bank_options=(256 * 1024, 512 * 1024),
-            clock_targets=(150.0,),
-            device: FpgaDevice = ARRIA10_SX660) -> list[DesignPoint]:
-    """Evaluate the cross product of options; unfittable points drop out."""
-    points = []
-    for lanes, instances, bank, target in product(
-            lanes_options, instance_options, bank_options, clock_targets):
-        point = evaluate_design(lanes, instances, bank, target,
-                                model_layers, device)
-        if point is not None:
-            points.append(point)
-    return points
-
-
-def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
-    """Points not dominated on (throughput up, power down, area down)."""
-    frontier = []
-    for candidate in points:
-        dominated = any(
-            other.mean_gops >= candidate.mean_gops
-            and other.fpga_power_w <= candidate.fpga_power_w
-            and other.alm_utilization <= candidate.alm_utilization
-            and (other.mean_gops > candidate.mean_gops
-                 or other.fpga_power_w < candidate.fpga_power_w
-                 or other.alm_utilization < candidate.alm_utilization)
-            for other in points)
-        if not dominated:
-            frontier.append(candidate)
-    return sorted(frontier, key=lambda p: p.mean_gops)
+__all__ = ["DesignPoint", "evaluate_design", "explore", "pareto_frontier"]

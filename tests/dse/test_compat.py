@@ -1,0 +1,49 @@
+"""The legacy ``repro.perf.explore`` surface must keep working.
+
+The explorer moved into ``repro.dse``; these tests pin the alias: old
+import paths resolve to the same objects, positional DesignPoint
+construction still works, and the four-knob ``evaluate_design`` agrees
+with the new ``evaluate_config`` at the default tile/FIFO knobs.
+"""
+
+import pytest
+
+import repro.dse as dse
+from repro.perf import vgg16_model_layers
+from repro.perf.explore import (DesignPoint, evaluate_design, explore,
+                                pareto_frontier)
+
+
+def test_old_import_path_is_the_new_implementation():
+    assert DesignPoint is dse.DesignPoint
+    assert evaluate_design is dse.evaluate_design
+    assert explore is dse.explore
+    assert pareto_frontier is dse.pareto_frontier
+
+
+def test_package_level_reexports_survive():
+    import repro.perf as perf
+    assert perf.DesignPoint is dse.DesignPoint
+    assert perf.pareto_frontier is dse.pareto_frontier
+
+
+def test_legacy_positional_construction():
+    p = DesignPoint("legacy", 4, 1, 512 * 1024, 150.0, 0.4, 0.5, 2.0, 40.0)
+    assert p.name == "legacy"
+    assert p.gops_per_watt == pytest.approx(20.0)
+    assert p.gops_per_kalm > 0
+    # New knob fields default to the calibrated microarchitecture.
+    assert p.tile == 4
+    assert p.queue_depth == 2
+    assert p.acc_queue_depth == 8
+
+
+def test_evaluate_design_matches_evaluate_config():
+    layers = vgg16_model_layers(pruned=False, seed=0, input_hw=64)
+    legacy = evaluate_design(4, 1, 512 * 1024, 150.0, layers)
+    config = dse.DesignConfig(lanes=4, instances=1,
+                              bank_capacity=512 * 1024, target_mhz=150.0)
+    modern = dse.evaluate_config(config, layers)
+    assert legacy == modern
+    assert legacy.mean_gops > 0
+    assert legacy.clock_mhz == pytest.approx(150.0)

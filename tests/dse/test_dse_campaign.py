@@ -1,0 +1,118 @@
+"""Campaign determinism, schema and validation-gate tests."""
+
+import json
+import random
+
+import pytest
+
+from repro.dse import (SweepConfig, ValidationError, default_space,
+                       format_report, pareto_frontier, require_validated,
+                       run_sweep, smoke_space)
+from repro.dse.campaign import SweepResult
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_sweep(SweepConfig.smoke(jobs=1, validate=3))
+
+
+def test_smoke_sweep_covers_the_grid(smoke_result):
+    assert smoke_result.grid_size == smoke_space().size
+    assert smoke_result.legal == smoke_result.grid_size
+    assert len(smoke_result.points) == smoke_result.legal
+    assert smoke_result.frontier
+    assert set(smoke_result.frontier) <= set(smoke_result.points)
+
+
+def test_parallel_sweep_is_byte_identical(smoke_result):
+    parallel = run_sweep(SweepConfig.smoke(jobs=4, validate=3))
+    assert parallel.json() == smoke_result.json()
+
+
+def test_repeated_sweep_is_byte_identical(smoke_result):
+    again = run_sweep(SweepConfig.smoke(jobs=2, validate=3))
+    assert again.json() == smoke_result.json()
+
+
+def test_frontier_is_shuffle_invariant(smoke_result):
+    shuffled = list(smoke_result.points)
+    random.Random(42).shuffle(shuffled)
+    assert pareto_frontier(shuffled) == list(smoke_result.frontier)
+
+
+def test_points_preserve_grid_order(smoke_result):
+    configs = smoke_space().configs()
+    labels = [c.label for c in configs]
+    point_labels = [p.name for p in smoke_result.points]
+    assert point_labels == [l for l in labels if l in set(point_labels)]
+
+
+def test_report_schema(smoke_result):
+    doc = json.loads(smoke_result.json())
+    assert doc["grid_size"] == smoke_result.grid_size
+    assert doc["legal"] == smoke_result.legal
+    assert doc["evaluated"] == len(smoke_result.points)
+    assert doc["paper_anchor_gops"] == 138.0
+    assert doc["campaign"]["input_hw"] == 64
+    assert doc["campaign"]["space"]["lanes"] == [2, 4]
+    assert len(doc["frontier"]) == len(smoke_result.frontier)
+    for entry in doc["frontier"]:
+        for key in ("name", "lanes", "instances", "tile", "queue_depth",
+                    "acc_queue_depth", "bank_capacity", "target_mhz",
+                    "clock_mhz", "mean_gops", "peak_gops", "fpga_power_w",
+                    "gops_per_watt", "gops_per_kalm", "met_timing"):
+            assert key in entry, key
+    checks = doc["validation"]["checks"]
+    assert len(checks) == len(smoke_result.frontier) + 3
+    assert doc["validation"]["passed"] is True
+    assert all(c["passed"] for c in checks)
+
+
+def test_validation_covers_whole_frontier_plus_interior(smoke_result):
+    frontier_names = [p.name for p in smoke_result.frontier]
+    validated = [v.name for v in smoke_result.validations]
+    assert validated[:len(frontier_names)] == frontier_names
+    extras = validated[len(frontier_names):]
+    assert len(extras) == 3
+    assert not set(extras) & set(frontier_names)
+
+
+def test_require_validated_passes(smoke_result):
+    assert require_validated(smoke_result) is smoke_result
+
+
+def test_require_validated_raises_on_envelope_breach(smoke_result):
+    broken = [v.__class__(**{**v.__dict__, "tolerance_cycles": 0.0})
+              for v in smoke_result.validations]
+    # Force a nonzero error so the zero tolerance actually trips.
+    assert any(v.error_cycles > 0 for v in broken)
+    bad = SweepResult(
+        config=smoke_result.config, grid_size=smoke_result.grid_size,
+        legal=smoke_result.legal, points=smoke_result.points,
+        frontier=smoke_result.frontier, validations=tuple(broken))
+    with pytest.raises(ValidationError, match="envelope"):
+        require_validated(bad)
+
+
+def test_validate_zero_skips_simulation():
+    result = run_sweep(SweepConfig.smoke(jobs=1, validate=0))
+    assert result.validations == ()
+    assert result.validation_passed  # vacuously
+
+
+def test_format_report_mentions_anchor_and_validation(smoke_result):
+    text = format_report(smoke_result)
+    assert "138 GOPS" in text
+    assert "Pareto frontier" in text
+    count = len(smoke_result.validations)
+    assert f"validation ({count} points, PASS)" in text
+    for point in smoke_result.frontier:
+        assert point.name in text
+
+
+def test_default_space_cardinality():
+    space = default_space()
+    assert space.size == 768
+    configs = space.configs()
+    assert len(configs) == space.size  # every grid cell is legal
+    assert len({c.label for c in configs}) == len(configs)

@@ -1,0 +1,162 @@
+"""Differential suite: the analytic models proved against the simulator.
+
+Property-based checks that, for any *legal* design configuration, the
+cycle model tracks the cycle-accurate simulator within the calibrated
+envelope — and exactly (up to fixed fill/drain skew) in the calibrated
+lanes/tile regime.  Functional output is always bit-checked against
+the integer golden model inside ``differential_check``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
+                                    execute_conv)
+from repro.core.packing import PackedLayer
+from repro.dse import (EXACT_TOLERANCE_CYCLES, DesignConfig, IllegalConfig,
+                       cycle_tolerance, differential_check, is_calibrated)
+from repro.hls.sim import Simulator
+from repro.quant import conv2d_int, saturate_array, shift_round_array
+
+
+def legal_configs():
+    """Strategy over the legal swept microarchitecture space."""
+    return st.builds(
+        DesignConfig,
+        lanes=st.sampled_from([1, 2, 4, 8]),
+        instances=st.just(1),
+        tile=st.sampled_from([4, 8]),
+        queue_depth=st.sampled_from([2, 3, 4]),
+        acc_queue_depth=st.sampled_from([2, 4, 8]),
+        bank_capacity=st.sampled_from([1 << 15, 1 << 16]),
+        target_mhz=st.just(150.0))
+
+
+def calibrated_configs():
+    return st.builds(
+        DesignConfig,
+        lanes=st.sampled_from([1, 2, 4]),
+        instances=st.just(1),
+        tile=st.just(4),
+        queue_depth=st.just(2),
+        acc_queue_depth=st.sampled_from([2, 4, 8]),
+        bank_capacity=st.just(1 << 15),
+        target_mhz=st.just(150.0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=legal_configs(),
+       seed=st.integers(min_value=0, max_value=999),
+       hw=st.integers(min_value=6, max_value=12))
+def test_model_within_envelope_across_legal_space(config, seed, hw):
+    """|model - sim| stays inside the documented envelope everywhere."""
+    check = differential_check(config, hw=hw, seed=seed)
+    assert check.functional_match
+    assert check.error_cycles <= check.tolerance_cycles, (
+        f"{config.label}: model {check.model_cycles} vs "
+        f"sim {check.sim_cycles}")
+
+
+@settings(max_examples=10, deadline=None)
+@given(config=calibrated_configs(),
+       seed=st.integers(min_value=0, max_value=999))
+def test_model_exact_on_calibrated_variants(config, seed):
+    """Calibrated geometries agree to fixed fill/drain skew."""
+    assert is_calibrated(config)
+    check = differential_check(config, seed=seed)
+    assert check.calibrated
+    assert check.error_cycles <= EXACT_TOLERANCE_CYCLES
+    assert check.functional_match
+
+
+@settings(max_examples=6, deadline=None)
+@given(config=calibrated_configs(),
+       seed=st.integers(min_value=0, max_value=99))
+def test_fastpath_is_cycle_identical(config, seed):
+    """Burst/warp scheduling must not change the counted cycles."""
+    fast = differential_check(config, seed=seed, fastpath=True)
+    slow = differential_check(config, seed=seed, fastpath=False)
+    assert fast.sim_cycles == slow.sim_cycles
+    assert fast.model_cycles == slow.model_cycles
+
+
+def test_eight_lane_configuration_simulates():
+    """Regression: lanes=8 used to crash the staging kernel.
+
+    The bias quad was hardcoded to four entries, so accumulators 4-7
+    indexed past the metadata tuple. An 8-lane differential check must
+    now run and stay within the general envelope.
+    """
+    config = DesignConfig(lanes=8, tile=4, acc_queue_depth=8,
+                          bank_capacity=1 << 15)
+    check = differential_check(config, seed=3)
+    assert check.functional_match
+    assert check.error_cycles <= check.tolerance_cycles
+
+
+def test_eight_lane_bias_path_bit_exact():
+    """Regression: per-accumulator biases with group size 8.
+
+    Exercises the metadata bias tuple beyond index 3 — the exact path
+    the four-entry quad broke — and bit-compares against the golden
+    convolution with biases applied.
+    """
+    rng = np.random.default_rng(7)
+    ifm = rng.integers(-30, 31, size=(4, 8, 8))
+    weights = rng.integers(-30, 31, size=(9, 4, 3, 3))
+    weights[rng.random(weights.shape) >= 0.6] = 0
+    biases = rng.integers(-200, 201, size=9)
+    packed = PackedLayer.pack(weights)
+    sim = Simulator("dse-bias8", fastpath=True)
+    instance = AcceleratorInstance(
+        sim, AcceleratorConfig(lanes=8, bank_capacity=1 << 15))
+    ofm, cycles = execute_conv(instance, ifm, packed, biases=biases,
+                               shift=2, apply_relu=True)
+    acc = conv2d_int(ifm, weights) + biases[:, None, None]
+    want = np.maximum(shift_round_array(acc, 2), 0)
+    want = saturate_array(want).astype(np.int16)
+    assert cycles > 0
+    np.testing.assert_array_equal(ofm, want)
+
+
+def test_tolerance_is_exact_only_when_calibrated():
+    exact = DesignConfig(lanes=4, tile=4, queue_depth=2, acc_queue_depth=8)
+    loose = DesignConfig(lanes=8, tile=8, queue_depth=2, acc_queue_depth=8)
+    assert is_calibrated(exact)
+    assert not is_calibrated(loose)
+    assert cycle_tolerance(exact, 10_000) == EXACT_TOLERANCE_CYCLES
+    assert cycle_tolerance(loose, 10_000) == pytest.approx(800.0)
+    # The absolute floor takes over on tiny layers.
+    assert cycle_tolerance(loose, 10) == pytest.approx(32.0)
+
+
+def test_illegal_configs_rejected():
+    with pytest.raises(IllegalConfig):
+        differential_check(DesignConfig(tile=2))
+    with pytest.raises(IllegalConfig):
+        differential_check(DesignConfig(queue_depth=1))
+    with pytest.raises(IllegalConfig):
+        differential_check(DesignConfig(acc_queue_depth=1))
+    with pytest.raises(IllegalConfig):
+        differential_check(DesignConfig(lanes=0))
+
+
+def test_depth_one_queue_really_breaks_the_model():
+    """The legality rule exists for a reason: force depth 1 past the
+    checks and the simulator stalls far outside any envelope."""
+    legal = DesignConfig(lanes=4, queue_depth=2, bank_capacity=1 << 15)
+    rng = np.random.default_rng(0)
+    ifm = rng.integers(-40, 41, size=(4, 10, 10))
+    weights = rng.integers(-40, 41, size=(4, 4, 3, 3))
+    packed = PackedLayer.pack(weights)
+
+    def run(queue_depth):
+        sim = Simulator(f"depth{queue_depth}", fastpath=True)
+        instance = AcceleratorInstance(sim, AcceleratorConfig(
+            lanes=4, bank_capacity=1 << 15, queue_depth=queue_depth))
+        _, cycles = execute_conv(instance, ifm, packed, shift=2)
+        return cycles
+
+    assert run(1) > 1.2 * run(legal.queue_depth)

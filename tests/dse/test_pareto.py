@@ -1,0 +1,116 @@
+"""Pareto-extraction properties and area/power monotonicity checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.area import queue_delta_alms, variant_area
+from repro.core.variants import custom_variant
+from repro.dse import (DesignPoint, dominates, dominators, pareto_frontier)
+
+
+def point(name, gops, power, alm):
+    return DesignPoint(name=name, lanes=4, instances=1,
+                       bank_capacity=1 << 19, clock_mhz=150.0,
+                       alm_utilization=alm, ram_utilization=0.5,
+                       fpga_power_w=power, mean_gops=gops)
+
+
+def test_hand_computed_three_point_frontier():
+    fast = point("fast", 60.0, 3.0, 0.8)     # most throughput
+    frugal = point("frugal", 20.0, 1.0, 0.2)  # least power/area
+    middle = point("middle", 40.0, 2.0, 0.5)  # incomparable to both
+    assert pareto_frontier([fast, frugal, middle]) == \
+        [frugal, middle, fast]
+
+
+def test_hand_computed_dominated_point_dropped():
+    good = point("good", 40.0, 2.0, 0.4)
+    worse = point("worse", 30.0, 2.5, 0.5)   # loses on every axis
+    tied = point("tied", 40.0, 2.0, 0.4)     # equal, not dominated
+    assert pareto_frontier([good, worse, tied]) == [good, tied]
+    assert dominators(worse, [good, worse, tied]) == [good, tied]
+    assert dominators(good, [good, worse, tied]) == []
+
+
+def test_dominance_requires_strict_improvement():
+    a = point("a", 40.0, 2.0, 0.4)
+    b = point("b", 40.0, 2.0, 0.4)
+    assert not dominates(a, b)
+    assert not dominates(b, a)
+    assert dominates(point("c", 41.0, 2.0, 0.4), a)
+
+
+def points_strategy():
+    return st.lists(
+        st.tuples(st.integers(0, 5), st.integers(1, 5), st.integers(1, 5)),
+        min_size=1, max_size=12).map(
+            lambda triples: [
+                point(f"p{i}", float(g * 10), float(w), a / 10.0)
+                for i, (g, w, a) in enumerate(triples)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_strategy())
+def test_no_frontier_point_is_dominated(points):
+    frontier = pareto_frontier(points)
+    assert frontier
+    for candidate in frontier:
+        assert not any(dominates(other, candidate) for other in points)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_strategy())
+def test_every_dropped_point_is_dominated_by_a_frontier_point(points):
+    frontier = set(pareto_frontier(points))
+    for candidate in points:
+        if candidate in frontier:
+            continue
+        assert any(dominates(keeper, candidate) for keeper in frontier)
+
+
+@settings(max_examples=20, deadline=None)
+@given(points=points_strategy(), seed=st.integers(0, 1000))
+def test_frontier_is_order_independent(points, seed):
+    shuffled = list(points)
+    random.Random(seed).shuffle(shuffled)
+    assert pareto_frontier(shuffled) == pareto_frontier(points)
+
+
+# -- physicality of the models the sweep ranks on ---------------------
+
+def test_more_lanes_means_no_less_area():
+    previous = None
+    for lanes in (1, 2, 4, 8):
+        variant = custom_variant(lanes=lanes, instances=1, target_mhz=150.0)
+        alms = variant_area(variant).total_alms
+        if previous is not None:
+            assert alms > previous
+        previous = alms
+
+
+def test_deeper_queues_mean_no_less_area():
+    variant = custom_variant(lanes=4, instances=1, target_mhz=150.0)
+    base = variant_area(variant).total_alms
+    deeper = variant_area(variant, queue_depth=4,
+                          acc_queue_depth=16).total_alms
+    shallower = variant_area(variant, acc_queue_depth=2).total_alms
+    assert deeper > base
+    assert shallower < base
+    assert queue_delta_alms(4, 4) == 0   # calibrated defaults cost nothing
+
+
+def test_bigger_banks_mean_no_fewer_m20ks():
+    variant = custom_variant(lanes=4, instances=1, target_mhz=150.0)
+    small = variant_area(variant, bank_capacity=1 << 18).total_m20ks
+    large = variant_area(variant, bank_capacity=1 << 19).total_m20ks
+    assert large > small
+
+
+def test_queue_delta_rejects_nonpositive_depths():
+    with pytest.raises(ValueError):
+        queue_delta_alms(4, 4, queue_depth=0)
+    with pytest.raises(ValueError):
+        queue_delta_alms(4, 4, acc_queue_depth=0)

@@ -68,6 +68,37 @@ def test_explore_output(capsys):
     assert "120MHz" in out  # congestion-limited clock shows up
 
 
+def test_dse_smoke_output(capsys, tmp_path):
+    report = tmp_path / "dse.json"
+    frontier = tmp_path / "frontier.json"
+    assert main(["dse", "--smoke", "--jobs", "2", "--validate", "2",
+                 "--json", str(report), "--out", str(frontier)]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "138 GOPS" in out
+    assert ", PASS)" in out
+    import json
+    doc = json.loads(report.read_text())
+    assert doc["validation"]["passed"] is True
+    # Every reported frontier point is differential-checked.
+    validated = {c["name"] for c in doc["validation"]["checks"]}
+    assert {p["name"] for p in doc["frontier"]} <= validated
+    front = json.loads(frontier.read_text())
+    assert front["frontier"]
+    assert front["paper_anchor_gops"] == 138.0
+
+
+def test_dse_json_stdout_deterministic(capsys):
+    assert main(["dse", "--smoke", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["dse", "--smoke", "--json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    import json
+    doc = json.loads(first)
+    assert doc["evaluated"] == doc["legal"] - doc["dropped_unfit"]
+
+
 def test_program_output(capsys):
     assert main(["program"]) == 0
     out = capsys.readouterr().out
