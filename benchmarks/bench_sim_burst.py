@@ -119,6 +119,7 @@ def run_layer(scenario: Scenario, fastpath: bool, burst: bool,
         "warped_cycles": sim.warped_cycles,
         "bursts": sim.bursts,
         "burst_cycles": sim.burst_cycles,
+        "phase_coverage": instance.burst_pipeline.coverage(),
     }
 
 
@@ -161,6 +162,7 @@ def bench(scenario: Scenario) -> dict:
         "burst_cycles": runs["burst"]["burst_cycles"],
         "burst_fraction": (runs["burst"]["burst_cycles"] / cycles
                            if cycles else 0.0),
+        "phase_coverage": runs["burst"]["phase_coverage"],
         "warped_cycles_warp_only": runs["warp-only"]["warped_cycles"],
         "ref_wall_s": walls["reference"],
         "warp_only_wall_s": walls["warp-only"],
@@ -224,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  simulated cycles : {result['cycles']}"
           f" (burst {result['burst_cycles']},"
           f" {100 * result['burst_fraction']:.1f}%)")
+    for family, stats in sorted(result["phase_coverage"].items()):
+        print(f"    {family:<10}: {stats['windows']} windows, "
+              f"{stats['cycles']} cycles")
     print(f"  reference wall   : {result['ref_wall_s']:.3f} s")
     print(f"  warp-only wall   : {result['warp_only_wall_s']:.3f} s"
           f"  ({result['warp_only_speedup']:.2f}x)")

@@ -118,6 +118,11 @@ def run_layer(scenario: Scenario, fastpath: bool, seed: int = 0) -> dict:
     wall = time.perf_counter() - start
     ofm = driver.read_feature_map(out_handle)
     sim = soc.sim
+    # Per-family replay coverage: the accelerator's phase replayers
+    # plus the standalone DMA service-loop replayer.
+    coverage = soc.accel.burst_pipeline.coverage()
+    coverage["dma"] = {"windows": soc.dma.replayer.windows,
+                       "cycles": soc.dma.replayer.cycles}
     return {
         "wall_s": wall,
         "cycles": sim.now,
@@ -128,6 +133,7 @@ def run_layer(scenario: Scenario, fastpath: bool, seed: int = 0) -> dict:
         "warped_cycles": sim.warped_cycles,
         "bursts": sim.bursts,
         "burst_cycles": sim.burst_cycles,
+        "phase_coverage": coverage,
     }
 
 
@@ -174,6 +180,7 @@ def bench(scenario: Scenario) -> dict:
                            if cycles else 0.0),
         "stepped_cycles": (cycles - fast["warped_cycles"]
                            - fast["burst_cycles"]),
+        "phase_coverage": fast["phase_coverage"],
         "fast_wall_s": fast_wall,
         "ref_wall_s": ref_wall,
         "speedup": ref_wall / fast_wall if fast_wall else 0.0,
@@ -230,6 +237,9 @@ def main(argv: list[str] | None = None) -> int:
               f" {100 * result['warped_fraction']:.1f}%;"
               f" burst {result['burst_cycles']},"
               f" {100 * result['burst_fraction']:.1f}%)")
+        for family, stats in sorted(result["phase_coverage"].items()):
+            print(f"    {family:<10}: {stats['windows']} windows, "
+                  f"{stats['cycles']} cycles")
         print(f"  reference wall   : {result['ref_wall_s']:.3f} s")
         print(f"  fast-path wall   : {result['fast_wall_s']:.3f} s")
         print(f"  speedup          : {result['speedup']:.2f}x")

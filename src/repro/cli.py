@@ -326,15 +326,20 @@ def cmd_faults(args) -> str:
 
 def cmd_profile(args) -> str:
     """Profile scaled VGG-16 layer(s) and print the bottleneck table."""
-    from repro.obs import run_profile
+    from repro.obs import HostProfiler, run_profile
     target = getattr(args, "subcommand", None) or "conv1_1"
-    result = run_profile(target, smoke=args.smoke, seed=args.seed)
+    hostprof = HostProfiler() if args.hostprof else None
+    result = run_profile(target, smoke=args.smoke, seed=args.seed,
+                         hostprof=hostprof)
     if args.metrics:
         with open(args.metrics, "w") as fh:
             fh.write(result.json())
     if args.json:
         return result.json()
-    return result.format()
+    text = result.format()
+    if hostprof is not None:
+        text += "\n\n" + hostprof.format()
+    return text
 
 
 def write_trace(trace: dict, path: str) -> str:
@@ -535,6 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "write a file instead)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="profile: also write the metrics JSON here")
+    parser.add_argument("--hostprof", action="store_true",
+                        help="profile: attribute host wall time to the "
+                             "warp/burst/scalar stepping paths and print "
+                             "the 'vectorize next' ranking")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="faults/serve chaos/dse: run trials across N "
                              "worker processes (default 1 = serial; the "

@@ -29,7 +29,7 @@ from repro.core.instructions import (ConvInstruction, Opcode,
                                      PadPoolInstruction)
 from repro.core.packing import (PackedLayer, serialize_unit_stream,
                                 unit_channels)
-from repro.core.padpool import padpool_kernel
+from repro.core.padpool import PadPoolPhase, padpool_kernel
 from repro.core.sram import SramBank, make_banks
 from repro.core.staging import StagingPhase, staging_kernel
 from repro.core.tile import TILE, tiles_along, to_tiles
@@ -89,6 +89,8 @@ class AcceleratorInstance:
         staging_kernels = []
         conv_kernels = []
         accum_kernels = []
+        padpool_kernels = []
+        writeback_kernels = []
         for u in range(cfg.lanes):
             staging_phase = StagingPhase()
             kernel = sim.add_kernel(
@@ -121,11 +123,14 @@ class AcceleratorInstance:
                 fsm_states=10, ii=1)
             kernel.phase = accum_phase
             accum_kernels.append(kernel)
-            sim.add_kernel(
+            padpool_phase = PadPoolPhase()
+            kernel = sim.add_kernel(
                 f"{name}.padpool{u}",
                 padpool_kernel(u, self.padpool_qs[u], self.writeback_qs[u],
-                               tile=cfg.tile),
+                               tile=cfg.tile, phase=padpool_phase),
                 fsm_states=8, ii=1)
+            kernel.phase = padpool_phase
+            padpool_kernels.append(kernel)
             writeback_phase = WritebackPhase()
             kernel = sim.add_kernel(
                 f"{name}.writeback{u}",
@@ -133,12 +138,17 @@ class AcceleratorInstance:
                                  phase=writeback_phase),
                 fsm_states=4, ii=1)
             kernel.phase = writeback_phase
-        #: Burst-mode detector/executor for this instance's MAC pipeline
+            writeback_kernels.append(kernel)
+        #: Burst-mode detector/executor for this instance's pipelines —
+        #: the MAC stream, the pad/pool chain and writeback drains
         #: (engaged only when ``sim.burst`` is set; see
         #: :mod:`repro.core.burst`).
         self.burst_pipeline = BurstPipeline(
             sim, staging_kernels, conv_kernels, accum_kernels,
-            self.conv_qs, self.acc_qs, self.banks, tile=cfg.tile)
+            self.conv_qs, self.acc_qs, self.banks, tile=cfg.tile,
+            padpool_kernels=padpool_kernels,
+            writeback_kernels=writeback_kernels,
+            padpool_qs=self.padpool_qs, writeback_qs=self.writeback_qs)
         sim.register_burst_pipeline(self.burst_pipeline)
         self._exec_count = 0
 

@@ -1,4 +1,4 @@
-"""Burst-mode vectorized execution of steady-state MAC streams.
+"""Burst-mode vectorized execution of steady-state pipeline phases.
 
 The paper's accelerator earns its throughput in one regime: an IFM
 region is latched, packed weights stream at one group per cycle, and
@@ -8,31 +8,38 @@ Python-generator dispatch for every one of those cycles — PR 3's
 cycle-warp eliminates *dead* windows, but a compute-bound layer has
 almost none.
 
-This module adds the third scheduler mode: when every lane of an
-accelerator instance is parked in the steady-state posture —
+This module adds the third scheduler mode as a family of phase
+replayers behind one :class:`BurstPipeline` dispatcher.  Each replayer
+structurally detects one steady-state pattern, replays whole windows
+(>= :data:`MIN_BURST_CYCLES`) as batched numpy plus staged-clock FIFO
+and SRAM operations, and bulk-credits every per-cycle side effect —
+kernel cycle counters, FIFO port/stall stats, occupancy integrals,
+timeline samples, trace events and watchdog checks land bit- and
+cycle-identically to the reference stepper:
 
-* staging units at their in-loop ``Tick(1)`` with MAC messages left to
-  emit (``StagingStream.streaming``),
-* convolution units at the MAC-branch ``Tick(1)`` with a latched
-  region (``ConvUnitPhase.streaming``),
-* accumulator units at the round ``Tick(1)`` with all four input
-  streams live (``AccumulatorPhase.streaming``),
-* every pipeline queue in pure producer/consumer flow (exactly one
-  visible in-flight MAC message, both ports idle —
-  ``PthreadFifo.steady_stream_head``),
-* no sim/FIFO/SRAM fault hooks armed, and every other kernel provably
-  inert for the window —
+* :class:`MacStreamReplayer` — the steady-state MAC stream: staging
+  units feeding convolution units feeding accumulators at II = 1,
+  executed as one batched ``einsum`` over the 8x8 regions.
+* :class:`PadPoolReplayer` — the pad/pool chain's period-4 steady
+  state: staging quad-loads a region and emits a message, the pad/pool
+  unit computes a tile, the writeback unit drains it — replayed with
+  batched sliding-window maxima and real staged-clock queue traffic.
+* :class:`WritebackDrainReplayer` — a writeback unit draining a
+  backlog of completed tiles at one pop + one SRAM write per cycle
+  while its producers are quiet.
+* :class:`repro.soc.dma.DmaServiceReplayer` (registered by the DMA
+  controller) — the engine's ``while not request.done`` service loop,
+  an always-live poll that defeats cycle-warp.
 
-the remainder of the window is executed as batched numpy ops
-(``einsum`` over the 8x8 regions; zero weights contribute exactly the
-zero the scalar bubble skip would) and every per-cycle side effect is
-bulk-credited: kernel cycle counters, FIFO port/stall stats, occupancy
-integrals, timeline samples and watchdog checks land bit- and
-cycle-identically to the reference stepper.  Region loads still go
-through ``SramBank.read_tile`` with ``sim.now`` staged to the exact
-emission cycle, so bank stats and port-conflict detection are exact.
+Replayers check the attached obs hub's capabilities *per hook*: a hub
+that implements the bulk hooks a replayer needs (``on_burst`` /
+``on_burst_window`` / ``on_warp`` plus ``on_stall_span``) keeps the
+fast path; a hub that lacks them only disables the replayers that
+cannot reproduce its observations.  With tracing armed, replayers
+append the exact per-cycle :class:`~repro.obs.events.TraceEvent`
+sequence the stepper would have recorded.
 
-The schedule being replayed (one cycle ``c`` of a burst window):
+The MAC schedule being replayed (one cycle ``c`` of a burst window):
 
 * staging ``u`` pushes message ``M_c`` into its conv queue;
 * conv ``u`` pops ``M_{c-1}`` (visible after the 1-cycle FIFO latency)
@@ -46,6 +53,17 @@ accumulators absorb the in-flight products plus the products of the
 first ``W - 1`` conv consumptions, and exactly one message per queue
 remains in flight afterwards — the boundary invariant the eligibility
 check verifies before and the engine re-establishes after.
+
+The pad/pool schedule (one period of 4 cycles at base ``b``):
+
+* at ``b``: staging pushes the staged message into the pad/pool queue
+  and quad-loads the next region (4 ``read_tile`` calls, port A); the
+  pad/pool unit pushes its completed tile into the writeback queue;
+* at ``b + 1``: the pad/pool unit pops the message (visible after the
+  FIFO latency) and computes; the writeback unit pops the tile and
+  writes it to the bank (port B);
+* at ``b + 2`` / ``b + 3``: every participant sleeps out its ``Tick``
+  while the writeback unit stalls empty.
 """
 
 from __future__ import annotations
@@ -53,27 +71,140 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.core.padpool import compute_padpool_tiles
 from repro.hls.errors import SimulationTimeout
 from repro.hls.fifo import ReadOp, WriteOp
 from repro.hls.kernel import KernelState
+from repro.obs.events import TraceEvent
 
 #: Smallest window worth vectorizing; below this plain stepping is
 #: cheaper than the eligibility scan + batched setup.
 MIN_BURST_CYCLES = 4
 
 
-class BurstPipeline:
-    """Burst-eligibility detector + vectorized executor for one instance.
+def hub_supports(obs, *hooks: str) -> bool:
+    """True when no hub is attached or it implements every named hook."""
+    return obs is None or all(hasattr(obs, hook) for hook in hooks)
 
-    Registered with the simulator via
-    :meth:`repro.hls.sim.Simulator.register_burst_pipeline`; the
-    scheduler calls :meth:`try_burst` on live cycles after the
-    cycle-warp fast path declined.
+
+class PhaseReplayer:
+    """Base class: shared spectator logic + per-phase coverage counters.
+
+    A replayer owns one steady-state pattern.  ``try_burst(sim, limit)``
+    returns True when it executed a window (the clock moved); the
+    dispatcher stops at the first replayer that does.
     """
+
+    name = "phase"
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: Windows executed / cycles covered by this replayer (feeds
+        #: the per-phase coverage section of the burst benchmarks).
+        self.windows = 0
+        self.cycles = 0
+
+    def try_burst(self, sim, limit: int) -> bool:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _clamp_spectators(self, sim, now: int, window: int,
+                          participants: frozenset,
+                          involved: frozenset) -> int:
+        """Clamp ``window`` to the first spectator event; 0 declines.
+
+        A spectator (any non-participant kernel) must be provably inert
+        for the whole window: a pending op on an involved queue is an
+        outside observer (decline), a kernel live this cycle must be
+        stepped normally (decline), and a kernel waking mid-window
+        bounds the replay.
+        """
+        for kernel in sim.kernels:
+            if id(kernel) in participants or kernel.finished:
+                continue
+            op = kernel.pending_op
+            if (isinstance(op, (ReadOp, WriteOp))
+                    and id(op.fifo) in involved):
+                return 0
+            event = kernel.next_event_cycle(now)
+            if event is None:
+                continue       # only another kernel can unblock it
+            if event <= now:
+                return 0       # live non-participant: step normally
+            if event - now < window:
+                window = event - now
+        return window
+
+    def _credit_spectators(self, sim, start: int, window: int,
+                           participants: frozenset, obs) -> None:
+        """Bulk-credit every spectator's per-cycle accounting."""
+        for kernel in sim.kernels:
+            if id(kernel) in participants or kernel.finished:
+                continue
+            state = kernel.state
+            if state is KernelState.SLEEPING:
+                kernel.stats.sleep_cycles += window
+            elif state is KernelState.STALL_EMPTY:
+                fifo = kernel.pending_op.fifo
+                kernel.stats.stall_empty_cycles += window
+                fifo.stats.stall_empty_cycles += window
+                if obs is not None:
+                    obs.on_stall_span(kernel, fifo.name, "empty",
+                                      start, window)
+            elif state is KernelState.STALL_FULL:
+                fifo = kernel.pending_op.fifo
+                kernel.stats.stall_full_cycles += window
+                fifo.stats.stall_full_cycles += window
+                if obs is not None:
+                    obs.on_stall_span(kernel, fifo.name, "full",
+                                      start, window)
+            elif state is KernelState.AT_BARRIER:
+                kernel.stats.barrier_cycles += window
+                if obs is not None:
+                    obs.on_stall_span(kernel,
+                                      kernel.pending_op.barrier.name,
+                                      "barrier", start, window)
+
+    def _timeout(self, sim):
+        return sim._with_snapshot(SimulationTimeout(
+            f"{sim.name}: watchdog expired at cycle {sim.now} — no "
+            f"progress for more than {sim.watchdog.budget} cycles"))
+
+    def _finish(self, sim, window: int) -> None:
+        sim.bursts += 1
+        sim.burst_cycles += window
+        self.windows += 1
+        self.cycles += window
+
+
+class MacStreamReplayer(PhaseReplayer):
+    """Batched replay of the steady-state MAC stream (Section III-B).
+
+    Eligible when every lane is parked in the streaming posture —
+
+    * staging units at their in-loop ``Tick(1)`` with MAC messages left
+      to emit (``StagingStream.streaming``),
+    * convolution units at the MAC-branch ``Tick(1)`` with a latched
+      region (``ConvUnitPhase.streaming``),
+    * accumulator units at the round ``Tick(1)`` with all four input
+      streams live (``AccumulatorPhase.streaming``),
+    * every pipeline queue in pure producer/consumer flow (exactly one
+      visible in-flight MAC message, both ports idle —
+      ``PthreadFifo.steady_stream_head``),
+    * no sim/FIFO/SRAM fault hooks armed, and every other kernel
+      provably inert for the window.
+
+    Region loads still go through ``SramBank.read_tile`` with
+    ``sim.now`` staged to the exact emission cycle, so bank stats and
+    port-conflict detection are exact.
+    """
+
+    name = "mac"
 
     def __init__(self, sim, staging_kernels, conv_kernels, accum_kernels,
                  conv_qs, acc_qs, banks, tile: int = 4):
-        self.sim = sim
+        super().__init__(sim)
         self.lanes = lanes = len(staging_kernels)
         self.tile = tile
         self.staging = list(staging_kernels)
@@ -98,6 +229,21 @@ class BurstPipeline:
         #: pop on the conv queue plus ``lanes`` pushes + ``lanes`` pops
         #: across the accumulator queues.
         self.traffic_rate = lanes * (2 + 2 * lanes)
+        #: Per-cycle trace template in kernel registration order (the
+        #: within-lane order is staging, conv, accum; lanes ascend).
+        events = []
+        for u in range(lanes):
+            events.append((self.staging[u].name, "write",
+                           self.conv_qs[u].name))
+            events.append((self.convs[u].name, "read",
+                           self.conv_qs[u].name))
+            for j in range(lanes):
+                events.append((self.convs[u].name, "write",
+                               self.acc_qs[u][j].name))
+            for v in range(lanes):
+                events.append((self.accums[u].name, "read",
+                               self.acc_qs[v][u].name))
+        self._trace_template = tuple(events)
 
     # -- eligibility -----------------------------------------------------------
 
@@ -112,6 +258,8 @@ class BurstPipeline:
         lanes = self.lanes
         window = limit - now
         if window < MIN_BURST_CYCLES:
+            return False
+        if not hub_supports(sim._obs, "on_burst", "on_stall_span"):
             return False
         sleeping = KernelState.SLEEPING
         for u in range(lanes):
@@ -151,20 +299,8 @@ class BurstPipeline:
             # is per-call: a hooked bank takes the reference stepper.
             if bank.fault_hook is not None:
                 return False
-        for kernel in sim.kernels:
-            if id(kernel) in self._participants or kernel.finished:
-                continue
-            op = kernel.pending_op
-            if (isinstance(op, (ReadOp, WriteOp))
-                    and id(op.fifo) in self._involved):
-                return False   # an outside observer of a burst queue
-            event = kernel.next_event_cycle(now)
-            if event is None:
-                continue       # only another kernel can unblock it
-            if event <= now:
-                return False   # live non-participant: step normally
-            if event - now < window:
-                window = event - now
+        window = self._clamp_spectators(sim, now, window,
+                                        self._participants, self._involved)
         if window < MIN_BURST_CYCLES:
             return False
         end = now + window
@@ -176,9 +312,7 @@ class BurstPipeline:
                 # can fire — every later check sees strictly more FIFO
                 # traffic and refreshes — so raise without executing,
                 # exactly as the stepper would at the top of this cycle.
-                raise sim._with_snapshot(SimulationTimeout(
-                    f"{sim.name}: watchdog expired at cycle {sim.now} — no "
-                    f"progress for more than {sim.watchdog.budget} cycles"))
+                raise self._timeout(sim)
         self._execute(sim, now, end, heads)
         return True
 
@@ -286,33 +420,399 @@ class BurstPipeline:
             kernel.stats.active_cycles += window
             kernel.stats.items_read += window * lanes
             kernel.wake_cycle = end
-        for kernel in sim.kernels:
-            if id(kernel) in self._participants or kernel.finished:
-                continue
-            state = kernel.state
-            if state is KernelState.SLEEPING:
-                kernel.stats.sleep_cycles += window
-            elif state is KernelState.STALL_EMPTY:
-                fifo = kernel.pending_op.fifo
-                kernel.stats.stall_empty_cycles += window
-                fifo.stats.stall_empty_cycles += window
-                if obs is not None:
-                    obs.on_stall_span(kernel, fifo.name, "empty",
-                                      start, window)
-            elif state is KernelState.STALL_FULL:
-                fifo = kernel.pending_op.fifo
-                kernel.stats.stall_full_cycles += window
-                fifo.stats.stall_full_cycles += window
-                if obs is not None:
-                    obs.on_stall_span(kernel, fifo.name, "full",
-                                      start, window)
-            elif state is KernelState.AT_BARRIER:
-                kernel.stats.barrier_cycles += window
-                if obs is not None:
-                    obs.on_stall_span(kernel, kernel.pending_op.barrier.name,
-                                      "barrier", start, window)
+        self._credit_spectators(sim, start, window, self._participants, obs)
+        if sim.trace:
+            append = sim.events.append
+            for cycle in range(start, end):
+                for source, kind, detail in self._trace_template:
+                    append(TraceEvent(cycle, source, kind, detail))
         if obs is not None:
             obs.on_burst(sim, start, end, self.flows)
         sim.now = end
-        sim.bursts += 1
-        sim.burst_cycles += window
+        self._finish(sim, window)
+
+
+class PadPoolReplayer(PhaseReplayer):
+    """Batched replay of the pad/pool chain's period-4 steady state.
+
+    A lane participates when its whole chain is phase-aligned at the
+    period base: staging parked at its ``Tick(4)`` with a staged
+    message pending and loads remaining, the pad/pool unit parked at
+    its ``Tick(3)`` with a computed tile pending, the writeback unit
+    stalled empty on its queue, and both queues empty with idle ports.
+    Misaligned lanes (instruction warm-up/tail, lanes that finished
+    early) simply fail the posture check and are handled as spectators
+    — a *live* spectator declines the window.
+
+    The tile maxima are computed with one batched sliding-window pass
+    per (win, stride) group per period (:func:`compute_padpool_tiles`,
+    differentially tested against the scalar reference); queue traffic
+    and bank reads/writes run through the real ``push``/``pop``/
+    ``read_tile``/``write_tile`` paths with ``sim.now`` staged to the
+    exact cycle, so stats, port trackers and telemetry hooks see the
+    identical sequence.
+    """
+
+    name = "padpool"
+
+    #: Cycles per pipeline period (staging Tick(4) == pad/pool
+    #: read->write cadence with the paper's 4 MAX units).
+    PERIOD = 4
+
+    def __init__(self, sim, staging_kernels, padpool_kernels,
+                 writeback_kernels, padpool_qs, writeback_qs, banks,
+                 tile: int = 4):
+        super().__init__(sim)
+        self.lanes = len(staging_kernels)
+        self.tile = tile
+        self.staging = list(staging_kernels)
+        self.padpools = list(padpool_kernels)
+        self.writebacks = list(writeback_kernels)
+        self.padpool_qs = list(padpool_qs)
+        self.writeback_qs = list(writeback_qs)
+        self.banks = list(banks)
+
+    def try_burst(self, sim, limit: int) -> bool:
+        if self.tile != 4:
+            # The period-4 cadence is specific to the paper's sizing
+            # (tile*tile / MAX_UNITS == 4 == quad-load cycles).
+            return False
+        now = sim.now
+        period = self.PERIOD
+        k_max = (limit - now) // period
+        if k_max < 1:
+            return False
+        if not hub_supports(sim._obs, "on_burst_window", "on_stall_span"):
+            return False
+        sleeping = KernelState.SLEEPING
+        stall_empty = KernelState.STALL_EMPTY
+        participants = []
+        for u in range(self.lanes):
+            stg = self.staging[u]
+            if stg.state is not sleeping or stg.wake_cycle != now:
+                continue
+            stream = getattr(stg.phase, "pp_stream", None)
+            if stream is None or stream.pending is None:
+                continue
+            loads = stream.loads_remaining
+            if loads < 1:
+                continue
+            pp = self.padpools[u]
+            if (pp.state is not sleeping or pp.wake_cycle != now
+                    or pp.phase is None or pp.phase.pending is None):
+                continue
+            wb = self.writebacks[u]
+            op = wb.pending_op
+            if (wb.state is not stall_empty or not isinstance(op, ReadOp)
+                    or op.fifo is not self.writeback_qs[u]
+                    or wb.phase.draining):
+                continue
+            pq = self.padpool_qs[u]
+            wq = self.writeback_qs[u]
+            if (pq.occupancy or wq.occupancy
+                    or pq.fault_hook is not None
+                    or wq.fault_hook is not None
+                    or not pq.ports_idle(now) or not wq.ports_idle(now)
+                    or pq.depth < 1 or wq.depth < 1):
+                continue
+            if self.banks[u].fault_hook is not None:
+                continue
+            participants.append(u)
+            if loads < k_max:
+                k_max = loads
+        if not participants:
+            return False
+        participant_ids = frozenset(
+            id(k) for u in participants
+            for k in (self.staging[u], self.padpools[u],
+                      self.writebacks[u]))
+        involved = frozenset(
+            id(q) for u in participants
+            for q in (self.padpool_qs[u], self.writeback_qs[u]))
+        window = self._clamp_spectators(sim, now, k_max * period,
+                                        participant_ids, involved)
+        k = window // period
+        if k < 1 or k * period < MIN_BURST_CYCLES:
+            return False
+        window = k * period
+        end = now + window
+        if sim.watchdog is not None:
+            # Traffic the stepper's checks would see: 2 pushes per
+            # participant at each period base, 2 pops one cycle later
+            # (a check at cycle c counts only cycles before c).
+            events = 2 * len(participants)
+            prefix = (0, events, 2 * events, 2 * events)
+            fire = sim.watchdog.observe_window(
+                sim, now, end,
+                lambda off: (off // period) * 2 * events
+                + prefix[off % period])
+            if fire is not None:
+                if fire == now:
+                    raise self._timeout(sim)
+                return False   # mid-window fire: the stepper reproduces it
+        self._execute(sim, now, end, participants)
+        return True
+
+    def _execute(self, sim, start: int, end: int,
+                 participants: list) -> None:
+        period = self.PERIOD
+        k = (end - start) // period
+        window = end - start
+        obs = sim._obs
+        trace = sim.trace
+        tile = self.tile
+        streams = {u: self.staging[u].phase.pp_stream for u in participants}
+        phases = {u: self.padpools[u].phase for u in participants}
+        if trace:
+            base_events = []
+            pop_events = []
+            for u in participants:
+                base_events.append((self.staging[u].name, "write",
+                                    self.padpool_qs[u].name))
+                base_events.append((self.padpools[u].name, "write",
+                                    self.writeback_qs[u].name))
+                pop_events.append((self.padpools[u].name, "read",
+                                   self.padpool_qs[u].name))
+                pop_events.append((self.writebacks[u].name, "read",
+                                   self.writeback_qs[u].name))
+        for p in range(k):
+            base = start + p * period
+            sim.now = base
+            for u in participants:
+                stream = streams[u]
+                self.padpool_qs[u].push(base, stream.take())
+                stream.load_next()
+                self.writeback_qs[u].push(base, phases[u].take())
+            sim.now = base + 1
+            popped = []
+            for u in participants:
+                msg = self.padpool_qs[u].pop(base + 1)
+                popped.append((u, msg))
+                addr, values = self.writeback_qs[u].pop(base + 1)
+                self.banks[u].write_tile(addr, values)
+            # Batched compute of this period's tiles, grouped by window
+            # parameterization (constant per lane within an instruction
+            # but PAD and POOL lanes can coexist).
+            by_params = {}
+            for u, msg in popped:
+                by_params.setdefault((msg[3], msg[4]), []).append((u, msg))
+            for (win, stride), items in by_params.items():
+                regions = np.stack([msg[0] for _, msg in items])
+                offs_y = np.array([msg[1] for _, msg in items])
+                offs_x = np.array([msg[2] for _, msg in items])
+                outs = compute_padpool_tiles(regions, offs_y, offs_x,
+                                             win, stride, tile)
+                for (u, msg), out in zip(items, outs):
+                    phases[u].pending = (msg[5], out.astype(np.int16))
+            if trace:
+                append = sim.events.append
+                for source, kind, detail in base_events:
+                    append(TraceEvent(base, source, kind, detail))
+                for source, kind, detail in pop_events:
+                    append(TraceEvent(base + 1, source, kind, detail))
+        sim.now = start
+        runs = []
+        for u in participants:
+            stg = self.staging[u]
+            stg.stats.active_cycles += k
+            stg.stats.sleep_cycles += 3 * k
+            stg.stats.items_written += k
+            stg.wake_cycle = end
+            pp = self.padpools[u]
+            pp.stats.active_cycles += 2 * k
+            pp.stats.sleep_cycles += 2 * k
+            pp.stats.items_read += k
+            pp.stats.items_written += k
+            pp.wake_cycle = end
+            wb = self.writebacks[u]
+            wq = self.writeback_qs[u]
+            wb.stats.active_cycles += k
+            wb.stats.items_read += k
+            wb.stats.stall_empty_cycles += 3 * k
+            wq.stats.stall_empty_cycles += 3 * k
+            if obs is not None:
+                span = obs.on_stall_span
+                wb_runs = []
+                for p in range(k):
+                    base = start + p * period
+                    # Stalls at base and base+2..base+3; active base+1.
+                    span(wb, wq.name, "empty", base, 1)
+                    span(wb, wq.name, "empty", base + 2, 2)
+                    wb_runs.append(("stall_empty", base))
+                    wb_runs.append(("sleeping", base + 1))
+                    wb_runs.append(("stall_empty", base + 2))
+                runs.append((wb, tuple(wb_runs)))
+        self._credit_spectators(sim, start, window, frozenset(
+            id(k_) for u in participants
+            for k_ in (self.staging[u], self.padpools[u],
+                       self.writebacks[u])), obs)
+        if obs is not None:
+            involved_names = [q.name for u in participants
+                              for q in (self.padpool_qs[u],
+                                        self.writeback_qs[u])]
+
+            def occ_at(cycle, names=tuple(involved_names)):
+                # End-of-cycle occupancy: 1 right after the period-base
+                # pushes, 0 once the next cycle's pops drained them.
+                occ = 1 if (cycle - start) % period == 0 else 0
+                return {name: occ for name in names}
+
+            obs.on_burst_window(sim, start, end, runs=runs, occ_at=occ_at)
+        sim.now = end
+        self._finish(sim, window)
+
+
+class WritebackDrainReplayer(PhaseReplayer):
+    """Replay of writeback units draining a tile backlog.
+
+    A lane participates when its writeback unit is parked at the
+    mid-drain ``Tick(1)`` (``WritebackPhase.draining``) with a queue
+    backlog poppable on consecutive cycles
+    (``PthreadFifo.drain_run``).  Each replayed cycle performs the
+    real staged-clock pop and ``write_tile``.  Producers must be quiet
+    for the window — a producer stalled full on (or about to push
+    into) a drained queue is a live spectator and declines.
+
+    The deep backlogs that make this pattern worth vectorizing come
+    from configurations with large writeback queues; the paper-sized
+    depth-2 queues rarely accumulate more than
+    :data:`MIN_BURST_CYCLES` entries, which is exactly why the pattern
+    is kept structurally separate from the pad/pool chain replay.
+    """
+
+    name = "writeback"
+
+    def __init__(self, sim, writeback_kernels, writeback_qs, banks):
+        super().__init__(sim)
+        self.lanes = len(writeback_kernels)
+        self.writebacks = list(writeback_kernels)
+        self.writeback_qs = list(writeback_qs)
+        self.banks = list(banks)
+
+    def try_burst(self, sim, limit: int) -> bool:
+        now = sim.now
+        window = limit - now
+        if window < MIN_BURST_CYCLES:
+            return False
+        if not hub_supports(sim._obs, "on_burst_window", "on_stall_span"):
+            return False
+        sleeping = KernelState.SLEEPING
+        participants = []
+        for u in range(self.lanes):
+            wb = self.writebacks[u]
+            if (wb.state is not sleeping or wb.wake_cycle != now
+                    or wb.phase is None or not wb.phase.draining):
+                continue
+            wq = self.writeback_qs[u]
+            run = wq.drain_run(now)
+            if run < 1 or wq._last_push_cycle >= now:
+                continue
+            if self.banks[u].fault_hook is not None:
+                continue
+            participants.append(u)
+            if run < window:
+                window = run
+        if not participants or window < MIN_BURST_CYCLES:
+            return False
+        participant_ids = frozenset(id(self.writebacks[u])
+                                    for u in participants)
+        involved = frozenset(id(self.writeback_qs[u])
+                             for u in participants)
+        window = self._clamp_spectators(sim, now, window,
+                                        participant_ids, involved)
+        if window < MIN_BURST_CYCLES:
+            return False
+        end = now + window
+        if sim.watchdog is not None:
+            pops = len(participants)
+            fire = sim.watchdog.observe_window(
+                sim, now, end, lambda off: off * pops)
+            if fire is not None:
+                if fire == now:
+                    raise self._timeout(sim)
+                return False
+        self._execute(sim, now, end, participants)
+        return True
+
+    def _execute(self, sim, start: int, end: int,
+                 participants: list) -> None:
+        window = end - start
+        obs = sim._obs
+        trace = sim.trace
+        occ0 = {self.writeback_qs[u].name: self.writeback_qs[u].occupancy
+                for u in participants}
+        for cycle in range(start, end):
+            sim.now = cycle
+            for u in participants:
+                addr, values = self.writeback_qs[u].pop(cycle)
+                self.banks[u].write_tile(addr, values)
+                if trace:
+                    sim.events.append(TraceEvent(
+                        cycle, self.writebacks[u].name, "read",
+                        self.writeback_qs[u].name))
+        sim.now = start
+        for u in participants:
+            wb = self.writebacks[u]
+            wb.stats.active_cycles += window
+            wb.stats.items_read += window
+            wb.wake_cycle = end
+        self._credit_spectators(sim, start, window,
+                                frozenset(id(self.writebacks[u])
+                                          for u in participants), obs)
+        if obs is not None:
+            def occ_at(cycle):
+                done = cycle - start + 1   # pops completed by end of cycle
+                return {name: occ - done for name, occ in occ0.items()}
+
+            obs.on_burst_window(sim, start, end, occ_at=occ_at)
+        sim.now = end
+        self._finish(sim, window)
+
+
+class BurstPipeline:
+    """Per-instance dispatcher over the phase replayers.
+
+    Registered with the simulator via
+    :meth:`repro.hls.sim.Simulator.register_burst_pipeline`; the
+    scheduler calls :meth:`try_burst` on live cycles after the
+    cycle-warp fast path declined, and the first replayer whose
+    steady-state pattern matches executes the window.
+
+    The pad/pool and writeback replayers are created only when the
+    accelerator passes the corresponding kernels/queues (keyword
+    arguments), so MAC-only construction sites keep working.
+    """
+
+    def __init__(self, sim, staging_kernels, conv_kernels, accum_kernels,
+                 conv_qs, acc_qs, banks, tile: int = 4,
+                 padpool_kernels=None, writeback_kernels=None,
+                 padpool_qs=None, writeback_qs=None):
+        self.sim = sim
+        self.mac = MacStreamReplayer(sim, staging_kernels, conv_kernels,
+                                     accum_kernels, conv_qs, acc_qs,
+                                     banks, tile)
+        self.replayers: list[PhaseReplayer] = [self.mac]
+        self.padpool = None
+        self.writeback = None
+        if padpool_kernels is not None:
+            self.padpool = PadPoolReplayer(
+                sim, staging_kernels, padpool_kernels, writeback_kernels,
+                padpool_qs, writeback_qs, banks, tile)
+            self.replayers.append(self.padpool)
+        if writeback_kernels is not None:
+            self.writeback = WritebackDrainReplayer(
+                sim, writeback_kernels, writeback_qs, banks)
+            self.replayers.append(self.writeback)
+
+    def try_burst(self, sim, limit: int) -> bool:
+        """Dispatch to the first replayer whose pattern matches."""
+        for replayer in self.replayers:
+            if replayer.try_burst(sim, limit):
+                return True
+        return False
+
+    def coverage(self) -> dict:
+        """Per-phase window/cycle counters (benchmark schema section)."""
+        return {replayer.name: {"windows": replayer.windows,
+                                "cycles": replayer.cycles}
+                for replayer in self.replayers}

@@ -61,6 +61,8 @@ class PackedLayer:
         self.kernel = kernel
         self.tile = tile
         self.entries = entries
+        #: Memoized per-unit byte streams (serialize_unit_stream).
+        self._streams: dict[tuple, np.ndarray] = {}
 
     @classmethod
     def pack(cls, weights_q: np.ndarray, tile: int = TILE) -> "PackedLayer":
@@ -173,11 +175,20 @@ def serialize_unit_stream(packed: PackedLayer, unit: int, lanes: int = 4,
     byte, low nibble first), then ``count`` weight bytes — 1.5 bytes
     per non-zero. Offsets fit a nibble only while ``tile <= 4``
     (offsets 0..15), which is the paper's configuration.
+
+    The stream is a pure function of the packed layer, so it is
+    memoized on the ``PackedLayer`` instance (which :meth:`~PackedLayer
+    .pack` itself memoizes on content) — repeated stagings of the same
+    layer serialize once.  Treat the returned array as read-only.
     """
     if compact and packed.tile > 4:
         raise ValueError(
             f"compact encoding needs offsets < 16 (tile <= 4), "
             f"tile is {packed.tile}")
+    memo_key = (unit, lanes, group_size, compact)
+    cached = packed._streams.get(memo_key)
+    if cached is not None:
+        return cached
     stream: list[int] = []
     for g in range(out_groups(packed.out_channels, group_size)):
         for c in unit_channels(packed.in_channels, unit, lanes):
@@ -196,7 +207,9 @@ def serialize_unit_stream(packed: PackedLayer, unit: int, lanes: int = 4,
                     for entry in entries:
                         stream.append(entry.offset)
                         stream.append(encode(entry.weight))
-    return np.array(stream, dtype=np.int16)
+    result = np.array(stream, dtype=np.int16)
+    packed._streams[memo_key] = result
+    return result
 
 
 def parse_tile_entries(stream: np.ndarray, pos: int,

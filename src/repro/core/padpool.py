@@ -12,6 +12,11 @@ One instruction parameterization covers both operations: the OFM value
 ``region[off_y + y*stride : +win, off_x + x*stride : +win]`` —
 ``win = stride = 1`` with a non-zero offset realizes padding, and
 ``win = stride = 2`` with offset 0 realizes VGG's pooling.
+
+The unit's per-message state (the computed tile awaiting its
+``writeback_q`` push) lives in :class:`PadPoolPhase` rather than in
+generator locals so the burst fast path (``repro.core.burst``) can
+advance whole steady-state windows without resuming the generator.
 """
 
 from __future__ import annotations
@@ -28,7 +33,12 @@ MAX_UNITS = 4
 
 def compute_padpool_tile(region: np.ndarray, off_y: int, off_x: int,
                          win: int, stride: int, tile: int = 4) -> np.ndarray:
-    """Pure function: one OFM tile from a staged 8x8 region."""
+    """Pure function: one OFM tile from a staged 8x8 region.
+
+    This is the scalar reference; :func:`compute_padpool_tiles` is the
+    vectorized equivalent the burst replayer uses, differentially
+    tested against this one.
+    """
     out = np.zeros((tile, tile), dtype=np.int64)
     for y in range(tile):
         for x in range(tile):
@@ -39,8 +49,57 @@ def compute_padpool_tile(region: np.ndarray, off_y: int, off_x: int,
     return out
 
 
+def compute_padpool_tiles(regions: np.ndarray, offs_y: np.ndarray,
+                          offs_x: np.ndarray, win: int, stride: int,
+                          tile: int = 4) -> np.ndarray:
+    """Batched :func:`compute_padpool_tile` over stacked regions.
+
+    ``regions`` is ``(n, R, R)``; ``offs_y``/``offs_x`` give each
+    region's window origin.  The scalar reference relies on numpy slice
+    clipping at the region boundary; here the stack is padded with the
+    dtype minimum so clipped windows take their max over the same
+    surviving values — bit-identical as long as each scalar window is
+    non-empty (an empty window would have raised in the reference).
+    """
+    n, size, _ = regions.shape
+    span = int(max(offs_y.max(), offs_x.max())) + (tile - 1) * stride + win
+    pad = max(0, span - size)
+    if pad:
+        fill = np.iinfo(regions.dtype).min
+        regions = np.pad(regions, ((0, 0), (0, pad), (0, pad)),
+                         constant_values=fill)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        regions, (win, win), axis=(1, 2))
+    maxed = windows.max(axis=(3, 4))
+    grid = np.arange(tile) * stride
+    rows = offs_y[:, None, None] + grid[None, :, None]
+    cols = offs_x[:, None, None] + grid[None, None, :]
+    return maxed[np.arange(n)[:, None, None], rows, cols]
+
+
+class PadPoolPhase:
+    """Shared-state handle for one pad/pool unit.
+
+    ``pending`` holds the computed ``(addr, tile)`` between the compute
+    and its ``writeback_q`` push — the unit's only cross-cycle state.
+    Keeping it here (not in a generator local) lets the burst replayer
+    drain and refill it over whole windows while the generator stays
+    parked at its ``Tick``.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self):
+        self.pending = None
+
+    def take(self):
+        value = self.pending
+        self.pending = None
+        return value
+
+
 def padpool_kernel(index: int, in_q: PthreadFifo, writeback_q: PthreadFifo,
-                   tile: int = 4):
+                   tile: int = 4, phase: PadPoolPhase | None = None):
     """Generator body of one pad/pool unit.
 
     Each message carries a staged region plus the window
@@ -49,10 +108,13 @@ def padpool_kernel(index: int, in_q: PthreadFifo, writeback_q: PthreadFifo,
     tile to the write-to-memory unit.
     """
     del index  # units are identical; kept for naming symmetry
+    if phase is None:
+        phase = PadPoolPhase()
     cycles_per_tile = max(1, (tile * tile) // MAX_UNITS)
     while True:
         region, off_y, off_x, win, stride, addr = yield in_q.read()
         out = compute_padpool_tile(region, off_y, off_x, win, stride, tile)
+        phase.pending = (addr, out.astype(np.int16))
         yield Tick(cycles_per_tile - 1)
-        yield writeback_q.write((addr, out.astype(np.int16)))
+        yield writeback_q.write(phase.take())
         yield Tick(1)

@@ -17,11 +17,16 @@ class WritebackPhase:
     """Published phase state of one write-to-memory unit (``Kernel.phase``).
 
     The unit is stateless between tiles, so the descriptor only marks
-    the drain posture: during a steady MAC stream the accumulators are
+    the drain posture.  During a steady MAC stream the accumulators are
     mid-tile, the drain queue is empty, and the unit sits in
-    ``stall_empty`` — a stable non-participant the burst engine credits
-    with bulk stall cycles (no vectorized equivalent is needed because
-    no writeback traffic occurs inside a burst window).
+    ``stall_empty`` — a stable non-participant the MAC burst replayer
+    credits with bulk stall cycles.  When ``draining`` is True the unit
+    is parked at its ``Tick(1)`` mid-backlog — the posture
+    :class:`repro.core.burst.WritebackDrainReplayer` detects to replay
+    one pop + one ``write_tile`` per cycle in bulk; in the pad/pool
+    chain's period-4 steady state the unit instead alternates
+    stall/pop/stall and is replayed as a participant of
+    :class:`repro.core.burst.PadPoolReplayer`.
     """
 
     __slots__ = ("draining",)

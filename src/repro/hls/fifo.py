@@ -269,6 +269,35 @@ class PthreadFifo:
             return None
         return entry.value
 
+    def ports_idle(self, now: int) -> bool:
+        """True when neither port has been exercised at cycle ``now``.
+
+        Burst-eligibility probe for replayers that will drive both
+        ports themselves with the clock staged (see
+        :mod:`repro.core.burst`): a port already used this cycle means
+        some kernel moved data before the replayer looked, so the
+        pattern is not in its steady boundary state.
+        """
+        return self._last_push_cycle < now and self._last_pop_cycle < now
+
+    def drain_run(self, now: int) -> int:
+        """Longest prefix poppable on consecutive cycles from ``now``.
+
+        Entry ``i`` must be visible at ``now + i`` for a consumer
+        popping one value per cycle.  Returns 0 when the read port was
+        already used this cycle or a fault hook is armed (injected
+        stalls are re-decided per cycle).  Used by the writeback-drain
+        burst replayer to size its window.
+        """
+        if self._last_pop_cycle >= now or self.fault_hook is not None:
+            return 0
+        run = 0
+        for entry in self._entries:
+            if entry.visible_cycle > now + run:
+                break
+            run += 1
+        return run
+
     def burst_replace(self, value: Any, last_cycle: int, pushes: int,
                       peak_occupancy: int) -> Any:
         """Replace the single in-flight entry after a burst window.

@@ -214,6 +214,50 @@ class Watchdog:
         self._next_check = last_check + self.interval
         return None
 
+    def observe_window(self, sim: "Simulator", start: int, end: int,
+                       traffic_at: Callable[[int], int]) -> int | None:
+        """Replay the checks of a replay window with arbitrary traffic.
+
+        Generalizes :meth:`observe_burst` to windows whose FIFO traffic
+        is not a constant per-cycle rate: ``traffic_at(offset)`` must
+        return the exact number of port events the stepper would have
+        accumulated in cycles ``[start, start + offset)`` (the stepper
+        samples at the *top* of a cycle, before kernels advance, so the
+        check at cycle ``c`` sees only traffic from cycles before
+        ``c``).  Used by the pad/pool and writeback-drain replayers,
+        whose traffic arrives in periodic sub-cycle patterns.
+
+        Returns the exact cycle :meth:`expired` would first have fired
+        at, or ``None``.  On ``None`` the sampling state is committed
+        precisely as the stepper would have left it.  On a fire at
+        ``start`` the pre-fire state is committed (mirroring
+        :meth:`expired`) so the caller can raise without executing the
+        window.  On a *mid-window* fire nothing is committed: the
+        caller must decline the window and let the scalar stepper
+        reproduce the timeout bit-exactly.
+        """
+        first = self._next_check if self._next_check > start else start
+        if first >= end:
+            return None
+        base, extra = self._signature(sim)
+        last_signature = self._last_signature
+        last_progress = self._last_progress_cycle
+        cycle = first
+        while cycle < end:
+            signature = (base + traffic_at(cycle - start), extra)
+            if signature != last_signature:
+                last_signature = signature
+                last_progress = cycle
+            elif cycle - last_progress > self.budget:
+                if cycle == start:
+                    self._next_check = cycle + self.interval
+                return cycle
+            cycle += self.interval
+        self._last_signature = last_signature
+        self._last_progress_cycle = last_progress
+        self._next_check = cycle
+        return None
+
 
 class Simulator:
     """Lock-step cycle simulator for a set of streaming kernels.
@@ -244,12 +288,14 @@ class Simulator:
         (:meth:`register_burst_pipeline`, see
         :class:`repro.core.burst.BurstPipeline`) that detects its
         kernels parked in a pure streaming posture replays whole
-        MAC-stream windows as batched numpy ops with all per-cycle
+        phase windows (MAC stream, pad/pool chain, writeback drains,
+        DMA service loops) as batched numpy ops with all per-cycle
         accounting bulk-credited — again bit- and cycle-identical to
-        the reference stepper.  Defaults to ``fastpath``, so
-        ``fastpath=False`` alone still selects the pure reference
-        stepper.  Armed fault hooks and ``trace=True`` force the
-        reference path.
+        the reference stepper, including trace events and obs hub
+        updates.  Defaults to ``fastpath``, so ``fastpath=False``
+        alone still selects the pure reference stepper.  Armed fault
+        hooks force the reference path; an obs hub lacking a
+        replayer's bulk hooks disables only that replayer.
     """
 
     def __init__(self, name: str = "sim", trace: bool = False,
@@ -589,21 +635,18 @@ class Simulator:
     def _try_burst(self, limit: int) -> bool:
         """Execute one steady-state burst window; True if the clock moved.
 
-        Cheap global gates live here; the per-pipeline structural
+        Cheap global gates live here; everything else — the structural
         eligibility check (every participant parked in its streaming
         posture, queues in pure producer/consumer flow, no outside
-        observer of an involved queue) lives in the pipeline.  The
-        reference path is forced whenever a simulator fault hook is
-        armed, tracing is on (bursts skip per-op event records), or an
-        attached telemetry hub lacks the bulk observation hooks.
+        observer of an involved queue), the per-hook capability check
+        against any attached obs hub, and trace-event emission when
+        tracing is on — lives in the per-phase replayers (see
+        ``repro.core.burst``).  The reference path is forced whenever a
+        simulator fault hook is armed; an attached hub or an armed
+        trace only disables the specific replayers that cannot
+        reproduce its observations, not burst mode as a whole.
         """
-        if (not self._burst_pipelines or self.fault_hook is not None
-                or self.trace):
-            return False
-        obs = self._obs
-        if obs is not None and (not hasattr(obs, "on_warp")
-                                or not hasattr(obs, "on_stall_span")
-                                or not hasattr(obs, "on_burst")):
+        if not self._burst_pipelines or self.fault_hook is not None:
             return False
         for pipeline in self._burst_pipelines:
             if pipeline.try_burst(self, limit):

@@ -514,6 +514,23 @@ class Telemetry:
         if self.timeline is not None:
             self.timeline.on_burst(sim, start, end)
 
+    def on_burst_window(self, sim, start: int, end: int, runs=None,
+                        occ_at=None) -> None:
+        """Bulk ``on_cycle`` for a replayed phase window ``[start, end)``.
+
+        Used by burst replayers whose queue traffic goes through the
+        real ``push``/``pop`` paths with the clock staged — occupancy
+        trackers and stall attribution are already exact, so only the
+        timeline's per-cycle sampling needs replaying.  ``runs`` lists
+        ``(kernel, ((state, start_cycle), ...))`` for participants whose
+        end-of-cycle state varies inside the window; ``occ_at(cycle)``
+        returns occupancy overrides for queues whose end-of-cycle
+        occupancy differs from their current (post-window) value.
+        """
+        if self.timeline is not None:
+            self.timeline.on_burst_window(sim, start, end, runs=runs,
+                                          occ_at=occ_at)
+
     def on_stall(self, kernel, resource: str, kind: str, now: int) -> None:
         key = (kernel.name, resource, kind)
         self.stall_attribution[key] = self.stall_attribution.get(key, 0) + 1

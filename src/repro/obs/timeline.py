@@ -111,6 +111,56 @@ class TimelineRecorder:
         """
         self.on_warp(sim, start, end)
 
+    def on_burst_window(self, sim, start: int, end: int, runs=None,
+                        occ_at=None) -> None:
+        """Bulk :meth:`on_cycle` for a replayed phase window ``[start, end)``.
+
+        Unlike :meth:`on_burst`, a phase window may contain kernels
+        whose end-of-cycle state *varies* (e.g. a writeback unit
+        cycling stall/active/stall through each pad/pool period) and
+        queues whose end-of-cycle occupancy differs from the
+        post-window value.  ``runs`` supplies the per-participant state
+        sequence as ``(kernel, ((state, start_cycle), ...))`` tuples —
+        the run-length merge below reproduces exactly the spans
+        per-cycle stepping would have recorded, including merges across
+        the window boundary.  ``occ_at(cycle)`` returns occupancy
+        overrides applied on top of the live (post-window) FIFO values
+        for each counter sample the per-cycle path would have taken.
+        """
+        varying = {kernel.name: seq for kernel, seq in runs} if runs else {}
+        for kernel in sim.kernels:
+            seq = varying.get(kernel.name)
+            if seq is None:
+                state = kernel.state.value
+                open_span = self._open.get(kernel.name)
+                if open_span is None:
+                    self._open[kernel.name] = [state, start]
+                elif open_span[0] != state:
+                    self.state_spans.append(
+                        (kernel.name, open_span[0], open_span[1], start))
+                    open_span[0] = state
+                    open_span[1] = start
+                continue
+            open_span = self._open.get(kernel.name)
+            for state, run_start in seq:
+                if open_span is None:
+                    open_span = self._open[kernel.name] = [state, run_start]
+                elif open_span[0] != state:
+                    self.state_spans.append(
+                        (kernel.name, open_span[0], open_span[1], run_start))
+                    open_span[0] = state
+                    open_span[1] = run_start
+        cycle = self._next_sample if self._next_sample > start else start
+        if cycle < end:
+            while cycle < end:
+                sample = {fifo.name: fifo.occupancy for fifo in sim.fifos}
+                if occ_at is not None:
+                    sample.update(occ_at(cycle))
+                self.counter_samples.append((cycle, sample))
+                self.dram_traffic.append((cycle, self._dram_total))
+                cycle += self.counter_interval
+            self._next_sample = cycle
+
     def add_dma_span(self, descriptor, start: int, cycles: int,
                      ok: bool) -> None:
         label = (f"{descriptor.direction.value} bank{descriptor.bank} "

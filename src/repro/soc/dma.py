@@ -12,8 +12,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.core.burst import MIN_BURST_CYCLES, PhaseReplayer, hub_supports
 from repro.core.sram import SramBank
-from repro.hls.kernel import Tick
+from repro.hls.kernel import KernelState, Tick
 from repro.hls.sim import Simulator
 from repro.soc.dram import Ddr4
 from repro.soc.registers import CallbackSlave
@@ -84,6 +85,93 @@ class DmaStats:
     faulted_values: int = 0   # values moved by failed (partial) bursts
 
 
+class DmaServicePhase:
+    """Shared-state handle marking the engine's SDRAM service loop.
+
+    ``request`` is the in-flight :class:`~repro.soc.sdram.SdramRequest`
+    while the engine sits in its ``while not request.done: yield
+    Tick(1)`` poll — the posture :class:`DmaServiceReplayer` detects.
+    ``None`` everywhere else.
+    """
+
+    __slots__ = ("request",)
+
+    def __init__(self):
+        self.request = None
+
+
+class DmaServiceReplayer(PhaseReplayer):
+    """Warp-style replay of the engine's SDRAM burst service loop.
+
+    The poll loop makes the engine *live every cycle* (it wakes, checks
+    ``request.done``, sleeps one cycle), which defeats the cycle-warp
+    fast path even though nothing observable happens until the SDRAM
+    arbiter's current burst completes.  When the engine is parked in
+    that posture, this replayer advances straight to the next spectator
+    event (typically the arbiter's burst-end wake), crediting the
+    engine one active cycle per polled cycle.  The window is
+    observationally a dead window — constant end-of-cycle states, zero
+    FIFO traffic — so the hub's ``on_warp`` hook reproduces the exact
+    per-cycle observation stream, and the watchdog replay mirrors the
+    warp path's truncate-credit-raise protocol.
+
+    With several DMA engines polling simultaneously each sees the
+    others live at the current cycle and declines; such windows stay on
+    the reference stepper (contended multi-engine service is short and
+    rare — the arbiter serializes bursts anyway).
+    """
+
+    name = "dma"
+
+    def __init__(self, sim, engine_kernel, service: DmaServicePhase):
+        super().__init__(sim)
+        self.engine = engine_kernel
+        self.service = service
+        self._participants = frozenset((id(engine_kernel),))
+        self._involved: frozenset = frozenset()
+
+    def try_burst(self, sim, limit: int) -> bool:
+        now = sim.now
+        window = limit - now
+        if window < MIN_BURST_CYCLES:
+            return False
+        engine = self.engine
+        request = self.service.request
+        if (engine.state is not KernelState.SLEEPING
+                or engine.wake_cycle != now
+                or request is None or request.done):
+            return False
+        if not hub_supports(sim._obs, "on_warp", "on_stall_span"):
+            return False
+        window = self._clamp_spectators(sim, now, window,
+                                        self._participants, self._involved)
+        if window < MIN_BURST_CYCLES:
+            return False
+        target = now + window
+        fire = None
+        if sim.watchdog is not None:
+            fire = sim.watchdog.observe_warp(sim, now, target)
+            if fire is not None:
+                target = fire
+                window = target - now
+        if window:
+            obs = sim._obs
+            # Each polled cycle: the engine wakes, sees the request
+            # still in flight, and ticks once — one active cycle, no
+            # other architectural effect.
+            engine.stats.active_cycles += window
+            engine.wake_cycle = target
+            self._credit_spectators(sim, now, window, self._participants,
+                                    obs)
+            if obs is not None:
+                obs.on_warp(sim, now, target)
+            sim.now = target
+            self._finish(sim, window)
+        if fire is not None:
+            raise self._timeout(sim)
+        return True
+
+
 class DmaController:
     """Descriptor-driven DMA engine attached to a simulator.
 
@@ -126,7 +214,13 @@ class DmaController:
         # calls ``submit``), so an idle, doorbell-blocked engine is not
         # a deadlock.
         sim.external_progress = True
-        sim.add_kernel(f"{name}.engine", self._engine(), fsm_states=12)
+        self.service = DmaServicePhase()
+        self.kernel = sim.add_kernel(f"{name}.engine", self._engine(),
+                                     fsm_states=12)
+        #: Burst replayer for the SDRAM service poll loop (engaged only
+        #: when ``sim.burst`` is set; see :class:`DmaServiceReplayer`).
+        self.replayer = DmaServiceReplayer(sim, self.kernel, self.service)
+        sim.register_burst_pipeline(self.replayer)
         self.csr = CallbackSlave(f"{name}.csr")
         self.csr.register(0x00, read=lambda: self._completed)
         self.csr.register(0x04, read=lambda: self._submitted)
@@ -281,16 +375,20 @@ class DmaController:
             request = self.sdram_port.submit(SdramRequest(
                 SdramOp.READ, addr=descriptor.dram_addr,
                 count=descriptor.count))
+            self.service.request = request
             while not request.done:
                 yield Tick(1)
+            self.service.request = None
             bank.dma_write(descriptor.bank_addr, request.data)
         else:
             data = bank.dma_read(descriptor.bank_addr, descriptor.count)
             request = self.sdram_port.submit(SdramRequest(
                 SdramOp.WRITE, addr=descriptor.dram_addr,
                 count=descriptor.count, payload=data))
+            self.service.request = request
             while not request.done:
                 yield Tick(1)
+            self.service.request = None
         return self._now() - start
 
     def _now(self) -> int:

@@ -28,12 +28,21 @@ import numpy as np
 import pytest
 
 from repro.core.accelerator import (AcceleratorConfig, AcceleratorInstance,
-                                    execute_conv, prepare_conv)
+                                    execute_conv, execute_padpool,
+                                    prepare_conv)
+from repro.core.burst import WritebackDrainReplayer
+from repro.core.instructions import Opcode
 from repro.core.packing import PackedLayer
+from repro.core.padpool import compute_padpool_tile, compute_padpool_tiles
+from repro.core.sram import make_banks
+from repro.core.writeback import WritebackPhase, writeback_kernel
 from repro.hls import Simulator, Tick
 from repro.hls.errors import SimulationTimeout
 from repro.hls.sim import Watchdog
 from repro.obs import Telemetry
+from repro.soc.dma import DmaController, DmaDescriptor, DmaDirection
+from repro.soc.dram import Ddr4
+from repro.soc.sdram import SdramController
 
 SEEDS = list(range(8))
 
@@ -611,10 +620,11 @@ def test_burst_default_follows_fastpath():
     assert Simulator("d", fastpath=True, burst=False).burst is False
 
 
-def test_trace_forces_reference_for_bursts():
-    """``trace=True`` records per-op events, which bursts skip — so
-    tracing pins the MAC stream to the stepper and the event streams of
-    both modes are identical."""
+def test_trace_identity_for_bursts():
+    """``trace=True`` no longer pins the stream to the stepper: the
+    replayers append the exact per-op event sequence the stepper would
+    have recorded, so traced runs keep the burst speedup with a
+    byte-identical event stream."""
     events = {}
     for burst in (True, False):
         rng = np.random.default_rng(1)
@@ -625,7 +635,8 @@ def test_trace_forces_reference_for_bursts():
         sim = Simulator("traced", trace=True, fastpath=burst, burst=burst)
         instance = AcceleratorInstance(sim, AcceleratorConfig())
         execute_conv(instance, ifm, PackedLayer.pack(weights), shift=3)
-        assert sim.bursts == 0
+        if burst:
+            assert sim.bursts > 0, "tracing must not disable burst mode"
         events[burst] = [(e.cycle, e.source, e.event, e.detail)
                          for e in sim.events]
     assert events[True] == events[False]
@@ -679,4 +690,286 @@ def test_burst_identity_with_watchdog():
                        sim.watchdog._last_signature)
         if burst:
             assert sim.bursts > 0
+    assert runs[True] == runs[False]
+
+
+def test_hub_with_burst_hooks_but_no_warp_keeps_bursts():
+    """The obs-hub gate is per-replayer capability, not a blanket check:
+    a hub that implements ``on_burst``/``on_stall_span`` but *not*
+    ``on_warp`` disables cycle-warp only — MAC bursts must still
+    engage, and the run must stay cycle-identical to the stepper."""
+
+    class BurstOnlyHub:
+        def __init__(self):
+            self.cycles = 0
+            self.burst_windows = 0
+
+        def on_cycle(self, sim):
+            self.cycles += 1
+
+        def on_stall(self, kernel, resource, kind, now):
+            pass
+
+        def on_stall_span(self, kernel, resource, kind, start, cycles):
+            pass
+
+        def on_burst(self, sim, start, end, flows):
+            self.burst_windows += 1
+
+        def on_push(self, fifo, now):
+            pass
+
+        on_pop = on_push
+
+    runs = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(4)
+        sim, instance, ifm, packed = _random_conv(rng, 1.0,
+                                                  fastpath=burst, burst=burst)
+        hub = BurstOnlyHub()
+        sim.obs = hub
+        ofm, cycles = execute_conv(instance, ifm, packed, shift=3)
+        runs[burst] = (cycles, _conv_state(sim, instance, ofm))
+        if burst:
+            assert sim.warps == 0, "hub without on_warp must disable warp"
+            assert sim.bursts > 0, "hub with burst hooks must not gate bursts"
+            assert hub.burst_windows == sim.bursts
+            assert hub.cycles == cycles - sim.burst_cycles
+    assert runs[True] == runs[False]
+
+
+# -- pad/pool replayer: period-4 staging/compute/writeback chains ------------------
+
+#: (opcode, kwargs) spanning the supported geometry space: interior
+#: padding, wide padding, stride-2 pooling, overlapping stride-1 pooling.
+PADPOOL_CASES = [
+    (Opcode.PAD, {"pad": 1}),
+    (Opcode.PAD, {"pad": 2}),
+    (Opcode.POOL, {"win": 2, "stride": 2}),
+    (Opcode.POOL, {"win": 2, "stride": 1}),
+]
+
+
+def _random_padpool(rng: np.random.Generator, opcode, kwargs,
+                    burst: bool, trace: bool = False):
+    channels = int(rng.integers(3, 11))
+    hw = int(rng.integers(8, 17))
+    ifm = rng.integers(-128, 128, size=(channels, hw, hw), dtype=np.int16)
+    sim = Simulator("padpool", trace=trace, fastpath=burst, burst=burst)
+    instance = AcceleratorInstance(sim, AcceleratorConfig())
+    return sim, instance, ifm
+
+
+@pytest.mark.parametrize("case", range(len(PADPOOL_CASES)))
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_padpool_identity_random(seed, case):
+    """Pad/pool replays are bit- and cycle-identical to the stepper."""
+    opcode, kwargs = PADPOOL_CASES[case]
+    runs = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(seed)
+        sim, instance, ifm = _random_padpool(rng, opcode, kwargs, burst)
+        ofm, cycles = execute_padpool(instance, ifm, opcode, **kwargs)
+        runs[burst] = (cycles, _conv_state(sim, instance, ofm), sim.bursts)
+    assert runs[True][0] == runs[False][0], "cycle counts diverge"
+    assert runs[True][1] == runs[False][1], "state diverges"
+    assert runs[False][2] == 0, "reference stepper must never burst"
+
+
+def test_padpool_replayer_engages():
+    """The pad/pool chain must actually replay, and must be attributed
+    to the ``padpool`` family in the per-phase coverage breakdown."""
+    total = 0
+    for seed in SEEDS[:4]:
+        for case, (opcode, kwargs) in enumerate(PADPOOL_CASES):
+            rng = np.random.default_rng(seed)
+            sim, instance, ifm = _random_padpool(rng, opcode, kwargs, True)
+            execute_padpool(instance, ifm, opcode, **kwargs)
+            coverage = instance.burst_pipeline.coverage()
+            total += coverage["padpool"]["cycles"]
+            assert coverage["padpool"]["windows"] * 4 \
+                <= coverage["padpool"]["cycles"]
+    assert total > 0, "pad/pool replayer never engaged"
+
+
+@pytest.mark.parametrize("case", range(len(PADPOOL_CASES)))
+def test_padpool_identity_with_telemetry_and_trace(case):
+    """Telemetry (timeline + occupancy trackers + bank probes) and the
+    per-op trace stay byte-identical through pad/pool windows."""
+    opcode, kwargs = PADPOOL_CASES[case]
+    results = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(7)
+        sim, instance, ifm = _random_padpool(rng, opcode, kwargs, burst,
+                                             trace=True)
+        hub = Telemetry(timeline=True, counter_interval=7).attach_sim(sim)
+        hub.attach_banks(instance.banks)
+        ofm, _ = execute_padpool(instance, ifm, opcode, **kwargs)
+        hub.timeline.finish(sim)
+        report = hub.report()
+        results[burst] = (
+            _conv_state(sim, instance, ofm),
+            hub.stall_attribution,
+            {f.name: (f.occupancy_hist, f.mean_occupancy, f.max_occupancy)
+             for f in report.fifos},
+            {b.name: (b.port_a_conflicts, b.port_b_conflicts)
+             for b in report.banks},
+            sorted(hub.timeline.state_spans),
+            hub.timeline.counter_samples,
+            hub.timeline.dram_traffic,
+            [(e.cycle, e.source, e.event, e.detail) for e in sim.events],
+        )
+        if burst:
+            assert instance.burst_pipeline.coverage()["padpool"]["windows"] \
+                > 0
+    assert results[True] == results[False]
+
+
+def test_padpool_telemetry_attached_mid_run():
+    """A hub attached between two pad/pool layers (trackers start
+    mid-history) still matches the stepper on the second layer."""
+    results = {}
+    for burst in (True, False):
+        rng = np.random.default_rng(5)
+        sim, instance, ifm = _random_padpool(rng, Opcode.PAD, {"pad": 1},
+                                             burst)
+        execute_padpool(instance, ifm, Opcode.PAD, pad=1)
+        hub = Telemetry().attach_sim(sim)
+        hub.attach_banks(instance.banks)
+        ofm, _ = execute_padpool(instance, ifm, Opcode.POOL, win=2, stride=2)
+        report = hub.report()
+        results[burst] = (
+            _conv_state(sim, instance, ofm),
+            hub.stall_attribution,
+            {f.name: (f.occupancy_hist, f.mean_occupancy, f.max_occupancy)
+             for f in report.fifos},
+        )
+    assert results[True] == results[False]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_compute_padpool_tiles_matches_scalar(seed):
+    """The batched tile kernel is bit-identical to the scalar reference
+    across window geometries and region-boundary clipping."""
+    rng = np.random.default_rng(seed)
+    win = int(rng.integers(1, 4))
+    stride = int(rng.integers(1, 3))
+    n = int(rng.integers(1, 9))
+    size = 8
+    regions = rng.integers(-(2 ** 15), 2 ** 15,
+                           size=(n, size, size)).astype(np.int16)
+    offs_y = rng.integers(0, 2, size=n)
+    offs_x = rng.integers(0, 2, size=n)
+    batched = compute_padpool_tiles(regions, offs_y, offs_x, win, stride)
+    for i in range(n):
+        scalar = compute_padpool_tile(regions[i], int(offs_y[i]),
+                                      int(offs_x[i]), win, stride)
+        np.testing.assert_array_equal(batched[i], scalar)
+
+
+# -- writeback drain replayer: bulk pop + write_tile backlogs ----------------------
+
+
+def _build_drain(burst: bool, backlog: int = 12, delay: int = 10):
+    """A producer fills a deep queue while the writeback unit sleeps;
+    the unit then drains the backlog at one tile per cycle — the
+    posture :class:`WritebackDrainReplayer` replays in bulk."""
+    sim = Simulator("drain", trace=True, fastpath=burst, burst=burst)
+    bank = make_banks(1, 1 << 12, 4, prefix="b")[0]
+    q = sim.fifo("wq", depth=backlog + 4)
+    rng = np.random.default_rng(11)
+    tiles = [(i, rng.integers(-99, 99, size=(4, 4), dtype=np.int16))
+             for i in range(backlog)]
+
+    def producer():
+        for addr, values in tiles:
+            yield q.write((addr, values))
+
+    phase = WritebackPhase()
+
+    def delayed_writeback():
+        yield Tick(delay)
+        yield from writeback_kernel(0, q, bank, phase=phase)
+
+    sim.add_kernel("producer", producer())
+    kernel = sim.add_kernel("writeback", delayed_writeback())
+    kernel.phase = phase
+    replayer = WritebackDrainReplayer(sim, [kernel], [q], [bank])
+    sim.register_burst_pipeline(replayer)
+    return sim, bank, replayer, backlog
+
+
+@pytest.mark.parametrize("backlog", [6, 12, 30])
+def test_writeback_drain_identity(backlog):
+    runs = {}
+    for burst in (True, False):
+        sim, bank, replayer, n = _build_drain(burst, backlog=backlog)
+        hub = Telemetry(timeline=True, counter_interval=5).attach_sim(sim)
+        hub.attach_banks([bank])
+        sim.run(until=lambda: bank.stats.tile_writes >= n)
+        hub.timeline.finish(sim)
+        runs[burst] = (
+            _state_of(sim),
+            vars(bank.stats),
+            bank.read_tile(n - 1).tobytes(),
+            hub.stall_attribution,
+            sorted(hub.timeline.state_spans),
+            hub.timeline.counter_samples,
+            [(e.cycle, e.source, e.event, e.detail) for e in sim.events],
+        )
+        if burst:
+            assert replayer.windows > 0, "drain backlog never replayed"
+        else:
+            assert sim.bursts == 0
+    assert runs[True] == runs[False]
+
+
+# -- DMA burst service replayer: engine poll loops under SDRAM service -------------
+
+
+def _build_dma(burst: bool, engines: int):
+    """DMA engines polling the shared SDRAM arbiter; the arbiter's
+    per-burst sleep opens the windows the service replayer covers."""
+    sim = Simulator("dma", trace=True, fastpath=burst, burst=burst)
+    dram = Ddr4(capacity_values=1 << 18)
+    rng = np.random.default_rng(9)
+    dram.write(0, rng.integers(-100, 100, size=4096, dtype=np.int16))
+    sdram = SdramController(sim, dram, ports=engines, burst_values=64)
+    dmas = []
+    for i in range(engines):
+        banks = make_banks(4, 1 << 14, 4, prefix=f"b{i}")
+        dmas.append(DmaController(sim, dram, banks, name=f"dma{i}",
+                                  sdram_port=sdram.port(i)))
+    return sim, dmas
+
+
+@pytest.mark.parametrize("engines", [1, 2])
+def test_dma_service_identity(engines):
+    """Single engine: the service loop is fully replayed.  Two engines
+    contending for the arbiter poll during each other's bursts; the
+    replayer covers what it can and falls back scalar for the rest —
+    identity must hold either way."""
+    runs = {}
+    for burst in (True, False):
+        sim, dmas = _build_dma(burst, engines)
+        hub = Telemetry(timeline=True, counter_interval=5).attach_sim(sim)
+        for i, dma in enumerate(dmas):
+            for k in range(3):
+                dma.submit(DmaDescriptor(DmaDirection.TO_BANK,
+                                         dram_addr=512 * k, bank=k,
+                                         bank_addr=0, count=300 + 64 * i))
+        sim.run(until=lambda: all(d.idle for d in dmas), max_cycles=100_000)
+        hub.timeline.finish(sim)
+        runs[burst] = (
+            _state_of(sim),
+            [vars(d.stats) for d in dmas],
+            [d.banks[0].dma_read(0, 300).tobytes() for d in dmas],
+            hub.stall_attribution,
+            sorted(hub.timeline.state_spans),
+            hub.timeline.counter_samples,
+            [(e.cycle, e.source, e.event, e.detail) for e in sim.events],
+        )
+        if burst and engines == 1:
+            assert dmas[0].replayer.windows > 0, "service loop not replayed"
+            assert dmas[0].replayer.cycles > sim.now // 2
     assert runs[True] == runs[False]
